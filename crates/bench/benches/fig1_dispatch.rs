@@ -1,0 +1,72 @@
+//! Fig. 1 — SM event dispatch: latency of the paths through the monitor's
+//! event-handling flow (API ecall, OS interrupt delegation, AEX delegation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sanctorum_bench::{boot, boot_with_enclave};
+use sanctorum_core::api::SmCall;
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_machine::hart::PrivilegeLevel;
+use sanctorum_machine::trap::{Interrupt, TrapCause};
+use sanctorum_os::system::PlatformKind;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_dispatch");
+
+    // Path 1: an SM API call arriving as an environment call (GetField).
+    let (system, _os) = boot(PlatformKind::Sanctum);
+    let core = CoreId::new(0);
+    system.machine.install_context(core, DomainKind::Untrusted, PrivilegeLevel::Supervisor, None, 0);
+    group.bench_function("api_ecall_get_field", |b| {
+        b.iter(|| {
+            system.monitor.stage_call(core, &SmCall::GetField { field: 3 });
+            system.monitor.handle_event(core, TrapCause::EnvironmentCall)
+        })
+    });
+
+    // Path 2: an illegal/unauthorized call is rejected.
+    group.bench_function("api_ecall_rejected", |b| {
+        b.iter(|| {
+            system
+                .monitor
+                .stage_call(core, &SmCall::AcceptMail { mailbox: 0, sender_id: 0 });
+            system.monitor.handle_event(core, TrapCause::EnvironmentCall)
+        })
+    });
+
+    // Path 3: an OS interrupt with no enclave involved (pure delegation).
+    group.bench_function("os_interrupt_delegation", |b| {
+        b.iter(|| system.monitor.handle_event(core, TrapCause::Interrupt(Interrupt::Timer)))
+    });
+
+    // Path 4: an interrupt landing while an enclave runs — full AEX + resume.
+    let (system2, _os2, built) = boot_with_enclave(PlatformKind::Sanctum);
+    let core2 = CoreId::new(1);
+    group.bench_function("enclave_interrupt_aex", |b| {
+        b.iter(|| {
+            system2
+                .monitor
+                .enter_enclave(DomainKind::Untrusted, built.eid, built.main_thread(), core2)
+                .unwrap();
+            system2
+                .monitor
+                .handle_event(core2, TrapCause::Interrupt(Interrupt::Timer))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dispatch
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig. 2 — the resource ownership state machine: cost of the
+//! block → clean → grant cycle on a DRAM region, per platform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sanctorum_bench::boot;
+use sanctorum_core::resource::ResourceId;
+use sanctorum_hal::domain::DomainKind;
+use sanctorum_hal::isolation::RegionId;
+use sanctorum_os::system::PlatformKind;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_transitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_resource_transitions");
+    for platform in PlatformKind::ALL {
+        let (system, _os) = boot(platform);
+        let os_domain = DomainKind::Untrusted;
+        let region = ResourceId::Region(RegionId::new(2));
+        group.bench_with_input(
+            BenchmarkId::new("block_clean_grant_cycle", platform.name()),
+            &platform,
+            |b, _| {
+                b.iter(|| {
+                    system.monitor.block_resource(os_domain, region).unwrap();
+                    system.monitor.clean_resource(os_domain, region).unwrap();
+                    system
+                        .monitor
+                        .grant_resource(os_domain, region, DomainKind::Untrusted)
+                        .unwrap();
+                })
+            },
+        );
+        // Illegal transitions are rejected cheaply (no cleaning work).
+        group.bench_with_input(
+            BenchmarkId::new("illegal_clean_rejected", platform.name()),
+            &platform,
+            |b, _| {
+                b.iter(|| {
+                    system
+                        .monitor
+                        .clean_resource(os_domain, region)
+                        .expect_err("owned resource cannot be cleaned")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_transitions
+}
+criterion_main!(benches);

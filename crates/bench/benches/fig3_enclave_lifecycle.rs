@@ -1,0 +1,45 @@
+//! Fig. 3 — the enclave lifecycle: create → load page tables/pages/threads →
+//! init → delete, swept over the enclave's initial size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sanctorum_bench::boot;
+use sanctorum_enclave::image::EnclaveImage;
+use sanctorum_os::system::PlatformKind;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_enclave_lifecycle");
+    for pages in [4usize, 16, 48] {
+        for platform in PlatformKind::ALL {
+            let id = format!("{}_{}pages", platform.name(), pages);
+            group.bench_with_input(
+                BenchmarkId::new("build_and_destroy", id),
+                &pages,
+                |b, &pages| {
+                    let (_system, mut os) = boot(platform);
+                    let image = EnclaveImage::compute(pages, 10);
+                    b.iter(|| {
+                        let built = os.build_enclave(&image, 1).unwrap();
+                        os.teardown_enclave(&built).unwrap();
+                        built.build_cycles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lifecycle
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Fig. 4 — the thread lifecycle: enclave enter/exit round trips and the
+//! asynchronous enclave exit (AEX) path, per platform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sanctorum_bench::boot_with_enclave;
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_os::system::PlatformKind;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_thread_aex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_thread_aex");
+    for platform in PlatformKind::ALL {
+        let (system, _os, built) = boot_with_enclave(platform);
+        let core = CoreId::new(0);
+        let tid = built.main_thread();
+
+        group.bench_with_input(
+            BenchmarkId::new("enter_exit_round_trip", platform.name()),
+            &platform,
+            |b, _| {
+                b.iter(|| {
+                    system
+                        .monitor
+                        .enter_enclave(DomainKind::Untrusted, built.eid, tid, core)
+                        .unwrap();
+                    system
+                        .monitor
+                        .exit_enclave(DomainKind::Enclave(built.eid), core)
+                        .unwrap()
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("enter_aex_resume", platform.name()),
+            &platform,
+            |b, _| {
+                b.iter(|| {
+                    system
+                        .monitor
+                        .enter_enclave(DomainKind::Untrusted, built.eid, tid, core)
+                        .unwrap();
+                    system.monitor.asynchronous_enclave_exit(core).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_thread_aex
+}
+criterion_main!(benches);

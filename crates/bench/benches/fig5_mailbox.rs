@@ -1,0 +1,53 @@
+//! Fig. 5 — mailbox state machine: accept/send/get round trips over message
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sanctorum_bench::boot_attestation_setup;
+use sanctorum_hal::domain::DomainKind;
+use sanctorum_os::system::PlatformKind;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_mailbox(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_mailbox");
+    let (system, _os, e1, e2) = boot_attestation_setup(PlatformKind::Sanctum);
+    let sm = &system.monitor;
+    let sender = DomainKind::Enclave(e1.eid);
+    let recipient = DomainKind::Enclave(e2.eid);
+
+    for size in [16usize, 256, 1024] {
+        let message = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("accept_send_get", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    sm.accept_mail(recipient, 0, e1.eid.as_u64()).unwrap();
+                    sm.send_mail(sender, e2.eid, &message).unwrap();
+                    sm.get_mail(recipient, 0).unwrap()
+                })
+            },
+        );
+    }
+
+    // Denial-of-service attempt: sends without an accepting mailbox are cheap
+    // rejections.
+    group.bench_function("unsolicited_send_rejected", |b| {
+        b.iter(|| sm.send_mail(DomainKind::Untrusted, e2.eid, b"spam").unwrap_err())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_mailbox
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Fig. 7 — remote attestation: the full ten-step protocol including key
+//! agreement, signing-enclave signature and verifier-side validation, plus
+//! its building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sanctorum_bench::boot_attestation_setup;
+use sanctorum_enclave::client::AttestationClient;
+use sanctorum_enclave::signing::SigningEnclave;
+use sanctorum_os::system::PlatformKind;
+use sanctorum_verifier::{ManufacturerCa, RemoteVerifier};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn bench_remote_attestation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_remote_attestation");
+    let ca = ManufacturerCa::new([0x11; 32]);
+    let (system, _os, client_enclave, signing_enclave) =
+        boot_attestation_setup(PlatformKind::Sanctum);
+    let device_cert = ca.certify_device(system.machine.root_of_trust());
+    let sm = system.monitor.as_ref();
+    let signing = SigningEnclave::new(signing_enclave.eid);
+    let client = AttestationClient::new(client_enclave.eid, [0x33; 32]);
+
+    group.bench_function("full_protocol", |b| {
+        b.iter(|| {
+            let mut verifier = RemoteVerifier::new(
+                ca.root_public_key(),
+                vec![client_enclave.measurement],
+                [0x42; 32],
+            );
+            let challenge = verifier.begin();
+            let response = client
+                .obtain_attestation(sm, &signing, challenge.nonce, device_cert.clone())
+                .unwrap();
+            verifier
+                .verify(&response.evidence, &response.enclave_dh_public)
+                .unwrap()
+        })
+    });
+
+    group.bench_function("evidence_generation_only", |b| {
+        let mut verifier = RemoteVerifier::new(
+            ca.root_public_key(),
+            vec![client_enclave.measurement],
+            [0x42; 32],
+        );
+        b.iter(|| {
+            let challenge = verifier.begin();
+            client
+                .obtain_attestation(sm, &signing, challenge.nonce, device_cert.clone())
+                .unwrap()
+        })
+    });
+
+    group.bench_function("verifier_side_only", |b| {
+        let mut verifier = RemoteVerifier::new(
+            ca.root_public_key(),
+            vec![client_enclave.measurement],
+            [0x42; 32],
+        );
+        let challenge = verifier.begin();
+        let response = client
+            .obtain_attestation(sm, &signing, challenge.nonce, device_cert.clone())
+            .unwrap();
+        b.iter(|| {
+            // Re-arm the verifier with the same nonce so the evidence stays
+            // valid for measurement purposes.
+            let mut v = RemoteVerifier::new(
+                ca.root_public_key(),
+                vec![client_enclave.measurement],
+                [0x42; 32],
+            );
+            let _ = v.begin();
+            v.verify(&response.evidence, &response.enclave_dh_public)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_remote_attestation
+}
+criterion_main!(benches);

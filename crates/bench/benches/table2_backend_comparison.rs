@@ -1,0 +1,73 @@
+//! Table 2 — Sanctum vs. Keystone backend comparison (paper Section VII):
+//! the same enclave workload on both platforms, comparing the architectural
+//! cost of the operations where the isolation mechanisms differ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sanctorum_bench::boot;
+use sanctorum_core::resource::ResourceId;
+use sanctorum_enclave::image::EnclaveImage;
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_os::system::PlatformKind;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_backend_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_backend_comparison");
+    for platform in PlatformKind::ALL {
+        // Whole enclave lifetime: build, run to completion, tear down.
+        group.bench_with_input(
+            BenchmarkId::new("enclave_lifetime", platform.name()),
+            &platform,
+            |b, &platform| {
+                let (_system, mut os) = boot(platform);
+                let image = EnclaveImage::compute(8, 5_000);
+                b.iter(|| {
+                    let built = os.build_enclave(&image, 1).unwrap();
+                    os.run_thread(&built, built.main_thread(), CoreId::new(0), 100_000)
+                        .unwrap();
+                    os.teardown_enclave(&built).unwrap();
+                })
+            },
+        );
+
+        // Memory reclamation: the operation whose cost differs most between a
+        // partitioned LLC (flush one partition) and a shared LLC (flush all).
+        group.bench_with_input(
+            BenchmarkId::new("region_clean", platform.name()),
+            &platform,
+            |b, &platform| {
+                let (system, _os) = boot(platform);
+                let region = ResourceId::Region(sanctorum_hal::isolation::RegionId::new(3));
+                b.iter(|| {
+                    system
+                        .monitor
+                        .block_resource(DomainKind::Untrusted, region)
+                        .unwrap();
+                    let cost = system
+                        .monitor
+                        .clean_resource(DomainKind::Untrusted, region)
+                        .unwrap();
+                    system
+                        .monitor
+                        .grant_resource(DomainKind::Untrusted, region, DomainKind::Untrusted)
+                        .unwrap();
+                    cost
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_backend_comparison
+}
+criterion_main!(benches);

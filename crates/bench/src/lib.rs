@@ -1,0 +1,96 @@
+//! Shared helpers for the benchmark harness and the workspace-level
+//! integration tests and examples.
+//!
+//! Each benchmark target regenerates one figure or table of the paper's
+//! evaluation; the mapping is documented in `DESIGN.md` (per-experiment
+//! index) and the measured results are recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sanctorum_core::monitor::{LockingMode, SmConfig};
+use sanctorum_enclave::image::EnclaveImage;
+use sanctorum_machine::MachineConfig;
+use sanctorum_os::os::{BuiltEnclave, Os};
+use sanctorum_os::system::{PlatformKind, System};
+
+/// Boots a small system plus OS model on the given platform.
+pub fn boot(platform: PlatformKind) -> (System, Os) {
+    let system = System::boot_small(platform);
+    let os = Os::new(&system);
+    (system, os)
+}
+
+/// Boots a system with an explicit locking mode (for the locking ablation).
+pub fn boot_with_locking(platform: PlatformKind, locking: LockingMode) -> (System, Os) {
+    let system = System::boot(
+        platform,
+        MachineConfig::small(),
+        SmConfig {
+            locking,
+            ..SmConfig::default()
+        },
+    );
+    let os = Os::new(&system);
+    (system, os)
+}
+
+/// Boots a system, builds a hello enclave and returns everything needed to
+/// schedule it.
+pub fn boot_with_enclave(platform: PlatformKind) -> (System, Os, BuiltEnclave) {
+    let (system, mut os) = boot(platform);
+    let built = os
+        .build_enclave(&EnclaveImage::hello(0x1234), 1)
+        .expect("building the hello enclave succeeds");
+    (system, os, built)
+}
+
+/// Boots a system where the signing enclave and an attestation-client enclave
+/// are loaded and the monitor is configured to trust the signing enclave's
+/// measurement. Returns `(system, os, client enclave, signing enclave)`.
+pub fn boot_attestation_setup(
+    platform: PlatformKind,
+) -> (System, Os, BuiltEnclave, BuiltEnclave) {
+    // Pass 1: learn the signing enclave's measurement on a scratch system.
+    let scratch = System::boot_small(platform);
+    let mut scratch_os = Os::new(&scratch);
+    let probe = scratch_os
+        .build_enclave(&EnclaveImage::signing_enclave(), 1)
+        .expect("probe build succeeds");
+    let signing_measurement = probe.measurement;
+
+    // Pass 2: boot the real system with that measurement hard-coded in the SM.
+    let system = System::boot(
+        platform,
+        MachineConfig::small(),
+        SmConfig {
+            signing_enclave_measurement: Some(signing_measurement),
+            ..SmConfig::default()
+        },
+    );
+    let mut os = Os::new(&system);
+    let signing = os
+        .build_enclave(&EnclaveImage::signing_enclave(), 1)
+        .expect("signing enclave builds");
+    let client = os
+        .build_enclave(&EnclaveImage::attestation_client(), 1)
+        .expect("client enclave builds");
+    (system, os, client, signing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_boot_all_configurations() {
+        for platform in PlatformKind::ALL {
+            let (_, os) = boot(platform);
+            assert!(os.free_region_count() > 0);
+        }
+        let (_, _, built) = boot_with_enclave(PlatformKind::Sanctum);
+        assert_eq!(built.threads.len(), 1);
+        let (_, _, client, signing) = boot_attestation_setup(PlatformKind::Sanctum);
+        assert_ne!(client.eid, signing.eid);
+    }
+}

@@ -1,0 +1,392 @@
+//! The register-level SM call ABI.
+//!
+//! SM API calls are made "via machine events as a system call to SM"
+//! (paper Section V-A): the caller places a call number in `a0` and arguments
+//! in `a1`–`a5`, executes an environment call, and receives a status code in
+//! `a0` plus an optional value in `a1`. This module defines the call numbers
+//! and the encode/decode logic used by the event dispatcher; direct Rust
+//! calls into [`crate::monitor::SecurityMonitor`] bypass it (the OS model uses
+//! both paths, and the Fig. 1 benchmarks exercise this one).
+
+use crate::error::SmError;
+use sanctorum_hal::addr::{PhysAddr, VirtAddr};
+use sanctorum_hal::domain::EnclaveId;
+use sanctorum_hal::isolation::RegionId;
+use sanctorum_hal::perm::MemPerms;
+use serde::{Deserialize, Serialize};
+
+/// A decoded SM API call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmCall {
+    /// Create an enclave over one memory region.
+    CreateEnclave {
+        /// Base of the enclave virtual range.
+        evrange_base: VirtAddr,
+        /// Length of the enclave virtual range.
+        evrange_len: u64,
+        /// The single region dedicated to the enclave (the register ABI
+        /// carries one; multi-region enclaves use repeated grants).
+        region: RegionId,
+    },
+    /// Reserve the enclave's page tables.
+    AllocatePageTable {
+        /// Target enclave.
+        eid: EnclaveId,
+    },
+    /// Load one page of initial contents.
+    LoadPage {
+        /// Target enclave.
+        eid: EnclaveId,
+        /// Destination virtual address inside `evrange`.
+        vaddr: VirtAddr,
+        /// Source physical address in OS memory.
+        src: PhysAddr,
+        /// Permission bits (R=1, W=2, X=4).
+        perms: MemPerms,
+    },
+    /// Create an enclave thread during loading.
+    LoadThread {
+        /// Target enclave.
+        eid: EnclaveId,
+        /// Entry program counter.
+        entry_pc: u64,
+    },
+    /// Seal the enclave and finalize its measurement.
+    InitEnclave {
+        /// Target enclave.
+        eid: EnclaveId,
+    },
+    /// Destroy an enclave.
+    DeleteEnclave {
+        /// Target enclave.
+        eid: EnclaveId,
+    },
+    /// Schedule an enclave thread onto the calling core.
+    EnterEnclave {
+        /// Target enclave.
+        eid: EnclaveId,
+        /// Thread to run.
+        tid: u64,
+    },
+    /// Voluntary enclave exit from the calling core.
+    ExitEnclave,
+    /// Block a memory region resource.
+    BlockRegion {
+        /// The region.
+        region: RegionId,
+    },
+    /// Clean a blocked memory region resource.
+    CleanRegion {
+        /// The region.
+        region: RegionId,
+    },
+    /// Grant an available region to the untrusted OS (`owner_eid == 0`) or to
+    /// an enclave.
+    GrantRegion {
+        /// The region.
+        region: RegionId,
+        /// New owner enclave id, or 0 for the untrusted OS.
+        owner_eid: u64,
+    },
+    /// Accept mail from a sender into one of the caller's mailboxes.
+    AcceptMail {
+        /// Mailbox index.
+        mailbox: u64,
+        /// Sender id (enclave id value, or 0 for the OS).
+        sender_id: u64,
+    },
+    /// Send mail: the message bytes are read from untrusted memory.
+    SendMail {
+        /// Recipient enclave.
+        recipient: EnclaveId,
+        /// Physical address of the message.
+        msg_addr: PhysAddr,
+        /// Message length in bytes.
+        msg_len: u64,
+    },
+    /// Fetch waiting mail into a caller-supplied buffer.
+    GetMail {
+        /// Mailbox index.
+        mailbox: u64,
+        /// Physical address of the output buffer.
+        out_addr: PhysAddr,
+        /// Capacity of the output buffer.
+        out_len: u64,
+    },
+    /// Read a public identity field.
+    GetField {
+        /// Field selector (see [`crate::monitor::PublicField`] mapping in the
+        /// dispatcher).
+        field: u64,
+    },
+}
+
+/// Call numbers used in `a0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+#[allow(missing_docs)]
+pub enum SmCallNumber {
+    CreateEnclave = 1,
+    AllocatePageTable = 2,
+    LoadPage = 3,
+    LoadThread = 4,
+    InitEnclave = 5,
+    DeleteEnclave = 6,
+    EnterEnclave = 7,
+    ExitEnclave = 8,
+    BlockRegion = 9,
+    CleanRegion = 10,
+    GrantRegion = 11,
+    AcceptMail = 12,
+    SendMail = 13,
+    GetMail = 14,
+    GetField = 15,
+}
+
+/// Errors produced when decoding the register file into an [`SmCall`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The call number in `a0` is not recognised.
+    UnknownCallNumber(u64),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownCallNumber(n) => write!(f, "unknown SM call number {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl SmCall {
+    /// Encodes the call into the six argument registers `a0`–`a5`.
+    pub fn encode(&self) -> [u64; 6] {
+        match *self {
+            SmCall::CreateEnclave { evrange_base, evrange_len, region } => [
+                SmCallNumber::CreateEnclave as u64,
+                evrange_base.as_u64(),
+                evrange_len,
+                region.0 as u64,
+                0,
+                0,
+            ],
+            SmCall::AllocatePageTable { eid } => {
+                [SmCallNumber::AllocatePageTable as u64, eid.as_u64(), 0, 0, 0, 0]
+            }
+            SmCall::LoadPage { eid, vaddr, src, perms } => [
+                SmCallNumber::LoadPage as u64,
+                eid.as_u64(),
+                vaddr.as_u64(),
+                src.as_u64(),
+                perms.bits() as u64,
+                0,
+            ],
+            SmCall::LoadThread { eid, entry_pc } => {
+                [SmCallNumber::LoadThread as u64, eid.as_u64(), entry_pc, 0, 0, 0]
+            }
+            SmCall::InitEnclave { eid } => {
+                [SmCallNumber::InitEnclave as u64, eid.as_u64(), 0, 0, 0, 0]
+            }
+            SmCall::DeleteEnclave { eid } => {
+                [SmCallNumber::DeleteEnclave as u64, eid.as_u64(), 0, 0, 0, 0]
+            }
+            SmCall::EnterEnclave { eid, tid } => {
+                [SmCallNumber::EnterEnclave as u64, eid.as_u64(), tid, 0, 0, 0]
+            }
+            SmCall::ExitEnclave => [SmCallNumber::ExitEnclave as u64, 0, 0, 0, 0, 0],
+            SmCall::BlockRegion { region } => {
+                [SmCallNumber::BlockRegion as u64, region.0 as u64, 0, 0, 0, 0]
+            }
+            SmCall::CleanRegion { region } => {
+                [SmCallNumber::CleanRegion as u64, region.0 as u64, 0, 0, 0, 0]
+            }
+            SmCall::GrantRegion { region, owner_eid } => {
+                [SmCallNumber::GrantRegion as u64, region.0 as u64, owner_eid, 0, 0, 0]
+            }
+            SmCall::AcceptMail { mailbox, sender_id } => {
+                [SmCallNumber::AcceptMail as u64, mailbox, sender_id, 0, 0, 0]
+            }
+            SmCall::SendMail { recipient, msg_addr, msg_len } => [
+                SmCallNumber::SendMail as u64,
+                recipient.as_u64(),
+                msg_addr.as_u64(),
+                msg_len,
+                0,
+                0,
+            ],
+            SmCall::GetMail { mailbox, out_addr, out_len } => [
+                SmCallNumber::GetMail as u64,
+                mailbox,
+                out_addr.as_u64(),
+                out_len,
+                0,
+                0,
+            ],
+            SmCall::GetField { field } => [SmCallNumber::GetField as u64, field, 0, 0, 0, 0],
+        }
+    }
+
+    /// Decodes the argument registers back into a call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnknownCallNumber`] if `a0` does not name a
+    /// call.
+    pub fn decode(regs: &[u64; 6]) -> Result<SmCall, DecodeError> {
+        let call = match regs[0] {
+            1 => SmCall::CreateEnclave {
+                evrange_base: VirtAddr::new(regs[1]),
+                evrange_len: regs[2],
+                region: RegionId::new(regs[3] as u32),
+            },
+            2 => SmCall::AllocatePageTable { eid: EnclaveId::new(regs[1]) },
+            3 => SmCall::LoadPage {
+                eid: EnclaveId::new(regs[1]),
+                vaddr: VirtAddr::new(regs[2]),
+                src: PhysAddr::new(regs[3]),
+                perms: MemPerms::from_bits(regs[4] as u8),
+            },
+            4 => SmCall::LoadThread {
+                eid: EnclaveId::new(regs[1]),
+                entry_pc: regs[2],
+            },
+            5 => SmCall::InitEnclave { eid: EnclaveId::new(regs[1]) },
+            6 => SmCall::DeleteEnclave { eid: EnclaveId::new(regs[1]) },
+            7 => SmCall::EnterEnclave {
+                eid: EnclaveId::new(regs[1]),
+                tid: regs[2],
+            },
+            8 => SmCall::ExitEnclave,
+            9 => SmCall::BlockRegion { region: RegionId::new(regs[1] as u32) },
+            10 => SmCall::CleanRegion { region: RegionId::new(regs[1] as u32) },
+            11 => SmCall::GrantRegion {
+                region: RegionId::new(regs[1] as u32),
+                owner_eid: regs[2],
+            },
+            12 => SmCall::AcceptMail {
+                mailbox: regs[1],
+                sender_id: regs[2],
+            },
+            13 => SmCall::SendMail {
+                recipient: EnclaveId::new(regs[1]),
+                msg_addr: PhysAddr::new(regs[2]),
+                msg_len: regs[3],
+            },
+            14 => SmCall::GetMail {
+                mailbox: regs[1],
+                out_addr: PhysAddr::new(regs[2]),
+                out_len: regs[3],
+            },
+            15 => SmCall::GetField { field: regs[1] },
+            other => return Err(DecodeError::UnknownCallNumber(other)),
+        };
+        Ok(call)
+    }
+}
+
+/// Status codes returned in `a0` after an SM call.
+pub mod status {
+    /// Call succeeded.
+    pub const OK: u64 = 0;
+    /// Caller not authorized.
+    pub const UNAUTHORIZED: u64 = 1;
+    /// Arguments or object state invalid.
+    pub const INVALID: u64 = 2;
+    /// Concurrent transaction; retry.
+    pub const CONCURRENT: u64 = 3;
+    /// Out of resources.
+    pub const NO_RESOURCES: u64 = 4;
+    /// Mailbox-related failure.
+    pub const MAIL: u64 = 5;
+    /// Platform / memory failure.
+    pub const PLATFORM: u64 = 6;
+}
+
+/// Maps an API error to the register-level status code.
+pub fn status_of(err: &SmError) -> u64 {
+    match err {
+        SmError::Unauthorized => status::UNAUTHORIZED,
+        SmError::ConcurrentCall => status::CONCURRENT,
+        SmError::OutOfResources { .. } => status::NO_RESOURCES,
+        SmError::MailNotAccepted | SmError::MailboxUnavailable => status::MAIL,
+        SmError::Platform(_) | SmError::Memory => status::PLATFORM,
+        _ => status::INVALID,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(call: SmCall) {
+        let encoded = call.encode();
+        let decoded = SmCall::decode(&encoded).expect("decodes");
+        assert_eq!(decoded, call);
+    }
+
+    #[test]
+    fn all_calls_round_trip() {
+        round_trip(SmCall::CreateEnclave {
+            evrange_base: VirtAddr::new(0x10000),
+            evrange_len: 0x8000,
+            region: RegionId::new(3),
+        });
+        round_trip(SmCall::AllocatePageTable { eid: EnclaveId::new(0x8010_0000) });
+        round_trip(SmCall::LoadPage {
+            eid: EnclaveId::new(0x8010_0000),
+            vaddr: VirtAddr::new(0x11000),
+            src: PhysAddr::new(0x8200_0000),
+            perms: MemPerms::RX,
+        });
+        round_trip(SmCall::LoadThread { eid: EnclaveId::new(1), entry_pc: 0x40 });
+        round_trip(SmCall::InitEnclave { eid: EnclaveId::new(1) });
+        round_trip(SmCall::DeleteEnclave { eid: EnclaveId::new(1) });
+        round_trip(SmCall::EnterEnclave { eid: EnclaveId::new(1), tid: 0x1001 });
+        round_trip(SmCall::ExitEnclave);
+        round_trip(SmCall::BlockRegion { region: RegionId::new(7) });
+        round_trip(SmCall::CleanRegion { region: RegionId::new(7) });
+        round_trip(SmCall::GrantRegion { region: RegionId::new(7), owner_eid: 0 });
+        round_trip(SmCall::AcceptMail { mailbox: 1, sender_id: 0x8020_0000 });
+        round_trip(SmCall::SendMail {
+            recipient: EnclaveId::new(0x8020_0000),
+            msg_addr: PhysAddr::new(0x8300_0000),
+            msg_len: 64,
+        });
+        round_trip(SmCall::GetMail {
+            mailbox: 0,
+            out_addr: PhysAddr::new(0x8300_1000),
+            out_len: 1024,
+        });
+        round_trip(SmCall::GetField { field: 2 });
+    }
+
+    #[test]
+    fn unknown_call_number_rejected() {
+        assert_eq!(
+            SmCall::decode(&[999, 0, 0, 0, 0, 0]),
+            Err(DecodeError::UnknownCallNumber(999))
+        );
+        assert_eq!(
+            SmCall::decode(&[0, 0, 0, 0, 0, 0]),
+            Err(DecodeError::UnknownCallNumber(0))
+        );
+    }
+
+    #[test]
+    fn status_mapping() {
+        assert_eq!(status_of(&SmError::Unauthorized), status::UNAUTHORIZED);
+        assert_eq!(status_of(&SmError::ConcurrentCall), status::CONCURRENT);
+        assert_eq!(
+            status_of(&SmError::OutOfResources { resource: "x" }),
+            status::NO_RESOURCES
+        );
+        assert_eq!(status_of(&SmError::MailboxUnavailable), status::MAIL);
+        assert_eq!(status_of(&SmError::Memory), status::PLATFORM);
+        assert_eq!(
+            status_of(&SmError::InvalidState { reason: "r" }),
+            status::INVALID
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Attestation data structures: certificates, evidence, and the report
+//! signed by the signing enclave (paper Section VI-C, Fig. 7).
+
+use crate::measurement::Measurement;
+use sanctorum_crypto::ed25519::{Keypair, PublicKey, Signature};
+use serde::{Deserialize, Serialize};
+
+/// A minimal certificate: an issuer's signature over a subject public key and
+/// free-form subject information.
+///
+/// Two certificates form the chain the paper assumes: the manufacturer
+/// certifies the *device* key (provisioned at manufacture time), and the
+/// device key certifies the *SM attestation* key together with the SM
+/// measurement (produced by the secure-boot flow).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// The certified public key.
+    pub subject_public_key: PublicKey,
+    /// Free-form subject information bound by the signature (e.g. the SM
+    /// measurement, or the device serial number).
+    pub subject_info: Vec<u8>,
+    /// The issuer's public key.
+    pub issuer_public_key: PublicKey,
+    /// The issuer's signature over the payload.
+    pub signature: Signature,
+}
+
+impl Certificate {
+    fn payload(subject: &PublicKey, info: &[u8]) -> Vec<u8> {
+        let mut p = Vec::with_capacity(32 + 8 + info.len() + 24);
+        p.extend_from_slice(b"sanctorum-certificate-v1");
+        p.extend_from_slice(&subject.to_bytes());
+        p.extend_from_slice(&(info.len() as u64).to_le_bytes());
+        p.extend_from_slice(info);
+        p
+    }
+
+    /// Issues a certificate for `subject` with `info`, signed by `issuer`.
+    pub fn issue(issuer: &Keypair, subject: PublicKey, info: Vec<u8>) -> Self {
+        let signature = issuer.sign(&Self::payload(&subject, &info));
+        Self {
+            subject_public_key: subject,
+            subject_info: info,
+            issuer_public_key: *issuer.public(),
+            signature,
+        }
+    }
+
+    /// Verifies the certificate's signature against its embedded issuer key.
+    ///
+    /// Callers must additionally check that the issuer key is one they trust
+    /// (chain validation is the verifier's job).
+    pub fn verify(&self) -> bool {
+        self.issuer_public_key.verify(
+            &Self::payload(&self.subject_public_key, &self.subject_info),
+            &self.signature,
+        )
+    }
+}
+
+/// The report signed by the signing enclave: the attested enclave's
+/// measurement, the verifier's nonce, and enclave-chosen report data (used to
+/// bind the attestation to the key-agreement channel of Fig. 7).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttestationReport {
+    /// Measurement of the attested enclave.
+    pub enclave_measurement: Measurement,
+    /// Verifier-supplied anti-replay nonce.
+    pub nonce: [u8; 32],
+    /// Enclave-chosen binding data (e.g. a hash of its ephemeral DH public
+    /// key).
+    pub report_data: [u8; 32],
+}
+
+impl AttestationReport {
+    /// Serializes the report into the byte string that gets signed.
+    pub fn to_signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 * 3 + 24);
+        out.extend_from_slice(b"sanctorum-attestation-v1");
+        out.extend_from_slice(self.enclave_measurement.as_bytes());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.report_data);
+        out
+    }
+}
+
+/// Complete remote-attestation evidence presented to the verifier
+/// (Fig. 7 steps ⑦–⑧): the signed report plus the certificate chain rooting
+/// trust in the manufacturer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttestationEvidence {
+    /// The report that was signed.
+    pub report: AttestationReport,
+    /// Signature over [`AttestationReport::to_signed_bytes`] by the SM
+    /// attestation key (computed by the signing enclave).
+    pub signature: Signature,
+    /// Certificate binding the SM attestation key to the device key and the
+    /// SM measurement.
+    pub sm_certificate: Certificate,
+    /// Certificate binding the device key to the manufacturer root.
+    pub device_certificate: Certificate,
+}
+
+impl AttestationEvidence {
+    /// Verifies the evidence's internal consistency: both certificates'
+    /// signatures and the report signature under the SM key. Trust in the
+    /// manufacturer root and freshness of the nonce are checked by the
+    /// verifier crate, which knows the expected root key and issued the
+    /// nonce.
+    pub fn verify_signatures(&self) -> bool {
+        self.device_certificate.verify()
+            && self.sm_certificate.verify()
+            && self
+                .sm_certificate
+                .subject_public_key
+                .verify(&self.report.to_signed_bytes(), &self.signature)
+            // The SM certificate must chain to the device key.
+            && self.sm_certificate.issuer_public_key == self.device_certificate.subject_public_key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> (Keypair, Keypair, Keypair) {
+        (
+            Keypair::from_seed([1; 32]), // manufacturer
+            Keypair::from_seed([2; 32]), // device
+            Keypair::from_seed([3; 32]), // sm attestation key
+        )
+    }
+
+    fn evidence() -> AttestationEvidence {
+        let (manufacturer, device, sm) = keys();
+        let device_certificate =
+            Certificate::issue(&manufacturer, *device.public(), b"device-001".to_vec());
+        let sm_certificate = Certificate::issue(&device, *sm.public(), b"sm-measure".to_vec());
+        let report = AttestationReport {
+            enclave_measurement: Measurement([7; 32]),
+            nonce: [8; 32],
+            report_data: [9; 32],
+        };
+        let signature = sm.sign(&report.to_signed_bytes());
+        AttestationEvidence {
+            report,
+            signature,
+            sm_certificate,
+            device_certificate,
+        }
+    }
+
+    #[test]
+    fn certificate_issue_verify_round_trip() {
+        let (manufacturer, device, _) = keys();
+        let cert = Certificate::issue(&manufacturer, *device.public(), b"device-001".to_vec());
+        assert!(cert.verify());
+    }
+
+    #[test]
+    fn tampered_certificate_rejected() {
+        let (manufacturer, device, _) = keys();
+        let mut cert = Certificate::issue(&manufacturer, *device.public(), b"device-001".to_vec());
+        cert.subject_info = b"device-002".to_vec();
+        assert!(!cert.verify());
+    }
+
+    #[test]
+    fn evidence_verifies() {
+        assert!(evidence().verify_signatures());
+    }
+
+    #[test]
+    fn evidence_with_wrong_nonce_fails() {
+        let mut e = evidence();
+        e.report.nonce = [0xaa; 32];
+        assert!(!e.verify_signatures());
+    }
+
+    #[test]
+    fn evidence_with_broken_chain_fails() {
+        let mut e = evidence();
+        // Replace the device certificate with one for an unrelated key.
+        let (manufacturer, _, _) = keys();
+        let stranger = Keypair::from_seed([99; 32]);
+        e.device_certificate =
+            Certificate::issue(&manufacturer, *stranger.public(), b"device-001".to_vec());
+        assert!(!e.verify_signatures());
+    }
+
+    #[test]
+    fn evidence_with_wrong_measurement_fails() {
+        let mut e = evidence();
+        e.report.enclave_measurement = Measurement([0; 32]);
+        assert!(!e.verify_signatures());
+    }
+
+    #[test]
+    fn report_serialization_is_stable() {
+        let r = AttestationReport {
+            enclave_measurement: Measurement([1; 32]),
+            nonce: [2; 32],
+            report_data: [3; 32],
+        };
+        assert_eq!(r.to_signed_bytes(), r.to_signed_bytes());
+        let mut r2 = r.clone();
+        r2.report_data = [4; 32];
+        assert_ne!(r.to_signed_bytes(), r2.to_signed_bytes());
+    }
+}

@@ -1,0 +1,157 @@
+//! Secure boot and SM key derivation (paper Sections IV-A and VI-C,
+//! following the CSF'18 Sanctum boot protocol the paper cites).
+//!
+//! At power-on the measurement root (boot ROM):
+//!
+//! 1. measures the SM binary;
+//! 2. derives the *device key pair* from the device-unique secret;
+//! 3. derives the *SM attestation key pair* from the device secret **and**
+//!    the SM measurement, so a different (possibly malicious) SM binary gets
+//!    a different key that the manufacturer never certified;
+//! 4. signs an SM certificate (SM public key + SM measurement) with the
+//!    device key, and erases the device secret from reach of the SM.
+//!
+//! The manufacturer, who provisioned the device secret, certifies the device
+//! public key offline; that certificate is produced by the verifier crate's
+//! manufacturer CA and handed to the SM as part of its boot image.
+
+use crate::attestation::Certificate;
+use sanctorum_crypto::ed25519::{Keypair, PublicKey};
+use sanctorum_crypto::kdf::hkdf;
+use sanctorum_crypto::sha3::Sha3_256;
+use sanctorum_hal::root::RootOfTrust;
+
+/// The identity material the SM holds after secure boot.
+#[derive(Debug, Clone)]
+pub struct SmIdentity {
+    /// Measurement (SHA3-256) of the SM binary itself.
+    pub sm_measurement: [u8; 32],
+    /// Device serial number.
+    pub device_id: u64,
+    /// The SM's attestation key pair (secret released only to the signing
+    /// enclave).
+    pub attestation_keypair: Keypair,
+    /// The device public key (certified by the manufacturer).
+    pub device_public_key: PublicKey,
+    /// Certificate binding the attestation public key + SM measurement to
+    /// the device key.
+    pub sm_certificate: Certificate,
+}
+
+/// Derives the device key pair from the device secret.
+///
+/// Exposed so the simulated manufacturer database in `sanctorum-verifier`
+/// can reproduce the derivation when issuing device certificates.
+pub fn derive_device_keypair(root: &dyn RootOfTrust) -> Keypair {
+    let seed: [u8; 32] = hkdf(
+        b"sanctorum-device-key-v1",
+        root.device_secret().as_bytes(),
+        &root.device_id().to_le_bytes(),
+    );
+    Keypair::from_seed(seed)
+}
+
+/// Performs the secure-boot derivation for an SM whose binary is `sm_binary`.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_core::boot::secure_boot;
+/// use sanctorum_hal::root::SimulatedRootOfTrust;
+///
+/// let root = SimulatedRootOfTrust::new(42);
+/// let identity = secure_boot(&root, b"security monitor binary image");
+/// assert!(identity.sm_certificate.verify());
+/// ```
+pub fn secure_boot(root: &dyn RootOfTrust, sm_binary: &[u8]) -> SmIdentity {
+    let sm_measurement = Sha3_256::digest(sm_binary);
+
+    let device_keypair = derive_device_keypair(root);
+
+    // The attestation key is bound to both the device and the SM measurement:
+    // patching the SM changes its measurement and therefore its key.
+    let mut info = Vec::with_capacity(40);
+    info.extend_from_slice(&root.device_id().to_le_bytes());
+    info.extend_from_slice(&sm_measurement);
+    let attestation_seed: [u8; 32] = hkdf(
+        b"sanctorum-sm-attestation-key-v1",
+        root.device_secret().as_bytes(),
+        &info,
+    );
+    let attestation_keypair = Keypair::from_seed(attestation_seed);
+
+    let sm_certificate = Certificate::issue(
+        &device_keypair,
+        *attestation_keypair.public(),
+        sm_measurement.to_vec(),
+    );
+
+    SmIdentity {
+        sm_measurement,
+        device_id: root.device_id(),
+        attestation_keypair,
+        device_public_key: *device_keypair.public(),
+        sm_certificate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_hal::root::SimulatedRootOfTrust;
+
+    #[test]
+    fn boot_is_deterministic_per_device_and_binary() {
+        let root = SimulatedRootOfTrust::new(7);
+        let a = secure_boot(&root, b"sm v1");
+        let b = secure_boot(&root, b"sm v1");
+        assert_eq!(
+            a.attestation_keypair.public().to_bytes(),
+            b.attestation_keypair.public().to_bytes()
+        );
+        assert_eq!(a.sm_measurement, b.sm_measurement);
+    }
+
+    #[test]
+    fn different_sm_binaries_get_different_keys() {
+        let root = SimulatedRootOfTrust::new(7);
+        let a = secure_boot(&root, b"sm v1");
+        let b = secure_boot(&root, b"sm v1 (patched)");
+        assert_ne!(a.sm_measurement, b.sm_measurement);
+        assert_ne!(
+            a.attestation_keypair.public().to_bytes(),
+            b.attestation_keypair.public().to_bytes()
+        );
+        // Both are certified by the same device key.
+        assert_eq!(a.device_public_key, b.device_public_key);
+    }
+
+    #[test]
+    fn different_devices_get_different_keys_for_same_binary() {
+        let a = secure_boot(&SimulatedRootOfTrust::new(1), b"sm v1");
+        let b = secure_boot(&SimulatedRootOfTrust::new(2), b"sm v1");
+        assert_eq!(a.sm_measurement, b.sm_measurement);
+        assert_ne!(a.device_public_key, b.device_public_key);
+        assert_ne!(
+            a.attestation_keypair.public().to_bytes(),
+            b.attestation_keypair.public().to_bytes()
+        );
+    }
+
+    #[test]
+    fn sm_certificate_chains_to_device_key() {
+        let root = SimulatedRootOfTrust::new(3);
+        let identity = secure_boot(&root, b"sm");
+        assert!(identity.sm_certificate.verify());
+        assert_eq!(identity.sm_certificate.issuer_public_key, identity.device_public_key);
+        assert_eq!(identity.sm_certificate.subject_info, identity.sm_measurement.to_vec());
+    }
+
+    #[test]
+    fn device_keypair_derivation_matches_manufacturer_view() {
+        let root = SimulatedRootOfTrust::new(9);
+        let at_boot = derive_device_keypair(&root);
+        let at_factory = derive_device_keypair(&root);
+        assert_eq!(at_boot.public().to_bytes(), at_factory.public().to_bytes());
+    }
+}

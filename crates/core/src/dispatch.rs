@@ -1,0 +1,252 @@
+//! Event dispatch: the paper's Fig. 1 decision flow.
+//!
+//! Every machine event — interrupt, fault or SM API environment call — lands
+//! in the monitor first. The monitor authenticates the caller from the hart
+//! state it configured itself, validates the request against the security
+//! policy, and either performs the API call, delegates a fault to the
+//! enclave's own handler, or performs an asynchronous enclave exit (AEX) and
+//! delegates the event to the OS.
+
+use crate::api::{status, status_of, SmCall};
+use crate::error::SmError;
+use crate::monitor::{PublicField, SecurityMonitor};
+use sanctorum_hal::addr::PhysAddr;
+use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
+use sanctorum_hal::perm::MemPerms;
+use sanctorum_machine::guest::{REG_A0, REG_A1};
+use sanctorum_machine::trap::TrapCause;
+
+/// The monitor's decision about an event (the exit arcs of Fig. 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventOutcome {
+    /// The event belongs to the OS. If it arrived while an enclave occupied
+    /// the core, an AEX was performed first and `aex_performed` is set.
+    DelegateToOs {
+        /// The original trap cause to forward to the OS handler.
+        cause: TrapCause,
+        /// Whether an asynchronous enclave exit was performed.
+        aex_performed: bool,
+    },
+    /// A synchronous fault is delegated to the enclave's registered fault
+    /// handler; the hart stays inside the enclave with `pc = handler_pc`.
+    DelegateToEnclave {
+        /// The handler entry point installed on the hart.
+        handler_pc: u64,
+    },
+    /// An SM API call was processed; the status/value registers have been
+    /// written back into the hart (unless the call switched context).
+    SmCallDone {
+        /// Status code (see [`crate::api::status`]).
+        status: u64,
+        /// Call-specific return value.
+        value: u64,
+    },
+    /// The event was an environment call that did not decode to a known SM
+    /// call; it is treated as an illegal call and reported to the caller.
+    IllegalCall,
+}
+
+impl SecurityMonitor {
+    /// Handles a machine event on `core` (Fig. 1).
+    ///
+    /// The hart's `pending_trap` should already describe the event (the
+    /// simulator sets it when `run_guest` stops); `cause` is passed
+    /// explicitly so the harness can also inject events.
+    pub fn handle_event(&self, core: CoreId, cause: TrapCause) -> EventOutcome {
+        let domain = self.machine().hart(core).domain;
+        match cause {
+            TrapCause::EnvironmentCall => self.handle_ecall(core, domain),
+            TrapCause::Interrupt(_) => {
+                // The OS is always able to de-schedule an enclave by
+                // interrupting it; the SM interposes to clean the core first.
+                if domain.is_enclave() {
+                    let _ = self.asynchronous_enclave_exit(core);
+                    EventOutcome::DelegateToOs { cause, aex_performed: true }
+                } else {
+                    EventOutcome::DelegateToOs { cause, aex_performed: false }
+                }
+            }
+            TrapCause::PageFault { .. }
+            | TrapCause::IllegalInstruction
+            | TrapCause::IsolationFault { .. } => {
+                if let DomainKind::Enclave(_) = domain {
+                    // Enclaves may register fault handlers for synchronous
+                    // exceptions (demand paging inside evrange, emulation).
+                    if cause.enclave_handleable() {
+                        if let Some(tid) = self.thread_on_core(core) {
+                            if let Ok(info) = self.thread_info(tid) {
+                                if let Some(handler) = info.fault_handler_pc {
+                                    let mut hart = self.machine().hart(core);
+                                    hart.pc = handler;
+                                    hart.pending_trap = None;
+                                    return EventOutcome::DelegateToEnclave {
+                                        handler_pc: handler,
+                                    };
+                                }
+                            }
+                        }
+                    }
+                    // No handler: the enclave cannot make progress; perform
+                    // an AEX and let the OS decide what to do with it.
+                    let _ = self.asynchronous_enclave_exit(core);
+                    EventOutcome::DelegateToOs { cause, aex_performed: true }
+                } else {
+                    EventOutcome::DelegateToOs { cause, aex_performed: false }
+                }
+            }
+        }
+    }
+
+    fn read_args(&self, core: CoreId) -> [u64; 6] {
+        let hart = self.machine().hart(core);
+        [
+            hart.regs[10], hart.regs[11], hart.regs[12], hart.regs[13], hart.regs[14],
+            hart.regs[15],
+        ]
+    }
+
+    fn write_result(&self, core: CoreId, status_code: u64, value: u64) {
+        let mut hart = self.machine().hart(core);
+        hart.regs[REG_A0 as usize] = status_code;
+        hart.regs[REG_A1 as usize] = value;
+        hart.pending_trap = None;
+    }
+
+    fn handle_ecall(&self, core: CoreId, caller: DomainKind) -> EventOutcome {
+        let args = self.read_args(core);
+        let call = match SmCall::decode(&args) {
+            Ok(call) => call,
+            Err(_) => {
+                self.write_result(core, status::INVALID, 0);
+                return EventOutcome::IllegalCall;
+            }
+        };
+
+        // Context-switching calls manage the hart themselves; everything else
+        // writes (status, value) back to the caller's registers.
+        let context_switches = matches!(call, SmCall::EnterEnclave { .. } | SmCall::ExitEnclave);
+        let result: Result<u64, SmError> = self.perform_call(core, caller, call);
+        match result {
+            Ok(value) => {
+                if !context_switches {
+                    self.write_result(core, status::OK, value);
+                }
+                EventOutcome::SmCallDone { status: status::OK, value }
+            }
+            Err(err) => {
+                let code = status_of(&err);
+                self.write_result(core, code, 0);
+                EventOutcome::SmCallDone { status: code, value: 0 }
+            }
+        }
+    }
+
+    fn perform_call(
+        &self,
+        core: CoreId,
+        caller: DomainKind,
+        call: SmCall,
+    ) -> Result<u64, SmError> {
+        match call {
+            SmCall::CreateEnclave { evrange_base, evrange_len, region } => self
+                .create_enclave(caller, evrange_base, evrange_len, &[region])
+                .map(|eid| eid.as_u64()),
+            SmCall::AllocatePageTable { eid } => {
+                self.allocate_page_table(caller, eid).map(|root| root.as_u64())
+            }
+            SmCall::LoadPage { eid, vaddr, src, perms } => {
+                self.load_page(caller, eid, vaddr, src, perms).map(|p| p.as_u64())
+            }
+            SmCall::LoadThread { eid, entry_pc } => {
+                self.load_thread(caller, eid, entry_pc, None)
+            }
+            SmCall::InitEnclave { eid } => {
+                self.init_enclave(caller, eid).map(|_| 0)
+            }
+            SmCall::DeleteEnclave { eid } => self.delete_enclave(caller, eid).map(|_| 0),
+            SmCall::EnterEnclave { eid, tid } => self
+                .enter_enclave(caller, eid, tid, core)
+                .map(|entry| entry.entry_pc),
+            SmCall::ExitEnclave => self.exit_enclave(caller, core).map(|c| c.count()),
+            SmCall::BlockRegion { region } => self
+                .block_resource(caller, crate::resource::ResourceId::Region(region))
+                .map(|_| 0),
+            SmCall::CleanRegion { region } => self
+                .clean_resource(caller, crate::resource::ResourceId::Region(region))
+                .map(|c| c.count()),
+            SmCall::GrantRegion { region, owner_eid } => {
+                let owner = if owner_eid == 0 {
+                    DomainKind::Untrusted
+                } else {
+                    DomainKind::Enclave(EnclaveId::new(owner_eid))
+                };
+                self.grant_resource(caller, crate::resource::ResourceId::Region(region), owner)
+                    .map(|_| 0)
+            }
+            SmCall::AcceptMail { mailbox, sender_id } => self
+                .accept_mail(caller, mailbox as usize, sender_id)
+                .map(|_| 0),
+            SmCall::SendMail { recipient, msg_addr, msg_len } => {
+                if msg_len as usize > crate::mailbox::MAX_MAIL_LEN {
+                    return Err(SmError::InvalidArgument { reason: "mail message too large" });
+                }
+                // The caller must itself be able to read the message buffer.
+                if !self.machine().check_access(caller, msg_addr, MemPerms::READ) {
+                    return Err(SmError::Unauthorized);
+                }
+                let mut buf = vec![0u8; msg_len as usize];
+                self.machine().phys_read(msg_addr, &mut buf)?;
+                self.send_mail(caller, recipient, &buf).map(|_| 0)
+            }
+            SmCall::GetMail { mailbox, out_addr, out_len } => {
+                if !self.machine().check_access(caller, out_addr, MemPerms::WRITE) {
+                    return Err(SmError::Unauthorized);
+                }
+                let (message, _sender) = self.get_mail(caller, mailbox as usize)?;
+                if message.len() as u64 > out_len {
+                    return Err(SmError::InvalidArgument { reason: "output buffer too small" });
+                }
+                self.machine().phys_write(out_addr, &message)?;
+                Ok(message.len() as u64)
+            }
+            SmCall::GetField { field } => {
+                let field = match field {
+                    0 => PublicField::AttestationPublicKey,
+                    1 => PublicField::SmCertificate,
+                    2 => PublicField::DevicePublicKey,
+                    3 => PublicField::SmMeasurement,
+                    _ => return Err(SmError::InvalidArgument { reason: "unknown field" }),
+                };
+                Ok(self.get_field(field).len() as u64)
+            }
+        }
+    }
+
+    /// Helper for callers driving the register ABI: writes an [`SmCall`] into
+    /// the argument registers of `core` so the next `Ecall` guest op invokes
+    /// it.
+    pub fn stage_call(&self, core: CoreId, call: &SmCall) {
+        let encoded = call.encode();
+        let mut hart = self.machine().hart(core);
+        for (i, value) in encoded.iter().enumerate() {
+            hart.regs[10 + i] = *value;
+        }
+    }
+
+    /// Helper reading back the (status, value) pair after an API ecall.
+    pub fn read_call_result(&self, core: CoreId) -> (u64, u64) {
+        let hart = self.machine().hart(core);
+        (hart.regs[REG_A0 as usize], hart.regs[REG_A1 as usize])
+    }
+
+    /// Convenience: copies `data` into untrusted physical memory at `addr`
+    /// (test/bench helper for staging mail buffers through the ABI).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the destination is outside populated memory.
+    pub fn stage_untrusted_buffer(&self, addr: PhysAddr, data: &[u8]) -> Result<(), SmError> {
+        self.machine().phys_write(addr, data)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,308 @@
+//! Enclave metadata and lifecycle (paper Section V-C, Fig. 3).
+
+use crate::error::{SmError, SmResult};
+use crate::mailbox::Mailbox;
+use crate::measurement::{Measurement, MeasurementContext};
+use sanctorum_hal::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
+use sanctorum_hal::domain::EnclaveId;
+use sanctorum_hal::isolation::RegionId;
+use std::collections::BTreeSet;
+
+/// Number of mailboxes allocated per enclave.
+pub const MAILBOXES_PER_ENCLAVE: usize = 4;
+
+/// Lifecycle states of an enclave (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnclaveLifecycle {
+    /// Created; the OS may still load page tables, pages and threads.
+    Loading,
+    /// Sealed by `init_enclave`; threads may be scheduled, no further
+    /// modification through the API is possible.
+    Initialized,
+}
+
+/// A contiguous physical memory window granted to the enclave (the pages of
+/// one granted region, tracked for the bump allocator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysWindow {
+    /// The platform region backing this window.
+    pub region: RegionId,
+    /// Base physical address.
+    pub base: PhysAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// Per-enclave metadata held in SM-owned memory.
+///
+/// The paper stores this structure at a physical address which doubles as the
+/// enclave id; the reproduction keeps that convention by deriving
+/// [`EnclaveId`] from the base address of the enclave's first granted region.
+#[derive(Debug, Clone)]
+pub struct EnclaveMeta {
+    /// The enclave's identifier.
+    pub id: EnclaveId,
+    /// Lifecycle state.
+    pub lifecycle: EnclaveLifecycle,
+    /// Base of the enclave virtual range.
+    pub evrange_base: VirtAddr,
+    /// Length of the enclave virtual range in bytes.
+    pub evrange_len: u64,
+    /// Physical windows granted to the enclave, in ascending base order.
+    pub windows: Vec<PhysWindow>,
+    /// Root of the enclave-private page table (the first allocated page).
+    pub page_table_root: Option<PhysAddr>,
+    /// Reserved, still-unused page-table pages (allocated by
+    /// `allocate_page_table`, consumed as `load_page` builds mappings).
+    pub pt_pool: Vec<PhysAddr>,
+    /// Next physical page the bump allocator will hand out.
+    pub next_free_page: PhysAddr,
+    /// Whether a data page has been loaded yet (page-table pages must all be
+    /// allocated before the first data page — paper Section VI-A).
+    pub data_loading_started: bool,
+    /// Virtual pages already mapped (enforces an injective mapping).
+    pub mapped_vpns: BTreeSet<u64>,
+    /// In-progress measurement while `Loading`.
+    pub measurement_ctx: Option<MeasurementContext>,
+    /// Final measurement once `Initialized`.
+    pub measurement: Option<Measurement>,
+    /// Threads belonging to this enclave.
+    pub threads: Vec<u64>,
+    /// Mailboxes for local attestation.
+    pub mailboxes: Vec<Mailbox>,
+    /// Number of threads currently running on cores.
+    pub running_threads: usize,
+}
+
+impl EnclaveMeta {
+    /// Creates metadata for a new enclave in the `Loading` state.
+    ///
+    /// `windows` must be sorted by base address and non-empty; the caller
+    /// (the monitor) has already validated ownership of the regions.
+    pub fn new(
+        id: EnclaveId,
+        evrange_base: VirtAddr,
+        evrange_len: u64,
+        windows: Vec<PhysWindow>,
+        measurement_ctx: MeasurementContext,
+    ) -> Self {
+        let next_free_page = windows.first().map(|w| w.base).unwrap_or(PhysAddr::new(0));
+        Self {
+            id,
+            lifecycle: EnclaveLifecycle::Loading,
+            evrange_base,
+            evrange_len,
+            windows,
+            page_table_root: None,
+            pt_pool: Vec::new(),
+            next_free_page,
+            data_loading_started: false,
+            mapped_vpns: BTreeSet::new(),
+            measurement_ctx: Some(measurement_ctx),
+            measurement: None,
+            threads: Vec::new(),
+            mailboxes: (0..MAILBOXES_PER_ENCLAVE).map(|_| Mailbox::new()).collect(),
+            running_threads: 0,
+        }
+    }
+
+    /// Returns `true` if `vaddr` lies inside the enclave virtual range.
+    pub fn in_evrange(&self, vaddr: VirtAddr) -> bool {
+        vaddr.in_range(self.evrange_base, self.evrange_len)
+    }
+
+    /// Returns `true` if `paddr` lies inside one of the granted windows.
+    pub fn owns_phys(&self, paddr: PhysAddr) -> bool {
+        self.windows.iter().any(|w| {
+            paddr.as_u64() >= w.base.as_u64() && paddr.as_u64() < w.base.as_u64() + w.len
+        })
+    }
+
+    /// Total physical bytes granted.
+    pub fn phys_capacity(&self) -> u64 {
+        self.windows.iter().map(|w| w.len).sum()
+    }
+
+    /// Allocates the next physical page in ascending order (the bump
+    /// allocator that realizes the paper's monotonic-order invariant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmError::OutOfResources`] if the enclave's granted memory is
+    /// exhausted.
+    pub fn alloc_next_page(&mut self) -> SmResult<PhysAddr> {
+        let current = self.next_free_page;
+        // Find the window containing `current`.
+        let window_index = self
+            .windows
+            .iter()
+            .position(|w| {
+                current.as_u64() >= w.base.as_u64() && current.as_u64() < w.base.as_u64() + w.len
+            })
+            .ok_or(SmError::OutOfResources {
+                resource: "enclave physical pages",
+            })?;
+        let window = self.windows[window_index];
+        let next = current.offset(PAGE_SIZE as u64);
+        self.next_free_page = if next.as_u64() < window.base.as_u64() + window.len {
+            next
+        } else if let Some(next_window) = self.windows.get(window_index + 1) {
+            next_window.base
+        } else {
+            // Point one past the end; the next allocation will fail.
+            next
+        };
+        Ok(current)
+    }
+
+    /// Records that `vpn` has been mapped, enforcing injectivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the virtual page is already mapped.
+    pub fn record_mapping(&mut self, vaddr: VirtAddr) -> SmResult<()> {
+        if !self.mapped_vpns.insert(vaddr.page_number().index()) {
+            return Err(SmError::InvalidArgument {
+                reason: "virtual page already mapped (aliasing forbidden)",
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns the number of physical pages consumed so far.
+    pub fn pages_consumed(&self) -> u64 {
+        let mut consumed = 0;
+        for w in &self.windows {
+            if self.next_free_page.as_u64() >= w.base.as_u64() + w.len {
+                consumed += w.len / PAGE_SIZE as u64;
+            } else if self.next_free_page.as_u64() > w.base.as_u64() {
+                consumed += (self.next_free_page.as_u64() - w.base.as_u64()) / PAGE_SIZE as u64;
+            }
+        }
+        consumed
+    }
+
+    /// Returns the finalized measurement.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the enclave has not been initialized yet.
+    pub fn measurement(&self) -> SmResult<Measurement> {
+        self.measurement.ok_or(SmError::InvalidState {
+            reason: "enclave not yet initialized",
+        })
+    }
+
+    /// Requires the enclave to be in the `Loading` state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmError::InvalidState`] otherwise.
+    pub fn require_loading(&self) -> SmResult<()> {
+        if self.lifecycle == EnclaveLifecycle::Loading {
+            Ok(())
+        } else {
+            Err(SmError::InvalidState {
+                reason: "enclave is already initialized",
+            })
+        }
+    }
+
+    /// Requires the enclave to be in the `Initialized` state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmError::InvalidState`] otherwise.
+    pub fn require_initialized(&self) -> SmResult<()> {
+        if self.lifecycle == EnclaveLifecycle::Initialized {
+            Ok(())
+        } else {
+            Err(SmError::InvalidState {
+                reason: "enclave is still loading",
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> EnclaveMeta {
+        let ctx = MeasurementContext::start(&[0; 32], VirtAddr::new(0x10000), 0x8000);
+        EnclaveMeta::new(
+            EnclaveId::new(0x8010_0000),
+            VirtAddr::new(0x10000),
+            0x8000,
+            vec![
+                PhysWindow {
+                    region: RegionId::new(1),
+                    base: PhysAddr::new(0x8010_0000),
+                    len: 2 * PAGE_SIZE as u64,
+                },
+                PhysWindow {
+                    region: RegionId::new(2),
+                    base: PhysAddr::new(0x8020_0000),
+                    len: PAGE_SIZE as u64,
+                },
+            ],
+            ctx,
+        )
+    }
+
+    #[test]
+    fn bump_allocator_is_monotonic_across_windows() {
+        let mut m = meta();
+        let p1 = m.alloc_next_page().unwrap();
+        let p2 = m.alloc_next_page().unwrap();
+        let p3 = m.alloc_next_page().unwrap();
+        assert_eq!(p1, PhysAddr::new(0x8010_0000));
+        assert_eq!(p2, PhysAddr::new(0x8010_1000));
+        assert_eq!(p3, PhysAddr::new(0x8020_0000));
+        assert!(p1 < p2 && p2 < p3, "allocation order must be ascending");
+        assert!(matches!(
+            m.alloc_next_page(),
+            Err(SmError::OutOfResources { .. })
+        ));
+        assert_eq!(m.pages_consumed(), 3);
+    }
+
+    #[test]
+    fn evrange_and_ownership_checks() {
+        let m = meta();
+        assert!(m.in_evrange(VirtAddr::new(0x10000)));
+        assert!(m.in_evrange(VirtAddr::new(0x17fff)));
+        assert!(!m.in_evrange(VirtAddr::new(0x18000)));
+        assert!(m.owns_phys(PhysAddr::new(0x8010_1fff)));
+        assert!(!m.owns_phys(PhysAddr::new(0x8010_2000)));
+        assert!(m.owns_phys(PhysAddr::new(0x8020_0000)));
+        assert_eq!(m.phys_capacity(), 3 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn aliasing_rejected() {
+        let mut m = meta();
+        m.record_mapping(VirtAddr::new(0x10000)).unwrap();
+        assert!(m.record_mapping(VirtAddr::new(0x10008)).is_err());
+        m.record_mapping(VirtAddr::new(0x11000)).unwrap();
+    }
+
+    #[test]
+    fn lifecycle_guards() {
+        let mut m = meta();
+        m.require_loading().unwrap();
+        assert!(m.require_initialized().is_err());
+        assert!(m.measurement().is_err());
+        m.lifecycle = EnclaveLifecycle::Initialized;
+        m.measurement = Some(Measurement([9; 32]));
+        m.require_initialized().unwrap();
+        assert!(m.require_loading().is_err());
+        assert_eq!(m.measurement().unwrap(), Measurement([9; 32]));
+    }
+
+    #[test]
+    fn mailboxes_preallocated() {
+        let m = meta();
+        assert_eq!(m.mailboxes.len(), MAILBOXES_PER_ENCLAVE);
+    }
+}

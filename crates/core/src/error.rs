@@ -1,0 +1,133 @@
+//! Error type returned by every security-monitor API call.
+
+use sanctorum_hal::domain::EnclaveId;
+use sanctorum_hal::isolation::IsolationError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors returned by the SM API.
+///
+/// The variants mirror the outcome classes of the paper's Fig. 1 decision
+/// flow: a call can be *unauthorized* (the caller is not allowed to make it),
+/// *illegal* (arguments or current state forbid it), or fail because of a
+/// *concurrent transaction* on the same object; platform and memory failures
+/// surface the underlying cause.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmError {
+    /// The caller is not permitted to make this call (e.g. an enclave calling
+    /// an OS-only API, or a non-signing enclave requesting the attestation
+    /// key).
+    Unauthorized,
+    /// The referenced enclave does not exist.
+    UnknownEnclave(EnclaveId),
+    /// The referenced thread does not exist.
+    UnknownThread(u64),
+    /// The object exists but is in the wrong lifecycle state for this call.
+    InvalidState {
+        /// Human-readable description of the violated precondition.
+        reason: &'static str,
+    },
+    /// Arguments are malformed (unaligned addresses, zero-length ranges,
+    /// out-of-range indices, oversized payloads).
+    InvalidArgument {
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+    /// Pages must be loaded in monotonically increasing physical order so the
+    /// virtual-to-physical mapping is provably injective (paper Section VI-A).
+    MeasurementOrderViolation,
+    /// The referenced machine resource does not exist.
+    UnknownResource,
+    /// The resource state machine forbids this transition (paper Fig. 2).
+    ResourceStateViolation {
+        /// Human-readable description of the violated transition.
+        reason: &'static str,
+    },
+    /// The platform has run out of an isolation resource (metadata slots,
+    /// PMP entries, mailboxes, threads).
+    OutOfResources {
+        /// Name of the exhausted resource.
+        resource: &'static str,
+    },
+    /// Another SM API transaction holds the lock on the target object;
+    /// the caller should retry (paper Section V-A).
+    ConcurrentCall,
+    /// The destination mailbox has not accepted mail from this sender.
+    MailNotAccepted,
+    /// The mailbox is empty (nothing to get) or full (cannot send).
+    MailboxUnavailable,
+    /// The isolation backend rejected a request.
+    Platform(IsolationError),
+    /// A physical memory access failed (address outside populated DRAM).
+    Memory,
+}
+
+impl fmt::Display for SmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmError::Unauthorized => write!(f, "caller not authorized for this call"),
+            SmError::UnknownEnclave(id) => write!(f, "unknown {id}"),
+            SmError::UnknownThread(tid) => write!(f, "unknown thread {tid:#x}"),
+            SmError::InvalidState { reason } => write!(f, "invalid state: {reason}"),
+            SmError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+            SmError::MeasurementOrderViolation => {
+                write!(f, "pages must be loaded in ascending physical order")
+            }
+            SmError::UnknownResource => write!(f, "unknown machine resource"),
+            SmError::ResourceStateViolation { reason } => {
+                write!(f, "resource state violation: {reason}")
+            }
+            SmError::OutOfResources { resource } => write!(f, "out of {resource}"),
+            SmError::ConcurrentCall => write!(f, "concurrent transaction on this object"),
+            SmError::MailNotAccepted => write!(f, "recipient has not accepted mail from sender"),
+            SmError::MailboxUnavailable => write!(f, "mailbox empty or full"),
+            SmError::Platform(e) => write!(f, "platform error: {e}"),
+            SmError::Memory => write!(f, "physical memory access failed"),
+        }
+    }
+}
+
+impl std::error::Error for SmError {}
+
+impl From<IsolationError> for SmError {
+    fn from(e: IsolationError) -> Self {
+        SmError::Platform(e)
+    }
+}
+
+impl From<sanctorum_machine::machine::MachineError> for SmError {
+    fn from(_: sanctorum_machine::machine::MachineError) -> Self {
+        SmError::Memory
+    }
+}
+
+/// Result alias for SM API calls.
+pub type SmResult<T> = Result<T, SmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_hal::isolation::RegionId;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(
+            format!("{}", SmError::Unauthorized),
+            "caller not authorized for this call"
+        );
+        assert!(format!("{}", SmError::UnknownEnclave(EnclaveId::new(0x80))).contains("0x80"));
+        assert!(format!(
+            "{}",
+            SmError::Platform(IsolationError::UnknownRegion(RegionId::new(2)))
+        )
+        .contains("region2"));
+        assert!(format!("{}", SmError::OutOfResources { resource: "mailboxes" })
+            .contains("mailboxes"));
+    }
+
+    #[test]
+    fn isolation_error_converts() {
+        let e: SmError = IsolationError::ResourceExhausted { resource: "pmp entries" }.into();
+        assert!(matches!(e, SmError::Platform(_)));
+    }
+}

@@ -1,0 +1,224 @@
+//! SM-mediated mailboxes for local attestation (paper Section VI-B, Fig. 5).
+//!
+//! Each enclave's metadata contains a small array of mailboxes. A recipient
+//! must first signal intent to receive from a specific sender
+//! (`accept_mail`); the sender (another enclave or the OS) can then deposit
+//! one message (`send_mail`), which the SM tags with the sender's
+//! measurement; the recipient retrieves it with `get_mail`. Because the SM is
+//! trusted and mediates every step, the sender identity needs no
+//! cryptographic proof — this is the basis of local attestation (Fig. 6).
+
+use crate::error::{SmError, SmResult};
+use crate::measurement::Measurement;
+use serde::{Deserialize, Serialize};
+
+/// Maximum message size in bytes (one cache line short of a page, mirroring
+/// the small fixed-size mail buffers of the Sanctum implementation).
+pub const MAX_MAIL_LEN: usize = 1024;
+
+/// Identity of a mail sender as recorded by the SM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SenderIdentity {
+    /// The untrusted OS (which has no measurement).
+    Untrusted,
+    /// An enclave, identified by its measurement.
+    Enclave(Measurement),
+}
+
+/// The state of one mailbox (paper Fig. 5 plus the explicit "accepted"
+/// intermediate required to thwart denial of service by unsolicited senders).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MailboxState {
+    /// Not expecting mail.
+    Idle,
+    /// `accept_mail` was called: waiting for mail from the named sender.
+    Accepting {
+        /// The sender the recipient is willing to receive from.
+        expected_sender: u64,
+    },
+    /// A message is waiting to be fetched.
+    Full {
+        /// Sender identity recorded by the SM.
+        sender: SenderIdentity,
+        /// Raw sender id (enclave id value or 0 for the OS).
+        sender_id: u64,
+        /// The message payload.
+        message: Vec<u8>,
+    },
+}
+
+/// One mailbox.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mailbox {
+    state: MailboxState,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mailbox {
+    /// Creates an idle mailbox.
+    pub fn new() -> Self {
+        Self {
+            state: MailboxState::Idle,
+        }
+    }
+
+    /// Returns the current state.
+    pub fn state(&self) -> &MailboxState {
+        &self.state
+    }
+
+    /// `accept_mail`: the recipient signals intent to receive from
+    /// `expected_sender`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a message is already waiting (it must be fetched first).
+    pub fn accept(&mut self, expected_sender: u64) -> SmResult<()> {
+        match &self.state {
+            MailboxState::Full { .. } => Err(SmError::MailboxUnavailable),
+            _ => {
+                self.state = MailboxState::Accepting { expected_sender };
+                Ok(())
+            }
+        }
+    }
+
+    /// `send_mail`: deposits a message from `sender_id` with the SM-recorded
+    /// `sender` identity.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the recipient has not accepted mail from this sender, if a
+    /// message is already waiting, or if the message is too large.
+    pub fn send(
+        &mut self,
+        sender_id: u64,
+        sender: SenderIdentity,
+        message: &[u8],
+    ) -> SmResult<()> {
+        if message.len() > MAX_MAIL_LEN {
+            return Err(SmError::InvalidArgument {
+                reason: "mail message too large",
+            });
+        }
+        match &self.state {
+            MailboxState::Accepting { expected_sender } if *expected_sender == sender_id => {
+                self.state = MailboxState::Full {
+                    sender,
+                    sender_id,
+                    message: message.to_vec(),
+                };
+                Ok(())
+            }
+            MailboxState::Accepting { .. } => Err(SmError::MailNotAccepted),
+            MailboxState::Idle => Err(SmError::MailNotAccepted),
+            MailboxState::Full { .. } => Err(SmError::MailboxUnavailable),
+        }
+    }
+
+    /// `get_mail`: the recipient fetches the waiting message, returning the
+    /// payload and the SM-recorded sender identity. The mailbox returns to
+    /// idle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no message is waiting.
+    pub fn get(&mut self) -> SmResult<(Vec<u8>, SenderIdentity)> {
+        match std::mem::replace(&mut self.state, MailboxState::Idle) {
+            MailboxState::Full { sender, message, .. } => Ok((message, sender)),
+            other => {
+                self.state = other;
+                Err(SmError::MailboxUnavailable)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(byte: u8) -> Measurement {
+        Measurement([byte; 32])
+    }
+
+    #[test]
+    fn accept_send_get_round_trip() {
+        let mut mb = Mailbox::new();
+        mb.accept(42).unwrap();
+        mb.send(42, SenderIdentity::Enclave(measurement(1)), b"hello").unwrap();
+        let (msg, sender) = mb.get().unwrap();
+        assert_eq!(msg, b"hello");
+        assert_eq!(sender, SenderIdentity::Enclave(measurement(1)));
+        assert_eq!(*mb.state(), MailboxState::Idle);
+    }
+
+    #[test]
+    fn unsolicited_send_rejected() {
+        let mut mb = Mailbox::new();
+        assert_eq!(
+            mb.send(42, SenderIdentity::Untrusted, b"spam"),
+            Err(SmError::MailNotAccepted)
+        );
+        mb.accept(42).unwrap();
+        // Wrong sender id also rejected (denial-of-service protection).
+        assert_eq!(
+            mb.send(43, SenderIdentity::Untrusted, b"spam"),
+            Err(SmError::MailNotAccepted)
+        );
+    }
+
+    #[test]
+    fn double_send_rejected_until_fetched() {
+        let mut mb = Mailbox::new();
+        mb.accept(1).unwrap();
+        mb.send(1, SenderIdentity::Untrusted, b"first").unwrap();
+        assert_eq!(
+            mb.send(1, SenderIdentity::Untrusted, b"second"),
+            Err(SmError::MailboxUnavailable)
+        );
+        // accept while full is also rejected.
+        assert_eq!(mb.accept(1), Err(SmError::MailboxUnavailable));
+        let (msg, _) = mb.get().unwrap();
+        assert_eq!(msg, b"first");
+    }
+
+    #[test]
+    fn get_on_empty_fails_and_preserves_state() {
+        let mut mb = Mailbox::new();
+        assert_eq!(mb.get(), Err(SmError::MailboxUnavailable));
+        mb.accept(7).unwrap();
+        assert_eq!(mb.get(), Err(SmError::MailboxUnavailable));
+        assert_eq!(*mb.state(), MailboxState::Accepting { expected_sender: 7 });
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let mut mb = Mailbox::new();
+        mb.accept(1).unwrap();
+        let big = vec![0u8; MAX_MAIL_LEN + 1];
+        assert!(matches!(
+            mb.send(1, SenderIdentity::Untrusted, &big),
+            Err(SmError::InvalidArgument { .. })
+        ));
+        let exact = vec![0u8; MAX_MAIL_LEN];
+        mb.send(1, SenderIdentity::Untrusted, &exact).unwrap();
+    }
+
+    #[test]
+    fn re_accept_changes_expected_sender() {
+        let mut mb = Mailbox::new();
+        mb.accept(1).unwrap();
+        mb.accept(2).unwrap();
+        assert_eq!(
+            mb.send(1, SenderIdentity::Untrusted, b"old sender"),
+            Err(SmError::MailNotAccepted)
+        );
+        mb.send(2, SenderIdentity::Untrusted, b"new sender").unwrap();
+    }
+}

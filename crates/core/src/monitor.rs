@@ -1,0 +1,1177 @@
+//! The security monitor: authorization, state machines and resource
+//! enforcement behind every SM API call (paper Section V).
+
+use crate::boot::SmIdentity;
+use crate::enclave::{EnclaveLifecycle, EnclaveMeta, PhysWindow};
+use crate::error::{SmError, SmResult};
+use crate::mailbox::SenderIdentity;
+use crate::measurement::{Measurement, MeasurementContext};
+use crate::resource::{ResourceId, ResourceMap, ResourceState};
+use crate::thread::{ThreadId, ThreadMeta, ThreadState};
+use parking_lot::Mutex;
+use sanctorum_hal::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
+use sanctorum_hal::cycles::Cycles;
+use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
+use sanctorum_hal::isolation::{FlushKind, IsolationBackend, RegionId};
+use sanctorum_hal::perm::MemPerms;
+use sanctorum_machine::hart::PrivilegeLevel;
+use sanctorum_machine::pagetable::PageTableBuilder;
+use sanctorum_machine::Machine;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How the monitor serializes concurrent API transactions (paper Section V-A;
+/// the global variant exists for the locking ablation study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockingMode {
+    /// Per-object try-locks: concurrent transactions on the same object fail
+    /// with [`SmError::ConcurrentCall`] and must be retried; transactions on
+    /// different objects proceed in parallel.
+    FineGrained,
+    /// A single monitor-wide lock serializes every API call (the baseline the
+    /// fine-grained design is compared against).
+    Global,
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone)]
+pub struct SmConfig {
+    /// Locking strategy for API transactions.
+    pub locking: LockingMode,
+    /// Maximum number of live enclaves (metadata slots).
+    pub max_enclaves: usize,
+    /// Maximum number of live threads.
+    pub max_threads: usize,
+    /// Measurement of the trusted signing enclave (paper Section VI-C). Only
+    /// an enclave with exactly this measurement may retrieve the attestation
+    /// key.
+    pub signing_enclave_measurement: Option<Measurement>,
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        Self {
+            locking: LockingMode::FineGrained,
+            max_enclaves: 32,
+            max_threads: 128,
+            signing_enclave_measurement: None,
+        }
+    }
+}
+
+/// Public, non-secret fields readable through `get_field`
+/// (paper Section VI-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublicField {
+    /// The SM's attestation public key.
+    AttestationPublicKey,
+    /// The SM certificate (signed by the device key).
+    SmCertificate,
+    /// The device public key.
+    DevicePublicKey,
+    /// The SM measurement taken at secure boot.
+    SmMeasurement,
+}
+
+/// Counters the benchmark harness reads.
+#[derive(Debug, Default)]
+pub struct SmStats {
+    /// Total API calls accepted (authorized and validated).
+    pub api_calls: AtomicU64,
+    /// API calls rejected for any reason.
+    pub api_rejections: AtomicU64,
+    /// Asynchronous enclave exits performed.
+    pub aex_count: AtomicU64,
+    /// Concurrent-transaction failures returned.
+    pub concurrency_failures: AtomicU64,
+    /// Cycles spent cleaning resources (flushes, zeroing, shootdowns).
+    pub cleaning_cycles: AtomicU64,
+}
+
+/// Entry disposition returned by [`SecurityMonitor::enter_enclave`]: where
+/// the thread should start executing and whether an AEX state is pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnclaveEntry {
+    /// Program counter the hart was set to.
+    pub entry_pc: u64,
+    /// Whether a saved AEX state exists (the enclave may resume from it).
+    pub aex_pending: bool,
+    /// Cycles charged for the entry (context install + flushes).
+    pub cost: Cycles,
+}
+
+struct SmState {
+    resources: Mutex<ResourceMap>,
+    enclaves: Mutex<BTreeMap<EnclaveId, Arc<Mutex<EnclaveMeta>>>>,
+    threads: Mutex<BTreeMap<ThreadId, Arc<Mutex<ThreadMeta>>>>,
+    /// Which enclave thread currently occupies each core.
+    core_occupancy: Mutex<BTreeMap<CoreId, ThreadId>>,
+    next_tid: AtomicU64,
+}
+
+/// The Sanctorum security monitor.
+///
+/// All API methods take `&self` and an explicit `caller` identity; in the
+/// full simulation the caller is derived from the hart state by the event
+/// dispatcher (Fig. 1), while unit tests and the OS model may call the
+/// methods directly.
+pub struct SecurityMonitor {
+    machine: Arc<Machine>,
+    backend: Mutex<Box<dyn IsolationBackend + Send>>,
+    identity: SmIdentity,
+    config: SmConfig,
+    state: SmState,
+    global_lock: Mutex<()>,
+    stats: SmStats,
+}
+
+impl std::fmt::Debug for SecurityMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SecurityMonitor {{ platform: {}, enclaves: {} }}",
+            self.backend.lock().platform_name(),
+            self.state.enclaves.lock().len()
+        )
+    }
+}
+
+impl SecurityMonitor {
+    /// Creates a monitor over `machine` using `backend` for isolation.
+    ///
+    /// All cores and all platform memory units start out owned by the
+    /// untrusted OS except the units the backend has already reserved for
+    /// the SM itself.
+    pub fn new(
+        machine: Arc<Machine>,
+        backend: Box<dyn IsolationBackend + Send>,
+        identity: SmIdentity,
+        config: SmConfig,
+    ) -> Self {
+        let mut resources = ResourceMap::new();
+        for i in 0..machine.num_harts() {
+            resources.register(
+                ResourceId::Core(CoreId::new(i as u32)),
+                ResourceState::Owned(DomainKind::Untrusted),
+            );
+        }
+        for info in backend.regions() {
+            let owner = backend
+                .region_owner(info.id)
+                .unwrap_or(DomainKind::Untrusted);
+            resources.register(ResourceId::Region(info.id), ResourceState::Owned(owner));
+        }
+        Self {
+            machine,
+            backend: Mutex::new(backend),
+            identity,
+            config,
+            state: SmState {
+                resources: Mutex::new(resources),
+                enclaves: Mutex::new(BTreeMap::new()),
+                threads: Mutex::new(BTreeMap::new()),
+                core_occupancy: Mutex::new(BTreeMap::new()),
+                next_tid: AtomicU64::new(0x1000),
+            },
+            global_lock: Mutex::new(()),
+            stats: SmStats::default(),
+        }
+    }
+
+    /// Returns the monitor's boot identity (public parts are also available
+    /// through [`SecurityMonitor::get_field`]).
+    pub fn identity(&self) -> &SmIdentity {
+        &self.identity
+    }
+
+    /// Returns the shared machine handle.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Returns monitor statistics.
+    pub fn stats(&self) -> &SmStats {
+        &self.stats
+    }
+
+    /// Returns the configured locking mode.
+    pub fn locking_mode(&self) -> LockingMode {
+        self.config.locking
+    }
+
+    /// Returns the platform name reported by the isolation backend.
+    pub fn platform_name(&self) -> &'static str {
+        self.backend.lock().platform_name()
+    }
+
+    // ------------------------------------------------------------------
+    // locking helpers
+    // ------------------------------------------------------------------
+
+    fn with_global_lock<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.config.locking {
+            LockingMode::Global => {
+                let _guard = self.global_lock.lock();
+                f()
+            }
+            LockingMode::FineGrained => f(),
+        }
+    }
+
+    fn lock_enclave(&self, eid: EnclaveId) -> SmResult<Arc<Mutex<EnclaveMeta>>> {
+        self.state
+            .enclaves
+            .lock()
+            .get(&eid)
+            .cloned()
+            .ok_or(SmError::UnknownEnclave(eid))
+    }
+
+    fn lock_thread(&self, tid: ThreadId) -> SmResult<Arc<Mutex<ThreadMeta>>> {
+        self.state
+            .threads
+            .lock()
+            .get(&tid)
+            .cloned()
+            .ok_or(SmError::UnknownThread(tid))
+    }
+
+    /// Acquires an object lock following the configured locking discipline.
+    fn try_lock<'a, T>(&self, mutex: &'a Mutex<T>) -> SmResult<parking_lot::MutexGuard<'a, T>> {
+        match self.config.locking {
+            LockingMode::FineGrained => mutex.try_lock().ok_or_else(|| {
+                self.stats.concurrency_failures.fetch_add(1, Ordering::Relaxed);
+                SmError::ConcurrentCall
+            }),
+            LockingMode::Global => Ok(mutex.lock()),
+        }
+    }
+
+    fn record_call<T>(&self, result: SmResult<T>) -> SmResult<T> {
+        match &result {
+            Ok(_) => {
+                self.stats.api_calls.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stats.api_rejections.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    fn require_os(caller: DomainKind) -> SmResult<()> {
+        if caller == DomainKind::Untrusted {
+            Ok(())
+        } else {
+            Err(SmError::Unauthorized)
+        }
+    }
+
+    fn require_enclave(caller: DomainKind) -> SmResult<EnclaveId> {
+        caller.enclave_id().ok_or(SmError::Unauthorized)
+    }
+
+    // ------------------------------------------------------------------
+    // enclave lifecycle (Fig. 3)
+    // ------------------------------------------------------------------
+
+    /// `create_enclave`: the OS dedicates a set of *available* memory units
+    /// to a new enclave with virtual range `[evrange_base, +evrange_len)`.
+    ///
+    /// Returns the new enclave id (the base physical address of its first
+    /// memory unit, following the paper's metadata-address convention).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the caller is not the OS, the arguments are malformed, any
+    /// region is not available, or the enclave limit is reached.
+    pub fn create_enclave(
+        &self,
+        caller: DomainKind,
+        evrange_base: VirtAddr,
+        evrange_len: u64,
+        regions: &[RegionId],
+    ) -> SmResult<EnclaveId> {
+        self.record_call(self.with_global_lock(|| {
+            Self::require_os(caller)?;
+            if !evrange_base.is_page_aligned()
+                || evrange_len == 0
+                || evrange_len % PAGE_SIZE as u64 != 0
+            {
+                return Err(SmError::InvalidArgument {
+                    reason: "evrange must be page aligned and non-empty",
+                });
+            }
+            if regions.is_empty() {
+                return Err(SmError::InvalidArgument {
+                    reason: "at least one memory region is required",
+                });
+            }
+            if self.state.enclaves.lock().len() >= self.config.max_enclaves {
+                return Err(SmError::OutOfResources {
+                    resource: "enclave metadata slots",
+                });
+            }
+
+            let mut resources = self.try_lock(&self.state.resources)?;
+            // All regions must be available before anything is mutated.
+            for region in regions {
+                match resources.state(ResourceId::Region(*region))? {
+                    ResourceState::Available => {}
+                    _ => {
+                        return Err(SmError::ResourceStateViolation {
+                            reason: "region must be available to dedicate to a new enclave",
+                        })
+                    }
+                }
+            }
+
+            let mut backend = self.backend.lock();
+            let mut windows: Vec<PhysWindow> = Vec::with_capacity(regions.len());
+            for region in regions {
+                let info = backend
+                    .regions()
+                    .into_iter()
+                    .find(|r| r.id == *region)
+                    .ok_or(SmError::UnknownResource)?;
+                windows.push(PhysWindow {
+                    region: *region,
+                    base: info.base,
+                    len: info.len,
+                });
+            }
+            windows.sort_by_key(|w| w.base);
+            let eid = EnclaveId::new(windows[0].base.as_u64());
+            if self.state.enclaves.lock().contains_key(&eid) {
+                return Err(SmError::InvalidState {
+                    reason: "an enclave already uses this memory",
+                });
+            }
+
+            // Commit: transfer regions and program the isolation primitive.
+            for (region, window) in regions.iter().zip(&windows) {
+                resources.grant(
+                    DomainKind::SecurityMonitor,
+                    ResourceId::Region(*region),
+                    DomainKind::Enclave(eid),
+                )?;
+                let cost = backend.assign_region(
+                    window.region,
+                    DomainKind::Enclave(eid),
+                    MemPerms::RWX,
+                )?;
+                self.machine.charge(cost);
+                backend.set_dma_blocked(window.region, true)?;
+            }
+
+            let ctx = MeasurementContext::start(
+                &self.identity.sm_measurement,
+                evrange_base,
+                evrange_len,
+            );
+            let meta = EnclaveMeta::new(eid, evrange_base, evrange_len, windows, ctx);
+            self.state
+                .enclaves
+                .lock()
+                .insert(eid, Arc::new(Mutex::new(meta)));
+            Ok(eid)
+        }))
+    }
+
+    /// `allocate_page_table`: reserves (and zeroes) every page-table page the
+    /// enclave's virtual range will need, at the base of its physical memory,
+    /// and records the allocation in the measurement.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the caller is the OS and the enclave is still loading.
+    pub fn allocate_page_table(&self, caller: DomainKind, eid: EnclaveId) -> SmResult<PhysAddr> {
+        self.record_call(self.with_global_lock(|| {
+            Self::require_os(caller)?;
+            let enclave = self.lock_enclave(eid)?;
+            let mut meta = self.try_lock(&enclave)?;
+            meta.require_loading()?;
+            if meta.page_table_root.is_some() {
+                return Err(SmError::InvalidState {
+                    reason: "page tables already allocated",
+                });
+            }
+            let pages_needed = PageTableBuilder::table_pages_needed(
+                meta.evrange_base.page_number(),
+                meta.evrange_len / PAGE_SIZE as u64,
+            );
+            let mut table_pages = Vec::with_capacity(pages_needed as usize);
+            for _ in 0..pages_needed {
+                let page = meta.alloc_next_page()?;
+                self.machine.zero_page(page)?;
+                table_pages.push(page);
+            }
+            let root = table_pages[0];
+            meta.page_table_root = Some(root);
+            if let Some(ctx) = meta.measurement_ctx.as_mut() {
+                for (level, _) in table_pages.iter().enumerate() {
+                    ctx.extend_page_table(level.min(255) as u8);
+                }
+            }
+            // The remaining reserved pages back the intermediate tables that
+            // `load_page` wires up on demand. Reverse so `pop` hands them out
+            // in ascending physical order.
+            let mut pool: Vec<PhysAddr> = table_pages[1..].to_vec();
+            pool.reverse();
+            meta.pt_pool = pool;
+            Ok(root)
+        }))
+    }
+
+    /// `load_page`: copies one page of initial content from untrusted memory
+    /// at `src` into the enclave at virtual address `vaddr`, mapping it with
+    /// `perms` and extending the measurement. Destination pages are assigned
+    /// in strictly ascending physical order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad alignment, addresses outside `evrange`, aliased virtual
+    /// pages, exhausted enclave memory, a source page the OS cannot read, or
+    /// a missing page-table allocation.
+    pub fn load_page(
+        &self,
+        caller: DomainKind,
+        eid: EnclaveId,
+        vaddr: VirtAddr,
+        src: PhysAddr,
+        perms: MemPerms,
+    ) -> SmResult<PhysAddr> {
+        self.record_call(self.with_global_lock(|| {
+            Self::require_os(caller)?;
+            let enclave = self.lock_enclave(eid)?;
+            let mut meta = self.try_lock(&enclave)?;
+            meta.require_loading()?;
+            if !vaddr.is_page_aligned() || !src.is_page_aligned() {
+                return Err(SmError::InvalidArgument {
+                    reason: "addresses must be page aligned",
+                });
+            }
+            if !meta.in_evrange(vaddr) {
+                return Err(SmError::InvalidArgument {
+                    reason: "virtual address outside evrange",
+                });
+            }
+            if perms.is_none() {
+                return Err(SmError::InvalidArgument {
+                    reason: "a loaded page needs at least one permission",
+                });
+            }
+            let root = meta.page_table_root.ok_or(SmError::InvalidState {
+                reason: "page tables must be allocated before loading pages",
+            })?;
+            // The source must be memory the OS could legitimately read.
+            if !self.machine.check_access(DomainKind::Untrusted, src, MemPerms::READ) {
+                return Err(SmError::Unauthorized);
+            }
+            meta.record_mapping(vaddr)?;
+            let dst = meta.alloc_next_page()?;
+            meta.data_loading_started = true;
+
+            // Copy contents and build the mapping inside enclave memory.
+            let mut contents = vec![0u8; PAGE_SIZE];
+            self.machine.phys_read(src, &mut contents)?;
+            self.machine.phys_write(dst, &contents)?;
+            self.machine.charge(self.machine.cost_model().zero_page);
+
+            let mut pt_pool = std::mem::take(&mut meta.pt_pool);
+            let map_result = self.machine.with_memory_mut(|mem| {
+                let mut builder = PageTableBuilder::new(root);
+                builder
+                    .map(mem, vaddr.page_number(), dst.page_number(), perms, || pt_pool.pop())
+                    .map_err(|_| SmError::InvalidState {
+                        reason: "page-table pages exhausted for this mapping",
+                    })
+            });
+            meta.pt_pool = pt_pool;
+            map_result?;
+
+            if let Some(ctx) = meta.measurement_ctx.as_mut() {
+                ctx.extend_page(vaddr, &contents);
+                self.machine
+                    .charge(self.machine.cost_model().hash_block.scaled((PAGE_SIZE / 64) as u64));
+            }
+            Ok(dst)
+        }))
+    }
+
+    /// `load_thread`: creates an enclave thread with the given entry point
+    /// while the enclave is loading; the thread is implicitly accepted.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the caller is the OS, the enclave is loading, and the
+    /// entry point lies inside `evrange`.
+    pub fn load_thread(
+        &self,
+        caller: DomainKind,
+        eid: EnclaveId,
+        entry_pc: u64,
+        fault_handler_pc: Option<u64>,
+    ) -> SmResult<ThreadId> {
+        self.record_call(self.with_global_lock(|| {
+            Self::require_os(caller)?;
+            let enclave = self.lock_enclave(eid)?;
+            let mut meta = self.try_lock(&enclave)?;
+            meta.require_loading()?;
+            if self.state.threads.lock().len() >= self.config.max_threads {
+                return Err(SmError::OutOfResources {
+                    resource: "thread metadata slots",
+                });
+            }
+            let tid = self.state.next_tid.fetch_add(1, Ordering::Relaxed);
+            let thread = ThreadMeta::loaded(tid, eid, entry_pc, fault_handler_pc);
+            self.state
+                .threads
+                .lock()
+                .insert(tid, Arc::new(Mutex::new(thread)));
+            meta.threads.push(tid);
+            if let Some(ctx) = meta.measurement_ctx.as_mut() {
+                ctx.extend_thread(entry_pc, fault_handler_pc);
+            }
+            Ok(tid)
+        }))
+    }
+
+    /// `init_enclave`: seals the enclave, finalizing its measurement; from
+    /// now on the API refuses further modification and threads may be
+    /// scheduled.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the caller is the OS and the enclave is loading with at
+    /// least one thread and its page tables allocated.
+    pub fn init_enclave(&self, caller: DomainKind, eid: EnclaveId) -> SmResult<Measurement> {
+        self.record_call(self.with_global_lock(|| {
+            Self::require_os(caller)?;
+            let enclave = self.lock_enclave(eid)?;
+            let mut meta = self.try_lock(&enclave)?;
+            meta.require_loading()?;
+            if meta.page_table_root.is_none() {
+                return Err(SmError::InvalidState {
+                    reason: "enclave has no page tables",
+                });
+            }
+            if meta.threads.is_empty() {
+                return Err(SmError::InvalidState {
+                    reason: "enclave has no threads",
+                });
+            }
+            let ctx = meta.measurement_ctx.take().ok_or(SmError::InvalidState {
+                reason: "measurement context missing",
+            })?;
+            let measurement = ctx.finalize();
+            meta.measurement = Some(measurement);
+            meta.lifecycle = EnclaveLifecycle::Initialized;
+            Ok(measurement)
+        }))
+    }
+
+    /// `delete_enclave`: destroys an enclave whose threads are all stopped,
+    /// blocking every resource it owned so the OS can clean and re-use them.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the caller is the OS and no thread of the enclave is
+    /// currently running.
+    pub fn delete_enclave(&self, caller: DomainKind, eid: EnclaveId) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            Self::require_os(caller)?;
+            let enclave = self.lock_enclave(eid)?;
+            let owned_tids: Vec<ThreadId> = {
+                let meta = self.try_lock(&enclave)?;
+                if meta.running_threads > 0 {
+                    return Err(SmError::InvalidState {
+                        reason: "enclave has running threads",
+                    });
+                }
+                let threads = self.state.threads.lock();
+                for tid in &meta.threads {
+                    if let Some(thread) = threads.get(tid) {
+                        if matches!(thread.lock().state, ThreadState::Running { .. }) {
+                            return Err(SmError::InvalidState {
+                                reason: "enclave has running threads",
+                            });
+                        }
+                    }
+                }
+                meta.threads.clone()
+            };
+            // The enclave's thread metadata lives in SM memory on its behalf;
+            // destroying the enclave reclaims those slots.
+            {
+                let mut threads = self.state.threads.lock();
+                for tid in owned_tids {
+                    threads.remove(&tid);
+                }
+            }
+            // Block all of the enclave's regions (they stay inaccessible to
+            // everyone until cleaned).
+            let mut resources = self.try_lock(&self.state.resources)?;
+            let owned = resources.owned_by(DomainKind::Enclave(eid));
+            for rid in owned {
+                resources.block(DomainKind::SecurityMonitor, rid)?;
+            }
+            self.state.enclaves.lock().remove(&eid);
+            Ok(())
+        }))
+    }
+
+    /// Returns the measurement of an initialized enclave (not secret; used by
+    /// the OS to report identities and by local attestation tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the enclave does not exist or is not initialized.
+    pub fn enclave_measurement(&self, eid: EnclaveId) -> SmResult<Measurement> {
+        let enclave = self.lock_enclave(eid)?;
+        let meta = enclave.lock();
+        meta.measurement()
+    }
+
+    /// Returns the ids of all live enclaves (diagnostic).
+    pub fn enclaves(&self) -> Vec<EnclaveId> {
+        self.state.enclaves.lock().keys().copied().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // resource API (Fig. 2)
+    // ------------------------------------------------------------------
+
+    /// `block_resource`: flags a resource for release (callable by its owner
+    /// or, transitively, by the SM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the state-machine and authorization errors of
+    /// [`ResourceMap::block`].
+    pub fn block_resource(&self, caller: DomainKind, id: ResourceId) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            let mut resources = self.try_lock(&self.state.resources)?;
+            resources.block(caller, id)
+        }))
+    }
+
+    /// `clean_resource`: scrubs a blocked resource (zeroing memory, flushing
+    /// caches and TLBs, or cleaning a core) and marks it available.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the caller is the OS and the resource is blocked.
+    pub fn clean_resource(&self, caller: DomainKind, id: ResourceId) -> SmResult<Cycles> {
+        self.record_call(self.with_global_lock(|| {
+            let mut resources = self.try_lock(&self.state.resources)?;
+            // Validate the transition first (without committing).
+            match resources.state(id)? {
+                ResourceState::Blocked(_) => {}
+                _ => {
+                    return Err(SmError::ResourceStateViolation {
+                        reason: "resource must be blocked before cleaning",
+                    })
+                }
+            }
+            if caller != DomainKind::Untrusted && caller != DomainKind::SecurityMonitor {
+                return Err(SmError::Unauthorized);
+            }
+
+            let mut cost = Cycles::ZERO;
+            match id {
+                ResourceId::Core(core) => {
+                    cost += self.machine.clean_core(core)?;
+                    let mut backend = self.backend.lock();
+                    cost += backend.flush(core, FlushKind::CoreState)?;
+                    cost += backend.flush(core, FlushKind::PrivateCaches)?;
+                }
+                ResourceId::Region(region) => {
+                    let mut backend = self.backend.lock();
+                    let info = backend
+                        .regions()
+                        .into_iter()
+                        .find(|r| r.id == region)
+                        .ok_or(SmError::UnknownResource)?;
+                    // Zero every page of the region.
+                    for page in 0..info.page_count() {
+                        self.machine
+                            .zero_page(info.base.offset(page * PAGE_SIZE as u64))?;
+                        cost += self.machine.cost_model().zero_page;
+                    }
+                    cost += backend.flush_region_cache(region)?;
+                    cost += backend.tlb_shootdown(region)?;
+                    self.machine.tlb_shootdown(info.base, info.len);
+                }
+            }
+            self.stats
+                .cleaning_cycles
+                .fetch_add(cost.count(), Ordering::Relaxed);
+            resources.clean(caller, id)?;
+            Ok(cost)
+        }))
+    }
+
+    /// `grant_resource`: gives an available resource to a new owner and
+    /// reprograms the isolation primitive accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the caller is the OS and the resource is available.
+    pub fn grant_resource(
+        &self,
+        caller: DomainKind,
+        id: ResourceId,
+        new_owner: DomainKind,
+    ) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            if new_owner == DomainKind::SecurityMonitor {
+                return Err(SmError::InvalidArgument {
+                    reason: "resources cannot be granted to the SM through this call",
+                });
+            }
+            let mut resources = self.try_lock(&self.state.resources)?;
+            resources.grant(caller, id, new_owner)?;
+            if let ResourceId::Region(region) = id {
+                let mut backend = self.backend.lock();
+                let perms = if new_owner == DomainKind::Untrusted {
+                    MemPerms::RWX
+                } else {
+                    MemPerms::RWX
+                };
+                let cost = backend.assign_region(region, new_owner, perms)?;
+                backend.set_dma_blocked(region, new_owner != DomainKind::Untrusted)?;
+                self.machine.charge(cost);
+            }
+            Ok(())
+        }))
+    }
+
+    /// Returns the current state of a resource (diagnostic / test helper).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the resource is unknown.
+    pub fn resource_state(&self, id: ResourceId) -> SmResult<ResourceState> {
+        self.state.resources.lock().state(id)
+    }
+
+    // ------------------------------------------------------------------
+    // thread scheduling (Fig. 4) and AEX
+    // ------------------------------------------------------------------
+
+    /// `enter_enclave`: schedules enclave thread `tid` onto `core`. The
+    /// calling OS loses the core until the enclave exits or is interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the caller is the OS, the enclave is initialized, the
+    /// thread belongs to it and is accepted, and the core is not already
+    /// running an enclave.
+    pub fn enter_enclave(
+        &self,
+        caller: DomainKind,
+        eid: EnclaveId,
+        tid: ThreadId,
+        core: CoreId,
+    ) -> SmResult<EnclaveEntry> {
+        self.record_call(self.with_global_lock(|| {
+            Self::require_os(caller)?;
+            if !self.machine.has_hart(core) {
+                return Err(SmError::InvalidArgument {
+                    reason: "no such core",
+                });
+            }
+            let enclave = self.lock_enclave(eid)?;
+            let thread = self.lock_thread(tid)?;
+            let mut meta = self.try_lock(&enclave)?;
+            meta.require_initialized()?;
+            let mut t = self.try_lock(&thread)?;
+            {
+                let mut occupancy = self.state.core_occupancy.lock();
+                if occupancy.contains_key(&core) {
+                    return Err(SmError::InvalidState {
+                        reason: "core already runs an enclave thread",
+                    });
+                }
+                t.start_running(eid, core)?;
+                occupancy.insert(core, tid);
+            }
+            meta.running_threads += 1;
+
+            let mut cost = Cycles::ZERO;
+            // Clean whatever the OS left on the core before handing it to the
+            // enclave (the reverse hand-off is the AEX path).
+            cost += self.machine.clean_core(core)?;
+            {
+                let mut backend = self.backend.lock();
+                cost += backend.flush(core, FlushKind::CoreState)?;
+                cost += backend.flush(core, FlushKind::PrivateCaches)?;
+            }
+
+            let (entry_pc, aex_pending) = if let Some(snapshot) = t.aex_state.as_ref() {
+                // Re-entry after an AEX: restore the saved state.
+                let mut hart = self.machine.hart(core);
+                hart.restore(snapshot);
+                hart.domain = DomainKind::Enclave(eid);
+                hart.privilege = PrivilegeLevel::User;
+                hart.pending_trap = None;
+                (snapshot.pc, true)
+            } else {
+                self.machine.install_context(
+                    core,
+                    DomainKind::Enclave(eid),
+                    PrivilegeLevel::User,
+                    meta.page_table_root,
+                    t.entry_pc,
+                );
+                (t.entry_pc, false)
+            };
+            t.aex_state = None;
+            t.aex_pending = false;
+            cost += self.machine.cost_model().trap_return;
+            self.machine.charge(cost);
+            Ok(EnclaveEntry {
+                entry_pc,
+                aex_pending,
+                cost,
+            })
+        }))
+    }
+
+    /// `exit_enclave`: voluntary exit by the enclave running on `core`. The
+    /// SM cleans the core and returns it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the caller is the enclave actually running on `core`.
+    pub fn exit_enclave(&self, caller: DomainKind, core: CoreId) -> SmResult<Cycles> {
+        self.record_call(self.with_global_lock(|| {
+            let eid = Self::require_enclave(caller)?;
+            let tid = *self
+                .state
+                .core_occupancy
+                .lock()
+                .get(&core)
+                .ok_or(SmError::InvalidState {
+                    reason: "no enclave thread runs on this core",
+                })?;
+            let thread = self.lock_thread(tid)?;
+            let mut t = self.try_lock(&thread)?;
+            let (owner, _) = t.stop_running()?;
+            if owner != eid {
+                // Should be unreachable: the caller identity comes from the
+                // hart, which the SM itself configured.
+                return Err(SmError::Unauthorized);
+            }
+            self.state.core_occupancy.lock().remove(&core);
+            if let Ok(enclave) = self.lock_enclave(eid) {
+                let mut meta = enclave.lock();
+                meta.running_threads = meta.running_threads.saturating_sub(1);
+            }
+            let cost = self.clean_core_for_handoff(core)?;
+            Ok(cost)
+        }))
+    }
+
+    /// Asynchronous enclave exit: invoked by the event dispatcher when an
+    /// interrupt or unhandled fault arrives while an enclave occupies `core`.
+    /// Saves the thread's state, cleans the core and returns it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no enclave thread occupies the core.
+    pub fn asynchronous_enclave_exit(&self, core: CoreId) -> SmResult<Cycles> {
+        let result = self.with_global_lock(|| {
+            let tid = *self
+                .state
+                .core_occupancy
+                .lock()
+                .get(&core)
+                .ok_or(SmError::InvalidState {
+                    reason: "no enclave thread runs on this core",
+                })?;
+            let thread = self.lock_thread(tid)?;
+            let mut t = self.try_lock(&thread)?;
+            // Save the enclave's architected state before anything is wiped.
+            let snapshot = self.machine.hart(core).snapshot();
+            t.aex_state = Some(snapshot);
+            t.aex_pending = true;
+            let (eid, _) = t.stop_running()?;
+            self.state.core_occupancy.lock().remove(&core);
+            if let Ok(enclave) = self.lock_enclave(eid) {
+                let mut meta = enclave.lock();
+                meta.running_threads = meta.running_threads.saturating_sub(1);
+            }
+            let cost = self.clean_core_for_handoff(core)?;
+            self.stats.aex_count.fetch_add(1, Ordering::Relaxed);
+            Ok(cost)
+        });
+        self.record_call(result)
+    }
+
+    fn clean_core_for_handoff(&self, core: CoreId) -> SmResult<Cycles> {
+        let mut cost = Cycles::ZERO;
+        cost += self.machine.clean_core(core)?;
+        {
+            let mut backend = self.backend.lock();
+            cost += backend.flush(core, FlushKind::CoreState)?;
+            cost += backend.flush(core, FlushKind::PrivateCaches)?;
+        }
+        self.machine
+            .install_context(core, DomainKind::Untrusted, PrivilegeLevel::Supervisor, None, 0);
+        self.stats
+            .cleaning_cycles
+            .fetch_add(cost.count(), Ordering::Relaxed);
+        Ok(cost)
+    }
+
+    /// Returns the thread currently occupying `core`, if any.
+    pub fn thread_on_core(&self, core: CoreId) -> Option<ThreadId> {
+        self.state.core_occupancy.lock().get(&core).copied()
+    }
+
+    /// Returns a thread's metadata snapshot (test/diagnostic helper).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread does not exist.
+    pub fn thread_info(&self, tid: ThreadId) -> SmResult<ThreadMeta> {
+        Ok(self.lock_thread(tid)?.lock().clone())
+    }
+
+    /// `assign_thread`: binds an available thread to an enclave (OS call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread state-machine errors.
+    pub fn assign_thread(&self, caller: DomainKind, eid: EnclaveId, tid: ThreadId) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            Self::require_os(caller)?;
+            let _ = self.lock_enclave(eid)?;
+            let thread = self.lock_thread(tid)?;
+            let mut t = self.try_lock(&thread)?;
+            t.assign(eid)
+        }))
+    }
+
+    /// `accept_thread`: the enclave accepts a thread previously assigned to
+    /// it by the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread state-machine errors.
+    pub fn accept_thread(&self, caller: DomainKind, tid: ThreadId) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            let eid = Self::require_enclave(caller)?;
+            let thread = self.lock_thread(tid)?;
+            let mut t = self.try_lock(&thread)?;
+            t.accept(eid)?;
+            if let Ok(enclave) = self.lock_enclave(eid) {
+                enclave.lock().threads.push(tid);
+            }
+            Ok(())
+        }))
+    }
+
+    /// `release_thread`: the enclave gives a thread back to the OS pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread state-machine errors.
+    pub fn release_thread(&self, caller: DomainKind, tid: ThreadId) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            let eid = Self::require_enclave(caller)?;
+            let thread = self.lock_thread(tid)?;
+            let mut t = self.try_lock(&thread)?;
+            t.release(eid)?;
+            if let Ok(enclave) = self.lock_enclave(eid) {
+                enclave.lock().threads.retain(|&x| x != tid);
+            }
+            Ok(())
+        }))
+    }
+
+    /// `create_thread`: the OS creates an unassigned thread metadata slot.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the caller is not the OS or the thread limit is reached.
+    pub fn create_thread(&self, caller: DomainKind, entry_pc: u64) -> SmResult<ThreadId> {
+        self.record_call(self.with_global_lock(|| {
+            Self::require_os(caller)?;
+            if self.state.threads.lock().len() >= self.config.max_threads {
+                return Err(SmError::OutOfResources {
+                    resource: "thread metadata slots",
+                });
+            }
+            let tid = self.state.next_tid.fetch_add(1, Ordering::Relaxed);
+            self.state
+                .threads
+                .lock()
+                .insert(tid, Arc::new(Mutex::new(ThreadMeta::available(tid, entry_pc))));
+            Ok(tid)
+        }))
+    }
+
+    /// `delete_thread`: removes an available thread's metadata (OS call).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread is assigned or running.
+    pub fn delete_thread(&self, caller: DomainKind, tid: ThreadId) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            Self::require_os(caller)?;
+            let thread = self.lock_thread(tid)?;
+            {
+                let t = self.try_lock(&thread)?;
+                if t.state != ThreadState::Available {
+                    return Err(SmError::InvalidState {
+                        reason: "only available threads can be deleted",
+                    });
+                }
+            }
+            self.state.threads.lock().remove(&tid);
+            Ok(())
+        }))
+    }
+
+    // ------------------------------------------------------------------
+    // mailboxes and attestation (Figs. 5–7)
+    // ------------------------------------------------------------------
+
+    /// `accept_mail`: the calling enclave's mailbox `mailbox` will accept one
+    /// message from `sender_id` (an enclave id value, or 0 for the OS).
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-enclave callers, unknown mailboxes, or a full mailbox.
+    pub fn accept_mail(&self, caller: DomainKind, mailbox: usize, sender_id: u64) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            let eid = Self::require_enclave(caller)?;
+            let enclave = self.lock_enclave(eid)?;
+            let mut meta = self.try_lock(&enclave)?;
+            let mb = meta
+                .mailboxes
+                .get_mut(mailbox)
+                .ok_or(SmError::InvalidArgument { reason: "no such mailbox" })?;
+            mb.accept(sender_id)
+        }))
+    }
+
+    /// `send_mail`: sends `message` to `recipient`, tagged with the sender's
+    /// identity (the sender's measurement for enclaves, or "untrusted" for
+    /// the OS). The message lands in the first mailbox accepting this sender.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no mailbox of the recipient is accepting mail from this
+    /// sender, or the message is oversized.
+    pub fn send_mail(
+        &self,
+        caller: DomainKind,
+        recipient: EnclaveId,
+        message: &[u8],
+    ) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            let (sender_id, sender_identity) = match caller {
+                DomainKind::Untrusted => (0u64, SenderIdentity::Untrusted),
+                DomainKind::Enclave(eid) => {
+                    let m = self.enclave_measurement(eid)?;
+                    (eid.as_u64(), SenderIdentity::Enclave(m))
+                }
+                DomainKind::SecurityMonitor => return Err(SmError::Unauthorized),
+            };
+            let enclave = self.lock_enclave(recipient)?;
+            let mut meta = self.try_lock(&enclave)?;
+            let mut last_err = SmError::MailNotAccepted;
+            for mb in meta.mailboxes.iter_mut() {
+                match mb.send(sender_id, sender_identity.clone(), message) {
+                    Ok(()) => return Ok(()),
+                    Err(e) => last_err = e,
+                }
+            }
+            Err(last_err)
+        }))
+    }
+
+    /// `get_mail`: the calling enclave fetches the message waiting in
+    /// `mailbox`, together with the SM-recorded sender identity.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-enclave callers, unknown mailboxes, or empty mailboxes.
+    pub fn get_mail(
+        &self,
+        caller: DomainKind,
+        mailbox: usize,
+    ) -> SmResult<(Vec<u8>, SenderIdentity)> {
+        self.record_call(self.with_global_lock(|| {
+            let eid = Self::require_enclave(caller)?;
+            let enclave = self.lock_enclave(eid)?;
+            let mut meta = self.try_lock(&enclave)?;
+            let mb = meta
+                .mailboxes
+                .get_mut(mailbox)
+                .ok_or(SmError::InvalidArgument { reason: "no such mailbox" })?;
+            mb.get()
+        }))
+    }
+
+    /// `get_attestation_key`: releases the SM's attestation signing seed to
+    /// the trusted signing enclave (paper Section VI-C). The caller's
+    /// measurement must match the hard-coded signing-enclave measurement.
+    ///
+    /// # Errors
+    ///
+    /// Fails for any caller other than an initialized enclave whose
+    /// measurement equals the configured signing-enclave measurement.
+    pub fn get_attestation_key(&self, caller: DomainKind) -> SmResult<[u8; 32]> {
+        self.record_call(self.with_global_lock(|| {
+            let eid = Self::require_enclave(caller)?;
+            let expected = self
+                .config
+                .signing_enclave_measurement
+                .ok_or(SmError::InvalidState {
+                    reason: "no signing enclave configured",
+                })?;
+            let actual = self.enclave_measurement(eid)?;
+            if !actual.ct_eq(&expected) {
+                return Err(SmError::Unauthorized);
+            }
+            Ok(*self.identity.attestation_keypair.secret().seed())
+        }))
+    }
+
+    /// `get_field`: returns public identity material (certificates, public
+    /// keys, the SM measurement). Available to every caller.
+    pub fn get_field(&self, field: PublicField) -> Vec<u8> {
+        match field {
+            PublicField::AttestationPublicKey => {
+                self.identity.attestation_keypair.public().to_bytes().to_vec()
+            }
+            PublicField::DevicePublicKey => self.identity.device_public_key.to_bytes().to_vec(),
+            PublicField::SmMeasurement => self.identity.sm_measurement.to_vec(),
+            PublicField::SmCertificate => {
+                // A compact, self-describing encoding: subject key ‖ info len ‖
+                // info ‖ issuer key ‖ signature.
+                let cert = &self.identity.sm_certificate;
+                let mut out = Vec::new();
+                out.extend_from_slice(&cert.subject_public_key.to_bytes());
+                out.extend_from_slice(&(cert.subject_info.len() as u64).to_le_bytes());
+                out.extend_from_slice(&cert.subject_info);
+                out.extend_from_slice(&cert.issuer_public_key.to_bytes());
+                out.extend_from_slice(&cert.signature.to_bytes());
+                out
+            }
+        }
+    }
+
+    /// Returns the SM certificate as a structured value (used by the signing
+    /// enclave and the verifier; `get_field` provides the byte encoding for
+    /// the register-level ABI).
+    pub fn sm_certificate(&self) -> crate::attestation::Certificate {
+        self.identity.sm_certificate.clone()
+    }
+}

@@ -1,0 +1,302 @@
+//! Machine-resource ownership tracking — the state machine of paper Fig. 2.
+//!
+//! Every isolable machine resource (a core or a DRAM region / PMP-backed
+//! memory unit) is at all times in exactly one of three states:
+//!
+//! * **Owned** by a protection domain;
+//! * **Blocked** — still assigned to its owner but flagged for release; the
+//!   owner can no longer rely on it and the OS may reclaim it;
+//! * **Available** — cleaned and ready to be granted to a new owner.
+//!
+//! The transitions (`block` by the owner or SM, `clean` by the OS, `grant` by
+//! the OS) and who may perform them are enforced here; the monitor performs
+//! the actual cleaning through the platform backend before completing the
+//! `clean` transition.
+
+use crate::error::{SmError, SmResult};
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_hal::isolation::RegionId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifies one isolable machine resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceId {
+    /// A processor core (time-multiplexed between domains).
+    Core(CoreId),
+    /// An isolable memory unit (a Sanctum DRAM region or Keystone PMP range).
+    Region(RegionId),
+}
+
+/// The ownership state of one resource (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceState {
+    /// Owned and usable by a protection domain.
+    Owned(DomainKind),
+    /// Flagged for release by its owner (or the SM); awaiting cleaning.
+    Blocked(DomainKind),
+    /// Cleaned and ready for re-allocation.
+    Available,
+}
+
+impl ResourceState {
+    /// Returns the owning domain, if the resource is owned or blocked.
+    pub fn owner(&self) -> Option<DomainKind> {
+        match self {
+            ResourceState::Owned(d) | ResourceState::Blocked(d) => Some(*d),
+            ResourceState::Available => None,
+        }
+    }
+}
+
+/// The resource-ownership map maintained by the SM.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResourceMap {
+    states: BTreeMap<ResourceId, ResourceState>,
+}
+
+impl ResourceMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource with an initial owner (used at boot: all cores
+    /// and regions start out owned by the untrusted OS, except the regions
+    /// the SM reserves for itself).
+    pub fn register(&mut self, id: ResourceId, initial: ResourceState) {
+        self.states.insert(id, initial);
+    }
+
+    /// Returns the state of a resource.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmError::UnknownResource`] if the resource was never
+    /// registered.
+    pub fn state(&self, id: ResourceId) -> SmResult<ResourceState> {
+        self.states.get(&id).copied().ok_or(SmError::UnknownResource)
+    }
+
+    /// Returns every resource currently owned (or blocked) by `domain`.
+    pub fn owned_by(&self, domain: DomainKind) -> Vec<ResourceId> {
+        self.states
+            .iter()
+            .filter(|(_, s)| s.owner() == Some(domain))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// `block_resource`: flags an owned resource for release.
+    ///
+    /// Allowed for the owner itself or the SM (which blocks all of an
+    /// enclave's resources when the OS deletes it).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the caller is neither the owner nor the SM, or if the
+    /// resource is not currently owned.
+    pub fn block(&mut self, caller: DomainKind, id: ResourceId) -> SmResult<()> {
+        let state = self.state(id)?;
+        match state {
+            ResourceState::Owned(owner) => {
+                if caller != owner && caller != DomainKind::SecurityMonitor {
+                    return Err(SmError::Unauthorized);
+                }
+                self.states.insert(id, ResourceState::Blocked(owner));
+                Ok(())
+            }
+            ResourceState::Blocked(_) => Err(SmError::ResourceStateViolation {
+                reason: "resource is already blocked",
+            }),
+            ResourceState::Available => Err(SmError::ResourceStateViolation {
+                reason: "cannot block an available resource",
+            }),
+        }
+    }
+
+    /// `clean_resource`: completes the release of a blocked resource, making
+    /// it available. Only the untrusted OS (which orchestrates machine
+    /// resources) or the SM may trigger cleaning; the *actual* cleaning of
+    /// hardware state is performed by the monitor before it calls this.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the caller is not the OS or SM, or the resource is not
+    /// blocked.
+    pub fn clean(&mut self, caller: DomainKind, id: ResourceId) -> SmResult<DomainKind> {
+        if caller != DomainKind::Untrusted && caller != DomainKind::SecurityMonitor {
+            return Err(SmError::Unauthorized);
+        }
+        let state = self.state(id)?;
+        match state {
+            ResourceState::Blocked(previous_owner) => {
+                self.states.insert(id, ResourceState::Available);
+                Ok(previous_owner)
+            }
+            ResourceState::Owned(_) => Err(SmError::ResourceStateViolation {
+                reason: "resource must be blocked before cleaning",
+            }),
+            ResourceState::Available => Err(SmError::ResourceStateViolation {
+                reason: "resource is already available",
+            }),
+        }
+    }
+
+    /// `grant_resource`: assigns an available resource to a new owner. Only
+    /// the OS (or the SM acting during enclave creation on the OS's behalf)
+    /// makes allocation decisions.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the caller is not the OS or SM, or the resource is not
+    /// available.
+    pub fn grant(
+        &mut self,
+        caller: DomainKind,
+        id: ResourceId,
+        new_owner: DomainKind,
+    ) -> SmResult<()> {
+        if caller != DomainKind::Untrusted && caller != DomainKind::SecurityMonitor {
+            return Err(SmError::Unauthorized);
+        }
+        let state = self.state(id)?;
+        match state {
+            ResourceState::Available => {
+                self.states.insert(id, ResourceState::Owned(new_owner));
+                Ok(())
+            }
+            _ => Err(SmError::ResourceStateViolation {
+                reason: "resource must be available to be granted",
+            }),
+        }
+    }
+
+    /// Verifies the global exclusivity invariant: every resource has exactly
+    /// one state entry (structural) and owned resources have exactly one
+    /// owner. Returns the number of resources checked.
+    pub fn check_exclusivity(&self) -> usize {
+        // The map structure itself guarantees one state per resource; this
+        // method exists so integration tests and property tests can assert
+        // the invariant explicitly after random operation sequences.
+        self.states.len()
+    }
+
+    /// Iterates over all registered resources and their states.
+    pub fn iter(&self) -> impl Iterator<Item = (&ResourceId, &ResourceState)> {
+        self.states.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_hal::domain::EnclaveId;
+
+    fn enclave(id: u64) -> DomainKind {
+        DomainKind::Enclave(EnclaveId::new(id))
+    }
+
+    fn map_with_region() -> (ResourceMap, ResourceId) {
+        let mut map = ResourceMap::new();
+        let id = ResourceId::Region(RegionId::new(0));
+        map.register(id, ResourceState::Owned(DomainKind::Untrusted));
+        (map, id)
+    }
+
+    #[test]
+    fn full_lifecycle_owned_blocked_available_owned() {
+        let (mut map, id) = map_with_region();
+        map.block(DomainKind::Untrusted, id).unwrap();
+        assert_eq!(map.state(id).unwrap(), ResourceState::Blocked(DomainKind::Untrusted));
+        let prev = map.clean(DomainKind::Untrusted, id).unwrap();
+        assert_eq!(prev, DomainKind::Untrusted);
+        assert_eq!(map.state(id).unwrap(), ResourceState::Available);
+        map.grant(DomainKind::Untrusted, id, enclave(1)).unwrap();
+        assert_eq!(map.state(id).unwrap(), ResourceState::Owned(enclave(1)));
+    }
+
+    #[test]
+    fn only_owner_or_sm_may_block() {
+        let (mut map, id) = map_with_region();
+        // A different enclave cannot block the OS's resource.
+        assert_eq!(map.block(enclave(1), id), Err(SmError::Unauthorized));
+        // The SM can.
+        map.block(DomainKind::SecurityMonitor, id).unwrap();
+    }
+
+    #[test]
+    fn enclave_owner_can_block_its_own_resource() {
+        let mut map = ResourceMap::new();
+        let id = ResourceId::Region(RegionId::new(3));
+        map.register(id, ResourceState::Owned(enclave(1)));
+        map.block(enclave(1), id).unwrap();
+        assert_eq!(map.state(id).unwrap(), ResourceState::Blocked(enclave(1)));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let (mut map, id) = map_with_region();
+        // Owned -> Available without blocking is illegal.
+        assert!(matches!(
+            map.clean(DomainKind::Untrusted, id),
+            Err(SmError::ResourceStateViolation { .. })
+        ));
+        // Owned -> Owned (re-grant) is illegal.
+        assert!(matches!(
+            map.grant(DomainKind::Untrusted, id, enclave(1)),
+            Err(SmError::ResourceStateViolation { .. })
+        ));
+        map.block(DomainKind::Untrusted, id).unwrap();
+        // Double block is illegal.
+        assert!(matches!(
+            map.block(DomainKind::Untrusted, id),
+            Err(SmError::ResourceStateViolation { .. })
+        ));
+        map.clean(DomainKind::Untrusted, id).unwrap();
+        // Double clean is illegal.
+        assert!(matches!(
+            map.clean(DomainKind::Untrusted, id),
+            Err(SmError::ResourceStateViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn enclaves_cannot_grant_or_clean() {
+        let (mut map, id) = map_with_region();
+        map.block(DomainKind::Untrusted, id).unwrap();
+        assert_eq!(map.clean(enclave(1), id), Err(SmError::Unauthorized));
+        map.clean(DomainKind::Untrusted, id).unwrap();
+        assert_eq!(map.grant(enclave(1), id, enclave(1)), Err(SmError::Unauthorized));
+    }
+
+    #[test]
+    fn unknown_resource_reported() {
+        let map = ResourceMap::new();
+        assert_eq!(
+            map.state(ResourceId::Core(CoreId::new(9))),
+            Err(SmError::UnknownResource)
+        );
+    }
+
+    #[test]
+    fn owned_by_lists_resources() {
+        let mut map = ResourceMap::new();
+        map.register(
+            ResourceId::Core(CoreId::new(0)),
+            ResourceState::Owned(DomainKind::Untrusted),
+        );
+        map.register(
+            ResourceId::Region(RegionId::new(1)),
+            ResourceState::Owned(enclave(1)),
+        );
+        map.register(
+            ResourceId::Region(RegionId::new(2)),
+            ResourceState::Blocked(enclave(1)),
+        );
+        let owned = map.owned_by(enclave(1));
+        assert_eq!(owned.len(), 2);
+        assert_eq!(map.owned_by(DomainKind::Untrusted).len(), 1);
+        assert_eq!(map.check_exclusivity(), 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! The ChaCha20 stream cipher (RFC 8439).
+//!
+//! Used as the core of the deterministic random-bit generator in [`crate::drbg`]
+//! and as the confidentiality half of [`crate::secretbox`].
+
+/// A ChaCha20 cipher instance bound to a key and nonce.
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+const CONSTANTS: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Creates a cipher from a 32-byte key and a 12-byte nonce.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        let mut k = [0u32; 8];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            k[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let mut n = [0u32; 3];
+        for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+            n[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self { key: k, nonce: n }
+    }
+
+    /// Computes the 64-byte keystream block for `counter`.
+    pub fn block(&self, counter: u32) -> [u8; 64] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+
+        let mut working = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Encrypts or decrypts `data` in place starting at block `initial_counter`.
+    ///
+    /// ChaCha20 is its own inverse, so the same call decrypts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sanctorum_crypto::chacha::ChaCha20;
+    /// let cipher = ChaCha20::new(&[7u8; 32], &[1u8; 12]);
+    /// let mut msg = *b"attestation evidence payload";
+    /// cipher.apply_keystream(1, &mut msg);
+    /// assert_ne!(&msg, b"attestation evidence payload");
+    /// cipher.apply_keystream(1, &mut msg);
+    /// assert_eq!(&msg, b"attestation evidence payload");
+    /// ```
+    pub fn apply_keystream(&self, initial_counter: u32, data: &mut [u8]) {
+        for (block_index, chunk) in data.chunks_mut(64).enumerate() {
+            let keystream = self.block(initial_counter.wrapping_add(block_index as u32));
+            for (byte, key_byte) in chunk.iter_mut().zip(keystream.iter()) {
+                *byte ^= key_byte;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha3::to_hex;
+
+    #[test]
+    fn rfc8439_block_test_vector() {
+        // RFC 8439 Section 2.3.2.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&key, &nonce);
+        let block = cipher.block(1);
+        assert_eq!(
+            to_hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_test_vector_prefix() {
+        // RFC 8439 Section 2.4.2 (first ciphertext block).
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&key, &nonce);
+        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        cipher.apply_keystream(1, &mut data);
+        assert_eq!(to_hex(&data[..16]), "6e2e359a2568f98041ba0728dd0d6981");
+    }
+
+    #[test]
+    fn round_trip() {
+        let cipher = ChaCha20::new(&[0x42; 32], &[0x24; 12]);
+        let plaintext = vec![0x5au8; 300];
+        let mut data = plaintext.clone();
+        cipher.apply_keystream(7, &mut data);
+        assert_ne!(data, plaintext);
+        cipher.apply_keystream(7, &mut data);
+        assert_eq!(data, plaintext);
+    }
+
+    #[test]
+    fn distinct_counters_give_distinct_blocks() {
+        let cipher = ChaCha20::new(&[1; 32], &[2; 12]);
+        assert_ne!(cipher.block(0), cipher.block(1));
+    }
+
+    #[test]
+    fn distinct_nonces_give_distinct_streams() {
+        let a = ChaCha20::new(&[1; 32], &[2; 12]);
+        let b = ChaCha20::new(&[1; 32], &[3; 12]);
+        assert_ne!(a.block(0), b.block(0));
+    }
+}

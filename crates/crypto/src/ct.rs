@@ -1,0 +1,92 @@
+//! Constant-time comparison helpers.
+//!
+//! Measurement and MAC comparisons inside the monitor must not leak which
+//! byte differed through timing (the paper's threat model includes software
+//! side-channel adversaries observing shared resources).
+
+/// Compares two byte slices in constant time with respect to their contents.
+///
+/// Returns `false` immediately (and without inspecting contents) if the
+/// lengths differ — length is considered public.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_crypto::ct::ct_eq;
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"ab"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Constant-time conditional select: returns `a` if `choice` is 1, `b` if 0.
+///
+/// # Panics
+///
+/// Panics if `choice` is not 0 or 1.
+pub fn ct_select_u64(choice: u8, a: u64, b: u64) -> u64 {
+    assert!(choice <= 1, "choice must be 0 or 1");
+    let mask = (choice as u64).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+/// Conditionally swaps two `u64` slices in place when `choice` is 1.
+///
+/// # Panics
+///
+/// Panics if `choice` is not 0 or 1 or the slices differ in length.
+pub fn ct_swap_u64(choice: u8, a: &mut [u64], b: &mut [u64]) {
+    assert!(choice <= 1, "choice must be 0 or 1");
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    let mask = (choice as u64).wrapping_neg();
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let t = mask & (*x ^ *y);
+        *x ^= t;
+        *y ^= t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2]));
+    }
+
+    #[test]
+    fn select() {
+        assert_eq!(ct_select_u64(1, 10, 20), 10);
+        assert_eq!(ct_select_u64(0, 10, 20), 20);
+    }
+
+    #[test]
+    fn swap() {
+        let mut a = [1u64, 2, 3];
+        let mut b = [4u64, 5, 6];
+        ct_swap_u64(0, &mut a, &mut b);
+        assert_eq!(a, [1, 2, 3]);
+        ct_swap_u64(1, &mut a, &mut b);
+        assert_eq!(a, [4, 5, 6]);
+        assert_eq!(b, [1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "choice must be 0 or 1")]
+    fn select_rejects_bad_choice() {
+        let _ = ct_select_u64(2, 0, 0);
+    }
+}

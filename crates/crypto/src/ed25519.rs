@@ -1,0 +1,495 @@
+//! Ed25519-SHA3 signatures.
+//!
+//! Structure and curve follow RFC 8032; the internal hash is SHA3-512 instead
+//! of SHA-512 (see the crate-level documentation for the rationale). The SM's
+//! attestation key pair, the manufacturer PKI of `sanctorum-verifier` and the
+//! signing enclave all use this scheme.
+
+use crate::field::FieldElement;
+use crate::scalar::Scalar;
+use crate::sha3::Sha3_512;
+use serde::{Deserialize, Serialize};
+
+/// Length of a public key in bytes.
+pub const PUBLIC_KEY_LEN: usize = 32;
+/// Length of a secret key seed in bytes.
+pub const SECRET_KEY_LEN: usize = 32;
+/// Length of a signature in bytes.
+pub const SIGNATURE_LEN: usize = 64;
+
+/// A point on the Ed25519 curve in extended twisted-Edwards coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct EdwardsPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+    t: FieldElement,
+}
+
+/// Returns the curve constant `d = -121665/121666 mod p`.
+fn constant_d() -> FieldElement {
+    -(FieldElement::from_u64(121665) * FieldElement::from_u64(121666).invert())
+}
+
+impl EdwardsPoint {
+    /// The identity (neutral) element.
+    pub fn identity() -> Self {
+        EdwardsPoint {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t: FieldElement::ZERO,
+        }
+    }
+
+    /// The standard base point `B` (y = 4/5, x recovered with even sign).
+    pub fn basepoint() -> Self {
+        let y = FieldElement::from_u64(4) * FieldElement::from_u64(5).invert();
+        let mut compressed = y.to_bytes();
+        compressed[31] &= 0x7f; // sign bit 0: the canonical Bx is even
+        Self::decompress(&compressed).expect("base point decompression cannot fail")
+    }
+
+    /// Unified point addition (valid for doubling as well, since `a = -1` is
+    /// square and `d` is non-square, making the Edwards addition law
+    /// complete).
+    #[must_use]
+    pub fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        let d2 = constant_d() + constant_d();
+        let a = (self.y - self.x) * (other.y - other.x);
+        let b = (self.y + self.x) * (other.y + other.x);
+        let c = self.t * d2 * other.t;
+        let d = self.z * other.z + self.z * other.z;
+        let e = b - a;
+        let f = d - c;
+        let g = d + c;
+        let h = b + a;
+        EdwardsPoint {
+            x: e * f,
+            y: g * h,
+            t: e * h,
+            z: f * g,
+        }
+    }
+
+    /// Point doubling (delegates to the unified addition).
+    #[must_use]
+    pub fn double(&self) -> EdwardsPoint {
+        self.add(self)
+    }
+
+    /// Scalar multiplication by double-and-add over the scalar's bits.
+    #[must_use]
+    pub fn scalar_mul(&self, scalar: &Scalar) -> EdwardsPoint {
+        let mut result = EdwardsPoint::identity();
+        for bit in (0..256).rev() {
+            result = result.double();
+            if scalar.bit(bit) == 1 {
+                result = result.add(self);
+            }
+        }
+        result
+    }
+
+    /// Computes `s·B` for the fixed base point.
+    pub fn basepoint_mul(scalar: &Scalar) -> EdwardsPoint {
+        Self::basepoint().scalar_mul(scalar)
+    }
+
+    /// Compresses the point to its 32-byte encoding (y with the sign of x in
+    /// the top bit).
+    pub fn compress(&self) -> [u8; 32] {
+        let z_inv = self.z.invert();
+        let x = self.x * z_inv;
+        let y = self.y * z_inv;
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompresses a 32-byte encoding into a point, if it is valid.
+    pub fn decompress(bytes: &[u8; 32]) -> Option<EdwardsPoint> {
+        let sign = (bytes[31] >> 7) & 1;
+        let mut y_bytes = *bytes;
+        y_bytes[31] &= 0x7f;
+        let y = FieldElement::from_bytes(&y_bytes);
+
+        // x^2 = (y^2 - 1) / (d y^2 + 1)
+        let y2 = y.square();
+        let u = y2 - FieldElement::ONE;
+        let v = constant_d() * y2 + FieldElement::ONE;
+
+        // Candidate root: x = u * v^3 * (u * v^7)^((p-5)/8).
+        let v3 = v.square() * v;
+        let v7 = v3.square() * v;
+        let mut x = u * v3 * (u * v7).pow_p58();
+
+        let vx2 = v * x.square();
+        if vx2 == u {
+            // x is already a square root.
+        } else if vx2 == -u {
+            x = x * FieldElement::sqrt_m1();
+        } else {
+            return None;
+        }
+
+        if x.is_zero() && sign == 1 {
+            // -0 is not a valid encoding.
+            return None;
+        }
+        if (x.is_negative() as u8) != sign {
+            x = -x;
+        }
+
+        Some(EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x * y,
+        })
+    }
+
+    /// Returns `true` if both points represent the same affine point.
+    pub fn equals(&self, other: &EdwardsPoint) -> bool {
+        // Cross-multiply to avoid inversions: X1*Z2 == X2*Z1 and Y1*Z2 == Y2*Z1.
+        (self.x * other.z).ct_equals(&(other.x * self.z))
+            && (self.y * other.z).ct_equals(&(other.y * self.z))
+    }
+}
+
+impl PartialEq for EdwardsPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.equals(other)
+    }
+}
+
+impl Eq for EdwardsPoint {}
+
+/// An Ed25519-SHA3 secret key (the 32-byte seed).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct SecretKey {
+    seed: [u8; SECRET_KEY_LEN],
+}
+
+impl core::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SecretKey(<redacted>)")
+    }
+}
+
+/// An Ed25519-SHA3 public key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey {
+    bytes: [u8; PUBLIC_KEY_LEN],
+}
+
+/// An Ed25519-SHA3 signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    r: [u8; 32],
+    s: [u8; 32],
+}
+
+/// A key pair (seed plus cached public key).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Keypair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+fn clamp(mut scalar_bytes: [u8; 32]) -> [u8; 32] {
+    scalar_bytes[0] &= 248;
+    scalar_bytes[31] &= 127;
+    scalar_bytes[31] |= 64;
+    scalar_bytes
+}
+
+impl SecretKey {
+    /// Creates a secret key from a 32-byte seed.
+    pub fn from_seed(seed: [u8; SECRET_KEY_LEN]) -> Self {
+        Self { seed }
+    }
+
+    /// Returns the seed bytes.
+    pub fn seed(&self) -> &[u8; SECRET_KEY_LEN] {
+        &self.seed
+    }
+
+    fn expand(&self) -> (Scalar, [u8; 32]) {
+        let h = Sha3_512::digest(&self.seed);
+        let mut scalar_bytes = [0u8; 32];
+        scalar_bytes.copy_from_slice(&h[..32]);
+        let scalar_bytes = clamp(scalar_bytes);
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        (Scalar::from_unreduced_bytes(&scalar_bytes), prefix)
+    }
+
+    /// Derives the corresponding public key.
+    pub fn public_key(&self) -> PublicKey {
+        let (a, _) = self.expand();
+        PublicKey {
+            bytes: EdwardsPoint::basepoint_mul(&a).compress(),
+        }
+    }
+}
+
+impl PublicKey {
+    /// Constructs a public key from its 32-byte encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the bytes do not decode to a curve point.
+    pub fn from_bytes(bytes: [u8; PUBLIC_KEY_LEN]) -> Option<Self> {
+        EdwardsPoint::decompress(&bytes).map(|_| PublicKey { bytes })
+    }
+
+    /// Returns the 32-byte encoding.
+    pub fn to_bytes(&self) -> [u8; PUBLIC_KEY_LEN] {
+        self.bytes
+    }
+
+    /// Verifies `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let a = match EdwardsPoint::decompress(&self.bytes) {
+            Some(p) => p,
+            None => return false,
+        };
+        let r = match EdwardsPoint::decompress(&signature.r) {
+            Some(p) => p,
+            None => return false,
+        };
+        let s = match Scalar::from_canonical_bytes(&signature.s) {
+            Some(s) => s,
+            None => return false,
+        };
+
+        let mut h = Sha3_512::new();
+        h.update(&signature.r);
+        h.update(&self.bytes);
+        h.update(message);
+        let k = Scalar::from_bytes_mod_order(&h.finalize());
+
+        // Check s·B == R + k·A.
+        let lhs = EdwardsPoint::basepoint_mul(&s);
+        let rhs = r.add(&a.scalar_mul(&k));
+        lhs.equals(&rhs)
+    }
+}
+
+impl Signature {
+    /// Constructs a signature from its 64-byte encoding.
+    pub fn from_bytes(bytes: &[u8; SIGNATURE_LEN]) -> Self {
+        let mut r = [0u8; 32];
+        let mut s = [0u8; 32];
+        r.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[32..]);
+        Signature { r, s }
+    }
+
+    /// Returns the 64-byte encoding.
+    pub fn to_bytes(&self) -> [u8; SIGNATURE_LEN] {
+        let mut out = [0u8; SIGNATURE_LEN];
+        out[..32].copy_from_slice(&self.r);
+        out[32..].copy_from_slice(&self.s);
+        out
+    }
+}
+
+impl Keypair {
+    /// Generates a key pair from a 32-byte seed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sanctorum_crypto::ed25519::Keypair;
+    /// let kp = Keypair::from_seed([7u8; 32]);
+    /// let sig = kp.sign(b"measurement report");
+    /// assert!(kp.public().verify(b"measurement report", &sig));
+    /// assert!(!kp.public().verify(b"tampered report", &sig));
+    /// ```
+    pub fn from_seed(seed: [u8; SECRET_KEY_LEN]) -> Self {
+        let secret = SecretKey::from_seed(seed);
+        let public = secret.public_key();
+        Self { secret, public }
+    }
+
+    /// Generates a key pair from an entropy/DRBG source.
+    pub fn generate(drbg: &mut crate::drbg::ChaChaDrbg) -> Self {
+        Self::from_seed(drbg.random_array())
+    }
+
+    /// Returns the public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Returns the secret key.
+    pub fn secret(&self) -> &SecretKey {
+        &self.secret
+    }
+
+    /// Signs `message`.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let (a, prefix) = self.secret.expand();
+
+        let mut h = Sha3_512::new();
+        h.update(&prefix);
+        h.update(message);
+        let r = Scalar::from_bytes_mod_order(&h.finalize());
+
+        let r_point = EdwardsPoint::basepoint_mul(&r).compress();
+
+        let mut h = Sha3_512::new();
+        h.update(&r_point);
+        h.update(&self.public.bytes);
+        h.update(message);
+        let k = Scalar::from_bytes_mod_order(&h.finalize());
+
+        let s = k.mul_add(&a, &r);
+        Signature {
+            r: r_point,
+            s: s.to_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basepoint_has_order_l() {
+        // l·B must be the identity.
+        let l_minus_1 = {
+            let mut b = crate::scalar::L_BYTES;
+            b[0] -= 1;
+            Scalar::from_canonical_bytes(&b).expect("l-1 is canonical")
+        };
+        let b = EdwardsPoint::basepoint();
+        let almost = b.scalar_mul(&l_minus_1);
+        assert_eq!(almost.add(&b), EdwardsPoint::identity());
+    }
+
+    #[test]
+    fn basepoint_compress_round_trip() {
+        let b = EdwardsPoint::basepoint();
+        let c = b.compress();
+        let d = EdwardsPoint::decompress(&c).expect("round trip");
+        assert_eq!(b, d);
+    }
+
+    #[test]
+    fn identity_properties() {
+        let id = EdwardsPoint::identity();
+        let b = EdwardsPoint::basepoint();
+        assert_eq!(id.add(&b), b);
+        assert_eq!(b.add(&id), b);
+        assert_eq!(id.double(), id);
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative() {
+        let b = EdwardsPoint::basepoint();
+        let two_b = b.double();
+        let three_b = two_b.add(&b);
+        assert_eq!(b.add(&two_b), two_b.add(&b));
+        assert_eq!(three_b.add(&b), two_b.add(&two_b));
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_addition() {
+        let b = EdwardsPoint::basepoint();
+        let mut five = [0u8; 32];
+        five[0] = 5;
+        let five_s = Scalar::from_canonical_bytes(&five).expect("canonical");
+        let by_mul = b.scalar_mul(&five_s);
+        let by_add = b.double().double().add(&b);
+        assert_eq!(by_mul, by_add);
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = Keypair::from_seed([42u8; 32]);
+        let msg = b"remote attestation nonce + measurement";
+        let sig = kp.sign(msg);
+        assert!(kp.public().verify(msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = Keypair::from_seed([42u8; 32]);
+        let sig = kp.sign(b"original");
+        assert!(!kp.public().verify(b"originaL", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = Keypair::from_seed([42u8; 32]);
+        let sig = kp.sign(b"msg");
+        let mut bytes = sig.to_bytes();
+        bytes[5] ^= 1;
+        assert!(!kp.public().verify(b"msg", &Signature::from_bytes(&bytes)));
+        let mut bytes = sig.to_bytes();
+        bytes[40] ^= 1;
+        assert!(!kp.public().verify(b"msg", &Signature::from_bytes(&bytes)));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = Keypair::from_seed([1u8; 32]);
+        let kp2 = Keypair::from_seed([2u8; 32]);
+        let sig = kp1.sign(b"msg");
+        assert!(!kp2.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        // Add l to s: same value mod l but a non-canonical encoding, which a
+        // strict verifier must reject (signature malleability).
+        let kp = Keypair::from_seed([3u8; 32]);
+        let sig = kp.sign(b"msg");
+        let s = crate::bignum::U512::from_le_bytes(&sig.s);
+        let l = crate::bignum::U512::from_le_bytes(&crate::scalar::L_BYTES);
+        let malleated = s.wrapping_add(&l).to_le_bytes_32();
+        let bad = Signature { r: sig.r, s: malleated };
+        assert!(!kp.public().verify(b"msg", &bad));
+    }
+
+    #[test]
+    fn signature_serialization_round_trip() {
+        let kp = Keypair::from_seed([9u8; 32]);
+        let sig = kp.sign(b"data");
+        let round = Signature::from_bytes(&sig.to_bytes());
+        assert_eq!(sig, round);
+        assert!(kp.public().verify(b"data", &round));
+    }
+
+    #[test]
+    fn public_key_from_bytes_validates() {
+        let kp = Keypair::from_seed([8u8; 32]);
+        assert!(PublicKey::from_bytes(kp.public().to_bytes()).is_some());
+        // y = 1 implies x = 0; an encoding claiming x = 0 is "negative"
+        // (sign bit set) is invalid and must be rejected.
+        let mut negative_zero = [0u8; 32];
+        negative_zero[0] = 1;
+        negative_zero[31] = 0x80;
+        assert!(PublicKey::from_bytes(negative_zero).is_none());
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_keys() {
+        let a = Keypair::from_seed([1u8; 32]);
+        let b = Keypair::from_seed([2u8; 32]);
+        assert_ne!(a.public().to_bytes(), b.public().to_bytes());
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let kp = Keypair::from_seed([5u8; 32]);
+        assert_eq!(kp.sign(b"m").to_bytes(), kp.sign(b"m").to_bytes());
+        assert_ne!(kp.sign(b"m").to_bytes(), kp.sign(b"n").to_bytes());
+    }
+}

@@ -1,0 +1,403 @@
+//! Arithmetic in GF(2^255 - 19), the base field of Curve25519.
+//!
+//! Elements are stored as five 51-bit little-endian limbs. The code favours
+//! clarity over speed: every operation finishes with a carry pass so limbs
+//! stay comfortably below 2^52 and intermediate products fit in `u128`.
+
+use core::ops::{Add, Mul, Neg, Sub};
+
+/// Mask selecting the low 51 bits of a limb.
+const LOW_51: u64 = (1 << 51) - 1;
+
+/// An element of GF(2^255 - 19).
+#[derive(Debug, Clone, Copy)]
+pub struct FieldElement {
+    limbs: [u64; 5],
+}
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement { limbs: [0; 5] };
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement {
+        limbs: [1, 0, 0, 0, 0],
+    };
+
+    /// Constructs an element from a small unsigned integer.
+    pub const fn from_u64(v: u64) -> Self {
+        FieldElement {
+            limbs: [v & LOW_51, v >> 51, 0, 0, 0],
+        }
+    }
+
+    /// Decodes an element from 32 little-endian bytes, ignoring the top bit
+    /// (bit 255) per the Curve25519 conventions.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        let load = |start: usize| -> u64 {
+            let mut v = 0u64;
+            for i in 0..8 {
+                v |= (bytes[start + i] as u64) << (8 * i);
+            }
+            v
+        };
+        // Load 64-bit words then slice into 51-bit limbs.
+        let w0 = load(0);
+        let w1 = load(8);
+        let w2 = load(16);
+        let w3 = load(24);
+        let limbs = [
+            w0 & LOW_51,
+            ((w0 >> 51) | (w1 << 13)) & LOW_51,
+            ((w1 >> 38) | (w2 << 26)) & LOW_51,
+            ((w2 >> 25) | (w3 << 39)) & LOW_51,
+            (w3 >> 12) & LOW_51,
+        ];
+        FieldElement { limbs }.carried()
+    }
+
+    /// Encodes the element as 32 little-endian bytes in fully reduced form.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        let reduced = self.freeze();
+        let l = reduced.limbs;
+        let mut out = [0u8; 32];
+        let w0 = l[0] | (l[1] << 51);
+        let w1 = (l[1] >> 13) | (l[2] << 38);
+        let w2 = (l[2] >> 26) | (l[3] << 25);
+        let w3 = (l[3] >> 39) | (l[4] << 12);
+        out[0..8].copy_from_slice(&w0.to_le_bytes());
+        out[8..16].copy_from_slice(&w1.to_le_bytes());
+        out[16..24].copy_from_slice(&w2.to_le_bytes());
+        out[24..32].copy_from_slice(&w3.to_le_bytes());
+        out
+    }
+
+    /// One carry pass: brings every limb below 2^51 plus a small excess in
+    /// limb 0.
+    fn carried(mut self) -> Self {
+        let mut carry;
+        for i in 0..4 {
+            carry = self.limbs[i] >> 51;
+            self.limbs[i] &= LOW_51;
+            self.limbs[i + 1] += carry;
+        }
+        carry = self.limbs[4] >> 51;
+        self.limbs[4] &= LOW_51;
+        self.limbs[0] += carry * 19;
+        // One more partial pass to keep limb 0 in range.
+        let c = self.limbs[0] >> 51;
+        self.limbs[0] &= LOW_51;
+        self.limbs[1] += c;
+        self
+    }
+
+    /// Produces the canonical representative (all limbs < 2^51 and the value
+    /// < p).
+    fn freeze(&self) -> Self {
+        let mut v = self.carried().carried();
+        // Now v < 2^255 + small. Subtract p if v >= p, possibly twice.
+        for _ in 0..2 {
+            // Compute v - p = v - (2^255 - 19) = v + 19 - 2^255.
+            let mut t = v.limbs;
+            t[0] += 19;
+            let mut carry;
+            for i in 0..4 {
+                carry = t[i] >> 51;
+                t[i] &= LOW_51;
+                t[i + 1] += carry;
+            }
+            let borrow = t[4] >> 51; // set iff v + 19 >= 2^255, i.e. v >= p
+            t[4] &= LOW_51;
+            if borrow != 0 {
+                v.limbs = t;
+            }
+        }
+        v
+    }
+
+    /// Returns `true` if the element equals zero.
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Returns the least significant bit of the canonical encoding (used as
+    /// the "sign" of an x-coordinate in point compression).
+    pub fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// Squares the element.
+    #[must_use]
+    pub fn square(&self) -> Self {
+        *self * *self
+    }
+
+    /// Raises the element to the power encoded by `exponent` (little-endian
+    /// bytes), via square-and-multiply.
+    #[must_use]
+    pub fn pow_le(&self, exponent: &[u8; 32]) -> Self {
+        let mut result = FieldElement::ONE;
+        // Find the highest set bit.
+        let mut started = false;
+        for bit in (0..256).rev() {
+            if started {
+                result = result.square();
+            }
+            if (exponent[bit / 8] >> (bit % 8)) & 1 == 1 {
+                if started {
+                    result = result * *self;
+                } else {
+                    result = *self;
+                    started = true;
+                }
+            }
+        }
+        if started {
+            result
+        } else {
+            FieldElement::ONE
+        }
+    }
+
+    /// Multiplicative inverse (returns zero for zero).
+    #[must_use]
+    pub fn invert(&self) -> Self {
+        // p - 2 = 2^255 - 21, little-endian bytes: 0xeb, 30 × 0xff, 0x7f.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow_le(&exp)
+    }
+
+    /// Computes `self^((p-5)/8)`, the exponentiation used in square-root
+    /// extraction during point decompression.
+    #[must_use]
+    pub fn pow_p58(&self) -> Self {
+        // (p - 5) / 8 = 2^252 - 3, little-endian bytes: 0xfd, 30 × 0xff, 0x0f.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow_le(&exp)
+    }
+
+    /// Returns sqrt(-1) mod p.
+    pub fn sqrt_m1() -> Self {
+        // 2^((p-1)/4); (p-1)/4 = 2^253 - 5, bytes: 0xfb, 30 × 0xff, 0x1f.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfb;
+        exp[31] = 0x1f;
+        FieldElement::from_u64(2).pow_le(&exp)
+    }
+
+    /// Constant-time-ish equality on canonical encodings.
+    pub fn ct_equals(&self, other: &Self) -> bool {
+        crate::ct::ct_eq(&self.to_bytes(), &other.to_bytes())
+    }
+
+    /// Conditionally swaps `a` and `b` when `choice` is 1.
+    pub fn conditional_swap(choice: u8, a: &mut Self, b: &mut Self) {
+        crate::ct::ct_swap_u64(choice, &mut a.limbs, &mut b.limbs);
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+impl Eq for FieldElement {}
+
+impl Add for FieldElement {
+    type Output = FieldElement;
+    fn add(self, rhs: Self) -> Self {
+        let mut limbs = [0u64; 5];
+        for i in 0..5 {
+            limbs[i] = self.limbs[i] + rhs.limbs[i];
+        }
+        FieldElement { limbs }.carried()
+    }
+}
+
+impl Sub for FieldElement {
+    type Output = FieldElement;
+    fn sub(self, rhs: Self) -> Self {
+        // Add 2p before subtracting so limbs never underflow.
+        const TWO_P: [u64; 5] = [
+            0xfffffffffffda,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+        ];
+        let mut limbs = [0u64; 5];
+        for i in 0..5 {
+            limbs[i] = self.limbs[i] + TWO_P[i] - rhs.limbs[i];
+        }
+        FieldElement { limbs }.carried()
+    }
+}
+
+impl Neg for FieldElement {
+    type Output = FieldElement;
+    fn neg(self) -> Self {
+        FieldElement::ZERO - self
+    }
+}
+
+impl Mul for FieldElement {
+    type Output = FieldElement;
+    fn mul(self, rhs: Self) -> Self {
+        let a = &self.limbs;
+        let b = &rhs.limbs;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+
+        let mut c0 = m(a[0], b[0]);
+        let mut c1 = m(a[0], b[1]) + m(a[1], b[0]);
+        let mut c2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]);
+        let mut c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]);
+        let mut c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        c0 += 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        c1 += 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        c2 += 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        c3 += 19 * m(a[4], b[4]);
+
+        // Carry chain.
+        let mut limbs = [0u64; 5];
+        let mut carry: u128;
+        carry = c0 >> 51;
+        limbs[0] = (c0 as u64) & LOW_51;
+        c1 += carry;
+        carry = c1 >> 51;
+        limbs[1] = (c1 as u64) & LOW_51;
+        c2 += carry;
+        carry = c2 >> 51;
+        limbs[2] = (c2 as u64) & LOW_51;
+        c3 += carry;
+        carry = c3 >> 51;
+        limbs[3] = (c3 as u64) & LOW_51;
+        c4 += carry;
+        carry = c4 >> 51;
+        limbs[4] = (c4 as u64) & LOW_51;
+        limbs[0] += (carry as u64) * 19;
+
+        FieldElement { limbs }.carried()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fe(v: u64) -> FieldElement {
+        FieldElement::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = fe(123456789);
+        let b = fe(987654321);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(a - a, FieldElement::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_small_integers() {
+        assert_eq!(fe(7) * fe(6), fe(42));
+        assert_eq!(fe(1 << 30) * fe(1 << 30), fe(1 << 60));
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        let a = fe(1234567);
+        assert_eq!(a * a.invert(), FieldElement::ONE);
+        assert_eq!(FieldElement::ZERO.invert(), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn negation() {
+        let a = fe(5);
+        assert_eq!(a + (-a), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let a = fe(0xdead_beef_cafe);
+        let b = FieldElement::from_bytes(&a.to_bytes());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn modulus_encodes_to_zero() {
+        // p = 2^255 - 19 should reduce to 0.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let p = FieldElement::from_bytes(&p_bytes);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn p_minus_one_is_minus_one() {
+        let mut bytes = [0xffu8; 32];
+        bytes[0] = 0xec;
+        bytes[31] = 0x7f;
+        let v = FieldElement::from_bytes(&bytes);
+        assert_eq!(v + FieldElement::ONE, FieldElement::ZERO);
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = FieldElement::sqrt_m1();
+        assert_eq!(i.square(), -FieldElement::ONE);
+    }
+
+    #[test]
+    fn pow_le_small_cases() {
+        let two = fe(2);
+        let mut exp = [0u8; 32];
+        exp[0] = 10;
+        assert_eq!(two.pow_le(&exp), fe(1024));
+        let zero_exp = [0u8; 32];
+        assert_eq!(two.pow_le(&zero_exp), FieldElement::ONE);
+    }
+
+    #[test]
+    fn is_negative_of_small_values() {
+        assert!(fe(1).is_negative());
+        assert!(!fe(2).is_negative());
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutes(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(fe(a) * fe(b), fe(b) * fe(a));
+        }
+
+        #[test]
+        fn mul_distributes_over_add(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            let (a, b, c) = (fe(a), fe(b), fe(c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn invert_random(a in 1u64..) {
+            prop_assert_eq!(fe(a) * fe(a).invert(), FieldElement::ONE);
+        }
+
+        #[test]
+        fn square_matches_mul(a in any::<u64>()) {
+            prop_assert_eq!(fe(a).square(), fe(a) * fe(a));
+        }
+
+        #[test]
+        fn bytes_round_trip_random(bytes in any::<[u8; 32]>()) {
+            let mut b = bytes;
+            b[31] &= 0x7f;
+            let x = FieldElement::from_bytes(&b);
+            let y = FieldElement::from_bytes(&x.to_bytes());
+            prop_assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! HMAC over SHA3-256 (RFC 2104 construction, SHA-3 block size = sponge rate).
+
+use crate::sha3::Sha3_256;
+
+/// HMAC-SHA3-256 output length in bytes.
+pub const TAG_LEN: usize = 32;
+
+/// Computes `HMAC-SHA3-256(key, message)`.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_crypto::hmac::hmac_sha3_256;
+/// let tag = hmac_sha3_256(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// assert_ne!(tag, hmac_sha3_256(b"other key", b"message"));
+/// ```
+pub fn hmac_sha3_256(key: &[u8], message: &[u8]) -> [u8; TAG_LEN] {
+    const BLOCK: usize = Sha3_256::RATE;
+
+    // Keys longer than the block size are hashed first.
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let digest = Sha3_256::digest(key);
+        key_block[..digest.len()].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut inner = Sha3_256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha3_256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Verifies an HMAC-SHA3-256 tag in constant time.
+pub fn hmac_verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    crate::ct::ct_eq(&hmac_sha3_256(key, message), tag)
+}
+
+/// An incremental HMAC-SHA3-256 computation.
+#[derive(Debug, Clone)]
+pub struct HmacSha3_256 {
+    inner: Sha3_256,
+    outer_key: [u8; Sha3_256::RATE],
+}
+
+impl HmacSha3_256 {
+    /// Creates an incremental MAC keyed with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        const BLOCK: usize = Sha3_256::RATE;
+        let mut key_block = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let digest = Sha3_256::digest(key);
+            key_block[..digest.len()].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut inner = Sha3_256::new();
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        inner.update(&ipad);
+        let mut outer_key = [0u8; BLOCK];
+        for (o, k) in outer_key.iter_mut().zip(key_block.iter()) {
+            *o = k ^ 0x5c;
+        }
+        Self { inner, outer_key }
+    }
+
+    /// Absorbs more message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finalizes and returns the tag.
+    pub fn finalize(self) -> [u8; TAG_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha3_256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let key = b"0123456789abcdef";
+        let msg = b"the message to authenticate, somewhat longer than a block? not quite";
+        let mut m = HmacSha3_256::new(key);
+        m.update(&msg[..10]);
+        m.update(&msg[10..]);
+        assert_eq!(m.finalize(), hmac_sha3_256(key, msg));
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        let long_key = vec![0xabu8; 500];
+        let tag = hmac_sha3_256(&long_key, b"m");
+        // Equivalent to using the hash of the key directly.
+        let short = Sha3_256::digest(&long_key);
+        assert_eq!(tag, hmac_sha3_256(&short, b"m"));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha3_256(b"k", b"m");
+        assert!(hmac_verify(b"k", b"m", &tag));
+        assert!(!hmac_verify(b"k", b"m2", &tag));
+        assert!(!hmac_verify(b"k2", b"m", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!hmac_verify(b"k", b"m", &bad));
+    }
+
+    #[test]
+    fn tag_depends_on_key_and_message() {
+        assert_ne!(hmac_sha3_256(b"a", b"m"), hmac_sha3_256(b"b", b"m"));
+        assert_ne!(hmac_sha3_256(b"a", b"m"), hmac_sha3_256(b"a", b"n"));
+    }
+
+    #[test]
+    fn empty_key_and_message_are_valid_inputs() {
+        let tag = hmac_sha3_256(b"", b"");
+        assert_eq!(tag.len(), TAG_LEN);
+    }
+}

@@ -1,0 +1,113 @@
+//! HKDF (RFC 5869) over HMAC-SHA3-256.
+//!
+//! Used for two purposes in the reproduction:
+//!
+//! * secure-boot key derivation — the measurement root derives the SM's
+//!   attestation seed from the device secret and the SM measurement
+//!   (paper Sections IV-A and VI-C, and the referenced CSF'18 boot protocol);
+//! * secure-channel key expansion — the verifier and enclave expand the
+//!   X25519 shared secret into directional encryption/MAC keys (Fig. 7).
+
+use crate::hmac::{hmac_sha3_256, TAG_LEN};
+
+/// HKDF-Extract: condenses input keying material into a pseudorandom key.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; TAG_LEN] {
+    hmac_sha3_256(salt, ikm)
+}
+
+/// HKDF-Expand: expands a pseudorandom key into `out.len()` bytes of output
+/// keying material bound to `info`.
+///
+/// # Panics
+///
+/// Panics if more than `255 * 32` bytes of output are requested (RFC 5869
+/// limit).
+pub fn hkdf_expand(prk: &[u8; TAG_LEN], info: &[u8], out: &mut [u8]) {
+    assert!(
+        out.len() <= 255 * TAG_LEN,
+        "hkdf output length limit exceeded"
+    );
+    let mut previous: Vec<u8> = Vec::new();
+    let mut produced = 0;
+    let mut counter = 1u8;
+    while produced < out.len() {
+        let mut data = Vec::with_capacity(previous.len() + info.len() + 1);
+        data.extend_from_slice(&previous);
+        data.extend_from_slice(info);
+        data.push(counter);
+        let block = hmac_sha3_256(prk, &data);
+        let n = (out.len() - produced).min(TAG_LEN);
+        out[produced..produced + n].copy_from_slice(&block[..n]);
+        previous = block.to_vec();
+        produced += n;
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-shot HKDF: extract followed by expand.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_crypto::kdf::hkdf;
+/// let okm: [u8; 64] = hkdf(b"salt", b"input key material", b"sanctorum channel v1");
+/// assert_ne!(okm[..32], okm[32..]);
+/// ```
+pub fn hkdf<const N: usize>(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; N] {
+    let prk = hkdf_extract(salt, ikm);
+    let mut out = [0u8; N];
+    hkdf_expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a: [u8; 32] = hkdf(b"s", b"ikm", b"info");
+        let b: [u8; 32] = hkdf(b"s", b"ikm", b"info");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn domain_separation_by_info() {
+        let a: [u8; 32] = hkdf(b"s", b"ikm", b"info-a");
+        let b: [u8; 32] = hkdf(b"s", b"ikm", b"info-b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn salt_and_ikm_both_matter() {
+        let base: [u8; 32] = hkdf(b"s", b"ikm", b"i");
+        assert_ne!(base, hkdf::<32>(b"t", b"ikm", b"i"));
+        assert_ne!(base, hkdf::<32>(b"s", b"ikm2", b"i"));
+    }
+
+    #[test]
+    fn long_output_is_not_repeating() {
+        let okm: [u8; 96] = hkdf(b"salt", b"ikm", b"info");
+        assert_ne!(okm[..32], okm[32..64]);
+        assert_ne!(okm[32..64], okm[64..]);
+    }
+
+    #[test]
+    fn expand_prefix_property() {
+        // Expanding to 32 and to 64 bytes must agree on the first 32.
+        let prk = hkdf_extract(b"salt", b"ikm");
+        let mut short = [0u8; 32];
+        let mut long = [0u8; 64];
+        hkdf_expand(&prk, b"info", &mut short);
+        hkdf_expand(&prk, b"info", &mut long);
+        assert_eq!(short, long[..32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hkdf output length limit exceeded")]
+    fn output_limit_enforced() {
+        let prk = hkdf_extract(b"s", b"i");
+        let mut out = vec![0u8; 255 * 32 + 1];
+        hkdf_expand(&prk, b"", &mut out);
+    }
+}

@@ -1,0 +1,172 @@
+//! Arithmetic modulo the Ed25519 group order
+//! `l = 2^252 + 27742317777372353535851937790883648493`.
+
+use crate::bignum::U512;
+
+/// Little-endian byte encoding of the group order `l`.
+pub const L_BYTES: [u8; 32] = [
+    0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, //
+    0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14, //
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, //
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10,
+];
+
+/// A scalar reduced modulo the group order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scalar {
+    bytes: [u8; 32],
+}
+
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Scalar = Scalar { bytes: [0u8; 32] };
+
+    fn order() -> U512 {
+        U512::from_le_bytes(&L_BYTES)
+    }
+
+    /// Reduces an arbitrary-length little-endian byte string (up to 64 bytes)
+    /// modulo `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > 64`.
+    pub fn from_bytes_mod_order(bytes: &[u8]) -> Self {
+        let value = U512::from_le_bytes(bytes);
+        let reduced = value.reduce_mod(&Self::order());
+        Scalar {
+            bytes: reduced.to_le_bytes_32(),
+        }
+    }
+
+    /// Interprets exactly 32 bytes as a scalar **without** checking that the
+    /// value is canonical (used for the clamped secret scalar, which may
+    /// exceed `l`). All arithmetic still reduces results.
+    pub fn from_unreduced_bytes(bytes: &[u8; 32]) -> Self {
+        Self::from_bytes_mod_order(bytes)
+    }
+
+    /// Returns `Some(scalar)` if `bytes` is a canonical (fully reduced)
+    /// encoding, `None` otherwise. Used when verifying signatures to reject
+    /// malleable `s` values.
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        let value = U512::from_le_bytes(bytes);
+        if value.cmp_value(&Self::order()) == core::cmp::Ordering::Less {
+            Some(Scalar { bytes: *bytes })
+        } else {
+            None
+        }
+    }
+
+    /// Returns the canonical 32-byte little-endian encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.bytes
+    }
+
+    /// Scalar addition modulo `l`.
+    #[must_use]
+    pub fn add(&self, other: &Scalar) -> Scalar {
+        let a = U512::from_le_bytes(&self.bytes);
+        let b = U512::from_le_bytes(&other.bytes);
+        let sum = a.wrapping_add(&b).reduce_mod(&Self::order());
+        Scalar {
+            bytes: sum.to_le_bytes_32(),
+        }
+    }
+
+    /// Scalar multiplication modulo `l`.
+    #[must_use]
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        let a = U512::from_le_bytes(&self.bytes);
+        let b = U512::from_le_bytes(&other.bytes);
+        let product = U512::mul_256(&a, &b).reduce_mod(&Self::order());
+        Scalar {
+            bytes: product.to_le_bytes_32(),
+        }
+    }
+
+    /// Computes `self * a + b mod l` (the signing equation `s = r + k·a`).
+    #[must_use]
+    pub fn mul_add(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        self.mul(a).add(b)
+    }
+
+    /// Returns `true` if the scalar is zero.
+    pub fn is_zero(&self) -> bool {
+        self.bytes == [0u8; 32]
+    }
+
+    /// Returns bit `i` of the scalar encoding.
+    pub fn bit(&self, i: usize) -> u8 {
+        (self.bytes[i / 8] >> (i % 8)) & 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_from_u64(v: u64) -> Scalar {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&v.to_le_bytes());
+        Scalar::from_bytes_mod_order(&bytes)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        let a = scalar_from_u64(5);
+        let b = scalar_from_u64(7);
+        assert_eq!(a.add(&b), scalar_from_u64(12));
+        assert_eq!(a.mul(&b), scalar_from_u64(35));
+        assert_eq!(a.mul_add(&b, &scalar_from_u64(1)), scalar_from_u64(36));
+    }
+
+    #[test]
+    fn order_reduces_to_zero() {
+        let l = Scalar::from_bytes_mod_order(&L_BYTES);
+        assert!(l.is_zero());
+    }
+
+    #[test]
+    fn order_minus_one_plus_one_is_zero() {
+        let mut l_minus_1 = L_BYTES;
+        l_minus_1[0] -= 1;
+        let a = Scalar::from_bytes_mod_order(&l_minus_1);
+        assert!(a.add(&scalar_from_u64(1)).is_zero());
+    }
+
+    #[test]
+    fn canonical_check() {
+        assert!(Scalar::from_canonical_bytes(&[0u8; 32]).is_some());
+        assert!(Scalar::from_canonical_bytes(&L_BYTES).is_none());
+        let mut just_below = L_BYTES;
+        just_below[0] -= 1;
+        assert!(Scalar::from_canonical_bytes(&just_below).is_some());
+    }
+
+    #[test]
+    fn wide_reduction_of_64_bytes() {
+        let wide = [0xffu8; 64];
+        let s = Scalar::from_bytes_mod_order(&wide);
+        // The result must itself be canonical.
+        assert!(Scalar::from_canonical_bytes(&s.to_bytes()).is_some());
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes() {
+        let a = scalar_from_u64(0xdead_beef);
+        let b = scalar_from_u64(0xfeed_f00d);
+        let c = scalar_from_u64(0x1234_5678);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let a = scalar_from_u64(0b1010);
+        assert_eq!(a.bit(0), 0);
+        assert_eq!(a.bit(1), 1);
+        assert_eq!(a.bit(3), 1);
+        assert_eq!(a.bit(200), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Authenticated encryption: ChaCha20 + HMAC-SHA3-256, encrypt-then-MAC.
+//!
+//! After remote attestation succeeds, the verifier and the enclave use the
+//! agreed key to protect application traffic (paper Fig. 7, step ⑩). The
+//! construction is deliberately simple: a fresh 12-byte nonce per message,
+//! ChaCha20 for confidentiality and HMAC-SHA3-256 over `nonce ‖ ciphertext`
+//! for integrity, with independent sub-keys derived by HKDF.
+
+use crate::chacha::ChaCha20;
+use crate::hmac::{hmac_sha3_256, hmac_verify};
+use crate::kdf::hkdf;
+
+/// Length of the authentication tag in bytes.
+pub const TAG_LEN: usize = 32;
+/// Length of the per-message nonce in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// Errors returned when opening a sealed message fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenError {
+    /// The message is too short to contain a nonce and tag.
+    Truncated,
+    /// The authentication tag did not verify.
+    BadTag,
+}
+
+impl core::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OpenError::Truncated => write!(f, "sealed message is truncated"),
+            OpenError::BadTag => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// A symmetric authenticated-encryption key.
+#[derive(Clone)]
+pub struct SecretBox {
+    enc_key: [u8; 32],
+    mac_key: [u8; 32],
+}
+
+impl core::fmt::Debug for SecretBox {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SecretBox(<redacted>)")
+    }
+}
+
+impl SecretBox {
+    /// Derives a secret box from shared keying material and a context label.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sanctorum_crypto::secretbox::SecretBox;
+    /// let sb = SecretBox::derive(b"shared secret", b"sanctorum session 1");
+    /// let sealed = sb.seal(&[9u8; 12], b"enclave output");
+    /// let opened = sb.open(&sealed)?;
+    /// assert_eq!(opened, b"enclave output");
+    /// # Ok::<(), sanctorum_crypto::secretbox::OpenError>(())
+    /// ```
+    pub fn derive(shared_secret: &[u8], context: &[u8]) -> Self {
+        let okm: [u8; 64] = hkdf(b"sanctorum-secretbox-v1", shared_secret, context);
+        let mut enc_key = [0u8; 32];
+        let mut mac_key = [0u8; 32];
+        enc_key.copy_from_slice(&okm[..32]);
+        mac_key.copy_from_slice(&okm[32..]);
+        Self { enc_key, mac_key }
+    }
+
+    /// Seals `plaintext` under `nonce`, producing `nonce ‖ ciphertext ‖ tag`.
+    ///
+    /// The caller is responsible for never reusing a nonce with the same key
+    /// (the session layer in `sanctorum-verifier` uses a message counter).
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(NONCE_LEN + plaintext.len() + TAG_LEN);
+        out.extend_from_slice(nonce);
+        let mut ciphertext = plaintext.to_vec();
+        ChaCha20::new(&self.enc_key, nonce).apply_keystream(1, &mut ciphertext);
+        out.extend_from_slice(&ciphertext);
+        let tag = hmac_sha3_256(&self.mac_key, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Opens a sealed message, returning the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpenError::Truncated`] if the message is shorter than a
+    /// nonce plus tag, and [`OpenError::BadTag`] if authentication fails.
+    pub fn open(&self, sealed: &[u8]) -> Result<Vec<u8>, OpenError> {
+        if sealed.len() < NONCE_LEN + TAG_LEN {
+            return Err(OpenError::Truncated);
+        }
+        let (body, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        if !hmac_verify(&self.mac_key, body, tag) {
+            return Err(OpenError::BadTag);
+        }
+        let nonce: [u8; NONCE_LEN] = body[..NONCE_LEN].try_into().expect("length checked");
+        let mut plaintext = body[NONCE_LEN..].to_vec();
+        ChaCha20::new(&self.enc_key, &nonce).apply_keystream(1, &mut plaintext);
+        Ok(plaintext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_round_trip() {
+        let sb = SecretBox::derive(b"key material", b"ctx");
+        let sealed = sb.seal(&[1; 12], b"hello");
+        assert_eq!(sb.open(&sealed).expect("opens"), b"hello");
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let sb = SecretBox::derive(b"key material", b"ctx");
+        let mut sealed = sb.seal(&[1; 12], b"hello");
+        sealed[NONCE_LEN] ^= 1;
+        assert_eq!(sb.open(&sealed), Err(OpenError::BadTag));
+        // Tamper with the nonce instead.
+        let mut sealed2 = sb.seal(&[1; 12], b"hello");
+        sealed2[0] ^= 1;
+        assert_eq!(sb.open(&sealed2), Err(OpenError::BadTag));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let sb = SecretBox::derive(b"key material", b"ctx");
+        assert_eq!(sb.open(&[0u8; 10]), Err(OpenError::Truncated));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let a = SecretBox::derive(b"key a", b"ctx");
+        let b = SecretBox::derive(b"key b", b"ctx");
+        let sealed = a.seal(&[2; 12], b"secret");
+        assert_eq!(b.open(&sealed), Err(OpenError::BadTag));
+    }
+
+    #[test]
+    fn context_separates_keys() {
+        let a = SecretBox::derive(b"key", b"ctx-a");
+        let b = SecretBox::derive(b"key", b"ctx-b");
+        let sealed = a.seal(&[3; 12], b"secret");
+        assert_eq!(b.open(&sealed), Err(OpenError::BadTag));
+    }
+
+    #[test]
+    fn empty_plaintext_round_trips() {
+        let sb = SecretBox::derive(b"k", b"c");
+        let sealed = sb.seal(&[0; 12], b"");
+        assert_eq!(sb.open(&sealed).expect("opens"), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn different_nonces_give_different_ciphertexts() {
+        let sb = SecretBox::derive(b"k", b"c");
+        let a = sb.seal(&[1; 12], b"same message");
+        let b = sb.seal(&[2; 12], b"same message");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,178 @@
+//! X25519 Diffie-Hellman key agreement (RFC 7748).
+//!
+//! Used for step ① of the paper's remote-attestation protocol (Fig. 7): the
+//! remote verifier and the enclave derive a shared secret over the untrusted
+//! network before attestation authenticates the enclave's half.
+
+use crate::ct::ct_swap_u64;
+use crate::field::FieldElement;
+
+/// Length of X25519 public values and shared secrets in bytes.
+pub const X25519_LEN: usize = 32;
+
+/// Clamps a 32-byte scalar per RFC 7748.
+pub fn clamp_scalar(mut scalar: [u8; 32]) -> [u8; 32] {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+    scalar
+}
+
+/// The X25519 function: multiplies the point with u-coordinate `u` by the
+/// clamped `scalar` and returns the resulting u-coordinate.
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp_scalar(*scalar);
+    let mut u_bytes = *u;
+    u_bytes[31] &= 0x7f;
+    let x1 = FieldElement::from_bytes(&u_bytes);
+
+    let mut x2 = FieldElement::ONE;
+    let mut z2 = FieldElement::ZERO;
+    let mut x3 = x1;
+    let mut z3 = FieldElement::ONE;
+    let a24 = FieldElement::from_u64(121665);
+
+    let mut swap = 0u8;
+    for t in (0..255).rev() {
+        let k_t = (k[t / 8] >> (t % 8)) & 1;
+        swap ^= k_t;
+        conditional_swap(swap, &mut x2, &mut x3);
+        conditional_swap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2 + z2;
+        let aa = a.square();
+        let b = x2 - z2;
+        let bb = b.square();
+        let e = aa - bb;
+        let c = x3 + z3;
+        let d = x3 - z3;
+        let da = d * a;
+        let cb = c * b;
+        x3 = (da + cb).square();
+        z3 = x1 * (da - cb).square();
+        x2 = aa * bb;
+        z2 = e * (aa + a24 * e);
+    }
+    conditional_swap(swap, &mut x2, &mut x3);
+    conditional_swap(swap, &mut z2, &mut z3);
+
+    (x2 * z2.invert()).to_bytes()
+}
+
+fn conditional_swap(choice: u8, a: &mut FieldElement, b: &mut FieldElement) {
+    // FieldElement exposes a limb-level swap helper; the types guarantee the
+    // limb counts match.
+    FieldElement::conditional_swap(choice, a, b);
+    let _ = ct_swap_u64; // keep the import obviously intentional
+}
+
+/// The base point u = 9.
+pub const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Derives the public value for `secret` (i.e. `X25519(secret, 9)`).
+pub fn public_key(secret: &[u8; 32]) -> [u8; 32] {
+    x25519(secret, &BASEPOINT)
+}
+
+/// Computes the shared secret between `our_secret` and `their_public`.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_crypto::x25519::{public_key, shared_secret};
+/// let alice_secret = [1u8; 32];
+/// let bob_secret = [2u8; 32];
+/// let alice_public = public_key(&alice_secret);
+/// let bob_public = public_key(&bob_secret);
+/// assert_eq!(
+///     shared_secret(&alice_secret, &bob_public),
+///     shared_secret(&bob_secret, &alice_public),
+/// );
+/// ```
+pub fn shared_secret(our_secret: &[u8; 32], their_public: &[u8; 32]) -> [u8; 32] {
+    x25519(our_secret, their_public)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha3::to_hex;
+
+    fn from_hex(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("hex");
+        }
+        out
+    }
+
+    #[test]
+    fn rfc7748_test_vector_1() {
+        let scalar =
+            from_hex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = from_hex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let out = x25519(&scalar, &u);
+        assert_eq!(
+            to_hex(&out),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    #[test]
+    fn rfc7748_alice_bob_key_agreement() {
+        let alice_secret =
+            from_hex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_secret =
+            from_hex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_public = public_key(&alice_secret);
+        let bob_public = public_key(&bob_secret);
+        assert_eq!(
+            to_hex(&alice_public),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            to_hex(&bob_public),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let shared_a = shared_secret(&alice_secret, &bob_public);
+        let shared_b = shared_secret(&bob_secret, &alice_public);
+        assert_eq!(shared_a, shared_b);
+        assert_eq!(
+            to_hex(&shared_a),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn key_agreement_with_random_style_keys() {
+        let a = clamp_scalar([0x11; 32]);
+        let b = clamp_scalar([0x22; 32]);
+        let pa = public_key(&a);
+        let pb = public_key(&b);
+        assert_eq!(shared_secret(&a, &pb), shared_secret(&b, &pa));
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn clamping_is_idempotent() {
+        let s = [0xffu8; 32];
+        assert_eq!(clamp_scalar(clamp_scalar(s)), clamp_scalar(s));
+        let c = clamp_scalar(s);
+        assert_eq!(c[0] & 7, 0);
+        assert_eq!(c[31] & 0x80, 0);
+        assert_eq!(c[31] & 0x40, 0x40);
+    }
+
+    #[test]
+    fn different_secrets_give_different_shared_keys() {
+        let base = clamp_scalar([0x33; 32]);
+        let peer = public_key(&clamp_scalar([0x44; 32]));
+        let other = clamp_scalar([0x55; 32]);
+        assert_ne!(shared_secret(&base, &peer), shared_secret(&other, &peer));
+    }
+}

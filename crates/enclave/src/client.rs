@@ -1,0 +1,179 @@
+//! Enclave-side client of the remote-attestation protocol
+//! (the `E1` of paper Figs. 6–7).
+
+use crate::signing::{SigningEnclave, REPLY_MAILBOX};
+use sanctorum_core::attestation::{AttestationEvidence, Certificate};
+use sanctorum_core::error::{SmError, SmResult};
+use sanctorum_core::monitor::SecurityMonitor;
+use sanctorum_crypto::ed25519::Signature;
+use sanctorum_crypto::sha3::Sha3_256;
+use sanctorum_crypto::x25519;
+use sanctorum_hal::domain::{DomainKind, EnclaveId};
+
+/// The request an enclave mails to the signing enclave: the verifier's nonce
+/// plus report data binding the attestation to the enclave's ephemeral DH
+/// key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttestationRequest {
+    /// Verifier-chosen anti-replay nonce.
+    pub nonce: [u8; 32],
+    /// Enclave-chosen binding data (hash of its DH public value).
+    pub report_data: [u8; 32],
+}
+
+impl AttestationRequest {
+    /// Serializes the request for transport through a mailbox.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.report_data);
+        out
+    }
+
+    /// Parses a request; returns `None` if the length is wrong.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 64 {
+            return None;
+        }
+        let mut nonce = [0u8; 32];
+        let mut report_data = [0u8; 32];
+        nonce.copy_from_slice(&bytes[..32]);
+        report_data.copy_from_slice(&bytes[32..]);
+        Some(Self { nonce, report_data })
+    }
+}
+
+/// What the attested enclave sends back to the remote verifier over the
+/// untrusted network: its DH public value plus the evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestationResponse {
+    /// The enclave's ephemeral X25519 public value.
+    pub enclave_dh_public: [u8; 32],
+    /// The signed evidence and certificate chain.
+    pub evidence: AttestationEvidence,
+}
+
+/// Host-side logic of an enclave obtaining a remote attestation
+/// (see the crate-level substitution note).
+#[derive(Debug)]
+pub struct AttestationClient {
+    eid: EnclaveId,
+    dh_secret: [u8; 32],
+    dh_public: [u8; 32],
+}
+
+impl AttestationClient {
+    /// Creates the client for enclave `eid` with an ephemeral DH key derived
+    /// from `dh_seed` (in-enclave code would draw this from the platform
+    /// entropy source).
+    pub fn new(eid: EnclaveId, dh_seed: [u8; 32]) -> Self {
+        let dh_secret = x25519::clamp_scalar(dh_seed);
+        let dh_public = x25519::public_key(&dh_secret);
+        Self {
+            eid,
+            dh_secret,
+            dh_public,
+        }
+    }
+
+    /// Returns the enclave id.
+    pub fn eid(&self) -> EnclaveId {
+        self.eid
+    }
+
+    /// Returns the enclave's DH public value (sent to the verifier).
+    pub fn dh_public(&self) -> [u8; 32] {
+        self.dh_public
+    }
+
+    /// Computes the X25519 shared secret with the verifier.
+    pub fn shared_secret(&self, verifier_public: &[u8; 32]) -> [u8; 32] {
+        x25519::shared_secret(&self.dh_secret, verifier_public)
+    }
+
+    fn caller(&self) -> DomainKind {
+        DomainKind::Enclave(self.eid)
+    }
+
+    /// Runs the local half of Fig. 7: mails `(nonce, report_data)` to the
+    /// signing enclave, lets it sign, retrieves the signature and assembles
+    /// the evidence with the SM's certificate and the device certificate the
+    /// OS provides.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SM API errors (mailbox protocol violations, unauthorized
+    /// key release, and so on).
+    pub fn obtain_attestation(
+        &self,
+        sm: &SecurityMonitor,
+        signing: &SigningEnclave,
+        nonce: [u8; 32],
+        device_certificate: Certificate,
+    ) -> SmResult<AttestationResponse> {
+        let report_data = Sha3_256::digest(&self.dh_public);
+        let request = AttestationRequest { nonce, report_data };
+
+        // ①/② The signing enclave must be willing to hear from us, and we
+        // must be willing to receive its reply.
+        signing.accept_request_from(sm, self.eid)?;
+        sm.accept_mail(self.caller(), REPLY_MAILBOX, signing.eid().as_u64())?;
+
+        // ③ Send the request through the SM (which tags it with our
+        // measurement).
+        sm.send_mail(self.caller(), signing.eid(), &request.encode())?;
+
+        // ④/⑤ The signing enclave fetches the key and signs.
+        let (report, _signature) = signing.process_request(sm, self.eid)?;
+
+        // ⑥ Fetch the signature from our reply mailbox.
+        let (reply, _sender) = sm.get_mail(self.caller(), REPLY_MAILBOX)?;
+        if reply.len() != 64 {
+            return Err(SmError::InvalidArgument {
+                reason: "malformed signature reply",
+            });
+        }
+        let mut sig_bytes = [0u8; 64];
+        sig_bytes.copy_from_slice(&reply);
+        let signature = Signature::from_bytes(&sig_bytes);
+
+        // ⑦ Assemble the evidence: the SM certificate chains the attestation
+        // key to the device; the device certificate chains it to the
+        // manufacturer.
+        let evidence = AttestationEvidence {
+            report,
+            signature,
+            sm_certificate: sm.sm_certificate(),
+            device_certificate,
+        };
+        Ok(AttestationResponse {
+            enclave_dh_public: self.dh_public,
+            evidence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dh_keys_are_deterministic_and_distinct() {
+        let a = AttestationClient::new(EnclaveId::new(1), [1; 32]);
+        let b = AttestationClient::new(EnclaveId::new(1), [1; 32]);
+        let c = AttestationClient::new(EnclaveId::new(1), [2; 32]);
+        assert_eq!(a.dh_public(), b.dh_public());
+        assert_ne!(a.dh_public(), c.dh_public());
+    }
+
+    #[test]
+    fn shared_secret_agrees_with_peer() {
+        let client = AttestationClient::new(EnclaveId::new(1), [3; 32]);
+        let peer_secret = x25519::clamp_scalar([4; 32]);
+        let peer_public = x25519::public_key(&peer_secret);
+        assert_eq!(
+            client.shared_secret(&peer_public),
+            x25519::shared_secret(&peer_secret, &client.dh_public())
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! The enclave image format and a builder for common test workloads.
+
+use sanctorum_hal::addr::{VirtAddr, PAGE_SIZE};
+use sanctorum_hal::perm::MemPerms;
+use sanctorum_machine::guest::{GuestOp, GuestProgram, REG_A0};
+use serde::{Deserialize, Serialize};
+
+/// One thread of an enclave image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadSpec {
+    /// Entry point (an index into the thread's guest program).
+    pub entry_pc: u64,
+    /// Optional fault-handler entry point.
+    pub fault_handler_pc: Option<u64>,
+    /// The guest program the thread executes when entered.
+    pub program: GuestProgram,
+}
+
+/// A buildable enclave image: virtual range, initial page contents and
+/// threads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnclaveImage {
+    /// Human-readable name (appears in traces and benches).
+    pub name: String,
+    /// Base of the enclave virtual range.
+    pub evrange_base: VirtAddr,
+    /// Length of the enclave virtual range in bytes.
+    pub evrange_len: u64,
+    /// Initial private pages: virtual address, permissions and contents
+    /// (padded/truncated to one page when loaded).
+    pub pages: Vec<(VirtAddr, MemPerms, Vec<u8>)>,
+    /// Threads to create.
+    pub threads: Vec<ThreadSpec>,
+}
+
+impl EnclaveImage {
+    /// Starts building an image with the given virtual range.
+    pub fn new(name: impl Into<String>, evrange_base: VirtAddr, evrange_len: u64) -> Self {
+        Self {
+            name: name.into(),
+            evrange_base,
+            evrange_len,
+            pages: Vec::new(),
+            threads: Vec::new(),
+        }
+    }
+
+    /// Adds a data page at `vaddr`.
+    #[must_use]
+    pub fn with_page(mut self, vaddr: VirtAddr, perms: MemPerms, contents: Vec<u8>) -> Self {
+        self.pages.push((vaddr, perms, contents));
+        self
+    }
+
+    /// Adds a thread.
+    #[must_use]
+    pub fn with_thread(mut self, spec: ThreadSpec) -> Self {
+        self.threads.push(spec);
+        self
+    }
+
+    /// Total number of data pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The default virtual range used by the canned images below.
+    pub fn default_evrange() -> (VirtAddr, u64) {
+        (VirtAddr::new(0x0000_0000_0010_0000), 64 * PAGE_SIZE as u64)
+    }
+
+    /// A minimal "hello" enclave: one data page, one thread that writes a
+    /// value into its private page and exits via the SM.
+    pub fn hello(secret: u64) -> Self {
+        let (base, len) = Self::default_evrange();
+        let data_vaddr = base.offset(PAGE_SIZE as u64);
+        let program = GuestProgram::new(
+            "hello-enclave",
+            vec![
+                GuestOp::MovImm { dst: 1, value: data_vaddr.as_u64() },
+                GuestOp::MovImm { dst: 2, value: secret },
+                GuestOp::Store { src: 2, addr: 1 },
+                GuestOp::Load { dst: REG_A0, addr: 1 },
+                // Voluntary exit through the SM (SmCall::ExitEnclave = 8).
+                GuestOp::MovImm { dst: REG_A0, value: 8 },
+                GuestOp::Ecall,
+                GuestOp::Exit,
+            ],
+        );
+        Self::new("hello", base, len)
+            // The secret is part of the initial data, so enclaves built with
+            // different secrets have different measurements.
+            .with_page(base, MemPerms::RX, b"enclave text page".to_vec())
+            .with_page(data_vaddr, MemPerms::RW, secret.to_le_bytes().to_vec())
+            .with_thread(ThreadSpec {
+                entry_pc: 0,
+                fault_handler_pc: None,
+                program,
+            })
+    }
+
+    /// A pure-compute enclave used for timing experiments: `pages` data pages
+    /// and one thread that burns `cycles` and exits.
+    pub fn compute(pages: usize, cycles: u64) -> Self {
+        let (base, len) = Self::default_evrange();
+        let program = GuestProgram::new(
+            "compute-enclave",
+            vec![
+                GuestOp::Compute { cycles },
+                GuestOp::MovImm { dst: REG_A0, value: 8 },
+                GuestOp::Ecall,
+                GuestOp::Exit,
+            ],
+        );
+        let mut image = Self::new(format!("compute-{pages}p"), base, len);
+        for i in 0..pages {
+            image = image.with_page(
+                base.offset((i * PAGE_SIZE) as u64),
+                MemPerms::RW,
+                vec![(i % 251) as u8; PAGE_SIZE],
+            );
+        }
+        image.with_thread(ThreadSpec {
+            entry_pc: 0,
+            fault_handler_pc: None,
+            program,
+        })
+    }
+
+    /// An enclave that touches memory outside its virtual range, triggering
+    /// an isolation/page fault — used to exercise the Fig. 1 fault paths.
+    pub fn faulting() -> Self {
+        let (base, len) = Self::default_evrange();
+        let program = GuestProgram::new(
+            "faulting-enclave",
+            vec![
+                // Store to an address far outside evrange / unmapped.
+                GuestOp::MovImm { dst: 1, value: 0xdead_0000 },
+                GuestOp::MovImm { dst: 2, value: 1 },
+                GuestOp::Store { src: 2, addr: 1 },
+                GuestOp::Exit,
+            ],
+        );
+        Self::new("faulting", base, len)
+            .with_page(base, MemPerms::RW, vec![0u8; 32])
+            .with_thread(ThreadSpec {
+                entry_pc: 0,
+                fault_handler_pc: None,
+                program,
+            })
+    }
+
+    /// Like [`EnclaveImage::faulting`] but with a registered fault handler:
+    /// the handler sets a flag in enclave memory and exits cleanly,
+    /// demonstrating enclave-handled exceptions (paper Fig. 1 "enclave has
+    /// handler?" arc).
+    pub fn fault_handling() -> Self {
+        let (base, len) = Self::default_evrange();
+        let flag_vaddr = base.offset(8);
+        let program = GuestProgram::new(
+            "fault-handling-enclave",
+            vec![
+                // 0: attempt a bad store -> faults, SM redirects to handler (op 4).
+                GuestOp::MovImm { dst: 1, value: 0xdead_0000 },
+                GuestOp::MovImm { dst: 2, value: 1 },
+                GuestOp::Store { src: 2, addr: 1 },
+                GuestOp::Exit,
+                // 4: fault handler — record that it ran, then exit via the SM.
+                GuestOp::MovImm { dst: 1, value: flag_vaddr.as_u64() },
+                GuestOp::MovImm { dst: 2, value: 0x600d },
+                GuestOp::Store { src: 2, addr: 1 },
+                GuestOp::MovImm { dst: REG_A0, value: 8 },
+                GuestOp::Ecall,
+                GuestOp::Exit,
+            ],
+        );
+        Self::new("fault-handling", base, len)
+            .with_page(base, MemPerms::RW, vec![0u8; 32])
+            .with_thread(ThreadSpec {
+                entry_pc: 0,
+                fault_handler_pc: Some(4),
+                program,
+            })
+    }
+
+    /// A long-running enclave that loops forever (used to test OS-forced
+    /// de-scheduling via AEX).
+    pub fn spinner() -> Self {
+        let (base, len) = Self::default_evrange();
+        let program = GuestProgram::new(
+            "spinner-enclave",
+            vec![
+                GuestOp::MovImm { dst: 1, value: 1 },
+                GuestOp::Compute { cycles: 50 },
+                GuestOp::BranchNonZero { reg: 1, target: 1 },
+                GuestOp::Exit,
+            ],
+        );
+        Self::new("spinner", base, len)
+            .with_page(base, MemPerms::RW, vec![0u8; 16])
+            .with_thread(ThreadSpec {
+                entry_pc: 0,
+                fault_handler_pc: None,
+                program,
+            })
+    }
+
+    /// The signing-enclave image (paper Section VI-C). Its guest program only
+    /// enters and exits; the signing logic runs host-side (see the crate
+    /// docs) through the same SM API.
+    pub fn signing_enclave() -> Self {
+        let (base, len) = Self::default_evrange();
+        let program = GuestProgram::new(
+            "signing-enclave",
+            vec![
+                GuestOp::Compute { cycles: 100 },
+                GuestOp::MovImm { dst: REG_A0, value: 8 },
+                GuestOp::Ecall,
+                GuestOp::Exit,
+            ],
+        );
+        Self::new("signing-enclave", base, len)
+            .with_page(base, MemPerms::RX, b"signing enclave text".to_vec())
+            .with_page(base.offset(PAGE_SIZE as u64), MemPerms::RW, vec![0u8; 128])
+            .with_thread(ThreadSpec {
+                entry_pc: 0,
+                fault_handler_pc: None,
+                program,
+            })
+    }
+
+    /// The attestation-client enclave image (the `E1` of paper Figs. 6–7).
+    pub fn attestation_client() -> Self {
+        let (base, len) = Self::default_evrange();
+        let program = GuestProgram::new(
+            "attestation-client",
+            vec![
+                GuestOp::Compute { cycles: 200 },
+                GuestOp::MovImm { dst: REG_A0, value: 8 },
+                GuestOp::Ecall,
+                GuestOp::Exit,
+            ],
+        );
+        Self::new("attestation-client", base, len)
+            .with_page(base, MemPerms::RX, b"attestation client text".to_vec())
+            .with_page(base.offset(PAGE_SIZE as u64), MemPerms::RW, vec![0u8; 256])
+            .with_thread(ThreadSpec {
+                entry_pc: 0,
+                fault_handler_pc: None,
+                program,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_pages_and_threads() {
+        let img = EnclaveImage::hello(42);
+        assert_eq!(img.page_count(), 2);
+        assert_eq!(img.threads.len(), 1);
+        assert!(img.evrange_len >= 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn compute_image_scales_with_pages() {
+        assert_eq!(EnclaveImage::compute(1, 10).page_count(), 1);
+        assert_eq!(EnclaveImage::compute(16, 10).page_count(), 16);
+        assert_eq!(EnclaveImage::compute(3, 10).name, "compute-3p");
+    }
+
+    #[test]
+    fn fault_handling_image_registers_handler() {
+        let img = EnclaveImage::fault_handling();
+        assert_eq!(img.threads[0].fault_handler_pc, Some(4));
+        let faulting = EnclaveImage::faulting();
+        assert_eq!(faulting.threads[0].fault_handler_pc, None);
+    }
+
+    #[test]
+    fn canned_images_use_default_evrange() {
+        let (base, len) = EnclaveImage::default_evrange();
+        for img in [
+            EnclaveImage::hello(1),
+            EnclaveImage::signing_enclave(),
+            EnclaveImage::attestation_client(),
+            EnclaveImage::spinner(),
+        ] {
+            assert_eq!(img.evrange_base, base);
+            assert_eq!(img.evrange_len, len);
+            assert!(!img.pages.is_empty());
+            assert!(!img.threads.is_empty());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Enclave images, guest programs and enclave-side protocol logic.
+//!
+//! An [`image::EnclaveImage`] describes everything the untrusted OS needs to
+//! build an enclave through the SM API: the enclave virtual range, the
+//! initial contents of its private pages, and its threads (each with a guest
+//! program to run). The [`signing`] module implements the trusted signing
+//! enclave of paper Section VI-C, and [`client`] the enclave-side half of the
+//! remote-attestation protocol of Fig. 7.
+//!
+//! ## Enclave code substitution
+//!
+//! On real hardware the signing enclave and the attestation client are RISC-V
+//! binaries executing inside their enclaves. The simulated machine executes
+//! abstract guest programs that exercise every *architectural* interaction
+//! (memory isolation, entry/exit, AEX, mailbox ecalls), but it cannot run a
+//! full Ed25519 implementation as guest ops. The cryptographic steps of those
+//! two enclaves therefore run host-side in this crate, invoked at the points
+//! where the corresponding guest program would perform them, and interact
+//! with the monitor through exactly the same API calls (with the enclave's
+//! own caller identity). DESIGN.md records this substitution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod image;
+pub mod signing;
+
+pub use image::{EnclaveImage, ThreadSpec};

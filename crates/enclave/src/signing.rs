@@ -1,0 +1,117 @@
+//! The trusted signing enclave (paper Section VI-C, Fig. 7 steps ③–⑤).
+//!
+//! The signing enclave is the only software besides the SM that ever sees the
+//! SM's attestation signing key. It receives attestation requests from other
+//! enclaves through SM mailboxes, retrieves the key with
+//! `get_attestation_key` (the SM checks its measurement against the
+//! hard-coded expected value), signs `(nonce, report_data, requester
+//! measurement)` and mails the signature back.
+
+use crate::client::AttestationRequest;
+use sanctorum_core::attestation::AttestationReport;
+use sanctorum_core::error::{SmError, SmResult};
+use sanctorum_core::mailbox::SenderIdentity;
+use sanctorum_core::monitor::SecurityMonitor;
+use sanctorum_crypto::ed25519::{Keypair, Signature};
+use sanctorum_hal::domain::{DomainKind, EnclaveId};
+
+/// Mailbox index the signing enclave uses to receive requests.
+pub const REQUEST_MAILBOX: usize = 0;
+/// Mailbox index requesters use to receive the signature.
+pub const REPLY_MAILBOX: usize = 1;
+
+/// Host-side logic of the signing enclave (see the crate-level substitution
+/// note).
+#[derive(Debug)]
+pub struct SigningEnclave {
+    eid: EnclaveId,
+}
+
+impl SigningEnclave {
+    /// Binds the logic to the built signing enclave `eid`.
+    pub fn new(eid: EnclaveId) -> Self {
+        Self { eid }
+    }
+
+    /// Returns the enclave id.
+    pub fn eid(&self) -> EnclaveId {
+        self.eid
+    }
+
+    fn caller(&self) -> DomainKind {
+        DomainKind::Enclave(self.eid)
+    }
+
+    /// Prepares to receive an attestation request from `requester`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SM mailbox errors.
+    pub fn accept_request_from(
+        &self,
+        sm: &SecurityMonitor,
+        requester: EnclaveId,
+    ) -> SmResult<()> {
+        sm.accept_mail(self.caller(), REQUEST_MAILBOX, requester.as_u64())
+    }
+
+    /// Processes one pending attestation request: fetches the request mail,
+    /// retrieves the attestation key, signs the report, and mails the
+    /// signature back to the requester.
+    ///
+    /// Returns the report it signed (useful for tests and traces).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no request is waiting, the request is malformed, the SM
+    /// refuses to release the key (wrong signing-enclave measurement), or the
+    /// requester is not accepting the reply.
+    pub fn process_request(
+        &self,
+        sm: &SecurityMonitor,
+        requester: EnclaveId,
+    ) -> SmResult<(AttestationReport, Signature)> {
+        let (message, sender) = sm.get_mail(self.caller(), REQUEST_MAILBOX)?;
+        let request = AttestationRequest::decode(&message).ok_or(SmError::InvalidArgument {
+            reason: "malformed attestation request",
+        })?;
+        // The measurement signed is the one the SM recorded for the sender —
+        // the requester cannot lie about its own identity.
+        let requester_measurement = match sender {
+            SenderIdentity::Enclave(m) => m,
+            SenderIdentity::Untrusted => {
+                return Err(SmError::Unauthorized);
+            }
+        };
+
+        let key_seed = sm.get_attestation_key(self.caller())?;
+        let keypair = Keypair::from_seed(key_seed);
+        let report = AttestationReport {
+            enclave_measurement: requester_measurement,
+            nonce: request.nonce,
+            report_data: request.report_data,
+        };
+        let signature = keypair.sign(&report.to_signed_bytes());
+
+        sm.send_mail(self.caller(), requester, &signature.to_bytes())?;
+        Ok((report, signature))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::client::AttestationRequest;
+
+    #[test]
+    fn request_encoding_round_trip() {
+        let req = AttestationRequest {
+            nonce: [7; 32],
+            report_data: [9; 32],
+        };
+        let encoded = req.encode();
+        let decoded = AttestationRequest::decode(&encoded).expect("round trip");
+        assert_eq!(decoded.nonce, [7; 32]);
+        assert_eq!(decoded.report_data, [9; 32]);
+        assert!(AttestationRequest::decode(&encoded[..40]).is_none());
+    }
+}

@@ -1,0 +1,326 @@
+//! Strongly typed physical and virtual addresses and page numbers.
+//!
+//! Using newtypes for the four address spaces (physical/virtual ×
+//! address/page-number) prevents the most common class of bugs in monitor
+//! code: passing a guest-virtual quantity where a physical one was expected.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// The architectural page size used throughout the system (4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Number of bits in the page offset.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A physical memory address.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_hal::addr::{PhysAddr, PAGE_SIZE};
+/// let a = PhysAddr::new(0x8000_1010);
+/// assert_eq!(a.page_offset(), 0x10);
+/// assert_eq!(a.align_down().as_u64(), 0x8000_1000);
+/// assert_eq!(a.align_down().page_offset(), 0);
+/// assert_eq!(PAGE_SIZE, 4096);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a new physical address.
+    pub const fn new(addr: u64) -> Self {
+        Self(addr)
+    }
+
+    /// Returns the raw address value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address as a `usize` (the simulator indexes memory with it).
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the physical page number containing this address.
+    pub const fn page_number(self) -> PhysPageNum {
+        PhysPageNum(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Returns the offset of this address within its page.
+    pub const fn page_offset(self) -> usize {
+        (self.0 as usize) & (PAGE_SIZE - 1)
+    }
+
+    /// Returns `true` if the address is page aligned.
+    pub const fn is_page_aligned(self) -> bool {
+        self.page_offset() == 0
+    }
+
+    /// Rounds the address down to the containing page boundary.
+    pub const fn align_down(self) -> Self {
+        Self(self.0 & !((PAGE_SIZE as u64) - 1))
+    }
+
+    /// Rounds the address up to the next page boundary.
+    pub const fn align_up(self) -> Self {
+        Self((self.0 + PAGE_SIZE as u64 - 1) & !((PAGE_SIZE as u64) - 1))
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Self(self.0 + bytes)
+    }
+
+    /// Checked difference between two physical addresses.
+    pub const fn checked_sub(self, other: Self) -> Option<u64> {
+        self.0.checked_sub(other.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA {:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+/// A physical page number (address divided by [`PAGE_SIZE`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysPageNum(u64);
+
+impl PhysPageNum {
+    /// Creates a page number from its index.
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the page index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the base physical address of the page.
+    pub const fn base_address(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Returns the page number immediately after this one.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+}
+
+impl fmt::Display for PhysPageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PPN {:#x}", self.0)
+    }
+}
+
+impl From<PhysAddr> for PhysPageNum {
+    fn from(a: PhysAddr) -> Self {
+        a.page_number()
+    }
+}
+
+/// A guest-virtual memory address.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a new virtual address.
+    pub const fn new(addr: u64) -> Self {
+        Self(addr)
+    }
+
+    /// Returns the raw address value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the virtual page number containing this address.
+    pub const fn page_number(self) -> VirtPageNum {
+        VirtPageNum(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Returns the offset of this address within its page.
+    pub const fn page_offset(self) -> usize {
+        (self.0 as usize) & (PAGE_SIZE - 1)
+    }
+
+    /// Returns `true` if the address is page aligned.
+    pub const fn is_page_aligned(self) -> bool {
+        self.page_offset() == 0
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Self(self.0 + bytes)
+    }
+
+    /// Returns `true` if `self` lies in `[base, base + len)`.
+    pub const fn in_range(self, base: VirtAddr, len: u64) -> bool {
+        self.0 >= base.0 && self.0 < base.0 + len
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VA {:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+/// A guest-virtual page number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtPageNum(u64);
+
+impl VirtPageNum {
+    /// Creates a virtual page number from its index.
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the page index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the base virtual address of the page.
+    pub const fn base_address(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Returns the three 9-bit Sv39-style page-table indices for this page,
+    /// from root level (index 0) to leaf level (index 2).
+    pub const fn table_indices(self) -> [usize; 3] {
+        let v = self.0;
+        [
+            ((v >> 18) & 0x1ff) as usize,
+            ((v >> 9) & 0x1ff) as usize,
+            (v & 0x1ff) as usize,
+        ]
+    }
+
+    /// Returns the page number immediately after this one.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+}
+
+impl fmt::Display for VirtPageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VPN {:#x}", self.0)
+    }
+}
+
+impl From<VirtAddr> for VirtPageNum {
+    fn from(a: VirtAddr) -> Self {
+        a.page_number()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn phys_addr_page_round_trip() {
+        let a = PhysAddr::new(0x8000_2345);
+        assert_eq!(a.page_number().base_address().as_u64(), 0x8000_2000);
+        assert_eq!(a.page_offset(), 0x345);
+        assert!(!a.is_page_aligned());
+        assert!(a.align_down().is_page_aligned());
+        assert_eq!(a.align_up().as_u64(), 0x8000_3000);
+    }
+
+    #[test]
+    fn align_up_of_aligned_address_is_identity() {
+        let a = PhysAddr::new(0x8000_1000);
+        assert_eq!(a.align_up(), a);
+        assert_eq!(a.align_down(), a);
+    }
+
+    #[test]
+    fn virt_addr_table_indices() {
+        // VPN = 0b000000001_000000010_000000011 = (1, 2, 3)
+        let vpn = VirtPageNum::new((1 << 18) | (2 << 9) | 3);
+        assert_eq!(vpn.table_indices(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn virt_addr_in_range() {
+        let base = VirtAddr::new(0x1000);
+        assert!(VirtAddr::new(0x1000).in_range(base, 0x1000));
+        assert!(VirtAddr::new(0x1fff).in_range(base, 0x1000));
+        assert!(!VirtAddr::new(0x2000).in_range(base, 0x1000));
+        assert!(!VirtAddr::new(0xfff).in_range(base, 0x1000));
+    }
+
+    #[test]
+    fn phys_checked_sub() {
+        let a = PhysAddr::new(0x2000);
+        let b = PhysAddr::new(0x1000);
+        assert_eq!(a.checked_sub(b), Some(0x1000));
+        assert_eq!(b.checked_sub(a), None);
+    }
+
+    proptest! {
+        #[test]
+        fn page_number_and_offset_recompose(addr in 0u64..(1 << 48)) {
+            let a = PhysAddr::new(addr);
+            let recomposed =
+                a.page_number().base_address().as_u64() + a.page_offset() as u64;
+            prop_assert_eq!(recomposed, addr);
+        }
+
+        #[test]
+        fn table_indices_are_9_bit(vpn in 0u64..(1 << 27)) {
+            let idx = VirtPageNum::new(vpn).table_indices();
+            for i in idx {
+                prop_assert!(i < 512);
+            }
+            let recomposed = ((idx[0] as u64) << 18) | ((idx[1] as u64) << 9) | idx[2] as u64;
+            prop_assert_eq!(recomposed, vpn);
+        }
+
+        #[test]
+        fn align_down_le_addr_le_align_up(addr in 0u64..(1 << 48)) {
+            let a = PhysAddr::new(addr);
+            prop_assert!(a.align_down().as_u64() <= addr);
+            prop_assert!(a.align_up().as_u64() >= addr);
+            prop_assert!(a.align_up().as_u64() - a.align_down().as_u64() <= PAGE_SIZE as u64);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Deterministic cycle accounting.
+//!
+//! The simulated machine does not run in real time; instead every modelled
+//! operation (instruction, memory access, cache flush, TLB shootdown, SM API
+//! call) contributes a deterministic number of cycles. Benchmarks report both
+//! wall-clock time of the simulation and these architectural cycle counts, the
+//! latter being the quantity comparable to numbers a hardware implementation
+//! would report.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub};
+use serde::{Deserialize, Serialize};
+
+/// A count of simulated processor cycles.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_hal::cycles::Cycles;
+/// let a = Cycles::new(100);
+/// let b = Cycles::new(20);
+/// assert_eq!((a + b).count(), 120);
+/// assert_eq!((a - b).count(), 80);
+/// assert_eq!([a, b].into_iter().sum::<Cycles>().count(), 120);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(count: u64) -> Self {
+        Self(count)
+    }
+
+    /// Returns the raw count.
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, other: Self) -> Self {
+        Self(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the count scaled by `factor`.
+    #[must_use]
+    pub const fn scaled(self, factor: u64) -> Self {
+        Self(self.0 * factor)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Self {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+/// Cost model constants shared across the simulator and platform backends.
+///
+/// These are rough in-order-core figures (loads hitting L1, LLC misses to
+/// DRAM, flush costs) chosen so that relative magnitudes of monitor
+/// operations are realistic even though absolute values are arbitrary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of executing one simple ALU guest operation.
+    pub alu_op: Cycles,
+    /// Cost of a memory access that hits in the cache.
+    pub mem_hit: Cycles,
+    /// Cost of a memory access that misses to DRAM.
+    pub mem_miss: Cycles,
+    /// Cost of one level of a page-table walk.
+    pub ptw_level: Cycles,
+    /// Cost of a trap entry (pipeline flush + CSR save).
+    pub trap_entry: Cycles,
+    /// Cost of a trap return.
+    pub trap_return: Cycles,
+    /// Cost of zeroing one 4 KiB page.
+    pub zero_page: Cycles,
+    /// Cost of flushing one cache line.
+    pub flush_line: Cycles,
+    /// Cost of flushing architected core state (registers + L1).
+    pub flush_core: Cycles,
+    /// Cost of a TLB shootdown round (per remote hart).
+    pub tlb_shootdown: Cycles,
+    /// Cost of reprogramming one PMP entry.
+    pub pmp_write: Cycles,
+    /// Cost of hashing one 64-byte block with SHA-3.
+    pub hash_block: Cycles,
+}
+
+impl CostModel {
+    /// The default cost model used by both platform backends.
+    pub const fn default_model() -> Self {
+        Self {
+            alu_op: Cycles::new(1),
+            mem_hit: Cycles::new(2),
+            mem_miss: Cycles::new(120),
+            ptw_level: Cycles::new(40),
+            trap_entry: Cycles::new(60),
+            trap_return: Cycles::new(40),
+            zero_page: Cycles::new(512),
+            flush_line: Cycles::new(4),
+            flush_core: Cycles::new(900),
+            tlb_shootdown: Cycles::new(400),
+            pmp_write: Cycles::new(8),
+            hash_block: Cycles::new(1200),
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::default_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(5);
+        let mut b = Cycles::new(7);
+        b += a;
+        assert_eq!(b, Cycles::new(12));
+        assert_eq!(b - a, Cycles::new(7));
+        assert_eq!(Cycles::new(3).scaled(4), Cycles::new(12));
+        assert_eq!(Cycles::ZERO.count(), 0);
+    }
+
+    #[test]
+    fn saturating_sub_does_not_underflow() {
+        assert_eq!(Cycles::new(1).saturating_sub(Cycles::new(5)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(10));
+    }
+
+    #[test]
+    fn default_cost_model_is_consistent() {
+        let m = CostModel::default();
+        assert!(m.mem_miss > m.mem_hit);
+        assert!(m.flush_core > m.flush_line);
+        assert_eq!(m, CostModel::default_model());
+    }
+}

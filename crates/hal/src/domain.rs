@@ -1,0 +1,142 @@
+//! Protection-domain and core identifiers.
+//!
+//! The paper partitions all software into three kinds of protection domains:
+//! the security monitor itself, the untrusted system software (OS, hypervisor,
+//! devices acting on its behalf), and each individual enclave
+//! (paper Section V-B). Machine resources are always owned by exactly one
+//! domain.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a hardware thread (hart / core) in the simulated machine.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    /// Creates a core identifier.
+    pub const fn new(id: u32) -> Self {
+        Self(id)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Opaque identifier of an enclave, as used by the SM API.
+///
+/// In the paper an enclave id is the physical address of the enclave's
+/// metadata structure inside SM-owned memory (Section V-C); this crate only
+/// needs it as an opaque token, so the concrete encoding is chosen by
+/// `sanctorum-core`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EnclaveId(pub u64);
+
+impl EnclaveId {
+    /// Creates an enclave identifier from its raw (metadata-address) value.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EnclaveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "enclave {:#x}", self.0)
+    }
+}
+
+/// The kind of protection domain a resource or a running core belongs to.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum DomainKind {
+    /// The security monitor itself (highest privilege).
+    SecurityMonitor,
+    /// The untrusted operating system / hypervisor and devices it controls.
+    Untrusted,
+    /// A specific enclave.
+    Enclave(EnclaveId),
+}
+
+impl DomainKind {
+    /// Returns `true` if the domain is an enclave domain.
+    pub const fn is_enclave(self) -> bool {
+        matches!(self, DomainKind::Enclave(_))
+    }
+
+    /// Returns the enclave id if this is an enclave domain.
+    pub const fn enclave_id(self) -> Option<EnclaveId> {
+        match self {
+            DomainKind::Enclave(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DomainKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainKind::SecurityMonitor => write!(f, "SM"),
+            DomainKind::Untrusted => write!(f, "untrusted"),
+            DomainKind::Enclave(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enclave_id_round_trip() {
+        let id = EnclaveId::new(0x8020_0000);
+        assert_eq!(id.as_u64(), 0x8020_0000);
+        assert_eq!(format!("{id}"), "enclave 0x80200000");
+    }
+
+    #[test]
+    fn domain_kind_predicates() {
+        let e = DomainKind::Enclave(EnclaveId::new(7));
+        assert!(e.is_enclave());
+        assert_eq!(e.enclave_id(), Some(EnclaveId::new(7)));
+        assert!(!DomainKind::Untrusted.is_enclave());
+        assert_eq!(DomainKind::SecurityMonitor.enclave_id(), None);
+    }
+
+    #[test]
+    fn domain_display() {
+        assert_eq!(format!("{}", DomainKind::SecurityMonitor), "SM");
+        assert_eq!(format!("{}", DomainKind::Untrusted), "untrusted");
+        assert_eq!(format!("{}", CoreId::new(3)), "core3");
+    }
+
+    #[test]
+    fn domain_ordering_is_total() {
+        let mut v = vec![
+            DomainKind::Enclave(EnclaveId::new(2)),
+            DomainKind::SecurityMonitor,
+            DomainKind::Untrusted,
+            DomainKind::Enclave(EnclaveId::new(1)),
+        ];
+        v.sort();
+        assert_eq!(v[0], DomainKind::SecurityMonitor);
+        assert_eq!(v[1], DomainKind::Untrusted);
+    }
+}

@@ -1,0 +1,48 @@
+//! Hardware abstraction layer for the Sanctorum security monitor.
+//!
+//! The security monitor in [`sanctorum-core`] is written entirely against the
+//! traits and base types defined here, mirroring the paper's claim that the
+//! same monitor logic can run on different hardware platforms (the MIT Sanctum
+//! processor and Keystone-class PMP machines) as long as the platform provides
+//! a minimal set of isolation mechanisms (paper Section IV-B).
+//!
+//! The crate has three parts:
+//!
+//! * **Base types** — strongly typed addresses, page numbers, core identifiers
+//!   and cycle counts ([`addr`], [`cycles`]).
+//! * **Platform requirement traits** — [`isolation::IsolationBackend`],
+//!   [`entropy::EntropySource`] and [`root::RootOfTrust`], one per requirement
+//!   class of paper Section IV-B (memory isolation, isolated computation,
+//!   exclusive elevated privilege, cryptography for attestation).
+//! * **Access-control vocabulary** — [`perm::MemPerms`] and
+//!   [`domain::DomainKind`], shared by the machine simulator, the monitor and
+//!   the platform backends.
+//!
+//! # Examples
+//!
+//! ```
+//! use sanctorum_hal::addr::{PhysAddr, PAGE_SIZE};
+//!
+//! let base = PhysAddr::new(0x8000_0000);
+//! assert_eq!(base.page_number().index(), 0x8000_0000 / PAGE_SIZE as u64);
+//! assert!(base.is_page_aligned());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cycles;
+pub mod domain;
+pub mod entropy;
+pub mod isolation;
+pub mod perm;
+pub mod root;
+
+pub use addr::{PhysAddr, PhysPageNum, VirtAddr, VirtPageNum, PAGE_SIZE};
+pub use cycles::Cycles;
+pub use domain::{CoreId, DomainKind, EnclaveId};
+pub use entropy::EntropySource;
+pub use isolation::{FlushKind, IsolationBackend, IsolationError, RegionId};
+pub use perm::MemPerms;
+pub use root::{DeviceSecret, RootOfTrust};

@@ -1,0 +1,139 @@
+//! Memory permission flags.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr};
+use serde::{Deserialize, Serialize};
+
+/// Read/write/execute permissions attached to page-table entries and PMP
+/// entries.
+///
+/// A small hand-rolled flag set (rather than an external `bitflags`
+/// dependency) keeps the workspace within the approved dependency list.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_hal::perm::MemPerms;
+/// let rw = MemPerms::READ | MemPerms::WRITE;
+/// assert!(rw.allows(MemPerms::READ));
+/// assert!(!rw.allows(MemPerms::EXEC));
+/// assert!(MemPerms::RWX.allows(rw));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MemPerms(u8);
+
+impl MemPerms {
+    /// No access.
+    pub const NONE: MemPerms = MemPerms(0);
+    /// Read permission.
+    pub const READ: MemPerms = MemPerms(1);
+    /// Write permission.
+    pub const WRITE: MemPerms = MemPerms(2);
+    /// Execute permission.
+    pub const EXEC: MemPerms = MemPerms(4);
+    /// Read + write.
+    pub const RW: MemPerms = MemPerms(1 | 2);
+    /// Read + execute.
+    pub const RX: MemPerms = MemPerms(1 | 4);
+    /// Read + write + execute.
+    pub const RWX: MemPerms = MemPerms(1 | 2 | 4);
+
+    /// Returns `true` if every permission bit in `needed` is present in `self`.
+    pub const fn allows(self, needed: MemPerms) -> bool {
+        (self.0 & needed.0) == needed.0
+    }
+
+    /// Returns `true` if no permission bits are set.
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if the read bit is set.
+    pub const fn can_read(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Returns `true` if the write bit is set.
+    pub const fn can_write(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// Returns `true` if the execute bit is set.
+    pub const fn can_exec(self) -> bool {
+        self.0 & 4 != 0
+    }
+
+    /// Returns the raw bit representation (R=1, W=2, X=4).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs permissions from raw bits, masking unknown bits away.
+    pub const fn from_bits(bits: u8) -> Self {
+        Self(bits & 0b111)
+    }
+}
+
+impl BitOr for MemPerms {
+    type Output = MemPerms;
+    fn bitor(self, rhs: Self) -> Self {
+        Self(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for MemPerms {
+    type Output = MemPerms;
+    fn bitand(self, rhs: Self) -> Self {
+        Self(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for MemPerms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.can_read() { "r" } else { "-" },
+            if self.can_write() { "w" } else { "-" },
+            if self.can_exec() { "x" } else { "-" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_is_subset_check() {
+        assert!(MemPerms::RWX.allows(MemPerms::RW));
+        assert!(MemPerms::RW.allows(MemPerms::READ));
+        assert!(!MemPerms::RW.allows(MemPerms::EXEC));
+        assert!(MemPerms::NONE.allows(MemPerms::NONE));
+        assert!(!MemPerms::NONE.allows(MemPerms::READ));
+    }
+
+    #[test]
+    fn bit_ops() {
+        assert_eq!(MemPerms::READ | MemPerms::WRITE, MemPerms::RW);
+        assert_eq!(MemPerms::RWX & MemPerms::READ, MemPerms::READ);
+        assert_eq!(MemPerms::from_bits(0xff), MemPerms::RWX);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", MemPerms::RX), "r-x");
+        assert_eq!(format!("{}", MemPerms::NONE), "---");
+        assert_eq!(format!("{}", MemPerms::RWX), "rwx");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(MemPerms::RW.can_read());
+        assert!(MemPerms::RW.can_write());
+        assert!(!MemPerms::RW.can_exec());
+        assert!(MemPerms::NONE.is_none());
+    }
+}

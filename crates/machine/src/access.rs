@@ -1,0 +1,368 @@
+//! The hardware access-control table.
+//!
+//! Both platform backends ultimately reduce to the same architectural effect:
+//! a physical address range is owned by one protection domain and other
+//! domains' accesses to it fault. On Sanctum the mechanism is the DRAM-region
+//! ownership table consulted during page walks; on Keystone it is the PMP.
+//! This module models that *effect* as a table of non-overlapping ranges with
+//! an owner, per-owner permissions, an optional "shared with untrusted"
+//! window (Keystone's untrusted buffer), and a DMA-block flag. The platform
+//! crates are responsible for programming the table in the way their
+//! mechanism allows (fixed 32 MB regions vs. arbitrary ranges limited by PMP
+//! entry count).
+
+use sanctorum_hal::addr::PhysAddr;
+use sanctorum_hal::domain::DomainKind;
+use sanctorum_hal::perm::MemPerms;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One programmed access-control range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessRange {
+    /// Base physical address (page aligned).
+    pub base: PhysAddr,
+    /// Length in bytes (page aligned).
+    pub len: u64,
+    /// Owning protection domain.
+    pub owner: DomainKind,
+    /// Permissions granted to the owner.
+    pub owner_perms: MemPerms,
+    /// Permissions granted to the untrusted domain (e.g. a shared buffer);
+    /// `MemPerms::NONE` for fully private ranges.
+    pub untrusted_perms: MemPerms,
+    /// Whether DMA from untrusted devices is blocked for this range.
+    pub dma_blocked: bool,
+}
+
+impl AccessRange {
+    /// Returns `true` if `addr` falls within the range.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        addr.as_u64() >= self.base.as_u64() && addr.as_u64() < self.base.as_u64() + self.len
+    }
+
+    /// Returns `true` if this range overlaps `other`.
+    pub fn overlaps(&self, other: &AccessRange) -> bool {
+        self.base.as_u64() < other.base.as_u64() + other.len
+            && other.base.as_u64() < self.base.as_u64() + self.len
+    }
+}
+
+/// The result of an access check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDecision {
+    /// Access permitted.
+    Allowed,
+    /// Access denied: the address belongs to another protection domain or the
+    /// required permission is missing.
+    Denied {
+        /// The domain owning the range (if any range matched).
+        owner: Option<DomainKind>,
+    },
+}
+
+impl AccessDecision {
+    /// Returns `true` for [`AccessDecision::Allowed`].
+    pub fn is_allowed(self) -> bool {
+        matches!(self, AccessDecision::Allowed)
+    }
+}
+
+/// Errors raised when programming the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// The new range overlaps an existing one with a different owner.
+    Overlap {
+        /// Base of the conflicting existing range.
+        existing_base: PhysAddr,
+    },
+    /// Base or length is not page aligned.
+    Unaligned,
+    /// No range covers the given address.
+    NoSuchRange(PhysAddr),
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::Overlap { existing_base } => {
+                write!(f, "range overlaps existing range at {existing_base}")
+            }
+            AccessError::Unaligned => write!(f, "range is not page aligned"),
+            AccessError::NoSuchRange(a) => write!(f, "no access-control range covers {a}"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// The machine-wide access-control table.
+///
+/// Addresses not covered by any programmed range follow the default policy:
+/// accessible by the untrusted domain and the SM (the paper's model, where
+/// all memory starts out OS-owned and the SM carves out protected ranges).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccessControl {
+    ranges: Vec<AccessRange>,
+}
+
+impl AccessControl {
+    /// Creates an empty table (everything untrusted-accessible).
+    pub fn new() -> Self {
+        Self { ranges: Vec::new() }
+    }
+
+    /// Returns the currently programmed ranges.
+    pub fn ranges(&self) -> &[AccessRange] {
+        &self.ranges
+    }
+
+    /// Programs a protected range, replacing any existing range with the same
+    /// base and length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError::Unaligned`] for unaligned ranges and
+    /// [`AccessError::Overlap`] if the range partially overlaps a different
+    /// existing range.
+    pub fn protect(&mut self, range: AccessRange) -> Result<(), AccessError> {
+        if !range.base.is_page_aligned() || range.len % sanctorum_hal::addr::PAGE_SIZE as u64 != 0 {
+            return Err(AccessError::Unaligned);
+        }
+        if let Some(pos) = self
+            .ranges
+            .iter()
+            .position(|r| r.base == range.base && r.len == range.len)
+        {
+            self.ranges[pos] = range;
+            return Ok(());
+        }
+        if let Some(existing) = self.ranges.iter().find(|r| r.overlaps(&range)) {
+            return Err(AccessError::Overlap {
+                existing_base: existing.base,
+            });
+        }
+        self.ranges.push(range);
+        Ok(())
+    }
+
+    /// Removes the range starting at `base`, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError::NoSuchRange`] if no range starts at `base`.
+    pub fn unprotect(&mut self, base: PhysAddr) -> Result<AccessRange, AccessError> {
+        let pos = self
+            .ranges
+            .iter()
+            .position(|r| r.base == base)
+            .ok_or(AccessError::NoSuchRange(base))?;
+        Ok(self.ranges.swap_remove(pos))
+    }
+
+    /// Finds the range covering `addr`.
+    pub fn range_of(&self, addr: PhysAddr) -> Option<&AccessRange> {
+        self.ranges.iter().find(|r| r.contains(addr))
+    }
+
+    /// Finds the range covering `addr` mutably.
+    pub fn range_of_mut(&mut self, addr: PhysAddr) -> Option<&mut AccessRange> {
+        self.ranges.iter_mut().find(|r| r.contains(addr))
+    }
+
+    /// Checks whether `domain` may access `addr` with permissions `needed`.
+    pub fn check(&self, domain: DomainKind, addr: PhysAddr, needed: MemPerms) -> AccessDecision {
+        match self.range_of(addr) {
+            None => {
+                // Unprotected memory: SM and untrusted software may use it;
+                // enclaves may only touch it through explicitly shared ranges.
+                match domain {
+                    DomainKind::SecurityMonitor | DomainKind::Untrusted => AccessDecision::Allowed,
+                    DomainKind::Enclave(_) => AccessDecision::Denied { owner: None },
+                }
+            }
+            Some(range) => {
+                // The SM retains its elevated view of all physical memory
+                // (paper Section IV-B3).
+                if domain == DomainKind::SecurityMonitor {
+                    return AccessDecision::Allowed;
+                }
+                if domain == range.owner && range.owner_perms.allows(needed) {
+                    AccessDecision::Allowed
+                } else if domain == DomainKind::Untrusted && range.untrusted_perms.allows(needed) {
+                    AccessDecision::Allowed
+                } else {
+                    AccessDecision::Denied {
+                        owner: Some(range.owner),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks whether a DMA access to `addr` by an untrusted device is
+    /// permitted.
+    pub fn check_dma(&self, addr: PhysAddr) -> AccessDecision {
+        match self.range_of(addr) {
+            None => AccessDecision::Allowed,
+            Some(range) if range.dma_blocked => AccessDecision::Denied {
+                owner: Some(range.owner),
+            },
+            Some(range) => {
+                // DMA counts as an untrusted access.
+                if range.untrusted_perms.allows(MemPerms::RW) {
+                    AccessDecision::Allowed
+                } else {
+                    AccessDecision::Denied {
+                        owner: Some(range.owner),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_hal::domain::EnclaveId;
+
+    fn enclave(id: u64) -> DomainKind {
+        DomainKind::Enclave(EnclaveId::new(id))
+    }
+
+    fn range(base: u64, len: u64, owner: DomainKind) -> AccessRange {
+        AccessRange {
+            base: PhysAddr::new(base),
+            len,
+            owner,
+            owner_perms: MemPerms::RWX,
+            untrusted_perms: MemPerms::NONE,
+            dma_blocked: true,
+        }
+    }
+
+    #[test]
+    fn default_policy_allows_untrusted_everywhere_but_not_enclaves() {
+        let table = AccessControl::new();
+        assert!(table
+            .check(DomainKind::Untrusted, PhysAddr::new(0x1000), MemPerms::RW)
+            .is_allowed());
+        assert!(!table
+            .check(enclave(1), PhysAddr::new(0x1000), MemPerms::READ)
+            .is_allowed());
+        assert!(table
+            .check(DomainKind::SecurityMonitor, PhysAddr::new(0x1000), MemPerms::RW)
+            .is_allowed());
+    }
+
+    #[test]
+    fn protected_range_excludes_other_domains() {
+        let mut table = AccessControl::new();
+        table.protect(range(0x10_0000, 0x2000, enclave(1))).unwrap();
+        assert!(table
+            .check(enclave(1), PhysAddr::new(0x10_1000), MemPerms::RW)
+            .is_allowed());
+        assert!(!table
+            .check(DomainKind::Untrusted, PhysAddr::new(0x10_1000), MemPerms::READ)
+            .is_allowed());
+        assert!(!table
+            .check(enclave(2), PhysAddr::new(0x10_1000), MemPerms::READ)
+            .is_allowed());
+        // SM retains access.
+        assert!(table
+            .check(DomainKind::SecurityMonitor, PhysAddr::new(0x10_1000), MemPerms::RW)
+            .is_allowed());
+    }
+
+    #[test]
+    fn shared_buffer_readable_by_untrusted() {
+        let mut table = AccessControl::new();
+        let mut r = range(0x20_0000, 0x1000, enclave(3));
+        r.untrusted_perms = MemPerms::RW;
+        table.protect(r).unwrap();
+        assert!(table
+            .check(DomainKind::Untrusted, PhysAddr::new(0x20_0800), MemPerms::RW)
+            .is_allowed());
+        assert!(!table
+            .check(DomainKind::Untrusted, PhysAddr::new(0x20_0800), MemPerms::EXEC)
+            .is_allowed());
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut table = AccessControl::new();
+        table.protect(range(0x10_0000, 0x2000, enclave(1))).unwrap();
+        let err = table.protect(range(0x10_1000, 0x2000, enclave(2))).unwrap_err();
+        assert!(matches!(err, AccessError::Overlap { .. }));
+    }
+
+    #[test]
+    fn reprotect_same_range_updates_owner() {
+        let mut table = AccessControl::new();
+        table.protect(range(0x10_0000, 0x2000, enclave(1))).unwrap();
+        table.protect(range(0x10_0000, 0x2000, enclave(2))).unwrap();
+        assert!(table
+            .check(enclave(2), PhysAddr::new(0x10_0000), MemPerms::READ)
+            .is_allowed());
+        assert!(!table
+            .check(enclave(1), PhysAddr::new(0x10_0000), MemPerms::READ)
+            .is_allowed());
+        assert_eq!(table.ranges().len(), 1);
+    }
+
+    #[test]
+    fn unaligned_rejected() {
+        let mut table = AccessControl::new();
+        let r = AccessRange {
+            base: PhysAddr::new(0x10_0001),
+            len: 0x1000,
+            owner: enclave(1),
+            owner_perms: MemPerms::RW,
+            untrusted_perms: MemPerms::NONE,
+            dma_blocked: true,
+        };
+        assert_eq!(table.protect(r), Err(AccessError::Unaligned));
+    }
+
+    #[test]
+    fn unprotect_restores_default_policy() {
+        let mut table = AccessControl::new();
+        table.protect(range(0x10_0000, 0x1000, enclave(1))).unwrap();
+        table.unprotect(PhysAddr::new(0x10_0000)).unwrap();
+        assert!(table
+            .check(DomainKind::Untrusted, PhysAddr::new(0x10_0000), MemPerms::RW)
+            .is_allowed());
+        assert!(matches!(
+            table.unprotect(PhysAddr::new(0x10_0000)),
+            Err(AccessError::NoSuchRange(_))
+        ));
+    }
+
+    #[test]
+    fn dma_blocking() {
+        let mut table = AccessControl::new();
+        table.protect(range(0x30_0000, 0x1000, enclave(1))).unwrap();
+        assert!(!table.check_dma(PhysAddr::new(0x30_0000)).is_allowed());
+        assert!(table.check_dma(PhysAddr::new(0x40_0000)).is_allowed());
+        let mut shared = range(0x50_0000, 0x1000, enclave(1));
+        shared.dma_blocked = false;
+        shared.untrusted_perms = MemPerms::RW;
+        table.protect(shared).unwrap();
+        assert!(table.check_dma(PhysAddr::new(0x50_0000)).is_allowed());
+    }
+
+    #[test]
+    fn missing_permission_denied_even_for_owner() {
+        let mut table = AccessControl::new();
+        let mut r = range(0x60_0000, 0x1000, enclave(1));
+        r.owner_perms = MemPerms::READ;
+        table.protect(r).unwrap();
+        assert!(table
+            .check(enclave(1), PhysAddr::new(0x60_0000), MemPerms::READ)
+            .is_allowed());
+        assert!(!table
+            .check(enclave(1), PhysAddr::new(0x60_0000), MemPerms::WRITE)
+            .is_allowed());
+    }
+}

@@ -1,0 +1,302 @@
+//! A partitionable last-level cache model.
+//!
+//! The MIT Sanctum processor isolates the shared LLC by page colouring: each
+//! DRAM region maps onto a disjoint set of cache sets, so protection domains
+//! never contend for the same lines (paper Sections IV-B2 and VII-A). The
+//! model tracks, per cache set, which partition it belongs to and which lines
+//! are resident, and charges [`CostModel`] figures for hits, misses and
+//! flushes. Keystone leaves the LLC shared (paper Section VII-B), which the
+//! model expresses as a single partition shared by every domain — the
+//! difference shows up directly in the Table 2 backend-comparison bench.
+
+use sanctorum_hal::addr::PhysAddr;
+use sanctorum_hal::cycles::{CostModel, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a cache partition (a page colour / set group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PartitionId(pub u32);
+
+/// Aggregate cache statistics, per partition and total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+    /// Number of lines written back / invalidated by flushes.
+    pub flushed_lines: u64,
+}
+
+/// Geometry of the modelled cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total number of sets.
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_size: usize,
+}
+
+impl CacheGeometry {
+    /// A 2 MiB, 8-way, 64-byte-line LLC — small enough to simulate quickly,
+    /// large enough that partitioning effects are visible.
+    pub const fn default_llc() -> Self {
+        Self {
+            sets: 4096,
+            ways: 8,
+            line_size: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheSet {
+    /// Tags of resident lines, most recently used last.
+    lines: Vec<u64>,
+    partition: PartitionId,
+}
+
+/// The last-level cache model.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    geometry: CacheGeometry,
+    sets: Vec<CacheSet>,
+    cost: CostModel,
+    stats: CacheStats,
+}
+
+impl CacheModel {
+    /// Creates a cache with all sets assigned to partition 0.
+    pub fn new(geometry: CacheGeometry, cost: CostModel) -> Self {
+        let sets = (0..geometry.sets)
+            .map(|_| CacheSet {
+                lines: Vec::with_capacity(geometry.ways),
+                partition: PartitionId(0),
+            })
+            .collect();
+        Self {
+            geometry,
+            sets,
+            cost,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Assigns an equal, contiguous slice of sets to each of `partitions`
+    /// partitions (the Sanctum page-colouring configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero or larger than the number of sets.
+    pub fn partition_evenly(&mut self, partitions: u32) {
+        assert!(partitions > 0, "at least one partition required");
+        assert!(
+            (partitions as usize) <= self.geometry.sets,
+            "more partitions than cache sets"
+        );
+        let per = self.geometry.sets / partitions as usize;
+        for (i, set) in self.sets.iter_mut().enumerate() {
+            let p = (i / per).min(partitions as usize - 1) as u32;
+            set.partition = PartitionId(p);
+        }
+    }
+
+    fn set_index(&self, addr: PhysAddr, partition: PartitionId) -> usize {
+        // Restrict the index to the sets belonging to the partition so that
+        // domains in different partitions can never evict each other.
+        let owned: Vec<usize> = self
+            .sets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.partition == partition)
+            .map(|(i, _)| i)
+            .collect();
+        if owned.is_empty() {
+            // Partition currently owns no sets; fall back to direct indexing.
+            return (addr.as_usize() / self.geometry.line_size) % self.geometry.sets;
+        }
+        let natural = (addr.as_usize() / self.geometry.line_size) % owned.len();
+        owned[natural]
+    }
+
+    /// Simulates an access by `partition` to `addr`, returning its cost.
+    pub fn access(&mut self, partition: PartitionId, addr: PhysAddr) -> Cycles {
+        let idx = self.set_index(addr, partition);
+        let tag = addr.as_u64() / self.geometry.line_size as u64;
+        let ways = self.geometry.ways;
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.lines.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            let t = set.lines.remove(pos);
+            set.lines.push(t);
+            self.stats.hits += 1;
+            self.cost.mem_hit
+        } else {
+            if set.lines.len() == ways {
+                set.lines.remove(0);
+            }
+            set.lines.push(tag);
+            self.stats.misses += 1;
+            self.cost.mem_miss
+        }
+    }
+
+    /// Flushes every line belonging to `partition`, returning the cost.
+    pub fn flush_partition(&mut self, partition: PartitionId) -> Cycles {
+        let mut flushed = 0u64;
+        for set in self.sets.iter_mut().filter(|s| s.partition == partition) {
+            flushed += set.lines.len() as u64;
+            set.lines.clear();
+        }
+        self.stats.flushed_lines += flushed;
+        self.cost.flush_line.scaled(flushed.max(1))
+    }
+
+    /// Flushes the entire cache (used on platforms without partitioning when
+    /// the SM must clean shared state on a domain switch).
+    pub fn flush_all(&mut self) -> Cycles {
+        let mut flushed = 0u64;
+        for set in self.sets.iter_mut() {
+            flushed += set.lines.len() as u64;
+            set.lines.clear();
+        }
+        self.stats.flushed_lines += flushed;
+        self.cost.flush_line.scaled(flushed.max(1))
+    }
+
+    /// Returns `true` if any line whose physical address falls in
+    /// `[base, base+len)` is resident — used by tests asserting that cleaning
+    /// really evicted a domain's data.
+    pub fn holds_line_in(&self, base: PhysAddr, len: u64) -> bool {
+        let first_tag = base.as_u64() / self.geometry.line_size as u64;
+        let last_tag = (base.as_u64() + len - 1) / self.geometry.line_size as u64;
+        self.sets
+            .iter()
+            .any(|s| s.lines.iter().any(|&t| t >= first_tag && t <= last_tag))
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Returns the number of sets assigned to `partition`.
+    pub fn sets_in_partition(&self, partition: PartitionId) -> usize {
+        self.sets.iter().filter(|s| s.partition == partition).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> CacheModel {
+        CacheModel::new(
+            CacheGeometry {
+                sets: 64,
+                ways: 2,
+                line_size: 64,
+            },
+            CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = cache();
+        let p = PartitionId(0);
+        let a = PhysAddr::new(0x8000_0000);
+        let miss_cost = c.access(p, a);
+        let hit_cost = c.access(p, a);
+        assert!(miss_cost > hit_cost);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn partitions_do_not_evict_each_other() {
+        let mut c = cache();
+        c.partition_evenly(2);
+        assert_eq!(c.sets_in_partition(PartitionId(0)), 32);
+        assert_eq!(c.sets_in_partition(PartitionId(1)), 32);
+
+        // Fill partition 0 with many distinct lines.
+        for i in 0..256u64 {
+            c.access(PartitionId(0), PhysAddr::new(0x8000_0000 + i * 64));
+        }
+        // Touch a line in partition 1, then thrash partition 0 again.
+        let victim = PhysAddr::new(0x9000_0000);
+        c.access(PartitionId(1), victim);
+        for i in 0..256u64 {
+            c.access(PartitionId(0), PhysAddr::new(0x8100_0000 + i * 64));
+        }
+        // The partition-1 line must still be resident: accessing it hits.
+        let hits_before = c.stats().hits;
+        c.access(PartitionId(1), victim);
+        assert_eq!(c.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn shared_cache_allows_cross_eviction() {
+        let mut c = cache();
+        // No partitioning: a large working set from "another domain" evicts.
+        let victim = PhysAddr::new(0x9000_0000);
+        c.access(PartitionId(0), victim);
+        for i in 0..1024u64 {
+            c.access(PartitionId(0), PhysAddr::new(0x8000_0000 + i * 64));
+        }
+        let misses_before = c.stats().misses;
+        c.access(PartitionId(0), victim);
+        assert_eq!(c.stats().misses, misses_before + 1, "victim should have been evicted");
+    }
+
+    #[test]
+    fn flush_partition_evicts_only_that_partition() {
+        let mut c = cache();
+        c.partition_evenly(2);
+        let a0 = PhysAddr::new(0x8000_0000);
+        let a1 = PhysAddr::new(0x9000_0000);
+        c.access(PartitionId(0), a0);
+        c.access(PartitionId(1), a1);
+        c.flush_partition(PartitionId(0));
+        assert!(!c.holds_line_in(a0, 64));
+        assert!(c.holds_line_in(a1, 64));
+    }
+
+    #[test]
+    fn flush_all_empties_cache() {
+        let mut c = cache();
+        for i in 0..32u64 {
+            c.access(PartitionId(0), PhysAddr::new(0x8000_0000 + i * 64));
+        }
+        let cost = c.flush_all();
+        assert!(cost.count() >= 32 * 4);
+        assert!(!c.holds_line_in(PhysAddr::new(0x8000_0000), 32 * 64));
+    }
+
+    #[test]
+    fn flush_cost_scales_with_resident_lines() {
+        let mut c = cache();
+        c.partition_evenly(2);
+        for i in 0..16u64 {
+            c.access(PartitionId(0), PhysAddr::new(0x8000_0000 + i * 64));
+        }
+        let big = c.flush_partition(PartitionId(0));
+        let small = c.flush_partition(PartitionId(0));
+        assert!(big > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "more partitions than cache sets")]
+    fn too_many_partitions_panics() {
+        let mut c = cache();
+        c.partition_evenly(1000);
+    }
+}

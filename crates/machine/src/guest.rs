@@ -1,0 +1,231 @@
+//! Abstract guest programs.
+//!
+//! Real enclave and OS binaries are sequences of RISC-V instructions; what
+//! matters to the security monitor is only the *architectural events* they
+//! generate — memory accesses subject to translation and isolation checks,
+//! environment calls into the SM, arithmetic that merely burns cycles, and
+//! control flow. Guest programs here are small sequences of such events
+//! ([`GuestOp`]), executed by [`crate::Machine::run_guest`] with full address
+//! translation, isolation checking, cache modelling and cycle accounting.
+//! This keeps the simulator faithful to everything the monitor can observe
+//! while avoiding a full ISA interpreter.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trap::TrapCause;
+use sanctorum_hal::cycles::Cycles;
+
+/// Register index inside the guest register file (x0–x31 analogue).
+///
+/// By convention (mirroring the RISC-V calling convention) registers 10–17
+/// (`a0`–`a7`) carry SM-call arguments and return values.
+pub type Reg = u8;
+
+/// The `a0` register index (first argument / return value).
+pub const REG_A0: Reg = 10;
+/// The `a1` register index.
+pub const REG_A1: Reg = 11;
+/// The `a2` register index.
+pub const REG_A2: Reg = 12;
+/// The `a3` register index.
+pub const REG_A3: Reg = 13;
+/// The `a4` register index.
+pub const REG_A4: Reg = 14;
+/// The `a5` register index.
+pub const REG_A5: Reg = 15;
+
+/// One architectural event in a guest program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuestOp {
+    /// Loads an immediate into a register.
+    MovImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: u64,
+    },
+    /// `dst = a + b` (wrapping).
+    Add {
+        /// Destination register.
+        dst: Reg,
+        /// First operand register.
+        a: Reg,
+        /// Second operand register.
+        b: Reg,
+    },
+    /// Loads a 64-bit value from the virtual address held in `addr`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the virtual address.
+        addr: Reg,
+    },
+    /// Stores the 64-bit value in `src` to the virtual address held in `addr`.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Register holding the virtual address.
+        addr: Reg,
+    },
+    /// Pure computation consuming the given number of ALU cycles.
+    Compute {
+        /// Number of ALU-op cycles to charge.
+        cycles: u64,
+    },
+    /// Environment call into the security monitor; arguments are taken from
+    /// the `a*` registers by the event dispatcher.
+    Ecall,
+    /// Ends the program normally.
+    Exit,
+    /// Unconditional jump to the op at `target`.
+    Jump {
+        /// Target op index.
+        target: u64,
+    },
+    /// Jumps to `target` if the register is non-zero.
+    BranchNonZero {
+        /// Register tested.
+        reg: Reg,
+        /// Target op index.
+        target: u64,
+    },
+}
+
+/// A guest program: a finite list of [`GuestOp`]s plus a human-readable name
+/// used in traces and benches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuestProgram {
+    name: String,
+    ops: Vec<GuestOp>,
+}
+
+impl GuestProgram {
+    /// Creates a program.
+    pub fn new(name: impl Into<String>, ops: Vec<GuestOp>) -> Self {
+        Self {
+            name: name.into(),
+            ops,
+        }
+    }
+
+    /// Returns the program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the ops.
+    pub fn ops(&self) -> &[GuestOp] {
+        &self.ops
+    }
+
+    /// Returns the op at `pc`, if any.
+    pub fn op_at(&self, pc: u64) -> Option<GuestOp> {
+        self.ops.get(pc as usize).copied()
+    }
+
+    /// Number of ops in the program.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the program has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// A tiny program that stores `value` to `vaddr` and exits — handy in
+    /// tests and examples.
+    pub fn store_and_exit(vaddr: u64, value: u64) -> Self {
+        Self::new(
+            "store-and-exit",
+            vec![
+                GuestOp::MovImm { dst: 1, value: vaddr },
+                GuestOp::MovImm { dst: 2, value },
+                GuestOp::Store { src: 2, addr: 1 },
+                GuestOp::Exit,
+            ],
+        )
+    }
+
+    /// A program that loads from `vaddr` into `a0` and exits.
+    pub fn load_and_exit(vaddr: u64) -> Self {
+        Self::new(
+            "load-and-exit",
+            vec![
+                GuestOp::MovImm { dst: 1, value: vaddr },
+                GuestOp::Load { dst: REG_A0, addr: 1 },
+                GuestOp::Exit,
+            ],
+        )
+    }
+
+    /// A pure-compute program of the given length (used to model enclave
+    /// workloads whose only interaction with the SM is entry and exit).
+    pub fn compute(total_cycles: u64) -> Self {
+        Self::new(
+            "compute",
+            vec![GuestOp::Compute { cycles: total_cycles }, GuestOp::Exit],
+        )
+    }
+}
+
+/// Why a call to [`crate::Machine::run_guest`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The program executed an [`GuestOp::Exit`].
+    Completed,
+    /// The program executed an [`GuestOp::Ecall`]; the hart's `a*` registers
+    /// hold the SM-call arguments and the PC points past the ecall.
+    Ecall,
+    /// A trap was raised (page fault, isolation fault, illegal op, or an
+    /// interrupt injected by the harness).
+    Trap(TrapCause),
+    /// The step budget ran out before the program finished.
+    OutOfSteps,
+}
+
+/// The result of running a guest program slice on a hart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Why execution stopped.
+    pub exit: ExitReason,
+    /// Cycles consumed by this run.
+    pub cycles: Cycles,
+    /// Number of ops executed.
+    pub steps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_accessors() {
+        let p = GuestProgram::store_and_exit(0x1000, 7);
+        assert_eq!(p.name(), "store-and-exit");
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.op_at(3), Some(GuestOp::Exit));
+        assert_eq!(p.op_at(4), None);
+    }
+
+    #[test]
+    fn helper_programs_have_expected_shape() {
+        assert!(matches!(
+            GuestProgram::load_and_exit(0x2000).op_at(1),
+            Some(GuestOp::Load { dst: REG_A0, .. })
+        ));
+        assert!(matches!(
+            GuestProgram::compute(500).op_at(0),
+            Some(GuestOp::Compute { cycles: 500 })
+        ));
+    }
+
+    #[test]
+    fn clone_preserves_program() {
+        let p = GuestProgram::compute(10);
+        let clone = p.clone();
+        assert_eq!(p, clone);
+        assert_eq!(clone.ops(), p.ops());
+    }
+}

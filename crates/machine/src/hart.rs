@@ -1,0 +1,175 @@
+//! Architected state of one hardware thread (hart).
+
+use crate::trap::TrapCause;
+use sanctorum_hal::addr::PhysAddr;
+use sanctorum_hal::cycles::Cycles;
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use serde::{Deserialize, Serialize};
+
+/// RISC-V-style privilege levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PrivilegeLevel {
+    /// User mode (enclave or untrusted application code).
+    User,
+    /// Supervisor mode (the untrusted OS).
+    Supervisor,
+    /// Machine mode (the security monitor).
+    Machine,
+}
+
+/// Number of general-purpose registers modelled per hart.
+pub const NUM_REGS: usize = 32;
+
+/// The full architected state of a hart.
+///
+/// The security monitor saves and restores this structure on enclave entry,
+/// exit and asynchronous enclave exit (AEX), and zeroes it when the core is
+/// re-assigned to another protection domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HartState {
+    /// This hart's identifier.
+    pub id: CoreId,
+    /// General-purpose registers.
+    pub regs: [u64; NUM_REGS],
+    /// Program counter — for abstract guest programs this is the index of the
+    /// next [`crate::guest::GuestOp`] to execute.
+    pub pc: u64,
+    /// Current privilege level.
+    pub privilege: PrivilegeLevel,
+    /// Protection domain on whose behalf the hart currently executes.
+    pub domain: DomainKind,
+    /// Root page table in use (the `satp` analogue); `None` disables
+    /// translation (machine-mode physical addressing).
+    pub page_table_root: Option<PhysAddr>,
+    /// Pending trap cause recorded by the last execution step.
+    pub pending_trap: Option<TrapCause>,
+    /// Cycle counter for this hart.
+    pub cycles: Cycles,
+}
+
+impl HartState {
+    /// Creates a hart in machine mode, owned by the SM domain, with all
+    /// registers zeroed.
+    pub fn new(id: CoreId) -> Self {
+        Self {
+            id,
+            regs: [0; NUM_REGS],
+            pc: 0,
+            privilege: PrivilegeLevel::Machine,
+            domain: DomainKind::SecurityMonitor,
+            page_table_root: None,
+            pending_trap: None,
+            cycles: Cycles::ZERO,
+        }
+    }
+
+    /// Zeroes all architected state that could leak information to the next
+    /// protection domain scheduled on this core. The paper calls this
+    /// "cleaning" the core resource (Section V-C); it preserves the hart id
+    /// and cycle counter, which are not secret.
+    pub fn clean(&mut self) {
+        self.regs = [0; NUM_REGS];
+        self.pc = 0;
+        self.page_table_root = None;
+        self.pending_trap = None;
+        self.privilege = PrivilegeLevel::Machine;
+        self.domain = DomainKind::SecurityMonitor;
+    }
+
+    /// Captures the register file and program counter for an AEX state dump.
+    pub fn snapshot(&self) -> HartSnapshot {
+        HartSnapshot {
+            regs: self.regs,
+            pc: self.pc,
+            page_table_root: self.page_table_root,
+        }
+    }
+
+    /// Restores a previously captured snapshot (enclave resume after AEX).
+    pub fn restore(&mut self, snapshot: &HartSnapshot) {
+        self.regs = snapshot.regs;
+        self.pc = snapshot.pc;
+        self.page_table_root = snapshot.page_table_root;
+    }
+
+    /// Returns `true` if no architected state from a previous occupant is
+    /// visible (registers and PC zero, no address space installed).
+    pub fn is_clean(&self) -> bool {
+        self.regs.iter().all(|&r| r == 0)
+            && self.pc == 0
+            && self.page_table_root.is_none()
+            && self.pending_trap.is_none()
+    }
+}
+
+/// A saved register-file snapshot (the AEX state dump of paper Section V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HartSnapshot {
+    /// Saved general-purpose registers.
+    pub regs: [u64; NUM_REGS],
+    /// Saved program counter.
+    pub pc: u64,
+    /// Saved address-space root.
+    pub page_table_root: Option<PhysAddr>,
+}
+
+impl Default for HartSnapshot {
+    fn default() -> Self {
+        Self {
+            regs: [0; NUM_REGS],
+            pc: 0,
+            page_table_root: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_hal::domain::EnclaveId;
+
+    #[test]
+    fn new_hart_is_clean() {
+        let hart = HartState::new(CoreId::new(0));
+        assert!(hart.is_clean());
+        assert_eq!(hart.privilege, PrivilegeLevel::Machine);
+    }
+
+    #[test]
+    fn clean_erases_visible_state() {
+        let mut hart = HartState::new(CoreId::new(1));
+        hart.regs[5] = 0xdeadbeef;
+        hart.pc = 42;
+        hart.privilege = PrivilegeLevel::User;
+        hart.domain = DomainKind::Enclave(EnclaveId::new(7));
+        hart.page_table_root = Some(PhysAddr::new(0x8000_1000));
+        assert!(!hart.is_clean());
+        hart.clean();
+        assert!(hart.is_clean());
+        assert_eq!(hart.domain, DomainKind::SecurityMonitor);
+        assert_eq!(hart.id, CoreId::new(1));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut hart = HartState::new(CoreId::new(0));
+        hart.regs[1] = 111;
+        hart.regs[2] = 222;
+        hart.pc = 9;
+        hart.page_table_root = Some(PhysAddr::new(0x8000_2000));
+        let snap = hart.snapshot();
+        hart.clean();
+        assert!(hart.is_clean());
+        hart.restore(&snap);
+        assert_eq!(hart.regs[1], 111);
+        assert_eq!(hart.regs[2], 222);
+        assert_eq!(hart.pc, 9);
+        assert_eq!(hart.page_table_root, Some(PhysAddr::new(0x8000_2000)));
+    }
+
+    #[test]
+    fn privilege_ordering() {
+        assert!(PrivilegeLevel::Machine > PrivilegeLevel::Supervisor);
+        assert!(PrivilegeLevel::Supervisor > PrivilegeLevel::User);
+    }
+}

@@ -1,0 +1,59 @@
+//! A simulated multi-hart machine providing the hardware substrate the
+//! Sanctorum security monitor requires.
+//!
+//! The paper evaluates Sanctorum on two hardware platforms — the MIT Sanctum
+//! processor (a modified RISC-V Rocket system) and standard RISC-V machines
+//! with physical memory protection (PMP) as used by Keystone. Neither piece
+//! of silicon is available here, so this crate provides a deterministic,
+//! cycle-counted simulation of the *architectural contract* those platforms
+//! expose to privileged software:
+//!
+//! * byte-addressable physical memory ([`mem`]) carved into isolable units
+//!   ([`access`]);
+//! * multiple in-order harts with M/S/U privilege levels, architected
+//!   registers and trap CSRs ([`hart`]);
+//! * a three-level, Sv39-style page-table walker ([`pagetable`]) and per-hart
+//!   TLBs ([`tlb`]);
+//! * a set-associative, partitionable last-level cache model ([`cache`]);
+//! * a trap/interrupt model ([`trap`]) through which every SM API call,
+//!   fault and interrupt flows (paper Fig. 1);
+//! * a DMA engine whose accesses are subject to the same isolation checks
+//!   ([`dma`]);
+//! * a small abstract guest-instruction model ([`guest`]) so enclave and OS
+//!   programs can run on simulated harts, fault, and invoke the SM.
+//!
+//! Every modelled operation has a deterministic cycle cost
+//! ([`sanctorum_hal::cycles::CostModel`]), which is what the benchmark
+//! harness reports (see `EXPERIMENTS.md`).
+//!
+//! # Examples
+//!
+//! ```
+//! use sanctorum_machine::{Machine, MachineConfig};
+//!
+//! let machine = Machine::new(MachineConfig::small());
+//! assert_eq!(machine.config().num_harts, 2);
+//! assert!(machine.config().memory_size >= 4 * 1024 * 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod cache;
+pub mod dma;
+pub mod guest;
+pub mod hart;
+pub mod machine;
+pub mod mem;
+pub mod pagetable;
+pub mod tlb;
+pub mod trap;
+
+pub use access::{AccessControl, AccessDecision};
+pub use guest::{ExitReason, GuestOp, GuestProgram, Reg};
+pub use hart::{HartState, PrivilegeLevel};
+pub use machine::{Machine, MachineConfig};
+pub use mem::PhysMemory;
+pub use pagetable::{PageTableEntry, PageTableWalker, WalkOutcome};
+pub use trap::{Interrupt, TrapCause};

@@ -1,0 +1,252 @@
+//! Simulated physical memory.
+
+use sanctorum_hal::addr::{PhysAddr, PAGE_SIZE};
+use std::fmt;
+
+/// Errors raised by physical-memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The access touches addresses outside the populated DRAM range.
+    OutOfRange {
+        /// Address that failed.
+        addr: PhysAddr,
+        /// Length of the failed access.
+        len: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfRange { addr, len } => {
+                write!(f, "physical access out of range: {addr} (+{len} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Byte-addressable simulated DRAM starting at a configurable base address.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_machine::mem::PhysMemory;
+/// use sanctorum_hal::addr::PhysAddr;
+///
+/// let mut mem = PhysMemory::new(PhysAddr::new(0x8000_0000), 64 * 1024);
+/// mem.write_u64(PhysAddr::new(0x8000_0100), 0xdead_beef)?;
+/// assert_eq!(mem.read_u64(PhysAddr::new(0x8000_0100))?, 0xdead_beef);
+/// # Ok::<(), sanctorum_machine::mem::MemError>(())
+/// ```
+#[derive(Clone)]
+pub struct PhysMemory {
+    base: PhysAddr,
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for PhysMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PhysMemory {{ base: {}, size: {:#x} }}",
+            self.base,
+            self.bytes.len()
+        )
+    }
+}
+
+impl PhysMemory {
+    /// Creates zero-initialized memory of `size` bytes starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not page aligned.
+    pub fn new(base: PhysAddr, size: usize) -> Self {
+        assert_eq!(size % PAGE_SIZE, 0, "memory size must be page aligned");
+        Self {
+            base,
+            bytes: vec![0u8; size],
+        }
+    }
+
+    /// Returns the base address of DRAM.
+    pub fn base(&self) -> PhysAddr {
+        self.base
+    }
+
+    /// Returns the size of DRAM in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` if the whole `[addr, addr+len)` range is populated.
+    pub fn contains(&self, addr: PhysAddr, len: usize) -> bool {
+        let Some(offset) = addr.checked_sub(self.base) else {
+            return false;
+        };
+        (offset as usize)
+            .checked_add(len)
+            .is_some_and(|end| end <= self.bytes.len())
+    }
+
+    fn offset_of(&self, addr: PhysAddr, len: usize) -> Result<usize, MemError> {
+        if self.contains(addr, len) {
+            Ok((addr.as_u64() - self.base.as_u64()) as usize)
+        } else {
+            Err(MemError::OutOfRange { addr, len })
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the range is not populated.
+    pub fn read_bytes(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        let offset = self.offset_of(addr, buf.len())?;
+        buf.copy_from_slice(&self.bytes[offset..offset + buf.len()]);
+        Ok(())
+    }
+
+    /// Writes `data` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the range is not populated.
+    pub fn write_bytes(&mut self, addr: PhysAddr, data: &[u8]) -> Result<(), MemError> {
+        let offset = self.offset_of(addr, data.len())?;
+        self.bytes[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the range is not populated.
+    pub fn read_u64(&self, addr: PhysAddr) -> Result<u64, MemError> {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the range is not populated.
+    pub fn write_u64(&mut self, addr: PhysAddr, value: u64) -> Result<(), MemError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Zeroes the 4 KiB page containing `addr` (used when cleaning memory
+    /// before re-allocation to another protection domain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the page is not populated.
+    pub fn zero_page(&mut self, addr: PhysAddr) -> Result<(), MemError> {
+        let page_base = addr.align_down();
+        let offset = self.offset_of(page_base, PAGE_SIZE)?;
+        self.bytes[offset..offset + PAGE_SIZE].fill(0);
+        Ok(())
+    }
+
+    /// Zeroes an arbitrary page-aligned range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the range is not populated.
+    pub fn zero_range(&mut self, addr: PhysAddr, len: usize) -> Result<(), MemError> {
+        let offset = self.offset_of(addr, len)?;
+        self.bytes[offset..offset + len].fill(0);
+        Ok(())
+    }
+
+    /// Reads one page (4 KiB) into a freshly allocated buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the page is not populated.
+    pub fn read_page(&self, addr: PhysAddr) -> Result<Vec<u8>, MemError> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.read_bytes(addr.align_down(), &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Returns the highest populated physical address plus one.
+    pub fn end(&self) -> PhysAddr {
+        PhysAddr::new(self.base.as_u64() + self.bytes.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysMemory {
+        PhysMemory::new(PhysAddr::new(0x8000_0000), 16 * PAGE_SIZE)
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = mem();
+        m.write_bytes(PhysAddr::new(0x8000_0010), b"sanctorum").unwrap();
+        let mut buf = [0u8; 9];
+        m.read_bytes(PhysAddr::new(0x8000_0010), &mut buf).unwrap();
+        assert_eq!(&buf, b"sanctorum");
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut m = mem();
+        m.write_u64(PhysAddr::new(0x8000_1000), u64::MAX - 3).unwrap();
+        assert_eq!(m.read_u64(PhysAddr::new(0x8000_1000)).unwrap(), u64::MAX - 3);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut m = mem();
+        assert!(m.read_u64(PhysAddr::new(0x7fff_ffff)).is_err());
+        assert!(m.write_u64(m.end(), 1).is_err());
+        // An access straddling the end is rejected too.
+        let last = PhysAddr::new(m.end().as_u64() - 4);
+        assert!(m.read_u64(last).is_err());
+    }
+
+    #[test]
+    fn zero_page_clears_only_that_page() {
+        let mut m = mem();
+        m.write_u64(PhysAddr::new(0x8000_1008), 0x1111).unwrap();
+        m.write_u64(PhysAddr::new(0x8000_2008), 0x2222).unwrap();
+        m.zero_page(PhysAddr::new(0x8000_1123)).unwrap();
+        assert_eq!(m.read_u64(PhysAddr::new(0x8000_1008)).unwrap(), 0);
+        assert_eq!(m.read_u64(PhysAddr::new(0x8000_2008)).unwrap(), 0x2222);
+    }
+
+    #[test]
+    fn contains_checks_full_range() {
+        let m = mem();
+        assert!(m.contains(PhysAddr::new(0x8000_0000), 16 * PAGE_SIZE));
+        assert!(!m.contains(PhysAddr::new(0x8000_0000), 16 * PAGE_SIZE + 1));
+        assert!(!m.contains(PhysAddr::new(0x7fff_f000), PAGE_SIZE));
+    }
+
+    #[test]
+    fn read_page_returns_full_page() {
+        let mut m = mem();
+        m.write_bytes(PhysAddr::new(0x8000_3000), &[7u8; 16]).unwrap();
+        let page = m.read_page(PhysAddr::new(0x8000_3abc)).unwrap();
+        assert_eq!(page.len(), PAGE_SIZE);
+        assert_eq!(&page[..16], &[7u8; 16]);
+        assert_eq!(page[16], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn unaligned_size_panics() {
+        let _ = PhysMemory::new(PhysAddr::new(0), 100);
+    }
+}

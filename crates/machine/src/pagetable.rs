@@ -1,0 +1,376 @@
+//! Sv39-style three-level page tables and the hardware page-table walker.
+//!
+//! Enclaves use private page tables stored inside enclave-owned memory for
+//! accesses within `evrange` (paper Section V-C); the OS uses its own tables
+//! for untrusted software. The walker reads page-table pages directly from
+//! simulated physical memory, charging one [`CostModel::ptw_level`] per level,
+//! exactly as a hardware walker would.
+//!
+//! [`CostModel::ptw_level`]: sanctorum_hal::cycles::CostModel
+
+use crate::mem::PhysMemory;
+use sanctorum_hal::addr::{PhysAddr, PhysPageNum, VirtAddr, VirtPageNum};
+use sanctorum_hal::cycles::{CostModel, Cycles};
+use sanctorum_hal::perm::MemPerms;
+use serde::{Deserialize, Serialize};
+
+/// A page-table entry in the simulated format.
+///
+/// Layout (little-endian u64): bit 0 = valid, bit 1 = read, bit 2 = write,
+/// bit 3 = execute, bits 10.. = physical page number. A valid entry with no
+/// R/W/X bits is a pointer to the next-level table (as in RISC-V Sv39).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PageTableEntry(pub u64);
+
+impl PageTableEntry {
+    const VALID: u64 = 1;
+
+    /// An invalid (empty) entry.
+    pub const INVALID: PageTableEntry = PageTableEntry(0);
+
+    /// Creates a leaf entry mapping to `ppn` with permissions `perms`.
+    pub fn leaf(ppn: PhysPageNum, perms: MemPerms) -> Self {
+        PageTableEntry(Self::VALID | ((perms.bits() as u64) << 1) | (ppn.index() << 10))
+    }
+
+    /// Creates a non-leaf entry pointing at the next-level table page.
+    pub fn table(ppn: PhysPageNum) -> Self {
+        PageTableEntry(Self::VALID | (ppn.index() << 10))
+    }
+
+    /// Returns `true` if the entry is valid.
+    pub fn is_valid(self) -> bool {
+        self.0 & Self::VALID != 0
+    }
+
+    /// Returns `true` if the entry is a leaf (has any permission bit).
+    pub fn is_leaf(self) -> bool {
+        self.is_valid() && (self.0 >> 1) & 0b111 != 0
+    }
+
+    /// Returns the permissions encoded in a leaf entry.
+    pub fn perms(self) -> MemPerms {
+        MemPerms::from_bits(((self.0 >> 1) & 0b111) as u8)
+    }
+
+    /// Returns the physical page number the entry refers to.
+    pub fn ppn(self) -> PhysPageNum {
+        PhysPageNum::new(self.0 >> 10)
+    }
+}
+
+/// The outcome of a page-table walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkOutcome {
+    /// Translation succeeded.
+    Translated {
+        /// Resulting physical address.
+        addr: PhysAddr,
+        /// Permissions of the leaf entry.
+        perms: MemPerms,
+        /// Cycles spent walking.
+        cost: Cycles,
+    },
+    /// The walk hit an invalid entry or the leaf lacks the permission.
+    Fault {
+        /// Cycles spent before faulting.
+        cost: Cycles,
+    },
+}
+
+impl WalkOutcome {
+    /// Returns the translated physical address, if the walk succeeded.
+    pub fn physical_address(&self) -> Option<PhysAddr> {
+        match self {
+            WalkOutcome::Translated { addr, .. } => Some(*addr),
+            WalkOutcome::Fault { .. } => None,
+        }
+    }
+
+    /// Returns the cycle cost of the walk.
+    pub fn cost(&self) -> Cycles {
+        match self {
+            WalkOutcome::Translated { cost, .. } | WalkOutcome::Fault { cost } => *cost,
+        }
+    }
+}
+
+/// The hardware page-table walker.
+#[derive(Debug, Clone, Copy)]
+pub struct PageTableWalker {
+    cost_model: CostModel,
+}
+
+impl PageTableWalker {
+    /// Creates a walker using `cost_model` for cycle accounting.
+    pub fn new(cost_model: CostModel) -> Self {
+        Self { cost_model }
+    }
+
+    /// Translates `vaddr` through the three-level table rooted at `root`.
+    ///
+    /// `required` is the permission needed by the access; a leaf without it
+    /// produces a fault, mirroring hardware behaviour.
+    pub fn walk(
+        &self,
+        memory: &PhysMemory,
+        root: PhysAddr,
+        vaddr: VirtAddr,
+        required: MemPerms,
+    ) -> WalkOutcome {
+        let indices = vaddr.page_number().table_indices();
+        let mut table_base = root;
+        let mut cost = Cycles::ZERO;
+        for (level, &index) in indices.iter().enumerate() {
+            cost += self.cost_model.ptw_level;
+            let entry_addr = table_base.offset((index * 8) as u64);
+            let raw = match memory.read_u64(entry_addr) {
+                Ok(v) => v,
+                Err(_) => return WalkOutcome::Fault { cost },
+            };
+            let entry = PageTableEntry(raw);
+            if !entry.is_valid() {
+                return WalkOutcome::Fault { cost };
+            }
+            if entry.is_leaf() {
+                // Only 4 KiB leaves at the last level are supported.
+                if level != 2 {
+                    return WalkOutcome::Fault { cost };
+                }
+                if !entry.perms().allows(required) {
+                    return WalkOutcome::Fault { cost };
+                }
+                let addr = entry
+                    .ppn()
+                    .base_address()
+                    .offset(vaddr.page_offset() as u64);
+                return WalkOutcome::Translated {
+                    addr,
+                    perms: entry.perms(),
+                    cost,
+                };
+            }
+            table_base = entry.ppn().base_address();
+        }
+        WalkOutcome::Fault { cost }
+    }
+}
+
+/// A helper for building page tables inside simulated physical memory.
+///
+/// Both the OS (for untrusted address spaces) and the SM (when it initializes
+/// enclave-private tables during `load_page_table`) use this builder. Table
+/// pages are allocated from a caller-supplied monotone page allocator so the
+/// caller controls exactly which physical pages hold the tables — important
+/// because the SM requires enclave page tables to occupy the base of the
+/// enclave's physical region (paper Section VI-A).
+#[derive(Debug)]
+pub struct PageTableBuilder {
+    root: PhysAddr,
+}
+
+impl PageTableBuilder {
+    /// Creates a builder whose root table lives at `root` (the page must be
+    /// zeroed by the caller).
+    pub fn new(root: PhysAddr) -> Self {
+        Self { root }
+    }
+
+    /// Returns the root table address.
+    pub fn root(&self) -> PhysAddr {
+        self.root
+    }
+
+    /// Maps `vpn` to `ppn` with `perms`, allocating intermediate table pages
+    /// from `alloc_page` when needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if physical memory cannot be written or the
+    /// allocator returns `None`.
+    pub fn map(
+        &mut self,
+        memory: &mut PhysMemory,
+        vpn: VirtPageNum,
+        ppn: PhysPageNum,
+        perms: MemPerms,
+        mut alloc_page: impl FnMut() -> Option<PhysAddr>,
+    ) -> Result<(), String> {
+        let indices = vpn.table_indices();
+        let mut table_base = self.root;
+        for &index in &indices[..2] {
+            let entry_addr = table_base.offset((index * 8) as u64);
+            let raw = memory
+                .read_u64(entry_addr)
+                .map_err(|e| format!("page table read failed: {e}"))?;
+            let entry = PageTableEntry(raw);
+            if entry.is_valid() {
+                if entry.is_leaf() {
+                    return Err("unexpected superpage leaf in page table".to_string());
+                }
+                table_base = entry.ppn().base_address();
+            } else {
+                let new_page = alloc_page().ok_or("page-table page allocator exhausted")?;
+                if !new_page.is_page_aligned() {
+                    return Err("allocator returned unaligned page".to_string());
+                }
+                memory
+                    .zero_page(new_page)
+                    .map_err(|e| format!("zeroing new table page failed: {e}"))?;
+                memory
+                    .write_u64(entry_addr, PageTableEntry::table(new_page.page_number()).0)
+                    .map_err(|e| format!("page table write failed: {e}"))?;
+                table_base = new_page;
+            }
+        }
+        let leaf_addr = table_base.offset((indices[2] * 8) as u64);
+        memory
+            .write_u64(leaf_addr, PageTableEntry::leaf(ppn, perms).0)
+            .map_err(|e| format!("page table write failed: {e}"))?;
+        Ok(())
+    }
+
+    /// Counts the number of table pages (including the root) a mapping of
+    /// `page_count` consecutive pages starting at `base_vpn` will need.
+    pub fn table_pages_needed(base_vpn: VirtPageNum, page_count: u64) -> u64 {
+        if page_count == 0 {
+            return 1;
+        }
+        let first = base_vpn.index();
+        let last = first + page_count - 1;
+        let l2_first = first >> 9;
+        let l2_last = last >> 9;
+        let l1_first = first >> 18;
+        let l1_last = last >> 18;
+        1 + (l1_last - l1_first + 1) + (l2_last - l2_first + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_hal::addr::PAGE_SIZE;
+
+    fn setup() -> (PhysMemory, PageTableBuilder, Vec<PhysAddr>) {
+        let base = PhysAddr::new(0x8000_0000);
+        let mem = PhysMemory::new(base, 64 * PAGE_SIZE);
+        // Reserve pages 0..8 for page tables, allocated in order.
+        let free: Vec<PhysAddr> = (1..8).rev().map(|i| base.offset(i * PAGE_SIZE as u64)).collect();
+        (mem, PageTableBuilder::new(base), free)
+    }
+
+    #[test]
+    fn map_and_walk_round_trip() {
+        let (mut mem, mut builder, mut free) = setup();
+        let vpn = VirtPageNum::new(0x1234);
+        let ppn = PhysAddr::new(0x8000_0000 + 20 * PAGE_SIZE as u64).page_number();
+        builder
+            .map(&mut mem, vpn, ppn, MemPerms::RW, || free.pop())
+            .unwrap();
+
+        let walker = PageTableWalker::new(CostModel::default());
+        let vaddr = vpn.base_address().offset(0x123);
+        match walker.walk(&mem, builder.root(), vaddr, MemPerms::READ) {
+            WalkOutcome::Translated { addr, perms, cost } => {
+                assert_eq!(addr, ppn.base_address().offset(0x123));
+                assert_eq!(perms, MemPerms::RW);
+                assert_eq!(cost, Cycles::new(120)); // 3 levels x 40
+            }
+            WalkOutcome::Fault { .. } => panic!("expected translation"),
+        }
+    }
+
+    #[test]
+    fn missing_mapping_faults() {
+        let (mem, builder, _) = setup();
+        let walker = PageTableWalker::new(CostModel::default());
+        let out = walker.walk(&mem, builder.root(), VirtAddr::new(0x5000), MemPerms::READ);
+        assert!(matches!(out, WalkOutcome::Fault { .. }));
+        assert!(out.physical_address().is_none());
+    }
+
+    #[test]
+    fn permission_mismatch_faults() {
+        let (mut mem, mut builder, mut free) = setup();
+        let vpn = VirtPageNum::new(7);
+        let ppn = PhysAddr::new(0x8000_0000 + 30 * PAGE_SIZE as u64).page_number();
+        builder
+            .map(&mut mem, vpn, ppn, MemPerms::READ, || free.pop())
+            .unwrap();
+        let walker = PageTableWalker::new(CostModel::default());
+        let out = walker.walk(&mem, builder.root(), vpn.base_address(), MemPerms::WRITE);
+        assert!(matches!(out, WalkOutcome::Fault { .. }));
+        let ok = walker.walk(&mem, builder.root(), vpn.base_address(), MemPerms::READ);
+        assert!(ok.physical_address().is_some());
+    }
+
+    #[test]
+    fn adjacent_pages_share_tables() {
+        let (mut mem, mut builder, mut free) = setup();
+        let allocated_before = free.len();
+        for i in 0..4u64 {
+            builder
+                .map(
+                    &mut mem,
+                    VirtPageNum::new(0x100 + i),
+                    PhysAddr::new(0x8000_0000 + (40 + i) * PAGE_SIZE as u64).page_number(),
+                    MemPerms::RWX,
+                    || free.pop(),
+                )
+                .unwrap();
+        }
+        // Only two table pages (levels 1 and 2) should have been allocated.
+        assert_eq!(allocated_before - free.len(), 2);
+        let walker = PageTableWalker::new(CostModel::default());
+        for i in 0..4u64 {
+            let out = walker.walk(
+                &mem,
+                builder.root(),
+                VirtPageNum::new(0x100 + i).base_address(),
+                MemPerms::EXEC,
+            );
+            assert!(out.physical_address().is_some());
+        }
+    }
+
+    #[test]
+    fn entry_encoding_round_trip() {
+        let ppn = PhysPageNum::new(0xabcde);
+        let leaf = PageTableEntry::leaf(ppn, MemPerms::RX);
+        assert!(leaf.is_valid());
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.ppn(), ppn);
+        assert_eq!(leaf.perms(), MemPerms::RX);
+        let table = PageTableEntry::table(ppn);
+        assert!(table.is_valid());
+        assert!(!table.is_leaf());
+        assert!(!PageTableEntry::INVALID.is_valid());
+    }
+
+    #[test]
+    fn table_pages_needed_estimates() {
+        // A small enclave fits under a single L2/L1 pair.
+        assert_eq!(
+            PageTableBuilder::table_pages_needed(VirtPageNum::new(0), 4),
+            3
+        );
+        // Crossing a 2 MiB boundary needs an extra leaf table.
+        assert_eq!(
+            PageTableBuilder::table_pages_needed(VirtPageNum::new(510), 4),
+            4
+        );
+    }
+
+    #[test]
+    fn allocator_exhaustion_reported() {
+        let (mut mem, mut builder, _) = setup();
+        let result = builder.map(
+            &mut mem,
+            VirtPageNum::new(1),
+            PhysPageNum::new(0x80010),
+            MemPerms::RW,
+            || None,
+        );
+        assert!(result.is_err());
+    }
+}

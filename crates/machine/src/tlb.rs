@@ -1,0 +1,216 @@
+//! A per-hart translation lookaside buffer model.
+//!
+//! The paper requires TLB entries to conform to the DRAM-region allocation,
+//! and a TLB shootdown whenever regions are re-assigned to a different
+//! protection domain (Section VII-A). The model tracks which protection
+//! domain inserted each entry and which physical page it maps so shootdowns
+//! can invalidate precisely, and exposes counters the benchmarks report.
+
+use sanctorum_hal::addr::{PhysPageNum, VirtPageNum};
+use sanctorum_hal::domain::DomainKind;
+use sanctorum_hal::perm::MemPerms;
+
+/// A single TLB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Virtual page mapped.
+    pub vpn: VirtPageNum,
+    /// Physical page it maps to.
+    pub ppn: PhysPageNum,
+    /// Leaf permissions.
+    pub perms: MemPerms,
+    /// Protection domain that installed the translation.
+    pub domain: DomainKind,
+}
+
+/// Hit/miss statistics for one TLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Number of lookups that hit.
+    pub hits: u64,
+    /// Number of lookups that missed.
+    pub misses: u64,
+    /// Number of entries invalidated by flushes and shootdowns.
+    pub invalidations: u64,
+}
+
+/// A small fully-associative TLB with FIFO replacement.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<TlbEntry>,
+    capacity: usize,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Looks up a translation for `vpn` on behalf of `domain`.
+    ///
+    /// Entries installed by a different protection domain never hit — the
+    /// hardware tags entries with the domain, which is how Sanctum prevents
+    /// cross-domain TLB-based leakage without a full flush on every switch.
+    pub fn lookup(&mut self, domain: DomainKind, vpn: VirtPageNum) -> Option<TlbEntry> {
+        let found = self
+            .entries
+            .iter()
+            .find(|e| e.vpn == vpn && e.domain == domain)
+            .copied();
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Installs a translation, evicting the oldest entry when full.
+    pub fn insert(&mut self, entry: TlbEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(entry);
+    }
+
+    /// Invalidates every entry (a full flush on context switch).
+    pub fn flush_all(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    /// Invalidates all entries whose physical page lies in
+    /// `[base_ppn, base_ppn + page_count)` — the per-region shootdown.
+    pub fn flush_phys_range(&mut self, base_ppn: PhysPageNum, page_count: u64) {
+        let before = self.entries.len();
+        self.entries.retain(|e| {
+            !(e.ppn.index() >= base_ppn.index() && e.ppn.index() < base_ppn.index() + page_count)
+        });
+        self.stats.invalidations += (before - self.entries.len()) as u64;
+    }
+
+    /// Invalidates all entries belonging to `domain`.
+    pub fn flush_domain(&mut self, domain: DomainKind) {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.domain != domain);
+        self.stats.invalidations += (before - self.entries.len()) as u64;
+    }
+
+    /// Returns the number of currently valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Returns `true` if any resident entry was installed by `domain` —
+    /// used by tests asserting that no stale enclave translations survive an
+    /// asynchronous enclave exit.
+    pub fn has_entries_for(&self, domain: DomainKind) -> bool {
+        self.entries.iter().any(|e| e.domain == domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_hal::domain::EnclaveId;
+
+    fn entry(vpn: u64, ppn: u64, domain: DomainKind) -> TlbEntry {
+        TlbEntry {
+            vpn: VirtPageNum::new(vpn),
+            ppn: PhysPageNum::new(ppn),
+            perms: MemPerms::RW,
+            domain,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(entry(1, 100, DomainKind::Untrusted));
+        assert!(tlb.lookup(DomainKind::Untrusted, VirtPageNum::new(1)).is_some());
+        assert!(tlb.lookup(DomainKind::Untrusted, VirtPageNum::new(2)).is_none());
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn cross_domain_entries_do_not_hit() {
+        let mut tlb = Tlb::new(4);
+        let e1 = DomainKind::Enclave(EnclaveId::new(1));
+        tlb.insert(entry(1, 100, e1));
+        assert!(tlb.lookup(DomainKind::Untrusted, VirtPageNum::new(1)).is_none());
+        assert!(tlb.lookup(e1, VirtPageNum::new(1)).is_some());
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(entry(1, 100, DomainKind::Untrusted));
+        tlb.insert(entry(2, 101, DomainKind::Untrusted));
+        tlb.insert(entry(3, 102, DomainKind::Untrusted));
+        assert_eq!(tlb.len(), 2);
+        assert!(tlb.lookup(DomainKind::Untrusted, VirtPageNum::new(1)).is_none());
+        assert!(tlb.lookup(DomainKind::Untrusted, VirtPageNum::new(3)).is_some());
+    }
+
+    #[test]
+    fn phys_range_shootdown() {
+        let mut tlb = Tlb::new(8);
+        tlb.insert(entry(1, 100, DomainKind::Untrusted));
+        tlb.insert(entry(2, 200, DomainKind::Untrusted));
+        tlb.insert(entry(3, 205, DomainKind::Untrusted));
+        tlb.flush_phys_range(PhysPageNum::new(200), 8);
+        assert_eq!(tlb.len(), 1);
+        assert!(tlb.lookup(DomainKind::Untrusted, VirtPageNum::new(1)).is_some());
+        assert_eq!(tlb.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn domain_flush() {
+        let mut tlb = Tlb::new(8);
+        let e1 = DomainKind::Enclave(EnclaveId::new(1));
+        tlb.insert(entry(1, 100, e1));
+        tlb.insert(entry(2, 101, DomainKind::Untrusted));
+        assert!(tlb.has_entries_for(e1));
+        tlb.flush_domain(e1);
+        assert!(!tlb.has_entries_for(e1));
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut tlb = Tlb::new(8);
+        tlb.insert(entry(1, 100, DomainKind::Untrusted));
+        tlb.insert(entry(2, 101, DomainKind::Untrusted));
+        tlb.flush_all();
+        assert!(tlb.is_empty());
+        assert_eq!(tlb.stats().invalidations, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Trap and interrupt causes.
+//!
+//! Every event the security monitor interposes on (paper Fig. 1) is modelled
+//! as a [`TrapCause`] raised by a hart: SM API calls are environment calls
+//! from S- or U-mode, enclave faults are page faults, and the OS de-schedules
+//! enclaves by sending interrupts.
+
+use sanctorum_hal::addr::VirtAddr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Interrupt sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Interrupt {
+    /// Machine/supervisor timer interrupt (the OS scheduling tick).
+    Timer,
+    /// Software interrupt (inter-processor interrupt, e.g. TLB shootdown or
+    /// forced de-schedule).
+    Software,
+    /// External device interrupt.
+    External,
+}
+
+/// The kind of memory access that faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Instruction fetch.
+    Fetch,
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Fetch => write!(f, "fetch"),
+            AccessKind::Load => write!(f, "load"),
+            AccessKind::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// The cause of a trap taken by a hart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrapCause {
+    /// An asynchronous interrupt.
+    Interrupt(Interrupt),
+    /// A page fault: the page-table walk failed or permissions were missing.
+    PageFault {
+        /// The kind of access that faulted.
+        kind: AccessKind,
+        /// Faulting virtual address.
+        addr: VirtAddr,
+    },
+    /// A physical access violated the isolation primitive (Sanctum region /
+    /// PMP check). Kept distinct from ordinary page faults because the SM
+    /// treats it as a potential attack rather than a paging event.
+    IsolationFault {
+        /// The kind of access that faulted.
+        kind: AccessKind,
+        /// Faulting virtual address.
+        addr: VirtAddr,
+    },
+    /// An environment call (`ecall`) into the security monitor.
+    EnvironmentCall,
+    /// An illegal or unsupported instruction.
+    IllegalInstruction,
+}
+
+impl TrapCause {
+    /// Returns `true` if the cause is an interrupt (asynchronous).
+    pub fn is_interrupt(&self) -> bool {
+        matches!(self, TrapCause::Interrupt(_))
+    }
+
+    /// Returns `true` if this trap is one an enclave may be allowed to handle
+    /// itself (paper Section V-A: enclaves can implement fault handlers for
+    /// page faults and similar synchronous exceptions).
+    pub fn enclave_handleable(&self) -> bool {
+        matches!(self, TrapCause::PageFault { .. } | TrapCause::IllegalInstruction)
+    }
+}
+
+impl fmt::Display for TrapCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapCause::Interrupt(Interrupt::Timer) => write!(f, "timer interrupt"),
+            TrapCause::Interrupt(Interrupt::Software) => write!(f, "software interrupt"),
+            TrapCause::Interrupt(Interrupt::External) => write!(f, "external interrupt"),
+            TrapCause::PageFault { kind, addr } => write!(f, "{kind} page fault at {addr}"),
+            TrapCause::IsolationFault { kind, addr } => {
+                write!(f, "{kind} isolation fault at {addr}")
+            }
+            TrapCause::EnvironmentCall => write!(f, "environment call"),
+            TrapCause::IllegalInstruction => write!(f, "illegal instruction"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupt_predicate() {
+        assert!(TrapCause::Interrupt(Interrupt::Timer).is_interrupt());
+        assert!(!TrapCause::EnvironmentCall.is_interrupt());
+    }
+
+    #[test]
+    fn enclave_handleable_classification() {
+        assert!(TrapCause::PageFault {
+            kind: AccessKind::Load,
+            addr: VirtAddr::new(0x1000)
+        }
+        .enclave_handleable());
+        assert!(TrapCause::IllegalInstruction.enclave_handleable());
+        assert!(!TrapCause::Interrupt(Interrupt::Timer).enclave_handleable());
+        assert!(!TrapCause::EnvironmentCall.enclave_handleable());
+        assert!(!TrapCause::IsolationFault {
+            kind: AccessKind::Store,
+            addr: VirtAddr::new(0)
+        }
+        .enclave_handleable());
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = TrapCause::PageFault {
+            kind: AccessKind::Store,
+            addr: VirtAddr::new(0xdead),
+        };
+        assert_eq!(format!("{c}"), "store page fault at VA 0xdead");
+        assert_eq!(format!("{}", TrapCause::EnvironmentCall), "environment call");
+    }
+}

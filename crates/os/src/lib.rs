@@ -1,0 +1,27 @@
+//! The untrusted operating system model and whole-system simulator.
+//!
+//! The paper's threat model treats the OS as arbitrary — possibly malicious —
+//! privileged software that nevertheless has to go through the SM API to
+//! manage machine resources. This crate provides:
+//!
+//! * [`system`] — boots a complete simulated system (machine + platform
+//!   backend + secure-booted monitor) on either the Sanctum or the Keystone
+//!   backend;
+//! * [`os`] — an honest OS model that loads enclave images through the SM
+//!   API, schedules their threads on harts, drives the Fig. 1 event loop
+//!   (delegated traps, AEX resumption) and tears enclaves down;
+//! * [`adversary`] — scripted malicious-OS behaviours (reading enclave
+//!   memory, mapping it into OS page tables, DMA into enclave memory,
+//!   deleting a running enclave, spoofing mail, replaying stale grants) used
+//!   by the security test-suite to check that every attack is stopped by the
+//!   monitor or the isolation primitive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod os;
+pub mod system;
+
+pub use os::{BuiltEnclave, Os, ThreadRunOutcome};
+pub use system::{PlatformKind, System};

@@ -1,0 +1,446 @@
+//! The honest untrusted-OS model: enclave loading, scheduling and teardown
+//! through the SM API, plus the Fig. 1 event loop.
+
+use crate::system::System;
+use sanctorum_core::error::{SmError, SmResult};
+use sanctorum_core::measurement::Measurement;
+use sanctorum_core::monitor::SecurityMonitor;
+use sanctorum_core::resource::{ResourceId, ResourceState};
+use sanctorum_core::dispatch::EventOutcome;
+use sanctorum_core::thread::ThreadId;
+use sanctorum_enclave::image::EnclaveImage;
+use sanctorum_hal::addr::{PhysAddr, PAGE_SIZE};
+use sanctorum_hal::cycles::Cycles;
+use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
+use sanctorum_hal::isolation::RegionId;
+use sanctorum_machine::guest::{ExitReason, GuestProgram};
+use sanctorum_machine::trap::TrapCause;
+use sanctorum_machine::Machine;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The result of loading an enclave image through the SM API.
+#[derive(Debug, Clone)]
+pub struct BuiltEnclave {
+    /// The enclave id assigned by the SM.
+    pub eid: EnclaveId,
+    /// The finalized measurement returned by `init_enclave`.
+    pub measurement: Measurement,
+    /// Thread ids, in image order.
+    pub threads: Vec<ThreadId>,
+    /// The regions dedicated to this enclave.
+    pub regions: Vec<RegionId>,
+    /// Guest programs for each thread.
+    programs: HashMap<ThreadId, GuestProgram>,
+    /// Cycles the machine charged while building (load + measurement cost).
+    pub build_cycles: Cycles,
+}
+
+impl BuiltEnclave {
+    /// Returns the guest program of thread `tid`.
+    pub fn program(&self, tid: ThreadId) -> Option<&GuestProgram> {
+        self.programs.get(&tid)
+    }
+
+    /// The first (main) thread.
+    pub fn main_thread(&self) -> ThreadId {
+        self.threads[0]
+    }
+}
+
+/// Why a scheduled enclave thread stopped running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadRunOutcome {
+    /// The enclave exited voluntarily through the SM.
+    Exited {
+        /// Cycles consumed while the thread ran (guest work only).
+        cycles: Cycles,
+    },
+    /// The OS interrupted the enclave; the SM performed an AEX and the thread
+    /// can be re-entered to resume.
+    Interrupted {
+        /// The interrupt that caused the de-schedule.
+        cause: TrapCause,
+    },
+    /// The enclave faulted without a handler; the SM performed an AEX.
+    Faulted {
+        /// The faulting cause delegated to the OS.
+        cause: TrapCause,
+    },
+    /// The step budget ran out; the OS forced an AEX to reclaim the core.
+    Preempted,
+}
+
+/// The honest OS model.
+#[derive(Debug)]
+pub struct Os {
+    machine: Arc<Machine>,
+    monitor: Arc<SecurityMonitor>,
+    /// Regions currently owned by the OS and free for dedication to enclaves.
+    free_regions: Vec<RegionId>,
+    /// Base of the staging area (OS memory used to stage enclave page images
+    /// before `load_page` copies them in).
+    staging_base: PhysAddr,
+}
+
+impl Os {
+    /// Creates the OS model for a booted system.
+    ///
+    /// The last untrusted-owned region is kept by the OS as its own working
+    /// memory (staging area); the remaining untrusted regions form the free
+    /// pool dedicated to enclaves.
+    pub fn new(system: &System) -> Self {
+        let monitor = Arc::clone(&system.monitor);
+        let machine = Arc::clone(&system.machine);
+        let config = machine.config();
+        let mut untrusted: Vec<RegionId> = (0..config.num_regions() as u32)
+            .map(RegionId::new)
+            .filter(|r| {
+                matches!(
+                    monitor.resource_state(ResourceId::Region(*r)),
+                    Ok(ResourceState::Owned(DomainKind::Untrusted))
+                )
+            })
+            .collect();
+        let staging_region = untrusted.pop().expect("at least one untrusted region");
+        let staging_base = config
+            .memory_base
+            .offset((staging_region.index() * config.dram_region_size) as u64);
+        Self {
+            machine,
+            monitor,
+            free_regions: untrusted,
+            staging_base,
+        }
+    }
+
+    /// Returns the monitor handle.
+    pub fn monitor(&self) -> &Arc<SecurityMonitor> {
+        &self.monitor
+    }
+
+    /// Returns the number of regions still available for enclaves.
+    pub fn free_region_count(&self) -> usize {
+        self.free_regions.len()
+    }
+
+    /// Returns the base address of the OS staging area.
+    pub fn staging_base(&self) -> PhysAddr {
+        self.staging_base
+    }
+
+    /// Takes `count` regions from the free pool and moves them through the
+    /// Fig. 2 transitions (block → clean) so they are *available* for
+    /// `create_enclave`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is too small or an SM transition is rejected.
+    pub fn reserve_regions(&mut self, count: usize) -> SmResult<Vec<RegionId>> {
+        if self.free_regions.len() < count {
+            return Err(SmError::OutOfResources {
+                resource: "untrusted memory regions",
+            });
+        }
+        let mut reserved = Vec::with_capacity(count);
+        for _ in 0..count {
+            let region = self.free_regions.pop().expect("checked length");
+            self.monitor
+                .block_resource(DomainKind::Untrusted, ResourceId::Region(region))?;
+            self.monitor
+                .clean_resource(DomainKind::Untrusted, ResourceId::Region(region))?;
+            reserved.push(region);
+        }
+        Ok(reserved)
+    }
+
+    /// Loads an enclave image: reserves regions, creates the enclave,
+    /// allocates its page tables, loads every page and thread, and seals it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any SM API error; on failure the partially built enclave is
+    /// left for the caller to clean up (as a real OS would have to).
+    pub fn build_enclave(&mut self, image: &EnclaveImage, regions: usize) -> SmResult<BuiltEnclave> {
+        let cycles_before = self.machine.total_cycles();
+        let os = DomainKind::Untrusted;
+        let reserved = self.reserve_regions(regions)?;
+        let eid = self
+            .monitor
+            .create_enclave(os, image.evrange_base, image.evrange_len, &reserved)?;
+        self.monitor.allocate_page_table(os, eid)?;
+
+        for (vaddr, perms, contents) in &image.pages {
+            // Stage the page contents in OS memory, then ask the SM to copy
+            // them into the enclave.
+            let mut page = vec![0u8; PAGE_SIZE];
+            let n = contents.len().min(PAGE_SIZE);
+            page[..n].copy_from_slice(&contents[..n]);
+            self.machine
+                .phys_write(self.staging_base, &page)
+                .map_err(|_| SmError::Memory)?;
+            self.monitor
+                .load_page(os, eid, *vaddr, self.staging_base, *perms)?;
+        }
+
+        let mut threads = Vec::new();
+        let mut programs = HashMap::new();
+        for spec in &image.threads {
+            let tid =
+                self.monitor
+                    .load_thread(os, eid, spec.entry_pc, spec.fault_handler_pc)?;
+            threads.push(tid);
+            programs.insert(tid, spec.program.clone());
+        }
+
+        let measurement = self.monitor.init_enclave(os, eid)?;
+        Ok(BuiltEnclave {
+            eid,
+            measurement,
+            threads,
+            regions: reserved,
+            programs,
+            build_cycles: self.machine.total_cycles() - cycles_before,
+        })
+    }
+
+    /// Schedules thread `tid` of `enclave` on `core` and drives the Fig. 1
+    /// event loop until the thread exits, is de-scheduled, or exhausts
+    /// `step_budget` guest operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SM API errors (e.g. entering a thread that is not
+    /// runnable).
+    pub fn run_thread(
+        &mut self,
+        enclave: &BuiltEnclave,
+        tid: ThreadId,
+        core: CoreId,
+        step_budget: u64,
+    ) -> SmResult<ThreadRunOutcome> {
+        let program = enclave
+            .program(tid)
+            .ok_or(SmError::UnknownThread(tid))?
+            .clone();
+        self.monitor
+            .enter_enclave(DomainKind::Untrusted, enclave.eid, tid, core)?;
+
+        let mut remaining = step_budget;
+        let mut guest_cycles = Cycles::ZERO;
+        loop {
+            let result = self.machine.run_guest(core, &program, remaining.max(1));
+            guest_cycles += result.cycles;
+            remaining = remaining.saturating_sub(result.steps);
+            match result.exit {
+                ExitReason::Completed => {
+                    // The program ended without an explicit ExitEnclave call;
+                    // perform the voluntary exit on the enclave's behalf.
+                    self.monitor
+                        .exit_enclave(DomainKind::Enclave(enclave.eid), core)?;
+                    return Ok(ThreadRunOutcome::Exited { cycles: guest_cycles });
+                }
+                ExitReason::Ecall => {
+                    let _ = self.monitor.handle_event(core, TrapCause::EnvironmentCall);
+                    if !self.machine.hart(core).domain.is_enclave() {
+                        // The call context-switched back to the OS
+                        // (exit_enclave, or an AEX on its failure path).
+                        return Ok(ThreadRunOutcome::Exited { cycles: guest_cycles });
+                    }
+                    // Otherwise the call completed in place; keep running.
+                }
+                ExitReason::Trap(cause) => {
+                    match self.monitor.handle_event(core, cause) {
+                        EventOutcome::DelegateToEnclave { .. } => {
+                            // The enclave's own fault handler takes over.
+                        }
+                        EventOutcome::DelegateToOs { cause, aex_performed } => {
+                            debug_assert!(aex_performed);
+                            return Ok(if cause.is_interrupt() {
+                                ThreadRunOutcome::Interrupted { cause }
+                            } else {
+                                ThreadRunOutcome::Faulted { cause }
+                            });
+                        }
+                        EventOutcome::SmCallDone { .. } | EventOutcome::IllegalCall => {}
+                    }
+                }
+                ExitReason::OutOfSteps => {
+                    // Budget exhausted: the OS reclaims the core by forcing a
+                    // de-schedule, exactly as its scheduler tick would.
+                    self.monitor.asynchronous_enclave_exit(core)?;
+                    return Ok(ThreadRunOutcome::Preempted);
+                }
+            }
+            if remaining == 0 {
+                self.monitor.asynchronous_enclave_exit(core)?;
+                return Ok(ThreadRunOutcome::Preempted);
+            }
+        }
+    }
+
+    /// Interrupts whatever runs on `core` (the OS scheduler tick) and lets
+    /// the SM sort out the AEX; returns `true` if an enclave was de-scheduled.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the interrupt cannot be queued (unknown core).
+    pub fn tick(&mut self, core: CoreId) -> SmResult<bool> {
+        self.machine
+            .raise_interrupt(core, sanctorum_machine::trap::Interrupt::Timer)
+            .map_err(|_| SmError::InvalidArgument { reason: "no such core" })?;
+        Ok(self.monitor.thread_on_core(core).is_some())
+    }
+
+    /// Destroys an enclave and recycles its regions back into the free pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SM API errors (e.g. the enclave still has running threads).
+    pub fn teardown_enclave(&mut self, enclave: &BuiltEnclave) -> SmResult<()> {
+        let os = DomainKind::Untrusted;
+        self.monitor.delete_enclave(os, enclave.eid)?;
+        for region in &enclave.regions {
+            // delete_enclave left the regions blocked; clean them and take
+            // them back.
+            self.monitor.clean_resource(os, ResourceId::Region(*region))?;
+            self.monitor
+                .grant_resource(os, ResourceId::Region(*region), DomainKind::Untrusted)?;
+            self.free_regions.push(*region);
+        }
+        Ok(())
+    }
+
+    /// Runs an untrusted (non-enclave) workload on `core` with physical
+    /// addressing — used by benchmarks needing an OS-side baseline.
+    pub fn run_untrusted(&mut self, core: CoreId, program: &GuestProgram, steps: u64) -> ExitReason {
+        self.machine.install_context(
+            core,
+            DomainKind::Untrusted,
+            sanctorum_machine::hart::PrivilegeLevel::Supervisor,
+            None,
+            0,
+        );
+        self.machine.run_guest(core, program, steps).exit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::PlatformKind;
+    use sanctorum_machine::guest::REG_A0;
+
+    fn setup(platform: PlatformKind) -> (System, Os) {
+        let system = System::boot_small(platform);
+        let os = Os::new(&system);
+        (system, os)
+    }
+
+    #[test]
+    fn build_run_teardown_on_both_platforms() {
+        for platform in PlatformKind::ALL {
+            let (system, mut os) = setup(platform);
+            let built = os.build_enclave(&EnclaveImage::hello(0xfeed), 1).unwrap();
+            assert_eq!(built.threads.len(), 1);
+
+            let outcome = os
+                .run_thread(&built, built.main_thread(), CoreId::new(0), 10_000)
+                .unwrap();
+            assert!(matches!(outcome, ThreadRunOutcome::Exited { .. }), "{platform:?}");
+            // The secret the enclave loaded back into a0 was wiped by the
+            // exit path (core cleaning), so the OS cannot see it.
+            assert_eq!(system.machine.hart(CoreId::new(0)).regs[REG_A0 as usize], 0);
+
+            os.teardown_enclave(&built).unwrap();
+            assert_eq!(os.free_region_count(), system.machine.config().num_regions() - 2);
+        }
+    }
+
+    #[test]
+    fn enclave_memory_unreadable_by_os_while_alive_and_zeroed_after() {
+        let (system, mut os) = setup(PlatformKind::Sanctum);
+        let built = os.build_enclave(&EnclaveImage::hello(0xdead_beef), 1).unwrap();
+        os.run_thread(&built, built.main_thread(), CoreId::new(0), 10_000)
+            .unwrap();
+
+        // Locate the enclave's physical window (its region base).
+        let region = built.regions[0];
+        let base = system
+            .machine
+            .config()
+            .memory_base
+            .offset((region.index() * system.machine.config().dram_region_size) as u64);
+        // The OS cannot access it while the enclave exists.
+        assert!(!system.machine.check_access(
+            DomainKind::Untrusted,
+            base,
+            sanctorum_hal::perm::MemPerms::READ
+        ));
+        // After teardown (delete + clean + grant) the memory is OS-owned
+        // again and has been zeroed.
+        os.teardown_enclave(&built).unwrap();
+        assert!(system.machine.check_access(
+            DomainKind::Untrusted,
+            base,
+            sanctorum_hal::perm::MemPerms::READ
+        ));
+        let mut buf = vec![0u8; 4096];
+        system.machine.phys_read(base, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "enclave memory must be scrubbed");
+    }
+
+    #[test]
+    fn preemption_and_resumption() {
+        let (_system, mut os) = setup(PlatformKind::Sanctum);
+        let built = os.build_enclave(&EnclaveImage::spinner(), 1).unwrap();
+        let tid = built.main_thread();
+        // A small step budget forces preemption.
+        let outcome = os.run_thread(&built, tid, CoreId::new(0), 16).unwrap();
+        assert_eq!(outcome, ThreadRunOutcome::Preempted);
+        let info = os.monitor().thread_info(tid).unwrap();
+        assert!(info.aex_pending, "AEX state must be saved");
+        // Resume and preempt again — the thread keeps its state.
+        let outcome = os.run_thread(&built, tid, CoreId::new(0), 16).unwrap();
+        assert_eq!(outcome, ThreadRunOutcome::Preempted);
+    }
+
+    #[test]
+    fn faulting_enclave_is_aexed_and_fault_handler_variant_recovers() {
+        let (_system, mut os) = setup(PlatformKind::Keystone);
+        let faulting = os.build_enclave(&EnclaveImage::faulting(), 1).unwrap();
+        let outcome = os
+            .run_thread(&faulting, faulting.main_thread(), CoreId::new(0), 1000)
+            .unwrap();
+        assert!(matches!(outcome, ThreadRunOutcome::Faulted { .. }));
+
+        let handled = os.build_enclave(&EnclaveImage::fault_handling(), 1).unwrap();
+        let outcome = os
+            .run_thread(&handled, handled.main_thread(), CoreId::new(1), 1000)
+            .unwrap();
+        assert!(matches!(outcome, ThreadRunOutcome::Exited { .. }));
+    }
+
+    #[test]
+    fn identical_images_measure_identically_across_platforms_and_placements() {
+        let (_s1, mut os1) = setup(PlatformKind::Sanctum);
+        let (_s2, mut os2) = setup(PlatformKind::Keystone);
+        let a = os1.build_enclave(&EnclaveImage::hello(1), 1).unwrap();
+        let b = os1.build_enclave(&EnclaveImage::hello(1), 1).unwrap();
+        let c = os2.build_enclave(&EnclaveImage::hello(1), 1).unwrap();
+        // Same image, different physical regions (and even platforms): same
+        // measurement. A different image measures differently.
+        assert_eq!(a.measurement, b.measurement);
+        assert_eq!(a.measurement, c.measurement);
+        let d = os1.build_enclave(&EnclaveImage::hello(2), 1).unwrap();
+        assert_ne!(a.measurement, d.measurement);
+    }
+
+    #[test]
+    fn out_of_regions_reported() {
+        let (_system, mut os) = setup(PlatformKind::Sanctum);
+        let available = os.free_region_count();
+        let err = os.build_enclave(&EnclaveImage::hello(1), available + 1).unwrap_err();
+        assert!(matches!(err, SmError::OutOfResources { .. }));
+    }
+}

@@ -1,0 +1,331 @@
+//! Keystone platform backend (paper Section VII-B).
+//!
+//! Keystone runs on unmodified RISC-V hardware and uses the physical memory
+//! protection (PMP) unit to white-list physical ranges per privilege mode:
+//! the SM marks its own memory M-mode-only, and each enclave gets a dedicated
+//! PMP-protected range of arbitrary size. Two architectural differences from
+//! Sanctum matter for the monitor and show up in the Table 2 comparison:
+//!
+//! * the number of protected ranges is limited by the number of PMP entries
+//!   (8–16 on real cores), so enclave creation can fail with PMP exhaustion;
+//! * the shared last-level cache is *not* partitioned, so cleaning a memory
+//!   unit (or switching domains conservatively) requires flushing the whole
+//!   shared cache, and cross-domain cache interference remains possible — the
+//!   paper notes Keystone does not isolate micro-architectural state across
+//!   arbitrary platforms, which its threat model reflects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sanctorum_hal::addr::PhysAddr;
+use sanctorum_hal::cycles::Cycles;
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_hal::isolation::{
+    FlushKind, IsolationBackend, IsolationError, RegionId, RegionInfo,
+};
+use sanctorum_hal::perm::MemPerms;
+use sanctorum_machine::access::AccessRange;
+use sanctorum_machine::Machine;
+use std::sync::Arc;
+
+/// The Keystone isolation backend.
+///
+/// The allocatable memory units follow the machine's region geometry (so the
+/// same workloads run on both backends), but each unit protected for the SM
+/// or an enclave consumes a PMP entry, and the backend refuses assignments
+/// once the PMP is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_machine::{Machine, MachineConfig};
+/// use sanctorum_keystone::KeystoneBackend;
+/// use sanctorum_hal::isolation::IsolationBackend;
+/// use std::sync::Arc;
+///
+/// let machine = Arc::new(Machine::new(MachineConfig::small()));
+/// let backend = KeystoneBackend::new(Arc::clone(&machine));
+/// assert_eq!(backend.platform_name(), "keystone");
+/// assert_eq!(backend.pmp_entries_used(), 1); // the SM's own range
+/// ```
+pub struct KeystoneBackend {
+    machine: Arc<Machine>,
+    owners: Vec<DomainKind>,
+    pmp_capacity: usize,
+}
+
+impl std::fmt::Debug for KeystoneBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KeystoneBackend {{ regions: {}, pmp: {}/{} }}",
+            self.owners.len(),
+            self.pmp_entries_used(),
+            self.pmp_capacity
+        )
+    }
+}
+
+impl KeystoneBackend {
+    /// Creates the backend, reserving one PMP entry (and memory unit 0) for
+    /// the SM's own memory.
+    pub fn new(machine: Arc<Machine>) -> Self {
+        let num_regions = machine.config().num_regions();
+        let pmp_capacity = machine.config().pmp_entries;
+        let mut backend = Self {
+            machine,
+            owners: vec![DomainKind::Untrusted; num_regions],
+            pmp_capacity,
+        };
+        backend
+            .assign_region(RegionId::new(0), DomainKind::SecurityMonitor, MemPerms::RWX)
+            .expect("reserving the SM range cannot fail on a fresh machine");
+        backend
+    }
+
+    /// Returns the number of PMP entries currently consumed (one per unit not
+    /// owned by the untrusted OS; the OS's memory is covered by the
+    /// lowest-priority background entry).
+    pub fn pmp_entries_used(&self) -> usize {
+        self.owners
+            .iter()
+            .filter(|o| **o != DomainKind::Untrusted)
+            .count()
+    }
+
+    /// Returns the PMP entry capacity.
+    pub fn pmp_capacity(&self) -> usize {
+        self.pmp_capacity
+    }
+
+    fn region_geometry(&self, region: RegionId) -> Result<RegionInfo, IsolationError> {
+        let config = self.machine.config();
+        if region.index() >= config.num_regions() {
+            return Err(IsolationError::UnknownRegion(region));
+        }
+        let base = config
+            .memory_base
+            .offset((region.index() * config.dram_region_size) as u64);
+        Ok(RegionInfo {
+            id: region,
+            base,
+            len: config.dram_region_size as u64,
+            cache_isolated: false,
+        })
+    }
+}
+
+impl IsolationBackend for KeystoneBackend {
+    fn platform_name(&self) -> &'static str {
+        "keystone"
+    }
+
+    fn regions(&self) -> Vec<RegionInfo> {
+        (0..self.owners.len())
+            .map(|i| {
+                self.region_geometry(RegionId::new(i as u32))
+                    .expect("registered region has geometry")
+            })
+            .collect()
+    }
+
+    fn region_of(&self, addr: PhysAddr) -> Option<RegionId> {
+        let config = self.machine.config();
+        let offset = addr.as_u64().checked_sub(config.memory_base.as_u64())?;
+        let index = (offset / config.dram_region_size as u64) as usize;
+        if index < config.num_regions() {
+            Some(RegionId::new(index as u32))
+        } else {
+            None
+        }
+    }
+
+    fn assign_region(
+        &mut self,
+        region: RegionId,
+        domain: DomainKind,
+        perms: MemPerms,
+    ) -> Result<Cycles, IsolationError> {
+        let info = self.region_geometry(region)?;
+        let currently_protected = self.owners[region.index()] != DomainKind::Untrusted;
+        let will_be_protected = domain != DomainKind::Untrusted;
+        if will_be_protected && !currently_protected && self.pmp_entries_used() >= self.pmp_capacity
+        {
+            return Err(IsolationError::ResourceExhausted {
+                resource: "pmp entries",
+            });
+        }
+        let range = AccessRange {
+            base: info.base,
+            len: info.len,
+            owner: domain,
+            owner_perms: perms,
+            untrusted_perms: if domain == DomainKind::Untrusted {
+                perms
+            } else {
+                MemPerms::NONE
+            },
+            dma_blocked: domain != DomainKind::Untrusted,
+        };
+        self.machine
+            .with_access_mut(|a| a.protect(range))
+            .map_err(|_| IsolationError::UnsupportedRange {
+                base: info.base,
+                len: info.len,
+            })?;
+        self.owners[region.index()] = domain;
+        // Writing a PMP entry on every hart: address + config CSR per hart.
+        let cost = self
+            .machine
+            .cost_model()
+            .pmp_write
+            .scaled(2 * self.machine.num_harts() as u64);
+        Ok(cost)
+    }
+
+    fn region_owner(&self, region: RegionId) -> Result<DomainKind, IsolationError> {
+        self.owners
+            .get(region.index())
+            .copied()
+            .ok_or(IsolationError::UnknownRegion(region))
+    }
+
+    fn check_access(&self, domain: DomainKind, addr: PhysAddr, perms: MemPerms) -> bool {
+        self.machine.check_access(domain, addr, perms)
+    }
+
+    fn flush(&mut self, core: CoreId, kind: FlushKind) -> Result<Cycles, IsolationError> {
+        if !self.machine.has_hart(core) {
+            return Err(IsolationError::UnknownCore(core));
+        }
+        let cost = match kind {
+            FlushKind::CoreState => self.machine.cost_model().flush_core,
+            FlushKind::PrivateCaches => self.machine.cost_model().flush_core,
+            // The LLC is shared: a conservative clean flushes all of it.
+            FlushKind::SharedCachePartition => self.machine.with_cache_mut(|c| c.flush_all()),
+            FlushKind::Tlb => {
+                self.machine.tlb(core).flush_all();
+                self.machine.cost_model().tlb_shootdown
+            }
+        };
+        self.machine.charge(cost);
+        Ok(cost)
+    }
+
+    fn tlb_shootdown(&mut self, region: RegionId) -> Result<Cycles, IsolationError> {
+        let info = self.region_geometry(region)?;
+        Ok(self.machine.tlb_shootdown(info.base, info.len))
+    }
+
+    fn flush_region_cache(&mut self, region: RegionId) -> Result<Cycles, IsolationError> {
+        let _ = self.region_geometry(region)?;
+        // No partitioning: the whole shared cache is flushed.
+        let cost = self.machine.with_cache_mut(|c| c.flush_all());
+        self.machine.charge(cost);
+        Ok(cost)
+    }
+
+    fn dma_blocked(&self, region: RegionId) -> Result<bool, IsolationError> {
+        let info = self.region_geometry(region)?;
+        Ok(self
+            .machine
+            .with_access(|a| a.range_of(info.base).map(|r| r.dma_blocked))
+            .unwrap_or(false))
+    }
+
+    fn set_dma_blocked(&mut self, region: RegionId, blocked: bool) -> Result<Cycles, IsolationError> {
+        let info = self.region_geometry(region)?;
+        self.machine.with_access_mut(|a| {
+            if let Some(range) = a.range_of_mut(info.base) {
+                range.dma_blocked = blocked;
+            }
+        });
+        Ok(self.machine.cost_model().pmp_write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_hal::domain::EnclaveId;
+    use sanctorum_machine::MachineConfig;
+
+    fn setup() -> (Arc<Machine>, KeystoneBackend) {
+        let machine = Arc::new(Machine::new(MachineConfig::small()));
+        let backend = KeystoneBackend::new(Arc::clone(&machine));
+        (machine, backend)
+    }
+
+    fn enclave(id: u64) -> DomainKind {
+        DomainKind::Enclave(EnclaveId::new(id))
+    }
+
+    #[test]
+    fn sm_range_reserved_and_counts_against_pmp() {
+        let (_, backend) = setup();
+        assert_eq!(
+            backend.region_owner(RegionId::new(0)).unwrap(),
+            DomainKind::SecurityMonitor
+        );
+        assert_eq!(backend.pmp_entries_used(), 1);
+    }
+
+    #[test]
+    fn pmp_exhaustion_rejected() {
+        let machine = Arc::new(Machine::new(MachineConfig {
+            pmp_entries: 3,
+            ..MachineConfig::small()
+        }));
+        let mut backend = KeystoneBackend::new(Arc::clone(&machine));
+        backend.assign_region(RegionId::new(1), enclave(1), MemPerms::RWX).unwrap();
+        backend.assign_region(RegionId::new(2), enclave(2), MemPerms::RWX).unwrap();
+        let err = backend
+            .assign_region(RegionId::new(3), enclave(3), MemPerms::RWX)
+            .unwrap_err();
+        assert!(matches!(err, IsolationError::ResourceExhausted { .. }));
+        // Releasing one back to the OS frees an entry.
+        backend
+            .assign_region(RegionId::new(1), DomainKind::Untrusted, MemPerms::RWX)
+            .unwrap();
+        backend.assign_region(RegionId::new(3), enclave(3), MemPerms::RWX).unwrap();
+    }
+
+    #[test]
+    fn isolation_enforced_via_machine() {
+        let (machine, mut backend) = setup();
+        backend.assign_region(RegionId::new(2), enclave(5), MemPerms::RW).unwrap();
+        let info = backend.regions()[2];
+        assert!(machine.check_access(enclave(5), info.base, MemPerms::RW));
+        assert!(!machine.check_access(DomainKind::Untrusted, info.base, MemPerms::READ));
+        assert!(!machine.check_access(enclave(6), info.base, MemPerms::READ));
+    }
+
+    #[test]
+    fn shared_cache_flush_is_whole_cache() {
+        let (machine, mut backend) = setup();
+        // Warm the cache with lines spread across sets.
+        for i in 0..64u64 {
+            machine.with_cache_mut(|c| {
+                c.access(sanctorum_machine::cache::PartitionId(0), PhysAddr::new(0x8000_0000 + i * 64))
+            });
+        }
+        let cost = backend.flush_region_cache(RegionId::new(1)).unwrap();
+        assert!(cost.count() >= 64 * 4, "whole-cache flush must pay per resident line");
+        assert!(!machine.with_cache_mut(|c| c.holds_line_in(PhysAddr::new(0x8000_0000), 64 * 64)));
+    }
+
+    #[test]
+    fn regions_not_cache_isolated() {
+        let (_, backend) = setup();
+        assert!(backend.regions().iter().all(|r| !r.cache_isolated));
+    }
+
+    #[test]
+    fn unknown_region_errors() {
+        let (_, mut backend) = setup();
+        let bogus = RegionId::new(999);
+        assert!(backend.region_owner(bogus).is_err());
+        assert!(backend.flush_region_cache(bogus).is_err());
+        assert!(backend.set_dma_blocked(bogus, true).is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! MIT Sanctum platform backend (paper Section VII-A).
+//!
+//! The Sanctum processor isolates memory as a fixed array of equally sized
+//! DRAM regions (64 × 32 MiB on the real hardware; the simulated machine
+//! scales the geometry down). Each region is isolated throughout the memory
+//! hierarchy: the last-level cache is partitioned by page colouring, so a
+//! protection domain occupying one region can never evict another domain's
+//! lines, and a page-table-walk invariant (modelled by the machine's
+//! access-control check on every translated access) keeps TLB contents
+//! consistent with the region allocation, requiring a TLB shootdown whenever
+//! a region changes owner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sanctorum_hal::addr::PhysAddr;
+use sanctorum_hal::cycles::Cycles;
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_hal::isolation::{
+    FlushKind, IsolationBackend, IsolationError, RegionId, RegionInfo,
+};
+use sanctorum_hal::perm::MemPerms;
+use sanctorum_machine::access::AccessRange;
+use sanctorum_machine::cache::PartitionId;
+use sanctorum_machine::Machine;
+use std::sync::Arc;
+
+/// Number of LLC partitions (page colours) the backend divides the cache
+/// into. Each DRAM region maps to the partition `region_index % PARTITIONS`.
+pub const CACHE_PARTITIONS: u32 = 8;
+
+/// The Sanctum isolation backend.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_machine::{Machine, MachineConfig};
+/// use sanctorum_sanctum::SanctumBackend;
+/// use sanctorum_hal::isolation::IsolationBackend;
+/// use std::sync::Arc;
+///
+/// let machine = Arc::new(Machine::new(MachineConfig::small()));
+/// let backend = SanctumBackend::new(Arc::clone(&machine));
+/// assert_eq!(backend.platform_name(), "sanctum");
+/// assert_eq!(backend.regions().len(), machine.config().num_regions());
+/// ```
+pub struct SanctumBackend {
+    machine: Arc<Machine>,
+    owners: Vec<DomainKind>,
+}
+
+impl std::fmt::Debug for SanctumBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SanctumBackend {{ regions: {} }}", self.owners.len())
+    }
+}
+
+impl SanctumBackend {
+    /// Creates the backend, partitioning the LLC and reserving region 0 for
+    /// the SM itself (its code, stack and metadata region).
+    pub fn new(machine: Arc<Machine>) -> Self {
+        let num_regions = machine.config().num_regions();
+        machine.with_cache_mut(|c| c.partition_evenly(CACHE_PARTITIONS));
+        let mut backend = Self {
+            machine,
+            owners: vec![DomainKind::Untrusted; num_regions],
+        };
+        backend
+            .assign_region(RegionId::new(0), DomainKind::SecurityMonitor, MemPerms::RWX)
+            .expect("reserving the SM region cannot fail on a fresh machine");
+        backend
+    }
+
+    fn region_geometry(&self, region: RegionId) -> Result<RegionInfo, IsolationError> {
+        let config = self.machine.config();
+        if region.index() >= config.num_regions() {
+            return Err(IsolationError::UnknownRegion(region));
+        }
+        let base = config
+            .memory_base
+            .offset((region.index() * config.dram_region_size) as u64);
+        Ok(RegionInfo {
+            id: region,
+            base,
+            len: config.dram_region_size as u64,
+            cache_isolated: true,
+        })
+    }
+
+    fn partition_for(region: RegionId) -> PartitionId {
+        PartitionId(region.0 % CACHE_PARTITIONS)
+    }
+}
+
+impl IsolationBackend for SanctumBackend {
+    fn platform_name(&self) -> &'static str {
+        "sanctum"
+    }
+
+    fn regions(&self) -> Vec<RegionInfo> {
+        (0..self.owners.len())
+            .map(|i| {
+                self.region_geometry(RegionId::new(i as u32))
+                    .expect("registered region has geometry")
+            })
+            .collect()
+    }
+
+    fn region_of(&self, addr: PhysAddr) -> Option<RegionId> {
+        let config = self.machine.config();
+        let offset = addr.as_u64().checked_sub(config.memory_base.as_u64())?;
+        let index = (offset / config.dram_region_size as u64) as usize;
+        if index < config.num_regions() {
+            Some(RegionId::new(index as u32))
+        } else {
+            None
+        }
+    }
+
+    fn assign_region(
+        &mut self,
+        region: RegionId,
+        domain: DomainKind,
+        perms: MemPerms,
+    ) -> Result<Cycles, IsolationError> {
+        let info = self.region_geometry(region)?;
+        let range = AccessRange {
+            base: info.base,
+            len: info.len,
+            owner: domain,
+            owner_perms: perms,
+            untrusted_perms: if domain == DomainKind::Untrusted {
+                perms
+            } else {
+                MemPerms::NONE
+            },
+            dma_blocked: domain != DomainKind::Untrusted,
+        };
+        self.machine
+            .with_access_mut(|a| a.protect(range))
+            .map_err(|_| IsolationError::UnsupportedRange {
+                base: info.base,
+                len: info.len,
+            })?;
+        self.owners[region.index()] = domain;
+        // Bind the domain to the region's cache partition (page colouring).
+        self.machine.set_partition(domain, Self::partition_for(region));
+        // Reprogramming the region map costs a handful of CSR writes.
+        Ok(self.machine.cost_model().pmp_write.scaled(4))
+    }
+
+    fn region_owner(&self, region: RegionId) -> Result<DomainKind, IsolationError> {
+        self.owners
+            .get(region.index())
+            .copied()
+            .ok_or(IsolationError::UnknownRegion(region))
+    }
+
+    fn check_access(&self, domain: DomainKind, addr: PhysAddr, perms: MemPerms) -> bool {
+        self.machine.check_access(domain, addr, perms)
+    }
+
+    fn flush(&mut self, core: CoreId, kind: FlushKind) -> Result<Cycles, IsolationError> {
+        if !self.machine.has_hart(core) {
+            return Err(IsolationError::UnknownCore(core));
+        }
+        let cost = match kind {
+            FlushKind::CoreState => self.machine.cost_model().flush_core,
+            FlushKind::PrivateCaches => self.machine.cost_model().flush_core,
+            // The LLC is partitioned, so a core hand-off does not require a
+            // shared-cache flush on Sanctum.
+            FlushKind::SharedCachePartition => Cycles::ZERO,
+            FlushKind::Tlb => {
+                self.machine.tlb(core).flush_all();
+                self.machine.cost_model().tlb_shootdown
+            }
+        };
+        self.machine.charge(cost);
+        Ok(cost)
+    }
+
+    fn tlb_shootdown(&mut self, region: RegionId) -> Result<Cycles, IsolationError> {
+        let info = self.region_geometry(region)?;
+        Ok(self.machine.tlb_shootdown(info.base, info.len))
+    }
+
+    fn flush_region_cache(&mut self, region: RegionId) -> Result<Cycles, IsolationError> {
+        let _ = self.region_geometry(region)?;
+        let cost = self
+            .machine
+            .with_cache_mut(|c| c.flush_partition(Self::partition_for(region)));
+        self.machine.charge(cost);
+        Ok(cost)
+    }
+
+    fn dma_blocked(&self, region: RegionId) -> Result<bool, IsolationError> {
+        let info = self.region_geometry(region)?;
+        Ok(self
+            .machine
+            .with_access(|a| a.range_of(info.base).map(|r| r.dma_blocked))
+            .unwrap_or(false))
+    }
+
+    fn set_dma_blocked(&mut self, region: RegionId, blocked: bool) -> Result<Cycles, IsolationError> {
+        let info = self.region_geometry(region)?;
+        self.machine.with_access_mut(|a| {
+            if let Some(range) = a.range_of_mut(info.base) {
+                range.dma_blocked = blocked;
+            }
+        });
+        Ok(self.machine.cost_model().pmp_write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_hal::domain::EnclaveId;
+    use sanctorum_machine::MachineConfig;
+
+    fn setup() -> (Arc<Machine>, SanctumBackend) {
+        let machine = Arc::new(Machine::new(MachineConfig::small()));
+        let backend = SanctumBackend::new(Arc::clone(&machine));
+        (machine, backend)
+    }
+
+    fn enclave(id: u64) -> DomainKind {
+        DomainKind::Enclave(EnclaveId::new(id))
+    }
+
+    #[test]
+    fn region_zero_reserved_for_sm() {
+        let (_, backend) = setup();
+        assert_eq!(
+            backend.region_owner(RegionId::new(0)).unwrap(),
+            DomainKind::SecurityMonitor
+        );
+        assert_eq!(
+            backend.region_owner(RegionId::new(1)).unwrap(),
+            DomainKind::Untrusted
+        );
+    }
+
+    #[test]
+    fn region_geometry_is_fixed_size() {
+        let (machine, backend) = setup();
+        let regions = backend.regions();
+        assert_eq!(regions.len(), machine.config().num_regions());
+        let size = machine.config().dram_region_size as u64;
+        for (i, r) in regions.iter().enumerate() {
+            assert_eq!(r.len, size);
+            assert_eq!(
+                r.base.as_u64(),
+                machine.config().memory_base.as_u64() + i as u64 * size
+            );
+            assert!(r.cache_isolated);
+        }
+    }
+
+    #[test]
+    fn region_of_maps_addresses() {
+        let (machine, backend) = setup();
+        let base = machine.config().memory_base;
+        let size = machine.config().dram_region_size as u64;
+        assert_eq!(backend.region_of(base), Some(RegionId::new(0)));
+        assert_eq!(backend.region_of(base.offset(size)), Some(RegionId::new(1)));
+        assert_eq!(
+            backend.region_of(base.offset(size * 2 + 42)),
+            Some(RegionId::new(2))
+        );
+        assert_eq!(backend.region_of(PhysAddr::new(0)), None);
+    }
+
+    #[test]
+    fn assignment_enforced_by_machine_access_checks() {
+        let (machine, mut backend) = setup();
+        let region = RegionId::new(2);
+        backend.assign_region(region, enclave(7), MemPerms::RWX).unwrap();
+        let info = backend.regions()[2];
+        assert!(machine.check_access(enclave(7), info.base, MemPerms::RW));
+        assert!(!machine.check_access(DomainKind::Untrusted, info.base, MemPerms::READ));
+        assert!(backend.dma_blocked(region).unwrap());
+        // Reassign back to the OS.
+        backend
+            .assign_region(region, DomainKind::Untrusted, MemPerms::RWX)
+            .unwrap();
+        assert!(machine.check_access(DomainKind::Untrusted, info.base, MemPerms::RW));
+    }
+
+    #[test]
+    fn unknown_region_errors() {
+        let (_, mut backend) = setup();
+        let bogus = RegionId::new(1000);
+        assert!(backend.region_owner(bogus).is_err());
+        assert!(backend.assign_region(bogus, DomainKind::Untrusted, MemPerms::RW).is_err());
+        assert!(backend.tlb_shootdown(bogus).is_err());
+        assert!(backend.flush_region_cache(bogus).is_err());
+        assert!(backend.flush(CoreId::new(99), FlushKind::CoreState).is_err());
+    }
+
+    #[test]
+    fn shared_cache_flush_is_free_on_core_handoff() {
+        let (_, mut backend) = setup();
+        assert_eq!(
+            backend.flush(CoreId::new(0), FlushKind::SharedCachePartition).unwrap(),
+            Cycles::ZERO
+        );
+        assert!(backend.flush(CoreId::new(0), FlushKind::CoreState).unwrap() > Cycles::ZERO);
+    }
+
+    #[test]
+    fn partition_mapping_is_stable() {
+        assert_eq!(SanctumBackend::partition_for(RegionId::new(1)).0, 1);
+        assert_eq!(
+            SanctumBackend::partition_for(RegionId::new(CACHE_PARTITIONS + 1)).0,
+            1
+        );
+    }
+
+    #[test]
+    fn dma_block_toggle() {
+        let (_, mut backend) = setup();
+        let region = RegionId::new(3);
+        backend.assign_region(region, enclave(1), MemPerms::RW).unwrap();
+        assert!(backend.dma_blocked(region).unwrap());
+        backend.set_dma_blocked(region, false).unwrap();
+        assert!(!backend.dma_blocked(region).unwrap());
+    }
+}

@@ -1,0 +1,24 @@
+//! The trusted first party of the paper's remote-attestation protocol
+//! (Fig. 7): a manufacturer PKI, a remote verifier, and the secure session
+//! established over the attested key agreement.
+//!
+//! * [`pki::ManufacturerCa`] plays the processor manufacturer: it knows each
+//!   device's provisioning secret (it fused it), re-derives the device public
+//!   key, and issues the device certificate that roots the chain.
+//! * [`remote::RemoteVerifier`] issues nonces, performs the verifier half of
+//!   the X25519 key agreement, validates attestation evidence (certificate
+//!   chain, report signature, nonce freshness, channel binding, expected
+//!   measurement) and produces a [`session::SecureSession`].
+//! * [`session::SecureSession`] protects application traffic with the agreed
+//!   key (Fig. 7 step ⑩).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pki;
+pub mod remote;
+pub mod session;
+
+pub use pki::ManufacturerCa;
+pub use remote::{Challenge, RemoteVerifier, VerifyError};
+pub use session::SecureSession;

@@ -1,0 +1,74 @@
+//! The manufacturer certificate authority.
+
+use sanctorum_core::attestation::Certificate;
+use sanctorum_core::boot::derive_device_keypair;
+use sanctorum_crypto::ed25519::{Keypair, PublicKey};
+use sanctorum_hal::root::RootOfTrust;
+
+/// The manufacturer's offline CA.
+///
+/// At manufacture time the CA provisions each device with a unique secret and
+/// records it; later it can issue a certificate for the device public key
+/// without the device being online, because the key derivation is
+/// deterministic from that secret (same derivation the boot ROM uses).
+#[derive(Debug, Clone)]
+pub struct ManufacturerCa {
+    keypair: Keypair,
+}
+
+impl ManufacturerCa {
+    /// Creates a CA from a root seed.
+    pub fn new(seed: [u8; 32]) -> Self {
+        Self {
+            keypair: Keypair::from_seed(seed),
+        }
+    }
+
+    /// The manufacturer root public key that verifiers pin.
+    pub fn root_public_key(&self) -> PublicKey {
+        *self.keypair.public()
+    }
+
+    /// Issues the device certificate for a provisioned device.
+    pub fn certify_device(&self, root: &dyn RootOfTrust) -> Certificate {
+        let device_keypair = derive_device_keypair(root);
+        Certificate::issue(
+            &self.keypair,
+            *device_keypair.public(),
+            format!("sanctorum device {:#x}", root.device_id()).into_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_hal::root::SimulatedRootOfTrust;
+
+    #[test]
+    fn device_certificate_verifies_and_names_the_device() {
+        let ca = ManufacturerCa::new([1; 32]);
+        let root = SimulatedRootOfTrust::new(0xbeef);
+        let cert = ca.certify_device(&root);
+        assert!(cert.verify());
+        assert_eq!(cert.issuer_public_key, ca.root_public_key());
+        assert!(String::from_utf8_lossy(&cert.subject_info).contains("0xbeef"));
+    }
+
+    #[test]
+    fn device_cert_matches_boot_derived_key() {
+        let ca = ManufacturerCa::new([2; 32]);
+        let root = SimulatedRootOfTrust::new(7);
+        let cert = ca.certify_device(&root);
+        let identity = sanctorum_core::boot::secure_boot(&root, b"sm");
+        assert_eq!(cert.subject_public_key, identity.device_public_key);
+    }
+
+    #[test]
+    fn different_cas_produce_different_roots() {
+        assert_ne!(
+            ManufacturerCa::new([1; 32]).root_public_key(),
+            ManufacturerCa::new([2; 32]).root_public_key()
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! The remote verifier: nonce issuance, key agreement and evidence checking.
+
+use crate::session::SecureSession;
+use sanctorum_core::attestation::AttestationEvidence;
+use sanctorum_core::measurement::Measurement;
+use sanctorum_crypto::ct::ct_eq;
+use sanctorum_crypto::drbg::ChaChaDrbg;
+use sanctorum_crypto::ed25519::PublicKey;
+use sanctorum_crypto::sha3::Sha3_256;
+use sanctorum_crypto::x25519;
+use std::fmt;
+
+/// The challenge the verifier sends to the (untrusted) platform: a fresh
+/// nonce and the verifier's ephemeral DH public value (Fig. 7 steps ①–②).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Challenge {
+    /// Anti-replay nonce to be signed by the signing enclave.
+    pub nonce: [u8; 32],
+    /// The verifier's X25519 public value.
+    pub verifier_dh_public: [u8; 32],
+}
+
+/// Why evidence verification failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A certificate or the report signature did not verify.
+    BadSignature,
+    /// The certificate chain does not root in the pinned manufacturer key.
+    UntrustedRoot,
+    /// The nonce in the report does not match the outstanding challenge.
+    StaleNonce,
+    /// The report data does not bind the enclave's DH public value.
+    ChannelBindingMismatch,
+    /// The enclave measurement is not one the verifier trusts.
+    UnexpectedMeasurement,
+    /// No challenge is outstanding.
+    NoChallenge,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            VerifyError::BadSignature => "signature or certificate verification failed",
+            VerifyError::UntrustedRoot => "certificate chain does not root in the manufacturer",
+            VerifyError::StaleNonce => "nonce mismatch (replayed or stale evidence)",
+            VerifyError::ChannelBindingMismatch => "report data does not bind the enclave key",
+            VerifyError::UnexpectedMeasurement => "enclave measurement is not trusted",
+            VerifyError::NoChallenge => "no outstanding challenge",
+        };
+        write!(f, "{text}")
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The remote verifier (the paper's trusted first party).
+pub struct RemoteVerifier {
+    manufacturer_root: PublicKey,
+    trusted_measurements: Vec<Measurement>,
+    drbg: ChaChaDrbg,
+    outstanding: Option<([u8; 32], [u8; 32])>, // (nonce, dh secret)
+}
+
+impl fmt::Debug for RemoteVerifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RemoteVerifier {{ trusted_measurements: {} }}",
+            self.trusted_measurements.len()
+        )
+    }
+}
+
+impl RemoteVerifier {
+    /// Creates a verifier pinning `manufacturer_root` and trusting enclaves
+    /// whose measurement appears in `trusted_measurements`.
+    pub fn new(
+        manufacturer_root: PublicKey,
+        trusted_measurements: Vec<Measurement>,
+        rng_seed: [u8; 32],
+    ) -> Self {
+        Self {
+            manufacturer_root,
+            trusted_measurements,
+            drbg: ChaChaDrbg::from_seed(rng_seed),
+            outstanding: None,
+        }
+    }
+
+    /// Adds a measurement to the trusted set.
+    pub fn trust_measurement(&mut self, measurement: Measurement) {
+        self.trusted_measurements.push(measurement);
+    }
+
+    /// Begins an attestation: generates a nonce and an ephemeral DH key.
+    pub fn begin(&mut self) -> Challenge {
+        let nonce: [u8; 32] = self.drbg.random_array();
+        let dh_secret = x25519::clamp_scalar(self.drbg.random_array());
+        let challenge = Challenge {
+            nonce,
+            verifier_dh_public: x25519::public_key(&dh_secret),
+        };
+        self.outstanding = Some((nonce, dh_secret));
+        challenge
+    }
+
+    /// Verifies attestation evidence and, on success, derives the secure
+    /// session bound to the attested enclave (Fig. 7 steps ⑧–⑩).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] describing the first check that failed; the
+    /// outstanding challenge is consumed either way (nonces are single-use).
+    pub fn verify(
+        &mut self,
+        evidence: &AttestationEvidence,
+        enclave_dh_public: &[u8; 32],
+    ) -> Result<SecureSession, VerifyError> {
+        let (nonce, dh_secret) = self.outstanding.take().ok_or(VerifyError::NoChallenge)?;
+
+        if evidence.device_certificate.issuer_public_key != self.manufacturer_root {
+            return Err(VerifyError::UntrustedRoot);
+        }
+        if !evidence.verify_signatures() {
+            return Err(VerifyError::BadSignature);
+        }
+        if !ct_eq(&evidence.report.nonce, &nonce) {
+            return Err(VerifyError::StaleNonce);
+        }
+        let expected_binding = Sha3_256::digest(enclave_dh_public);
+        if !ct_eq(&evidence.report.report_data, &expected_binding) {
+            return Err(VerifyError::ChannelBindingMismatch);
+        }
+        if !self
+            .trusted_measurements
+            .iter()
+            .any(|m| m.ct_eq(&evidence.report.enclave_measurement))
+        {
+            return Err(VerifyError::UnexpectedMeasurement);
+        }
+
+        let shared = x25519::shared_secret(&dh_secret, enclave_dh_public);
+        Ok(SecureSession::new(&shared, &nonce))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_core::attestation::{AttestationReport, Certificate};
+    use sanctorum_crypto::ed25519::Keypair;
+
+    struct Fixture {
+        verifier: RemoteVerifier,
+        sm_key: Keypair,
+        device_cert: Certificate,
+        sm_cert: Certificate,
+        enclave_measurement: Measurement,
+    }
+
+    fn fixture() -> Fixture {
+        let manufacturer = Keypair::from_seed([1; 32]);
+        let device = Keypair::from_seed([2; 32]);
+        let sm_key = Keypair::from_seed([3; 32]);
+        let device_cert = Certificate::issue(&manufacturer, *device.public(), b"device".to_vec());
+        let sm_cert = Certificate::issue(&device, *sm_key.public(), b"sm".to_vec());
+        let enclave_measurement = Measurement([0x44; 32]);
+        let verifier = RemoteVerifier::new(
+            *manufacturer.public(),
+            vec![enclave_measurement],
+            [9; 32],
+        );
+        Fixture {
+            verifier,
+            sm_key,
+            device_cert,
+            sm_cert,
+            enclave_measurement,
+        }
+    }
+
+    fn make_evidence(
+        f: &Fixture,
+        nonce: [u8; 32],
+        enclave_dh_public: &[u8; 32],
+        measurement: Measurement,
+    ) -> AttestationEvidence {
+        let report = AttestationReport {
+            enclave_measurement: measurement,
+            nonce,
+            report_data: Sha3_256::digest(enclave_dh_public),
+        };
+        let signature = f.sm_key.sign(&report.to_signed_bytes());
+        AttestationEvidence {
+            report,
+            signature,
+            sm_certificate: f.sm_cert.clone(),
+            device_certificate: f.device_cert.clone(),
+        }
+    }
+
+    #[test]
+    fn end_to_end_verification_and_session() {
+        let mut f = fixture();
+        let challenge = f.verifier.begin();
+        let enclave_secret = x25519::clamp_scalar([7; 32]);
+        let enclave_public = x25519::public_key(&enclave_secret);
+        let evidence = make_evidence(&f, challenge.nonce, &enclave_public, f.enclave_measurement);
+        let mut session = f.verifier.verify(&evidence, &enclave_public).expect("verifies");
+
+        // The enclave derives the same session from its side.
+        let shared = x25519::shared_secret(&enclave_secret, &challenge.verifier_dh_public);
+        let mut enclave_session = SecureSession::new(&shared, &challenge.nonce);
+        let sealed = session.seal(b"query for the enclave");
+        assert_eq!(
+            enclave_session.open(&sealed).expect("opens"),
+            b"query for the enclave"
+        );
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let mut f = fixture();
+        let _ = f.verifier.begin();
+        let enclave_public = x25519::public_key(&x25519::clamp_scalar([7; 32]));
+        let evidence = make_evidence(&f, [0xab; 32], &enclave_public, f.enclave_measurement);
+        assert_eq!(
+            f.verifier.verify(&evidence, &enclave_public).unwrap_err(),
+            VerifyError::StaleNonce
+        );
+    }
+
+    #[test]
+    fn unexpected_measurement_rejected() {
+        let mut f = fixture();
+        let challenge = f.verifier.begin();
+        let enclave_public = x25519::public_key(&x25519::clamp_scalar([7; 32]));
+        let evidence = make_evidence(&f, challenge.nonce, &enclave_public, Measurement([0; 32]));
+        assert_eq!(
+            f.verifier.verify(&evidence, &enclave_public).unwrap_err(),
+            VerifyError::UnexpectedMeasurement
+        );
+    }
+
+    #[test]
+    fn channel_binding_mismatch_rejected() {
+        let mut f = fixture();
+        let challenge = f.verifier.begin();
+        let enclave_public = x25519::public_key(&x25519::clamp_scalar([7; 32]));
+        let other_public = x25519::public_key(&x25519::clamp_scalar([8; 32]));
+        // Evidence binds a *different* key than the one presented.
+        let evidence = make_evidence(&f, challenge.nonce, &other_public, f.enclave_measurement);
+        assert_eq!(
+            f.verifier.verify(&evidence, &enclave_public).unwrap_err(),
+            VerifyError::ChannelBindingMismatch
+        );
+    }
+
+    #[test]
+    fn untrusted_root_rejected() {
+        let mut f = fixture();
+        let challenge = f.verifier.begin();
+        let enclave_public = x25519::public_key(&x25519::clamp_scalar([7; 32]));
+        let mut evidence =
+            make_evidence(&f, challenge.nonce, &enclave_public, f.enclave_measurement);
+        // Re-issue the device certificate under a different (untrusted) CA.
+        let rogue_ca = Keypair::from_seed([66; 32]);
+        evidence.device_certificate = Certificate::issue(
+            &rogue_ca,
+            evidence.device_certificate.subject_public_key,
+            b"device".to_vec(),
+        );
+        assert_eq!(
+            f.verifier.verify(&evidence, &enclave_public).unwrap_err(),
+            VerifyError::UntrustedRoot
+        );
+    }
+
+    #[test]
+    fn replayed_evidence_rejected() {
+        let mut f = fixture();
+        let challenge = f.verifier.begin();
+        let enclave_public = x25519::public_key(&x25519::clamp_scalar([7; 32]));
+        let evidence = make_evidence(&f, challenge.nonce, &enclave_public, f.enclave_measurement);
+        assert!(f.verifier.verify(&evidence, &enclave_public).is_ok());
+        // The challenge has been consumed; replaying the same evidence fails.
+        assert_eq!(
+            f.verifier.verify(&evidence, &enclave_public).unwrap_err(),
+            VerifyError::NoChallenge
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Runs the same enclave workload on the Sanctum and Keystone backends and
+//! prints the architectural-cycle comparison behind Table 2 of
+//! `EXPERIMENTS.md` (the paper's Section VII platform discussion).
+//!
+//! Run with: `cargo run -p sanctorum-bench --example backend_comparison`
+
+use sanctorum_core::resource::ResourceId;
+use sanctorum_enclave::image::EnclaveImage;
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_os::os::Os;
+use sanctorum_os::system::{PlatformKind, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14}",
+        "platform", "build (cyc)", "enter (cyc)", "aex (cyc)", "clean region"
+    );
+    for platform in PlatformKind::ALL {
+        let system = System::boot_small(platform);
+        let mut os = Os::new(&system);
+        let built = os.build_enclave(&EnclaveImage::compute(8, 10_000), 1)?;
+
+        let entry = system.monitor.enter_enclave(
+            DomainKind::Untrusted,
+            built.eid,
+            built.main_thread(),
+            CoreId::new(0),
+        )?;
+        let aex = system.monitor.asynchronous_enclave_exit(CoreId::new(0))?;
+
+        // Tear down and measure the cost of cleaning the region.
+        system.monitor.delete_enclave(DomainKind::Untrusted, built.eid)?;
+        let clean = system
+            .monitor
+            .clean_resource(DomainKind::Untrusted, ResourceId::Region(built.regions[0]))?;
+
+        println!(
+            "{:<12} {:>14} {:>14} {:>14} {:>14}",
+            platform.name(),
+            built.build_cycles.count(),
+            entry.cost.count(),
+            aex.count(),
+            clean.count()
+        );
+    }
+    println!();
+    println!("Sanctum pays the fixed-size-region and partition costs; Keystone pays");
+    println!("whole-cache flushes on cleaning and is bounded by PMP entries.");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: boot a simulated Sanctum machine, load an enclave through the
+//! security monitor, run it, and tear it down.
+//!
+//! Run with: `cargo run -p sanctorum-bench --example quickstart`
+
+use sanctorum_enclave::image::EnclaveImage;
+use sanctorum_hal::domain::CoreId;
+use sanctorum_os::os::{Os, ThreadRunOutcome};
+use sanctorum_os::system::{PlatformKind, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Boot the machine, run secure boot and start the monitor.
+    let system = System::boot_small(PlatformKind::Sanctum);
+    println!("booted platform       : {}", system.monitor.platform_name());
+    println!(
+        "SM measurement        : {}",
+        sanctorum_crypto::sha3::to_hex(&system.monitor.identity().sm_measurement)
+    );
+
+    // 2. The (untrusted) OS loads an enclave image through the SM API.
+    let mut os = Os::new(&system);
+    let image = EnclaveImage::hello(0xc0ffee);
+    let built = os.build_enclave(&image, 1)?;
+    println!("enclave id            : {}", built.eid);
+    println!("enclave measurement   : {}", built.measurement);
+    println!("build cost            : {}", built.build_cycles);
+
+    // 3. Schedule the enclave's thread on core 0 and let it run to a
+    //    voluntary exit.
+    let outcome = os.run_thread(&built, built.main_thread(), CoreId::new(0), 10_000)?;
+    match outcome {
+        ThreadRunOutcome::Exited { cycles } => {
+            println!("enclave ran and exited: {cycles}");
+        }
+        other => println!("unexpected outcome    : {other:?}"),
+    }
+
+    // 4. Destroy the enclave; its memory is scrubbed before the OS gets it
+    //    back.
+    os.teardown_enclave(&built)?;
+    println!("free regions after tear-down: {}", os.free_region_count());
+    println!(
+        "total simulated cycles: {}",
+        system.machine.total_cycles()
+    );
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! Local (Fig. 6) and remote (Fig. 7) attestation, end to end, across both
+//! platform backends.
+
+use sanctorum_bench::boot_attestation_setup;
+use sanctorum_core::mailbox::SenderIdentity;
+use sanctorum_enclave::client::AttestationClient;
+use sanctorum_enclave::signing::SigningEnclave;
+use sanctorum_hal::domain::DomainKind;
+use sanctorum_os::system::PlatformKind;
+use sanctorum_verifier::{ManufacturerCa, RemoteVerifier, SecureSession, VerifyError};
+
+#[test]
+fn local_attestation_via_mailboxes() {
+    // Fig. 6: E2 attests E1 using only mutual trust in the SM.
+    let (system, _os, e1, e2) = boot_attestation_setup(PlatformKind::Sanctum);
+    let sm = system.monitor.as_ref();
+    let e1_domain = DomainKind::Enclave(e1.eid);
+    let e2_domain = DomainKind::Enclave(e2.eid);
+
+    // ① E2 signals intent to receive from E1; ② E1 sends a message.
+    sm.accept_mail(e2_domain, 0, e1.eid.as_u64()).unwrap();
+    sm.send_mail(e1_domain, e2.eid, b"hello from E1").unwrap();
+    // ③ E2 fetches it; ④ the SM-recorded sender measurement matches E1's.
+    let (message, sender) = sm.get_mail(e2_domain, 0).unwrap();
+    assert_eq!(message, b"hello from E1");
+    assert_eq!(sender, SenderIdentity::Enclave(e1.measurement));
+
+    // A message from the OS is clearly labelled untrusted.
+    sm.accept_mail(e2_domain, 0, 0).unwrap();
+    sm.send_mail(DomainKind::Untrusted, e2.eid, b"os input").unwrap();
+    let (_, sender) = sm.get_mail(e2_domain, 0).unwrap();
+    assert_eq!(sender, SenderIdentity::Untrusted);
+}
+
+#[test]
+fn remote_attestation_succeeds_on_both_platforms() {
+    for platform in PlatformKind::ALL {
+        let ca = ManufacturerCa::new([0x11; 32]);
+        let (system, _os, client_enclave, signing_enclave) = boot_attestation_setup(platform);
+        let device_cert = ca.certify_device(system.machine.root_of_trust());
+
+        let mut verifier = RemoteVerifier::new(
+            ca.root_public_key(),
+            vec![client_enclave.measurement],
+            [0x42; 32],
+        );
+        let challenge = verifier.begin();
+
+        let sm = system.monitor.as_ref();
+        let signing = SigningEnclave::new(signing_enclave.eid);
+        let client = AttestationClient::new(client_enclave.eid, [0x33; 32]);
+        let response = client
+            .obtain_attestation(sm, &signing, challenge.nonce, device_cert)
+            .unwrap();
+
+        let mut session = verifier
+            .verify(&response.evidence, &response.enclave_dh_public)
+            .unwrap_or_else(|e| panic!("verification failed on {platform:?}: {e}"));
+
+        // The attested channel works in both directions.
+        let shared = client.shared_secret(&challenge.verifier_dh_public);
+        let mut enclave_session = SecureSession::new(&shared, &challenge.nonce);
+        let sealed = session.seal(b"ping");
+        assert_eq!(enclave_session.open(&sealed).unwrap(), b"ping");
+    }
+}
+
+#[test]
+fn verifier_rejects_untrusted_enclaves_and_wrong_devices() {
+    let ca = ManufacturerCa::new([0x11; 32]);
+    let rogue_ca = ManufacturerCa::new([0x99; 32]);
+    let (system, _os, client_enclave, signing_enclave) =
+        boot_attestation_setup(PlatformKind::Keystone);
+    let device_cert = ca.certify_device(system.machine.root_of_trust());
+
+    let sm = system.monitor.as_ref();
+    let signing = SigningEnclave::new(signing_enclave.eid);
+    let client = AttestationClient::new(client_enclave.eid, [0x33; 32]);
+
+    // Case 1: the verifier does not trust this enclave's measurement.
+    let mut verifier = RemoteVerifier::new(ca.root_public_key(), vec![], [0x42; 32]);
+    let challenge = verifier.begin();
+    let response = client
+        .obtain_attestation(sm, &signing, challenge.nonce, device_cert.clone())
+        .unwrap();
+    assert_eq!(
+        verifier
+            .verify(&response.evidence, &response.enclave_dh_public)
+            .unwrap_err(),
+        VerifyError::UnexpectedMeasurement
+    );
+
+    // Case 2: the device certificate chains to a CA the verifier does not pin.
+    let mut verifier = RemoteVerifier::new(
+        ca.root_public_key(),
+        vec![client_enclave.measurement],
+        [0x42; 32],
+    );
+    let challenge = verifier.begin();
+    let bogus_device_cert = rogue_ca.certify_device(system.machine.root_of_trust());
+    let response = client
+        .obtain_attestation(sm, &signing, challenge.nonce, bogus_device_cert)
+        .unwrap();
+    assert_eq!(
+        verifier
+            .verify(&response.evidence, &response.enclave_dh_public)
+            .unwrap_err(),
+        VerifyError::UntrustedRoot
+    );
+}
+
+#[test]
+fn non_signing_enclave_cannot_obtain_the_attestation_key() {
+    let (system, _os, client_enclave, _signing_enclave) =
+        boot_attestation_setup(PlatformKind::Sanctum);
+    let sm = system.monitor.as_ref();
+    assert!(sm
+        .get_attestation_key(DomainKind::Enclave(client_enclave.eid))
+        .is_err());
+}

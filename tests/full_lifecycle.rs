@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: the full enclave lifecycle (paper Figs. 2–4)
+//! driven by the OS model on both platform backends.
+
+use sanctorum_bench::{boot, boot_with_enclave};
+use sanctorum_core::api::{status, SmCall};
+use sanctorum_core::resource::{ResourceId, ResourceState};
+use sanctorum_enclave::image::EnclaveImage;
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_machine::trap::{Interrupt, TrapCause};
+use sanctorum_os::os::ThreadRunOutcome;
+use sanctorum_os::system::PlatformKind;
+
+#[test]
+fn multiple_enclaves_coexist_and_cycle_through_lifecycle() {
+    for platform in PlatformKind::ALL {
+        let (_system, mut os) = boot(platform);
+        let a = os.build_enclave(&EnclaveImage::hello(1), 1).unwrap();
+        let b = os.build_enclave(&EnclaveImage::hello(2), 1).unwrap();
+        assert_ne!(a.eid, b.eid);
+        assert_ne!(a.measurement, b.measurement);
+
+        // Run both, on different cores.
+        let ra = os.run_thread(&a, a.main_thread(), CoreId::new(0), 10_000).unwrap();
+        let rb = os.run_thread(&b, b.main_thread(), CoreId::new(1), 10_000).unwrap();
+        assert!(matches!(ra, ThreadRunOutcome::Exited { .. }));
+        assert!(matches!(rb, ThreadRunOutcome::Exited { .. }));
+
+        // Tear down in reverse order and rebuild a third enclave in the
+        // recycled memory.
+        os.teardown_enclave(&b).unwrap();
+        os.teardown_enclave(&a).unwrap();
+        let c = os.build_enclave(&EnclaveImage::hello(1), 1).unwrap();
+        assert_eq!(
+            c.measurement, a.measurement,
+            "recycled placement must not change the measurement"
+        );
+    }
+}
+
+#[test]
+fn resource_states_follow_fig2_during_lifecycle() {
+    let (system, mut os) = boot(PlatformKind::Sanctum);
+    let built = os.build_enclave(&EnclaveImage::hello(7), 1).unwrap();
+    let region = ResourceId::Region(built.regions[0]);
+    assert_eq!(
+        system.monitor.resource_state(region).unwrap(),
+        ResourceState::Owned(DomainKind::Enclave(built.eid))
+    );
+    system
+        .monitor
+        .delete_enclave(DomainKind::Untrusted, built.eid)
+        .unwrap();
+    assert!(matches!(
+        system.monitor.resource_state(region).unwrap(),
+        ResourceState::Blocked(_)
+    ));
+    system
+        .monitor
+        .clean_resource(DomainKind::Untrusted, region)
+        .unwrap();
+    assert_eq!(
+        system.monitor.resource_state(region).unwrap(),
+        ResourceState::Available
+    );
+    system
+        .monitor
+        .grant_resource(DomainKind::Untrusted, region, DomainKind::Untrusted)
+        .unwrap();
+    assert_eq!(
+        system.monitor.resource_state(region).unwrap(),
+        ResourceState::Owned(DomainKind::Untrusted)
+    );
+}
+
+#[test]
+fn aex_preserves_enclave_progress_and_hides_state_from_os() {
+    let (system, mut os, built) = {
+        let (system, mut os) = boot(PlatformKind::Sanctum);
+        let built = os.build_enclave(&EnclaveImage::spinner(), 1).unwrap();
+        (system, os, built)
+    };
+    let tid = built.main_thread();
+    let core = CoreId::new(0);
+
+    // Run briefly, then the OS scheduler tick interrupts the enclave.
+    system
+        .monitor
+        .enter_enclave(DomainKind::Untrusted, built.eid, tid, core)
+        .unwrap();
+    system.machine.raise_interrupt(core, Interrupt::Timer).unwrap();
+    let program = built.program(tid).unwrap().clone();
+    let result = system.machine.run_guest(core, &program, 1_000);
+    assert!(matches!(
+        result.exit,
+        sanctorum_machine::guest::ExitReason::Trap(TrapCause::Interrupt(_))
+    ));
+    let outcome = system.monitor.handle_event(core, TrapCause::Interrupt(Interrupt::Timer));
+    assert!(matches!(
+        outcome,
+        sanctorum_core::dispatch::EventOutcome::DelegateToOs { aex_performed: true, .. }
+    ));
+
+    // After the AEX the core is clean: no enclave registers remain.
+    assert!(system.machine.hart(core).is_clean());
+    assert!(!system.machine.tlb(core).has_entries_for(DomainKind::Enclave(built.eid)));
+
+    // The thread records its AEX state and can be resumed.
+    let info = system.monitor.thread_info(tid).unwrap();
+    assert!(info.aex_pending);
+    assert!(info.aex_state.is_some());
+    let resumed = os.run_thread(&built, tid, core, 32).unwrap();
+    assert_eq!(resumed, ThreadRunOutcome::Preempted);
+}
+
+#[test]
+fn register_level_abi_drives_the_monitor() {
+    // Exercise the Fig. 1 ecall path end to end: the OS stages call
+    // arguments in registers, executes an ecall from a guest program, and the
+    // dispatcher performs the call.
+    let (system, _os, built) = boot_with_enclave(PlatformKind::Keystone);
+    let core = CoreId::new(1);
+    system.machine.install_context(
+        core,
+        DomainKind::Untrusted,
+        sanctorum_machine::hart::PrivilegeLevel::Supervisor,
+        None,
+        0,
+    );
+    // Accepting mail is an enclave-only call: issued from the OS context it
+    // must be rejected with UNAUTHORIZED through the ABI as well.
+    system
+        .monitor
+        .stage_call(core, &SmCall::AcceptMail { mailbox: 0, sender_id: 0 });
+    let program = sanctorum_machine::guest::GuestProgram::new(
+        "ecall-once",
+        vec![sanctorum_machine::guest::GuestOp::Ecall, sanctorum_machine::guest::GuestOp::Exit],
+    );
+    let run = system.machine.run_guest(core, &program, 10);
+    assert_eq!(run.exit, sanctorum_machine::guest::ExitReason::Ecall);
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    let (code, _) = system.monitor.read_call_result(core);
+    assert_eq!(code, status::UNAUTHORIZED);
+
+    // A legal call through the ABI: query a public field. Reset the guest
+    // context so the ecall runs again from the top of the program.
+    system.machine.install_context(
+        core,
+        DomainKind::Untrusted,
+        sanctorum_machine::hart::PrivilegeLevel::Supervisor,
+        None,
+        0,
+    );
+    system.monitor.stage_call(core, &SmCall::GetField { field: 3 });
+    let run = system.machine.run_guest(core, &program, 10);
+    assert_eq!(run.exit, sanctorum_machine::guest::ExitReason::Ecall);
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    let (code, value) = system.monitor.read_call_result(core);
+    assert_eq!(code, status::OK);
+    assert_eq!(value, 32, "the SM measurement field is 32 bytes long");
+    let _ = built;
+}
+
+#[test]
+fn keystone_pmp_exhaustion_limits_live_enclaves() {
+    use sanctorum_core::error::SmError;
+    use sanctorum_core::monitor::SmConfig;
+    use sanctorum_machine::MachineConfig;
+    use sanctorum_os::os::Os;
+    use sanctorum_os::system::System;
+
+    // Only 3 PMP entries: one for the SM, so at most two protected enclaves.
+    let system = System::boot(
+        PlatformKind::Keystone,
+        MachineConfig {
+            pmp_entries: 3,
+            ..MachineConfig::small()
+        },
+        SmConfig::default(),
+    );
+    let mut os = Os::new(&system);
+    let _a = os.build_enclave(&EnclaveImage::hello(1), 1).unwrap();
+    let _b = os.build_enclave(&EnclaveImage::hello(2), 1).unwrap();
+    let err = os.build_enclave(&EnclaveImage::hello(3), 1).unwrap_err();
+    assert!(matches!(err, SmError::Platform(_)), "got {err:?}");
+}
