@@ -3,12 +3,13 @@
 //! latency and multi-threaded OS call throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sanctorum_core::api::SmApi;
+use sanctorum_core::session::CallerSession;
 use sanctorum_bench::boot_with_locking;
 use sanctorum_core::error::SmError;
 use sanctorum_core::monitor::LockingMode;
 use sanctorum_core::resource::ResourceId;
 use sanctorum_hal::addr::VirtAddr;
-use sanctorum_hal::domain::DomainKind;
 use sanctorum_hal::isolation::RegionId;
 use sanctorum_os::system::PlatformKind;
 use std::sync::Arc;
@@ -55,10 +56,10 @@ fn bench_locking(c: &mut Criterion) {
                     // Make regions 1..5 available.
                     for r in 1..5u32 {
                         monitor
-                            .block_resource(DomainKind::Untrusted, ResourceId::Region(RegionId::new(r)))
+                            .block_resource(CallerSession::os(), ResourceId::Region(RegionId::new(r)))
                             .unwrap();
                         monitor
-                            .clean_resource(DomainKind::Untrusted, ResourceId::Region(RegionId::new(r)))
+                            .clean_resource(CallerSession::os(), ResourceId::Region(RegionId::new(r)))
                             .unwrap();
                     }
                     let start = std::time::Instant::now();
@@ -82,16 +83,16 @@ fn bench_locking(c: &mut Criterion) {
                                 for _ in 0..iters {
                                     let eid = retry(|| {
                                         monitor.create_enclave(
-                                            DomainKind::Untrusted,
+                                            CallerSession::os(),
                                             VirtAddr::new(0x10_0000),
                                             0x10000,
                                             &[region],
                                         )
                                     });
-                                    retry(|| monitor.delete_enclave(DomainKind::Untrusted, eid));
+                                    retry(|| monitor.delete_enclave(CallerSession::os(), eid));
                                     retry(|| {
                                         monitor.clean_resource(
-                                            DomainKind::Untrusted,
+                                            CallerSession::os(),
                                             ResourceId::Region(region),
                                         )
                                     });

@@ -1,10 +1,13 @@
 //! Fig. 1 — SM event dispatch: latency of the paths through the monitor's
-//! event-handling flow (API ecall, OS interrupt delegation, AEX delegation).
+//! event-handling flow (API ecall, OS interrupt delegation, AEX delegation),
+//! plus the batched-call path amortizing trap overhead across packed calls.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sanctorum_bench::{boot, boot_with_enclave};
-use sanctorum_core::api::SmCall;
+use sanctorum_core::api::{SmApi, SmCall};
+use sanctorum_core::session::CallerSession;
 use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_machine::guest::GuestProgram;
 use sanctorum_machine::hart::PrivilegeLevel;
 use sanctorum_machine::trap::{Interrupt, TrapCause};
 use sanctorum_os::system::PlatformKind;
@@ -21,7 +24,7 @@ fn bench_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_dispatch");
 
     // Path 1: an SM API call arriving as an environment call (GetField).
-    let (system, _os) = boot(PlatformKind::Sanctum);
+    let (system, os) = boot(PlatformKind::Sanctum);
     let core = CoreId::new(0);
     system.machine.install_context(core, DomainKind::Untrusted, PrivilegeLevel::Supervisor, None, 0);
     group.bench_function("api_ecall_get_field", |b| {
@@ -53,13 +56,61 @@ fn bench_dispatch(c: &mut Criterion) {
         b.iter(|| {
             system2
                 .monitor
-                .enter_enclave(DomainKind::Untrusted, built.eid, built.main_thread(), core2)
+                .enter_enclave(CallerSession::os_on(core2), built.eid, built.main_thread())
                 .unwrap();
             system2
                 .monitor
                 .handle_event(core2, TrapCause::Interrupt(Interrupt::Timer))
         })
     });
+
+    // Path 5: N calls issued serially (N guest traps, each with its own
+    // environment-call exit and dispatch) vs. as one batch (one guest trap
+    // through the packed-table ABI). The delta is the amortizable per-trap
+    // overhead; recorded in EXPERIMENTS.md next to the other Fig. 1 numbers.
+    let table = os.staging_base().offset(0x8000);
+    let ecall_once = GuestProgram::new(
+        "ecall-once",
+        vec![sanctorum_machine::guest::GuestOp::Ecall, sanctorum_machine::guest::GuestOp::Exit],
+    );
+    let trap_once = |call: &SmCall| {
+        system.machine.install_context(
+            core,
+            DomainKind::Untrusted,
+            PrivilegeLevel::Supervisor,
+            None,
+            0,
+        );
+        system.monitor.stage_call(core, call);
+        system.machine.run_guest(core, &ecall_once, 4);
+        system.monitor.handle_event(core, TrapCause::EnvironmentCall)
+    };
+    for n in [8usize, 32] {
+        let calls: Vec<SmCall> = (0..n)
+            .map(|i| SmCall::GetField { field: (i % 4) as u64 })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("api_ecall_serial", n), &calls, |b, calls| {
+            b.iter(|| {
+                for call in calls {
+                    trap_once(call);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("api_ecall_batched", n), &calls, |b, calls| {
+            b.iter(|| {
+                system.machine.install_context(
+                    core,
+                    DomainKind::Untrusted,
+                    PrivilegeLevel::Supervisor,
+                    None,
+                    0,
+                );
+                system.monitor.stage_batch(core, table, calls).unwrap();
+                system.machine.run_guest(core, &ecall_once, 4);
+                system.monitor.handle_event(core, TrapCause::EnvironmentCall)
+            })
+        });
+    }
 
     group.finish();
 }

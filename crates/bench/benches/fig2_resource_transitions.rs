@@ -2,6 +2,8 @@
 //! block → clean → grant cycle on a DRAM region, per platform.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sanctorum_core::api::SmApi;
+use sanctorum_core::session::CallerSession;
 use sanctorum_bench::boot;
 use sanctorum_core::resource::ResourceId;
 use sanctorum_hal::domain::DomainKind;
@@ -20,18 +22,18 @@ fn bench_transitions(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_resource_transitions");
     for platform in PlatformKind::ALL {
         let (system, _os) = boot(platform);
-        let os_domain = DomainKind::Untrusted;
+        let os_session = CallerSession::os();
         let region = ResourceId::Region(RegionId::new(2));
         group.bench_with_input(
             BenchmarkId::new("block_clean_grant_cycle", platform.name()),
             &platform,
             |b, _| {
                 b.iter(|| {
-                    system.monitor.block_resource(os_domain, region).unwrap();
-                    system.monitor.clean_resource(os_domain, region).unwrap();
+                    system.monitor.block_resource(os_session, region).unwrap();
+                    system.monitor.clean_resource(os_session, region).unwrap();
                     system
                         .monitor
-                        .grant_resource(os_domain, region, DomainKind::Untrusted)
+                        .grant_resource(os_session, region, DomainKind::Untrusted)
                         .unwrap();
                 })
             },
@@ -44,7 +46,7 @@ fn bench_transitions(c: &mut Criterion) {
                 b.iter(|| {
                     system
                         .monitor
-                        .clean_resource(os_domain, region)
+                        .clean_resource(os_session, region)
                         .expect_err("owned resource cannot be cleaned")
                 })
             },

@@ -2,8 +2,10 @@
 //! asynchronous enclave exit (AEX) path, per platform.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sanctorum_core::api::SmApi;
+use sanctorum_core::session::CallerSession;
 use sanctorum_bench::boot_with_enclave;
-use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_hal::domain::CoreId;
 use sanctorum_os::system::PlatformKind;
 use std::time::Duration;
 
@@ -28,11 +30,11 @@ fn bench_thread_aex(c: &mut Criterion) {
                 b.iter(|| {
                     system
                         .monitor
-                        .enter_enclave(DomainKind::Untrusted, built.eid, tid, core)
+                        .enter_enclave(CallerSession::os_on(core), built.eid, tid)
                         .unwrap();
                     system
                         .monitor
-                        .exit_enclave(DomainKind::Enclave(built.eid), core)
+                        .exit_enclave(CallerSession::enclave_on(built.eid, core))
                         .unwrap()
                 })
             },
@@ -45,7 +47,7 @@ fn bench_thread_aex(c: &mut Criterion) {
                 b.iter(|| {
                     system
                         .monitor
-                        .enter_enclave(DomainKind::Untrusted, built.eid, tid, core)
+                        .enter_enclave(CallerSession::os_on(core), built.eid, tid)
                         .unwrap();
                     system.monitor.asynchronous_enclave_exit(core).unwrap()
                 })

@@ -2,8 +2,9 @@
 //! sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sanctorum_core::api::SmApi;
+use sanctorum_core::session::CallerSession;
 use sanctorum_bench::boot_attestation_setup;
-use sanctorum_hal::domain::DomainKind;
 use sanctorum_os::system::PlatformKind;
 use std::time::Duration;
 
@@ -18,8 +19,8 @@ fn bench_mailbox(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_mailbox");
     let (system, _os, e1, e2) = boot_attestation_setup(PlatformKind::Sanctum);
     let sm = &system.monitor;
-    let sender = DomainKind::Enclave(e1.eid);
-    let recipient = DomainKind::Enclave(e2.eid);
+    let sender = CallerSession::enclave(e1.eid);
+    let recipient = CallerSession::enclave(e2.eid);
 
     for size in [16usize, 256, 1024] {
         let message = vec![0xa5u8; size];
@@ -40,7 +41,7 @@ fn bench_mailbox(c: &mut Criterion) {
     // Denial-of-service attempt: sends without an accepting mailbox are cheap
     // rejections.
     group.bench_function("unsolicited_send_rejected", |b| {
-        b.iter(|| sm.send_mail(DomainKind::Untrusted, e2.eid, b"spam").unwrap_err())
+        b.iter(|| sm.send_mail(CallerSession::os(), e2.eid, b"spam").unwrap_err())
     });
     group.finish();
 }

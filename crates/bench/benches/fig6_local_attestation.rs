@@ -2,9 +2,10 @@
 //! mailboxes and the SM-recorded sender measurement.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use sanctorum_core::api::SmApi;
+use sanctorum_core::session::CallerSession;
 use sanctorum_bench::boot_attestation_setup;
 use sanctorum_core::mailbox::SenderIdentity;
-use sanctorum_hal::domain::DomainKind;
 use sanctorum_os::system::PlatformKind;
 use std::time::Duration;
 
@@ -19,15 +20,15 @@ fn bench_local_attestation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_local_attestation");
     let (system, _os, e1, e2) = boot_attestation_setup(PlatformKind::Sanctum);
     let sm = &system.monitor;
-    let e1_domain = DomainKind::Enclave(e1.eid);
-    let e2_domain = DomainKind::Enclave(e2.eid);
+    let e1_session = CallerSession::enclave(e1.eid);
+    let e2_session = CallerSession::enclave(e2.eid);
 
     group.bench_function("e2_attests_e1", |b| {
         b.iter(|| {
             // ① intent, ② message, ③ fetch, ④ compare against expectation.
-            sm.accept_mail(e2_domain, 0, e1.eid.as_u64()).unwrap();
-            sm.send_mail(e1_domain, e2.eid, b"prove yourself").unwrap();
-            let (_, sender) = sm.get_mail(e2_domain, 0).unwrap();
+            sm.accept_mail(e2_session, 0, e1.eid.as_u64()).unwrap();
+            sm.send_mail(e1_session, e2.eid, b"prove yourself").unwrap();
+            let (_, sender) = sm.get_mail(e2_session, 0).unwrap();
             assert_eq!(sender, SenderIdentity::Enclave(e1.measurement));
             sender
         })

@@ -3,6 +3,8 @@
 //! cost of the operations where the isolation mechanisms differ.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sanctorum_core::api::SmApi;
+use sanctorum_core::session::CallerSession;
 use sanctorum_bench::boot;
 use sanctorum_core::resource::ResourceId;
 use sanctorum_enclave::image::EnclaveImage;
@@ -47,15 +49,15 @@ fn bench_backend_comparison(c: &mut Criterion) {
                 b.iter(|| {
                     system
                         .monitor
-                        .block_resource(DomainKind::Untrusted, region)
+                        .block_resource(CallerSession::os(), region)
                         .unwrap();
                     let cost = system
                         .monitor
-                        .clean_resource(DomainKind::Untrusted, region)
+                        .clean_resource(CallerSession::os(), region)
                         .unwrap();
                     system
                         .monitor
-                        .grant_resource(DomainKind::Untrusted, region, DomainKind::Untrusted)
+                        .grant_resource(CallerSession::os(), region, DomainKind::Untrusted)
                         .unwrap();
                     cost
                 })

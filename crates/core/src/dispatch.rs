@@ -1,20 +1,47 @@
-//! Event dispatch: the paper's Fig. 1 decision flow.
+//! Event dispatch: the paper's Fig. 1 decision flow, plus the batch executor.
 //!
 //! Every machine event — interrupt, fault or SM API environment call — lands
-//! in the monitor first. The monitor authenticates the caller from the hart
-//! state it configured itself, validates the request against the security
-//! policy, and either performs the API call, delegates a fault to the
-//! enclave's own handler, or performs an asynchronous enclave exit (AEX) and
-//! delegates the event to the OS.
+//! in the monitor first. For environment calls the monitor *authenticates*
+//! the caller by minting a [`CallerSession`] from the hart state it
+//! configured itself ([`SecurityMonitor::authenticate`]), decodes the
+//! argument registers through the call registry ([`SmCall::decode`]), and
+//! performs the call through the registry's single dispatch table
+//! ([`crate::api`]). There are no per-call decode or dispatch arms here: this
+//! module only sequences authenticate → decode → perform → write-back, and
+//! the registry owns everything call-specific.
+//!
+//! # Batched calls
+//!
+//! [`SmCall::Batch`] executes a table of packed calls in one trap. The wire
+//! layout is 64 bytes per entry in caller-owned memory:
+//!
+//! ```text
+//! word 0..=5   a0–a5 of the packed call (same encoding as a single ecall)
+//! word 6       written back: status code (see crate::api::status)
+//! word 7       written back: call return value (0 on failure)
+//! ```
+//!
+//! Entries run in order with exactly the semantics of issuing them serially.
+//! An entry that fails to decode gets [`status::ILLEGAL_CALL`] and the batch
+//! continues; a context-switching call (`EnterEnclave` / `ExitEnclave`) or a
+//! nested `Batch` gets [`status::INVALID_ARGUMENT`] and cleanly aborts the
+//! batch — the monitor never switches the hart's context from inside a
+//! batch, so the caller always gets its `(status, value)` write-backs. The
+//! batch call itself returns the number of entries that received a status.
 
-use crate::api::{status, status_of, SmCall};
-use crate::error::SmError;
-use crate::monitor::{PublicField, SecurityMonitor};
-use sanctorum_hal::addr::PhysAddr;
-use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
+use crate::api::{perform, status, status_of, CallOutcome, SmCall, MAX_BATCH_CALLS};
+use crate::error::{SmError, SmResult};
+use crate::monitor::SecurityMonitor;
+use crate::session::CallerSession;
+use sanctorum_hal::addr::{PhysAddr, PAGE_SIZE};
+use sanctorum_hal::domain::{CoreId, DomainKind};
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::guest::{REG_A0, REG_A1};
 use sanctorum_machine::trap::TrapCause;
+
+/// Size of one packed batch entry in bytes (6 argument words plus the
+/// written-back status and value words).
+pub const BATCH_ENTRY_BYTES: u64 = 64;
 
 /// The monitor's decision about an event (the exit arcs of Fig. 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,25 +68,44 @@ pub enum EventOutcome {
         /// Call-specific return value.
         value: u64,
     },
-    /// The event was an environment call that did not decode to a known SM
-    /// call; it is treated as an illegal call and reported to the caller.
+    /// The event was an environment call that did not decode to a registered
+    /// SM call; it is reported to the caller as [`status::ILLEGAL_CALL`].
     IllegalCall,
 }
 
+/// Result of one batch entry: continue or cleanly abort.
+enum BatchStep {
+    Continue(CallOutcome),
+    Abort(CallOutcome),
+}
+
 impl SecurityMonitor {
+    /// Mints an authenticated [`CallerSession`] for the software currently
+    /// occupying `core`.
+    ///
+    /// This is the paper's caller-authentication step: the hart's domain tag
+    /// was installed by the monitor itself on every context switch, so it
+    /// cannot be forged by the caller. All register-ABI traffic flows through
+    /// sessions minted here; direct Rust callers use the harness
+    /// constructors on [`CallerSession`] instead.
+    pub fn authenticate(&self, core: CoreId) -> CallerSession {
+        let domain = self.machine().hart(core).domain;
+        CallerSession::authenticated(domain, core)
+    }
+
     /// Handles a machine event on `core` (Fig. 1).
     ///
     /// The hart's `pending_trap` should already describe the event (the
     /// simulator sets it when `run_guest` stops); `cause` is passed
     /// explicitly so the harness can also inject events.
     pub fn handle_event(&self, core: CoreId, cause: TrapCause) -> EventOutcome {
-        let domain = self.machine().hart(core).domain;
+        let session = self.authenticate(core);
         match cause {
-            TrapCause::EnvironmentCall => self.handle_ecall(core, domain),
+            TrapCause::EnvironmentCall => self.handle_ecall(session),
             TrapCause::Interrupt(_) => {
                 // The OS is always able to de-schedule an enclave by
                 // interrupting it; the SM interposes to clean the core first.
-                if domain.is_enclave() {
+                if session.domain().is_enclave() {
                     let _ = self.asynchronous_enclave_exit(core);
                     EventOutcome::DelegateToOs { cause, aex_performed: true }
                 } else {
@@ -69,7 +115,7 @@ impl SecurityMonitor {
             TrapCause::PageFault { .. }
             | TrapCause::IllegalInstruction
             | TrapCause::IsolationFault { .. } => {
-                if let DomainKind::Enclave(_) = domain {
+                if let DomainKind::Enclave(_) = session.domain() {
                     // Enclaves may register fault handlers for synchronous
                     // exceptions (demand paging inside evrange, emulation).
                     if cause.enclave_handleable() {
@@ -112,21 +158,21 @@ impl SecurityMonitor {
         hart.pending_trap = None;
     }
 
-    fn handle_ecall(&self, core: CoreId, caller: DomainKind) -> EventOutcome {
+    fn handle_ecall(&self, session: CallerSession) -> EventOutcome {
+        let core = session.core();
         let args = self.read_args(core);
         let call = match SmCall::decode(&args) {
             Ok(call) => call,
             Err(_) => {
-                self.write_result(core, status::INVALID, 0);
+                self.write_result(core, status::ILLEGAL_CALL, 0);
                 return EventOutcome::IllegalCall;
             }
         };
 
         // Context-switching calls manage the hart themselves; everything else
         // writes (status, value) back to the caller's registers.
-        let context_switches = matches!(call, SmCall::EnterEnclave { .. } | SmCall::ExitEnclave);
-        let result: Result<u64, SmError> = self.perform_call(core, caller, call);
-        match result {
+        let context_switches = call.context_switches();
+        match perform(self, session, call) {
             Ok(value) => {
                 if !context_switches {
                     self.write_result(core, status::OK, value);
@@ -141,85 +187,179 @@ impl SecurityMonitor {
         }
     }
 
-    fn perform_call(
+    /// Executes one batch entry, already decoded (or not).
+    fn batch_step(
         &self,
-        core: CoreId,
-        caller: DomainKind,
-        call: SmCall,
-    ) -> Result<u64, SmError> {
-        match call {
-            SmCall::CreateEnclave { evrange_base, evrange_len, region } => self
-                .create_enclave(caller, evrange_base, evrange_len, &[region])
-                .map(|eid| eid.as_u64()),
-            SmCall::AllocatePageTable { eid } => {
-                self.allocate_page_table(caller, eid).map(|root| root.as_u64())
+        session: CallerSession,
+        decoded: Result<SmCall, crate::api::DecodeError>,
+    ) -> BatchStep {
+        let call = match decoded {
+            Ok(call) => call,
+            Err(_) => {
+                return BatchStep::Continue(CallOutcome { status: status::ILLEGAL_CALL, value: 0 })
             }
-            SmCall::LoadPage { eid, vaddr, src, perms } => {
-                self.load_page(caller, eid, vaddr, src, perms).map(|p| p.as_u64())
+        };
+        if call.context_switches() || matches!(call, SmCall::Batch { .. }) {
+            // Refuse context switches (and recursion) inside a batch: the
+            // batch loop must retain the hart to write the remaining
+            // statuses, so the entry is rejected and the batch aborts.
+            return BatchStep::Abort(CallOutcome { status: status::INVALID_ARGUMENT, value: 0 });
+        }
+        match perform(self, session, call) {
+            Ok(value) => BatchStep::Continue(CallOutcome { status: status::OK, value }),
+            Err(err) => BatchStep::Continue(CallOutcome { status: status_of(&err), value: 0 }),
+        }
+    }
+
+    /// Checks that `domain` may access every byte of `[addr, addr + len)`
+    /// with `perms`. Access control is region-granular and regions are
+    /// page-multiples, so probing each touched page (and the final byte)
+    /// covers the span.
+    pub(crate) fn caller_can_access_span(
+        &self,
+        domain: DomainKind,
+        addr: PhysAddr,
+        len: u64,
+        perms: MemPerms,
+    ) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let last = addr.offset(len - 1);
+        let mut probe = addr;
+        while probe.as_u64() <= last.as_u64() {
+            if !self.machine().check_access(domain, probe, perms) {
+                return false;
             }
-            SmCall::LoadThread { eid, entry_pc } => {
-                self.load_thread(caller, eid, entry_pc, None)
+            probe = probe.align_down().offset(PAGE_SIZE as u64);
+        }
+        self.machine().check_access(domain, last, perms)
+    }
+
+    /// Validates the shape of a batch (length bounds, and for packed batches
+    /// the caller's access to the table).
+    fn check_batch_shape(&self, session: CallerSession, table: Option<PhysAddr>, count: u64) -> SmResult<()> {
+        if count == 0 {
+            return Err(SmError::InvalidArgument { reason: "empty batch" });
+        }
+        if count > MAX_BATCH_CALLS {
+            return Err(SmError::InvalidArgument { reason: "batch exceeds MAX_BATCH_CALLS" });
+        }
+        if let Some(table) = table {
+            if table.as_u64() % 8 != 0 {
+                return Err(SmError::InvalidArgument { reason: "batch table must be 8-byte aligned" });
             }
-            SmCall::InitEnclave { eid } => {
-                self.init_enclave(caller, eid).map(|_| 0)
-            }
-            SmCall::DeleteEnclave { eid } => self.delete_enclave(caller, eid).map(|_| 0),
-            SmCall::EnterEnclave { eid, tid } => self
-                .enter_enclave(caller, eid, tid, core)
-                .map(|entry| entry.entry_pc),
-            SmCall::ExitEnclave => self.exit_enclave(caller, core).map(|c| c.count()),
-            SmCall::BlockRegion { region } => self
-                .block_resource(caller, crate::resource::ResourceId::Region(region))
-                .map(|_| 0),
-            SmCall::CleanRegion { region } => self
-                .clean_resource(caller, crate::resource::ResourceId::Region(region))
-                .map(|c| c.count()),
-            SmCall::GrantRegion { region, owner_eid } => {
-                let owner = if owner_eid == 0 {
-                    DomainKind::Untrusted
-                } else {
-                    DomainKind::Enclave(EnclaveId::new(owner_eid))
-                };
-                self.grant_resource(caller, crate::resource::ResourceId::Region(region), owner)
-                    .map(|_| 0)
-            }
-            SmCall::AcceptMail { mailbox, sender_id } => self
-                .accept_mail(caller, mailbox as usize, sender_id)
-                .map(|_| 0),
-            SmCall::SendMail { recipient, msg_addr, msg_len } => {
-                if msg_len as usize > crate::mailbox::MAX_MAIL_LEN {
-                    return Err(SmError::InvalidArgument { reason: "mail message too large" });
-                }
-                // The caller must itself be able to read the message buffer.
-                if !self.machine().check_access(caller, msg_addr, MemPerms::READ) {
-                    return Err(SmError::Unauthorized);
-                }
-                let mut buf = vec![0u8; msg_len as usize];
-                self.machine().phys_read(msg_addr, &mut buf)?;
-                self.send_mail(caller, recipient, &buf).map(|_| 0)
-            }
-            SmCall::GetMail { mailbox, out_addr, out_len } => {
-                if !self.machine().check_access(caller, out_addr, MemPerms::WRITE) {
-                    return Err(SmError::Unauthorized);
-                }
-                let (message, _sender) = self.get_mail(caller, mailbox as usize)?;
-                if message.len() as u64 > out_len {
-                    return Err(SmError::InvalidArgument { reason: "output buffer too small" });
-                }
-                self.machine().phys_write(out_addr, &message)?;
-                Ok(message.len() as u64)
-            }
-            SmCall::GetField { field } => {
-                let field = match field {
-                    0 => PublicField::AttestationPublicKey,
-                    1 => PublicField::SmCertificate,
-                    2 => PublicField::DevicePublicKey,
-                    3 => PublicField::SmMeasurement,
-                    _ => return Err(SmError::InvalidArgument { reason: "unknown field" }),
-                };
-                Ok(self.get_field(field).len() as u64)
+            // The caller must be able to read every argument word and take
+            // the status write-backs.
+            if !self.caller_can_access_span(
+                session.domain(),
+                table,
+                count * BATCH_ENTRY_BYTES,
+                MemPerms::RW,
+            ) {
+                return Err(SmError::Unauthorized);
             }
         }
+        Ok(())
+    }
+
+    /// Executes a packed call table (the register-level `SmCall::Batch`
+    /// handler). Returns the number of entries that were executed.
+    ///
+    /// A batched call can revoke the caller's access to the table itself
+    /// (blocking or granting away the region that holds it), so the table is
+    /// re-validated around every entry: the SM must never read arguments
+    /// from, or write status words into, memory the caller no longer owns —
+    /// that would dirty a scrubbed or foreign region with caller-influenced
+    /// data. When access disappears mid-batch the batch aborts; the entry
+    /// that revoked it still executed, but no later write-back happens.
+    ///
+    /// # Errors
+    ///
+    /// Fails without touching any entry if the batch shape is invalid or the
+    /// caller cannot read/write the whole table; per-entry failures are
+    /// written into the table instead.
+    pub(crate) fn run_packed_batch(
+        &self,
+        session: CallerSession,
+        table: PhysAddr,
+        count: u64,
+    ) -> SmResult<u64> {
+        self.check_batch_shape(session, Some(table), count)?;
+        let entry_accessible = |entry: PhysAddr| {
+            self.caller_can_access_span(session.domain(), entry, BATCH_ENTRY_BYTES, MemPerms::RW)
+        };
+        // The shape check above validated the whole table, so entries only
+        // need re-validation once some executed call could have changed the
+        // isolation configuration (the registry flags those calls).
+        let mut revalidate = false;
+        let mut executed = 0u64;
+        for idx in 0..count {
+            let entry = table.offset(idx * BATCH_ENTRY_BYTES);
+            if revalidate && !entry_accessible(entry) {
+                break;
+            }
+            // One bulk read for the six argument words and one bulk write for
+            // the (status, value) pair keep the per-entry memory-system cost
+            // at two accesses — this is where batching wins over per-call
+            // traps.
+            let mut arg_bytes = [0u8; 48];
+            self.machine().phys_read(entry, &mut arg_bytes)?;
+            let mut regs = [0u64; 6];
+            for (word, reg) in regs.iter_mut().enumerate() {
+                let mut le = [0u8; 8];
+                le.copy_from_slice(&arg_bytes[word * 8..word * 8 + 8]);
+                *reg = u64::from_le_bytes(le);
+            }
+            let decoded = SmCall::decode(&regs);
+            let mutates_isolation =
+                decoded.as_ref().map(|c| c.mutates_isolation()).unwrap_or(false);
+            let step = self.batch_step(session, decoded);
+            let (outcome, abort) = match step {
+                BatchStep::Continue(o) => (o, false),
+                BatchStep::Abort(o) => (o, true),
+            };
+            executed += 1;
+            revalidate = revalidate || mutates_isolation;
+            if revalidate && !entry_accessible(entry) {
+                // The entry's own call revoked the caller's table access; do
+                // not write into what is now foreign (or scrubbed) memory.
+                break;
+            }
+            let mut result_bytes = [0u8; 16];
+            result_bytes[..8].copy_from_slice(&outcome.status.to_le_bytes());
+            result_bytes[8..].copy_from_slice(&outcome.value.to_le_bytes());
+            self.machine().phys_write(entry.offset(48), &result_bytes)?;
+            if abort {
+                break;
+            }
+        }
+        self.stats()
+            .batched_calls
+            .fetch_add(executed, std::sync::atomic::Ordering::Relaxed);
+        Ok(executed)
+    }
+
+    /// Typed batch execution shared with [`crate::api::SmApi::batch`]: same
+    /// semantics as
+    /// [`run_packed_batch`](Self::run_packed_batch) minus the memory table.
+    pub(crate) fn run_typed_batch(
+        &self,
+        session: CallerSession,
+        calls: &[SmCall],
+    ) -> SmResult<Vec<CallOutcome>> {
+        self.check_batch_shape(session, None, calls.len() as u64)?;
+        let mut outcomes = Vec::with_capacity(calls.len());
+        for call in calls {
+            match self.batch_step(session, Ok(call.clone())) {
+                BatchStep::Continue(o) => outcomes.push(o),
+                BatchStep::Abort(o) => {
+                    outcomes.push(o);
+                    break;
+                }
+            }
+        }
+        Ok(outcomes)
     }
 
     /// Helper for callers driving the register ABI: writes an [`SmCall`] into
@@ -233,10 +373,52 @@ impl SecurityMonitor {
         }
     }
 
+    /// Helper for callers driving the batched register ABI: packs `calls`
+    /// into a table at `table` (which must be caller-accessible memory) and
+    /// stages the corresponding [`SmCall::Batch`] in the argument registers
+    /// of `core`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table lies outside populated memory.
+    pub fn stage_batch(
+        &self,
+        core: CoreId,
+        table: PhysAddr,
+        calls: &[SmCall],
+    ) -> Result<(), SmError> {
+        let mut packed = vec![0u8; calls.len() * BATCH_ENTRY_BYTES as usize];
+        for (idx, call) in calls.iter().enumerate() {
+            let entry = &mut packed[idx * BATCH_ENTRY_BYTES as usize..][..BATCH_ENTRY_BYTES as usize];
+            for (word, value) in call.encode().iter().enumerate() {
+                entry[word * 8..word * 8 + 8].copy_from_slice(&value.to_le_bytes());
+            }
+            // Pre-fill the status word with the NOT_RUN sentinel so entries
+            // the batch never reached are distinguishable from successes.
+            entry[48..56].copy_from_slice(&status::NOT_RUN.to_le_bytes());
+        }
+        self.machine().phys_write(table, &packed)?;
+        self.stage_call(core, &SmCall::Batch { table, count: calls.len() as u64 });
+        Ok(())
+    }
+
     /// Helper reading back the (status, value) pair after an API ecall.
     pub fn read_call_result(&self, core: CoreId) -> (u64, u64) {
         let hart = self.machine().hart(core);
         (hart.regs[REG_A0 as usize], hart.regs[REG_A1 as usize])
+    }
+
+    /// Helper reading back one batch entry's `(status, value)` pair from a
+    /// staged table.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table lies outside populated memory.
+    pub fn read_batch_result(&self, table: PhysAddr, idx: u64) -> Result<(u64, u64), SmError> {
+        let entry = table.offset(idx * BATCH_ENTRY_BYTES);
+        let status = self.machine().phys_read_u64(entry.offset(48))?;
+        let value = self.machine().phys_read_u64(entry.offset(56))?;
+        Ok((status, value))
     }
 
     /// Convenience: copies `data` into untrusted physical memory at `addr`

@@ -15,7 +15,10 @@
 //! * secure boot and the attestation certificate chain / signing-enclave key
 //!   release of Section VI-C and Fig. 7 ([`boot`], [`attestation`]);
 //! * the event-dispatch flow of Fig. 1, including asynchronous enclave exits
-//!   ([`dispatch`]), and the register-level call ABI ([`api`]);
+//!   and batched calls ([`dispatch`]), and the unified call surface — the
+//!   typed [`api::SmApi`] trait, the one-declaration call registry, and the
+//!   register-level ABI ([`api`]) — authenticated through per-hart caller
+//!   sessions ([`session`]);
 //! * fine-grained locking with explicit concurrent-transaction failures
 //!   (Section V-A) plus a global-lock build for the ablation study
 //!   ([`monitor::LockingMode`]).
@@ -61,8 +64,10 @@ pub mod mailbox;
 pub mod measurement;
 pub mod monitor;
 pub mod resource;
+pub mod session;
 pub mod thread;
 
+pub use api::{status, status_of, CallOutcome, SmApi, SmCall, MAX_BATCH_CALLS};
 pub use attestation::{AttestationEvidence, AttestationReport, Certificate};
 pub use boot::{secure_boot, SmIdentity};
 pub use dispatch::EventOutcome;
@@ -70,4 +75,5 @@ pub use error::{SmError, SmResult};
 pub use measurement::Measurement;
 pub use monitor::{EnclaveEntry, LockingMode, PublicField, SecurityMonitor, SmConfig};
 pub use resource::{ResourceId, ResourceState};
+pub use session::CallerSession;
 pub use thread::{ThreadId, ThreadState};

@@ -1,12 +1,22 @@
 //! The security monitor: authorization, state machines and resource
 //! enforcement behind every SM API call (paper Section V).
+//!
+//! The complete call surface lives on the [`SmApi`] trait (declared in
+//! [`crate::api`] next to the call registry); this module implements it for
+//! [`SecurityMonitor`]. Every call method takes a [`CallerSession`] — the
+//! authenticated caller capability minted per hart by
+//! [`SecurityMonitor::authenticate`] (or by the harness constructors on
+//! [`CallerSession`] for direct Rust callers) — and performs its own
+//! authorization against that session.
 
+use crate::api::{CallOutcome, SmApi, SmCall};
 use crate::boot::SmIdentity;
 use crate::enclave::{EnclaveLifecycle, EnclaveMeta, PhysWindow};
 use crate::error::{SmError, SmResult};
 use crate::mailbox::SenderIdentity;
 use crate::measurement::{Measurement, MeasurementContext};
 use crate::resource::{ResourceId, ResourceMap, ResourceState};
+use crate::session::CallerSession;
 use crate::thread::{ThreadId, ThreadMeta, ThreadState};
 use parking_lot::Mutex;
 use sanctorum_hal::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
@@ -74,6 +84,30 @@ pub enum PublicField {
     SmMeasurement,
 }
 
+impl PublicField {
+    /// Maps the register-ABI field selector onto the field (the inverse of
+    /// [`PublicField::selector`]). Returns `None` for unknown selectors.
+    pub const fn from_selector(selector: u64) -> Option<Self> {
+        match selector {
+            0 => Some(PublicField::AttestationPublicKey),
+            1 => Some(PublicField::SmCertificate),
+            2 => Some(PublicField::DevicePublicKey),
+            3 => Some(PublicField::SmMeasurement),
+            _ => None,
+        }
+    }
+
+    /// The register-ABI selector for this field.
+    pub const fn selector(self) -> u64 {
+        match self {
+            PublicField::AttestationPublicKey => 0,
+            PublicField::SmCertificate => 1,
+            PublicField::DevicePublicKey => 2,
+            PublicField::SmMeasurement => 3,
+        }
+    }
+}
+
 /// Counters the benchmark harness reads.
 #[derive(Debug, Default)]
 pub struct SmStats {
@@ -87,10 +121,12 @@ pub struct SmStats {
     pub concurrency_failures: AtomicU64,
     /// Cycles spent cleaning resources (flushes, zeroing, shootdowns).
     pub cleaning_cycles: AtomicU64,
+    /// Calls executed through the batched path.
+    pub batched_calls: AtomicU64,
 }
 
-/// Entry disposition returned by [`SecurityMonitor::enter_enclave`]: where
-/// the thread should start executing and whether an AEX state is pending.
+/// Entry disposition returned by [`SmApi::enter_enclave`]: where the thread
+/// should start executing and whether an AEX state is pending.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EnclaveEntry {
     /// Program counter the hart was set to.
@@ -112,10 +148,10 @@ struct SmState {
 
 /// The Sanctorum security monitor.
 ///
-/// All API methods take `&self` and an explicit `caller` identity; in the
-/// full simulation the caller is derived from the hart state by the event
-/// dispatcher (Fig. 1), while unit tests and the OS model may call the
-/// methods directly.
+/// All API methods take `&self` and a [`CallerSession`]; in the full
+/// simulation the session is minted from the hart state by the event
+/// dispatcher (Fig. 1, [`SecurityMonitor::authenticate`]), while unit tests
+/// and the OS model mint sessions directly.
 pub struct SecurityMonitor {
     machine: Arc<Machine>,
     backend: Mutex<Box<dyn IsolationBackend + Send>>,
@@ -180,7 +216,7 @@ impl SecurityMonitor {
     }
 
     /// Returns the monitor's boot identity (public parts are also available
-    /// through [`SecurityMonitor::get_field`]).
+    /// through [`SmApi::get_field`]).
     pub fn identity(&self) -> &SmIdentity {
         &self.identity
     }
@@ -260,44 +296,130 @@ impl SecurityMonitor {
         result
     }
 
-    fn require_os(caller: DomainKind) -> SmResult<()> {
-        if caller == DomainKind::Untrusted {
-            Ok(())
-        } else {
-            Err(SmError::Unauthorized)
+    // ------------------------------------------------------------------
+    // diagnostics and SM-internal operations (not part of the call surface)
+    // ------------------------------------------------------------------
+
+    /// Returns the measurement of an initialized enclave (not secret; used by
+    /// the OS to report identities and by local attestation tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the enclave does not exist or is not initialized.
+    pub fn enclave_measurement(&self, eid: EnclaveId) -> SmResult<Measurement> {
+        let enclave = self.lock_enclave(eid)?;
+        let meta = enclave.lock();
+        meta.measurement()
+    }
+
+    /// Returns the ids of all live enclaves (diagnostic).
+    pub fn enclaves(&self) -> Vec<EnclaveId> {
+        self.state.enclaves.lock().keys().copied().collect()
+    }
+
+    /// Returns the current state of a resource (diagnostic / test helper).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the resource is unknown.
+    pub fn resource_state(&self, id: ResourceId) -> SmResult<ResourceState> {
+        self.state.resources.lock().state(id)
+    }
+
+    /// Returns the thread currently occupying `core`, if any.
+    pub fn thread_on_core(&self, core: CoreId) -> Option<ThreadId> {
+        self.state.core_occupancy.lock().get(&core).copied()
+    }
+
+    /// Returns a thread's metadata snapshot (test/diagnostic helper).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread does not exist.
+    pub fn thread_info(&self, tid: ThreadId) -> SmResult<ThreadMeta> {
+        Ok(self.lock_thread(tid)?.lock().clone())
+    }
+
+    /// Asynchronous enclave exit: invoked by the event dispatcher when an
+    /// interrupt or unhandled fault arrives while an enclave occupies `core`.
+    /// Saves the thread's state, cleans the core and returns it to the OS.
+    ///
+    /// This is an SM-internal operation, not an API call: no caller session
+    /// exists because the *event*, not a request, triggers it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no enclave thread occupies the core.
+    pub fn asynchronous_enclave_exit(&self, core: CoreId) -> SmResult<Cycles> {
+        let result = self.with_global_lock(|| {
+            let tid = *self
+                .state
+                .core_occupancy
+                .lock()
+                .get(&core)
+                .ok_or(SmError::InvalidState {
+                    reason: "no enclave thread runs on this core",
+                })?;
+            let thread = self.lock_thread(tid)?;
+            let mut t = self.try_lock(&thread)?;
+            // Save the enclave's architected state before anything is wiped.
+            let snapshot = self.machine.hart(core).snapshot();
+            t.aex_state = Some(snapshot);
+            t.aex_pending = true;
+            let (eid, _) = t.stop_running()?;
+            self.state.core_occupancy.lock().remove(&core);
+            if let Ok(enclave) = self.lock_enclave(eid) {
+                let mut meta = enclave.lock();
+                meta.running_threads = meta.running_threads.saturating_sub(1);
+            }
+            let cost = self.clean_core_for_handoff(core)?;
+            self.stats.aex_count.fetch_add(1, Ordering::Relaxed);
+            Ok(cost)
+        });
+        self.record_call(result)
+    }
+
+    fn clean_core_for_handoff(&self, core: CoreId) -> SmResult<Cycles> {
+        let mut cost = Cycles::ZERO;
+        cost += self.machine.clean_core(core)?;
+        {
+            let mut backend = self.backend.lock();
+            cost += backend.flush(core, FlushKind::CoreState)?;
+            cost += backend.flush(core, FlushKind::PrivateCaches)?;
         }
+        self.machine
+            .install_context(core, DomainKind::Untrusted, PrivilegeLevel::Supervisor, None, 0);
+        self.stats
+            .cleaning_cycles
+            .fetch_add(cost.count(), Ordering::Relaxed);
+        Ok(cost)
     }
 
-    fn require_enclave(caller: DomainKind) -> SmResult<EnclaveId> {
-        caller.enclave_id().ok_or(SmError::Unauthorized)
+    /// Returns the SM certificate as a structured value (used by the signing
+    /// enclave and the verifier; [`SmApi::get_field`] provides the byte
+    /// encoding for the register-level ABI).
+    pub fn sm_certificate(&self) -> crate::attestation::Certificate {
+        self.identity.sm_certificate.clone()
     }
+}
 
+impl SmApi for SecurityMonitor {
     // ------------------------------------------------------------------
     // enclave lifecycle (Fig. 3)
     // ------------------------------------------------------------------
 
-    /// `create_enclave`: the OS dedicates a set of *available* memory units
-    /// to a new enclave with virtual range `[evrange_base, +evrange_len)`.
-    ///
-    /// Returns the new enclave id (the base physical address of its first
-    /// memory unit, following the paper's metadata-address convention).
-    ///
-    /// # Errors
-    ///
-    /// Fails if the caller is not the OS, the arguments are malformed, any
-    /// region is not available, or the enclave limit is reached.
-    pub fn create_enclave(
+    fn create_enclave(
         &self,
-        caller: DomainKind,
+        session: CallerSession,
         evrange_base: VirtAddr,
         evrange_len: u64,
         regions: &[RegionId],
     ) -> SmResult<EnclaveId> {
         self.record_call(self.with_global_lock(|| {
-            Self::require_os(caller)?;
+            session.require_os()?;
             if !evrange_base.is_page_aligned()
                 || evrange_len == 0
-                || evrange_len % PAGE_SIZE as u64 != 0
+                || !evrange_len.is_multiple_of(PAGE_SIZE as u64)
             {
                 return Err(SmError::InvalidArgument {
                     reason: "evrange must be page aligned and non-empty",
@@ -379,16 +501,9 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `allocate_page_table`: reserves (and zeroes) every page-table page the
-    /// enclave's virtual range will need, at the base of its physical memory,
-    /// and records the allocation in the measurement.
-    ///
-    /// # Errors
-    ///
-    /// Fails unless the caller is the OS and the enclave is still loading.
-    pub fn allocate_page_table(&self, caller: DomainKind, eid: EnclaveId) -> SmResult<PhysAddr> {
+    fn allocate_page_table(&self, session: CallerSession, eid: EnclaveId) -> SmResult<PhysAddr> {
         self.record_call(self.with_global_lock(|| {
-            Self::require_os(caller)?;
+            session.require_os()?;
             let enclave = self.lock_enclave(eid)?;
             let mut meta = self.try_lock(&enclave)?;
             meta.require_loading()?;
@@ -424,26 +539,16 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `load_page`: copies one page of initial content from untrusted memory
-    /// at `src` into the enclave at virtual address `vaddr`, mapping it with
-    /// `perms` and extending the measurement. Destination pages are assigned
-    /// in strictly ascending physical order.
-    ///
-    /// # Errors
-    ///
-    /// Fails on bad alignment, addresses outside `evrange`, aliased virtual
-    /// pages, exhausted enclave memory, a source page the OS cannot read, or
-    /// a missing page-table allocation.
-    pub fn load_page(
+    fn load_page(
         &self,
-        caller: DomainKind,
+        session: CallerSession,
         eid: EnclaveId,
         vaddr: VirtAddr,
         src: PhysAddr,
         perms: MemPerms,
     ) -> SmResult<PhysAddr> {
         self.record_call(self.with_global_lock(|| {
-            Self::require_os(caller)?;
+            session.require_os()?;
             let enclave = self.lock_enclave(eid)?;
             let mut meta = self.try_lock(&enclave)?;
             meta.require_loading()?;
@@ -500,22 +605,15 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `load_thread`: creates an enclave thread with the given entry point
-    /// while the enclave is loading; the thread is implicitly accepted.
-    ///
-    /// # Errors
-    ///
-    /// Fails unless the caller is the OS, the enclave is loading, and the
-    /// entry point lies inside `evrange`.
-    pub fn load_thread(
+    fn load_thread(
         &self,
-        caller: DomainKind,
+        session: CallerSession,
         eid: EnclaveId,
         entry_pc: u64,
         fault_handler_pc: Option<u64>,
     ) -> SmResult<ThreadId> {
         self.record_call(self.with_global_lock(|| {
-            Self::require_os(caller)?;
+            session.require_os()?;
             let enclave = self.lock_enclave(eid)?;
             let mut meta = self.try_lock(&enclave)?;
             meta.require_loading()?;
@@ -538,17 +636,9 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `init_enclave`: seals the enclave, finalizing its measurement; from
-    /// now on the API refuses further modification and threads may be
-    /// scheduled.
-    ///
-    /// # Errors
-    ///
-    /// Fails unless the caller is the OS and the enclave is loading with at
-    /// least one thread and its page tables allocated.
-    pub fn init_enclave(&self, caller: DomainKind, eid: EnclaveId) -> SmResult<Measurement> {
+    fn init_enclave(&self, session: CallerSession, eid: EnclaveId) -> SmResult<Measurement> {
         self.record_call(self.with_global_lock(|| {
-            Self::require_os(caller)?;
+            session.require_os()?;
             let enclave = self.lock_enclave(eid)?;
             let mut meta = self.try_lock(&enclave)?;
             meta.require_loading()?;
@@ -572,16 +662,9 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `delete_enclave`: destroys an enclave whose threads are all stopped,
-    /// blocking every resource it owned so the OS can clean and re-use them.
-    ///
-    /// # Errors
-    ///
-    /// Fails unless the caller is the OS and no thread of the enclave is
-    /// currently running.
-    pub fn delete_enclave(&self, caller: DomainKind, eid: EnclaveId) -> SmResult<()> {
+    fn delete_enclave(&self, session: CallerSession, eid: EnclaveId) -> SmResult<()> {
         self.record_call(self.with_global_lock(|| {
-            Self::require_os(caller)?;
+            session.require_os()?;
             let enclave = self.lock_enclave(eid)?;
             let owned_tids: Vec<ThreadId> = {
                 let meta = self.try_lock(&enclave)?;
@@ -622,48 +705,18 @@ impl SecurityMonitor {
         }))
     }
 
-    /// Returns the measurement of an initialized enclave (not secret; used by
-    /// the OS to report identities and by local attestation tests).
-    ///
-    /// # Errors
-    ///
-    /// Fails if the enclave does not exist or is not initialized.
-    pub fn enclave_measurement(&self, eid: EnclaveId) -> SmResult<Measurement> {
-        let enclave = self.lock_enclave(eid)?;
-        let meta = enclave.lock();
-        meta.measurement()
-    }
-
-    /// Returns the ids of all live enclaves (diagnostic).
-    pub fn enclaves(&self) -> Vec<EnclaveId> {
-        self.state.enclaves.lock().keys().copied().collect()
-    }
-
     // ------------------------------------------------------------------
     // resource API (Fig. 2)
     // ------------------------------------------------------------------
 
-    /// `block_resource`: flags a resource for release (callable by its owner
-    /// or, transitively, by the SM).
-    ///
-    /// # Errors
-    ///
-    /// Propagates the state-machine and authorization errors of
-    /// [`ResourceMap::block`].
-    pub fn block_resource(&self, caller: DomainKind, id: ResourceId) -> SmResult<()> {
+    fn block_resource(&self, session: CallerSession, id: ResourceId) -> SmResult<()> {
         self.record_call(self.with_global_lock(|| {
             let mut resources = self.try_lock(&self.state.resources)?;
-            resources.block(caller, id)
+            resources.block(session.domain(), id)
         }))
     }
 
-    /// `clean_resource`: scrubs a blocked resource (zeroing memory, flushing
-    /// caches and TLBs, or cleaning a core) and marks it available.
-    ///
-    /// # Errors
-    ///
-    /// Fails unless the caller is the OS and the resource is blocked.
-    pub fn clean_resource(&self, caller: DomainKind, id: ResourceId) -> SmResult<Cycles> {
+    fn clean_resource(&self, session: CallerSession, id: ResourceId) -> SmResult<Cycles> {
         self.record_call(self.with_global_lock(|| {
             let mut resources = self.try_lock(&self.state.resources)?;
             // Validate the transition first (without committing).
@@ -675,6 +728,7 @@ impl SecurityMonitor {
                     })
                 }
             }
+            let caller = session.domain();
             if caller != DomainKind::Untrusted && caller != DomainKind::SecurityMonitor {
                 return Err(SmError::Unauthorized);
             }
@@ -713,15 +767,9 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `grant_resource`: gives an available resource to a new owner and
-    /// reprograms the isolation primitive accordingly.
-    ///
-    /// # Errors
-    ///
-    /// Fails unless the caller is the OS and the resource is available.
-    pub fn grant_resource(
+    fn grant_resource(
         &self,
-        caller: DomainKind,
+        session: CallerSession,
         id: ResourceId,
         new_owner: DomainKind,
     ) -> SmResult<()> {
@@ -732,15 +780,10 @@ impl SecurityMonitor {
                 });
             }
             let mut resources = self.try_lock(&self.state.resources)?;
-            resources.grant(caller, id, new_owner)?;
+            resources.grant(session.domain(), id, new_owner)?;
             if let ResourceId::Region(region) = id {
                 let mut backend = self.backend.lock();
-                let perms = if new_owner == DomainKind::Untrusted {
-                    MemPerms::RWX
-                } else {
-                    MemPerms::RWX
-                };
-                let cost = backend.assign_region(region, new_owner, perms)?;
+                let cost = backend.assign_region(region, new_owner, MemPerms::RWX)?;
                 backend.set_dma_blocked(region, new_owner != DomainKind::Untrusted)?;
                 self.machine.charge(cost);
             }
@@ -748,36 +791,19 @@ impl SecurityMonitor {
         }))
     }
 
-    /// Returns the current state of a resource (diagnostic / test helper).
-    ///
-    /// # Errors
-    ///
-    /// Fails if the resource is unknown.
-    pub fn resource_state(&self, id: ResourceId) -> SmResult<ResourceState> {
-        self.state.resources.lock().state(id)
-    }
-
     // ------------------------------------------------------------------
-    // thread scheduling (Fig. 4) and AEX
+    // thread scheduling (Fig. 4)
     // ------------------------------------------------------------------
 
-    /// `enter_enclave`: schedules enclave thread `tid` onto `core`. The
-    /// calling OS loses the core until the enclave exits or is interrupted.
-    ///
-    /// # Errors
-    ///
-    /// Fails unless the caller is the OS, the enclave is initialized, the
-    /// thread belongs to it and is accepted, and the core is not already
-    /// running an enclave.
-    pub fn enter_enclave(
+    fn enter_enclave(
         &self,
-        caller: DomainKind,
+        session: CallerSession,
         eid: EnclaveId,
         tid: ThreadId,
-        core: CoreId,
     ) -> SmResult<EnclaveEntry> {
+        let core = session.core();
         self.record_call(self.with_global_lock(|| {
-            Self::require_os(caller)?;
+            session.require_os()?;
             if !self.machine.has_hart(core) {
                 return Err(SmError::InvalidArgument {
                     reason: "no such core",
@@ -840,15 +866,10 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `exit_enclave`: voluntary exit by the enclave running on `core`. The
-    /// SM cleans the core and returns it to the OS.
-    ///
-    /// # Errors
-    ///
-    /// Fails unless the caller is the enclave actually running on `core`.
-    pub fn exit_enclave(&self, caller: DomainKind, core: CoreId) -> SmResult<Cycles> {
+    fn exit_enclave(&self, session: CallerSession) -> SmResult<Cycles> {
+        let core = session.core();
         self.record_call(self.with_global_lock(|| {
-            let eid = Self::require_enclave(caller)?;
+            let eid = session.require_enclave()?;
             let tid = *self
                 .state
                 .core_occupancy
@@ -875,132 +896,9 @@ impl SecurityMonitor {
         }))
     }
 
-    /// Asynchronous enclave exit: invoked by the event dispatcher when an
-    /// interrupt or unhandled fault arrives while an enclave occupies `core`.
-    /// Saves the thread's state, cleans the core and returns it to the OS.
-    ///
-    /// # Errors
-    ///
-    /// Fails if no enclave thread occupies the core.
-    pub fn asynchronous_enclave_exit(&self, core: CoreId) -> SmResult<Cycles> {
-        let result = self.with_global_lock(|| {
-            let tid = *self
-                .state
-                .core_occupancy
-                .lock()
-                .get(&core)
-                .ok_or(SmError::InvalidState {
-                    reason: "no enclave thread runs on this core",
-                })?;
-            let thread = self.lock_thread(tid)?;
-            let mut t = self.try_lock(&thread)?;
-            // Save the enclave's architected state before anything is wiped.
-            let snapshot = self.machine.hart(core).snapshot();
-            t.aex_state = Some(snapshot);
-            t.aex_pending = true;
-            let (eid, _) = t.stop_running()?;
-            self.state.core_occupancy.lock().remove(&core);
-            if let Ok(enclave) = self.lock_enclave(eid) {
-                let mut meta = enclave.lock();
-                meta.running_threads = meta.running_threads.saturating_sub(1);
-            }
-            let cost = self.clean_core_for_handoff(core)?;
-            self.stats.aex_count.fetch_add(1, Ordering::Relaxed);
-            Ok(cost)
-        });
-        self.record_call(result)
-    }
-
-    fn clean_core_for_handoff(&self, core: CoreId) -> SmResult<Cycles> {
-        let mut cost = Cycles::ZERO;
-        cost += self.machine.clean_core(core)?;
-        {
-            let mut backend = self.backend.lock();
-            cost += backend.flush(core, FlushKind::CoreState)?;
-            cost += backend.flush(core, FlushKind::PrivateCaches)?;
-        }
-        self.machine
-            .install_context(core, DomainKind::Untrusted, PrivilegeLevel::Supervisor, None, 0);
-        self.stats
-            .cleaning_cycles
-            .fetch_add(cost.count(), Ordering::Relaxed);
-        Ok(cost)
-    }
-
-    /// Returns the thread currently occupying `core`, if any.
-    pub fn thread_on_core(&self, core: CoreId) -> Option<ThreadId> {
-        self.state.core_occupancy.lock().get(&core).copied()
-    }
-
-    /// Returns a thread's metadata snapshot (test/diagnostic helper).
-    ///
-    /// # Errors
-    ///
-    /// Fails if the thread does not exist.
-    pub fn thread_info(&self, tid: ThreadId) -> SmResult<ThreadMeta> {
-        Ok(self.lock_thread(tid)?.lock().clone())
-    }
-
-    /// `assign_thread`: binds an available thread to an enclave (OS call).
-    ///
-    /// # Errors
-    ///
-    /// Propagates thread state-machine errors.
-    pub fn assign_thread(&self, caller: DomainKind, eid: EnclaveId, tid: ThreadId) -> SmResult<()> {
+    fn create_thread(&self, session: CallerSession, entry_pc: u64) -> SmResult<ThreadId> {
         self.record_call(self.with_global_lock(|| {
-            Self::require_os(caller)?;
-            let _ = self.lock_enclave(eid)?;
-            let thread = self.lock_thread(tid)?;
-            let mut t = self.try_lock(&thread)?;
-            t.assign(eid)
-        }))
-    }
-
-    /// `accept_thread`: the enclave accepts a thread previously assigned to
-    /// it by the OS.
-    ///
-    /// # Errors
-    ///
-    /// Propagates thread state-machine errors.
-    pub fn accept_thread(&self, caller: DomainKind, tid: ThreadId) -> SmResult<()> {
-        self.record_call(self.with_global_lock(|| {
-            let eid = Self::require_enclave(caller)?;
-            let thread = self.lock_thread(tid)?;
-            let mut t = self.try_lock(&thread)?;
-            t.accept(eid)?;
-            if let Ok(enclave) = self.lock_enclave(eid) {
-                enclave.lock().threads.push(tid);
-            }
-            Ok(())
-        }))
-    }
-
-    /// `release_thread`: the enclave gives a thread back to the OS pool.
-    ///
-    /// # Errors
-    ///
-    /// Propagates thread state-machine errors.
-    pub fn release_thread(&self, caller: DomainKind, tid: ThreadId) -> SmResult<()> {
-        self.record_call(self.with_global_lock(|| {
-            let eid = Self::require_enclave(caller)?;
-            let thread = self.lock_thread(tid)?;
-            let mut t = self.try_lock(&thread)?;
-            t.release(eid)?;
-            if let Ok(enclave) = self.lock_enclave(eid) {
-                enclave.lock().threads.retain(|&x| x != tid);
-            }
-            Ok(())
-        }))
-    }
-
-    /// `create_thread`: the OS creates an unassigned thread metadata slot.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the caller is not the OS or the thread limit is reached.
-    pub fn create_thread(&self, caller: DomainKind, entry_pc: u64) -> SmResult<ThreadId> {
-        self.record_call(self.with_global_lock(|| {
-            Self::require_os(caller)?;
+            session.require_os()?;
             if self.state.threads.lock().len() >= self.config.max_threads {
                 return Err(SmError::OutOfResources {
                     resource: "thread metadata slots",
@@ -1015,14 +913,9 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `delete_thread`: removes an available thread's metadata (OS call).
-    ///
-    /// # Errors
-    ///
-    /// Fails if the thread is assigned or running.
-    pub fn delete_thread(&self, caller: DomainKind, tid: ThreadId) -> SmResult<()> {
+    fn delete_thread(&self, session: CallerSession, tid: ThreadId) -> SmResult<()> {
         self.record_call(self.with_global_lock(|| {
-            Self::require_os(caller)?;
+            session.require_os()?;
             let thread = self.lock_thread(tid)?;
             {
                 let t = self.try_lock(&thread)?;
@@ -1037,19 +930,59 @@ impl SecurityMonitor {
         }))
     }
 
+    fn assign_thread(
+        &self,
+        session: CallerSession,
+        eid: EnclaveId,
+        tid: ThreadId,
+    ) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            session.require_os()?;
+            let _ = self.lock_enclave(eid)?;
+            let thread = self.lock_thread(tid)?;
+            let mut t = self.try_lock(&thread)?;
+            t.assign(eid)
+        }))
+    }
+
+    fn accept_thread(&self, session: CallerSession, tid: ThreadId) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            let eid = session.require_enclave()?;
+            let thread = self.lock_thread(tid)?;
+            let mut t = self.try_lock(&thread)?;
+            t.accept(eid)?;
+            if let Ok(enclave) = self.lock_enclave(eid) {
+                enclave.lock().threads.push(tid);
+            }
+            Ok(())
+        }))
+    }
+
+    fn release_thread(&self, session: CallerSession, tid: ThreadId) -> SmResult<()> {
+        self.record_call(self.with_global_lock(|| {
+            let eid = session.require_enclave()?;
+            let thread = self.lock_thread(tid)?;
+            let mut t = self.try_lock(&thread)?;
+            t.release(eid)?;
+            if let Ok(enclave) = self.lock_enclave(eid) {
+                enclave.lock().threads.retain(|&x| x != tid);
+            }
+            Ok(())
+        }))
+    }
+
     // ------------------------------------------------------------------
     // mailboxes and attestation (Figs. 5–7)
     // ------------------------------------------------------------------
 
-    /// `accept_mail`: the calling enclave's mailbox `mailbox` will accept one
-    /// message from `sender_id` (an enclave id value, or 0 for the OS).
-    ///
-    /// # Errors
-    ///
-    /// Fails for non-enclave callers, unknown mailboxes, or a full mailbox.
-    pub fn accept_mail(&self, caller: DomainKind, mailbox: usize, sender_id: u64) -> SmResult<()> {
+    fn accept_mail(
+        &self,
+        session: CallerSession,
+        mailbox: usize,
+        sender_id: u64,
+    ) -> SmResult<()> {
         self.record_call(self.with_global_lock(|| {
-            let eid = Self::require_enclave(caller)?;
+            let eid = session.require_enclave()?;
             let enclave = self.lock_enclave(eid)?;
             let mut meta = self.try_lock(&enclave)?;
             let mb = meta
@@ -1060,22 +993,14 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `send_mail`: sends `message` to `recipient`, tagged with the sender's
-    /// identity (the sender's measurement for enclaves, or "untrusted" for
-    /// the OS). The message lands in the first mailbox accepting this sender.
-    ///
-    /// # Errors
-    ///
-    /// Fails if no mailbox of the recipient is accepting mail from this
-    /// sender, or the message is oversized.
-    pub fn send_mail(
+    fn send_mail(
         &self,
-        caller: DomainKind,
+        session: CallerSession,
         recipient: EnclaveId,
         message: &[u8],
     ) -> SmResult<()> {
         self.record_call(self.with_global_lock(|| {
-            let (sender_id, sender_identity) = match caller {
+            let (sender_id, sender_identity) = match session.domain() {
                 DomainKind::Untrusted => (0u64, SenderIdentity::Untrusted),
                 DomainKind::Enclave(eid) => {
                     let m = self.enclave_measurement(eid)?;
@@ -1096,19 +1021,13 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `get_mail`: the calling enclave fetches the message waiting in
-    /// `mailbox`, together with the SM-recorded sender identity.
-    ///
-    /// # Errors
-    ///
-    /// Fails for non-enclave callers, unknown mailboxes, or empty mailboxes.
-    pub fn get_mail(
+    fn get_mail(
         &self,
-        caller: DomainKind,
+        session: CallerSession,
         mailbox: usize,
     ) -> SmResult<(Vec<u8>, SenderIdentity)> {
         self.record_call(self.with_global_lock(|| {
-            let eid = Self::require_enclave(caller)?;
+            let eid = session.require_enclave()?;
             let enclave = self.lock_enclave(eid)?;
             let mut meta = self.try_lock(&enclave)?;
             let mb = meta
@@ -1119,17 +1038,9 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `get_attestation_key`: releases the SM's attestation signing seed to
-    /// the trusted signing enclave (paper Section VI-C). The caller's
-    /// measurement must match the hard-coded signing-enclave measurement.
-    ///
-    /// # Errors
-    ///
-    /// Fails for any caller other than an initialized enclave whose
-    /// measurement equals the configured signing-enclave measurement.
-    pub fn get_attestation_key(&self, caller: DomainKind) -> SmResult<[u8; 32]> {
+    fn get_attestation_key(&self, session: CallerSession) -> SmResult<[u8; 32]> {
         self.record_call(self.with_global_lock(|| {
-            let eid = Self::require_enclave(caller)?;
+            let eid = session.require_enclave()?;
             let expected = self
                 .config
                 .signing_enclave_measurement
@@ -1144,9 +1055,10 @@ impl SecurityMonitor {
         }))
     }
 
-    /// `get_field`: returns public identity material (certificates, public
-    /// keys, the SM measurement). Available to every caller.
-    pub fn get_field(&self, field: PublicField) -> Vec<u8> {
+    fn get_field(&self, _session: CallerSession, field: PublicField) -> Vec<u8> {
+        // Public identity material is available to every caller; the session
+        // is accepted (not authorized) so the call shape matches the rest of
+        // the surface.
         match field {
             PublicField::AttestationPublicKey => {
                 self.identity.attestation_keypair.public().to_bytes().to_vec()
@@ -1168,10 +1080,11 @@ impl SecurityMonitor {
         }
     }
 
-    /// Returns the SM certificate as a structured value (used by the signing
-    /// enclave and the verifier; `get_field` provides the byte encoding for
-    /// the register-level ABI).
-    pub fn sm_certificate(&self) -> crate::attestation::Certificate {
-        self.identity.sm_certificate.clone()
+    fn batch(&self, session: CallerSession, calls: &[SmCall]) -> SmResult<Vec<CallOutcome>> {
+        let outcomes = self.run_typed_batch(session, calls)?;
+        self.stats
+            .batched_calls
+            .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
+        Ok(outcomes)
     }
 }

@@ -1,0 +1,159 @@
+//! Caller sessions: the capability handle every SM API call is made with.
+//!
+//! The paper authenticates API callers from the hart state the monitor itself
+//! configured (Section V-A): when an environment call traps into the SM, the
+//! hart's protection-domain tag *is* the caller identity — no argument the
+//! caller controls can forge it. A [`CallerSession`] reifies that
+//! authentication step as a value: the event dispatcher mints one per hart
+//! per trap via [`crate::monitor::SecurityMonitor::authenticate`], and every
+//! [`crate::api::SmApi`] method consumes a session instead of a raw
+//! `DomainKind` parameter.
+//!
+//! Direct Rust callers (the OS model, tests, benches) that bypass the
+//! register ABI mint sessions with the harness constructors ([`CallerSession::os`],
+//! [`CallerSession::enclave`], [`CallerSession::forged`]). Those constructors
+//! play the role the explicit `caller: DomainKind` arguments played before
+//! this redesign: they assert, at the simulation boundary, which domain the
+//! simulated software is running in. Adversarial tests forge sessions
+//! deliberately to check that authorization is enforced *behind* the session,
+//! not in front of it.
+
+use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
+
+use crate::error::{SmError, SmResult};
+
+/// An authenticated caller identity, bound to the hart it was minted on.
+///
+/// Sessions are cheap (`Copy`) and short-lived: the dispatcher mints a fresh
+/// one for every trap, so a session never outlives the hart configuration it
+/// was authenticated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallerSession {
+    domain: DomainKind,
+    core: CoreId,
+}
+
+impl CallerSession {
+    /// Harness constructor: a session for the untrusted OS on core 0.
+    ///
+    /// Use [`CallerSession::os_on`] when the calling core matters (context
+    /// switching calls).
+    pub const fn os() -> Self {
+        Self::os_on(CoreId::new(0))
+    }
+
+    /// Harness constructor: a session for the untrusted OS on `core`.
+    pub const fn os_on(core: CoreId) -> Self {
+        Self {
+            domain: DomainKind::Untrusted,
+            core,
+        }
+    }
+
+    /// Harness constructor: a session for enclave `eid` on core 0.
+    pub const fn enclave(eid: EnclaveId) -> Self {
+        Self::enclave_on(eid, CoreId::new(0))
+    }
+
+    /// Harness constructor: a session for enclave `eid` on `core`.
+    pub const fn enclave_on(eid: EnclaveId, core: CoreId) -> Self {
+        Self {
+            domain: DomainKind::Enclave(eid),
+            core,
+        }
+    }
+
+    /// Harness constructor for an arbitrary domain — used by adversarial
+    /// tests to present identities the authorization layer must reject.
+    pub const fn forged(domain: DomainKind, core: CoreId) -> Self {
+        Self { domain, core }
+    }
+
+    /// Crate-internal mint from authenticated hart state (the dispatcher's
+    /// path; see [`crate::monitor::SecurityMonitor::authenticate`]).
+    pub(crate) const fn authenticated(domain: DomainKind, core: CoreId) -> Self {
+        Self { domain, core }
+    }
+
+    /// The protection domain this session speaks for.
+    pub const fn domain(&self) -> DomainKind {
+        self.domain
+    }
+
+    /// The hart the session was minted on.
+    pub const fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Returns `true` if the session belongs to the untrusted OS.
+    pub const fn is_os(&self) -> bool {
+        matches!(self.domain, DomainKind::Untrusted)
+    }
+
+    /// Returns the enclave id if this is an enclave session.
+    pub const fn enclave_id(&self) -> Option<EnclaveId> {
+        self.domain.enclave_id()
+    }
+
+    /// Authorization guard: the call is OS-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmError::Unauthorized`] for non-OS sessions.
+    pub fn require_os(&self) -> SmResult<()> {
+        if self.is_os() {
+            Ok(())
+        } else {
+            Err(SmError::Unauthorized)
+        }
+    }
+
+    /// Authorization guard: the call is enclave-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmError::Unauthorized`] for non-enclave sessions.
+    pub fn require_enclave(&self) -> SmResult<EnclaveId> {
+        self.enclave_id().ok_or(SmError::Unauthorized)
+    }
+}
+
+impl std::fmt::Display for CallerSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session[{} on {}]", self.domain, self.core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let os = CallerSession::os();
+        assert!(os.is_os());
+        assert_eq!(os.core(), CoreId::new(0));
+        assert!(os.require_os().is_ok());
+        assert_eq!(os.require_enclave(), Err(SmError::Unauthorized));
+
+        let e = CallerSession::enclave_on(EnclaveId::new(7), CoreId::new(1));
+        assert_eq!(e.enclave_id(), Some(EnclaveId::new(7)));
+        assert_eq!(e.core(), CoreId::new(1));
+        assert_eq!(e.require_os(), Err(SmError::Unauthorized));
+        assert_eq!(e.require_enclave(), Ok(EnclaveId::new(7)));
+    }
+
+    #[test]
+    fn forged_sessions_carry_any_domain() {
+        let f = CallerSession::forged(DomainKind::SecurityMonitor, CoreId::new(0));
+        assert_eq!(f.domain(), DomainKind::SecurityMonitor);
+        assert!(f.require_os().is_err());
+        assert!(f.require_enclave().is_err());
+    }
+
+    #[test]
+    fn display_names_domain_and_core() {
+        let s = CallerSession::os_on(CoreId::new(2));
+        assert_eq!(format!("{s}"), "session[untrusted on core2]");
+    }
+}

@@ -44,6 +44,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Carry-propagation loops over fixed-width limb arrays read more clearly with
+// explicit indices than with iterator adaptors; keep clippy quiet about them.
+#![allow(clippy::needless_range_loop)]
 
 pub mod bignum;
 pub mod chacha;

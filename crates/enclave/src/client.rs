@@ -2,13 +2,15 @@
 //! (the `E1` of paper Figs. 6–7).
 
 use crate::signing::{SigningEnclave, REPLY_MAILBOX};
+use sanctorum_core::api::SmApi;
 use sanctorum_core::attestation::{AttestationEvidence, Certificate};
 use sanctorum_core::error::{SmError, SmResult};
 use sanctorum_core::monitor::SecurityMonitor;
+use sanctorum_core::session::CallerSession;
 use sanctorum_crypto::ed25519::Signature;
 use sanctorum_crypto::sha3::Sha3_256;
 use sanctorum_crypto::x25519;
-use sanctorum_hal::domain::{DomainKind, EnclaveId};
+use sanctorum_hal::domain::EnclaveId;
 
 /// The request an enclave mails to the signing enclave: the verifier's nonce
 /// plus report data binding the attestation to the enclave's ephemeral DH
@@ -91,8 +93,8 @@ impl AttestationClient {
         x25519::shared_secret(&self.dh_secret, verifier_public)
     }
 
-    fn caller(&self) -> DomainKind {
-        DomainKind::Enclave(self.eid)
+    fn session(&self) -> CallerSession {
+        CallerSession::enclave(self.eid)
     }
 
     /// Runs the local half of Fig. 7: mails `(nonce, report_data)` to the
@@ -117,17 +119,17 @@ impl AttestationClient {
         // ①/② The signing enclave must be willing to hear from us, and we
         // must be willing to receive its reply.
         signing.accept_request_from(sm, self.eid)?;
-        sm.accept_mail(self.caller(), REPLY_MAILBOX, signing.eid().as_u64())?;
+        sm.accept_mail(self.session(), REPLY_MAILBOX, signing.eid().as_u64())?;
 
         // ③ Send the request through the SM (which tags it with our
         // measurement).
-        sm.send_mail(self.caller(), signing.eid(), &request.encode())?;
+        sm.send_mail(self.session(), signing.eid(), &request.encode())?;
 
         // ④/⑤ The signing enclave fetches the key and signs.
         let (report, _signature) = signing.process_request(sm, self.eid)?;
 
         // ⑥ Fetch the signature from our reply mailbox.
-        let (reply, _sender) = sm.get_mail(self.caller(), REPLY_MAILBOX)?;
+        let (reply, _sender) = sm.get_mail(self.session(), REPLY_MAILBOX)?;
         if reply.len() != 64 {
             return Err(SmError::InvalidArgument {
                 reason: "malformed signature reply",

@@ -8,12 +8,14 @@
 //! measurement)` and mails the signature back.
 
 use crate::client::AttestationRequest;
+use sanctorum_core::api::SmApi;
 use sanctorum_core::attestation::AttestationReport;
 use sanctorum_core::error::{SmError, SmResult};
 use sanctorum_core::mailbox::SenderIdentity;
 use sanctorum_core::monitor::SecurityMonitor;
+use sanctorum_core::session::CallerSession;
 use sanctorum_crypto::ed25519::{Keypair, Signature};
-use sanctorum_hal::domain::{DomainKind, EnclaveId};
+use sanctorum_hal::domain::EnclaveId;
 
 /// Mailbox index the signing enclave uses to receive requests.
 pub const REQUEST_MAILBOX: usize = 0;
@@ -38,8 +40,8 @@ impl SigningEnclave {
         self.eid
     }
 
-    fn caller(&self) -> DomainKind {
-        DomainKind::Enclave(self.eid)
+    fn session(&self) -> CallerSession {
+        CallerSession::enclave(self.eid)
     }
 
     /// Prepares to receive an attestation request from `requester`.
@@ -52,7 +54,7 @@ impl SigningEnclave {
         sm: &SecurityMonitor,
         requester: EnclaveId,
     ) -> SmResult<()> {
-        sm.accept_mail(self.caller(), REQUEST_MAILBOX, requester.as_u64())
+        sm.accept_mail(self.session(), REQUEST_MAILBOX, requester.as_u64())
     }
 
     /// Processes one pending attestation request: fetches the request mail,
@@ -71,7 +73,7 @@ impl SigningEnclave {
         sm: &SecurityMonitor,
         requester: EnclaveId,
     ) -> SmResult<(AttestationReport, Signature)> {
-        let (message, sender) = sm.get_mail(self.caller(), REQUEST_MAILBOX)?;
+        let (message, sender) = sm.get_mail(self.session(), REQUEST_MAILBOX)?;
         let request = AttestationRequest::decode(&message).ok_or(SmError::InvalidArgument {
             reason: "malformed attestation request",
         })?;
@@ -84,7 +86,7 @@ impl SigningEnclave {
             }
         };
 
-        let key_seed = sm.get_attestation_key(self.caller())?;
+        let key_seed = sm.get_attestation_key(self.session())?;
         let keypair = Keypair::from_seed(key_seed);
         let report = AttestationReport {
             enclave_measurement: requester_measurement,
@@ -93,7 +95,7 @@ impl SigningEnclave {
         };
         let signature = keypair.sign(&report.to_signed_bytes());
 
-        sm.send_mail(self.caller(), requester, &signature.to_bytes())?;
+        sm.send_mail(self.session(), requester, &signature.to_bytes())?;
         Ok((report, signature))
     }
 }

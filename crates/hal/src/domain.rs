@@ -129,12 +129,10 @@ mod tests {
 
     #[test]
     fn domain_ordering_is_total() {
-        let mut v = vec![
-            DomainKind::Enclave(EnclaveId::new(2)),
+        let mut v = [DomainKind::Enclave(EnclaveId::new(2)),
             DomainKind::SecurityMonitor,
             DomainKind::Untrusted,
-            DomainKind::Enclave(EnclaveId::new(1)),
-        ];
+            DomainKind::Enclave(EnclaveId::new(1))];
         v.sort();
         assert_eq!(v[0], DomainKind::SecurityMonitor);
         assert_eq!(v[1], DomainKind::Untrusted);

@@ -126,7 +126,7 @@ impl AccessControl {
     /// [`AccessError::Overlap`] if the range partially overlaps a different
     /// existing range.
     pub fn protect(&mut self, range: AccessRange) -> Result<(), AccessError> {
-        if !range.base.is_page_aligned() || range.len % sanctorum_hal::addr::PAGE_SIZE as u64 != 0 {
+        if !range.base.is_page_aligned() || !range.len.is_multiple_of(sanctorum_hal::addr::PAGE_SIZE as u64) {
             return Err(AccessError::Unaligned);
         }
         if let Some(pos) = self
@@ -187,9 +187,10 @@ impl AccessControl {
                 if domain == DomainKind::SecurityMonitor {
                     return AccessDecision::Allowed;
                 }
-                if domain == range.owner && range.owner_perms.allows(needed) {
-                    AccessDecision::Allowed
-                } else if domain == DomainKind::Untrusted && range.untrusted_perms.allows(needed) {
+                let as_owner = domain == range.owner && range.owner_perms.allows(needed);
+                let as_untrusted =
+                    domain == DomainKind::Untrusted && range.untrusted_perms.allows(needed);
+                if as_owner || as_untrusted {
                     AccessDecision::Allowed
                 } else {
                     AccessDecision::Denied {

@@ -935,7 +935,7 @@ mod tests {
         );
         let program = GuestProgram::store_and_exit(0x10000, 5);
         m.run_guest(CoreId::new(0), &program, 100);
-        assert!(m.tlb(CoreId::new(0)).len() > 0);
+        assert!(!m.tlb(CoreId::new(0)).is_empty());
         m.clean_core(CoreId::new(0)).unwrap();
         assert!(m.hart(CoreId::new(0)).is_clean());
         assert!(m.tlb(CoreId::new(0)).is_empty());
@@ -957,8 +957,8 @@ mod tests {
             );
             m.run_guest(CoreId::new(hart), &GuestProgram::store_and_exit(0x10000, 1), 100);
         }
-        assert!(m.tlb(CoreId::new(0)).len() > 0);
-        assert!(m.tlb(CoreId::new(1)).len() > 0);
+        assert!(!m.tlb(CoreId::new(0)).is_empty());
+        assert!(!m.tlb(CoreId::new(1)).is_empty());
         m.tlb_shootdown(base.offset(0x20_0000), 0x1000);
         assert_eq!(m.tlb(CoreId::new(0)).len(), 0);
         assert_eq!(m.tlb(CoreId::new(1)).len(), 0);

@@ -8,8 +8,10 @@
 
 use crate::os::{BuiltEnclave, Os};
 use crate::system::System;
+use sanctorum_core::api::SmApi;
 use sanctorum_core::error::SmError;
 use sanctorum_core::mailbox::SenderIdentity;
+use sanctorum_core::session::CallerSession;
 use sanctorum_hal::addr::PhysAddr;
 use sanctorum_hal::domain::{CoreId, DomainKind};
 use sanctorum_hal::perm::MemPerms;
@@ -127,7 +129,7 @@ pub fn dma_exfiltration(system: &System, enclave: &BuiltEnclave) -> AttackOutcom
 /// Attack 4: the OS deletes an enclave while one of its threads is running,
 /// hoping to reclaim (and read) its memory without cleaning.
 pub fn delete_running_enclave(os: &Os, enclave: &BuiltEnclave) -> AttackOutcome {
-    match os.monitor().delete_enclave(DomainKind::Untrusted, enclave.eid) {
+    match os.monitor().delete_enclave(CallerSession::os(), enclave.eid) {
         Err(SmError::InvalidState { .. }) => AttackOutcome::Blocked,
         Err(_) => AttackOutcome::Blocked,
         Ok(()) => AttackOutcome::Succeeded,
@@ -139,7 +141,7 @@ pub fn delete_running_enclave(os: &Os, enclave: &BuiltEnclave) -> AttackOutcome 
 /// measurement).
 pub fn modify_after_init(os: &Os, enclave: &BuiltEnclave) -> AttackOutcome {
     let result = os.monitor().load_page(
-        DomainKind::Untrusted,
+        CallerSession::os(),
         enclave.eid,
         sanctorum_hal::addr::VirtAddr::new(0x10_5000),
         os.staging_base(),
@@ -157,19 +159,22 @@ pub fn modify_after_init(os: &Os, enclave: &BuiltEnclave) -> AttackOutcome {
 /// untrusted domain, so the recipient cannot be fooled; the attack "succeeds"
 /// only if the recipient would see an enclave identity.
 pub fn mail_impersonation(os: &Os, victim: &BuiltEnclave) -> AttackOutcome {
-    let victim_domain = DomainKind::Enclave(victim.eid);
+    // The attacker cannot mint an authenticated enclave session, so the
+    // victim's half of the protocol uses a harness-forged session standing in
+    // for the victim itself; the attack is the OS-side send.
+    let victim_session = CallerSession::enclave(victim.eid);
     // Victim expects mail from the OS (sender id 0) — e.g. untrusted input.
-    if os.monitor().accept_mail(victim_domain, 0, 0).is_err() {
+    if os.monitor().accept_mail(victim_session, 0, 0).is_err() {
         return AttackOutcome::Blocked;
     }
     if os
         .monitor()
-        .send_mail(DomainKind::Untrusted, victim.eid, b"i am the signing enclave, honest")
+        .send_mail(CallerSession::os(), victim.eid, b"i am the signing enclave, honest")
         .is_err()
     {
         return AttackOutcome::Blocked;
     }
-    match os.monitor().get_mail(victim_domain, 0) {
+    match os.monitor().get_mail(victim_session, 0) {
         Ok((_, SenderIdentity::Untrusted)) => AttackOutcome::Blocked,
         Ok((_, SenderIdentity::Enclave(_))) => AttackOutcome::Succeeded,
         Err(_) => AttackOutcome::Blocked,
@@ -180,7 +185,7 @@ pub fn mail_impersonation(os: &Os, victim: &BuiltEnclave) -> AttackOutcome {
 pub fn steal_attestation_key(os: &Os, rogue: &BuiltEnclave) -> AttackOutcome {
     match os
         .monitor()
-        .get_attestation_key(DomainKind::Enclave(rogue.eid))
+        .get_attestation_key(CallerSession::enclave(rogue.eid))
     {
         Err(SmError::Unauthorized) | Err(SmError::InvalidState { .. }) => AttackOutcome::Blocked,
         Err(_) => AttackOutcome::Blocked,
@@ -193,7 +198,7 @@ pub fn steal_attestation_key(os: &Os, rogue: &BuiltEnclave) -> AttackOutcome {
 pub fn steal_enclave_region(os: &Os, enclave: &BuiltEnclave) -> AttackOutcome {
     use sanctorum_core::resource::ResourceId;
     let result = os.monitor().grant_resource(
-        DomainKind::Untrusted,
+        CallerSession::os(),
         ResourceId::Region(enclave.regions[0]),
         DomainKind::Untrusted,
     );
@@ -256,7 +261,11 @@ mod tests {
         // saved state; delete while it is actually running is exercised by
         // entering and attacking before the run loop exits.
         os.monitor()
-            .enter_enclave(DomainKind::Untrusted, victim.eid, victim.main_thread(), CoreId::new(1))
+            .enter_enclave(
+                CallerSession::os_on(CoreId::new(1)),
+                victim.eid,
+                victim.main_thread(),
+            )
             .unwrap();
         assert!(delete_running_enclave(&os, &victim).blocked());
         // Clean up: AEX the thread so other tests are unaffected.

@@ -2,11 +2,13 @@
 //! through the SM API, plus the Fig. 1 event loop.
 
 use crate::system::System;
+use sanctorum_core::api::SmApi;
+use sanctorum_core::dispatch::EventOutcome;
 use sanctorum_core::error::{SmError, SmResult};
 use sanctorum_core::measurement::Measurement;
 use sanctorum_core::monitor::SecurityMonitor;
 use sanctorum_core::resource::{ResourceId, ResourceState};
-use sanctorum_core::dispatch::EventOutcome;
+use sanctorum_core::session::CallerSession;
 use sanctorum_core::thread::ThreadId;
 use sanctorum_enclave::image::EnclaveImage;
 use sanctorum_hal::addr::{PhysAddr, PAGE_SIZE};
@@ -142,13 +144,14 @@ impl Os {
                 resource: "untrusted memory regions",
             });
         }
+        let os = CallerSession::os();
         let mut reserved = Vec::with_capacity(count);
         for _ in 0..count {
             let region = self.free_regions.pop().expect("checked length");
             self.monitor
-                .block_resource(DomainKind::Untrusted, ResourceId::Region(region))?;
+                .block_resource(os, ResourceId::Region(region))?;
             self.monitor
-                .clean_resource(DomainKind::Untrusted, ResourceId::Region(region))?;
+                .clean_resource(os, ResourceId::Region(region))?;
             reserved.push(region);
         }
         Ok(reserved)
@@ -163,7 +166,7 @@ impl Os {
     /// left for the caller to clean up (as a real OS would have to).
     pub fn build_enclave(&mut self, image: &EnclaveImage, regions: usize) -> SmResult<BuiltEnclave> {
         let cycles_before = self.machine.total_cycles();
-        let os = DomainKind::Untrusted;
+        let os = CallerSession::os();
         let reserved = self.reserve_regions(regions)?;
         let eid = self
             .monitor
@@ -224,7 +227,7 @@ impl Os {
             .ok_or(SmError::UnknownThread(tid))?
             .clone();
         self.monitor
-            .enter_enclave(DomainKind::Untrusted, enclave.eid, tid, core)?;
+            .enter_enclave(CallerSession::os_on(core), enclave.eid, tid)?;
 
         let mut remaining = step_budget;
         let mut guest_cycles = Cycles::ZERO;
@@ -235,9 +238,11 @@ impl Os {
             match result.exit {
                 ExitReason::Completed => {
                     // The program ended without an explicit ExitEnclave call;
-                    // perform the voluntary exit on the enclave's behalf.
+                    // perform the voluntary exit on the enclave's behalf. The
+                    // session is authenticated from the hart, which still
+                    // carries the enclave's domain tag.
                     self.monitor
-                        .exit_enclave(DomainKind::Enclave(enclave.eid), core)?;
+                        .exit_enclave(self.monitor.authenticate(core))?;
                     return Ok(ThreadRunOutcome::Exited { cycles: guest_cycles });
                 }
                 ExitReason::Ecall => {
@@ -298,7 +303,7 @@ impl Os {
     ///
     /// Propagates SM API errors (e.g. the enclave still has running threads).
     pub fn teardown_enclave(&mut self, enclave: &BuiltEnclave) -> SmResult<()> {
-        let os = DomainKind::Untrusted;
+        let os = CallerSession::os();
         self.monitor.delete_enclave(os, enclave.eid)?;
         for region in &enclave.regions {
             // delete_enclave left the regions blocked; clean them and take

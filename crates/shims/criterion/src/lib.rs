@@ -1,0 +1,314 @@
+//! Minimal stand-in for the subset of `criterion` the workspace benches use.
+//!
+//! It runs each benchmark closure for a warm-up pass and a fixed measured
+//! pass, then prints mean wall-clock time per iteration in criterion-like
+//! one-line format. Statistical machinery (outlier analysis, HTML reports)
+//! is intentionally absent: the workspace's figures are driven by *simulated
+//! cycle counts* read from the machine model, and wall-clock numbers are
+//! only a sanity signal. The API mirrors criterion closely enough that the
+//! bench sources compile unchanged against the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-implementation of `criterion::black_box` on stable std.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark configuration and entry point (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples (kept for API compatibility).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            config: self.clone(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(self, "", id, None, &mut f);
+        self
+    }
+}
+
+/// Identifier combining a function name and a parameter (subset of
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Into-id conversion so both `&str` and [`BenchmarkId`] are accepted.
+pub trait IntoBenchmarkId {
+    /// Renders the id text.
+    fn id_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn id_text(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn id_text(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Throughput annotation (subset of `criterion::Throughput`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+    config: Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotates subsequent benches with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample size for this group (API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.config, &self.name, &id.id_text(), self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: IntoBenchmarkId, P, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&self.config, &self.name, &id.id_text(), self.throughput, &mut g);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    /// Number of iterations the closure must execute when using
+    /// [`Bencher::iter_custom`].
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure time itself: it receives the iteration count and
+    /// returns the total elapsed time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iterations);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warm-up: run once to estimate per-iteration cost.
+    let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < config.warm_up_time {
+        f(&mut b);
+        warm_iters += 1;
+        if warm_iters >= 1_000_000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().checked_div(warm_iters.max(1) as u32)
+        .unwrap_or(Duration::from_nanos(1))
+        .max(Duration::from_nanos(1));
+
+    // Measured pass: size the iteration count to the measurement budget.
+    let target_iters = (config.measurement_time.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, 10_000_000) as u64;
+    let mut b = Bencher { iterations: target_iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() as f64 / target_iters.max(1) as f64;
+
+    let full_name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let throughput_note = match throughput {
+        Some(Throughput::Bytes(bytes)) if mean_ns > 0.0 => {
+            let gib_s = bytes as f64 / mean_ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+            format!("  thrpt: {gib_s:.3} GiB/s")
+        }
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            let melem_s = n as f64 / mean_ns * 1e3;
+            format!("  thrpt: {melem_s:.3} Melem/s")
+        }
+        _ => String::new(),
+    };
+    println!("{full_name:<60} time: {}{throughput_note}", format_ns(mean_ns));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group runner (subset of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (subset of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

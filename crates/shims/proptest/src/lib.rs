@@ -1,0 +1,212 @@
+//! Deterministic stand-in for the subset of `proptest` the workspace uses.
+//!
+//! The `proptest!` macro here expands each property into a plain `#[test]`
+//! that evaluates the body over a fixed number of pseudo-random cases drawn
+//! from a [SplitMix64](https://prng.di.unimi.it/splitmix64.c) stream seeded
+//! from the test's name. There is no shrinking and no persistence file: a
+//! failing case's inputs are reported through the panic message via the
+//! `prop_assert*` macros. Coverage is deterministic across runs, which suits
+//! a CI environment without network access to fetch the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeFrom};
+
+/// Number of cases each property is evaluated over.
+pub const NUM_CASES: u32 = 64;
+
+/// Deterministic pseudo-random generator used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator from a test name (stable across runs).
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name gives a well-spread, stable seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self(h)
+    }
+
+    /// Returns the next value in the SplitMix64 stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the next 128-bit value.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+}
+
+/// A source of test-case values (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a default "any value" strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+/// Returns the default strategy for `A` (subset of `proptest::prelude::any`).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty => $draw:ident),* $(,)?) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.$draw() as $ty
+                }
+            }
+
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end - self.start;
+                    self.start + (rng.$draw() as $ty) % span
+                }
+            }
+
+            impl Strategy for RangeFrom<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let span = <$ty>::MAX - self.start;
+                    if span == <$ty>::MAX {
+                        rng.$draw() as $ty
+                    } else {
+                        self.start + (rng.$draw() as $ty) % (span + 1)
+                    }
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_uint! {
+    u8 => next_u64,
+    u16 => next_u64,
+    u32 => next_u64,
+    u64 => next_u64,
+    usize => next_u64,
+    u128 => next_u128,
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let v = rng.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&v[..n]);
+        }
+        out
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, Strategy, TestRng};
+}
+
+/// Declares property tests (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for _case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property-case condition (panics with the case inputs inlined by
+/// the standard formatting machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: u64 = {
+            let mut rng = TestRng::deterministic("x");
+            rng.next_u64()
+        };
+        let b: u64 = {
+            let mut rng = TestRng::deterministic("x");
+            rng.next_u64()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(v in 10u64..20, w in 5u128..9, b in any::<[u8; 32]>()) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((5..9).contains(&w));
+            prop_assert_eq!(b.len(), 32);
+        }
+
+        #[test]
+        fn range_from_respects_lower_bound(v in 1u64..) {
+            prop_assert!(v >= 1);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace derives serde traits on many plain-old-data types but never
+//! actually serializes through a serde data format (there is no serde_json /
+//! bincode in the dependency tree). The trait impls come from a blanket impl
+//! in the sibling `serde` shim, so the derives here expand to nothing; they
+//! exist only so `#[derive(Serialize, Deserialize)]` keeps compiling against
+//! the same source as the real crates would.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

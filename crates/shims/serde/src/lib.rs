@@ -1,0 +1,22 @@
+//! Minimal stand-in for the `serde` facade.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` on plain data
+//! types; nothing in the tree drives an actual serde serializer. This shim
+//! provides marker traits with blanket impls plus the no-op derive macros, so
+//! the source stays byte-for-byte compatible with the real crate for the
+//! subset in use. If a future PR needs real serialization, replace the shims
+//! with the genuine crates (the manifests only need the path entries in
+//! `[workspace.dependencies]` swapped for versions).
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize` (derive expands to nothing; every
+/// type trivially satisfies it).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (same contract as [`Serialize`]).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

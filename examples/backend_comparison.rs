@@ -4,9 +4,11 @@
 //!
 //! Run with: `cargo run -p sanctorum-bench --example backend_comparison`
 
+use sanctorum_core::api::SmApi;
 use sanctorum_core::resource::ResourceId;
+use sanctorum_core::session::CallerSession;
 use sanctorum_enclave::image::EnclaveImage;
-use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_hal::domain::CoreId;
 use sanctorum_os::os::Os;
 use sanctorum_os::system::{PlatformKind, System};
 
@@ -21,18 +23,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let built = os.build_enclave(&EnclaveImage::compute(8, 10_000), 1)?;
 
         let entry = system.monitor.enter_enclave(
-            DomainKind::Untrusted,
+            CallerSession::os(),
             built.eid,
             built.main_thread(),
-            CoreId::new(0),
         )?;
         let aex = system.monitor.asynchronous_enclave_exit(CoreId::new(0))?;
 
         // Tear down and measure the cost of cleaning the region.
-        system.monitor.delete_enclave(DomainKind::Untrusted, built.eid)?;
+        system.monitor.delete_enclave(CallerSession::os(), built.eid)?;
         let clean = system
             .monitor
-            .clean_resource(DomainKind::Untrusted, ResourceId::Region(built.regions[0]))?;
+            .clean_resource(CallerSession::os(), ResourceId::Region(built.regions[0]))?;
 
         println!(
             "{:<12} {:>14} {:>14} {:>14} {:>14}",

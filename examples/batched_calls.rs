@@ -1,0 +1,79 @@
+//! Demonstrates the batched SM-call path: packing several calls into one
+//! table in OS memory and executing them in a single trap, with per-call
+//! statuses written back (see ARCHITECTURE.md, "Batched calls").
+//!
+//! Run with: `cargo run --example batched_calls`
+
+use sanctorum_core::api::{status, SmCall};
+use sanctorum_core::resource::{ResourceId, ResourceState};
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_hal::isolation::RegionId;
+use sanctorum_machine::hart::PrivilegeLevel;
+use sanctorum_machine::trap::TrapCause;
+use sanctorum_os::os::Os;
+use sanctorum_os::system::{PlatformKind, System};
+
+fn status_name(code: u64) -> &'static str {
+    match code {
+        status::OK => "OK",
+        status::UNAUTHORIZED => "UNAUTHORIZED",
+        status::UNKNOWN_ENCLAVE => "UNKNOWN_ENCLAVE",
+        status::INVALID_ARGUMENT => "INVALID_ARGUMENT",
+        status::ILLEGAL_CALL => "ILLEGAL_CALL",
+        status::NOT_RUN => "NOT_RUN",
+        _ => "(other)",
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = System::boot_small(PlatformKind::Sanctum);
+    let os = Os::new(&system);
+    let core = CoreId::new(0);
+    system
+        .machine
+        .install_context(core, DomainKind::Untrusted, PrivilegeLevel::Supervisor, None, 0);
+
+    // Find a region the OS owns and can cycle through block → clean → grant —
+    // excluding the staging region, which holds the batch table itself
+    // (cleaning the table's own region mid-batch would corrupt the demo).
+    let config = system.machine.config();
+    let staging_region =
+        (os.staging_base().as_u64() - config.memory_base.as_u64()) / config.dram_region_size as u64;
+    let region = (0..config.num_regions() as u32)
+        .map(RegionId::new)
+        .find(|r| {
+            r.index() as u64 != staging_region
+                && matches!(
+                    system.monitor.resource_state(ResourceId::Region(*r)),
+                    Ok(ResourceState::Owned(DomainKind::Untrusted))
+                )
+        })
+        .expect("an untrusted region exists at boot");
+
+    let calls = vec![
+        SmCall::GetField { field: 3 },
+        SmCall::BlockRegion { region },
+        SmCall::CleanRegion { region },
+        SmCall::GrantRegion { region, owner_eid: 0 },
+        SmCall::AcceptMail { mailbox: 0, sender_id: 0 }, // enclave-only: fails
+        SmCall::GetField { field: 0 },
+        SmCall::ExitEnclave {}, // context-switching: aborts the batch here
+        SmCall::GetField { field: 2 }, // never reached
+    ];
+
+    // One table in OS staging memory, one trap, per-call statuses back.
+    let table = os.staging_base().offset(0x8000);
+    system.monitor.stage_batch(core, table, &calls)?;
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    let (batch_status, executed) = system.monitor.read_call_result(core);
+
+    println!("batch status : {} ({batch_status})", status_name(batch_status));
+    println!("entries run  : {executed} of {}", calls.len());
+    println!();
+    println!("{:<4} {:<24} {:<18} {:>8}", "#", "call", "status", "value");
+    for (idx, call) in calls.iter().enumerate() {
+        let (code, value) = system.monitor.read_batch_result(table, idx as u64)?;
+        println!("{idx:<4} {:<24} {:<18} {value:>8}", call.name(), status_name(code));
+    }
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Workspace umbrella crate: hosts the repo-level integration tests under
+//! `tests/` and the examples under `examples/`. The actual implementation
+//! lives in the `crates/` members; this crate only re-exports them so the
+//! integration surface is importable from one place.
+
+#![forbid(unsafe_code)]
+
+pub use sanctorum_bench as bench;
+pub use sanctorum_core as core;
+pub use sanctorum_crypto as crypto;
+pub use sanctorum_enclave as enclave;
+pub use sanctorum_hal as hal;
+pub use sanctorum_machine as machine;
+pub use sanctorum_os as os;
+pub use sanctorum_verifier as verifier;

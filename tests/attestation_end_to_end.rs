@@ -2,10 +2,11 @@
 //! platform backends.
 
 use sanctorum_bench::boot_attestation_setup;
+use sanctorum_core::api::SmApi;
 use sanctorum_core::mailbox::SenderIdentity;
+use sanctorum_core::session::CallerSession;
 use sanctorum_enclave::client::AttestationClient;
 use sanctorum_enclave::signing::SigningEnclave;
-use sanctorum_hal::domain::DomainKind;
 use sanctorum_os::system::PlatformKind;
 use sanctorum_verifier::{ManufacturerCa, RemoteVerifier, SecureSession, VerifyError};
 
@@ -14,21 +15,21 @@ fn local_attestation_via_mailboxes() {
     // Fig. 6: E2 attests E1 using only mutual trust in the SM.
     let (system, _os, e1, e2) = boot_attestation_setup(PlatformKind::Sanctum);
     let sm = system.monitor.as_ref();
-    let e1_domain = DomainKind::Enclave(e1.eid);
-    let e2_domain = DomainKind::Enclave(e2.eid);
+    let e1_session = CallerSession::enclave(e1.eid);
+    let e2_session = CallerSession::enclave(e2.eid);
 
     // ① E2 signals intent to receive from E1; ② E1 sends a message.
-    sm.accept_mail(e2_domain, 0, e1.eid.as_u64()).unwrap();
-    sm.send_mail(e1_domain, e2.eid, b"hello from E1").unwrap();
+    sm.accept_mail(e2_session, 0, e1.eid.as_u64()).unwrap();
+    sm.send_mail(e1_session, e2.eid, b"hello from E1").unwrap();
     // ③ E2 fetches it; ④ the SM-recorded sender measurement matches E1's.
-    let (message, sender) = sm.get_mail(e2_domain, 0).unwrap();
+    let (message, sender) = sm.get_mail(e2_session, 0).unwrap();
     assert_eq!(message, b"hello from E1");
     assert_eq!(sender, SenderIdentity::Enclave(e1.measurement));
 
     // A message from the OS is clearly labelled untrusted.
-    sm.accept_mail(e2_domain, 0, 0).unwrap();
-    sm.send_mail(DomainKind::Untrusted, e2.eid, b"os input").unwrap();
-    let (_, sender) = sm.get_mail(e2_domain, 0).unwrap();
+    sm.accept_mail(e2_session, 0, 0).unwrap();
+    sm.send_mail(CallerSession::os(), e2.eid, b"os input").unwrap();
+    let (_, sender) = sm.get_mail(e2_session, 0).unwrap();
     assert_eq!(sender, SenderIdentity::Untrusted);
 }
 
@@ -115,6 +116,6 @@ fn non_signing_enclave_cannot_obtain_the_attestation_key() {
         boot_attestation_setup(PlatformKind::Sanctum);
     let sm = system.monitor.as_ref();
     assert!(sm
-        .get_attestation_key(DomainKind::Enclave(client_enclave.eid))
+        .get_attestation_key(CallerSession::enclave(client_enclave.eid))
         .is_err());
 }

@@ -2,7 +2,8 @@
 //! driven by the OS model on both platform backends.
 
 use sanctorum_bench::{boot, boot_with_enclave};
-use sanctorum_core::api::{status, SmCall};
+use sanctorum_core::api::{status, SmApi, SmCall};
+use sanctorum_core::session::CallerSession;
 use sanctorum_core::resource::{ResourceId, ResourceState};
 use sanctorum_enclave::image::EnclaveImage;
 use sanctorum_hal::domain::{CoreId, DomainKind};
@@ -48,7 +49,7 @@ fn resource_states_follow_fig2_during_lifecycle() {
     );
     system
         .monitor
-        .delete_enclave(DomainKind::Untrusted, built.eid)
+        .delete_enclave(CallerSession::os(), built.eid)
         .unwrap();
     assert!(matches!(
         system.monitor.resource_state(region).unwrap(),
@@ -56,7 +57,7 @@ fn resource_states_follow_fig2_during_lifecycle() {
     ));
     system
         .monitor
-        .clean_resource(DomainKind::Untrusted, region)
+        .clean_resource(CallerSession::os(), region)
         .unwrap();
     assert_eq!(
         system.monitor.resource_state(region).unwrap(),
@@ -64,7 +65,7 @@ fn resource_states_follow_fig2_during_lifecycle() {
     );
     system
         .monitor
-        .grant_resource(DomainKind::Untrusted, region, DomainKind::Untrusted)
+        .grant_resource(CallerSession::os(), region, DomainKind::Untrusted)
         .unwrap();
     assert_eq!(
         system.monitor.resource_state(region).unwrap(),
@@ -85,7 +86,7 @@ fn aex_preserves_enclave_progress_and_hides_state_from_os() {
     // Run briefly, then the OS scheduler tick interrupts the enclave.
     system
         .monitor
-        .enter_enclave(DomainKind::Untrusted, built.eid, tid, core)
+        .enter_enclave(CallerSession::os_on(core), built.eid, tid)
         .unwrap();
     system.machine.raise_interrupt(core, Interrupt::Timer).unwrap();
     let program = built.program(tid).unwrap().clone();

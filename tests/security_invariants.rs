@@ -2,8 +2,10 @@
 //! exclusivity and clean-before-reuse invariants of DESIGN.md Section 4.
 
 use sanctorum_bench::boot;
+use sanctorum_core::api::SmApi;
 use sanctorum_core::error::SmError;
 use sanctorum_core::resource::ResourceId;
+use sanctorum_core::session::CallerSession;
 use sanctorum_enclave::image::EnclaveImage;
 use sanctorum_hal::domain::{CoreId, DomainKind};
 use sanctorum_hal::perm::MemPerms;
@@ -92,7 +94,8 @@ fn ownership_is_exclusive_after_random_operation_sequences() {
 fn api_rejects_wrong_callers_everywhere() {
     let (system, mut os) = boot(PlatformKind::Keystone);
     let built = os.build_enclave(&EnclaveImage::hello(3), 1).unwrap();
-    let enclave_caller = DomainKind::Enclave(built.eid);
+    let enclave_caller = CallerSession::enclave(built.eid);
+    let os_caller = CallerSession::os();
     let sm = &system.monitor;
 
     // Enclaves cannot run OS-only calls.
@@ -103,20 +106,20 @@ fn api_rejects_wrong_callers_everywhere() {
     );
     assert_eq!(sm.delete_enclave(enclave_caller, built.eid).unwrap_err(), SmError::Unauthorized);
     assert_eq!(
-        sm.enter_enclave(enclave_caller, built.eid, built.main_thread(), CoreId::new(0)).unwrap_err(),
+        sm.enter_enclave(enclave_caller, built.eid, built.main_thread()).unwrap_err(),
         SmError::Unauthorized
     );
     // The OS cannot run enclave-only calls.
-    assert_eq!(sm.accept_mail(DomainKind::Untrusted, 0, 0).unwrap_err(), SmError::Unauthorized);
-    assert_eq!(sm.get_mail(DomainKind::Untrusted, 0).unwrap_err(), SmError::Unauthorized);
+    assert_eq!(sm.accept_mail(os_caller, 0, 0).unwrap_err(), SmError::Unauthorized);
+    assert_eq!(sm.get_mail(os_caller, 0).unwrap_err(), SmError::Unauthorized);
     assert_eq!(
-        sm.get_attestation_key(DomainKind::Untrusted).unwrap_err(),
+        sm.get_attestation_key(os_caller).unwrap_err(),
         SmError::Unauthorized
     );
     // Nobody can grant resources to the SM through the API.
     assert!(sm
         .grant_resource(
-            DomainKind::Untrusted,
+            os_caller,
             ResourceId::Region(built.regions[0]),
             DomainKind::SecurityMonitor
         )
@@ -135,8 +138,8 @@ fn concurrent_api_storm_preserves_invariants() {
 
     // Make four regions available up front.
     for r in &regions {
-        monitor.block_resource(DomainKind::Untrusted, ResourceId::Region(*r)).unwrap();
-        monitor.clean_resource(DomainKind::Untrusted, ResourceId::Region(*r)).unwrap();
+        monitor.block_resource(CallerSession::os(), ResourceId::Region(*r)).unwrap();
+        monitor.clean_resource(CallerSession::os(), ResourceId::Region(*r)).unwrap();
     }
 
     let threads: Vec<_> = regions
@@ -159,15 +162,15 @@ fn concurrent_api_storm_preserves_invariants() {
                 for _ in 0..20 {
                     let eid = retry(|| {
                         monitor.create_enclave(
-                            DomainKind::Untrusted,
+                            CallerSession::os(),
                             sanctorum_hal::addr::VirtAddr::new(0x10_0000),
                             0x10000,
                             &[region],
                         )
                     });
-                    retry(|| monitor.delete_enclave(DomainKind::Untrusted, eid));
+                    retry(|| monitor.delete_enclave(CallerSession::os(), eid));
                     retry(|| {
-                        monitor.clean_resource(DomainKind::Untrusted, ResourceId::Region(region))
+                        monitor.clean_resource(CallerSession::os(), ResourceId::Region(region))
                     });
                     successes += 1;
                 }

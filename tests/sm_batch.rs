@@ -1,0 +1,395 @@
+//! Batched SM calls: per-call statuses, clean aborts on context-switching
+//! calls, equivalence with serial calls, and single-trap execution of large
+//! batches (the `SmCall::Batch` path introduced by the call-registry
+//! redesign).
+
+use sanctorum_bench::boot;
+use sanctorum_core::api::{status, CallOutcome, SmApi, SmCall};
+use sanctorum_core::dispatch::EventOutcome;
+use sanctorum_core::resource::{ResourceId, ResourceState};
+use sanctorum_core::session::CallerSession;
+use sanctorum_hal::addr::PhysAddr;
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_hal::isolation::RegionId;
+use sanctorum_machine::trap::TrapCause;
+use sanctorum_machine::hart::PrivilegeLevel;
+use sanctorum_os::os::Os;
+use sanctorum_os::system::{PlatformKind, System};
+
+/// Puts `core` in the untrusted OS context, as it would be when the OS traps
+/// into the SM with an environment call.
+fn install_os_context(system: &System, core: CoreId) {
+    system
+        .machine
+        .install_context(core, DomainKind::Untrusted, PrivilegeLevel::Supervisor, None, 0);
+}
+
+/// Picks a region the untrusted OS owns at boot (and the OS model has not
+/// repurposed as its staging area).
+fn os_owned_region(system: &System, os: &Os) -> RegionId {
+    let staging_region = (os.staging_base().as_u64()
+        - system.machine.config().memory_base.as_u64())
+        / system.machine.config().dram_region_size as u64;
+    (0..system.machine.config().num_regions() as u32)
+        .map(RegionId::new)
+        .find(|r| {
+            r.index() as u64 != staging_region
+                && matches!(
+                    system.monitor.resource_state(ResourceId::Region(*r)),
+                    Ok(ResourceState::Owned(DomainKind::Untrusted))
+                )
+        })
+        .expect("an untrusted region exists at boot")
+}
+
+/// A scratch table location inside the OS staging area, clear of the page the
+/// OS model uses to stage enclave images.
+fn table_addr(os: &Os) -> PhysAddr {
+    os.staging_base().offset(0x8000)
+}
+
+#[test]
+fn batch_of_eight_executes_in_one_handle_event_with_per_call_statuses() {
+    for platform in PlatformKind::ALL {
+        let (system, os) = boot(platform);
+        let core = CoreId::new(0);
+        install_os_context(&system, core);
+        let region = os_owned_region(&system, &os);
+        let table = table_addr(&os);
+
+        // A region lifecycle (block → clean → grant back), public-field
+        // queries, and two calls that must fail: an enclave-only call from
+        // the OS and a lookup of an enclave that does not exist.
+        let calls = vec![
+            SmCall::GetField { field: 3 },
+            SmCall::BlockRegion { region },
+            SmCall::CleanRegion { region },
+            SmCall::GrantRegion { region, owner_eid: 0 },
+            SmCall::AcceptMail { mailbox: 0, sender_id: 0 },
+            SmCall::GetField { field: 0 },
+            SmCall::InitEnclave { eid: sanctorum_hal::domain::EnclaveId::new(0xdead) },
+            SmCall::GetField { field: 2 },
+        ];
+        assert!(calls.len() >= 8);
+        system.monitor.stage_batch(core, table, &calls).unwrap();
+
+        // ONE dispatcher invocation executes the whole table.
+        let outcome = system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+        assert_eq!(
+            outcome,
+            EventOutcome::SmCallDone { status: status::OK, value: calls.len() as u64 }
+        );
+        let (code, executed) = system.monitor.read_call_result(core);
+        assert_eq!(code, status::OK);
+        assert_eq!(executed, calls.len() as u64);
+
+        // Per-call statuses landed in the table.
+        let expect = [
+            (status::OK, 32),              // SmMeasurement length
+            (status::OK, 0),               // block
+            (status::OK, u64::MAX),        // clean (cycle count, platform-dependent)
+            (status::OK, 0),               // grant
+            (status::UNAUTHORIZED, 0),     // enclave-only call from the OS
+            (status::OK, 32),              // attestation public key length
+            (status::UNKNOWN_ENCLAVE, 0),  // no such enclave
+            (status::OK, 32),              // device public key length
+        ];
+        for (idx, (want_status, want_value)) in expect.iter().enumerate() {
+            let (got_status, got_value) =
+                system.monitor.read_batch_result(table, idx as u64).unwrap();
+            assert_eq!(got_status, *want_status, "entry {idx} on {platform:?}");
+            if *want_value != u64::MAX {
+                assert_eq!(got_value, *want_value, "entry {idx} on {platform:?}");
+            }
+        }
+        // The region ended up back with the OS, exactly as if called serially.
+        assert_eq!(
+            system.monitor.resource_state(ResourceId::Region(region)).unwrap(),
+            ResourceState::Owned(DomainKind::Untrusted)
+        );
+    }
+}
+
+#[test]
+fn batch_aborts_cleanly_on_context_switching_calls() {
+    let (system, os) = boot(PlatformKind::Sanctum);
+    let core = CoreId::new(0);
+    install_os_context(&system, core);
+    let table = table_addr(&os);
+
+    let calls = vec![
+        SmCall::GetField { field: 3 },
+        SmCall::ExitEnclave {}, // context-switching: must abort the batch
+        SmCall::GetField { field: 3 },
+    ];
+    system.monitor.stage_batch(core, table, &calls).unwrap();
+    let outcome = system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    // Two entries received a status (the second being the refusal); the third
+    // was never examined.
+    assert_eq!(outcome, EventOutcome::SmCallDone { status: status::OK, value: 2 });
+    assert_eq!(system.monitor.read_batch_result(table, 0).unwrap().0, status::OK);
+    assert_eq!(
+        system.monitor.read_batch_result(table, 1).unwrap().0,
+        status::INVALID_ARGUMENT
+    );
+    assert_eq!(system.monitor.read_batch_result(table, 2).unwrap().0, status::NOT_RUN);
+    // No context switch happened: the hart still belongs to the OS.
+    assert_eq!(system.machine.hart(core).domain, DomainKind::Untrusted);
+
+    // Nested batches are refused the same way.
+    let calls = vec![
+        SmCall::GetField { field: 3 },
+        SmCall::Batch { table, count: 1 },
+        SmCall::GetField { field: 3 },
+    ];
+    system.monitor.stage_batch(core, table, &calls).unwrap();
+    let outcome = system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(outcome, EventOutcome::SmCallDone { status: status::OK, value: 2 });
+    assert_eq!(
+        system.monitor.read_batch_result(table, 1).unwrap().0,
+        status::INVALID_ARGUMENT
+    );
+    assert_eq!(system.monitor.read_batch_result(table, 2).unwrap().0, status::NOT_RUN);
+}
+
+#[test]
+fn batch_matches_serial_call_semantics() {
+    // Drive the same call sequence through the serial ecall path on one
+    // system and through one batch on an identically booted system; statuses
+    // and resulting monitor state must be identical.
+    let (serial_system, serial_os) = boot(PlatformKind::Keystone);
+    let (batch_system, batch_os) = boot(PlatformKind::Keystone);
+    let core = CoreId::new(0);
+    install_os_context(&serial_system, core);
+    install_os_context(&batch_system, core);
+    let region = os_owned_region(&serial_system, &serial_os);
+    assert_eq!(region, os_owned_region(&batch_system, &batch_os));
+
+    let calls = vec![
+        SmCall::BlockRegion { region },
+        SmCall::BlockRegion { region }, // double block: must fail identically
+        SmCall::CleanRegion { region },
+        SmCall::GrantRegion { region, owner_eid: 0 },
+        SmCall::GetField { field: 1 },
+        SmCall::GetMail { mailbox: 0, out_addr: table_addr(&serial_os), out_len: 64 },
+    ];
+
+    let mut serial_results = Vec::new();
+    for call in &calls {
+        serial_system.monitor.stage_call(core, call);
+        serial_system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+        let (status, value) = serial_system.monitor.read_call_result(core);
+        serial_results.push((status, value));
+    }
+
+    let table = table_addr(&batch_os);
+    batch_system.monitor.stage_batch(core, table, &calls).unwrap();
+    batch_system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    for (idx, serial) in serial_results.iter().enumerate() {
+        let batched = batch_system.monitor.read_batch_result(table, idx as u64).unwrap();
+        assert_eq!(&batched, serial, "entry {idx} diverged from serial execution");
+    }
+    assert_eq!(
+        serial_system.monitor.resource_state(ResourceId::Region(region)).unwrap(),
+        batch_system.monitor.resource_state(ResourceId::Region(region)).unwrap(),
+    );
+}
+
+#[test]
+fn typed_batch_mirrors_packed_batch() {
+    let (system, os) = boot(PlatformKind::Sanctum);
+    let region = os_owned_region(&system, &os);
+    let session = CallerSession::os();
+
+    let calls = vec![
+        SmCall::GetField { field: 3 },
+        SmCall::BlockRegion { region },
+        SmCall::AcceptMail { mailbox: 0, sender_id: 0 },
+        SmCall::ExitEnclave {},
+        SmCall::GetField { field: 3 }, // unreached after the abort
+    ];
+    let outcomes = system.monitor.batch(session, &calls).unwrap();
+    assert_eq!(
+        outcomes,
+        vec![
+            CallOutcome { status: status::OK, value: 32 },
+            CallOutcome { status: status::OK, value: 0 },
+            CallOutcome { status: status::UNAUTHORIZED, value: 0 },
+            CallOutcome { status: status::INVALID_ARGUMENT, value: 0 },
+        ]
+    );
+    assert!(outcomes[0].is_ok() && !outcomes[2].is_ok());
+    assert_eq!(system.monitor.stats().batched_calls.load(std::sync::atomic::Ordering::Relaxed), 4);
+}
+
+#[test]
+fn batch_shape_is_validated_before_any_entry_runs() {
+    let (system, os) = boot(PlatformKind::Sanctum);
+    let core = CoreId::new(0);
+    install_os_context(&system, core);
+    let table = table_addr(&os);
+    let session = CallerSession::os();
+
+    // Empty and oversized batches are rejected wholesale.
+    assert_eq!(
+        system.monitor.batch(session, &[]).unwrap_err(),
+        sanctorum_core::SmError::InvalidArgument { reason: "empty batch" }
+    );
+    let oversized = vec![SmCall::GetField { field: 3 }; 65];
+    assert!(system.monitor.batch(session, &oversized).is_err());
+
+    // A misaligned table is rejected through the register path.
+    system
+        .monitor
+        .stage_call(core, &SmCall::Batch { table: table.offset(4), count: 1 });
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(system.monitor.read_call_result(core).0, status::INVALID_ARGUMENT);
+
+    // A table the caller cannot access is rejected before anything executes:
+    // region 0 is SM-reserved on both platforms.
+    let sm_base = system.machine.config().memory_base;
+    system
+        .monitor
+        .stage_call(core, &SmCall::Batch { table: sm_base, count: 1 });
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(system.monitor.read_call_result(core).0, status::UNAUTHORIZED);
+}
+
+#[test]
+fn undecodable_batch_entries_get_illegal_call_status_and_do_not_abort() {
+    let (system, os) = boot(PlatformKind::Sanctum);
+    let core = CoreId::new(0);
+    install_os_context(&system, core);
+    let table = table_addr(&os);
+
+    let calls = vec![SmCall::GetField { field: 3 }, SmCall::GetField { field: 3 }];
+    system.monitor.stage_batch(core, table, &calls).unwrap();
+    // Corrupt entry 0's call number into nonsense; entry 1 must still run.
+    system
+        .machine
+        .phys_write_u64(table, 0xbad0_ca11)
+        .unwrap();
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(
+        system.monitor.read_batch_result(table, 0).unwrap().0,
+        status::ILLEGAL_CALL
+    );
+    assert_eq!(
+        system.monitor.read_batch_result(table, 1).unwrap(),
+        (status::OK, 32)
+    );
+    let (code, executed) = system.monitor.read_call_result(core);
+    assert_eq!((code, executed), (status::OK, 2));
+}
+
+#[test]
+fn batch_stops_writing_when_an_entry_revokes_table_access() {
+    // A batched call can take away the caller's access to part of the batch
+    // table itself: place the table so its last entry lies in region B, then
+    // have earlier entries block, clean and finally grant B to an enclave.
+    // The moment the grant lands, the SM must stop touching B — the old
+    // behaviour kept writing status words into a just-scrubbed,
+    // enclave-owned region with caller-chosen layout.
+    let (system, os) = boot(PlatformKind::Sanctum);
+    let core = CoreId::new(0);
+    install_os_context(&system, core);
+
+    // Two adjacent OS-owned regions A and B (B = A + 1), neither the staging
+    // area.
+    let config = system.machine.config();
+    let region_a = os_owned_region(&system, &os);
+    let region_b = RegionId::new(region_a.0 + 1);
+    assert!(matches!(
+        system.monitor.resource_state(ResourceId::Region(region_b)).unwrap(),
+        ResourceState::Owned(DomainKind::Untrusted)
+    ));
+    let b_base = config
+        .memory_base
+        .offset((region_b.index() * config.dram_region_size) as u64);
+    // Entries 0..=2 in A, entry 3 in B.
+    let table = PhysAddr::new(b_base.as_u64() - 3 * 64);
+
+    let calls = vec![
+        SmCall::BlockRegion { region: region_b },
+        SmCall::CleanRegion { region: region_b }, // zeroes B (incl. entry 3)
+        SmCall::GrantRegion { region: region_b, owner_eid: 7 }, // revokes access
+        SmCall::GetField { field: 3 }, // lies in B: must never be touched
+    ];
+    system.monitor.stage_batch(core, table, &calls).unwrap();
+    let outcome = system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    // The first three entries executed; the batch stopped short of entry 3.
+    assert_eq!(outcome, EventOutcome::SmCallDone { status: status::OK, value: 3 });
+    assert_eq!(system.monitor.read_batch_result(table, 0).unwrap().0, status::OK);
+    assert_eq!(system.monitor.read_batch_result(table, 1).unwrap().0, status::OK);
+    assert_eq!(system.monitor.read_batch_result(table, 2).unwrap().0, status::OK);
+    // B now belongs to the enclave and stayed exactly as cleaning left it:
+    // all zeros. In particular the SM wrote no ILLEGAL_CALL status into it.
+    assert_eq!(
+        system.monitor.resource_state(ResourceId::Region(region_b)).unwrap(),
+        ResourceState::Owned(DomainKind::Enclave(sanctorum_hal::domain::EnclaveId::new(7)))
+    );
+    let (status_word, value_word) = system.monitor.read_batch_result(table, 3).unwrap();
+    assert_eq!(
+        (status_word, value_word),
+        (0, 0),
+        "the SM must not write into a region granted away mid-batch"
+    );
+}
+
+#[test]
+fn mail_buffers_cannot_straddle_into_foreign_regions() {
+    use sanctorum_enclave::image::EnclaveImage;
+
+    // Two enclaves in adjacent regions: B's region sits directly below A's.
+    let (system, mut os) = {
+        let system = System::boot_small(PlatformKind::Sanctum);
+        let os = Os::new(&system);
+        (system, os)
+    };
+    let a = os.build_enclave(&EnclaveImage::hello(1), 1).unwrap();
+    let b = os.build_enclave(&EnclaveImage::hello(2), 1).unwrap();
+    let a_base = system
+        .machine
+        .config()
+        .memory_base
+        .offset((a.regions[0].index() * system.machine.config().dram_region_size) as u64);
+    assert_eq!(
+        b.regions[0].index() + 1,
+        a.regions[0].index(),
+        "build order hands out adjacent regions downwards"
+    );
+
+    // B owns the bytes just below A's base, so a transfer starting there is
+    // fine for B — but a span that continues into A's region must be refused,
+    // not partially serviced with A's memory. Drive it through the register
+    // ABI with the hart authenticated as enclave B.
+    let edge = PhysAddr::new(a_base.as_u64() - 8);
+    let core = CoreId::new(0);
+    system.machine.install_context(
+        core,
+        DomainKind::Enclave(b.eid),
+        PrivilegeLevel::User,
+        None,
+        0,
+    );
+    system.monitor.stage_call(
+        core,
+        &SmCall::SendMail { recipient: a.eid, msg_addr: edge, msg_len: 64 },
+    );
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(
+        system.monitor.read_call_result(core).0,
+        status::UNAUTHORIZED,
+        "SendMail source spanning into a foreign region must be rejected"
+    );
+    system.monitor.stage_call(
+        core,
+        &SmCall::GetMail { mailbox: 0, out_addr: edge, out_len: 64 },
+    );
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(
+        system.monitor.read_call_result(core).0,
+        status::UNAUTHORIZED,
+        "GetMail window spanning into a foreign region must be rejected"
+    );
+}
