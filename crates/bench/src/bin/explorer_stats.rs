@@ -1,0 +1,42 @@
+//! Explorer statistics — the coverage numbers EXPERIMENTS.md records for the
+//! adversarial explorer (seeds × steps × both backends, op mix, violations,
+//! declared divergences, wall-clock).
+//!
+//! Run with: `cargo run --release -p sanctorum-bench --bin explorer_stats`
+//! Optionally pass the number of seeds (default 100).
+
+use sanctorum_explorer::{Explorer, ExplorerConfig};
+use std::time::Instant;
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let config = ExplorerConfig::default();
+    let steps = config.steps;
+    let explorer = Explorer::new(config);
+
+    let start = Instant::now();
+    let stats = explorer.sweep(0..seeds);
+    let elapsed = start.elapsed();
+
+    println!("# explorer sweep");
+    println!("seeds:                 {}", stats.seeds);
+    println!("steps per seed:        {steps}");
+    println!("backends per step:     2 (sanctum + keystone, lockstep)");
+    println!("total ops applied:     {} per backend", stats.total_steps);
+    println!("declared divergences:  {}", stats.declared_divergences);
+    println!("violations:            {}", stats.failures.len());
+    println!("wall clock:            {:.2?}", elapsed);
+    println!("\n## op mix");
+    for (label, count) in &stats.op_counts {
+        println!("{label:>16}: {count}");
+    }
+    for failure in &stats.failures {
+        println!("\n{failure}");
+    }
+    if !stats.failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -249,6 +249,17 @@ impl SecurityMonitor {
             if table.as_u64() % 8 != 0 {
                 return Err(SmError::InvalidArgument { reason: "batch table must be 8-byte aligned" });
             }
+            // The whole table must be populated DRAM. The access table is
+            // default-allow outside the protected ranges, so without this
+            // check a table straddling the end of memory would pass the
+            // access probe and abort mid-batch with entries already executed
+            // — the shape contract promises rejection before any entry runs.
+            if !self
+                .machine()
+                .with_memory(|m| m.contains(table, (count * BATCH_ENTRY_BYTES) as usize))
+            {
+                return Err(SmError::Memory);
+            }
             // The caller must be able to read every argument word and take
             // the status write-backs.
             if !self.caller_can_access_span(

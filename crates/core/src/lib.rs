@@ -73,7 +73,10 @@ pub use boot::{secure_boot, SmIdentity};
 pub use dispatch::EventOutcome;
 pub use error::{SmError, SmResult};
 pub use measurement::Measurement;
-pub use monitor::{EnclaveEntry, LockingMode, PublicField, SecurityMonitor, SmConfig};
+pub use monitor::{
+    AuditSnapshot, EnclaveAudit, EnclaveEntry, LockingMode, PublicField, SecurityMonitor,
+    SmConfig, TestWeakening,
+};
 pub use resource::{ResourceId, ResourceState};
 pub use session::CallerSession;
 pub use thread::{ThreadId, ThreadState};

@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use sanctorum_hal::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
 use sanctorum_hal::cycles::Cycles;
 use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
-use sanctorum_hal::isolation::{FlushKind, IsolationBackend, RegionId};
+use sanctorum_hal::isolation::{FlushKind, IsolationBackend, PlatformCapacity, RegionId};
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::hart::PrivilegeLevel;
 use sanctorum_machine::pagetable::PageTableBuilder;
@@ -146,6 +146,66 @@ struct SmState {
     next_tid: AtomicU64,
 }
 
+/// Deliberate, named weakenings of the monitor's enforcement, used by the
+/// adversarial explorer to prove its invariant kernel actually detects
+/// violations (a checker that never fires is indistinguishable from a
+/// checker that checks nothing).
+///
+/// Production code must never set one of these; they exist only behind
+/// [`SecurityMonitor::weaken_for_testing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestWeakening {
+    /// `clean_resource` skips zeroing region memory (the clean-before-reuse
+    /// scrub), while still completing the Fig. 2 state transition.
+    SkipRegionScrub,
+    /// Enclave entry/exit skips cleaning the core's architected state, so
+    /// registers the previous domain left behind survive the hand-off.
+    SkipCoreClean,
+}
+
+/// One enclave's OS-visible metadata inside an [`AuditSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnclaveAudit {
+    /// The enclave id.
+    pub id: EnclaveId,
+    /// Whether `init_enclave` has sealed the enclave.
+    pub initialized: bool,
+    /// Regions backing the enclave's physical windows.
+    pub regions: Vec<RegionId>,
+    /// The finalized measurement, once initialized.
+    pub measurement: Option<Measurement>,
+    /// Number of threads currently running on cores.
+    pub running_threads: usize,
+    /// Threads associated with the enclave.
+    pub threads: Vec<ThreadId>,
+}
+
+/// A consistent snapshot of the monitor's security-relevant state, taken for
+/// invariant checking (the explorer's invariant kernel runs over one of these
+/// after every step). Producing the snapshot takes no try-locks, so it can be
+/// interleaved with API traffic without inducing `ConcurrentCall` failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditSnapshot {
+    /// Every registered resource and its Fig. 2 state.
+    pub resources: Vec<(ResourceId, ResourceState)>,
+    /// Every live enclave's metadata.
+    pub enclaves: Vec<EnclaveAudit>,
+    /// Which enclave thread occupies each core.
+    pub core_occupancy: Vec<(CoreId, ThreadId)>,
+}
+
+impl AuditSnapshot {
+    /// Returns the audit record for `eid`, if the enclave is live.
+    pub fn enclave(&self, eid: EnclaveId) -> Option<&EnclaveAudit> {
+        self.enclaves.iter().find(|e| e.id == eid)
+    }
+
+    /// Returns the state of one resource, if registered.
+    pub fn resource(&self, id: ResourceId) -> Option<ResourceState> {
+        self.resources.iter().find(|(r, _)| *r == id).map(|(_, s)| *s)
+    }
+}
+
 /// The Sanctorum security monitor.
 ///
 /// All API methods take `&self` and a [`CallerSession`]; in the full
@@ -160,6 +220,7 @@ pub struct SecurityMonitor {
     state: SmState,
     global_lock: Mutex<()>,
     stats: SmStats,
+    weakening: Mutex<Option<TestWeakening>>,
 }
 
 impl std::fmt::Debug for SecurityMonitor {
@@ -212,6 +273,7 @@ impl SecurityMonitor {
             },
             global_lock: Mutex::new(()),
             stats: SmStats::default(),
+            weakening: Mutex::new(None),
         }
     }
 
@@ -239,6 +301,27 @@ impl SecurityMonitor {
     /// Returns the platform name reported by the isolation backend.
     pub fn platform_name(&self) -> &'static str {
         self.backend.lock().platform_name()
+    }
+
+    /// Returns the capacity limits the isolation backend declares (used by
+    /// the differential explorer to classify cross-platform divergences).
+    pub fn platform_capacity(&self) -> PlatformCapacity {
+        self.backend.lock().capacity()
+    }
+
+    /// Installs (or clears) a deliberate enforcement weakening.
+    ///
+    /// This is a **test-only** hook: the explorer's self-check weakens a
+    /// monitor on purpose and asserts its invariant kernel reports a
+    /// violation with a replayable `(seed, step)`. Nothing in the monitor,
+    /// the OS model or the benches ever sets this.
+    #[doc(hidden)]
+    pub fn weaken_for_testing(&self, weakening: Option<TestWeakening>) {
+        *self.weakening.lock() = weakening;
+    }
+
+    fn weakened_by(&self, weakening: TestWeakening) -> bool {
+        *self.weakening.lock() == Some(weakening)
     }
 
     // ------------------------------------------------------------------
@@ -317,6 +400,51 @@ impl SecurityMonitor {
         self.state.enclaves.lock().keys().copied().collect()
     }
 
+    /// Takes a consistent [`AuditSnapshot`] of the monitor's
+    /// security-relevant state for invariant checking.
+    ///
+    /// The snapshot uses plain (blocking) locks rather than the API's
+    /// try-lock discipline, so taking one between API calls never perturbs
+    /// the `ConcurrentCall` behaviour the calls themselves observe.
+    pub fn audit(&self) -> AuditSnapshot {
+        let resources = self
+            .state
+            .resources
+            .lock()
+            .iter()
+            .map(|(id, state)| (*id, *state))
+            .collect();
+        let enclaves = self
+            .state
+            .enclaves
+            .lock()
+            .values()
+            .map(|enclave| {
+                let meta = enclave.lock();
+                EnclaveAudit {
+                    id: meta.id,
+                    initialized: meta.lifecycle == EnclaveLifecycle::Initialized,
+                    regions: meta.windows.iter().map(|w| w.region).collect(),
+                    measurement: meta.measurement,
+                    running_threads: meta.running_threads,
+                    threads: meta.threads.clone(),
+                }
+            })
+            .collect();
+        let core_occupancy = self
+            .state
+            .core_occupancy
+            .lock()
+            .iter()
+            .map(|(core, tid)| (*core, *tid))
+            .collect();
+        AuditSnapshot {
+            resources,
+            enclaves,
+            core_occupancy,
+        }
+    }
+
     /// Returns the current state of a resource (diagnostic / test helper).
     ///
     /// # Errors
@@ -381,7 +509,9 @@ impl SecurityMonitor {
 
     fn clean_core_for_handoff(&self, core: CoreId) -> SmResult<Cycles> {
         let mut cost = Cycles::ZERO;
-        cost += self.machine.clean_core(core)?;
+        if !self.weakened_by(TestWeakening::SkipCoreClean) {
+            cost += self.machine.clean_core(core)?;
+        }
         {
             let mut backend = self.backend.lock();
             cost += backend.flush(core, FlushKind::CoreState)?;
@@ -471,20 +601,59 @@ impl SmApi for SecurityMonitor {
                 });
             }
 
-            // Commit: transfer regions and program the isolation primitive.
-            for (region, window) in regions.iter().zip(&windows) {
+            // Commit phase 1: program the isolation primitive. On a
+            // capacity-limited platform (Keystone PMP) this is the step that
+            // can fail, so it runs before any ownership transfer and rolls
+            // itself back — granting first would strand regions owned by an
+            // enclave that never came to exist (found by the adversarial
+            // explorer under PMP exhaustion).
+            let mut assigned = 0usize;
+            let mut commit_error = None;
+            for window in &windows {
+                match backend.assign_region(window.region, DomainKind::Enclave(eid), MemPerms::RWX)
+                {
+                    Ok(cost) => {
+                        self.machine.charge(cost);
+                        // The window counts as assigned from here on, so a
+                        // DMA-blocking failure below still rolls it back.
+                        assigned += 1;
+                    }
+                    Err(err) => {
+                        commit_error = Some(SmError::Platform(err));
+                        break;
+                    }
+                }
+                if let Err(err) = backend.set_dma_blocked(window.region, true) {
+                    commit_error = Some(SmError::Platform(err));
+                    break;
+                }
+            }
+            if let Some(err) = commit_error {
+                for window in windows.iter().take(assigned) {
+                    // Handing a unit back to the untrusted owner frees the
+                    // isolation resource; it cannot itself exhaust anything.
+                    if let Ok(cost) = backend.assign_region(
+                        window.region,
+                        DomainKind::Untrusted,
+                        MemPerms::RWX,
+                    ) {
+                        self.machine.charge(cost);
+                    }
+                    // The trait does not promise assign_region resets DMA
+                    // filtering, so restore it explicitly: untrusted-owned
+                    // memory accepts DMA again.
+                    let _ = backend.set_dma_blocked(window.region, false);
+                }
+                return Err(err);
+            }
+            // Commit phase 2: ownership transfer — every region was
+            // validated *Available* above, so the transitions cannot fail.
+            for region in regions {
                 resources.grant(
                     DomainKind::SecurityMonitor,
                     ResourceId::Region(*region),
                     DomainKind::Enclave(eid),
                 )?;
-                let cost = backend.assign_region(
-                    window.region,
-                    DomainKind::Enclave(eid),
-                    MemPerms::RWX,
-                )?;
-                self.machine.charge(cost);
-                backend.set_dma_blocked(window.region, true)?;
             }
 
             let ctx = MeasurementContext::start(
@@ -694,10 +863,20 @@ impl SmApi for SecurityMonitor {
                 }
             }
             // Block all of the enclave's regions (they stay inaccessible to
-            // everyone until cleaned).
+            // everyone until cleaned). A resource may already be blocked
+            // under this id: enclave ids are physical addresses, so after a
+            // delete whose blocked regions the OS never cleaned, a new
+            // enclave over the same base region reuses the id and inherits
+            // the stale flags. The goal state (flagged for release) is
+            // already reached there, and skipping keeps the commit loop
+            // total — failing halfway would strand a live enclave with
+            // blocked windows (found by the adversarial explorer).
             let mut resources = self.try_lock(&self.state.resources)?;
             let owned = resources.owned_by(DomainKind::Enclave(eid));
             for rid in owned {
+                if let Ok(ResourceState::Blocked(_)) = resources.state(rid) {
+                    continue;
+                }
                 resources.block(DomainKind::SecurityMonitor, rid)?;
             }
             self.state.enclaves.lock().remove(&eid);
@@ -749,10 +928,12 @@ impl SmApi for SecurityMonitor {
                         .find(|r| r.id == region)
                         .ok_or(SmError::UnknownResource)?;
                     // Zero every page of the region.
-                    for page in 0..info.page_count() {
-                        self.machine
-                            .zero_page(info.base.offset(page * PAGE_SIZE as u64))?;
-                        cost += self.machine.cost_model().zero_page;
+                    if !self.weakened_by(TestWeakening::SkipRegionScrub) {
+                        for page in 0..info.page_count() {
+                            self.machine
+                                .zero_page(info.base.offset(page * PAGE_SIZE as u64))?;
+                            cost += self.machine.cost_model().zero_page;
+                        }
                     }
                     cost += backend.flush_region_cache(region)?;
                     cost += backend.tlb_shootdown(region)?;
@@ -778,6 +959,15 @@ impl SmApi for SecurityMonitor {
                 return Err(SmError::InvalidArgument {
                     reason: "resources cannot be granted to the SM through this call",
                 });
+            }
+            // Granting to an enclave that does not exist would strand the
+            // resource in a state nobody can use or reclaim through the
+            // normal transitions — the owner can never block it. (Found by
+            // the adversarial explorer's exclusivity invariant.)
+            if let DomainKind::Enclave(eid) = new_owner {
+                if !self.state.enclaves.lock().contains_key(&eid) {
+                    return Err(SmError::UnknownEnclave(eid));
+                }
             }
             let mut resources = self.try_lock(&self.state.resources)?;
             resources.grant(session.domain(), id, new_owner)?;

@@ -1,0 +1,143 @@
+//! Differential execution: the same trace, step for step, against the
+//! Sanctum and the Keystone backend.
+//!
+//! Both worlds boot from the same machine configuration (same device id, so
+//! identical keys and identical region geometry) and receive every op through
+//! the object-safe `SmApi` surface. After each step the two
+//! [`OpOutcome`](sanctorum_os::ops::OpOutcome) summaries — status codes,
+//! platform-invariant details, measurements, identity/attack verdicts — must
+//! be equal. The single sanctioned exception is a *declared capacity*
+//! divergence: the failing side returned a capacity-class status
+//! (`PLATFORM` / `NO_RESOURCES`) **and** its backend declared the tighter
+//! [`PlatformCapacity`](sanctorum_hal::isolation::PlatformCapacity). After
+//! such a divergence the two worlds' populations legitimately differ, so
+//! lockstep comparison stops for the rest of the run (the invariant kernel
+//! keeps checking both worlds independently).
+//!
+//! Measurement determinism is also enforced here, in both directions: within
+//! a run (same recipe ⇒ same measurement, on each world separately) and
+//! across backends (the recipe → measurement map is shared).
+
+use crate::invariants::{CheckedWorld, Violation};
+use sanctorum_core::api::status;
+use sanctorum_core::measurement::Measurement;
+use sanctorum_core::monitor::TestWeakening;
+use sanctorum_hal::domain::CoreId;
+use sanctorum_machine::MachineConfig;
+use sanctorum_os::ops::{ImageKind, Op, OpOutcome};
+use sanctorum_os::system::PlatformKind;
+use std::collections::BTreeMap;
+
+/// A Sanctum world and a Keystone world driven in lockstep.
+#[derive(Debug)]
+pub struct DiffPair {
+    /// The Sanctum-backed world.
+    pub sanctum: CheckedWorld,
+    /// The Keystone-backed world.
+    pub keystone: CheckedWorld,
+    /// Shared recipe → measurement map (measurement determinism).
+    measurements: BTreeMap<(ImageKind, u64), Measurement>,
+    /// Declared-capacity divergences observed so far.
+    pub declared_divergences: usize,
+    /// Set once a declared divergence desynchronizes the two populations.
+    desynced: bool,
+}
+
+impl DiffPair {
+    /// Boots both worlds from the same machine configuration, optionally
+    /// weakening both monitors (the explorer's self-check).
+    pub fn boot(config: &MachineConfig, weaken: Option<TestWeakening>) -> Self {
+        Self {
+            sanctum: CheckedWorld::boot(PlatformKind::Sanctum, config.clone(), weaken),
+            keystone: CheckedWorld::boot(PlatformKind::Keystone, config.clone(), weaken),
+            measurements: BTreeMap::new(),
+            declared_divergences: 0,
+            desynced: false,
+        }
+    }
+
+    /// Applies one op to both worlds, checks both invariant kernels, records
+    /// measurements, and compares the OS-visible outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invariant violation or undeclared divergence.
+    pub fn step(&mut self, hart: CoreId, op: &Op) -> Result<(), Violation> {
+        let sanctum_outcome = self.sanctum.step(hart, op)?;
+        let keystone_outcome = self.keystone.step(hart, op)?;
+
+        // Measurement determinism: the recipe → measurement map is shared
+        // across worlds and across the whole run, so it catches divergence in
+        // either dimension even after a capacity desync.
+        if let Op::Build { kind, param } = op {
+            let recipe = kind.recipe(*param);
+            for outcome in [&sanctum_outcome, &keystone_outcome] {
+                if let Some(measurement) = outcome.measurement {
+                    match self.measurements.get(&recipe) {
+                        None => {
+                            self.measurements.insert(recipe, measurement);
+                        }
+                        Some(expected) if *expected == measurement => {}
+                        Some(_) => {
+                            return Err(Violation::MeasurementMismatch {
+                                detail: format!("recipe {recipe:?} measured two ways"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.desynced {
+            return Ok(());
+        }
+        if sanctum_outcome == keystone_outcome {
+            return Ok(());
+        }
+        if self.is_declared_capacity_divergence(op, &sanctum_outcome, &keystone_outcome) {
+            self.declared_divergences += 1;
+            self.desynced = true;
+            return Ok(());
+        }
+        Err(Violation::Divergence {
+            sanctum: format!("{sanctum_outcome:?}"),
+            keystone: format!("{keystone_outcome:?}"),
+        })
+    }
+
+    /// Returns `true` once a declared divergence has stopped lockstep
+    /// comparison for this run.
+    pub const fn desynced(&self) -> bool {
+        self.desynced
+    }
+
+    fn is_declared_capacity_divergence(
+        &self,
+        op: &Op,
+        sanctum_outcome: &OpOutcome,
+        keystone_outcome: &OpOutcome,
+    ) -> bool {
+        // Only ops that can *allocate* isolation units may legitimately hit
+        // a declared capacity limit: enclave builds, grants toward enclaves,
+        // and attacks that build their own enclaves. A capacity-class status
+        // anywhere else (a clean, a flush, a mail call) is a genuine
+        // divergence and must not be excused just because the failing
+        // backend is capacity-limited in general.
+        if !matches!(
+            op,
+            Op::Build { .. } | Op::GrantRegion { .. } | Op::Attack { .. }
+        ) {
+            return false;
+        }
+        let capacity_status =
+            |o: &OpOutcome| matches!(o.status, status::PLATFORM | status::NO_RESOURCES);
+        let sanctum_capacity = self.sanctum.world.system.monitor.platform_capacity();
+        let keystone_capacity = self.keystone.world.system.monitor.platform_capacity();
+        (capacity_status(keystone_outcome)
+            && !capacity_status(sanctum_outcome)
+            && keystone_capacity.tighter_than(&sanctum_capacity))
+            || (capacity_status(sanctum_outcome)
+                && !capacity_status(keystone_outcome)
+                && sanctum_capacity.tighter_than(&keystone_capacity))
+    }
+}

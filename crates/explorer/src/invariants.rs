@@ -1,0 +1,362 @@
+//! The invariant kernel: first-class security properties checked after every
+//! explorer step.
+//!
+//! Each check formalizes one guarantee the paper's monitor makes:
+//!
+//! * **resource exclusivity** — every region has exactly one Fig. 2 state,
+//!   regions owned by enclaves belong to live enclaves, live enclaves own
+//!   their windows, protected ranges never overlap, and core occupancy is
+//!   consistent with thread state;
+//! * **clean-before-reuse** — a region entering the *Available* state holds
+//!   only zeroes (the scrub happened before the state transition, never
+//!   after);
+//! * **mailbox confidentiality** — the SM-recorded sender identity of
+//!   delivered mail matches the actual sending domain;
+//! * **no secret leakage** — no OS-visible hart register ever holds a live
+//!   enclave secret (cores are scrubbed on every enclave → OS hand-off);
+//! * **adversary containment** — every scripted attack mounted mid-trace is
+//!   blocked.
+//!
+//! Measurement determinism and cross-backend agreement are checked one level
+//! up, in [`crate::diff`], because they compare *across* steps and worlds.
+
+use sanctorum_core::monitor::TestWeakening;
+use sanctorum_core::resource::{ResourceId, ResourceState};
+use sanctorum_hal::addr::{PhysAddr, PAGE_SIZE};
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_hal::isolation::RegionId;
+use sanctorum_machine::MachineConfig;
+use sanctorum_os::ops::{Op, OpOutcome, OpWorld};
+use sanctorum_os::system::PlatformKind;
+use std::collections::BTreeMap;
+
+/// A detected violation of one invariant. The explorer stops at the first
+/// violation and reports it with its replay coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The resource-exclusivity invariant broke.
+    ExclusivityBroken {
+        /// Platform the violation was observed on.
+        platform: &'static str,
+        /// What exactly broke.
+        detail: String,
+    },
+    /// A region became *Available* while still holding non-zero bytes.
+    DirtyReuse {
+        /// Platform the violation was observed on.
+        platform: &'static str,
+        /// The dirty region.
+        region: RegionId,
+        /// Offset of the first non-zero byte inside the region.
+        offset: u64,
+    },
+    /// Two builds of the same recipe produced different measurements.
+    MeasurementMismatch {
+        /// Human-readable recipe description.
+        detail: String,
+    },
+    /// Delivered mail carried a wrong SM-recorded sender identity.
+    MailboxLeak {
+        /// Platform the violation was observed on.
+        platform: &'static str,
+        /// The op that exposed it.
+        detail: String,
+    },
+    /// An OS-visible register holds a live enclave secret.
+    SecretLeak {
+        /// Platform the violation was observed on.
+        platform: &'static str,
+        /// The leaked secret value.
+        secret: u64,
+        /// The core whose register file holds it.
+        core: u32,
+        /// The register index.
+        register: usize,
+    },
+    /// A scripted attack succeeded.
+    AttackSucceeded {
+        /// Platform the violation was observed on.
+        platform: &'static str,
+        /// The op that mounted the attack.
+        detail: String,
+    },
+    /// The two backends' OS-visible outcomes diverged outside the declared
+    /// platform capacity differences.
+    Divergence {
+        /// Outcome summary on Sanctum.
+        sanctum: String,
+        /// Outcome summary on Keystone.
+        keystone: String,
+    },
+}
+
+impl Violation {
+    /// The violation's kind tag (used by the shrinker to decide whether a
+    /// shortened trace still reproduces "the same" failure).
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            Violation::ExclusivityBroken { .. } => "exclusivity",
+            Violation::DirtyReuse { .. } => "dirty-reuse",
+            Violation::MeasurementMismatch { .. } => "measurement",
+            Violation::MailboxLeak { .. } => "mailbox",
+            Violation::SecretLeak { .. } => "secret-leak",
+            Violation::AttackSucceeded { .. } => "attack",
+            Violation::Divergence { .. } => "divergence",
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::ExclusivityBroken { platform, detail } => {
+                write!(f, "[{platform}] exclusivity broken: {detail}")
+            }
+            Violation::DirtyReuse { platform, region, offset } => write!(
+                f,
+                "[{platform}] {region} became available with dirty byte at offset {offset:#x}"
+            ),
+            Violation::MeasurementMismatch { detail } => {
+                write!(f, "measurement determinism broken: {detail}")
+            }
+            Violation::MailboxLeak { platform, detail } => {
+                write!(f, "[{platform}] mailbox identity leak: {detail}")
+            }
+            Violation::SecretLeak { platform, secret, core, register } => write!(
+                f,
+                "[{platform}] secret {secret:#x} visible in core{core} x{register}"
+            ),
+            Violation::AttackSucceeded { platform, detail } => {
+                write!(f, "[{platform}] attack succeeded: {detail}")
+            }
+            Violation::Divergence { sanctum, keystone } => write!(
+                f,
+                "backends diverged: sanctum={sanctum} keystone={keystone}"
+            ),
+        }
+    }
+}
+
+/// An [`OpWorld`] wrapped with the invariant kernel: every applied op is
+/// followed by a full check pass, and region state transitions are tracked
+/// between steps so the clean-before-reuse scan touches only regions that
+/// just became available.
+#[derive(Debug)]
+pub struct CheckedWorld {
+    /// The underlying world.
+    pub world: OpWorld,
+    platform: &'static str,
+    prev_resources: BTreeMap<ResourceId, ResourceState>,
+}
+
+impl CheckedWorld {
+    /// Boots a checked world, optionally installing a deliberate monitor
+    /// weakening (the explorer's self-check path).
+    pub fn boot(
+        platform: PlatformKind,
+        config: MachineConfig,
+        weaken: Option<TestWeakening>,
+    ) -> Self {
+        let world = OpWorld::boot(platform, config);
+        world.system.monitor.weaken_for_testing(weaken);
+        let prev_resources = world
+            .system
+            .monitor
+            .audit()
+            .resources
+            .into_iter()
+            .collect();
+        Self {
+            world,
+            platform: platform.name(),
+            prev_resources,
+        }
+    }
+
+    /// The platform name this world runs on.
+    pub const fn platform(&self) -> &'static str {
+        self.platform
+    }
+
+    /// Applies one op and runs the invariant kernel over the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation detected after the op.
+    pub fn step(&mut self, hart: CoreId, op: &Op) -> Result<OpOutcome, Violation> {
+        let outcome = self.world.apply(hart, op);
+        if outcome.mail_identity_ok == Some(false) {
+            return Err(Violation::MailboxLeak {
+                platform: self.platform,
+                detail: format!("{op:?}"),
+            });
+        }
+        if outcome.attack_blocked == Some(false) {
+            return Err(Violation::AttackSucceeded {
+                platform: self.platform,
+                detail: format!("{op:?}"),
+            });
+        }
+        self.check_invariants()?;
+        Ok(outcome)
+    }
+
+    fn region_geometry(&self, region: RegionId) -> (PhysAddr, u64) {
+        let config = self.world.system.machine.config();
+        let base = config
+            .memory_base
+            .offset((region.index() * config.dram_region_size) as u64);
+        (base, config.dram_region_size as u64)
+    }
+
+    fn check_invariants(&mut self) -> Result<(), Violation> {
+        let audit = self.world.system.monitor.audit();
+        let machine = &self.world.system.machine;
+        let fail = |detail: String| Violation::ExclusivityBroken {
+            platform: self.platform,
+            detail,
+        };
+
+        // --- resource exclusivity -------------------------------------
+        for (id, state) in &audit.resources {
+            if let (ResourceId::Region(region), ResourceState::Owned(DomainKind::Enclave(eid))) =
+                (id, state)
+            {
+                if audit.enclave(*eid).is_none() {
+                    return Err(fail(format!("{region} owned by dead enclave {eid}")));
+                }
+            }
+        }
+        for enclave in &audit.enclaves {
+            for region in &enclave.regions {
+                match audit.resource(ResourceId::Region(*region)) {
+                    Some(ResourceState::Owned(DomainKind::Enclave(owner)))
+                        if owner == enclave.id => {}
+                    other => {
+                        return Err(fail(format!(
+                            "window {region} of {} is in state {other:?}",
+                            enclave.id
+                        )))
+                    }
+                }
+            }
+            // Lifecycle consistency: a measurement exists exactly once the
+            // enclave is sealed.
+            if enclave.initialized != enclave.measurement.is_some() {
+                return Err(fail(format!(
+                    "{} initialized={} but measurement present={}",
+                    enclave.id,
+                    enclave.initialized,
+                    enclave.measurement.is_some()
+                )));
+            }
+            // The running-thread count the enclave metadata carries must
+            // agree with the occupancy table, and every occupied thread must
+            // be one the enclave actually lists.
+            let occupied = audit
+                .core_occupancy
+                .iter()
+                .filter(|(_, tid)| enclave.threads.contains(tid))
+                .count();
+            if occupied != enclave.running_threads {
+                return Err(fail(format!(
+                    "{} claims {} running threads but {} of its threads occupy cores",
+                    enclave.id, enclave.running_threads, occupied
+                )));
+            }
+        }
+        let ranges = machine.protected_ranges();
+        for (i, a) in ranges.iter().enumerate() {
+            for b in ranges.iter().skip(i + 1) {
+                let a_end = a.base.as_u64() + a.len;
+                let b_end = b.base.as_u64() + b.len;
+                if a.base.as_u64() < b_end && b.base.as_u64() < a_end {
+                    return Err(fail(format!(
+                        "protected ranges overlap: {:#x}+{:#x} and {:#x}+{:#x}",
+                        a.base.as_u64(),
+                        a.len,
+                        b.base.as_u64(),
+                        b.len
+                    )));
+                }
+            }
+        }
+        for (core, tid) in &audit.core_occupancy {
+            // Every occupied thread belongs to exactly one live enclave...
+            let owners = audit
+                .enclaves
+                .iter()
+                .filter(|e| e.threads.contains(tid))
+                .count();
+            if owners != 1 {
+                return Err(fail(format!(
+                    "occupancy names thread {tid} on {core} but {owners} live enclaves list it"
+                )));
+            }
+            // ...and its own state machine agrees it runs on that core.
+            match self.world.system.monitor.thread_info(*tid) {
+                Ok(info) => {
+                    let running_here = matches!(
+                        info.state,
+                        sanctorum_core::thread::ThreadState::Running { core: c, .. } if c == *core
+                    );
+                    if !running_here {
+                        return Err(fail(format!(
+                            "occupancy names thread {tid} on {core} but its state is {:?}",
+                            info.state
+                        )));
+                    }
+                }
+                Err(_) => {
+                    return Err(fail(format!("occupancy names unknown thread {tid} on {core}")))
+                }
+            }
+        }
+
+        // --- clean-before-reuse ---------------------------------------
+        for (id, state) in &audit.resources {
+            let ResourceId::Region(region) = id else { continue };
+            let became_available = *state == ResourceState::Available
+                && self.prev_resources.get(id) != Some(&ResourceState::Available);
+            if became_available {
+                let (base, len) = self.region_geometry(*region);
+                let mut page = vec![0u8; PAGE_SIZE];
+                for offset in (0..len).step_by(PAGE_SIZE) {
+                    machine
+                        .phys_read(base.offset(offset), &mut page)
+                        .expect("region memory is populated DRAM");
+                    if let Some(position) = page.iter().position(|&b| b != 0) {
+                        return Err(Violation::DirtyReuse {
+                            platform: self.platform,
+                            region: *region,
+                            offset: offset + position as u64,
+                        });
+                    }
+                }
+            }
+        }
+        self.prev_resources = audit.resources.into_iter().collect();
+
+        // --- no secret in OS-visible registers ------------------------
+        let secrets: Vec<u64> = self.world.live_secrets().collect();
+        if !secrets.is_empty() {
+            for core in 0..machine.num_harts() {
+                let hart = machine.hart(CoreId::new(core as u32));
+                if hart.domain.is_enclave() {
+                    continue;
+                }
+                for (register, value) in hart.regs.iter().enumerate() {
+                    if secrets.contains(value) {
+                        return Err(Violation::SecretLeak {
+                            platform: self.platform,
+                            secret: *value,
+                            core: core as u32,
+                            register,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

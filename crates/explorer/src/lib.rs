@@ -1,0 +1,301 @@
+//! Deterministic multi-hart adversarial explorer for the Sanctorum monitor.
+//!
+//! The hand-scripted adversarial tests each pin one interleaving of SM calls;
+//! this crate explores *many*: a seeded PRNG scheduler interleaves per-hart
+//! streams of honest OS traffic, raw resource calls, enclave mail, probes and
+//! the full scripted attack battery (the [`Op`](sanctorum_os::ops::Op) model
+//! of `sanctorum-os`), applies them to a Sanctum world and a Keystone world
+//! in lockstep through the object-safe `SmApi` surface, and runs a
+//! first-class invariant kernel ([`invariants`]) after every step:
+//!
+//! * resource exclusivity, clean-before-reuse, mailbox confidentiality,
+//!   no-secret-leakage, adversary containment ([`invariants::Violation`]);
+//! * measurement determinism and cross-backend agreement modulo declared
+//!   platform capacity ([`diff`]).
+//!
+//! Everything is a pure function of the seed: a failure is reported as a
+//! `(seed, step)` pair anyone can replay ([`Explorer::replay`]), and the
+//! offending trace is minimized by prefix shrinking before it is reported.
+//! The machine itself guarantees deterministic stepping (see
+//! `Machine::state_digest`), which the explorer asserts by digest comparison
+//! in its own test-suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod invariants;
+pub mod trace;
+
+pub use diff::DiffPair;
+pub use invariants::{CheckedWorld, Violation};
+pub use trace::TracedOp;
+
+use sanctorum_core::monitor::TestWeakening;
+use sanctorum_hal::addr::PhysAddr;
+use sanctorum_hal::domain::CoreId;
+use sanctorum_machine::MachineConfig;
+use std::collections::BTreeMap;
+
+/// Machine configuration tuned for exploration: the geometry of
+/// `MachineConfig::small` scaled to more, smaller regions, so lifecycle ops
+/// have room to churn and the clean-before-reuse scans stay cheap. The PMP
+/// budget covers every region, so the two backends agree everywhere and the
+/// default sweep asserts zero divergences.
+pub fn explorer_machine_config() -> MachineConfig {
+    MachineConfig {
+        memory_base: PhysAddr::new(0x8000_0000),
+        memory_size: 4 * 1024 * 1024,
+        dram_region_size: 256 * 1024,
+        pmp_entries: 16,
+        device_id: 0xeb10_4e5e,
+        ..MachineConfig::small()
+    }
+}
+
+/// Explorer configuration.
+#[derive(Debug, Clone)]
+pub struct ExplorerConfig {
+    /// Ops per seed.
+    pub steps: usize,
+    /// Number of interleaved per-hart op streams (bounded by the machine's
+    /// hart count).
+    pub harts: u32,
+    /// Machine configuration both worlds boot from.
+    pub machine: MachineConfig,
+    /// Deliberate monitor weakening (self-check runs only).
+    pub weaken: Option<TestWeakening>,
+    /// Whether failing traces are minimized before reporting.
+    pub shrink: bool,
+    /// Maximum number of shrink probes (full re-executions) per failure.
+    pub shrink_budget: usize,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        Self {
+            steps: 200,
+            harts: 2,
+            machine: explorer_machine_config(),
+            weaken: None,
+            shrink: true,
+            shrink_budget: 96,
+        }
+    }
+}
+
+/// A failure, pinned to its replay coordinates and minimized.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// The seed whose trace failed.
+    pub seed: u64,
+    /// The zero-based step at which the violation fired.
+    pub step: usize,
+    /// The violation.
+    pub violation: Violation,
+    /// The minimized trace still reproducing the violation kind.
+    pub minimized: Vec<TracedOp>,
+    /// How many full re-executions the shrinker spent.
+    pub shrink_probes: usize,
+}
+
+impl std::fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "violation at (seed={:#x}, step={}): {}",
+            self.seed, self.step, self.violation
+        )?;
+        writeln!(
+            f,
+            "replay: Explorer::replay(seed, step); minimized to {} ops ({} probes):",
+            self.minimized.len(),
+            self.shrink_probes
+        )?;
+        for (index, traced) in self.minimized.iter().enumerate() {
+            writeln!(f, "  {index:3}  hart{} {:?}", traced.hart, traced.op)?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of exploring one seed.
+#[derive(Debug, Clone)]
+pub struct SeedReport {
+    /// The explored seed.
+    pub seed: u64,
+    /// Steps executed (the full budget, or up to the violation).
+    pub steps_executed: usize,
+    /// Ops applied, by label.
+    pub op_counts: BTreeMap<&'static str, usize>,
+    /// Declared-capacity divergences (acceptable by policy).
+    pub declared_divergences: usize,
+    /// The failure, if the run violated an invariant or diverged.
+    pub failure: Option<FailureReport>,
+    /// `(sanctum, keystone)` machine state digests at end of run — equal
+    /// digests across repeated runs certify deterministic replay.
+    pub final_digests: (u64, u64),
+}
+
+/// Aggregate statistics over a seed sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepStats {
+    /// Seeds explored.
+    pub seeds: usize,
+    /// Total ops applied across all seeds (per world).
+    pub total_steps: usize,
+    /// Ops by label, aggregated.
+    pub op_counts: BTreeMap<&'static str, usize>,
+    /// Declared-capacity divergences, aggregated.
+    pub declared_divergences: usize,
+    /// Every failure found.
+    pub failures: Vec<FailureReport>,
+}
+
+/// The explorer: generates, executes, checks, replays and shrinks traces.
+#[derive(Debug, Clone, Default)]
+pub struct Explorer {
+    config: ExplorerConfig,
+}
+
+impl Explorer {
+    /// Creates an explorer with the given configuration.
+    pub fn new(config: ExplorerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExplorerConfig {
+        &self.config
+    }
+
+    /// Explores one seed: generates the trace, drives both worlds, and — on
+    /// failure — minimizes the offending prefix.
+    pub fn run_seed(&self, seed: u64) -> SeedReport {
+        let trace = trace::generate(seed, self.config.harts, self.config.steps);
+        let mut pair = DiffPair::boot(&self.config.machine, self.config.weaken);
+        let mut op_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for (step, traced) in trace.iter().enumerate() {
+            *op_counts.entry(traced.op.label()).or_default() += 1;
+            if let Err(violation) = pair.step(CoreId::new(traced.hart), &traced.op) {
+                let (minimized, shrink_probes) = if self.config.shrink {
+                    self.minimize(&trace[..=step], violation.kind())
+                } else {
+                    (trace[..=step].to_vec(), 0)
+                };
+                return SeedReport {
+                    seed,
+                    steps_executed: step + 1,
+                    op_counts,
+                    declared_divergences: pair.declared_divergences,
+                    failure: Some(FailureReport {
+                        seed,
+                        step,
+                        violation,
+                        minimized,
+                        shrink_probes,
+                    }),
+                    final_digests: digests(&pair),
+                };
+            }
+        }
+        SeedReport {
+            seed,
+            steps_executed: trace.len(),
+            op_counts,
+            declared_divergences: pair.declared_divergences,
+            failure: None,
+            final_digests: digests(&pair),
+        }
+    }
+
+    /// Explores a range of seeds and aggregates the statistics.
+    pub fn sweep(&self, seeds: std::ops::Range<u64>) -> SweepStats {
+        let mut stats = SweepStats::default();
+        for seed in seeds {
+            let report = self.run_seed(seed);
+            stats.seeds += 1;
+            stats.total_steps += report.steps_executed;
+            for (label, count) in report.op_counts {
+                *stats.op_counts.entry(label).or_default() += count;
+            }
+            stats.declared_divergences += report.declared_divergences;
+            stats.failures.extend(report.failure);
+        }
+        stats
+    }
+
+    /// Replays the trace of `seed` up to and including `step`, returning the
+    /// violation the prefix reproduces (with its step), if any.
+    ///
+    /// This is the reproduction path a failure report names: the prefix is
+    /// regenerated from the seed alone, so the two-word coordinate is a
+    /// complete bug report.
+    pub fn replay(&self, seed: u64, step: usize) -> Option<(usize, Violation)> {
+        let len = (step + 1).max(1);
+        let trace = trace::generate(seed, self.config.harts, len);
+        self.probe(&trace)
+    }
+
+    /// Executes an explicit op list against a fresh world pair, returning the
+    /// first violation (with its step), if any.
+    pub fn probe(&self, ops: &[TracedOp]) -> Option<(usize, Violation)> {
+        let mut pair = DiffPair::boot(&self.config.machine, self.config.weaken);
+        for (step, traced) in ops.iter().enumerate() {
+            if let Err(violation) = pair.step(CoreId::new(traced.hart), &traced.op) {
+                return Some((step, violation));
+            }
+        }
+        None
+    }
+
+    /// Prefix shrinking: starting from the failing prefix, repeatedly deletes
+    /// chunks (then single ops) as long as the shortened trace still
+    /// reproduces the same violation kind. Abstract op selectors make any
+    /// subsequence executable, so deletion is always sound.
+    fn minimize(&self, failing_prefix: &[TracedOp], kind: &'static str) -> (Vec<TracedOp>, usize) {
+        let mut ops = failing_prefix.to_vec();
+        let mut probes = 0usize;
+        let still_fails = |candidate: &[TracedOp], probes: &mut usize| {
+            *probes += 1;
+            self.probe(candidate)
+                .map(|(_, v)| v.kind() == kind)
+                .unwrap_or(false)
+        };
+        let mut chunk = (ops.len() / 2).max(1);
+        loop {
+            let mut any_removed = false;
+            let mut start = 0;
+            while start < ops.len() && probes < self.config.shrink_budget {
+                let end = (start + chunk).min(ops.len());
+                let mut candidate = ops.clone();
+                candidate.drain(start..end);
+                if !candidate.is_empty() && still_fails(&candidate, &mut probes) {
+                    ops = candidate;
+                    any_removed = true;
+                    // Re-test the same start index against the shorter trace.
+                } else {
+                    start = end;
+                }
+            }
+            if probes >= self.config.shrink_budget {
+                break;
+            }
+            if chunk == 1 {
+                if !any_removed {
+                    break;
+                }
+            } else {
+                chunk = (chunk / 2).max(1);
+            }
+        }
+        (ops, probes)
+    }
+}
+
+fn digests(pair: &DiffPair) -> (u64, u64) {
+    (
+        pair.sanctum.world.system.machine.state_digest(),
+        pair.keystone.world.system.machine.state_digest(),
+    )
+}

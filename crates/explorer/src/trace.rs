@@ -1,0 +1,74 @@
+//! Seeded trace generation: per-hart op streams interleaved by a PRNG
+//! scheduler.
+//!
+//! Each simulated hart owns an independent SplitMix64 stream derived from the
+//! run seed, and a separate scheduler stream picks which hart issues the next
+//! op. The whole interleaving is therefore a pure function of `(seed, harts,
+//! len)`: regenerating a prefix is all it takes to replay a failure, and a
+//! trace remains executable after ops are deleted (selectors are abstract —
+//! see `sanctorum_os::ops`), which is what makes shrinking sound.
+
+use proptest::TestRng;
+use sanctorum_os::ops::Op;
+
+/// One scheduled step: the hart that issues the op, and the op itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedOp {
+    /// Index of the issuing hart.
+    pub hart: u32,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Derives the op-stream seed for one hart from the run seed.
+fn hart_stream_seed(seed: u64, hart: u32) -> u64 {
+    seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(hart as u64 + 1)
+}
+
+/// Generates the interleaved trace for a run: `len` ops drawn from `harts`
+/// per-hart streams, scheduled by a PRNG choice per step.
+pub fn generate(seed: u64, harts: u32, len: usize) -> Vec<TracedOp> {
+    assert!(harts > 0, "at least one hart stream is required");
+    let mut scheduler = TestRng::with_seed(seed);
+    let mut streams: Vec<TestRng> = (0..harts)
+        .map(|hart| TestRng::with_seed(hart_stream_seed(seed, hart)))
+        .collect();
+    (0..len)
+        .map(|_| {
+            let hart = (scheduler.next_u64() % harts as u64) as u32;
+            let stream = &mut streams[hart as usize];
+            let op = Op::sample(&mut || stream.next_u64());
+            TracedOp { hart, op }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_in_the_seed() {
+        let a = generate(99, 2, 300);
+        let b = generate(99, 2, 300);
+        assert_eq!(a, b);
+        let c = generate(100, 2, 300);
+        assert_ne!(a, c, "different seeds give different traces");
+    }
+
+    #[test]
+    fn prefix_regeneration_matches() {
+        // Replaying from (seed, step) regenerates exactly the original
+        // prefix — the property the failure reports rely on.
+        let full = generate(7, 2, 250);
+        let prefix = generate(7, 2, 120);
+        assert_eq!(&full[..120], &prefix[..]);
+    }
+
+    #[test]
+    fn both_harts_are_scheduled() {
+        let trace = generate(3, 2, 200);
+        assert!(trace.iter().any(|t| t.hart == 0));
+        assert!(trace.iter().any(|t| t.hart == 1));
+    }
+}

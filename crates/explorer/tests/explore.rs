@@ -1,0 +1,131 @@
+//! Acceptance tests for the adversarial explorer (ISSUE 2):
+//!
+//! * a 100-seed × 200-step sweep across both backends with zero invariant
+//!   violations and zero differential divergences;
+//! * deterministic replay (same seed ⇒ identical digests and reports);
+//! * a deliberately weakened monitor is caught, reported with replayable
+//!   `(seed, step)` coordinates, and minimized;
+//! * capacity-limited backends produce *declared* divergences, not failures.
+
+use sanctorum_core::monitor::TestWeakening;
+use sanctorum_explorer::{explorer_machine_config, Explorer, ExplorerConfig, Violation};
+
+#[test]
+fn sweep_finds_no_violations_and_no_divergences() {
+    let explorer = Explorer::new(ExplorerConfig::default());
+    let stats = explorer.sweep(0..100);
+    for failure in &stats.failures {
+        eprintln!("{failure}");
+    }
+    assert!(stats.failures.is_empty(), "{} violations", stats.failures.len());
+    assert_eq!(stats.declared_divergences, 0, "unexpected capacity divergence");
+    assert_eq!(stats.seeds, 100);
+    assert!(stats.total_steps >= 100 * 200, "only {} steps ran", stats.total_steps);
+    // The op mix actually exercised the whole surface.
+    for label in ["build", "run", "teardown", "attack", "mail-roundtrip", "batch"] {
+        assert!(
+            stats.op_counts.get(label).copied().unwrap_or(0) > 0,
+            "op {label} never ran: {:?}",
+            stats.op_counts
+        );
+    }
+    eprintln!(
+        "explorer sweep: {} seeds x {} steps, ops: {:?}",
+        stats.seeds,
+        stats.total_steps / stats.seeds,
+        stats.op_counts
+    );
+}
+
+#[test]
+fn replay_is_deterministic_down_to_the_machine_digest() {
+    let explorer = Explorer::new(ExplorerConfig {
+        steps: 120,
+        ..ExplorerConfig::default()
+    });
+    let a = explorer.run_seed(0x5eed);
+    let b = explorer.run_seed(0x5eed);
+    assert_eq!(a.final_digests, b.final_digests, "replay must be bit-identical");
+    assert_eq!(a.op_counts, b.op_counts);
+    if let Some(failure) = &a.failure {
+        panic!("unexpected failure:\n{failure}");
+    }
+}
+
+/// Finds the first seed a weakened monitor fails on, within a small budget.
+fn first_failure(config: ExplorerConfig) -> (Explorer, sanctorum_explorer::FailureReport) {
+    let explorer = Explorer::new(config);
+    for seed in 0..32 {
+        if let Some(failure) = explorer.run_seed(seed).failure {
+            return (explorer, failure);
+        }
+    }
+    panic!("no seed caught the weakened monitor within 32 seeds");
+}
+
+#[test]
+fn skipped_region_scrub_is_caught_and_replayable() {
+    let (explorer, failure) = first_failure(ExplorerConfig {
+        weaken: Some(TestWeakening::SkipRegionScrub),
+        ..ExplorerConfig::default()
+    });
+    assert!(
+        matches!(failure.violation, Violation::DirtyReuse { .. }),
+        "expected dirty-reuse, got {}",
+        failure.violation
+    );
+    // The (seed, step) coordinates alone reproduce the same violation kind.
+    let (step, replayed) = explorer
+        .replay(failure.seed, failure.step)
+        .expect("replay reproduces the violation");
+    assert_eq!(step, failure.step);
+    assert_eq!(replayed.kind(), failure.violation.kind());
+    assert_eq!(replayed, failure.violation);
+    // The minimized trace reproduces it too, and is genuinely shorter.
+    assert!(!failure.minimized.is_empty());
+    assert!(failure.minimized.len() <= failure.step + 1);
+    let (_, minimized_violation) = explorer
+        .probe(&failure.minimized)
+        .expect("minimized trace still fails");
+    assert_eq!(minimized_violation.kind(), failure.violation.kind());
+    eprintln!("weakened monitor caught:\n{failure}");
+}
+
+#[test]
+fn skipped_core_clean_is_caught_as_a_secret_leak() {
+    let (_, failure) = first_failure(ExplorerConfig {
+        weaken: Some(TestWeakening::SkipCoreClean),
+        ..ExplorerConfig::default()
+    });
+    assert!(
+        matches!(failure.violation, Violation::SecretLeak { .. }),
+        "expected secret-leak, got {}",
+        failure.violation
+    );
+}
+
+#[test]
+fn pmp_exhaustion_is_a_declared_divergence_not_a_failure() {
+    // Three PMP entries: the SM takes one, so the third concurrent enclave
+    // build fails on Keystone while Sanctum keeps going. The differential
+    // policy must classify that as a *declared* capacity divergence.
+    let config = ExplorerConfig {
+        machine: sanctorum_machine::MachineConfig {
+            pmp_entries: 3,
+            ..explorer_machine_config()
+        },
+        ..ExplorerConfig::default()
+    };
+    let explorer = Explorer::new(config);
+    let mut declared = 0;
+    for seed in 0..12 {
+        let report = explorer.run_seed(seed);
+        assert!(
+            report.failure.is_none(),
+            "capacity divergence misclassified: {}",
+            report.failure.unwrap()
+        );
+        declared += report.declared_divergences;
+    }
+    assert!(declared > 0, "no declared divergence in 12 seeds");
+}

@@ -124,6 +124,41 @@ impl RegionInfo {
     }
 }
 
+/// Declared capacity limits of an isolation platform.
+///
+/// The differential explorer compares the OS-visible behaviour of the same
+/// call trace on two backends; behaviour is required to agree *except* where
+/// a backend has declared, ahead of time, that its isolation primitive is
+/// capacity-limited (paper Table 2: Keystone's PMP entry count bounds the
+/// number of concurrently protected ranges, Sanctum's region array does not).
+/// A status divergence is only acceptable when the failing side declared the
+/// tighter capacity here — anything else is a real divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformCapacity {
+    /// Maximum number of memory units that can be isolated (owned by the SM
+    /// or an enclave) at the same time; `None` means every unit the platform
+    /// enumerates can be protected concurrently.
+    pub max_isolated_units: Option<usize>,
+}
+
+impl PlatformCapacity {
+    /// A platform with no declared capacity limit.
+    pub const UNLIMITED: PlatformCapacity = PlatformCapacity {
+        max_isolated_units: None,
+    };
+
+    /// Returns `true` if this platform declares a tighter isolation-unit
+    /// limit than `other` (and so may legitimately fail an allocation the
+    /// other platform accepts).
+    pub fn tighter_than(&self, other: &PlatformCapacity) -> bool {
+        match (self.max_isolated_units, other.max_isolated_units) {
+            (Some(mine), Some(theirs)) => mine < theirs,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+}
+
 /// The isolation primitive contract required by the security monitor.
 ///
 /// All methods return the architectural [`Cycles`] cost of the operation so
@@ -133,6 +168,14 @@ impl RegionInfo {
 pub trait IsolationBackend {
     /// Human-readable platform name ("sanctum", "keystone").
     fn platform_name(&self) -> &'static str;
+
+    /// Declares the platform's capacity limits (see [`PlatformCapacity`]).
+    /// The default declares no limit; capacity-bound platforms (PMP-based
+    /// isolation) override this so differential harnesses can tell a
+    /// declared-capacity failure from a behavioural divergence.
+    fn capacity(&self) -> PlatformCapacity {
+        PlatformCapacity::UNLIMITED
+    }
 
     /// Enumerates the isolable memory units of the platform.
     fn regions(&self) -> Vec<RegionInfo>;
@@ -228,6 +271,19 @@ mod tests {
         assert_eq!(format!("{e}"), "platform isolation resource exhausted: pmp entries");
         let e = IsolationError::UnknownRegion(RegionId::new(9));
         assert!(format!("{e}").contains("region9"));
+    }
+
+    #[test]
+    fn capacity_tightness_ordering() {
+        let unlimited = PlatformCapacity::UNLIMITED;
+        let eight = PlatformCapacity { max_isolated_units: Some(8) };
+        let three = PlatformCapacity { max_isolated_units: Some(3) };
+        assert!(three.tighter_than(&eight));
+        assert!(three.tighter_than(&unlimited));
+        assert!(eight.tighter_than(&unlimited));
+        assert!(!unlimited.tighter_than(&three));
+        assert!(!eight.tighter_than(&three));
+        assert!(!three.tighter_than(&three));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod addr;
 pub mod cycles;
 pub mod domain;
 pub mod entropy;
+pub mod fnv;
 pub mod isolation;
 pub mod perm;
 pub mod root;

@@ -5,7 +5,7 @@ use crate::access::{AccessControl, AccessRange};
 use crate::cache::{CacheGeometry, CacheModel, PartitionId};
 use crate::dma::{pages_touched, DmaError};
 use crate::guest::{ExitReason, GuestOp, GuestProgram, RunResult};
-use crate::hart::{HartState, PrivilegeLevel};
+use crate::hart::{HartState, PrivilegeLevel, NUM_REGS};
 use crate::mem::{MemError, PhysMemory};
 use crate::pagetable::{PageTableWalker, WalkOutcome};
 use crate::tlb::{Tlb, TlbEntry};
@@ -214,6 +214,47 @@ impl Machine {
     /// Returns the cost model in effect.
     pub fn cost_model(&self) -> CostModel {
         self.config.cost
+    }
+
+    /// Fingerprints the machine's deterministic state: every hart's
+    /// architected state (registers, pc, privilege, domain, page-table root,
+    /// pending trap) folded together with the full DRAM image.
+    ///
+    /// The machine steps deterministically — `run_guest` consumes no
+    /// wall-clock or host randomness, interrupts are only ever raised
+    /// explicitly, and the TRNG derives from the configured device id — so
+    /// two machines driven by identical operation sequences must report
+    /// identical digests. Replay harnesses (the adversarial explorer) assert
+    /// exactly that before trusting a `(seed, step)` reproduction.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = 0u64;
+        for hart in &self.harts {
+            let hart = hart.lock();
+            let mut words: Vec<u8> = Vec::with_capacity((NUM_REGS + 8) * 8);
+            for reg in hart.regs.iter() {
+                words.extend_from_slice(&reg.to_le_bytes());
+            }
+            words.extend_from_slice(&hart.pc.to_le_bytes());
+            words.push(hart.privilege as u8);
+            words.extend_from_slice(
+                &match hart.domain {
+                    DomainKind::Untrusted => 1u64,
+                    DomainKind::SecurityMonitor => 2,
+                    DomainKind::Enclave(eid) => 0x8000_0000_0000_0000 | eid.as_u64(),
+                }
+                .to_le_bytes(),
+            );
+            words.extend_from_slice(
+                &hart
+                    .page_table_root
+                    .map(|r| r.as_u64())
+                    .unwrap_or(u64::MAX)
+                    .to_le_bytes(),
+            );
+            words.push(hart.pending_trap.is_some() as u8);
+            h = crate::mem::fnv1a(h, &words);
+        }
+        self.memory.read().digest(h)
     }
 
     // ----- physical memory (privileged view) --------------------------------
@@ -1020,6 +1061,37 @@ mod tests {
         m.run_guest(CoreId::new(0), &GuestProgram::compute(1000), 10);
         assert!(m.total_cycles().count() >= before.count() + 1000);
         assert!(m.hart(CoreId::new(0)).cycles.count() >= 1000);
+    }
+
+    #[test]
+    fn state_digest_is_deterministic_and_state_sensitive() {
+        let drive = |m: &Machine| {
+            m.install_context(
+                CoreId::new(0),
+                DomainKind::Untrusted,
+                PrivilegeLevel::Supervisor,
+                None,
+                0,
+            );
+            m.run_guest(CoreId::new(0), &GuestProgram::compute(10), 10);
+            m.phys_write_u64(m.config().memory_base.offset(0x2000), 0xabcd).unwrap();
+        };
+        let m1 = machine();
+        let m2 = machine();
+        drive(&m1);
+        drive(&m2);
+        assert_eq!(
+            m1.state_digest(),
+            m2.state_digest(),
+            "identical op sequences must fingerprint identically"
+        );
+        // Any visible state change moves the digest.
+        let before = m1.state_digest();
+        m1.phys_write_u64(m1.config().memory_base.offset(0x2000), 0xabce).unwrap();
+        assert_ne!(before, m1.state_digest());
+        let before = m1.state_digest();
+        m1.hart(CoreId::new(0)).regs[7] ^= 1;
+        assert_ne!(before, m1.state_digest());
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use sanctorum_hal::addr::{PhysAddr, PAGE_SIZE};
 use std::fmt;
 
+pub(crate) use sanctorum_hal::fnv::fnv1a;
+
 /// Errors raised by physical-memory accesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemError {
@@ -79,6 +81,13 @@ impl PhysMemory {
     /// Returns the size of DRAM in bytes.
     pub fn size(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// Folds `seed` through an FNV-1a pass over all of DRAM. Used by
+    /// [`crate::Machine::state_digest`] to fingerprint machine state for
+    /// replay-determinism checks.
+    pub fn digest(&self, seed: u64) -> u64 {
+        fnv1a(seed, &self.bytes)
     }
 
     /// Returns `true` if the whole `[addr, addr+len)` range is populated.

@@ -6,17 +6,19 @@
 //! blocked; the functions return structured results rather than panicking so
 //! the benchmark harness can also tabulate them.
 
-use crate::os::{BuiltEnclave, Os};
+use crate::os::{BuiltEnclave, Os, ThreadRunOutcome};
 use crate::system::System;
 use sanctorum_core::api::SmApi;
-use sanctorum_core::error::SmError;
+use sanctorum_core::error::{SmError, SmResult};
 use sanctorum_core::mailbox::SenderIdentity;
 use sanctorum_core::session::CallerSession;
-use sanctorum_hal::addr::PhysAddr;
+use sanctorum_enclave::image::EnclaveImage;
+use sanctorum_hal::addr::{PhysAddr, PAGE_SIZE};
 use sanctorum_hal::domain::{CoreId, DomainKind};
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::guest::{ExitReason, GuestProgram};
 use sanctorum_machine::hart::PrivilegeLevel;
+use sanctorum_machine::pagetable::PageTableBuilder;
 use sanctorum_machine::trap::TrapCause;
 
 /// The outcome of one attack attempt.
@@ -43,6 +45,24 @@ pub fn enclave_phys_base(system: &System, enclave: &BuiltEnclave) -> PhysAddr {
         .offset((enclave.regions[0].index() * config.dram_region_size) as u64)
 }
 
+/// Runs an attack guest on `core`, consuming any residual pending interrupts
+/// first: an interrupt trap de-schedules the guest *before* the probing
+/// access runs, which would otherwise report "blocked" without the isolation
+/// primitive ever being exercised (found by the adversarial explorer, whose
+/// traces interleave scheduler ticks with attacks).
+fn run_attack_guest(system: &System, core: CoreId, program: &GuestProgram) -> Option<ExitReason> {
+    for _ in 0..64 {
+        let result = system.machine.run_guest(core, program, 100);
+        if !matches!(result.exit, ExitReason::Trap(TrapCause::Interrupt(_))) {
+            return Some(result.exit);
+        }
+    }
+    // The probe never ran. A verdict would be meaningless — callers must
+    // fail *closed* (report the attack as unstopped) so the harness problem
+    // surfaces instead of silently passing the battery.
+    None
+}
+
 /// Attack 1: the OS directly loads from enclave physical memory using its
 /// supervisor privilege (machine-level physical addressing).
 pub fn direct_physical_read(system: &System, enclave: &BuiltEnclave, core: CoreId) -> AttackOutcome {
@@ -55,11 +75,10 @@ pub fn direct_physical_read(system: &System, enclave: &BuiltEnclave, core: CoreI
         0,
     );
     let program = GuestProgram::load_and_exit(target.as_u64());
-    let result = system.machine.run_guest(core, &program, 100);
-    match result.exit {
-        ExitReason::Trap(TrapCause::IsolationFault { .. }) => AttackOutcome::Blocked,
-        ExitReason::Completed => AttackOutcome::Succeeded,
-        _ => AttackOutcome::Blocked,
+    match run_attack_guest(system, core, &program) {
+        Some(ExitReason::Trap(TrapCause::IsolationFault { .. })) => AttackOutcome::Blocked,
+        Some(ExitReason::Completed) | None => AttackOutcome::Succeeded,
+        Some(_) => AttackOutcome::Blocked,
     }
 }
 
@@ -71,13 +90,15 @@ pub fn malicious_mapping_read(
     enclave: &BuiltEnclave,
     core: CoreId,
 ) -> AttackOutcome {
-    use sanctorum_machine::pagetable::PageTableBuilder;
     let target = enclave_phys_base(system, enclave);
-    // Build an OS page table in the staging area pointing at enclave memory.
+    // Build an OS page table in the staging area pointing at enclave memory
+    // (halfway into the region, clear of the page the OS model stages enclave
+    // images in, whatever the configured region size).
     let config = system.machine.config();
     let staging = config
         .memory_base
-        .offset(((config.num_regions() - 1) * config.dram_region_size) as u64 + 0x40_000);
+        .offset(((config.num_regions() - 1) * config.dram_region_size) as u64
+            + config.dram_region_size as u64 / 2);
     let root = system.machine.with_memory_mut(|mem| {
         // Pre-zero the root and a small pool of table pages in OS memory.
         let mut pool: Vec<PhysAddr> = (1..4).rev().map(|i| staging.offset(i * 4096)).collect();
@@ -105,11 +126,10 @@ pub fn malicious_mapping_read(
         0,
     );
     let program = GuestProgram::load_and_exit(0x7000_0000);
-    let result = system.machine.run_guest(core, &program, 100);
-    match result.exit {
-        ExitReason::Trap(TrapCause::IsolationFault { .. }) => AttackOutcome::Blocked,
-        ExitReason::Completed => AttackOutcome::Succeeded,
-        _ => AttackOutcome::Blocked,
+    match run_attack_guest(system, core, &program) {
+        Some(ExitReason::Trap(TrapCause::IsolationFault { .. })) => AttackOutcome::Blocked,
+        Some(ExitReason::Completed) | None => AttackOutcome::Succeeded,
+        Some(_) => AttackOutcome::Blocked,
     }
 }
 
@@ -208,6 +228,208 @@ pub fn steal_enclave_region(os: &Os, enclave: &BuiltEnclave) -> AttackOutcome {
     }
 }
 
+/// Attack 9: TOCTOU page mutation during loading. The OS stages a page,
+/// calls `load_page`, and overwrites the staged source the moment the call
+/// returns — then keeps loading. If the SM measured or copied the source
+/// lazily (after returning), the mutated bytes would end up inside the
+/// enclave, or the measurement would stop describing the contents. The SM's
+/// copy-then-measure step must be atomic with respect to the caller: the
+/// enclave's pages and measurement must match an honestly built twin exactly.
+///
+/// # Errors
+///
+/// Fails only on harness preconditions (no free region to build in) — the
+/// attack verdict itself is always reported through the outcome.
+pub fn toctou_page_mutation(system: &System, os: &mut Os) -> SmResult<AttackOutcome> {
+    let image = EnclaveImage::hello(0x70c7_0eac);
+    // An honest build of the same image fixes the expected identity.
+    let reference = os.build_enclave(&image, 1)?;
+    let expected = reference.measurement;
+    os.teardown_enclave(&reference)?;
+
+    // Adversarial build: clobber the staged source page right after every
+    // `load_page` returns.
+    let built = os.build_enclave_mutated(&image, 1, |machine, staging, _| {
+        machine
+            .phys_write(staging, &[0xa5u8; PAGE_SIZE])
+            .expect("staging memory is OS-owned");
+    })?;
+
+    // Neither the enclave's identity nor its contents may reflect the
+    // mutation. Data pages sit right after the page-table pages, in the
+    // bump-allocation order the measurement's no-aliasing invariant fixes.
+    let mut intact = built.measurement == expected;
+    let config = system.machine.config();
+    let region_base = config
+        .memory_base
+        .offset((built.regions[0].index() * config.dram_region_size) as u64);
+    let pt_pages = PageTableBuilder::table_pages_needed(
+        image.evrange_base.page_number(),
+        image.evrange_len / PAGE_SIZE as u64,
+    );
+    for (index, (_, _, contents)) in image.pages.iter().enumerate() {
+        let dst = region_base.offset((pt_pages + index as u64) * PAGE_SIZE as u64);
+        let mut page = vec![0u8; PAGE_SIZE];
+        system.machine.phys_read(dst, &mut page).map_err(|_| SmError::Memory)?;
+        let n = contents.len().min(PAGE_SIZE);
+        intact &= page[..n] == contents[..n] && page[n..].iter().all(|&b| b == 0);
+    }
+    os.teardown_enclave(&built)?;
+    Ok(if intact { AttackOutcome::Blocked } else { AttackOutcome::Succeeded })
+}
+
+/// Attack 10: interrupt storm around `enter_enclave`. The OS keeps a timer
+/// interrupt pending at every entry, so the thread is de-scheduled (AEX)
+/// before retiring a single instruction, over and over. Each forced exit
+/// must scrub the core (no enclave register value becomes OS-visible), and
+/// the storm must not corrupt the thread: once the interrupts stop it still
+/// runs to a clean voluntary exit.
+///
+/// # Errors
+///
+/// Fails only on harness preconditions (no free region to build in).
+pub fn interrupt_storm_on_entry(
+    system: &System,
+    os: &mut Os,
+    core: CoreId,
+) -> SmResult<AttackOutcome> {
+    let secret = 0x5707_0041_5ec2_e700u64;
+    let victim = os.build_enclave(&EnclaveImage::hello(secret), 1)?;
+    let tid = victim.main_thread();
+    let leaked = |system: &System| {
+        (0..system.machine.num_harts()).any(|h| {
+            let hart = system.machine.hart(CoreId::new(h as u32));
+            !hart.domain.is_enclave() && hart.regs.contains(&secret)
+        })
+    };
+
+    let mut blocked = true;
+    for _ in 0..8 {
+        // Pend the interrupt *before* entry: the storm hits the entry path
+        // itself, not a running enclave.
+        os.tick(core)?;
+        let outcome = os.run_thread(&victim, tid, core, 10_000)?;
+        blocked &= matches!(
+            outcome,
+            ThreadRunOutcome::Interrupted { .. } | ThreadRunOutcome::Preempted
+        );
+        blocked &= !leaked(system);
+    }
+    // Storm over: once the interrupt queue drains (the caller's environment
+    // may hold residual scheduler ticks of its own), the thread must still
+    // make progress and exit cleanly.
+    let mut exited = false;
+    for _ in 0..64 {
+        let outcome = os.run_thread(&victim, tid, core, 10_000)?;
+        blocked &= !leaked(system);
+        match outcome {
+            ThreadRunOutcome::Exited { .. } => {
+                exited = true;
+                break;
+            }
+            ThreadRunOutcome::Interrupted { .. } | ThreadRunOutcome::Preempted => continue,
+            ThreadRunOutcome::Faulted { .. } => break,
+        }
+    }
+    blocked &= exited;
+    os.teardown_enclave(&victim)?;
+    Ok(if blocked { AttackOutcome::Blocked } else { AttackOutcome::Succeeded })
+}
+
+/// The adversary battery, reified: every scripted attack as an enumerable
+/// value, so harnesses (the attack-battery tests, the adversarial explorer's
+/// `Op::Attack`) can pick attacks programmatically instead of calling the
+/// functions one by one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// [`direct_physical_read`]
+    DirectPhysicalRead,
+    /// [`malicious_mapping_read`]
+    MaliciousMappingRead,
+    /// [`dma_exfiltration`]
+    DmaExfiltration,
+    /// [`modify_after_init`]
+    ModifyAfterInit,
+    /// [`mail_impersonation`]
+    MailImpersonation,
+    /// [`steal_attestation_key`]
+    StealAttestationKey,
+    /// [`steal_enclave_region`]
+    StealEnclaveRegion,
+    /// [`toctou_page_mutation`]
+    ToctouPageMutation,
+    /// [`interrupt_storm_on_entry`]
+    InterruptStormOnEntry,
+}
+
+impl AttackKind {
+    /// Every attack in the battery, in battery order.
+    pub const ALL: [AttackKind; 9] = [
+        AttackKind::DirectPhysicalRead,
+        AttackKind::MaliciousMappingRead,
+        AttackKind::DmaExfiltration,
+        AttackKind::ModifyAfterInit,
+        AttackKind::MailImpersonation,
+        AttackKind::StealAttestationKey,
+        AttackKind::StealEnclaveRegion,
+        AttackKind::ToctouPageMutation,
+        AttackKind::InterruptStormOnEntry,
+    ];
+
+    /// Human-readable attack name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AttackKind::DirectPhysicalRead => "direct physical read",
+            AttackKind::MaliciousMappingRead => "malicious mapping read",
+            AttackKind::DmaExfiltration => "dma exfiltration",
+            AttackKind::ModifyAfterInit => "modify after init",
+            AttackKind::MailImpersonation => "mail impersonation",
+            AttackKind::StealAttestationKey => "steal attestation key",
+            AttackKind::StealEnclaveRegion => "steal enclave region",
+            AttackKind::ToctouPageMutation => "toctou page mutation",
+            AttackKind::InterruptStormOnEntry => "interrupt storm on entry",
+        }
+    }
+
+    /// Returns `true` if the attack builds (and tears down) its own enclaves
+    /// and therefore needs at least one free region, rather than a prebuilt
+    /// victim.
+    pub const fn builds_own_enclave(self) -> bool {
+        matches!(
+            self,
+            AttackKind::ToctouPageMutation | AttackKind::InterruptStormOnEntry
+        )
+    }
+
+    /// Mounts the attack against `victim` (or `rogue`, for the key-stealing
+    /// attack) on `core`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on harness preconditions (an own-enclave attack that cannot
+    /// build); the attack's verdict is always an [`AttackOutcome`].
+    pub fn run(
+        self,
+        system: &System,
+        os: &mut Os,
+        victim: &BuiltEnclave,
+        rogue: &BuiltEnclave,
+        core: CoreId,
+    ) -> SmResult<AttackOutcome> {
+        Ok(match self {
+            AttackKind::DirectPhysicalRead => direct_physical_read(system, victim, core),
+            AttackKind::MaliciousMappingRead => malicious_mapping_read(system, victim, core),
+            AttackKind::DmaExfiltration => dma_exfiltration(system, victim),
+            AttackKind::ModifyAfterInit => modify_after_init(os, victim),
+            AttackKind::MailImpersonation => mail_impersonation(os, victim),
+            AttackKind::StealAttestationKey => steal_attestation_key(os, rogue),
+            AttackKind::StealEnclaveRegion => steal_enclave_region(os, victim),
+            AttackKind::ToctouPageMutation => toctou_page_mutation(system, os)?,
+            AttackKind::InterruptStormOnEntry => interrupt_storm_on_entry(system, os, core)?,
+        })
+    }
+}
+
 /// Runs the full attack battery against a freshly built victim enclave and
 /// returns `(attack name, outcome)` pairs.
 pub fn run_attack_battery(
@@ -216,18 +438,15 @@ pub fn run_attack_battery(
     victim: &BuiltEnclave,
     rogue: &BuiltEnclave,
 ) -> Vec<(&'static str, AttackOutcome)> {
-    vec![
-        ("direct physical read", direct_physical_read(system, victim, CoreId::new(0))),
-        (
-            "malicious mapping read",
-            malicious_mapping_read(system, victim, CoreId::new(0)),
-        ),
-        ("dma exfiltration", dma_exfiltration(system, victim)),
-        ("modify after init", modify_after_init(os, victim)),
-        ("mail impersonation", mail_impersonation(os, victim)),
-        ("steal attestation key", steal_attestation_key(os, rogue)),
-        ("steal enclave region", steal_enclave_region(os, victim)),
-    ]
+    AttackKind::ALL
+        .iter()
+        .map(|kind| {
+            let outcome = kind
+                .run(system, os, victim, rogue, CoreId::new(0))
+                .expect("attack battery preconditions hold on a fresh system");
+            (kind.name(), outcome)
+        })
+        .collect()
 }
 
 #[cfg(test)]

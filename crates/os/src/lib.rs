@@ -12,16 +12,23 @@
 //!   (delegated traps, AEX resumption) and tears enclaves down;
 //! * [`adversary`] — scripted malicious-OS behaviours (reading enclave
 //!   memory, mapping it into OS page tables, DMA into enclave memory,
-//!   deleting a running enclave, spoofing mail, replaying stale grants) used
-//!   by the security test-suite to check that every attack is stopped by the
-//!   monitor or the isolation primitive.
+//!   deleting a running enclave, spoofing mail, replaying stale grants,
+//!   TOCTOU page mutation, interrupt storms), reified as the enumerable
+//!   [`adversary::AttackKind`] battery the security test-suite and the
+//!   adversarial explorer both drive;
+//! * [`ops`] — every OS/enclave/adversary interaction as one enumerable
+//!   [`ops::Op`] value plus the [`ops::OpWorld`] executor, the op model the
+//!   `sanctorum-explorer` crate schedules, replays and shrinks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod ops;
 pub mod os;
 pub mod system;
 
+pub use adversary::{AttackKind, AttackOutcome};
+pub use ops::{ImageKind, Op, OpOutcome, OpWorld};
 pub use os::{BuiltEnclave, Os, ThreadRunOutcome};
 pub use system::{PlatformKind, System};

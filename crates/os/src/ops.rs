@@ -1,0 +1,657 @@
+//! The reified operation model driven by the adversarial explorer.
+//!
+//! Every interaction a (possibly malicious) OS or enclave can have with the
+//! security monitor is expressed as one enumerable [`Op`] value: honest
+//! lifecycle traffic (build / run / teardown), raw Fig. 2 resource calls
+//! issued out of protocol, mailbox round-trips, probes, batches, and the
+//! whole scripted adversary battery ([`AttackKind`]). Ops carry *abstract*
+//! selectors (a slot index, a region index, a parameter word) that are
+//! resolved against the live world only when the op is applied — so a
+//! sequence of ops is meaningful against any world state, which is what makes
+//! seeded generation, `(seed, step)` replay and trace shrinking trivial.
+//!
+//! [`OpWorld`] owns one booted system plus the OS model and applies ops to
+//! it, summarizing each step as an [`OpOutcome`] containing only
+//! *platform-invariant*, OS-visible facts (status codes, ids, measurements,
+//! outcome discriminants — never cycle counts). The differential explorer
+//! applies the same trace to a Sanctum world and a Keystone world and
+//! requires the outcome streams to be identical modulo declared platform
+//! capacity (see `sanctorum_hal::isolation::PlatformCapacity`).
+
+use crate::adversary::AttackKind;
+use crate::os::{BuiltEnclave, Os, ThreadRunOutcome};
+use crate::system::{PlatformKind, System};
+use sanctorum_core::api::{status, status_of, SmApi, SmCall};
+use sanctorum_core::error::SmError;
+use sanctorum_core::measurement::Measurement;
+use sanctorum_core::monitor::PublicField;
+use sanctorum_core::resource::ResourceId;
+use sanctorum_core::session::CallerSession;
+use sanctorum_enclave::image::EnclaveImage;
+use sanctorum_hal::addr::VirtAddr;
+use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
+use sanctorum_hal::isolation::RegionId;
+use sanctorum_machine::MachineConfig;
+
+/// Which canned enclave image an [`Op::Build`] instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ImageKind {
+    /// [`EnclaveImage::hello`] carrying a per-build secret.
+    Hello,
+    /// [`EnclaveImage::compute`] (no secret).
+    Compute,
+    /// [`EnclaveImage::faulting`] — AEXes through the unhandled-fault arc.
+    Faulting,
+    /// [`EnclaveImage::fault_handling`] — exercises the enclave-handler arc.
+    FaultHandling,
+}
+
+impl ImageKind {
+    /// Distinctive tag folded into every generated hello secret; the leak
+    /// scan looks for full 64-bit matches, so the tag keeps secrets disjoint
+    /// from addresses, counters and other innocent register values.
+    pub const SECRET_TAG: u64 = 0x5ec2_e700_0000_0000;
+
+    /// Builds the image for this kind. `param` individualizes the image
+    /// (hello secret; compute size) and is folded from a small space so
+    /// identical recipes recur within a run — that recurrence is what gives
+    /// the measurement-determinism invariant something to compare.
+    pub fn instantiate(self, param: u64) -> (EnclaveImage, Option<u64>) {
+        match self {
+            ImageKind::Hello => {
+                let secret = Self::SECRET_TAG | (param & 0x7);
+                (EnclaveImage::hello(secret), Some(secret))
+            }
+            ImageKind::Compute => (EnclaveImage::compute(1 + (param as usize & 1), 32), None),
+            ImageKind::Faulting => (EnclaveImage::faulting(), None),
+            ImageKind::FaultHandling => (EnclaveImage::fault_handling(), None),
+        }
+    }
+
+    /// The recipe key for the measurement-determinism invariant: images built
+    /// from equal keys must measure equally.
+    pub fn recipe(self, param: u64) -> (ImageKind, u64) {
+        let normalized = match self {
+            ImageKind::Hello => param & 0x7,
+            ImageKind::Compute => param & 0x1,
+            ImageKind::Faulting | ImageKind::FaultHandling => 0,
+        };
+        (self, normalized)
+    }
+}
+
+/// One step of explorer traffic. See the module docs for the selector
+/// convention: indices are resolved modulo the live population at apply time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Build an enclave of the given image kind.
+    Build {
+        /// Image flavour.
+        kind: ImageKind,
+        /// Image parameter (secret / size selector).
+        param: u64,
+    },
+    /// Tear a live enclave down through the full delete → clean → grant path.
+    Teardown {
+        /// Live-enclave slot selector.
+        slot: u64,
+    },
+    /// Enter a live enclave's main thread on the issuing hart and drive it.
+    Run {
+        /// Live-enclave slot selector.
+        slot: u64,
+        /// Guest step budget (small budgets force preemption).
+        budget: u64,
+    },
+    /// Raise a timer interrupt on the issuing hart (the scheduler tick).
+    Tick,
+    /// Raw `block_resource` on an arbitrary region.
+    BlockRegion {
+        /// Region selector.
+        region: u64,
+    },
+    /// Raw `clean_resource` on an arbitrary region.
+    CleanRegion {
+        /// Region selector.
+        region: u64,
+    },
+    /// Raw `grant_resource` of an arbitrary region to the OS or a live
+    /// enclave.
+    GrantRegion {
+        /// Region selector.
+        region: u64,
+        /// Owner selector: `0` grants to the OS, otherwise to a live enclave.
+        owner: u64,
+    },
+    /// Raw `delete_enclave` without recycling the regions (delete and
+    /// forget — the blocked regions stay for later raw cleans).
+    DeleteEnclave {
+        /// Live-enclave slot selector.
+        slot: u64,
+    },
+    /// `load_page` into an already-initialized enclave (must be refused).
+    LoadAfterInit {
+        /// Live-enclave slot selector.
+        slot: u64,
+    },
+    /// OS → enclave mail round-trip; the recorded sender identity must be
+    /// [`sanctorum_core::mailbox::SenderIdentity::Untrusted`].
+    MailRoundTrip {
+        /// Recipient slot selector.
+        slot: u64,
+        /// Payload word.
+        payload: u64,
+    },
+    /// Enclave → enclave mail; the recorded identity must be the sender's
+    /// measurement.
+    EnclaveMail {
+        /// Sender slot selector.
+        from: u64,
+        /// Recipient slot selector.
+        to: u64,
+        /// Payload word.
+        payload: u64,
+    },
+    /// Public-field probe; the outcome fingerprints the returned bytes.
+    GetField {
+        /// Field selector (resolved modulo the selector space + 1, so an
+        /// invalid selector is periodically exercised too).
+        field: u64,
+    },
+    /// A typed batch of region-lifecycle probes against one region.
+    Batch {
+        /// Region selector.
+        region: u64,
+    },
+    /// One attack from the scripted battery.
+    Attack {
+        /// Battery index (resolved modulo [`AttackKind::ALL`]).
+        kind: u64,
+        /// Victim slot selector.
+        slot: u64,
+    },
+}
+
+impl Op {
+    /// Draws one op from a word source (the explorer's per-hart PRNG
+    /// streams). The distribution keeps honest lifecycle traffic dominant so
+    /// worlds accumulate enclaves for the adversarial ops to aim at.
+    pub fn sample(next: &mut dyn FnMut() -> u64) -> Op {
+        match next() % 100 {
+            0..=16 => {
+                let kind = match next() % 10 {
+                    0..=4 => ImageKind::Hello,
+                    5..=6 => ImageKind::Compute,
+                    7..=8 => ImageKind::Faulting,
+                    _ => ImageKind::FaultHandling,
+                };
+                Op::Build { kind, param: next() }
+            }
+            17..=25 => Op::Teardown { slot: next() },
+            26..=45 => Op::Run { slot: next(), budget: 16 + next() % 512 },
+            46..=49 => Op::Tick,
+            50..=54 => Op::BlockRegion { region: next() },
+            55..=59 => Op::CleanRegion { region: next() },
+            60..=64 => Op::GrantRegion { region: next(), owner: next() },
+            65..=66 => Op::DeleteEnclave { slot: next() },
+            67..=69 => Op::LoadAfterInit { slot: next() },
+            70..=76 => Op::MailRoundTrip { slot: next(), payload: next() },
+            77..=81 => Op::EnclaveMail { from: next(), to: next(), payload: next() },
+            82..=85 => Op::GetField { field: next() },
+            86..=89 => Op::Batch { region: next() },
+            _ => Op::Attack { kind: next(), slot: next() },
+        }
+    }
+
+    /// Short label for reports and statistics.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            Op::Build { .. } => "build",
+            Op::Teardown { .. } => "teardown",
+            Op::Run { .. } => "run",
+            Op::Tick => "tick",
+            Op::BlockRegion { .. } => "block-region",
+            Op::CleanRegion { .. } => "clean-region",
+            Op::GrantRegion { .. } => "grant-region",
+            Op::DeleteEnclave { .. } => "delete-enclave",
+            Op::LoadAfterInit { .. } => "load-after-init",
+            Op::MailRoundTrip { .. } => "mail-roundtrip",
+            Op::EnclaveMail { .. } => "enclave-mail",
+            Op::GetField { .. } => "get-field",
+            Op::Batch { .. } => "batch",
+            Op::Attack { .. } => "attack",
+        }
+    }
+}
+
+/// The OS-visible, platform-invariant summary of one applied op.
+///
+/// Two backends driven by the same trace must produce equal outcomes step for
+/// step (modulo declared capacity — the explorer's differential policy). The
+/// summary deliberately excludes anything platform-variant: cycle counts,
+/// flush costs, and entry PCs of resumed threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// The op label (diagnostic).
+    pub label: &'static str,
+    /// `status::OK`, an error's status code, or [`OpOutcome::SKIPPED`].
+    pub status: u64,
+    /// Platform-invariant detail word (id, discriminant, fingerprint; 0 when
+    /// the call's value is platform-variant).
+    pub detail: u64,
+    /// The measurement a successful build reported.
+    pub measurement: Option<Measurement>,
+    /// For mail ops: whether the SM-recorded sender identity matched the
+    /// actual sending domain (`None` when no mail was retrieved).
+    pub mail_identity_ok: Option<bool>,
+    /// For attack ops: whether the attack was blocked.
+    pub attack_blocked: Option<bool>,
+}
+
+impl OpOutcome {
+    /// Status value for ops that resolved to nothing (no live enclave, no
+    /// free region): the op was skipped identically on every backend.
+    pub const SKIPPED: u64 = u64::MAX;
+
+    fn skipped(label: &'static str) -> Self {
+        Self::done(label, Self::SKIPPED, 0)
+    }
+
+    fn done(label: &'static str, status: u64, detail: u64) -> Self {
+        OpOutcome {
+            label,
+            status,
+            detail,
+            measurement: None,
+            mail_identity_ok: None,
+            attack_blocked: None,
+        }
+    }
+
+    fn of_result<T>(label: &'static str, result: Result<T, SmError>, detail: impl FnOnce(T) -> u64) -> Self {
+        match result {
+            Ok(value) => Self::done(label, status::OK, detail(value)),
+            Err(err) => Self::done(label, status_of(&err), 0),
+        }
+    }
+}
+
+/// Fingerprints a byte string into an outcome detail word.
+pub fn detail_fingerprint(bytes: &[u8]) -> u64 {
+    sanctorum_hal::fnv::fnv1a(0, bytes)
+}
+
+/// One live enclave tracked by an [`OpWorld`].
+#[derive(Debug, Clone)]
+pub struct LiveEnclave {
+    /// The built enclave.
+    pub built: BuiltEnclave,
+    /// The hello secret, when the image carries one (drives the leak scan).
+    pub secret: Option<u64>,
+    /// The build recipe (drives the measurement-determinism invariant).
+    pub recipe: (ImageKind, u64),
+    /// Base of the enclave's virtual range (for post-init probes).
+    pub evrange_base: VirtAddr,
+}
+
+/// A booted system + OS model that ops can be applied to.
+#[derive(Debug)]
+pub struct OpWorld {
+    /// The booted system.
+    pub system: System,
+    /// The (scriptable) OS model.
+    pub os: Os,
+    /// Live, fully built enclaves, in build order.
+    pub live: Vec<LiveEnclave>,
+}
+
+impl OpWorld {
+    /// Boots a world on `platform` with the given machine configuration and
+    /// default monitor configuration.
+    pub fn boot(platform: PlatformKind, config: MachineConfig) -> Self {
+        let system = System::boot(
+            platform,
+            config,
+            sanctorum_core::monitor::SmConfig::default(),
+        );
+        let os = Os::new(&system);
+        OpWorld {
+            system,
+            os,
+            live: Vec::new(),
+        }
+    }
+
+    /// All hello secrets currently loaded into live enclaves.
+    pub fn live_secrets(&self) -> impl Iterator<Item = u64> + '_ {
+        self.live.iter().filter_map(|e| e.secret)
+    }
+
+    fn slot(&self, selector: u64) -> Option<usize> {
+        if self.live.is_empty() {
+            None
+        } else {
+            Some((selector % self.live.len() as u64) as usize)
+        }
+    }
+
+    fn region(&self, selector: u64) -> RegionId {
+        RegionId::new((selector % self.system.machine.config().num_regions() as u64) as u32)
+    }
+
+    fn forget_if_dead(&mut self, eid: EnclaveId) {
+        if !self.system.monitor.enclaves().contains(&eid) {
+            self.live.retain(|e| e.built.eid != eid);
+        }
+    }
+
+    /// Applies one op issued from `hart`, returning its outcome summary.
+    /// Ops whose selectors resolve to nothing (no live enclave, no free
+    /// region) are skipped; everything else maps onto SM API calls.
+    pub fn apply(&mut self, hart: CoreId, op: &Op) -> OpOutcome {
+        let label = op.label();
+        let os_session = CallerSession::os();
+        match op {
+            Op::Build { kind, param } => {
+                if self.os.free_region_count() == 0 {
+                    return OpOutcome::skipped(label);
+                }
+                let (image, secret) = kind.instantiate(*param);
+                let evrange_base = image.evrange_base;
+                match self.os.build_enclave(&image, 1) {
+                    Ok(built) => {
+                        let mut outcome =
+                            OpOutcome::done(label, status::OK, built.eid.as_u64());
+                        outcome.measurement = Some(built.measurement);
+                        self.live.push(LiveEnclave {
+                            built,
+                            secret,
+                            recipe: kind.recipe(*param),
+                            evrange_base,
+                        });
+                        outcome
+                    }
+                    Err(err) => OpOutcome::done(label, status_of(&err), 0),
+                }
+            }
+            Op::Teardown { slot } => {
+                let Some(index) = self.slot(*slot) else {
+                    return OpOutcome::skipped(label);
+                };
+                let built = self.live[index].built.clone();
+                let result = self.os.teardown_enclave(&built);
+                self.forget_if_dead(built.eid);
+                OpOutcome::of_result(label, result, |_| 0)
+            }
+            Op::Run { slot, budget } => {
+                let Some(index) = self.slot(*slot) else {
+                    return OpOutcome::skipped(label);
+                };
+                let built = self.live[index].built.clone();
+                let tid = built.main_thread();
+                let result = self.os.run_thread(&built, tid, hart, *budget);
+                OpOutcome::of_result(label, result, |outcome| match outcome {
+                    ThreadRunOutcome::Exited { .. } => 1,
+                    ThreadRunOutcome::Interrupted { .. } => 2,
+                    ThreadRunOutcome::Faulted { .. } => 3,
+                    ThreadRunOutcome::Preempted => 4,
+                })
+            }
+            Op::Tick => {
+                let result = self.os.tick(hart);
+                OpOutcome::of_result(label, result, |descheduled| descheduled as u64)
+            }
+            Op::BlockRegion { region } => {
+                let id = ResourceId::Region(self.region(*region));
+                OpOutcome::of_result(
+                    label,
+                    self.system.monitor.block_resource(os_session, id),
+                    |_| 0,
+                )
+            }
+            Op::CleanRegion { region } => {
+                let id = ResourceId::Region(self.region(*region));
+                // The cleaning cost is platform-variant; only the status is
+                // comparable.
+                OpOutcome::of_result(
+                    label,
+                    self.system.monitor.clean_resource(os_session, id),
+                    |_| 0,
+                )
+            }
+            Op::GrantRegion { region, owner } => {
+                let id = ResourceId::Region(self.region(*region));
+                let new_owner = match self.slot(*owner) {
+                    Some(index) if *owner % (self.live.len() as u64 + 1) != 0 => {
+                        DomainKind::Enclave(self.live[index].built.eid)
+                    }
+                    _ => DomainKind::Untrusted,
+                };
+                OpOutcome::of_result(
+                    label,
+                    self.system.monitor.grant_resource(os_session, id, new_owner),
+                    |_| 0,
+                )
+            }
+            Op::DeleteEnclave { slot } => {
+                let Some(index) = self.slot(*slot) else {
+                    return OpOutcome::skipped(label);
+                };
+                let eid = self.live[index].built.eid;
+                let result = self.system.monitor.delete_enclave(os_session, eid);
+                self.forget_if_dead(eid);
+                OpOutcome::of_result(label, result, |_| 0)
+            }
+            Op::LoadAfterInit { slot } => {
+                let Some(index) = self.slot(*slot) else {
+                    return OpOutcome::skipped(label);
+                };
+                let entry = &self.live[index];
+                let result = self.system.monitor.load_page(
+                    os_session,
+                    entry.built.eid,
+                    entry.evrange_base,
+                    self.os.staging_base(),
+                    sanctorum_hal::perm::MemPerms::RW,
+                );
+                OpOutcome::of_result(label, result, |p| p.as_u64())
+            }
+            Op::MailRoundTrip { slot, payload } => {
+                let Some(index) = self.slot(*slot) else {
+                    return OpOutcome::skipped(label);
+                };
+                let eid = self.live[index].built.eid;
+                self.mail_exchange(label, None, eid, *payload)
+            }
+            Op::EnclaveMail { from, to, payload } => {
+                let (Some(from_index), Some(to_index)) = (self.slot(*from), self.slot(*to))
+                else {
+                    return OpOutcome::skipped(label);
+                };
+                let sender = self.live[from_index].built.eid;
+                let recipient = self.live[to_index].built.eid;
+                self.mail_exchange(label, Some(sender), recipient, *payload)
+            }
+            Op::GetField { field } => {
+                let selector = field % 5;
+                match PublicField::from_selector(selector) {
+                    Some(field) => {
+                        let bytes = self.system.monitor.get_field(os_session, field);
+                        OpOutcome::done(label, status::OK, detail_fingerprint(&bytes))
+                    }
+                    None => OpOutcome::done(
+                        label,
+                        status_of(&SmError::InvalidArgument { reason: "unknown field" }),
+                        0,
+                    ),
+                }
+            }
+            Op::Batch { region } => {
+                let region = self.region(*region);
+                let calls = vec![
+                    SmCall::GetField { field: 3 },
+                    SmCall::BlockRegion { region },
+                    SmCall::CleanRegion { region },
+                    SmCall::GrantRegion { region, owner_eid: 0 },
+                    SmCall::GetField { field: 0 },
+                ];
+                match self.system.monitor.batch(os_session, &calls) {
+                    Ok(outcomes) => {
+                        // Per-entry statuses are platform-invariant; values
+                        // (lengths vs cycle counts) are not, so only the
+                        // status stream is fingerprinted.
+                        let statuses: Vec<u8> = outcomes
+                            .iter()
+                            .flat_map(|o| o.status.to_le_bytes())
+                            .collect();
+                        OpOutcome::done(label, status::OK, detail_fingerprint(&statuses))
+                    }
+                    Err(err) => OpOutcome::done(label, status_of(&err), 0),
+                }
+            }
+            Op::Attack { kind, slot } => {
+                let kind = AttackKind::ALL[(*kind % AttackKind::ALL.len() as u64) as usize];
+                if kind.builds_own_enclave() && self.os.free_region_count() == 0 {
+                    return OpOutcome::skipped(label);
+                }
+                let Some(index) = self.slot(*slot) else {
+                    return OpOutcome::skipped(label);
+                };
+                let victim = self.live[index].built.clone();
+                match kind.run(&self.system, &mut self.os, &victim, &victim, hart) {
+                    Ok(outcome) => {
+                        let mut summary = OpOutcome::done(label, status::OK, 0);
+                        summary.attack_blocked = Some(outcome.blocked());
+                        summary
+                    }
+                    Err(err) => OpOutcome::done(label, status_of(&err), 0),
+                }
+            }
+        }
+    }
+
+    /// Drives one accept → send → get mail exchange and records whether the
+    /// SM-attributed sender identity matches the actual sender.
+    fn mail_exchange(
+        &mut self,
+        label: &'static str,
+        sender: Option<EnclaveId>,
+        recipient: EnclaveId,
+        payload: u64,
+    ) -> OpOutcome {
+        use sanctorum_core::mailbox::SenderIdentity;
+        let recipient_session = CallerSession::enclave(recipient);
+        let sender_session = match sender {
+            Some(eid) => CallerSession::enclave(eid),
+            None => CallerSession::os(),
+        };
+        let sender_id = sender.map(|e| e.as_u64()).unwrap_or(0);
+        if let Err(err) = self
+            .system
+            .monitor
+            .accept_mail(recipient_session, 0, sender_id)
+        {
+            return OpOutcome::done(label, status_of(&err), 1);
+        }
+        if let Err(err) =
+            self.system
+                .monitor
+                .send_mail(sender_session, recipient, &payload.to_le_bytes())
+        {
+            return OpOutcome::done(label, status_of(&err), 2);
+        }
+        match self.system.monitor.get_mail(recipient_session, 0) {
+            Ok((bytes, identity)) => {
+                let identity_ok = match (&identity, sender) {
+                    (SenderIdentity::Untrusted, None) => true,
+                    (SenderIdentity::Enclave(m), Some(eid)) => self
+                        .live
+                        .iter()
+                        .find(|e| e.built.eid == eid)
+                        .map(|e| e.built.measurement == *m)
+                        .unwrap_or(false),
+                    _ => false,
+                };
+                let mut outcome = OpOutcome::done(
+                    label,
+                    status::OK,
+                    detail_fingerprint(&bytes),
+                );
+                outcome.mail_identity_ok = Some(identity_ok);
+                outcome
+            }
+            Err(err) => OpOutcome::done(label, status_of(&err), 3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_covers_the_op_space() {
+        let mut a = words(7);
+        let mut b = words(7);
+        let ops_a: Vec<Op> = (0..500).map(|_| Op::sample(&mut a)).collect();
+        let ops_b: Vec<Op> = (0..500).map(|_| Op::sample(&mut b)).collect();
+        assert_eq!(ops_a, ops_b);
+        let labels: std::collections::BTreeSet<&str> =
+            ops_a.iter().map(|o| o.label()).collect();
+        assert!(labels.len() >= 12, "got only {labels:?}");
+    }
+
+    #[test]
+    fn skipped_ops_report_the_skip_status() {
+        let mut world = OpWorld::boot(PlatformKind::Sanctum, MachineConfig::small());
+        let outcome = world.apply(CoreId::new(0), &Op::Teardown { slot: 3 });
+        assert_eq!(outcome.status, OpOutcome::SKIPPED);
+        let outcome = world.apply(CoreId::new(0), &Op::Run { slot: 0, budget: 100 });
+        assert_eq!(outcome.status, OpOutcome::SKIPPED);
+    }
+
+    #[test]
+    fn build_run_teardown_round_trips_through_ops() {
+        let mut world = OpWorld::boot(PlatformKind::Sanctum, MachineConfig::small());
+        let hart = CoreId::new(0);
+        let built = world.apply(hart, &Op::Build { kind: ImageKind::Hello, param: 3 });
+        assert_eq!(built.status, status::OK);
+        assert!(built.measurement.is_some());
+        assert_eq!(world.live.len(), 1);
+        assert_eq!(world.live_secrets().count(), 1);
+
+        let ran = world.apply(hart, &Op::Run { slot: 0, budget: 10_000 });
+        assert_eq!((ran.status, ran.detail), (status::OK, 1), "exited");
+
+        let mail = world.apply(hart, &Op::MailRoundTrip { slot: 0, payload: 9 });
+        assert_eq!(mail.status, status::OK);
+        assert_eq!(mail.mail_identity_ok, Some(true));
+
+        let torn = world.apply(hart, &Op::Teardown { slot: 0 });
+        assert_eq!(torn.status, status::OK);
+        assert!(world.live.is_empty());
+    }
+
+    #[test]
+    fn attacks_through_ops_are_blocked() {
+        let mut world = OpWorld::boot(PlatformKind::Sanctum, MachineConfig::small());
+        let hart = CoreId::new(0);
+        world.apply(hart, &Op::Build { kind: ImageKind::Hello, param: 1 });
+        for kind in 0..AttackKind::ALL.len() as u64 {
+            let outcome = world.apply(hart, &Op::Attack { kind, slot: 0 });
+            assert_eq!(outcome.status, status::OK, "attack {kind} errored");
+            assert_eq!(outcome.attack_blocked, Some(true), "attack {kind} succeeded");
+        }
+    }
+}

@@ -165,6 +165,27 @@ impl Os {
     /// Propagates any SM API error; on failure the partially built enclave is
     /// left for the caller to clean up (as a real OS would have to).
     pub fn build_enclave(&mut self, image: &EnclaveImage, regions: usize) -> SmResult<BuiltEnclave> {
+        self.build_enclave_mutated(image, regions, |_, _, _| {})
+    }
+
+    /// Like [`Os::build_enclave`], but invokes `after_load` with the machine,
+    /// the staging address and the page index after every `load_page` call —
+    /// a programmable-adversary hook. A malicious OS controls the staging
+    /// memory at all times, so mutating it between (or right after) SM calls
+    /// is exactly the freedom the threat model grants; the TOCTOU attack of
+    /// the adversary battery uses this to overwrite a page the SM has just
+    /// accepted and then checks that neither the enclave's contents nor its
+    /// measurement moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any SM API error, exactly as [`Os::build_enclave`].
+    pub fn build_enclave_mutated(
+        &mut self,
+        image: &EnclaveImage,
+        regions: usize,
+        mut after_load: impl FnMut(&Machine, PhysAddr, usize),
+    ) -> SmResult<BuiltEnclave> {
         let cycles_before = self.machine.total_cycles();
         let os = CallerSession::os();
         let reserved = self.reserve_regions(regions)?;
@@ -173,7 +194,7 @@ impl Os {
             .create_enclave(os, image.evrange_base, image.evrange_len, &reserved)?;
         self.monitor.allocate_page_table(os, eid)?;
 
-        for (vaddr, perms, contents) in &image.pages {
+        for (index, (vaddr, perms, contents)) in image.pages.iter().enumerate() {
             // Stage the page contents in OS memory, then ask the SM to copy
             // them into the enclave.
             let mut page = vec![0u8; PAGE_SIZE];
@@ -184,6 +205,7 @@ impl Os {
                 .map_err(|_| SmError::Memory)?;
             self.monitor
                 .load_page(os, eid, *vaddr, self.staging_base, *perms)?;
+            after_load(&self.machine, self.staging_base, index);
         }
 
         let mut threads = Vec::new();

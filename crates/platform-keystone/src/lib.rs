@@ -21,7 +21,7 @@ use sanctorum_hal::addr::PhysAddr;
 use sanctorum_hal::cycles::Cycles;
 use sanctorum_hal::domain::{CoreId, DomainKind};
 use sanctorum_hal::isolation::{
-    FlushKind, IsolationBackend, IsolationError, RegionId, RegionInfo,
+    FlushKind, IsolationBackend, IsolationError, PlatformCapacity, RegionId, RegionInfo,
 };
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::access::AccessRange;
@@ -118,6 +118,14 @@ impl KeystoneBackend {
 impl IsolationBackend for KeystoneBackend {
     fn platform_name(&self) -> &'static str {
         "keystone"
+    }
+
+    fn capacity(&self) -> PlatformCapacity {
+        // Every protected unit consumes one PMP entry, so the PMP size bounds
+        // how many units (SM range included) can be isolated at once.
+        PlatformCapacity {
+            max_isolated_units: Some(self.pmp_capacity),
+        }
     }
 
     fn regions(&self) -> Vec<RegionInfo> {
@@ -312,6 +320,15 @@ mod tests {
         let cost = backend.flush_region_cache(RegionId::new(1)).unwrap();
         assert!(cost.count() >= 64 * 4, "whole-cache flush must pay per resident line");
         assert!(!machine.with_cache_mut(|c| c.holds_line_in(PhysAddr::new(0x8000_0000), 64 * 64)));
+    }
+
+    #[test]
+    fn declared_capacity_is_the_pmp_size() {
+        let (machine, backend) = setup();
+        assert_eq!(
+            backend.capacity().max_isolated_units,
+            Some(machine.config().pmp_entries)
+        );
     }
 
     #[test]

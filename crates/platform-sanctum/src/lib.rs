@@ -17,7 +17,7 @@ use sanctorum_hal::addr::PhysAddr;
 use sanctorum_hal::cycles::Cycles;
 use sanctorum_hal::domain::{CoreId, DomainKind};
 use sanctorum_hal::isolation::{
-    FlushKind, IsolationBackend, IsolationError, RegionId, RegionInfo,
+    FlushKind, IsolationBackend, IsolationError, PlatformCapacity, RegionId, RegionInfo,
 };
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::access::AccessRange;
@@ -95,6 +95,12 @@ impl SanctumBackend {
 impl IsolationBackend for SanctumBackend {
     fn platform_name(&self) -> &'static str {
         "sanctum"
+    }
+
+    fn capacity(&self) -> PlatformCapacity {
+        // The region map covers every DRAM region: any subset of regions can
+        // be isolated simultaneously, so no capacity limit is declared.
+        PlatformCapacity::UNLIMITED
     }
 
     fn regions(&self) -> Vec<RegionInfo> {
@@ -315,6 +321,12 @@ mod tests {
             SanctumBackend::partition_for(RegionId::new(CACHE_PARTITIONS + 1)).0,
             1
         );
+    }
+
+    #[test]
+    fn declares_no_capacity_limit() {
+        let (_, backend) = setup();
+        assert_eq!(backend.capacity(), PlatformCapacity::UNLIMITED);
     }
 
     #[test]

@@ -3,10 +3,17 @@
 //! The `proptest!` macro here expands each property into a plain `#[test]`
 //! that evaluates the body over a fixed number of pseudo-random cases drawn
 //! from a [SplitMix64](https://prng.di.unimi.it/splitmix64.c) stream seeded
-//! from the test's name. There is no shrinking and no persistence file: a
-//! failing case's inputs are reported through the panic message via the
-//! `prop_assert*` macros. Coverage is deterministic across runs, which suits
-//! a CI environment without network access to fetch the real crate.
+//! from the test's name. A failing case's inputs are reported through the
+//! panic message via the `prop_assert*` macros. Coverage is deterministic
+//! across runs, which suits a CI environment without network access to fetch
+//! the real crate.
+//!
+//! On top of the macro API, the shim provides an explicitly seeded
+//! [`Runner`]: it draws cases from a caller-chosen seed (so a failure is
+//! replayable from the `(seed, case)` pair alone) and minimizes failing
+//! inputs through [`Strategy::shrink`]. Sequence strategies
+//! ([`collection::vec`]) shrink structurally — prefix truncation first, then
+//! single-element removal — which is the shape op-trace tests want.
 
 #![forbid(unsafe_code)]
 
@@ -31,6 +38,12 @@ impl TestRng {
         Self(h)
     }
 
+    /// Seeds the generator from an explicit seed value (the [`Runner`]'s
+    /// replayable byte source).
+    pub const fn with_seed(seed: u64) -> Self {
+        Self(seed)
+    }
+
     /// Returns the next value in the SplitMix64 stream.
     pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -44,6 +57,15 @@ impl TestRng {
     pub fn next_u128(&mut self) -> u128 {
         ((self.next_u64() as u128) << 64) | self.next_u64() as u128
     }
+
+    /// Fills `buf` from the stream (the byte-source view of the generator).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&v[..n]);
+        }
+    }
 }
 
 /// A source of test-case values (subset of `proptest::strategy::Strategy`).
@@ -52,6 +74,12 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    /// Proposes strictly "smaller" variants of a failing value, most
+    /// aggressive first. The default proposes nothing (scalar strategies
+    /// rarely benefit); sequence strategies override this.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 /// Types with a default "any value" strategy (subset of
@@ -137,10 +165,183 @@ impl<const N: usize> Arbitrary for [u8; N] {
     }
 }
 
+/// Sequence strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Returns a strategy producing vectors of `element`-generated values
+    /// whose length lies in `len` (subset of `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let len = self.len.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Structural sequence shrinking: halving prefixes down to the
+        /// minimum length first (the cheapest big reductions), then every
+        /// single-element removal (to drop irrelevant interior ops).
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut candidates = Vec::new();
+            let min = self.len.start;
+            let mut keep = value.len() / 2;
+            while keep >= min && keep < value.len() {
+                candidates.push(value[..keep].to_vec());
+                if keep == min {
+                    break;
+                }
+                keep = min + (keep - min) / 2;
+            }
+            if value.len() > min {
+                for skip in 0..value.len() {
+                    let mut shorter = Vec::with_capacity(value.len() - 1);
+                    shorter.extend_from_slice(&value[..skip]);
+                    shorter.extend_from_slice(&value[skip + 1..]);
+                    candidates.push(shorter);
+                }
+            }
+            candidates
+        }
+    }
+}
+
+/// A minimized failing case reported by [`Runner::run`].
+#[derive(Debug, Clone)]
+pub struct CaseFailure<T> {
+    /// The seed the runner was constructed with.
+    pub seed: u64,
+    /// Zero-based index of the failing case within the run.
+    pub case: u32,
+    /// The (shrunken) failing input.
+    pub value: T,
+    /// The message the test function failed with on the shrunken input.
+    pub message: String,
+    /// How many successful shrink steps were applied.
+    pub shrink_steps: u32,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Display for CaseFailure<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "case {} of seed {:#x} failed after {} shrink steps: {}\ninput: {:?}",
+            self.case, self.seed, self.shrink_steps, self.message, self.value
+        )
+    }
+}
+
+/// An explicitly seeded property runner with shrinking (the shim's analogue
+/// of `proptest::test_runner::TestRunner`).
+///
+/// Unlike the [`proptest!`] macro — which seeds from the test name — a
+/// `Runner` is seeded by the caller, so a failure is reproducible from the
+/// reported `(seed, case)` pair alone, and failing inputs are minimized
+/// through [`Strategy::shrink`] before being reported.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    seed: u64,
+    cases: u32,
+    max_shrink_iters: u32,
+}
+
+impl Runner {
+    /// Creates a runner drawing every case from `seed`.
+    pub const fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            cases: NUM_CASES,
+            max_shrink_iters: 1024,
+        }
+    }
+
+    /// Overrides the number of cases to run.
+    #[must_use]
+    pub const fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Runs `test` over generated cases; on the first failure, shrinks the
+    /// input as far as `test` keeps failing and reports the minimized case.
+    ///
+    /// # Errors
+    ///
+    /// Returns the minimized [`CaseFailure`] if any case fails.
+    pub fn run<S: Strategy>(
+        &self,
+        strategy: &S,
+        mut test: impl FnMut(&S::Value) -> Result<(), String>,
+    ) -> Result<(), CaseFailure<S::Value>> {
+        let mut rng = TestRng::with_seed(self.seed);
+        for case in 0..self.cases {
+            let value = strategy.generate(&mut rng);
+            if let Err(message) = test(&value) {
+                let (value, message, shrink_steps) =
+                    self.shrink_failure(strategy, value, message, &mut test);
+                return Err(CaseFailure {
+                    seed: self.seed,
+                    case,
+                    value,
+                    message,
+                    shrink_steps,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn shrink_failure<S: Strategy>(
+        &self,
+        strategy: &S,
+        mut value: S::Value,
+        mut message: String,
+        test: &mut impl FnMut(&S::Value) -> Result<(), String>,
+    ) -> (S::Value, String, u32) {
+        let mut steps = 0u32;
+        let mut budget = self.max_shrink_iters;
+        // Greedy descent: take the first candidate that still fails, restart
+        // from it, stop when no candidate fails or the budget runs out.
+        'outer: while budget > 0 {
+            for candidate in strategy.shrink(&value) {
+                if budget == 0 {
+                    break 'outer;
+                }
+                budget -= 1;
+                if let Err(new_message) = test(&candidate) {
+                    value = candidate;
+                    message = new_message;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (value, message, steps)
+    }
+}
+
 /// Everything a property-test module needs in scope.
 pub mod prelude {
     pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{Arbitrary, Strategy, TestRng};
+    pub use crate::{collection, Arbitrary, CaseFailure, Runner, Strategy, TestRng};
 }
 
 /// Declares property tests (subset of `proptest::proptest!`).
@@ -194,6 +395,77 @@ mod tests {
             rng.next_u64()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_seed_replays_exactly() {
+        let mut a = TestRng::with_seed(42);
+        let mut b = TestRng::with_seed(42);
+        let mut bytes_a = [0u8; 13];
+        let mut bytes_b = [0u8; 13];
+        a.fill_bytes(&mut bytes_a);
+        b.fill_bytes(&mut bytes_b);
+        assert_eq!(bytes_a, bytes_b);
+        assert_ne!(bytes_a, [0u8; 13]);
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let strategy = collection::vec(0u64..100, 3..17);
+        let mut rng = TestRng::with_seed(1);
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!((3..17).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 100));
+        }
+    }
+
+    #[test]
+    fn runner_reports_and_minimizes_failures() {
+        // Fail whenever the sequence contains a value >= 90; the minimized
+        // counterexample must be a single-element offender.
+        let strategy = collection::vec(0u64..100, 1..32);
+        let failure = Runner::new(0xfeed)
+            .cases(256)
+            .run(&strategy, |v| {
+                if v.iter().any(|x| *x >= 90) {
+                    Err("contains a large element".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .expect_err("large elements appear in 256 cases");
+        assert_eq!(failure.seed, 0xfeed);
+        assert_eq!(failure.value.len(), 1, "shrunk to one element: {failure}");
+        assert!(failure.value[0] >= 90);
+        assert!(failure.shrink_steps > 0);
+
+        // A property that holds reports no failure.
+        Runner::new(0xfeed)
+            .run(&strategy, |v| {
+                if v.len() < 32 {
+                    Ok(())
+                } else {
+                    Err("impossible".into())
+                }
+            })
+            .expect("property holds");
+    }
+
+    #[test]
+    fn runner_failures_replay_from_seed() {
+        let strategy = collection::vec(0u64..100, 1..32);
+        let test = |v: &Vec<u64>| {
+            if v.iter().sum::<u64>() > 500 {
+                Err("sum too large".into())
+            } else {
+                Ok(())
+            }
+        };
+        let a = Runner::new(7).cases(128).run(&strategy, test).expect_err("fails");
+        let b = Runner::new(7).cases(128).run(&strategy, test).expect_err("fails");
+        assert_eq!(a.case, b.case);
+        assert_eq!(a.value, b.value);
     }
 
     proptest! {

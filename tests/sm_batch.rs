@@ -290,7 +290,12 @@ fn batch_stops_writing_when_an_entry_revokes_table_access() {
     // The moment the grant lands, the SM must stop touching B — the old
     // behaviour kept writing status words into a just-scrubbed,
     // enclave-owned region with caller-chosen layout.
-    let (system, os) = boot(PlatformKind::Sanctum);
+    let (system, mut os) = boot(PlatformKind::Sanctum);
+    // Grants only succeed toward live enclaves, so build a real one to grant
+    // the region to.
+    let victim = os
+        .build_enclave(&sanctorum_enclave::image::EnclaveImage::hello(1), 1)
+        .unwrap();
     let core = CoreId::new(0);
     install_os_context(&system, core);
 
@@ -312,7 +317,8 @@ fn batch_stops_writing_when_an_entry_revokes_table_access() {
     let calls = vec![
         SmCall::BlockRegion { region: region_b },
         SmCall::CleanRegion { region: region_b }, // zeroes B (incl. entry 3)
-        SmCall::GrantRegion { region: region_b, owner_eid: 7 }, // revokes access
+        // Granting B to the enclave revokes the OS's access to it.
+        SmCall::GrantRegion { region: region_b, owner_eid: victim.eid.as_u64() },
         SmCall::GetField { field: 3 }, // lies in B: must never be touched
     ];
     system.monitor.stage_batch(core, table, &calls).unwrap();
@@ -326,7 +332,7 @@ fn batch_stops_writing_when_an_entry_revokes_table_access() {
     // all zeros. In particular the SM wrote no ILLEGAL_CALL status into it.
     assert_eq!(
         system.monitor.resource_state(ResourceId::Region(region_b)).unwrap(),
-        ResourceState::Owned(DomainKind::Enclave(sanctorum_hal::domain::EnclaveId::new(7)))
+        ResourceState::Owned(DomainKind::Enclave(victim.eid))
     );
     let (status_word, value_word) = system.monitor.read_batch_result(table, 3).unwrap();
     assert_eq!(

@@ -1,0 +1,199 @@
+//! Registry-driven `SmCall` codec properties and batch shape edge cases.
+//!
+//! Unlike the hand-written samples in `crates/core/src/api.rs`, these tests
+//! enumerate `CALL_TABLE` itself, so a call added to the registry is fuzzed
+//! automatically: for *every* registered call number and *any* argument
+//! registers, decoding must succeed and `decode ∘ encode` must be the
+//! identity on decoded calls (register words that don't round-trip exactly —
+//! e.g. junk permission bits — must have been canonicalized by the first
+//! decode, never dropped by the second). The cases are drawn through the
+//! proptest shim's seeded `Runner`, so a failure prints a replayable
+//! `(seed, case)` pair with a shrunken register vector.
+
+use proptest::prelude::*;
+use sanctorum_bench::boot;
+use sanctorum_core::api::{status, SmApi, SmCall, CALL_TABLE, MAX_BATCH_CALLS};
+use sanctorum_core::dispatch::BATCH_ENTRY_BYTES;
+use sanctorum_core::session::CallerSession;
+use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_machine::hart::PrivilegeLevel;
+use sanctorum_machine::trap::TrapCause;
+use sanctorum_os::system::PlatformKind;
+
+#[test]
+fn every_registered_call_decodes_and_canonically_round_trips() {
+    let args = collection::vec(any::<u64>(), 5..6);
+    for info in CALL_TABLE {
+        let failure = Runner::new(0x5ca1_ab1e ^ info.number)
+            .cases(128)
+            .run(&args, |words| {
+                let regs = [
+                    info.number, words[0], words[1], words[2], words[3], words[4],
+                ];
+                let decoded = SmCall::decode(&regs)
+                    .map_err(|e| format!("registered number failed to decode: {e}"))?;
+                if decoded.number() != info.number {
+                    return Err("decoded call reports a different number".into());
+                }
+                if decoded.name() != info.name {
+                    return Err("decoded call reports a different name".into());
+                }
+                let encoded = decoded.encode();
+                if encoded[0] != info.number {
+                    return Err("re-encoded a0 is not the call number".into());
+                }
+                let again = SmCall::decode(&encoded)
+                    .map_err(|e| format!("canonical encoding failed to decode: {e}"))?;
+                if again != decoded {
+                    return Err(format!(
+                        "decode∘encode not identity: {decoded:?} vs {again:?}"
+                    ));
+                }
+                if again.encode() != encoded {
+                    return Err("canonical encoding is not a fixed point".into());
+                }
+                Ok(())
+            });
+        if let Err(failure) = failure {
+            panic!("{} codec property failed:\n{failure}", info.name);
+        }
+    }
+}
+
+#[test]
+fn unregistered_numbers_never_decode() {
+    let registered: Vec<u64> = CALL_TABLE.iter().map(|c| c.number).collect();
+    let strategy = collection::vec(any::<u64>(), 6..7);
+    Runner::new(0xbad_ca11)
+        .cases(256)
+        .run(&strategy, |words| {
+            if registered.contains(&words[0]) {
+                return Ok(()); // property covers unregistered numbers only
+            }
+            let regs = [words[0], words[1], words[2], words[3], words[4], words[5]];
+            match SmCall::decode(&regs) {
+                Err(_) => Ok(()),
+                Ok(call) => Err(format!("junk number {:#x} decoded to {call:?}", words[0])),
+            }
+        })
+        .unwrap_or_else(|failure| panic!("{failure}"));
+}
+
+/// Boots a system with the hart staged as the untrusted OS and returns the
+/// scratch table address inside the OS staging area.
+fn batch_fixture() -> (sanctorum_os::system::System, sanctorum_hal::addr::PhysAddr) {
+    let (system, os) = boot(PlatformKind::Keystone);
+    let core = CoreId::new(0);
+    system
+        .machine
+        .install_context(core, DomainKind::Untrusted, PrivilegeLevel::Supervisor, None, 0);
+    (system, os.staging_base().offset(0x8000))
+}
+
+#[test]
+fn batch_of_zero_entries_is_rejected_on_both_paths() {
+    let (system, table) = batch_fixture();
+    let core = CoreId::new(0);
+    // Register path: a staged Batch call with count 0.
+    system
+        .monitor
+        .stage_call(core, &SmCall::Batch { table, count: 0 });
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(system.monitor.read_call_result(core).0, status::INVALID_ARGUMENT);
+    // Typed path.
+    assert!(system.monitor.batch(CallerSession::os(), &[]).is_err());
+}
+
+#[test]
+fn batch_of_sixty_five_entries_is_rejected_before_any_entry_runs() {
+    let (system, table) = batch_fixture();
+    let core = CoreId::new(0);
+    assert_eq!(MAX_BATCH_CALLS, 64);
+    let calls = vec![SmCall::GetField { field: 3 }; 65];
+    // stage_batch packs 65 entries (fits in the staging region), but the
+    // call itself must be refused wholesale: no entry receives a status.
+    system.monitor.stage_batch(core, table, &calls).unwrap();
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(system.monitor.read_call_result(core).0, status::INVALID_ARGUMENT);
+    for idx in 0..65 {
+        assert_eq!(
+            system.monitor.read_batch_result(table, idx).unwrap().0,
+            status::NOT_RUN,
+            "entry {idx} must not have been touched"
+        );
+    }
+    // Typed path agrees.
+    assert!(system.monitor.batch(CallerSession::os(), &calls).is_err());
+    // Exactly the limit is fine.
+    let calls = vec![SmCall::GetField { field: 3 }; 64];
+    let outcomes = system.monitor.batch(CallerSession::os(), &calls).unwrap();
+    assert_eq!(outcomes.len(), 64);
+    assert!(outcomes.iter().all(|o| o.is_ok()));
+}
+
+#[test]
+fn misaligned_and_unmapped_batch_tables_are_rejected() {
+    let (system, table) = batch_fixture();
+    let core = CoreId::new(0);
+    // Any non-8-byte alignment is refused...
+    for offset in [1u64, 2, 4, 7] {
+        system.monitor.stage_call(
+            core,
+            &SmCall::Batch { table: table.offset(offset), count: 1 },
+        );
+        system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+        assert_eq!(
+            system.monitor.read_call_result(core).0,
+            status::INVALID_ARGUMENT,
+            "offset {offset} must be rejected"
+        );
+    }
+    // ...while 8-byte alignment is the contract: an entry-straddling but
+    // word-aligned table is accepted (the wire format has no 64-byte
+    // alignment requirement).
+    let staggered = table.offset(8);
+    system
+        .monitor
+        .stage_batch(core, staggered, &[SmCall::GetField { field: 3 }])
+        .unwrap();
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(system.monitor.read_call_result(core), (status::OK, 1));
+
+    // A table outside the caller's memory is refused before any execution.
+    let sm_base = system.machine.config().memory_base;
+    system
+        .monitor
+        .stage_call(core, &SmCall::Batch { table: sm_base, count: 1 });
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(system.monitor.read_call_result(core).0, status::UNAUTHORIZED);
+
+    // A table past the end of DRAM is rejected as a memory-shape failure.
+    let beyond = sm_base.offset(system.machine.config().memory_size as u64);
+    system
+        .monitor
+        .stage_call(core, &SmCall::Batch { table: beyond, count: 2 });
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(system.monitor.read_call_result(core).0, status::MEMORY);
+
+    // A table whose *tail* leaves populated memory is rejected up front too,
+    // before its (accessible, populated) first entry executes.
+    let tail_out = sanctorum_hal::addr::PhysAddr::new(
+        sm_base.as_u64() + system.machine.config().memory_size as u64 - BATCH_ENTRY_BYTES,
+    );
+    let mut entry0 = Vec::new();
+    for word in (SmCall::GetField { field: 3 }).encode() {
+        entry0.extend_from_slice(&word.to_le_bytes());
+    }
+    entry0.extend_from_slice(&status::NOT_RUN.to_le_bytes());
+    system.monitor.stage_untrusted_buffer(tail_out, &entry0).unwrap();
+    system
+        .monitor
+        .stage_call(core, &SmCall::Batch { table: tail_out, count: 2 });
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(system.monitor.read_call_result(core).0, status::MEMORY);
+    assert_eq!(
+        system.monitor.read_batch_result(tail_out, 0).unwrap().0,
+        status::NOT_RUN,
+        "no entry may run when the table shape is invalid"
+    );
+}
