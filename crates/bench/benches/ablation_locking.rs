@@ -1,6 +1,10 @@
 //! Ablation A1 — fine-grained locking with transaction failures
 //! (paper Section V-A) versus a single global monitor lock: single-caller
 //! latency and multi-threaded OS call throughput.
+//!
+//! Ablation A2 — incremental (generation-cached) audit snapshots versus a
+//! from-scratch rebuild per snapshot, over a populated monitor: the speedup
+//! that lets the explorer's invariant kernel run after every step.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sanctorum_core::api::SmApi;
@@ -111,9 +115,50 @@ fn bench_locking(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_audit(c: &mut Criterion) {
+    use sanctorum_bench::boot;
+    use sanctorum_enclave::image::EnclaveImage;
+    use sanctorum_hal::domain::CoreId;
+
+    // A populated monitor: several live enclaves, one of them running a
+    // thread, so snapshots carry real window/thread payloads.
+    let (system, mut os) = boot(PlatformKind::Sanctum);
+    for param in 0..3u64 {
+        os.build_enclave(&EnclaveImage::hello(param), 1)
+            .expect("bench enclave builds");
+    }
+    let spinner = os.build_enclave(&EnclaveImage::spinner(), 1).expect("spinner builds");
+    os.run_thread(&spinner, spinner.main_thread(), CoreId::new(0), 16)
+        .expect("spinner preempts");
+
+    let mut group = c.benchmark_group("ablation_audit");
+    // Steady state of the explorer loop: audit after a step that changed
+    // nothing — the incremental path is pure cache reuse.
+    group.bench_function("incremental_unchanged", |b| {
+        let _ = system.monitor.audit(); // warm the cache
+        b.iter(|| system.monitor.audit())
+    });
+    // Audit under ongoing mutation traffic: each iteration churns the
+    // thread table (two API calls) and snapshots; the incremental path pays
+    // the generation compare plus only the component that moved, still
+    // reusing every cached enclave record and window list.
+    group.bench_function("incremental_after_mutation", |b| {
+        let session = CallerSession::os();
+        b.iter(|| {
+            let tid = system.monitor.create_thread(session, 0x4000).expect("create");
+            system.monitor.delete_thread(session, tid).expect("delete");
+            system.monitor.audit()
+        })
+    });
+    // The ablated baseline: every snapshot rebuilt from scratch (the PR 2
+    // behaviour), cloning every window list and thread table.
+    group.bench_function("full_rebuild", |b| b.iter(|| system.monitor.audit_full()));
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_locking
+    targets = bench_locking, bench_audit
 }
 criterion_main!(benches);

@@ -53,6 +53,14 @@ pub fn derive_device_keypair(root: &dyn RootOfTrust) -> Keypair {
 
 /// Performs the secure-boot derivation for an SM whose binary is `sm_binary`.
 ///
+/// The derivation is a pure function of the device secret, the device id and
+/// the SM measurement (that determinism is itself a protocol requirement —
+/// the same device re-booting the same SM must present the same identity),
+/// so the result is memoized process-wide: harnesses that boot hundreds of
+/// simulated systems with the same device (the adversarial explorer boots
+/// two worlds per seed) pay the ed25519/certificate derivation once instead
+/// of per boot.
+///
 /// # Examples
 ///
 /// ```
@@ -64,8 +72,33 @@ pub fn derive_device_keypair(root: &dyn RootOfTrust) -> Keypair {
 /// assert!(identity.sm_certificate.verify());
 /// ```
 pub fn secure_boot(root: &dyn RootOfTrust, sm_binary: &[u8]) -> SmIdentity {
-    let sm_measurement = Sha3_256::digest(sm_binary);
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
 
+    let sm_measurement = Sha3_256::digest(sm_binary);
+    // The cache key carries only a *hash* of the device secret: the boot
+    // protocol erases the secret from reach after derivation, and the memo
+    // table must not quietly extend its lifetime.
+    type BootKey = (u64, [u8; 32], [u8; 32]);
+    static CACHE: OnceLock<Mutex<HashMap<BootKey, SmIdentity>>> = OnceLock::new();
+    let key: BootKey = (
+        root.device_id(),
+        Sha3_256::digest(root.device_secret().as_bytes()),
+        sm_measurement,
+    );
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(identity) = cache.lock().unwrap().get(&key) {
+        return identity.clone();
+    }
+    let identity = derive_identity(root, sm_measurement);
+    cache
+        .lock()
+        .unwrap()
+        .insert(key, identity.clone());
+    identity
+}
+
+fn derive_identity(root: &dyn RootOfTrust, sm_measurement: [u8; 32]) -> SmIdentity {
     let device_keypair = derive_device_keypair(root);
 
     // The attestation key is bound to both the device and the SM measurement:

@@ -120,15 +120,13 @@ impl SecurityMonitor {
                     // exceptions (demand paging inside evrange, emulation).
                     if cause.enclave_handleable() {
                         if let Some(tid) = self.thread_on_core(core) {
-                            if let Ok(info) = self.thread_info(tid) {
-                                if let Some(handler) = info.fault_handler_pc {
-                                    let mut hart = self.machine().hart(core);
-                                    hart.pc = handler;
-                                    hart.pending_trap = None;
-                                    return EventOutcome::DelegateToEnclave {
-                                        handler_pc: handler,
-                                    };
-                                }
+                            if let Ok(Some(handler)) = self.thread_fault_handler(tid) {
+                                let mut hart = self.machine().hart(core);
+                                hart.pc = handler;
+                                hart.pending_trap = None;
+                                return EventOutcome::DelegateToEnclave {
+                                    handler_pc: handler,
+                                };
                             }
                         }
                     }

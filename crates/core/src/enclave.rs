@@ -72,6 +72,12 @@ pub struct EnclaveMeta {
     pub mailboxes: Vec<Mailbox>,
     /// Number of threads currently running on cores.
     pub running_threads: usize,
+    /// Generation stamp of the last audit-visible mutation, drawn from the
+    /// monitor's global enclave counter (values are unique process-wide, so
+    /// a recreated enclave can never alias a stale cached audit record).
+    /// Maintained by `SecurityMonitor::touch_enclave`; the incremental audit
+    /// reuses its cached record while this stamp is unchanged.
+    pub audit_generation: u64,
 }
 
 impl EnclaveMeta {
@@ -103,6 +109,7 @@ impl EnclaveMeta {
             threads: Vec::new(),
             mailboxes: (0..MAILBOXES_PER_ENCLAVE).map(|_| Mailbox::new()).collect(),
             running_threads: 0,
+            audit_generation: 0,
         }
     }
 

@@ -144,6 +144,15 @@ struct SmState {
     /// Which enclave thread currently occupies each core.
     core_occupancy: Mutex<BTreeMap<CoreId, ThreadId>>,
     next_tid: AtomicU64,
+    /// Bumped after every enclave-table change and every audit-visible
+    /// enclave-metadata change (the value is also recorded into the touched
+    /// enclave's [`EnclaveMeta::audit_generation`]). Drives the incremental
+    /// audit.
+    enclaves_generation: AtomicU64,
+    /// Bumped after every thread-table or thread-state change.
+    threads_generation: AtomicU64,
+    /// Bumped after every core-occupancy change.
+    occupancy_generation: AtomicU64,
 }
 
 /// Deliberate, named weakenings of the monitor's enforcement, used by the
@@ -164,6 +173,13 @@ pub enum TestWeakening {
 }
 
 /// One enclave's OS-visible metadata inside an [`AuditSnapshot`].
+///
+/// The fields mirror exactly the audit-visible subset of
+/// [`EnclaveMeta`]; any monitor code path mutating one of these underlying
+/// fields must bump the enclave's `audit_generation` (see
+/// [`EnclaveMeta::audit_generation`]) or the incremental audit will serve a
+/// stale record — the audit-equivalence property test in the explorer crate
+/// guards this contract.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnclaveAudit {
     /// The enclave id.
@@ -180,29 +196,93 @@ pub struct EnclaveAudit {
     pub threads: Vec<ThreadId>,
 }
 
+/// The monotone change counters an [`AuditSnapshot`] was taken at.
+///
+/// Each counter only ever grows, and grows on (at least) every mutation of
+/// the corresponding state component — so two snapshots with equal
+/// generations are guaranteed to describe identical state, and a consumer
+/// checking invariants after every step can skip whole check families when
+/// the relevant counters did not move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AuditGenerations {
+    /// Mutation counter of the resource map (Fig. 2 transitions).
+    pub resources: u64,
+    /// Mutation counter of the enclave table and all enclave metadata.
+    pub enclaves: u64,
+    /// Mutation counter of the thread table and all thread state machines.
+    pub threads: u64,
+    /// Mutation counter of the core-occupancy table.
+    pub occupancy: u64,
+}
+
 /// A consistent snapshot of the monitor's security-relevant state, taken for
 /// invariant checking (the explorer's invariant kernel runs over one of these
 /// after every step). Producing the snapshot takes no try-locks, so it can be
 /// interleaved with API traffic without inducing `ConcurrentCall` failures.
+///
+/// Snapshots are produced incrementally: the payload vectors are shared
+/// (`Arc`) with the monitor's audit cache and with previous snapshots, so a
+/// snapshot after a step that changed nothing costs three atomic loads and
+/// three `Arc` clones instead of a deep copy of every thread list and window
+/// table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditSnapshot {
-    /// Every registered resource and its Fig. 2 state.
-    pub resources: Vec<(ResourceId, ResourceState)>,
-    /// Every live enclave's metadata.
-    pub enclaves: Vec<EnclaveAudit>,
+    /// Every registered resource and its Fig. 2 state, in `ResourceId` order.
+    pub resources: Arc<Vec<(ResourceId, ResourceState)>>,
+    /// Every live enclave's metadata, in `EnclaveId` order.
+    pub enclaves: Vec<Arc<EnclaveAudit>>,
     /// Which enclave thread occupies each core.
-    pub core_occupancy: Vec<(CoreId, ThreadId)>,
+    pub core_occupancy: Arc<Vec<(CoreId, ThreadId)>>,
+    /// The change counters this snapshot was taken at.
+    pub generations: AuditGenerations,
 }
 
 impl AuditSnapshot {
     /// Returns the audit record for `eid`, if the enclave is live.
     pub fn enclave(&self, eid: EnclaveId) -> Option<&EnclaveAudit> {
-        self.enclaves.iter().find(|e| e.id == eid)
+        self.enclaves
+            .binary_search_by_key(&eid, |e| e.id)
+            .ok()
+            .map(|i| &*self.enclaves[i])
     }
 
     /// Returns the state of one resource, if registered.
     pub fn resource(&self, id: ResourceId) -> Option<ResourceState> {
-        self.resources.iter().find(|(r, _)| *r == id).map(|(_, s)| *s)
+        self.resources
+            .binary_search_by_key(&id, |(r, _)| *r)
+            .ok()
+            .map(|i| self.resources[i].1)
+    }
+}
+
+/// The incremental-audit cache: the previously built snapshot payloads plus
+/// the generations they are valid at. `u64::MAX` sentinels force a full
+/// build on the first audit.
+struct AuditCache {
+    resources_gen: u64,
+    resources: Arc<Vec<(ResourceId, ResourceState)>>,
+    enclaves_gen: u64,
+    /// Per-enclave cache entries: the `audit_generation` the record was built
+    /// at, and the shared record itself.
+    enclaves: BTreeMap<EnclaveId, (u64, Arc<EnclaveAudit>)>,
+    /// The `enclaves` values pre-collected in id order, so an unchanged-state
+    /// audit clones one `Vec` of `Arc`s without re-walking the map.
+    enclaves_vec: Vec<Arc<EnclaveAudit>>,
+    occupancy_gen: u64,
+    core_occupancy: Arc<Vec<(CoreId, ThreadId)>>,
+}
+
+impl Default for AuditCache {
+    fn default() -> Self {
+        Self {
+            resources_gen: u64::MAX,
+            resources: Arc::new(Vec::new()),
+            enclaves_gen: u64::MAX,
+            enclaves: BTreeMap::new(),
+            enclaves_vec: Vec::new(),
+            occupancy_gen: u64::MAX,
+            core_occupancy: Arc::new(Vec::new()),
+        }
     }
 }
 
@@ -215,12 +295,17 @@ impl AuditSnapshot {
 pub struct SecurityMonitor {
     machine: Arc<Machine>,
     backend: Mutex<Box<dyn IsolationBackend + Send>>,
+    /// Immutable backend facts cached at construction so diagnostics and the
+    /// differential explorer never take the backend lock for them.
+    platform: &'static str,
+    capacity: PlatformCapacity,
     identity: SmIdentity,
     config: SmConfig,
     state: SmState,
     global_lock: Mutex<()>,
     stats: SmStats,
     weakening: Mutex<Option<TestWeakening>>,
+    audit_cache: Mutex<AuditCache>,
 }
 
 impl std::fmt::Debug for SecurityMonitor {
@@ -228,7 +313,7 @@ impl std::fmt::Debug for SecurityMonitor {
         write!(
             f,
             "SecurityMonitor {{ platform: {}, enclaves: {} }}",
-            self.backend.lock().platform_name(),
+            self.platform,
             self.state.enclaves.lock().len()
         )
     }
@@ -259,9 +344,13 @@ impl SecurityMonitor {
                 .unwrap_or(DomainKind::Untrusted);
             resources.register(ResourceId::Region(info.id), ResourceState::Owned(owner));
         }
+        let platform = backend.platform_name();
+        let capacity = backend.capacity();
         Self {
             machine,
             backend: Mutex::new(backend),
+            platform,
+            capacity,
             identity,
             config,
             state: SmState {
@@ -270,10 +359,14 @@ impl SecurityMonitor {
                 threads: Mutex::new(BTreeMap::new()),
                 core_occupancy: Mutex::new(BTreeMap::new()),
                 next_tid: AtomicU64::new(0x1000),
+                enclaves_generation: AtomicU64::new(0),
+                threads_generation: AtomicU64::new(0),
+                occupancy_generation: AtomicU64::new(0),
             },
             global_lock: Mutex::new(()),
             stats: SmStats::default(),
             weakening: Mutex::new(None),
+            audit_cache: Mutex::new(AuditCache::default()),
         }
     }
 
@@ -298,15 +391,17 @@ impl SecurityMonitor {
         self.config.locking
     }
 
-    /// Returns the platform name reported by the isolation backend.
+    /// Returns the platform name reported by the isolation backend (cached
+    /// at construction — no backend lock taken).
     pub fn platform_name(&self) -> &'static str {
-        self.backend.lock().platform_name()
+        self.platform
     }
 
     /// Returns the capacity limits the isolation backend declares (used by
-    /// the differential explorer to classify cross-platform divergences).
+    /// the differential explorer to classify cross-platform divergences;
+    /// cached at construction — no backend lock taken).
     pub fn platform_capacity(&self) -> PlatformCapacity {
-        self.backend.lock().capacity()
+        self.capacity
     }
 
     /// Installs (or clears) a deliberate enforcement weakening.
@@ -367,6 +462,37 @@ impl SecurityMonitor {
         }
     }
 
+    // ------------------------------------------------------------------
+    // audit-generation bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Marks an enclave's audit-visible metadata as changed. Must be called
+    /// (with the enclave's lock held) by every path mutating a field that
+    /// [`EnclaveAudit`] reflects: lifecycle, measurement, thread list,
+    /// running-thread count.
+    fn touch_enclave(&self, meta: &mut EnclaveMeta) {
+        meta.audit_generation = self
+            .state
+            .enclaves_generation
+            .fetch_add(1, Ordering::Relaxed)
+            + 1;
+    }
+
+    /// Marks the enclave *table* (insert/remove) as changed.
+    fn touch_enclave_table(&self) {
+        self.state.enclaves_generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks the thread table or any thread state machine as changed.
+    fn touch_threads(&self) {
+        self.state.threads_generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks the core-occupancy table as changed.
+    fn touch_occupancy(&self) {
+        self.state.occupancy_generation.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn record_call<T>(&self, result: SmResult<T>) -> SmResult<T> {
         match &result {
             Ok(_) => {
@@ -406,42 +532,117 @@ impl SecurityMonitor {
     /// The snapshot uses plain (blocking) locks rather than the API's
     /// try-lock discipline, so taking one between API calls never perturbs
     /// the `ConcurrentCall` behaviour the calls themselves observe.
+    ///
+    /// Snapshots are built incrementally from a generation-counted cache:
+    /// only the state components mutated since the previous audit are
+    /// re-collected, and unchanged enclave records are shared by `Arc`
+    /// rather than re-cloned. [`SecurityMonitor::audit_full`] bypasses the
+    /// cache; the two must always agree (property-tested by the explorer).
     pub fn audit(&self) -> AuditSnapshot {
-        let resources = self
-            .state
-            .resources
-            .lock()
-            .iter()
-            .map(|(id, state)| (*id, *state))
-            .collect();
+        let mut cache = self.audit_cache.lock();
+        let mut generations = AuditGenerations::default();
+
+        {
+            let resources = self.state.resources.lock();
+            if cache.resources_gen != resources.generation() {
+                cache.resources = Arc::new(resources.snapshot());
+                cache.resources_gen = resources.generation();
+            }
+            generations.resources = cache.resources_gen;
+        }
+
+        // The generation is read *before* the table, so a concurrent
+        // mutation can only make the cached data newer than the recorded
+        // generation — the next audit then conservatively rebuilds.
+        let enclaves_gen = self.state.enclaves_generation.load(Ordering::Relaxed);
+        if cache.enclaves_gen != enclaves_gen {
+            let table = self.state.enclaves.lock();
+            cache.enclaves.retain(|eid, _| table.contains_key(eid));
+            for (eid, enclave) in table.iter() {
+                let meta = enclave.lock();
+                let fresh = match cache.enclaves.get(eid) {
+                    Some((gen, _)) if *gen == meta.audit_generation => None,
+                    _ => Some((meta.audit_generation, Arc::new(Self::enclave_audit(&meta)))),
+                };
+                if let Some(entry) = fresh {
+                    cache.enclaves.insert(*eid, entry);
+                }
+            }
+            cache.enclaves_vec = cache.enclaves.values().map(|(_, a)| Arc::clone(a)).collect();
+            cache.enclaves_gen = enclaves_gen;
+        }
+        generations.enclaves = cache.enclaves_gen;
+
+        let occupancy_gen = self.state.occupancy_generation.load(Ordering::Relaxed);
+        if cache.occupancy_gen != occupancy_gen {
+            cache.core_occupancy = Arc::new(
+                self.state
+                    .core_occupancy
+                    .lock()
+                    .iter()
+                    .map(|(core, tid)| (*core, *tid))
+                    .collect(),
+            );
+            cache.occupancy_gen = occupancy_gen;
+        }
+        generations.occupancy = cache.occupancy_gen;
+        generations.threads = self.state.threads_generation.load(Ordering::Relaxed);
+
+        AuditSnapshot {
+            resources: Arc::clone(&cache.resources),
+            enclaves: cache.enclaves_vec.clone(),
+            core_occupancy: Arc::clone(&cache.core_occupancy),
+            generations,
+        }
+    }
+
+    /// Builds an [`AuditSnapshot`] from scratch, bypassing the incremental
+    /// cache — the reference implementation the cached [`SecurityMonitor::audit`]
+    /// is property-tested against (and the baseline of the audit ablation
+    /// bench).
+    pub fn audit_full(&self) -> AuditSnapshot {
+        let (resources, resources_gen) = {
+            let resources = self.state.resources.lock();
+            (Arc::new(resources.snapshot()), resources.generation())
+        };
+        let enclaves_gen = self.state.enclaves_generation.load(Ordering::Relaxed);
         let enclaves = self
             .state
             .enclaves
             .lock()
             .values()
-            .map(|enclave| {
-                let meta = enclave.lock();
-                EnclaveAudit {
-                    id: meta.id,
-                    initialized: meta.lifecycle == EnclaveLifecycle::Initialized,
-                    regions: meta.windows.iter().map(|w| w.region).collect(),
-                    measurement: meta.measurement,
-                    running_threads: meta.running_threads,
-                    threads: meta.threads.clone(),
-                }
-            })
+            .map(|enclave| Arc::new(Self::enclave_audit(&enclave.lock())))
             .collect();
-        let core_occupancy = self
-            .state
-            .core_occupancy
-            .lock()
-            .iter()
-            .map(|(core, tid)| (*core, *tid))
-            .collect();
+        let occupancy_gen = self.state.occupancy_generation.load(Ordering::Relaxed);
+        let core_occupancy = Arc::new(
+            self.state
+                .core_occupancy
+                .lock()
+                .iter()
+                .map(|(core, tid)| (*core, *tid))
+                .collect::<Vec<_>>(),
+        );
         AuditSnapshot {
             resources,
             enclaves,
             core_occupancy,
+            generations: AuditGenerations {
+                resources: resources_gen,
+                enclaves: enclaves_gen,
+                threads: self.state.threads_generation.load(Ordering::Relaxed),
+                occupancy: occupancy_gen,
+            },
+        }
+    }
+
+    fn enclave_audit(meta: &EnclaveMeta) -> EnclaveAudit {
+        EnclaveAudit {
+            id: meta.id,
+            initialized: meta.lifecycle == EnclaveLifecycle::Initialized,
+            regions: meta.windows.iter().map(|w| w.region).collect(),
+            measurement: meta.measurement,
+            running_threads: meta.running_threads,
+            threads: meta.threads.clone(),
         }
     }
 
@@ -461,11 +662,43 @@ impl SecurityMonitor {
 
     /// Returns a thread's metadata snapshot (test/diagnostic helper).
     ///
+    /// This clones the whole record *including the saved AEX hart state*;
+    /// callers that only need the state machine or a single field should use
+    /// the cheap accessors ([`SecurityMonitor::thread_state`],
+    /// [`SecurityMonitor::thread_fault_handler`],
+    /// [`SecurityMonitor::thread_ids`]).
+    ///
     /// # Errors
     ///
     /// Fails if the thread does not exist.
     pub fn thread_info(&self, tid: ThreadId) -> SmResult<ThreadMeta> {
         Ok(self.lock_thread(tid)?.lock().clone())
+    }
+
+    /// Returns the ids of all live threads (diagnostic; no metadata cloned).
+    pub fn thread_ids(&self) -> Vec<ThreadId> {
+        self.state.threads.lock().keys().copied().collect()
+    }
+
+    /// Returns a thread's current state machine position without cloning the
+    /// full metadata record.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread does not exist.
+    pub fn thread_state(&self, tid: ThreadId) -> SmResult<ThreadState> {
+        Ok(self.lock_thread(tid)?.lock().state)
+    }
+
+    /// Returns a thread's registered fault-handler entry point, if any,
+    /// without cloning the full metadata record (the event dispatcher asks
+    /// this on every enclave-handleable fault).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread does not exist.
+    pub fn thread_fault_handler(&self, tid: ThreadId) -> SmResult<Option<u64>> {
+        Ok(self.lock_thread(tid)?.lock().fault_handler_pc)
     }
 
     /// Asynchronous enclave exit: invoked by the event dispatcher when an
@@ -495,10 +728,13 @@ impl SecurityMonitor {
             t.aex_state = Some(snapshot);
             t.aex_pending = true;
             let (eid, _) = t.stop_running()?;
+            self.touch_threads();
             self.state.core_occupancy.lock().remove(&core);
+            self.touch_occupancy();
             if let Ok(enclave) = self.lock_enclave(eid) {
                 let mut meta = enclave.lock();
                 meta.running_threads = meta.running_threads.saturating_sub(1);
+                self.touch_enclave(&mut meta);
             }
             let cost = self.clean_core_for_handoff(core)?;
             self.stats.aex_count.fetch_add(1, Ordering::Relaxed);
@@ -661,11 +897,16 @@ impl SmApi for SecurityMonitor {
                 evrange_base,
                 evrange_len,
             );
-            let meta = EnclaveMeta::new(eid, evrange_base, evrange_len, windows, ctx);
+            let mut meta = EnclaveMeta::new(eid, evrange_base, evrange_len, windows, ctx);
+            // A fresh generation from the global counter: enclave ids are
+            // physical addresses and get reused after delete, so a recreated
+            // enclave must never alias a stale cached audit record.
+            self.touch_enclave(&mut meta);
             self.state
                 .enclaves
                 .lock()
                 .insert(eid, Arc::new(Mutex::new(meta)));
+            self.touch_enclave_table();
             Ok(eid)
         }))
     }
@@ -797,7 +1038,9 @@ impl SmApi for SecurityMonitor {
                 .threads
                 .lock()
                 .insert(tid, Arc::new(Mutex::new(thread)));
+            self.touch_threads();
             meta.threads.push(tid);
+            self.touch_enclave(&mut meta);
             if let Some(ctx) = meta.measurement_ctx.as_mut() {
                 ctx.extend_thread(entry_pc, fault_handler_pc);
             }
@@ -827,6 +1070,7 @@ impl SmApi for SecurityMonitor {
             let measurement = ctx.finalize();
             meta.measurement = Some(measurement);
             meta.lifecycle = EnclaveLifecycle::Initialized;
+            self.touch_enclave(&mut meta);
             Ok(measurement)
         }))
     }
@@ -862,6 +1106,7 @@ impl SmApi for SecurityMonitor {
                     threads.remove(&tid);
                 }
             }
+            self.touch_threads();
             // Block all of the enclave's regions (they stay inaccessible to
             // everyone until cleaned). A resource may already be blocked
             // under this id: enclave ids are physical addresses, so after a
@@ -880,6 +1125,7 @@ impl SmApi for SecurityMonitor {
                 resources.block(DomainKind::SecurityMonitor, rid)?;
             }
             self.state.enclaves.lock().remove(&eid);
+            self.touch_enclave_table();
             Ok(())
         }))
     }
@@ -1012,9 +1258,12 @@ impl SmApi for SecurityMonitor {
                     });
                 }
                 t.start_running(eid, core)?;
+                self.touch_threads();
                 occupancy.insert(core, tid);
             }
+            self.touch_occupancy();
             meta.running_threads += 1;
+            self.touch_enclave(&mut meta);
 
             let mut cost = Cycles::ZERO;
             // Clean whatever the OS left on the core before handing it to the
@@ -1071,15 +1320,18 @@ impl SmApi for SecurityMonitor {
             let thread = self.lock_thread(tid)?;
             let mut t = self.try_lock(&thread)?;
             let (owner, _) = t.stop_running()?;
+            self.touch_threads();
             if owner != eid {
                 // Should be unreachable: the caller identity comes from the
                 // hart, which the SM itself configured.
                 return Err(SmError::Unauthorized);
             }
             self.state.core_occupancy.lock().remove(&core);
+            self.touch_occupancy();
             if let Ok(enclave) = self.lock_enclave(eid) {
                 let mut meta = enclave.lock();
                 meta.running_threads = meta.running_threads.saturating_sub(1);
+                self.touch_enclave(&mut meta);
             }
             let cost = self.clean_core_for_handoff(core)?;
             Ok(cost)
@@ -1099,6 +1351,7 @@ impl SmApi for SecurityMonitor {
                 .threads
                 .lock()
                 .insert(tid, Arc::new(Mutex::new(ThreadMeta::available(tid, entry_pc))));
+            self.touch_threads();
             Ok(tid)
         }))
     }
@@ -1116,6 +1369,7 @@ impl SmApi for SecurityMonitor {
                 }
             }
             self.state.threads.lock().remove(&tid);
+            self.touch_threads();
             Ok(())
         }))
     }
@@ -1131,7 +1385,9 @@ impl SmApi for SecurityMonitor {
             let _ = self.lock_enclave(eid)?;
             let thread = self.lock_thread(tid)?;
             let mut t = self.try_lock(&thread)?;
-            t.assign(eid)
+            t.assign(eid)?;
+            self.touch_threads();
+            Ok(())
         }))
     }
 
@@ -1141,8 +1397,11 @@ impl SmApi for SecurityMonitor {
             let thread = self.lock_thread(tid)?;
             let mut t = self.try_lock(&thread)?;
             t.accept(eid)?;
+            self.touch_threads();
             if let Ok(enclave) = self.lock_enclave(eid) {
-                enclave.lock().threads.push(tid);
+                let mut meta = enclave.lock();
+                meta.threads.push(tid);
+                self.touch_enclave(&mut meta);
             }
             Ok(())
         }))
@@ -1154,8 +1413,11 @@ impl SmApi for SecurityMonitor {
             let thread = self.lock_thread(tid)?;
             let mut t = self.try_lock(&thread)?;
             t.release(eid)?;
+            self.touch_threads();
             if let Ok(enclave) = self.lock_enclave(eid) {
-                enclave.lock().threads.retain(|&x| x != tid);
+                let mut meta = enclave.lock();
+                meta.threads.retain(|&x| x != tid);
+                self.touch_enclave(&mut meta);
             }
             Ok(())
         }))

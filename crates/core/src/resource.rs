@@ -12,12 +12,22 @@
 //! the OS) and who may perform them are enforced here; the monitor performs
 //! the actual cleaning through the platform backend before completing the
 //! `clean` transition.
+//!
+//! The map is on the monitor's hottest paths (every API call authorizes
+//! against it, the explorer audits it after every step), so it is stored as
+//! dense vectors indexed directly by core / region number — `state` is O(1) —
+//! with two reverse indexes kept in sync by the single `set_state` choke
+//! point: a per-owner resource set (`owned_by` is O(owned)) and a
+//! region → enclave table for the exclusivity checks. A generation counter
+//! increments on every mutation so snapshot consumers (the incremental
+//! [`crate::monitor::SecurityMonitor::audit`]) can skip work when nothing
+//! changed.
 
 use crate::error::{SmError, SmResult};
-use sanctorum_hal::domain::{CoreId, DomainKind};
+use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
 use sanctorum_hal::isolation::RegionId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifies one isolable machine resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -52,7 +62,20 @@ impl ResourceState {
 /// The resource-ownership map maintained by the SM.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ResourceMap {
-    states: BTreeMap<ResourceId, ResourceState>,
+    /// Core states, indexed by [`CoreId`]; `None` = never registered.
+    cores: Vec<Option<ResourceState>>,
+    /// Region states, indexed by [`RegionId`]; `None` = never registered.
+    regions: Vec<Option<ResourceState>>,
+    /// Reverse index: every resource owned (or blocked) by a domain, in
+    /// [`ResourceId`] order.
+    by_owner: BTreeMap<DomainKind, BTreeSet<ResourceId>>,
+    /// Reverse index: the enclave owning (or having blocked) each region,
+    /// indexed by [`RegionId`].
+    region_enclave: Vec<Option<EnclaveId>>,
+    /// Registered-resource count.
+    registered: usize,
+    /// Bumped on every mutation; lets snapshot consumers detect "no change".
+    generation: u64,
 }
 
 impl ResourceMap {
@@ -61,11 +84,61 @@ impl ResourceMap {
         Self::default()
     }
 
+    /// Monotone mutation counter: two equal generations bracket a span in
+    /// which no registration or state transition happened.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn slot(&self, id: ResourceId) -> Option<&Option<ResourceState>> {
+        match id {
+            ResourceId::Core(core) => self.cores.get(core.index()),
+            ResourceId::Region(region) => self.regions.get(region.index()),
+        }
+    }
+
+    /// Writes `state` for `id`, keeping both reverse indexes in sync. All
+    /// mutations funnel through here.
+    fn set_state(&mut self, id: ResourceId, state: ResourceState) {
+        let (vec, index) = match id {
+            ResourceId::Core(core) => (&mut self.cores, core.index()),
+            ResourceId::Region(region) => (&mut self.regions, region.index()),
+        };
+        if index >= vec.len() {
+            vec.resize(index + 1, None);
+        }
+        let previous = vec[index].replace(state);
+        if previous.is_none() {
+            self.registered += 1;
+        }
+        if let Some(old_owner) = previous.and_then(|s| s.owner()) {
+            if let Some(set) = self.by_owner.get_mut(&old_owner) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.by_owner.remove(&old_owner);
+                }
+            }
+        }
+        if let Some(new_owner) = state.owner() {
+            self.by_owner.entry(new_owner).or_default().insert(id);
+        }
+        if let ResourceId::Region(region) = id {
+            if region.index() >= self.region_enclave.len() {
+                self.region_enclave.resize(region.index() + 1, None);
+            }
+            self.region_enclave[region.index()] = match state.owner() {
+                Some(DomainKind::Enclave(eid)) => Some(eid),
+                _ => None,
+            };
+        }
+        self.generation += 1;
+    }
+
     /// Registers a resource with an initial owner (used at boot: all cores
     /// and regions start out owned by the untrusted OS, except the regions
     /// the SM reserves for itself).
     pub fn register(&mut self, id: ResourceId, initial: ResourceState) {
-        self.states.insert(id, initial);
+        self.set_state(id, initial);
     }
 
     /// Returns the state of a resource.
@@ -75,16 +148,22 @@ impl ResourceMap {
     /// Returns [`SmError::UnknownResource`] if the resource was never
     /// registered.
     pub fn state(&self, id: ResourceId) -> SmResult<ResourceState> {
-        self.states.get(&id).copied().ok_or(SmError::UnknownResource)
+        self.slot(id).copied().flatten().ok_or(SmError::UnknownResource)
     }
 
-    /// Returns every resource currently owned (or blocked) by `domain`.
+    /// Returns every resource currently owned (or blocked) by `domain`, in
+    /// [`ResourceId`] order.
     pub fn owned_by(&self, domain: DomainKind) -> Vec<ResourceId> {
-        self.states
-            .iter()
-            .filter(|(_, s)| s.owner() == Some(domain))
-            .map(|(id, _)| *id)
-            .collect()
+        self.by_owner
+            .get(&domain)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns the enclave owning (or having blocked) `region`, if any —
+    /// the reverse of the grant that dedicated the region.
+    pub fn enclave_of_region(&self, region: RegionId) -> Option<EnclaveId> {
+        self.region_enclave.get(region.index()).copied().flatten()
     }
 
     /// `block_resource`: flags an owned resource for release.
@@ -103,7 +182,7 @@ impl ResourceMap {
                 if caller != owner && caller != DomainKind::SecurityMonitor {
                     return Err(SmError::Unauthorized);
                 }
-                self.states.insert(id, ResourceState::Blocked(owner));
+                self.set_state(id, ResourceState::Blocked(owner));
                 Ok(())
             }
             ResourceState::Blocked(_) => Err(SmError::ResourceStateViolation {
@@ -131,7 +210,7 @@ impl ResourceMap {
         let state = self.state(id)?;
         match state {
             ResourceState::Blocked(previous_owner) => {
-                self.states.insert(id, ResourceState::Available);
+                self.set_state(id, ResourceState::Available);
                 Ok(previous_owner)
             }
             ResourceState::Owned(_) => Err(SmError::ResourceStateViolation {
@@ -163,7 +242,7 @@ impl ResourceMap {
         let state = self.state(id)?;
         match state {
             ResourceState::Available => {
-                self.states.insert(id, ResourceState::Owned(new_owner));
+                self.set_state(id, ResourceState::Owned(new_owner));
                 Ok(())
             }
             _ => Err(SmError::ResourceStateViolation {
@@ -173,18 +252,62 @@ impl ResourceMap {
     }
 
     /// Verifies the global exclusivity invariant: every resource has exactly
-    /// one state entry (structural) and owned resources have exactly one
-    /// owner. Returns the number of resources checked.
+    /// one state entry (structural), owned resources have exactly one owner,
+    /// and the reverse indexes agree with the dense state tables. Returns the
+    /// number of resources checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reverse index disagrees with the state tables (which would
+    /// mean a mutation bypassed `set_state`).
     pub fn check_exclusivity(&self) -> usize {
-        // The map structure itself guarantees one state per resource; this
-        // method exists so integration tests and property tests can assert
-        // the invariant explicitly after random operation sequences.
-        self.states.len()
+        let indexed: usize = self.by_owner.values().map(|set| set.len()).sum();
+        let owned = self
+            .iter()
+            .filter(|(_, state)| state.owner().is_some())
+            .count();
+        assert_eq!(indexed, owned, "owner index out of sync with state table");
+        for (owner, set) in &self.by_owner {
+            for id in set {
+                assert_eq!(
+                    self.state(*id).ok().and_then(|s| s.owner()),
+                    Some(*owner),
+                    "owner index names {id:?} under the wrong domain"
+                );
+            }
+        }
+        for (index, entry) in self.region_enclave.iter().enumerate() {
+            let region = RegionId::new(index as u32);
+            let expected = match self.state(ResourceId::Region(region)).ok().and_then(|s| s.owner())
+            {
+                Some(DomainKind::Enclave(eid)) => Some(eid),
+                _ => None,
+            };
+            assert_eq!(*entry, expected, "region→enclave index out of sync for {region}");
+        }
+        self.registered
     }
 
-    /// Iterates over all registered resources and their states.
-    pub fn iter(&self) -> impl Iterator<Item = (&ResourceId, &ResourceState)> {
-        self.states.iter()
+    /// Iterates over all registered resources and their states, in
+    /// [`ResourceId`] order (cores before regions, ascending indices).
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, ResourceState)> + '_ {
+        let cores = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (ResourceId::Core(CoreId::new(i as u32)), s)));
+        let regions = self
+            .regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|s| (ResourceId::Region(RegionId::new(i as u32)), s)));
+        cores.chain(regions)
+    }
+
+    /// Collects the full state table (the audit-snapshot payload), in
+    /// [`ResourceId`] order.
+    pub fn snapshot(&self) -> Vec<(ResourceId, ResourceState)> {
+        self.iter().collect()
     }
 }
 
@@ -277,6 +400,16 @@ mod tests {
             map.state(ResourceId::Core(CoreId::new(9))),
             Err(SmError::UnknownResource)
         );
+        // A registered neighbour does not make an unregistered index known.
+        let mut map = ResourceMap::new();
+        map.register(
+            ResourceId::Region(RegionId::new(5)),
+            ResourceState::Available,
+        );
+        assert_eq!(
+            map.state(ResourceId::Region(RegionId::new(2))),
+            Err(SmError::UnknownResource)
+        );
     }
 
     #[test]
@@ -298,5 +431,67 @@ mod tests {
         assert_eq!(owned.len(), 2);
         assert_eq!(map.owned_by(DomainKind::Untrusted).len(), 1);
         assert_eq!(map.check_exclusivity(), 3);
+    }
+
+    #[test]
+    fn reverse_indexes_track_transitions() {
+        let mut map = ResourceMap::new();
+        let region = RegionId::new(4);
+        let id = ResourceId::Region(region);
+        map.register(id, ResourceState::Owned(DomainKind::Untrusted));
+        assert_eq!(map.enclave_of_region(region), None);
+
+        map.block(DomainKind::Untrusted, id).unwrap();
+        map.clean(DomainKind::Untrusted, id).unwrap();
+        assert!(map.owned_by(DomainKind::Untrusted).is_empty());
+
+        map.grant(DomainKind::Untrusted, id, enclave(7)).unwrap();
+        assert_eq!(map.enclave_of_region(region), Some(EnclaveId::new(7)));
+        assert_eq!(map.owned_by(enclave(7)), vec![id]);
+
+        // Blocked resources still count against their owner and keep the
+        // region→enclave link until cleaned.
+        map.block(DomainKind::SecurityMonitor, id).unwrap();
+        assert_eq!(map.enclave_of_region(region), Some(EnclaveId::new(7)));
+        assert_eq!(map.owned_by(enclave(7)), vec![id]);
+        map.clean(DomainKind::Untrusted, id).unwrap();
+        assert_eq!(map.enclave_of_region(region), None);
+        assert!(map.owned_by(enclave(7)).is_empty());
+        map.check_exclusivity();
+    }
+
+    #[test]
+    fn generation_counts_mutations_only() {
+        let (mut map, id) = map_with_region();
+        let g0 = map.generation();
+        let _ = map.state(id);
+        let _ = map.owned_by(DomainKind::Untrusted);
+        assert_eq!(map.generation(), g0, "reads must not bump the generation");
+        map.block(DomainKind::Untrusted, id).unwrap();
+        assert!(map.generation() > g0);
+        let g1 = map.generation();
+        // A rejected transition leaves the generation unchanged.
+        assert!(map.block(DomainKind::Untrusted, id).is_err());
+        assert_eq!(map.generation(), g1);
+    }
+
+    #[test]
+    fn iteration_order_is_cores_then_regions_ascending() {
+        let mut map = ResourceMap::new();
+        map.register(ResourceId::Region(RegionId::new(1)), ResourceState::Available);
+        map.register(ResourceId::Core(CoreId::new(1)), ResourceState::Available);
+        map.register(ResourceId::Core(CoreId::new(0)), ResourceState::Available);
+        map.register(ResourceId::Region(RegionId::new(0)), ResourceState::Available);
+        let ids: Vec<ResourceId> = map.iter().map(|(id, _)| id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                ResourceId::Core(CoreId::new(0)),
+                ResourceId::Core(CoreId::new(1)),
+                ResourceId::Region(RegionId::new(0)),
+                ResourceId::Region(RegionId::new(1)),
+            ]
+        );
+        assert_eq!(map.snapshot().len(), 4);
     }
 }

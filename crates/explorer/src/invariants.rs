@@ -13,22 +13,35 @@
 //! * **mailbox confidentiality** — the SM-recorded sender identity of
 //!   delivered mail matches the actual sending domain;
 //! * **no secret leakage** — no OS-visible hart register ever holds a live
-//!   enclave secret (cores are scrubbed on every enclave → OS hand-off);
+//!   enclave secret (cores are scrubbed on every enclave → OS hand-off), and
+//!   no OS-readable DRAM page outside the OS's own staging area ever holds
+//!   one (DMA filters and access control contain enclave data);
 //! * **adversary containment** — every scripted attack mounted mid-trace is
 //!   blocked.
 //!
 //! Measurement determinism and cross-backend agreement are checked one level
 //! up, in [`crate::diff`], because they compare *across* steps and worlds.
+//!
+//! Every check is *incremental*: the monitor's [`AuditSnapshot`] carries
+//! monotone generation counters for each state component, the machine tracks
+//! written pages in a dirty bitmap, and the access-control table counts its
+//! mutations — so a step that changed nothing costs a handful of counter
+//! compares, and a step that changed something pays only for what it
+//! touched. The memory secret scan reads dirtied pages instead of rescanning
+//! DRAM, which is what lets the kernel run after every step of a large seed
+//! sweep; clean-before-reuse complements it by inspecting a region's full
+//! contents at the moment it transitions to *Available*, covering ownership
+//! hand-offs that writes alone would not flag.
 
-use sanctorum_core::monitor::TestWeakening;
+use sanctorum_core::monitor::{AuditSnapshot, TestWeakening};
 use sanctorum_core::resource::{ResourceId, ResourceState};
 use sanctorum_hal::addr::{PhysAddr, PAGE_SIZE};
 use sanctorum_hal::domain::{CoreId, DomainKind};
 use sanctorum_hal::isolation::RegionId;
+use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::MachineConfig;
 use sanctorum_os::ops::{Op, OpOutcome, OpWorld};
 use sanctorum_os::system::PlatformKind;
-use std::collections::BTreeMap;
 
 /// A detected violation of one invariant. The explorer stops at the first
 /// violation and reports it with its replay coordinates.
@@ -73,6 +86,16 @@ pub enum Violation {
         /// The register index.
         register: usize,
     },
+    /// An OS-readable DRAM page (outside the OS's own staging area) holds a
+    /// live enclave secret.
+    SecretInMemory {
+        /// Platform the violation was observed on.
+        platform: &'static str,
+        /// The leaked secret value.
+        secret: u64,
+        /// Physical address of the leaked word.
+        addr: u64,
+    },
     /// A scripted attack succeeded.
     AttackSucceeded {
         /// Platform the violation was observed on.
@@ -100,6 +123,7 @@ impl Violation {
             Violation::MeasurementMismatch { .. } => "measurement",
             Violation::MailboxLeak { .. } => "mailbox",
             Violation::SecretLeak { .. } => "secret-leak",
+            Violation::SecretInMemory { .. } => "secret-in-memory",
             Violation::AttackSucceeded { .. } => "attack",
             Violation::Divergence { .. } => "divergence",
         }
@@ -126,6 +150,10 @@ impl std::fmt::Display for Violation {
                 f,
                 "[{platform}] secret {secret:#x} visible in core{core} x{register}"
             ),
+            Violation::SecretInMemory { platform, secret, addr } => write!(
+                f,
+                "[{platform}] secret {secret:#x} resident in OS-readable memory at {addr:#x}"
+            ),
             Violation::AttackSucceeded { platform, detail } => {
                 write!(f, "[{platform}] attack succeeded: {detail}")
             }
@@ -138,15 +166,27 @@ impl std::fmt::Display for Violation {
 }
 
 /// An [`OpWorld`] wrapped with the invariant kernel: every applied op is
-/// followed by a full check pass, and region state transitions are tracked
-/// between steps so the clean-before-reuse scan touches only regions that
-/// just became available.
+/// followed by a check pass whose cost is proportional to what the op
+/// actually changed — the previous step's [`AuditSnapshot`] (cheap to keep,
+/// it shares its payload by `Arc`) and its generation counters tell the
+/// kernel which check families can be skipped, and the machine's dirty-page
+/// bitmap feeds the memory secret scan.
 #[derive(Debug)]
 pub struct CheckedWorld {
     /// The underlying world.
     pub world: OpWorld,
     platform: &'static str,
-    prev_resources: BTreeMap<ResourceId, ResourceState>,
+    /// Base of the OS staging region: the one piece of OS memory that
+    /// legitimately holds enclave secrets (the OS stages page images there
+    /// itself before `load_page`), so the memory secret scan excludes it.
+    staging_base: PhysAddr,
+    staging_len: u64,
+    /// The snapshot the previous check pass ran over.
+    prev: AuditSnapshot,
+    /// Access-control generation the overlap check last validated.
+    prev_access_generation: u64,
+    /// Forces one complete pass before incremental skipping starts.
+    first_check: bool,
 }
 
 impl CheckedWorld {
@@ -159,17 +199,17 @@ impl CheckedWorld {
     ) -> Self {
         let world = OpWorld::boot(platform, config);
         world.system.monitor.weaken_for_testing(weaken);
-        let prev_resources = world
-            .system
-            .monitor
-            .audit()
-            .resources
-            .into_iter()
-            .collect();
+        let prev = world.system.monitor.audit();
+        let staging_base = world.os.staging_base();
+        let staging_len = world.system.machine.config().dram_region_size as u64;
         Self {
             world,
             platform: platform.name(),
-            prev_resources,
+            staging_base,
+            staging_len,
+            prev,
+            prev_access_generation: 0,
+            first_check: true,
         }
     }
 
@@ -217,125 +257,161 @@ impl CheckedWorld {
             detail,
         };
 
+        // Equal generations certify equal monitor state, so the whole
+        // SM-state check family can be skipped when no SM call mutated
+        // anything this step (probes, rejected calls, pure guest execution).
+        let sm_changed = self.first_check || audit.generations != self.prev.generations;
+        let resources_changed = self.first_check
+            || audit.generations.resources != self.prev.generations.resources;
+
         // --- resource exclusivity -------------------------------------
-        for (id, state) in &audit.resources {
-            if let (ResourceId::Region(region), ResourceState::Owned(DomainKind::Enclave(eid))) =
-                (id, state)
-            {
-                if audit.enclave(*eid).is_none() {
-                    return Err(fail(format!("{region} owned by dead enclave {eid}")));
+        if sm_changed {
+            for (id, state) in audit.resources.iter() {
+                if let (ResourceId::Region(region), ResourceState::Owned(DomainKind::Enclave(eid))) =
+                    (id, state)
+                {
+                    if audit.enclave(*eid).is_none() {
+                        return Err(fail(format!("{region} owned by dead enclave {eid}")));
+                    }
                 }
             }
-        }
-        for enclave in &audit.enclaves {
-            for region in &enclave.regions {
-                match audit.resource(ResourceId::Region(*region)) {
-                    Some(ResourceState::Owned(DomainKind::Enclave(owner)))
-                        if owner == enclave.id => {}
-                    other => {
+            for enclave in &audit.enclaves {
+                for region in &enclave.regions {
+                    match audit.resource(ResourceId::Region(*region)) {
+                        Some(ResourceState::Owned(DomainKind::Enclave(owner)))
+                            if owner == enclave.id => {}
+                        other => {
+                            return Err(fail(format!(
+                                "window {region} of {} is in state {other:?}",
+                                enclave.id
+                            )))
+                        }
+                    }
+                }
+                // Lifecycle consistency: a measurement exists exactly once the
+                // enclave is sealed.
+                if enclave.initialized != enclave.measurement.is_some() {
+                    return Err(fail(format!(
+                        "{} initialized={} but measurement present={}",
+                        enclave.id,
+                        enclave.initialized,
+                        enclave.measurement.is_some()
+                    )));
+                }
+                // The running-thread count the enclave metadata carries must
+                // agree with the occupancy table, and every occupied thread
+                // must be one the enclave actually lists.
+                let occupied = audit
+                    .core_occupancy
+                    .iter()
+                    .filter(|(_, tid)| enclave.threads.contains(tid))
+                    .count();
+                if occupied != enclave.running_threads {
+                    return Err(fail(format!(
+                        "{} claims {} running threads but {} of its threads occupy cores",
+                        enclave.id, enclave.running_threads, occupied
+                    )));
+                }
+            }
+            for (core, tid) in audit.core_occupancy.iter() {
+                // Every occupied thread belongs to exactly one live enclave...
+                let owners = audit
+                    .enclaves
+                    .iter()
+                    .filter(|e| e.threads.contains(tid))
+                    .count();
+                if owners != 1 {
+                    return Err(fail(format!(
+                        "occupancy names thread {tid} on {core} but {owners} live enclaves list it"
+                    )));
+                }
+                // ...and its own state machine agrees it runs on that core.
+                match self.world.system.monitor.thread_state(*tid) {
+                    Ok(state) => {
+                        let running_here = matches!(
+                            state,
+                            sanctorum_core::thread::ThreadState::Running { core: c, .. } if c == *core
+                        );
+                        if !running_here {
+                            return Err(fail(format!(
+                                "occupancy names thread {tid} on {core} but its state is {state:?}"
+                            )));
+                        }
+                    }
+                    Err(_) => {
                         return Err(fail(format!(
-                            "window {region} of {} is in state {other:?}",
-                            enclave.id
+                            "occupancy names unknown thread {tid} on {core}"
                         )))
                     }
                 }
             }
-            // Lifecycle consistency: a measurement exists exactly once the
-            // enclave is sealed.
-            if enclave.initialized != enclave.measurement.is_some() {
-                return Err(fail(format!(
-                    "{} initialized={} but measurement present={}",
-                    enclave.id,
-                    enclave.initialized,
-                    enclave.measurement.is_some()
-                )));
-            }
-            // The running-thread count the enclave metadata carries must
-            // agree with the occupancy table, and every occupied thread must
-            // be one the enclave actually lists.
-            let occupied = audit
-                .core_occupancy
-                .iter()
-                .filter(|(_, tid)| enclave.threads.contains(tid))
-                .count();
-            if occupied != enclave.running_threads {
-                return Err(fail(format!(
-                    "{} claims {} running threads but {} of its threads occupy cores",
-                    enclave.id, enclave.running_threads, occupied
-                )));
-            }
         }
-        let ranges = machine.protected_ranges();
-        for (i, a) in ranges.iter().enumerate() {
-            for b in ranges.iter().skip(i + 1) {
-                let a_end = a.base.as_u64() + a.len;
-                let b_end = b.base.as_u64() + b.len;
-                if a.base.as_u64() < b_end && b.base.as_u64() < a_end {
-                    return Err(fail(format!(
-                        "protected ranges overlap: {:#x}+{:#x} and {:#x}+{:#x}",
-                        a.base.as_u64(),
-                        a.len,
-                        b.base.as_u64(),
-                        b.len
-                    )));
-                }
-            }
-        }
-        for (core, tid) in &audit.core_occupancy {
-            // Every occupied thread belongs to exactly one live enclave...
-            let owners = audit
-                .enclaves
-                .iter()
-                .filter(|e| e.threads.contains(tid))
-                .count();
-            if owners != 1 {
-                return Err(fail(format!(
-                    "occupancy names thread {tid} on {core} but {owners} live enclaves list it"
-                )));
-            }
-            // ...and its own state machine agrees it runs on that core.
-            match self.world.system.monitor.thread_info(*tid) {
-                Ok(info) => {
-                    let running_here = matches!(
-                        info.state,
-                        sanctorum_core::thread::ThreadState::Running { core: c, .. } if c == *core
-                    );
-                    if !running_here {
+
+        // --- protected ranges never overlap ---------------------------
+        // Gated on the access-control table's own mutation counter: the
+        // O(ranges²) sweep only reruns when the table changed.
+        let access_generation = machine.access_generation();
+        if self.first_check || access_generation != self.prev_access_generation {
+            let ranges = machine.protected_ranges();
+            for (i, a) in ranges.iter().enumerate() {
+                for b in ranges.iter().skip(i + 1) {
+                    let a_end = a.base.as_u64() + a.len;
+                    let b_end = b.base.as_u64() + b.len;
+                    if a.base.as_u64() < b_end && b.base.as_u64() < a_end {
                         return Err(fail(format!(
-                            "occupancy names thread {tid} on {core} but its state is {:?}",
-                            info.state
+                            "protected ranges overlap: {:#x}+{:#x} and {:#x}+{:#x}",
+                            a.base.as_u64(),
+                            a.len,
+                            b.base.as_u64(),
+                            b.len
                         )));
                     }
                 }
-                Err(_) => {
-                    return Err(fail(format!("occupancy names unknown thread {tid} on {core}")))
-                }
             }
+            self.prev_access_generation = access_generation;
         }
 
         // --- clean-before-reuse ---------------------------------------
-        for (id, state) in &audit.resources {
-            let ResourceId::Region(region) = id else { continue };
-            let became_available = *state == ResourceState::Available
-                && self.prev_resources.get(id) != Some(&ResourceState::Available);
-            if became_available {
-                let (base, len) = self.region_geometry(*region);
-                let mut page = vec![0u8; PAGE_SIZE];
-                for offset in (0..len).step_by(PAGE_SIZE) {
-                    machine
-                        .phys_read(base.offset(offset), &mut page)
-                        .expect("region memory is populated DRAM");
-                    if let Some(position) = page.iter().position(|&b| b != 0) {
+        // A region's whole contents are inspected at the moment it
+        // transitions to *Available*: the scrub must have happened before
+        // the Fig. 2 transition. Resource transitions are step-rare, so the
+        // per-step cost is the generation compare.
+        let mut changed_regions: Vec<RegionId> = Vec::new();
+        if resources_changed {
+            for (id, state) in audit.resources.iter() {
+                let ResourceId::Region(region) = id else { continue };
+                // `prev` is valid from boot on (captured in `boot()`), so
+                // even the forced first pass diffs against real state.
+                let previous = self.prev.resource(*id);
+                if previous == Some(*state) {
+                    continue;
+                }
+                changed_regions.push(*region);
+                let became_available = *state == ResourceState::Available
+                    && previous != Some(ResourceState::Available);
+                if became_available {
+                    let (base, len) = self.region_geometry(*region);
+                    let dirty_at = machine.with_memory(|mem| {
+                        for offset in (0..len).step_by(PAGE_SIZE) {
+                            let page = mem
+                                .page_slice(base.offset(offset))
+                                .expect("region memory is populated DRAM");
+                            if let Some(position) = page.iter().position(|&b| b != 0) {
+                                return Some(offset + position as u64);
+                            }
+                        }
+                        None
+                    });
+                    if let Some(offset) = dirty_at {
                         return Err(Violation::DirtyReuse {
                             platform: self.platform,
                             region: *region,
-                            offset: offset + position as u64,
+                            offset,
                         });
                     }
                 }
             }
         }
-        self.prev_resources = audit.resources.into_iter().collect();
 
         // --- no secret in OS-visible registers ------------------------
         let secrets: Vec<u64> = self.world.live_secrets().collect();
@@ -356,6 +432,74 @@ impl CheckedWorld {
                     }
                 }
             }
+        }
+
+        // --- no secret in OS-readable memory (dirty pages only) -------
+        // The bitmap is drained every step so the backlog stays one step
+        // deep; pages of regions whose Fig. 2 state moved this step are
+        // rescanned too, since an ownership change can expose bytes written
+        // (and drained) many steps ago.
+        let dirty_pages = machine.drain_dirty_pages();
+        if !secrets.is_empty() {
+            self.scan_pages_for_secrets(&dirty_pages, &changed_regions, &secrets)?;
+        }
+
+        self.prev = audit;
+        self.first_check = false;
+        Ok(())
+    }
+
+    /// Scans the given DRAM pages (by index) plus every page of the given
+    /// regions for 64-bit words equal to a live secret, skipping pages the
+    /// untrusted domain cannot read and the OS staging area (which holds
+    /// staged secrets legitimately — the OS wrote them there itself).
+    fn scan_pages_for_secrets(
+        &self,
+        pages: &[u64],
+        regions: &[RegionId],
+        secrets: &[u64],
+    ) -> Result<(), Violation> {
+        let machine = &self.world.system.machine;
+        let config = machine.config();
+        let region_pages = (config.dram_region_size / PAGE_SIZE) as u64;
+        let mut candidates: Vec<u64> = pages.to_vec();
+        for region in regions {
+            let first = region.index() as u64 * region_pages;
+            candidates.extend(first..first + region_pages);
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let staging_end = self.staging_base.as_u64() + self.staging_len;
+        // Resolve readability first (access lock), then scan every readable
+        // page in place under a single memory lock.
+        candidates.retain(|index| {
+            let addr = config.memory_base.offset(index * PAGE_SIZE as u64);
+            (addr.as_u64() < self.staging_base.as_u64() || addr.as_u64() >= staging_end)
+                // Only memory the adversary can actually read can leak to it.
+                && machine.check_access(DomainKind::Untrusted, addr, MemPerms::READ)
+        });
+        let hit = machine.with_memory(|mem| {
+            for index in candidates {
+                let addr = config.memory_base.offset(index * PAGE_SIZE as u64);
+                let page = mem.page_slice(addr).expect("dirty pages are populated DRAM");
+                for (word_index, chunk) in page.chunks_exact(8).enumerate() {
+                    let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                    // Fast path: freshly scrubbed pages are all zeroes, and a
+                    // secret is never zero (tagged values).
+                    if word != 0 && secrets.contains(&word) {
+                        return Some((word, addr.as_u64() + (word_index * 8) as u64));
+                    }
+                }
+            }
+            None
+        });
+        if let Some((secret, addr)) = hit {
+            return Err(Violation::SecretInMemory {
+                platform: self.platform,
+                secret,
+                addr,
+            });
         }
         Ok(())
     }

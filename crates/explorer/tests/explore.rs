@@ -1,7 +1,9 @@
 //! Acceptance tests for the adversarial explorer (ISSUE 2):
 //!
-//! * a 100-seed × 200-step sweep across both backends with zero invariant
-//!   violations and zero differential divergences;
+//! * a seed sweep across both backends with zero invariant violations and
+//!   zero differential divergences — 100 seeds × 200 steps by default, and
+//!   `EXPLORER_SEEDS` / `EXPLORER_STEPS` raise the budget (CI runs 500 × 400
+//!   in release, affordable since the ISSUE 3 incremental-checking overhaul);
 //! * deterministic replay (same seed ⇒ identical digests and reports);
 //! * a deliberately weakened monitor is caught, reported with replayable
 //!   `(seed, step)` coordinates, and minimized;
@@ -10,17 +12,33 @@
 use sanctorum_core::monitor::TestWeakening;
 use sanctorum_explorer::{explorer_machine_config, Explorer, ExplorerConfig, Violation};
 
+fn env_budget(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 #[test]
 fn sweep_finds_no_violations_and_no_divergences() {
-    let explorer = Explorer::new(ExplorerConfig::default());
-    let stats = explorer.sweep(0..100);
+    let seeds = env_budget("EXPLORER_SEEDS", 100);
+    let steps = env_budget("EXPLORER_STEPS", 200) as usize;
+    let explorer = Explorer::new(ExplorerConfig {
+        steps,
+        ..ExplorerConfig::default()
+    });
+    let stats = explorer.sweep(0..seeds);
     for failure in &stats.failures {
         eprintln!("{failure}");
     }
     assert!(stats.failures.is_empty(), "{} violations", stats.failures.len());
     assert_eq!(stats.declared_divergences, 0, "unexpected capacity divergence");
-    assert_eq!(stats.seeds, 100);
-    assert!(stats.total_steps >= 100 * 200, "only {} steps ran", stats.total_steps);
+    assert_eq!(stats.seeds as u64, seeds);
+    assert!(
+        stats.total_steps as u64 >= seeds * steps as u64,
+        "only {} steps ran",
+        stats.total_steps
+    );
     // The op mix actually exercised the whole surface.
     for label in ["build", "run", "teardown", "attack", "mail-roundtrip", "batch"] {
         assert!(
@@ -69,9 +87,17 @@ fn skipped_region_scrub_is_caught_and_replayable() {
         weaken: Some(TestWeakening::SkipRegionScrub),
         ..ExplorerConfig::default()
     });
+    // Two checks can legitimately catch an unscrubbed region, whichever
+    // observes it first: the clean-before-reuse content scan (the region
+    // rests in *Available* across a step boundary) or the dirty-page memory
+    // secret scan (a teardown recycles the region to the OS within a single
+    // op, exposing the resident secret to untrusted reads immediately).
     assert!(
-        matches!(failure.violation, Violation::DirtyReuse { .. }),
-        "expected dirty-reuse, got {}",
+        matches!(
+            failure.violation,
+            Violation::DirtyReuse { .. } | Violation::SecretInMemory { .. }
+        ),
+        "expected dirty-reuse or secret-in-memory, got {}",
         failure.violation
     );
     // The (seed, step) coordinates alone reproduce the same violation kind.

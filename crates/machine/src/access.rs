@@ -104,17 +104,26 @@ impl std::error::Error for AccessError {}
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AccessControl {
     ranges: Vec<AccessRange>,
+    /// Bumped on every table mutation (including handing out a mutable range
+    /// reference); lets per-step validators skip unchanged tables.
+    generation: u64,
 }
 
 impl AccessControl {
     /// Creates an empty table (everything untrusted-accessible).
     pub fn new() -> Self {
-        Self { ranges: Vec::new() }
+        Self::default()
     }
 
     /// Returns the currently programmed ranges.
     pub fn ranges(&self) -> &[AccessRange] {
         &self.ranges
+    }
+
+    /// Monotone mutation counter: unchanged between two reads ⇒ the table is
+    /// identical.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Programs a protected range, replacing any existing range with the same
@@ -135,6 +144,7 @@ impl AccessControl {
             .position(|r| r.base == range.base && r.len == range.len)
         {
             self.ranges[pos] = range;
+            self.generation += 1;
             return Ok(());
         }
         if let Some(existing) = self.ranges.iter().find(|r| r.overlaps(&range)) {
@@ -143,6 +153,7 @@ impl AccessControl {
             });
         }
         self.ranges.push(range);
+        self.generation += 1;
         Ok(())
     }
 
@@ -157,6 +168,7 @@ impl AccessControl {
             .iter()
             .position(|r| r.base == base)
             .ok_or(AccessError::NoSuchRange(base))?;
+        self.generation += 1;
         Ok(self.ranges.swap_remove(pos))
     }
 
@@ -165,8 +177,10 @@ impl AccessControl {
         self.ranges.iter().find(|r| r.contains(addr))
     }
 
-    /// Finds the range covering `addr` mutably.
+    /// Finds the range covering `addr` mutably. Conservatively counts as a
+    /// mutation (the caller holds a write handle).
     pub fn range_of_mut(&mut self, addr: PhysAddr) -> Option<&mut AccessRange> {
+        self.generation += 1;
         self.ranges.iter_mut().find(|r| r.contains(addr))
     }
 

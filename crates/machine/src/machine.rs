@@ -254,7 +254,19 @@ impl Machine {
             words.push(hart.pending_trap.is_some() as u8);
             h = crate::mem::fnv1a(h, &words);
         }
-        self.memory.read().digest(h)
+        // The memory fingerprint is cached per page and refreshed from the
+        // dirty bitmap (see `PhysMemory::digest`), hence the write lock.
+        self.memory.write().digest(h)
+    }
+
+    /// Returns the indices (relative to `memory_base`, ascending) of every
+    /// DRAM page written — by stores, DMA or zeroing — since the previous
+    /// drain, and clears the tracking bitmap. The result is a superset of
+    /// the pages whose contents actually changed (rewrites of identical
+    /// bytes are still reported), so incremental scanners built on it never
+    /// miss a write.
+    pub fn drain_dirty_pages(&self) -> Vec<u64> {
+        self.memory.write().drain_dirty_pages()
     }
 
     // ----- physical memory (privileged view) --------------------------------
@@ -339,6 +351,14 @@ impl Machine {
     /// Lists the currently programmed protected ranges.
     pub fn protected_ranges(&self) -> Vec<AccessRange> {
         self.access.read().ranges().to_vec()
+    }
+
+    /// Monotone mutation counter of the access-control table: unchanged
+    /// between two reads ⇒ the protected ranges are identical, so consumers
+    /// re-validating range properties after every step (the explorer's
+    /// overlap check) can skip the work.
+    pub fn access_generation(&self) -> u64 {
+        self.access.read().generation()
     }
 
     // ----- cache and partitions ----------------------------------------------

@@ -29,7 +29,70 @@ impl fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
+/// A page-granular dirty bitmap over DRAM.
+///
+/// Every mutating access sets the bit of each page it touches; consumers
+/// drain the set bits. Marking is a superset of actual content changes
+/// (rewriting a page with identical bytes still marks it), so drains never
+/// under-report — the guarantee incremental scanners rely on.
+#[derive(Clone, Default)]
+struct DirtyBitmap {
+    words: Vec<u64>,
+    pages: usize,
+    /// Fast-path flag: `true` while no bit is set.
+    clean: bool,
+}
+
+impl DirtyBitmap {
+    fn new(pages: usize) -> Self {
+        Self {
+            words: vec![0u64; pages.div_ceil(64)],
+            pages,
+            clean: true,
+        }
+    }
+
+    fn mark_range(&mut self, first_page: usize, last_page: usize) {
+        for page in first_page..=last_page {
+            self.words[page / 64] |= 1u64 << (page % 64);
+        }
+        self.clean = false;
+    }
+
+    fn mark_all(&mut self) {
+        for (index, word) in self.words.iter_mut().enumerate() {
+            let valid = self.pages - (index * 64).min(self.pages);
+            *word = if valid >= 64 { u64::MAX } else { (1u64 << valid) - 1 };
+        }
+        self.clean = self.pages == 0;
+    }
+
+    /// Calls `f` with every set page index (ascending) and clears the map.
+    fn drain(&mut self, mut f: impl FnMut(usize)) {
+        if self.clean {
+            return;
+        }
+        for (word_index, word) in self.words.iter_mut().enumerate() {
+            let mut bits = *word;
+            *word = 0;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                f(word_index * 64 + bit);
+                bits &= bits - 1;
+            }
+        }
+        self.clean = true;
+    }
+}
+
 /// Byte-addressable simulated DRAM starting at a configurable base address.
+///
+/// Every write (stores, DMA, zeroing) records the touched pages in two
+/// page-granular dirty bitmaps: one drained by external consumers through
+/// [`PhysMemory::drain_dirty_pages`] (the explorer's incremental secret
+/// scan), one private to the incremental [`PhysMemory::digest`] cache. The
+/// two have independent cursors, so draining one never hides writes from the
+/// other.
 ///
 /// # Examples
 ///
@@ -40,12 +103,22 @@ impl std::error::Error for MemError {}
 /// let mut mem = PhysMemory::new(PhysAddr::new(0x8000_0000), 64 * 1024);
 /// mem.write_u64(PhysAddr::new(0x8000_0100), 0xdead_beef)?;
 /// assert_eq!(mem.read_u64(PhysAddr::new(0x8000_0100))?, 0xdead_beef);
+/// assert_eq!(mem.drain_dirty_pages(), vec![0]);
+/// assert!(mem.drain_dirty_pages().is_empty(), "drained bits are cleared");
 /// # Ok::<(), sanctorum_machine::mem::MemError>(())
 /// ```
 #[derive(Clone)]
 pub struct PhysMemory {
     base: PhysAddr,
     bytes: Vec<u8>,
+    /// Pages written since the last external drain.
+    dirty: DirtyBitmap,
+    /// Pages written since the digest cache last refreshed.
+    digest_dirty: DirtyBitmap,
+    /// Cached per-page digests (see [`PhysMemory::digest`]).
+    page_digests: Vec<u64>,
+    /// XOR-fold of `page_digests`.
+    digest_acc: u64,
 }
 
 impl fmt::Debug for PhysMemory {
@@ -67,10 +140,48 @@ impl PhysMemory {
     /// Panics if `size` is not page aligned.
     pub fn new(base: PhysAddr, size: usize) -> Self {
         assert_eq!(size % PAGE_SIZE, 0, "memory size must be page aligned");
+        let pages = size / PAGE_SIZE;
+        let mut digest_dirty = DirtyBitmap::new(pages);
+        // The page-digest cache starts unpopulated; the first digest call
+        // folds every page once, then only rewritten pages are re-hashed.
+        digest_dirty.mark_all();
         Self {
             base,
             bytes: vec![0u8; size],
+            dirty: DirtyBitmap::new(pages),
+            digest_dirty,
+            page_digests: vec![0u64; pages],
+            digest_acc: 0,
         }
+    }
+
+    /// Number of 4 KiB pages of populated DRAM.
+    pub fn page_count(&self) -> usize {
+        self.bytes.len() / PAGE_SIZE
+    }
+
+    /// Marks the pages overlapping `[offset, offset + len)` dirty in both
+    /// bitmaps. `offset_of` has already validated the range.
+    fn mark_dirty(&mut self, offset: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len - 1) / PAGE_SIZE;
+        self.dirty.mark_range(first, last);
+        self.digest_dirty.mark_range(first, last);
+    }
+
+    /// Returns the indices (relative to [`PhysMemory::base`]) of every page
+    /// written since the previous drain, ascending, and clears the bitmap.
+    ///
+    /// Marking happens on every mutating access, including rewrites of
+    /// identical bytes — the result is a *superset* of the pages whose
+    /// contents changed, never a subset.
+    pub fn drain_dirty_pages(&mut self) -> Vec<u64> {
+        let mut pages = Vec::new();
+        self.dirty.drain(|page| pages.push(page as u64));
+        pages
     }
 
     /// Returns the base address of DRAM.
@@ -83,11 +194,27 @@ impl PhysMemory {
         self.bytes.len()
     }
 
-    /// Folds `seed` through an FNV-1a pass over all of DRAM. Used by
+    /// Fingerprints all of DRAM, folded with `seed`. Used by
     /// [`crate::Machine::state_digest`] to fingerprint machine state for
     /// replay-determinism checks.
-    pub fn digest(&self, seed: u64) -> u64 {
-        fnv1a(seed, &self.bytes)
+    ///
+    /// The fingerprint is incremental: each page's FNV-1a digest (salted
+    /// with its index so identical pages don't cancel) is cached and folded
+    /// into an XOR accumulator; a digest call re-hashes only the pages
+    /// written since the previous call. The result is a pure function of
+    /// `seed` and the current memory contents — cache state never leaks into
+    /// the value, so interleaving extra digest calls between identical write
+    /// sequences cannot change what is reported.
+    pub fn digest(&mut self, seed: u64) -> u64 {
+        let (bytes, page_digests, acc) =
+            (&self.bytes, &mut self.page_digests, &mut self.digest_acc);
+        self.digest_dirty.drain(|page| {
+            let salted = fnv1a(0x9e3779b97f4a7c15, &(page as u64).to_le_bytes());
+            let fresh = fnv1a(salted, &bytes[page * PAGE_SIZE..(page + 1) * PAGE_SIZE]);
+            *acc ^= page_digests[page] ^ fresh;
+            page_digests[page] = fresh;
+        });
+        fnv1a(seed, &self.digest_acc.to_le_bytes())
     }
 
     /// Returns `true` if the whole `[addr, addr+len)` range is populated.
@@ -127,6 +254,7 @@ impl PhysMemory {
     pub fn write_bytes(&mut self, addr: PhysAddr, data: &[u8]) -> Result<(), MemError> {
         let offset = self.offset_of(addr, data.len())?;
         self.bytes[offset..offset + data.len()].copy_from_slice(data);
+        self.mark_dirty(offset, data.len());
         Ok(())
     }
 
@@ -160,6 +288,7 @@ impl PhysMemory {
         let page_base = addr.align_down();
         let offset = self.offset_of(page_base, PAGE_SIZE)?;
         self.bytes[offset..offset + PAGE_SIZE].fill(0);
+        self.mark_dirty(offset, PAGE_SIZE);
         Ok(())
     }
 
@@ -171,6 +300,7 @@ impl PhysMemory {
     pub fn zero_range(&mut self, addr: PhysAddr, len: usize) -> Result<(), MemError> {
         let offset = self.offset_of(addr, len)?;
         self.bytes[offset..offset + len].fill(0);
+        self.mark_dirty(offset, len);
         Ok(())
     }
 
@@ -183,6 +313,18 @@ impl PhysMemory {
         let mut buf = vec![0u8; PAGE_SIZE];
         self.read_bytes(addr.align_down(), &mut buf)?;
         Ok(buf)
+    }
+
+    /// Borrows the page (4 KiB) containing `addr` in place — the zero-copy
+    /// variant of [`PhysMemory::read_page`] for scanners that inspect many
+    /// pages per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the page is not populated.
+    pub fn page_slice(&self, addr: PhysAddr) -> Result<&[u8], MemError> {
+        let offset = self.offset_of(addr.align_down(), PAGE_SIZE)?;
+        Ok(&self.bytes[offset..offset + PAGE_SIZE])
     }
 
     /// Returns the highest populated physical address plus one.
@@ -257,5 +399,64 @@ mod tests {
     #[should_panic(expected = "page aligned")]
     fn unaligned_size_panics() {
         let _ = PhysMemory::new(PhysAddr::new(0), 100);
+    }
+
+    #[test]
+    fn dirty_tracking_reports_every_written_page_once() {
+        let mut m = mem();
+        assert!(m.drain_dirty_pages().is_empty(), "fresh memory is clean");
+        m.write_u64(PhysAddr::new(0x8000_1008), 7).unwrap();
+        m.write_bytes(PhysAddr::new(0x8000_2ffc), &[1u8; 8]).unwrap(); // straddles 2→3
+        m.zero_page(PhysAddr::new(0x8000_5123)).unwrap();
+        assert_eq!(m.drain_dirty_pages(), vec![1, 2, 3, 5]);
+        assert!(m.drain_dirty_pages().is_empty(), "drain clears the bitmap");
+        // Rewriting identical bytes still marks (never under-reports).
+        m.write_u64(PhysAddr::new(0x8000_1008), 7).unwrap();
+        assert_eq!(m.drain_dirty_pages(), vec![1]);
+    }
+
+    #[test]
+    fn digest_is_independent_of_cache_state() {
+        // Two memories driven identically must agree, regardless of how
+        // often digest() was interleaved (exercising different cache paths).
+        let mut a = mem();
+        let mut b = mem();
+        a.write_u64(PhysAddr::new(0x8000_3000), 0x1234).unwrap();
+        let _ = a.digest(0); // refresh a's cache mid-sequence
+        a.write_u64(PhysAddr::new(0x8000_4000), 0x5678).unwrap();
+        b.write_u64(PhysAddr::new(0x8000_3000), 0x1234).unwrap();
+        b.write_u64(PhysAddr::new(0x8000_4000), 0x5678).unwrap();
+        assert_eq!(a.digest(9), b.digest(9));
+        assert_ne!(a.digest(9), a.digest(10), "seed must fold in");
+        // Any content change moves the digest; reverting restores it.
+        let before = a.digest(0);
+        a.write_u64(PhysAddr::new(0x8000_4000), 0x5679).unwrap();
+        assert_ne!(a.digest(0), before);
+        a.write_u64(PhysAddr::new(0x8000_4000), 0x5678).unwrap();
+        assert_eq!(a.digest(0), before);
+    }
+
+    #[test]
+    fn digest_distinguishes_page_placement() {
+        // Identical contents on different pages must not cancel (the
+        // per-page salt): swap two distinct pages and the digest moves.
+        let mut a = mem();
+        a.write_u64(PhysAddr::new(0x8000_1000), 0xaaaa).unwrap();
+        a.write_u64(PhysAddr::new(0x8000_2000), 0xbbbb).unwrap();
+        let mut b = mem();
+        b.write_u64(PhysAddr::new(0x8000_1000), 0xbbbb).unwrap();
+        b.write_u64(PhysAddr::new(0x8000_2000), 0xaaaa).unwrap();
+        assert_ne!(a.digest(0), b.digest(0));
+    }
+
+    #[test]
+    fn external_drain_does_not_perturb_digest() {
+        let mut a = mem();
+        let mut b = mem();
+        for m in [&mut a, &mut b] {
+            m.write_u64(PhysAddr::new(0x8000_6000), 0xfeed).unwrap();
+        }
+        let _ = a.drain_dirty_pages(); // external cursor consumed on a only
+        assert_eq!(a.digest(0), b.digest(0));
     }
 }
