@@ -38,6 +38,29 @@ fn bench_mailbox(c: &mut Criterion) {
         );
     }
 
+    // Fabric burst: fill one wildcard mailbox queue, then peek + drain it
+    // FIFO — the amortized multi-slot path the attestation service rides.
+    group.bench_function("queued_burst_peek_drain", |b| {
+        use sanctorum_core::mailbox::{ANY_SENDER, MAILBOX_QUEUE_DEPTH};
+        sm.accept_mail(recipient, 2, ANY_SENDER).unwrap();
+        let message = [0xa5u8; 256];
+        // The OS is the burst sender: no specific filter matches sender 0,
+        // so the burst routes into the wildcard mailbox being measured.
+        b.iter(|| {
+            for _ in 0..MAILBOX_QUEUE_DEPTH {
+                sm.send_mail(CallerSession::os(), e2.eid, &message).unwrap();
+            }
+            for _ in 0..MAILBOX_QUEUE_DEPTH {
+                let (len, _) = sm.peek_mail(recipient, 2).unwrap();
+                let (bytes, _) = sm.get_mail(recipient, 2).unwrap();
+                assert_eq!(len, bytes.len());
+            }
+        })
+    });
+    // No wildcard filter left behind: the rejection bench below depends on
+    // the OS finding no admitting mailbox.
+    sm.accept_mail(recipient, 2, e1.eid.as_u64()).unwrap();
+
     // Denial-of-service attempt: sends without an accepting mailbox are cheap
     // rejections.
     group.bench_function("unsolicited_send_rejected", |b| {

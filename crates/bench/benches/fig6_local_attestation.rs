@@ -29,7 +29,10 @@ fn bench_local_attestation(c: &mut Criterion) {
             sm.accept_mail(e2_session, 0, e1.eid.as_u64()).unwrap();
             sm.send_mail(e1_session, e2.eid, b"prove yourself").unwrap();
             let (_, sender) = sm.get_mail(e2_session, 0).unwrap();
-            assert_eq!(sender, SenderIdentity::Enclave(e1.measurement));
+            assert_eq!(
+                sender,
+                SenderIdentity::Enclave { id: e1.eid, measurement: e1.measurement }
+            );
             sender
         })
     });

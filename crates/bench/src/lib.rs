@@ -78,6 +78,53 @@ pub fn boot_attestation_setup(
     (system, os, client, signing)
 }
 
+/// Boots a system sized for the attestation-service workload: the signing
+/// enclave plus `clients` client enclaves (all running the attestation-client
+/// image), with the monitor trusting the signing enclave's measurement.
+/// Returns `(system, os, client enclaves, signing enclave)`.
+pub fn boot_attestation_service(
+    platform: PlatformKind,
+    clients: usize,
+) -> (System, Os, Vec<BuiltEnclave>, BuiltEnclave) {
+    // Pass 1: learn the signing enclave's measurement on a scratch system.
+    let scratch = System::boot_small(platform);
+    let mut scratch_os = Os::new(&scratch);
+    let probe = scratch_os
+        .build_enclave(&EnclaveImage::signing_enclave(), 1)
+        .expect("probe build succeeds");
+    let signing_measurement = probe.measurement;
+
+    // Pass 2: a machine with enough half-megabyte regions for the fleet
+    // (clients + signing + OS staging), and a PMP budget covering them all
+    // so both backends behave identically.
+    let config = MachineConfig {
+        memory_size: 16 * 512 * 1024,
+        dram_region_size: 512 * 1024,
+        pmp_entries: 24,
+        ..MachineConfig::small()
+    };
+    assert!(clients + 2 <= config.num_regions(), "too many clients for the geometry");
+    let system = System::boot(
+        platform,
+        config,
+        SmConfig {
+            signing_enclave_measurement: Some(signing_measurement),
+            ..SmConfig::default()
+        },
+    );
+    let mut os = Os::new(&system);
+    let signing = os
+        .build_enclave(&EnclaveImage::signing_enclave(), 1)
+        .expect("signing enclave builds");
+    let fleet = (0..clients)
+        .map(|_| {
+            os.build_enclave(&EnclaveImage::attestation_client(), 1)
+                .expect("client enclave builds")
+        })
+        .collect();
+    (system, os, fleet, signing)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -215,12 +215,13 @@ pub trait SmApi {
         new_owner: DomainKind,
     ) -> SmResult<()>;
 
-    /// `accept_mail`: the calling enclave's mailbox will accept one message
-    /// from `sender_id` (an enclave id value, or 0 for the OS).
+    /// `accept_mail`: arms one of the calling enclave's mailboxes to accept
+    /// messages from `sender_id` (an enclave id value, 0 for the OS, or
+    /// [`crate::mailbox::ANY_SENDER`] for wildcard service mode).
     ///
     /// # Errors
     ///
-    /// Fails for non-enclave sessions, unknown mailboxes, or a full mailbox.
+    /// Fails for non-enclave sessions or unknown mailboxes.
     fn accept_mail(
         &self,
         session: CallerSession,
@@ -242,8 +243,8 @@ pub trait SmApi {
         message: &[u8],
     ) -> SmResult<()>;
 
-    /// `get_mail`: fetches the message waiting in `mailbox` together with the
-    /// SM-recorded sender identity.
+    /// `get_mail`: fetches the oldest message queued in `mailbox` together
+    /// with the SM-recorded sender identity, refunding the sender's quota.
     ///
     /// # Errors
     ///
@@ -253,6 +254,32 @@ pub trait SmApi {
         session: CallerSession,
         mailbox: usize,
     ) -> SmResult<(Vec<u8>, SenderIdentity)>;
+
+    /// `get_mail` with an atomic length bound: fetches the oldest queued
+    /// message only if it fits in `max_len` bytes; a too-large message is
+    /// left queued and the call fails. The check and the consumption happen
+    /// under one lock, so no concurrent consumer can swap the queue head in
+    /// between — the register-ABI `GetMail` is built on this.
+    ///
+    /// # Errors
+    ///
+    /// As [`SmApi::get_mail`], plus [`SmError::InvalidArgument`] when the
+    /// waiting message exceeds `max_len` (message not consumed).
+    fn get_mail_bounded(
+        &self,
+        session: CallerSession,
+        mailbox: usize,
+        max_len: usize,
+    ) -> SmResult<(Vec<u8>, SenderIdentity)>;
+
+    /// `peek_mail`: non-destructive probe of the oldest message queued in
+    /// `mailbox`, returning its length and raw sender id. Callers use this
+    /// to size a receive buffer *before* consuming the message.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-enclave sessions, unknown mailboxes, or empty mailboxes.
+    fn peek_mail(&self, session: CallerSession, mailbox: usize) -> SmResult<(usize, u64)>;
 
     /// `get_attestation_key`: releases the attestation signing seed to the
     /// trusted signing enclave (measurement-gated).
@@ -731,10 +758,13 @@ sm_call_registry! {
         if !sm.caller_can_access_span(session.domain(), out_addr, probe_len, MemPerms::WRITE) {
             return Err(SmError::Unauthorized);
         }
-        let (message, _sender) = sm.get_mail(session, mailbox as usize)?;
-        if message.len() as u64 > out_len {
-            return Err(SmError::InvalidArgument { reason: "output buffer too small" });
-        }
+        // The length check and the consumption are one atomic operation: a
+        // message too large for the caller's buffer is rejected while it is
+        // still queued (the seed consumed it first, destroying mail a
+        // too-small buffer could never hold), and no concurrent consumer
+        // can swap the queue head between a separate probe and the fetch.
+        let (message, _sender) =
+            sm.get_mail_bounded(session, mailbox as usize, out_len as usize)?;
         sm.machine().phys_write(out_addr, &message)?;
         Ok(message.len() as u64)
     }
@@ -765,6 +795,19 @@ sm_call_registry! {
     isolation: false,
     handler: (sm, session) {
         sm.run_packed_batch(session, table, count)
+    }
+
+    /// Non-destructive probe of the oldest waiting message: returns its
+    /// length without consuming it (callers size their `GetMail` buffer from
+    /// this).
+    17 => PeekMail {
+        /// Mailbox index.
+        mailbox: u64,
+    }
+    switches: false,
+    isolation: false,
+    handler: (sm, session) {
+        sm.peek_mail(session, mailbox as usize).map(|(len, _sender)| len as u64)
     }
 }
 
@@ -950,6 +993,7 @@ mod tests {
             },
             SmCall::GetField { field: 2 },
             SmCall::Batch { table: PhysAddr::new(0x8300_2000), count: 4 },
+            SmCall::PeekMail { mailbox: 2 },
         ]
     }
 

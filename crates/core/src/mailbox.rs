@@ -1,140 +1,254 @@
-//! SM-mediated mailboxes for local attestation (paper Section VI-B, Fig. 5).
+//! SM-mediated message fabric for local attestation and enclave IPC
+//! (paper Section VI-B, Fig. 5).
 //!
-//! Each enclave's metadata contains a small array of mailboxes. A recipient
-//! must first signal intent to receive from a specific sender
-//! (`accept_mail`); the sender (another enclave or the OS) can then deposit
-//! one message (`send_mail`), which the SM tags with the sender's
-//! measurement; the recipient retrieves it with `get_mail`. Because the SM is
-//! trusted and mediates every step, the sender identity needs no
-//! cryptographic proof — this is the basis of local attestation (Fig. 6).
+//! Each enclave's metadata contains a small array of mailboxes. The seed
+//! implementation gave every mailbox a single one-message cell; the fabric
+//! generalizes that into a **multi-slot FIFO queue** per mailbox so many
+//! senders can have messages in flight toward one service enclave (the
+//! signing enclave is the motivating consumer — see `sanctorum-enclave`):
+//!
+//! * a recipient *arms* a mailbox with an [`AcceptMode`] — either a specific
+//!   sender or [`ANY_SENDER`] (wildcard, for service enclaves that accept
+//!   requests from any client);
+//! * a sender (another enclave or the OS) deposits messages with `send`,
+//!   which the SM tags with the sender's id and measurement; up to
+//!   [`MAILBOX_QUEUE_DEPTH`] messages queue per mailbox;
+//! * the recipient retrieves messages in FIFO order with `get`, or probes the
+//!   head non-destructively with `peek` (length + sender, so a caller can
+//!   size its buffer *before* consuming — the register-ABI `GetMail` uses
+//!   exactly this to avoid destroying a message a too-small buffer cannot
+//!   hold).
+//!
+//! Because the SM is trusted and mediates every step, the sender identity
+//! needs no cryptographic proof — this is the basis of local attestation
+//! (Fig. 6). The one-slot design's implicit backpressure (a full cell
+//! rejects sends) is replaced by explicit **per-sender quota accounting**,
+//! enforced by the monitor over the whole fabric (see
+//! [`crate::monitor`]): a sender may have at most [`MAIL_SENDER_QUOTA`]
+//! undelivered messages in flight across all recipients, so no sender can
+//! squat every queue in the system.
 
 use crate::error::{SmError, SmResult};
 use crate::measurement::Measurement;
+use sanctorum_hal::addr::PAGE_SIZE;
+use sanctorum_hal::domain::EnclaveId;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
-/// Maximum message size in bytes (one cache line short of a page, mirroring
-/// the small fixed-size mail buffers of the Sanctum implementation).
-pub const MAX_MAIL_LEN: usize = 1024;
+/// Cache-line size the mail buffer geometry is stated in terms of.
+pub const CACHE_LINE: usize = 64;
+
+/// Maximum message size in bytes: a quarter of a 4 KiB page (16 cache
+/// lines), mirroring the small fixed-size mail buffers of the Sanctum
+/// implementation. Four queue slots of maximal messages therefore fit in one
+/// page of SM metadata per mailbox.
+pub const MAX_MAIL_LEN: usize = PAGE_SIZE / 4;
+
+// The geometry the constant is *intended* to encode, checked at compile
+// time so a drive-by edit cannot silently detach the value from the page /
+// cache-line layout it is derived from.
+const _: () = {
+    assert!(MAX_MAIL_LEN == 1024);
+    assert!(MAX_MAIL_LEN == PAGE_SIZE / 4);
+    assert!(MAX_MAIL_LEN == 16 * CACHE_LINE);
+    assert!(MAX_MAIL_LEN.is_multiple_of(CACHE_LINE));
+    assert!(MAILBOX_QUEUE_DEPTH * MAX_MAIL_LEN == PAGE_SIZE);
+};
+
+/// Number of messages one mailbox queues before senders see backpressure.
+pub const MAILBOX_QUEUE_DEPTH: usize = 4;
+
+/// Maximum undelivered messages one sender may have in flight across the
+/// whole fabric (enforced by the monitor's quota ledger, not per mailbox).
+pub const MAIL_SENDER_QUOTA: usize = 8;
+
+/// Register-ABI sender selector meaning "accept mail from any sender"
+/// (service enclaves arm their request mailbox with this).
+pub const ANY_SENDER: u64 = u64::MAX;
 
 /// Identity of a mail sender as recorded by the SM.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SenderIdentity {
     /// The untrusted OS (which has no measurement).
     Untrusted,
-    /// An enclave, identified by its measurement.
-    Enclave(Measurement),
-}
-
-/// The state of one mailbox (paper Fig. 5 plus the explicit "accepted"
-/// intermediate required to thwart denial of service by unsolicited senders).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum MailboxState {
-    /// Not expecting mail.
-    Idle,
-    /// `accept_mail` was called: waiting for mail from the named sender.
-    Accepting {
-        /// The sender the recipient is willing to receive from.
-        expected_sender: u64,
-    },
-    /// A message is waiting to be fetched.
-    Full {
-        /// Sender identity recorded by the SM.
-        sender: SenderIdentity,
-        /// Raw sender id (enclave id value or 0 for the OS).
-        sender_id: u64,
-        /// The message payload.
-        message: Vec<u8>,
+    /// An enclave, identified by its id and measurement. The id lets a
+    /// service enclave reply without out-of-band knowledge of who mailed it;
+    /// the measurement is the attestation-grade identity.
+    Enclave {
+        /// The sender's enclave id (valid while the sender lives; the SM
+        /// purges a dead sender's undelivered mail precisely so this field
+        /// can never alias a recycled id).
+        id: EnclaveId,
+        /// The sender's finalized measurement.
+        measurement: Measurement,
     },
 }
 
-/// One mailbox.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Mailbox {
-    state: MailboxState,
-}
-
-impl Default for Mailbox {
-    fn default() -> Self {
-        Self::new()
+impl SenderIdentity {
+    /// The raw sender-id word the quota ledger and accept filters use
+    /// (enclave id value, or 0 for the OS).
+    pub fn sender_id(&self) -> u64 {
+        match self {
+            SenderIdentity::Untrusted => 0,
+            SenderIdentity::Enclave { id, .. } => id.as_u64(),
+        }
     }
+}
+
+/// Whom a mailbox is armed to receive from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AcceptMode {
+    /// Only the named sender id (enclave id value, or 0 for the OS).
+    Sender(u64),
+    /// Any sender (wildcard service mode).
+    Any,
+}
+
+impl AcceptMode {
+    /// Maps the register-ABI sender selector onto an accept mode.
+    pub fn from_selector(sender_id: u64) -> Self {
+        if sender_id == ANY_SENDER {
+            AcceptMode::Any
+        } else {
+            AcceptMode::Sender(sender_id)
+        }
+    }
+
+    /// Returns `true` if a message from `sender_id` passes this filter.
+    pub fn admits(&self, sender_id: u64) -> bool {
+        match self {
+            AcceptMode::Any => true,
+            AcceptMode::Sender(expected) => *expected == sender_id,
+        }
+    }
+}
+
+/// One message held in a mailbox queue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueuedMail {
+    /// Sender identity recorded by the SM at send time.
+    pub sender: SenderIdentity,
+    /// Raw sender id (enclave id value or 0 for the OS) — the quota ledger
+    /// key.
+    pub sender_id: u64,
+    /// The message payload.
+    pub message: Vec<u8>,
+}
+
+/// One mailbox: an accept filter plus a bounded FIFO of queued messages.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Mailbox {
+    accept: Option<AcceptMode>,
+    queue: VecDeque<QueuedMail>,
 }
 
 impl Mailbox {
-    /// Creates an idle mailbox.
+    /// Creates an idle (unarmed, empty) mailbox.
     pub fn new() -> Self {
-        Self {
-            state: MailboxState::Idle,
-        }
+        Self::default()
     }
 
-    /// Returns the current state.
-    pub fn state(&self) -> &MailboxState {
-        &self.state
+    /// The current accept filter, if the mailbox is armed.
+    pub fn accept_mode(&self) -> Option<AcceptMode> {
+        self.accept
     }
 
-    /// `accept_mail`: the recipient signals intent to receive from
-    /// `expected_sender`.
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Returns `true` if the queue has no room for another message.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= MAILBOX_QUEUE_DEPTH
+    }
+
+    /// Iterates over the queued messages in FIFO order (monitor-internal:
+    /// audit snapshots and teardown purges walk this).
+    pub fn queued(&self) -> impl Iterator<Item = &QueuedMail> {
+        self.queue.iter()
+    }
+
+    /// `accept_mail`: arms (or re-arms) the mailbox with a new filter.
+    /// Re-arming never disturbs already-queued messages — they were admitted
+    /// under the filter in force when they arrived.
+    pub fn accept(&mut self, mode: AcceptMode) {
+        self.accept = Some(mode);
+    }
+
+    /// Returns `true` if `send` from `sender_id` would pass the accept
+    /// filter (regardless of queue space).
+    pub fn admits(&self, sender_id: u64) -> bool {
+        self.accept.map(|mode| mode.admits(sender_id)).unwrap_or(false)
+    }
+
+    /// `send_mail`: enqueues a message from `sender`.
     ///
     /// # Errors
     ///
-    /// Fails if a message is already waiting (it must be fetched first).
-    pub fn accept(&mut self, expected_sender: u64) -> SmResult<()> {
-        match &self.state {
-            MailboxState::Full { .. } => Err(SmError::MailboxUnavailable),
-            _ => {
-                self.state = MailboxState::Accepting { expected_sender };
-                Ok(())
-            }
-        }
-    }
-
-    /// `send_mail`: deposits a message from `sender_id` with the SM-recorded
-    /// `sender` identity.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the recipient has not accepted mail from this sender, if a
-    /// message is already waiting, or if the message is too large.
-    pub fn send(
-        &mut self,
-        sender_id: u64,
-        sender: SenderIdentity,
-        message: &[u8],
-    ) -> SmResult<()> {
+    /// [`SmError::MailNotAccepted`] if the mailbox is not armed for this
+    /// sender, [`SmError::MailboxUnavailable`] if the queue is full, and
+    /// [`SmError::InvalidArgument`] for oversized messages.
+    pub fn send(&mut self, sender: SenderIdentity, message: &[u8]) -> SmResult<()> {
         if message.len() > MAX_MAIL_LEN {
             return Err(SmError::InvalidArgument {
                 reason: "mail message too large",
             });
         }
-        match &self.state {
-            MailboxState::Accepting { expected_sender } if *expected_sender == sender_id => {
-                self.state = MailboxState::Full {
-                    sender,
-                    sender_id,
-                    message: message.to_vec(),
-                };
-                Ok(())
-            }
-            MailboxState::Accepting { .. } => Err(SmError::MailNotAccepted),
-            MailboxState::Idle => Err(SmError::MailNotAccepted),
-            MailboxState::Full { .. } => Err(SmError::MailboxUnavailable),
+        let sender_id = sender.sender_id();
+        if !self.admits(sender_id) {
+            return Err(SmError::MailNotAccepted);
         }
+        if self.is_full() {
+            return Err(SmError::MailboxUnavailable);
+        }
+        self.queue.push_back(QueuedMail {
+            sender,
+            sender_id,
+            message: message.to_vec(),
+        });
+        Ok(())
     }
 
-    /// `get_mail`: the recipient fetches the waiting message, returning the
-    /// payload and the SM-recorded sender identity. The mailbox returns to
-    /// idle.
+    /// `get_mail`: dequeues the oldest message.
     ///
     /// # Errors
     ///
-    /// Fails if no message is waiting.
-    pub fn get(&mut self) -> SmResult<(Vec<u8>, SenderIdentity)> {
-        match std::mem::replace(&mut self.state, MailboxState::Idle) {
-            MailboxState::Full { sender, message, .. } => Ok((message, sender)),
-            other => {
-                self.state = other;
-                Err(SmError::MailboxUnavailable)
-            }
+    /// [`SmError::MailboxUnavailable`] if the queue is empty.
+    pub fn get(&mut self) -> SmResult<QueuedMail> {
+        self.queue.pop_front().ok_or(SmError::MailboxUnavailable)
+    }
+
+    /// `peek_mail`: the oldest message, without consuming it.
+    pub fn peek(&self) -> Option<&QueuedMail> {
+        self.queue.front()
+    }
+
+    /// Removes every queued message sent by `sender_id`, returning how many
+    /// were dropped (the monitor's teardown purge: a dead sender's
+    /// undelivered mail must not outlive its identity, because enclave ids
+    /// are recycled physical addresses).
+    pub fn purge_sender(&mut self, sender_id: u64) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|m| m.sender_id != sender_id);
+        before - self.queue.len()
+    }
+
+    /// Disarms the mailbox if its filter names exactly `sender_id` (the
+    /// other half of the teardown purge: an accept filter for a dead
+    /// enclave's id would otherwise grant the *next* enclave recycled onto
+    /// that id a delivery capability its recipient never meant to extend —
+    /// found by the adversarial explorer when a freshly built signing
+    /// enclave inherited a victim's stale filter and its attestation reply
+    /// was routed into the wrong mailbox).
+    pub fn disarm_if_expecting(&mut self, sender_id: u64) {
+        if self.accept == Some(AcceptMode::Sender(sender_id)) {
+            self.accept = None;
         }
     }
 }
@@ -143,82 +257,140 @@ impl Mailbox {
 mod tests {
     use super::*;
 
-    fn measurement(byte: u8) -> Measurement {
-        Measurement([byte; 32])
+    fn enclave_sender(id: u64, byte: u8) -> SenderIdentity {
+        SenderIdentity::Enclave {
+            id: EnclaveId::new(id),
+            measurement: Measurement([byte; 32]),
+        }
+    }
+
+    #[test]
+    fn max_mail_len_matches_intended_geometry() {
+        // Runtime restatement of the compile-time asserts, so the intent is
+        // also visible in test output: a quarter page, 16 cache lines.
+        assert_eq!(MAX_MAIL_LEN, PAGE_SIZE / 4);
+        assert_eq!(MAX_MAIL_LEN, 16 * CACHE_LINE);
+        assert_eq!(MAILBOX_QUEUE_DEPTH * MAX_MAIL_LEN, PAGE_SIZE);
     }
 
     #[test]
     fn accept_send_get_round_trip() {
         let mut mb = Mailbox::new();
-        mb.accept(42).unwrap();
-        mb.send(42, SenderIdentity::Enclave(measurement(1)), b"hello").unwrap();
-        let (msg, sender) = mb.get().unwrap();
-        assert_eq!(msg, b"hello");
-        assert_eq!(sender, SenderIdentity::Enclave(measurement(1)));
-        assert_eq!(*mb.state(), MailboxState::Idle);
+        mb.accept(AcceptMode::Sender(42));
+        mb.send(enclave_sender(42, 1), b"hello").unwrap();
+        let mail = mb.get().unwrap();
+        assert_eq!(mail.message, b"hello");
+        assert_eq!(mail.sender, enclave_sender(42, 1));
+        assert!(mb.is_empty());
+        // The filter survives delivery: the same sender can mail again
+        // without a re-arm.
+        mb.send(enclave_sender(42, 1), b"again").unwrap();
+        assert_eq!(mb.get().unwrap().message, b"again");
     }
 
     #[test]
     fn unsolicited_send_rejected() {
         let mut mb = Mailbox::new();
         assert_eq!(
-            mb.send(42, SenderIdentity::Untrusted, b"spam"),
+            mb.send(SenderIdentity::Untrusted, b"spam"),
             Err(SmError::MailNotAccepted)
         );
-        mb.accept(42).unwrap();
+        mb.accept(AcceptMode::Sender(42));
         // Wrong sender id also rejected (denial-of-service protection).
         assert_eq!(
-            mb.send(43, SenderIdentity::Untrusted, b"spam"),
+            mb.send(SenderIdentity::Untrusted, b"spam"),
             Err(SmError::MailNotAccepted)
         );
     }
 
     #[test]
-    fn double_send_rejected_until_fetched() {
+    fn wildcard_accepts_everyone() {
         let mut mb = Mailbox::new();
-        mb.accept(1).unwrap();
-        mb.send(1, SenderIdentity::Untrusted, b"first").unwrap();
-        assert_eq!(
-            mb.send(1, SenderIdentity::Untrusted, b"second"),
-            Err(SmError::MailboxUnavailable)
-        );
-        // accept while full is also rejected.
-        assert_eq!(mb.accept(1), Err(SmError::MailboxUnavailable));
-        let (msg, _) = mb.get().unwrap();
-        assert_eq!(msg, b"first");
+        mb.accept(AcceptMode::Any);
+        mb.send(SenderIdentity::Untrusted, b"os").unwrap();
+        mb.send(enclave_sender(7, 3), b"e7").unwrap();
+        assert_eq!(mb.get().unwrap().sender, SenderIdentity::Untrusted);
+        assert_eq!(mb.get().unwrap().sender, enclave_sender(7, 3));
     }
 
     #[test]
-    fn get_on_empty_fails_and_preserves_state() {
+    fn queue_is_fifo_and_bounded() {
         let mut mb = Mailbox::new();
+        mb.accept(AcceptMode::Sender(1));
+        for i in 0..MAILBOX_QUEUE_DEPTH as u8 {
+            mb.send(enclave_sender(1, 9), &[i]).unwrap();
+        }
+        assert!(mb.is_full());
+        assert_eq!(
+            mb.send(enclave_sender(1, 9), b"overflow"),
+            Err(SmError::MailboxUnavailable)
+        );
+        for i in 0..MAILBOX_QUEUE_DEPTH as u8 {
+            assert_eq!(mb.get().unwrap().message, vec![i]);
+        }
         assert_eq!(mb.get(), Err(SmError::MailboxUnavailable));
-        mb.accept(7).unwrap();
-        assert_eq!(mb.get(), Err(SmError::MailboxUnavailable));
-        assert_eq!(*mb.state(), MailboxState::Accepting { expected_sender: 7 });
+    }
+
+    #[test]
+    fn peek_is_non_destructive() {
+        let mut mb = Mailbox::new();
+        assert!(mb.peek().is_none());
+        mb.accept(AcceptMode::Sender(7));
+        mb.send(enclave_sender(7, 2), b"first").unwrap();
+        mb.send(enclave_sender(7, 2), b"second!").unwrap();
+        assert_eq!(mb.peek().unwrap().message.len(), 5);
+        assert_eq!(mb.peek().unwrap().message.len(), 5, "peek must not consume");
+        assert_eq!(mb.get().unwrap().message, b"first");
+        assert_eq!(mb.peek().unwrap().message.len(), 7);
     }
 
     #[test]
     fn oversized_message_rejected() {
         let mut mb = Mailbox::new();
-        mb.accept(1).unwrap();
+        mb.accept(AcceptMode::Sender(1));
         let big = vec![0u8; MAX_MAIL_LEN + 1];
         assert!(matches!(
-            mb.send(1, SenderIdentity::Untrusted, &big),
+            mb.send(enclave_sender(1, 0), &big),
             Err(SmError::InvalidArgument { .. })
         ));
         let exact = vec![0u8; MAX_MAIL_LEN];
-        mb.send(1, SenderIdentity::Untrusted, &exact).unwrap();
+        mb.send(enclave_sender(1, 0), &exact).unwrap();
     }
 
     #[test]
-    fn re_accept_changes_expected_sender() {
+    fn re_accept_changes_filter_but_keeps_queue() {
         let mut mb = Mailbox::new();
-        mb.accept(1).unwrap();
-        mb.accept(2).unwrap();
+        mb.accept(AcceptMode::Sender(1));
+        mb.send(enclave_sender(1, 4), b"old sender").unwrap();
+        mb.accept(AcceptMode::Sender(2));
         assert_eq!(
-            mb.send(1, SenderIdentity::Untrusted, b"old sender"),
+            mb.send(enclave_sender(1, 4), b"stale"),
             Err(SmError::MailNotAccepted)
         );
-        mb.send(2, SenderIdentity::Untrusted, b"new sender").unwrap();
+        mb.send(enclave_sender(2, 5), b"new sender").unwrap();
+        // The message admitted under the old filter is still delivered.
+        assert_eq!(mb.get().unwrap().message, b"old sender");
+        assert_eq!(mb.get().unwrap().message, b"new sender");
+    }
+
+    #[test]
+    fn purge_drops_only_the_named_sender() {
+        let mut mb = Mailbox::new();
+        mb.accept(AcceptMode::Any);
+        mb.send(enclave_sender(1, 1), b"a").unwrap();
+        mb.send(enclave_sender(2, 2), b"b").unwrap();
+        mb.send(enclave_sender(1, 1), b"c").unwrap();
+        assert_eq!(mb.purge_sender(1), 2);
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb.get().unwrap().message, b"b");
+    }
+
+    #[test]
+    fn accept_mode_selector_round_trip() {
+        assert_eq!(AcceptMode::from_selector(ANY_SENDER), AcceptMode::Any);
+        assert_eq!(AcceptMode::from_selector(7), AcceptMode::Sender(7));
+        assert!(AcceptMode::Any.admits(123));
+        assert!(AcceptMode::Sender(5).admits(5));
+        assert!(!AcceptMode::Sender(5).admits(6));
     }
 }

@@ -13,7 +13,7 @@ use crate::api::{CallOutcome, SmApi, SmCall};
 use crate::boot::SmIdentity;
 use crate::enclave::{EnclaveLifecycle, EnclaveMeta, PhysWindow};
 use crate::error::{SmError, SmResult};
-use crate::mailbox::SenderIdentity;
+use crate::mailbox::{AcceptMode, SenderIdentity, MAIL_SENDER_QUOTA, MAX_MAIL_LEN};
 use crate::measurement::{Measurement, MeasurementContext};
 use crate::resource::{ResourceId, ResourceMap, ResourceState};
 use crate::session::CallerSession;
@@ -153,6 +153,12 @@ struct SmState {
     threads_generation: AtomicU64,
     /// Bumped after every core-occupancy change.
     occupancy_generation: AtomicU64,
+    /// The mail-fabric quota ledger: undelivered messages in flight per
+    /// sender id, across every live recipient's queues. `send_mail` refuses a
+    /// sender at [`MAIL_SENDER_QUOTA`]; delivery and teardown purges refund.
+    mail_ledger: Mutex<BTreeMap<u64, u64>>,
+    /// Bumped after every mail-fabric mutation (send, get, teardown purge).
+    mail_generation: AtomicU64,
 }
 
 /// Deliberate, named weakenings of the monitor's enforcement, used by the
@@ -194,6 +200,11 @@ pub struct EnclaveAudit {
     pub running_threads: usize,
     /// Threads associated with the enclave.
     pub threads: Vec<ThreadId>,
+    /// Every message queued in the enclave's mailboxes, flattened in
+    /// (mailbox, FIFO) order as `(sender_id, message length)` pairs — the
+    /// fabric's audit view, from which the explorer checks quota
+    /// conservation against [`AuditSnapshot::mail_outstanding`].
+    pub mail_queued: Vec<(u64, u32)>,
 }
 
 /// The monotone change counters an [`AuditSnapshot`] was taken at.
@@ -213,6 +224,8 @@ pub struct AuditGenerations {
     pub threads: u64,
     /// Mutation counter of the core-occupancy table.
     pub occupancy: u64,
+    /// Mutation counter of the mail fabric (queues + quota ledger).
+    pub mail: u64,
 }
 
 /// A consistent snapshot of the monitor's security-relevant state, taken for
@@ -233,6 +246,10 @@ pub struct AuditSnapshot {
     pub enclaves: Vec<Arc<EnclaveAudit>>,
     /// Which enclave thread occupies each core.
     pub core_occupancy: Arc<Vec<(CoreId, ThreadId)>>,
+    /// The mail-fabric quota ledger: `(sender_id, undelivered messages)` in
+    /// sender order. Conservation against the per-enclave
+    /// [`EnclaveAudit::mail_queued`] views is an explorer invariant.
+    pub mail_outstanding: Arc<Vec<(u64, u64)>>,
     /// The change counters this snapshot was taken at.
     pub generations: AuditGenerations,
 }
@@ -270,6 +287,8 @@ struct AuditCache {
     enclaves_vec: Vec<Arc<EnclaveAudit>>,
     occupancy_gen: u64,
     core_occupancy: Arc<Vec<(CoreId, ThreadId)>>,
+    mail_gen: u64,
+    mail_outstanding: Arc<Vec<(u64, u64)>>,
 }
 
 impl Default for AuditCache {
@@ -282,6 +301,8 @@ impl Default for AuditCache {
             enclaves_vec: Vec::new(),
             occupancy_gen: u64::MAX,
             core_occupancy: Arc::new(Vec::new()),
+            mail_gen: u64::MAX,
+            mail_outstanding: Arc::new(Vec::new()),
         }
     }
 }
@@ -362,6 +383,8 @@ impl SecurityMonitor {
                 enclaves_generation: AtomicU64::new(0),
                 threads_generation: AtomicU64::new(0),
                 occupancy_generation: AtomicU64::new(0),
+                mail_ledger: Mutex::new(BTreeMap::new()),
+                mail_generation: AtomicU64::new(0),
             },
             global_lock: Mutex::new(()),
             stats: SmStats::default(),
@@ -493,6 +516,25 @@ impl SecurityMonitor {
         self.state.occupancy_generation.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Marks the mail fabric (queues or quota ledger) as changed.
+    fn touch_mail(&self) {
+        self.state.mail_generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Refunds one undelivered-message unit to `sender_id` in the quota
+    /// ledger. Delivery and teardown purges both go through here; the
+    /// zero-count entry is removed so the ledger (and its audit snapshot)
+    /// only ever lists senders with mail actually in flight — the shape the
+    /// conservation invariant compares against.
+    fn refund_mail_sender(ledger: &mut BTreeMap<u64, u64>, sender_id: u64) {
+        if let Some(count) = ledger.get_mut(&sender_id) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                ledger.remove(&sender_id);
+            }
+        }
+    }
+
     fn record_call<T>(&self, result: SmResult<T>) -> SmResult<T> {
         match &result {
             Ok(_) => {
@@ -588,10 +630,25 @@ impl SecurityMonitor {
         generations.occupancy = cache.occupancy_gen;
         generations.threads = self.state.threads_generation.load(Ordering::Relaxed);
 
+        let mail_gen = self.state.mail_generation.load(Ordering::Relaxed);
+        if cache.mail_gen != mail_gen {
+            cache.mail_outstanding = Arc::new(
+                self.state
+                    .mail_ledger
+                    .lock()
+                    .iter()
+                    .map(|(sender, count)| (*sender, *count))
+                    .collect(),
+            );
+            cache.mail_gen = mail_gen;
+        }
+        generations.mail = cache.mail_gen;
+
         AuditSnapshot {
             resources: Arc::clone(&cache.resources),
             enclaves: cache.enclaves_vec.clone(),
             core_occupancy: Arc::clone(&cache.core_occupancy),
+            mail_outstanding: Arc::clone(&cache.mail_outstanding),
             generations,
         }
     }
@@ -622,15 +679,26 @@ impl SecurityMonitor {
                 .map(|(core, tid)| (*core, *tid))
                 .collect::<Vec<_>>(),
         );
+        let mail_gen = self.state.mail_generation.load(Ordering::Relaxed);
+        let mail_outstanding = Arc::new(
+            self.state
+                .mail_ledger
+                .lock()
+                .iter()
+                .map(|(sender, count)| (*sender, *count))
+                .collect::<Vec<_>>(),
+        );
         AuditSnapshot {
             resources,
             enclaves,
             core_occupancy,
+            mail_outstanding,
             generations: AuditGenerations {
                 resources: resources_gen,
                 enclaves: enclaves_gen,
                 threads: self.state.threads_generation.load(Ordering::Relaxed),
                 occupancy: occupancy_gen,
+                mail: mail_gen,
             },
         }
     }
@@ -643,6 +711,12 @@ impl SecurityMonitor {
             measurement: meta.measurement,
             running_threads: meta.running_threads,
             threads: meta.threads.clone(),
+            mail_queued: meta
+                .mailboxes
+                .iter()
+                .flat_map(|mb| mb.queued())
+                .map(|m| (m.sender_id, m.message.len() as u32))
+                .collect(),
         }
     }
 
@@ -1124,6 +1198,68 @@ impl SmApi for SecurityMonitor {
                 }
                 resources.block(DomainKind::SecurityMonitor, rid)?;
             }
+            drop(resources);
+            // Mail-fabric teardown — placed after the last fallible step so
+            // a delete refused by a lock conflict can never have already
+            // destroyed a still-live enclave's in-flight mail. Scrub every
+            // trace of the dying enclave's identity from the fabric: enclave
+            // ids are recycled physical addresses, so (a) a queued message
+            // still carrying this id must not survive into the next
+            // incarnation's identity (purging also resets the dead sender's
+            // quota), and (b) an accept filter naming this id must be
+            // disarmed — otherwise the next enclave recycled onto the id
+            // would inherit a delivery capability extended to its previous
+            // life (found by the adversarial explorer: a rebuilt signing
+            // enclave matched a victim's stale filter and its attestation
+            // reply was mis-routed). Lock order matches the send/get paths
+            // (enclave meta before ledger, never both ways): the purge walk
+            // holds the table + one meta at a time with no ledger held, and
+            // the ledger is settled afterwards on its own.
+            let mut purged_any = false;
+            {
+                let table = self.state.enclaves.lock();
+                for (other_id, other) in table.iter() {
+                    if *other_id == eid {
+                        continue;
+                    }
+                    let mut other_meta = other.lock();
+                    let purged: usize = other_meta
+                        .mailboxes
+                        .iter_mut()
+                        .map(|mb| mb.purge_sender(eid.as_u64()))
+                        .sum();
+                    for mb in other_meta.mailboxes.iter_mut() {
+                        mb.disarm_if_expecting(eid.as_u64());
+                    }
+                    if purged > 0 {
+                        purged_any = true;
+                        self.touch_enclave(&mut other_meta);
+                    }
+                }
+            }
+            // Undelivered mail in the dying enclave's own queues is
+            // destroyed with it; the senders' quotas are refunded. Read at
+            // scrub time (not validation time), so a send racing the delete
+            // cannot leave an unrefunded ledger entry behind.
+            let inbound_refunds: Vec<u64> = enclave
+                .lock()
+                .mailboxes
+                .iter()
+                .flat_map(|mb| mb.queued())
+                .map(|m| m.sender_id)
+                .collect();
+            {
+                let mut ledger = self.state.mail_ledger.lock();
+                let mail_changed =
+                    !inbound_refunds.is_empty() || purged_any || ledger.contains_key(&eid.as_u64());
+                for sender in inbound_refunds {
+                    Self::refund_mail_sender(&mut ledger, sender);
+                }
+                ledger.remove(&eid.as_u64());
+                if mail_changed {
+                    self.touch_mail();
+                }
+            }
             self.state.enclaves.lock().remove(&eid);
             self.touch_enclave_table();
             Ok(())
@@ -1441,7 +1577,11 @@ impl SmApi for SecurityMonitor {
                 .mailboxes
                 .get_mut(mailbox)
                 .ok_or(SmError::InvalidArgument { reason: "no such mailbox" })?;
-            mb.accept(sender_id)
+            // Arming (or re-arming) only changes the accept filter — queued
+            // messages, which the audit reflects, are untouched, so no
+            // generation bump is needed here.
+            mb.accept(AcceptMode::from_selector(sender_id));
+            Ok(())
         }))
     }
 
@@ -1452,24 +1592,62 @@ impl SmApi for SecurityMonitor {
         message: &[u8],
     ) -> SmResult<()> {
         self.record_call(self.with_global_lock(|| {
-            let (sender_id, sender_identity) = match session.domain() {
-                DomainKind::Untrusted => (0u64, SenderIdentity::Untrusted),
-                DomainKind::Enclave(eid) => {
-                    let m = self.enclave_measurement(eid)?;
-                    (eid.as_u64(), SenderIdentity::Enclave(m))
-                }
+            let sender_identity = match session.domain() {
+                DomainKind::Untrusted => SenderIdentity::Untrusted,
+                DomainKind::Enclave(eid) => SenderIdentity::Enclave {
+                    id: eid,
+                    measurement: self.enclave_measurement(eid)?,
+                },
                 DomainKind::SecurityMonitor => return Err(SmError::Unauthorized),
             };
+            let sender_id = sender_identity.sender_id();
+            if message.len() > MAX_MAIL_LEN {
+                return Err(SmError::InvalidArgument {
+                    reason: "mail message too large",
+                });
+            }
             let enclave = self.lock_enclave(recipient)?;
             let mut meta = self.try_lock(&enclave)?;
-            let mut last_err = SmError::MailNotAccepted;
-            for mb in meta.mailboxes.iter_mut() {
-                match mb.send(sender_id, sender_identity.clone(), message) {
-                    Ok(()) => return Ok(()),
-                    Err(e) => last_err = e,
-                }
+            // Routing: a sender named by any specific filter is *only*
+            // routed to specifically-armed mailboxes — its overflow
+            // backpressures instead of spilling into a wildcard service
+            // queue, where service logic would misread a directed payload
+            // as a request. Senders no specific filter names route to the
+            // first wildcard mailbox with room.
+            let specific = |mb: &crate::mailbox::Mailbox| {
+                matches!(mb.accept_mode(), Some(AcceptMode::Sender(s)) if s == sender_id)
+            };
+            let directed = meta.mailboxes.iter().any(&specific);
+            let target = if directed {
+                meta.mailboxes.iter().position(|mb| specific(mb) && !mb.is_full())
+            } else {
+                meta.mailboxes
+                    .iter()
+                    .position(|mb| mb.accept_mode() == Some(AcceptMode::Any) && !mb.is_full())
+            };
+            let Some(index) = target else {
+                // Distinguish backpressure (armed but full) from refusal.
+                return if directed || meta.mailboxes.iter().any(|mb| mb.admits(sender_id)) {
+                    Err(SmError::MailboxUnavailable)
+                } else {
+                    Err(SmError::MailNotAccepted)
+                };
+            };
+            // Fabric-wide anti-DoS quota: the ledger lock is held across the
+            // enqueue so the count can never drift from the queues.
+            let mut ledger = self.state.mail_ledger.lock();
+            let count = ledger.entry(sender_id).or_insert(0);
+            if *count >= MAIL_SENDER_QUOTA as u64 {
+                return Err(SmError::OutOfResources {
+                    resource: "mail sender quota",
+                });
             }
-            Err(last_err)
+            meta.mailboxes[index].send(sender_identity, message)?;
+            *count += 1;
+            drop(ledger);
+            self.touch_enclave(&mut meta);
+            self.touch_mail();
+            Ok(())
         }))
     }
 
@@ -1477,6 +1655,16 @@ impl SmApi for SecurityMonitor {
         &self,
         session: CallerSession,
         mailbox: usize,
+    ) -> SmResult<(Vec<u8>, SenderIdentity)> {
+        // Messages never exceed MAX_MAIL_LEN, so this bound is "no bound".
+        self.get_mail_bounded(session, mailbox, MAX_MAIL_LEN)
+    }
+
+    fn get_mail_bounded(
+        &self,
+        session: CallerSession,
+        mailbox: usize,
+        max_len: usize,
     ) -> SmResult<(Vec<u8>, SenderIdentity)> {
         self.record_call(self.with_global_lock(|| {
             let eid = session.require_enclave()?;
@@ -1486,7 +1674,38 @@ impl SmApi for SecurityMonitor {
                 .mailboxes
                 .get_mut(mailbox)
                 .ok_or(SmError::InvalidArgument { reason: "no such mailbox" })?;
-            mb.get()
+            // Length check and consumption happen under one meta lock: a
+            // concurrent consumer on another hart cannot swap the queue head
+            // between the probe and the fetch (the register-ABI GetMail
+            // relies on this to never write past the span it validated).
+            match mb.peek() {
+                None => return Err(SmError::MailboxUnavailable),
+                Some(mail) if mail.message.len() > max_len => {
+                    return Err(SmError::InvalidArgument {
+                        reason: "output buffer too small",
+                    })
+                }
+                Some(_) => {}
+            }
+            let mail = mb.get().expect("peeked above");
+            Self::refund_mail_sender(&mut self.state.mail_ledger.lock(), mail.sender_id);
+            self.touch_enclave(&mut meta);
+            self.touch_mail();
+            Ok((mail.message, mail.sender))
+        }))
+    }
+
+    fn peek_mail(&self, session: CallerSession, mailbox: usize) -> SmResult<(usize, u64)> {
+        self.record_call(self.with_global_lock(|| {
+            let eid = session.require_enclave()?;
+            let enclave = self.lock_enclave(eid)?;
+            let meta = self.try_lock(&enclave)?;
+            let mb = meta
+                .mailboxes
+                .get(mailbox)
+                .ok_or(SmError::InvalidArgument { reason: "no such mailbox" })?;
+            let mail = mb.peek().ok_or(SmError::MailboxUnavailable)?;
+            Ok((mail.message.len(), mail.sender_id))
         }))
     }
 

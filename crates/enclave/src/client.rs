@@ -1,13 +1,12 @@
 //! Enclave-side client of the remote-attestation protocol
 //! (the `E1` of paper Figs. 6–7).
 
-use crate::signing::{SigningEnclave, REPLY_MAILBOX};
+use crate::signing::{AttestationReply, SigningEnclave, REPLY_MAILBOX};
 use sanctorum_core::api::SmApi;
 use sanctorum_core::attestation::{AttestationEvidence, Certificate};
 use sanctorum_core::error::{SmError, SmResult};
 use sanctorum_core::monitor::SecurityMonitor;
 use sanctorum_core::session::CallerSession;
-use sanctorum_crypto::ed25519::Signature;
 use sanctorum_crypto::sha3::Sha3_256;
 use sanctorum_crypto::x25519;
 use sanctorum_hal::domain::EnclaveId;
@@ -71,6 +70,15 @@ impl AttestationClient {
     pub fn new(eid: EnclaveId, dh_seed: [u8; 32]) -> Self {
         let dh_secret = x25519::clamp_scalar(dh_seed);
         let dh_public = x25519::public_key(&dh_secret);
+        Self::from_dh_keypair(eid, dh_secret, dh_public)
+    }
+
+    /// Harness constructor: binds the client to a precomputed X25519
+    /// keypair. Derivation from a seed is pure and deterministic, so
+    /// harnesses that instantiate many clients from a small seed space
+    /// (the explorer's service workload) memoize it instead of re-running
+    /// the scalar multiplication per client per round.
+    pub fn from_dh_keypair(eid: EnclaveId, dh_secret: [u8; 32], dh_public: [u8; 32]) -> Self {
         Self {
             eid,
             dh_secret,
@@ -97,10 +105,68 @@ impl AttestationClient {
         CallerSession::enclave(self.eid)
     }
 
-    /// Runs the local half of Fig. 7: mails `(nonce, report_data)` to the
-    /// signing enclave, lets it sign, retrieves the signature and assembles
-    /// the evidence with the SM's certificate and the device certificate the
-    /// OS provides.
+    /// Submits an attestation request into the signing enclave's queue
+    /// without waiting for the reply (the pipelined half of Fig. 7 step ③):
+    /// arms this enclave's reply mailbox for the signing enclave and mails
+    /// `(nonce, report_data)` through the SM, which tags the request with
+    /// our measurement. Many clients can have requests queued at once; the
+    /// service drains them in FIFO order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SM API errors (a full request queue surfaces as
+    /// [`SmError::MailboxUnavailable`], an exhausted sender quota as
+    /// [`SmError::OutOfResources`]).
+    pub fn submit_request(
+        &self,
+        sm: &SecurityMonitor,
+        signing_eid: EnclaveId,
+        nonce: [u8; 32],
+    ) -> SmResult<()> {
+        let report_data = Sha3_256::digest(&self.dh_public);
+        let request = AttestationRequest { nonce, report_data };
+        sm.accept_mail(self.session(), REPLY_MAILBOX, signing_eid.as_u64())?;
+        sm.send_mail(self.session(), signing_eid, &request.encode())
+    }
+
+    /// Collects one signed reply from the reply mailbox (Fig. 7 step ⑥) and
+    /// assembles the evidence with the SM's certificate and the device
+    /// certificate the OS provides.
+    ///
+    /// # Errors
+    ///
+    /// [`SmError::MailboxUnavailable`] if no reply has arrived yet, and
+    /// [`SmError::InvalidArgument`] for a malformed reply.
+    pub fn collect_response(
+        &self,
+        sm: &SecurityMonitor,
+        device_certificate: Certificate,
+    ) -> SmResult<AttestationResponse> {
+        let (bytes, _sender) = sm.get_mail(self.session(), REPLY_MAILBOX)?;
+        let reply = AttestationReply::decode(&bytes).ok_or(SmError::InvalidArgument {
+            reason: "malformed signature reply",
+        })?;
+        // ⑦ Assemble the evidence: the SM certificate chains the attestation
+        // key to the device; the device certificate chains it to the
+        // manufacturer.
+        let evidence = AttestationEvidence {
+            report: reply.report,
+            signature: reply.signature,
+            sm_certificate: sm.sm_certificate(),
+            device_certificate,
+        };
+        Ok(AttestationResponse {
+            enclave_dh_public: self.dh_public,
+            evidence,
+        })
+    }
+
+    /// Runs the serial local half of Fig. 7 end to end: mails
+    /// `(nonce, report_data)` to the signing enclave, lets it process the
+    /// single request, retrieves the signed reply and assembles the
+    /// evidence. This is the one-request-at-a-time baseline the pipelined
+    /// [`AttestationClient::submit_request`] /
+    /// [`AttestationClient::collect_response`] path is measured against.
     ///
     /// # Errors
     ///
@@ -113,45 +179,19 @@ impl AttestationClient {
         nonce: [u8; 32],
         device_certificate: Certificate,
     ) -> SmResult<AttestationResponse> {
-        let report_data = Sha3_256::digest(&self.dh_public);
-        let request = AttestationRequest { nonce, report_data };
-
         // ①/② The signing enclave must be willing to hear from us, and we
         // must be willing to receive its reply.
         signing.accept_request_from(sm, self.eid)?;
-        sm.accept_mail(self.session(), REPLY_MAILBOX, signing.eid().as_u64())?;
 
         // ③ Send the request through the SM (which tags it with our
         // measurement).
-        sm.send_mail(self.session(), signing.eid(), &request.encode())?;
+        self.submit_request(sm, signing.eid(), nonce)?;
 
         // ④/⑤ The signing enclave fetches the key and signs.
-        let (report, _signature) = signing.process_request(sm, self.eid)?;
+        let (_report, _signature) = signing.process_request(sm)?;
 
-        // ⑥ Fetch the signature from our reply mailbox.
-        let (reply, _sender) = sm.get_mail(self.session(), REPLY_MAILBOX)?;
-        if reply.len() != 64 {
-            return Err(SmError::InvalidArgument {
-                reason: "malformed signature reply",
-            });
-        }
-        let mut sig_bytes = [0u8; 64];
-        sig_bytes.copy_from_slice(&reply);
-        let signature = Signature::from_bytes(&sig_bytes);
-
-        // ⑦ Assemble the evidence: the SM certificate chains the attestation
-        // key to the device; the device certificate chains it to the
-        // manufacturer.
-        let evidence = AttestationEvidence {
-            report,
-            signature,
-            sm_certificate: sm.sm_certificate(),
-            device_certificate,
-        };
-        Ok(AttestationResponse {
-            enclave_dh_public: self.dh_public,
-            evidence,
-        })
+        // ⑥/⑦ Fetch the signed reply and assemble the evidence.
+        self.collect_response(sm, device_certificate)
     }
 }
 

@@ -125,7 +125,11 @@ impl DiffPair {
         // backend is capacity-limited in general.
         if !matches!(
             op,
-            Op::Build { .. } | Op::GrantRegion { .. } | Op::Attack { .. }
+            Op::Build { .. }
+                | Op::GrantRegion { .. }
+                | Op::Attack { .. }
+                // The first AttestService op builds the signing enclave.
+                | Op::AttestService { .. }
         ) {
             return false;
         }

@@ -11,7 +11,12 @@
 //!   only zeroes (the scrub happened before the state transition, never
 //!   after);
 //! * **mailbox confidentiality** — the SM-recorded sender identity of
-//!   delivered mail matches the actual sending domain;
+//!   delivered mail matches the actual sending domain, and a message is only
+//!   ever delivered to the enclave whose mailbox queued it;
+//! * **mail quota conservation** — the fabric's outstanding-message ledger
+//!   equals, sender by sender, the messages actually queued across every
+//!   live enclave's mailboxes, and no sender ever exceeds the fabric quota
+//!   (the anti-DoS property the multi-slot queues depend on);
 //! * **no secret leakage** — no OS-visible hart register ever holds a live
 //!   enclave secret (cores are scrubbed on every enclave → OS hand-off), and
 //!   no OS-readable DRAM page outside the OS's own staging area ever holds
@@ -75,6 +80,25 @@ pub enum Violation {
         /// The op that exposed it.
         detail: String,
     },
+    /// The mail-fabric quota accounting broke: a sender exceeded its quota,
+    /// or the outstanding ledger stopped agreeing with the messages actually
+    /// queued across the live enclaves' mailboxes.
+    MailQuotaBroken {
+        /// Platform the violation was observed on.
+        platform: &'static str,
+        /// What exactly broke.
+        detail: String,
+    },
+    /// The attestation service plane degraded: a selected client ended a
+    /// round without verified evidence (request dropped, reply mis-routed,
+    /// or evidence unverifiable) — distinct from an identity *forgery*,
+    /// which reports as [`Violation::MailboxLeak`].
+    ServiceDegraded {
+        /// Platform the violation was observed on.
+        platform: &'static str,
+        /// The op that exposed it.
+        detail: String,
+    },
     /// An OS-visible register holds a live enclave secret.
     SecretLeak {
         /// Platform the violation was observed on.
@@ -122,6 +146,8 @@ impl Violation {
             Violation::DirtyReuse { .. } => "dirty-reuse",
             Violation::MeasurementMismatch { .. } => "measurement",
             Violation::MailboxLeak { .. } => "mailbox",
+            Violation::MailQuotaBroken { .. } => "mail-quota",
+            Violation::ServiceDegraded { .. } => "service-plane",
             Violation::SecretLeak { .. } => "secret-leak",
             Violation::SecretInMemory { .. } => "secret-in-memory",
             Violation::AttackSucceeded { .. } => "attack",
@@ -146,6 +172,12 @@ impl std::fmt::Display for Violation {
             Violation::MailboxLeak { platform, detail } => {
                 write!(f, "[{platform}] mailbox identity leak: {detail}")
             }
+            Violation::MailQuotaBroken { platform, detail } => {
+                write!(f, "[{platform}] mail quota accounting broken: {detail}")
+            }
+            Violation::ServiceDegraded { platform, detail } => {
+                write!(f, "[{platform}] attestation service degraded: {detail}")
+            }
             Violation::SecretLeak { platform, secret, core, register } => write!(
                 f,
                 "[{platform}] secret {secret:#x} visible in core{core} x{register}"
@@ -163,6 +195,39 @@ impl std::fmt::Display for Violation {
             ),
         }
     }
+}
+
+/// Checks the mail-fabric quota conservation property over one snapshot:
+/// the outstanding ledger must equal, sender by sender, the messages
+/// actually queued across every live enclave's mailboxes, and no sender may
+/// ever exceed [`sanctorum_core::mailbox::MAIL_SENDER_QUOTA`]. One
+/// definition shared by the in-kernel check and the fabric property tests,
+/// so the rule cannot silently fork.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first discrepancy.
+pub fn mail_quota_conservation(audit: &AuditSnapshot) -> Result<(), String> {
+    use sanctorum_core::mailbox::MAIL_SENDER_QUOTA;
+    use std::collections::BTreeMap;
+    let mut queued: BTreeMap<u64, u64> = BTreeMap::new();
+    for enclave in &audit.enclaves {
+        for (sender, _len) in &enclave.mail_queued {
+            *queued.entry(*sender).or_default() += 1;
+        }
+    }
+    let ledger: BTreeMap<u64, u64> = audit.mail_outstanding.iter().copied().collect();
+    if queued != ledger {
+        return Err(format!(
+            "ledger {ledger:?} disagrees with queued messages {queued:?}"
+        ));
+    }
+    if let Some((sender, count)) = ledger.iter().find(|(_, c)| **c > MAIL_SENDER_QUOTA as u64) {
+        return Err(format!(
+            "sender {sender:#x} holds {count} undelivered messages (quota {MAIL_SENDER_QUOTA})"
+        ));
+    }
+    Ok(())
 }
 
 /// An [`OpWorld`] wrapped with the invariant kernel: every applied op is
@@ -227,6 +292,12 @@ impl CheckedWorld {
         let outcome = self.world.apply(hart, op);
         if outcome.mail_identity_ok == Some(false) {
             return Err(Violation::MailboxLeak {
+                platform: self.platform,
+                detail: format!("{op:?}"),
+            });
+        }
+        if outcome.service_ok == Some(false) {
+            return Err(Violation::ServiceDegraded {
                 platform: self.platform,
                 detail: format!("{op:?}"),
             });
@@ -344,6 +415,21 @@ impl CheckedWorld {
                         )))
                     }
                 }
+            }
+        }
+
+        // --- mail-fabric quota conservation ---------------------------
+        // Gated on the fabric's own generation (send/get/teardown purge)
+        // plus the enclave table's (queues live inside enclave metadata).
+        let mail_changed = self.first_check
+            || audit.generations.mail != self.prev.generations.mail
+            || audit.generations.enclaves != self.prev.generations.enclaves;
+        if mail_changed {
+            if let Err(detail) = mail_quota_conservation(&audit) {
+                return Err(Violation::MailQuotaBroken {
+                    platform: self.platform,
+                    detail,
+                });
             }
         }
 

@@ -1,0 +1,84 @@
+//! End-to-end attestation-service workload, driven through the explorer's
+//! differential pair: N client enclaves are built, then one `AttestService`
+//! op routes every client's request through the signing enclave's wildcard
+//! request queue, drains the service in waves, and batch-verifies the
+//! evidence — on Sanctum and Keystone in lockstep, with the full invariant
+//! kernel (including the fabric quota conservation check) running after
+//! every step.
+
+use sanctorum_explorer::{explorer_machine_config, DiffPair};
+use sanctorum_hal::domain::CoreId;
+use sanctorum_os::ops::{ImageKind, Op};
+
+/// Eight clients through one signing enclave, verified, on both backends.
+#[test]
+fn eight_clients_attest_through_the_signing_enclave_on_both_backends() {
+    let mut pair = DiffPair::boot(&explorer_machine_config(), None);
+    let hart = CoreId::new(0);
+
+    // Build eight client enclaves of mixed images (their measurements are
+    // what the verifier ends up trusting — the workload attests whatever
+    // the trace produced, exactly as the sampled op does mid-sweep).
+    for i in 0..8u64 {
+        let kind = if i % 2 == 0 { ImageKind::Hello } else { ImageKind::Compute };
+        pair.step(hart, &Op::Build { kind, param: i })
+            .unwrap_or_else(|v| panic!("build {i} violated an invariant: {v}"));
+    }
+
+    // `clients: 7` resolves to 1 + 7 % 8 = 8 clients. The op itself fails
+    // the step (service-plane violation) if any selected client does not
+    // end with a verified session, so a clean step *is* the assertion that
+    // all eight attested.
+    pair.step(hart, &Op::AttestService { clients: 7 })
+        .unwrap_or_else(|v| panic!("attestation service violated an invariant: {v}"));
+
+    for world in [&pair.sanctum, &pair.keystone] {
+        assert_eq!(
+            world.world.attested_clients,
+            8,
+            "[{}] expected all 8 clients attested",
+            world.platform()
+        );
+    }
+
+    // Re-attestation of the same population: the signing enclave's
+    // signature cache and the verifier's chain cache serve the repeat
+    // (deterministic challenges make every class a hit), and the invariant
+    // kernel still holds across the second round.
+    pair.step(hart, &Op::AttestService { clients: 7 })
+        .unwrap_or_else(|v| panic!("re-attestation violated an invariant: {v}"));
+    for world in [&pair.sanctum, &pair.keystone] {
+        assert_eq!(world.world.attested_clients, 16, "[{}]", world.platform());
+    }
+
+    // The service keeps working with lifecycle churn around it: tear one
+    // client down, build another, attest the new population.
+    pair.step(hart, &Op::Teardown { slot: 2 }).expect("teardown");
+    pair.step(hart, &Op::Build { kind: ImageKind::Hello, param: 40 })
+        .expect("rebuild");
+    pair.step(hart, &Op::AttestService { clients: 3 })
+        .unwrap_or_else(|v| panic!("post-churn attestation violated an invariant: {v}"));
+}
+
+/// The service plane coexists with adversarial traffic: the mailbox
+/// squatting / quota exhaustion attack runs between attestation rounds and
+/// must stay blocked while the service keeps its throughput.
+#[test]
+fn attestation_service_survives_quota_exhaustion_attacks() {
+    let mut pair = DiffPair::boot(&explorer_machine_config(), None);
+    let hart = CoreId::new(0);
+    for i in 0..4u64 {
+        pair.step(hart, &Op::Build { kind: ImageKind::Hello, param: i })
+            .expect("build");
+    }
+    pair.step(hart, &Op::AttestService { clients: 3 })
+        .unwrap_or_else(|v| panic!("first round: {v}"));
+    // AttackKind::ALL resolution: index 9 is MailboxQuotaExhaustion.
+    pair.step(hart, &Op::Attack { kind: 9, slot: 1 })
+        .unwrap_or_else(|v| panic!("quota attack not contained: {v}"));
+    pair.step(hart, &Op::AttestService { clients: 3 })
+        .unwrap_or_else(|v| panic!("post-attack round: {v}"));
+    for world in [&pair.sanctum, &pair.keystone] {
+        assert_eq!(world.world.attested_clients, 8, "[{}]", world.platform());
+    }
+}

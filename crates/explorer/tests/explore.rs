@@ -123,9 +123,17 @@ fn skipped_core_clean_is_caught_as_a_secret_leak() {
         weaken: Some(TestWeakening::SkipCoreClean),
         ..ExplorerConfig::default()
     });
+    // Two detectors can legitimately fire first: the kernel's own register
+    // secret scan, or the interrupt-storm attack's in-op leak check (the
+    // storm forces AEXes whose skipped core clean leaves the enclave secret
+    // in OS-visible registers, so the attack truthfully reports itself
+    // unblocked). Both are detections of the weakening.
     assert!(
-        matches!(failure.violation, Violation::SecretLeak { .. }),
-        "expected secret-leak, got {}",
+        matches!(
+            failure.violation,
+            Violation::SecretLeak { .. } | Violation::AttackSucceeded { .. }
+        ),
+        "expected secret-leak or attack-succeeded, got {}",
         failure.violation
     );
 }

@@ -1,0 +1,241 @@
+//! Seeded property tests for the mailbox fabric state machine.
+//!
+//! A [`Runner`]-driven harness interleaves arbitrary `accept` / `send` /
+//! `get` / `peek` traffic across several enclaves and the OS — including
+//! unsolicited-sender DoS attempts, wildcard service mailboxes, and enclave
+//! teardown mid-conversation — and asserts after **every** op that:
+//!
+//! * the fabric quota ledger conserves: outstanding counts equal, sender by
+//!   sender, the messages actually queued across all live enclaves, and no
+//!   sender ever exceeds `MAIL_SENDER_QUOTA`;
+//! * the incremental audit still agrees with the from-scratch rebuild
+//!   (`audit() == audit_full()`) — the fabric's generation counters feed the
+//!   same cache the hot-path overhaul introduced, so every mutator must
+//!   bump them;
+//! * `peek` is non-destructive and always describes exactly the message the
+//!   next `get` delivers.
+
+use proptest::prelude::*;
+use sanctorum_core::api::SmApi;
+use sanctorum_core::mailbox::{ANY_SENDER, MAIL_SENDER_QUOTA};
+use sanctorum_core::monitor::AuditSnapshot;
+use sanctorum_core::session::CallerSession;
+use sanctorum_enclave::image::EnclaveImage;
+use sanctorum_hal::domain::EnclaveId;
+use sanctorum_os::os::{BuiltEnclave, Os};
+use sanctorum_os::system::{PlatformKind, System};
+
+/// One abstract fabric op; selectors resolve modulo the live population, so
+/// any generated sequence is executable (the same convention the explorer's
+/// trace ops use).
+#[derive(Debug, Clone, Copy)]
+enum FabricOp {
+    /// `slot` arms mailbox `mb` for `sender_sel` (wildcard every 5th value).
+    Accept { slot: u64, mb: u64, sender_sel: u64 },
+    /// `from_sel` (0 = the OS) mails `to` a message of `len` bytes.
+    Send { from_sel: u64, to: u64, len: u64 },
+    /// `slot` drains one message from mailbox `mb`.
+    Get { slot: u64, mb: u64 },
+    /// `slot` probes mailbox `mb` without consuming.
+    Peek { slot: u64, mb: u64 },
+    /// Tear `slot` down mid-conversation and rebuild it (undelivered mail to
+    /// *and from* it must be purged and refunded).
+    Churn { slot: u64 },
+}
+
+fn op_from_words(w: &[u64; 4]) -> FabricOp {
+    match w[0] % 10 {
+        0 | 1 => FabricOp::Accept { slot: w[1], mb: w[2], sender_sel: w[3] },
+        2..=4 => FabricOp::Send { from_sel: w[1], to: w[2], len: w[3] },
+        5 | 6 => FabricOp::Get { slot: w[1], mb: w[2] },
+        7 | 8 => FabricOp::Peek { slot: w[1], mb: w[2] },
+        _ => FabricOp::Churn { slot: w[1] },
+    }
+}
+
+struct Harness {
+    system: System,
+    os: Os,
+    enclaves: Vec<BuiltEnclave>,
+}
+
+impl Harness {
+    fn boot() -> Self {
+        let system = System::boot_small(PlatformKind::Sanctum);
+        let mut os = Os::new(&system);
+        let enclaves = (0..3)
+            .map(|i| os.build_enclave(&EnclaveImage::hello(0x100 + i), 1).unwrap())
+            .collect();
+        Self { system, os, enclaves }
+    }
+
+    fn eid(&self, slot: u64) -> EnclaveId {
+        self.enclaves[(slot % self.enclaves.len() as u64) as usize].eid
+    }
+
+    fn apply(&mut self, op: FabricOp) -> Result<(), String> {
+        let sm = &self.system.monitor;
+        match op {
+            FabricOp::Accept { slot, mb, sender_sel } => {
+                let session = CallerSession::enclave(self.eid(slot));
+                // Cycle through: a live enclave, the OS, a nonsense id, and
+                // the wildcard — unsolicited-sender pressure included.
+                let sender = match sender_sel % 5 {
+                    0 => ANY_SENDER,
+                    1 => 0,
+                    2 => 0xdead_beef,
+                    _ => self.eid(sender_sel).as_u64(),
+                };
+                let _ = sm.accept_mail(session, (mb % 5) as usize, sender);
+            }
+            FabricOp::Send { from_sel, to, len } => {
+                let session = if from_sel % 4 == 0 {
+                    CallerSession::os()
+                } else {
+                    CallerSession::enclave(self.eid(from_sel))
+                };
+                let message = vec![0x5au8; 1 + (len % 96) as usize];
+                // Refusals (not accepted, full queue, quota) are legitimate;
+                // conservation must hold either way.
+                let _ = sm.send_mail(session, self.eid(to), &message);
+            }
+            FabricOp::Get { slot, mb } => {
+                let session = CallerSession::enclave(self.eid(slot));
+                let _ = sm.get_mail(session, (mb % 5) as usize);
+            }
+            FabricOp::Peek { slot, mb } => {
+                let session = CallerSession::enclave(self.eid(slot));
+                let mailbox = (mb % 5) as usize;
+                // A successful peek must describe exactly what get delivers,
+                // and peeking must not consume.
+                if let Ok((len_a, sender_a)) = sm.peek_mail(session, mailbox) {
+                    let (len_b, sender_b) = sm
+                        .peek_mail(session, mailbox)
+                        .map_err(|e| format!("second peek failed: {e}"))?;
+                    if (len_a, sender_a) != (len_b, sender_b) {
+                        return Err("peek consumed or reordered the queue".into());
+                    }
+                    let (message, identity) = sm
+                        .get_mail(session, mailbox)
+                        .map_err(|e| format!("get after successful peek failed: {e}"))?;
+                    if message.len() != len_a || identity.sender_id() != sender_a {
+                        return Err(format!(
+                            "peek promised ({len_a}, {sender_a:#x}) but get delivered \
+                             ({}, {:#x})",
+                            message.len(),
+                            identity.sender_id()
+                        ));
+                    }
+                }
+            }
+            FabricOp::Churn { slot } => {
+                let index = (slot % self.enclaves.len() as u64) as usize;
+                let dying = self.enclaves[index].clone();
+                self.os
+                    .teardown_enclave(&dying)
+                    .map_err(|e| format!("teardown failed: {e}"))?;
+                let rebuilt = self
+                    .os
+                    .build_enclave(&EnclaveImage::hello(0x200 + slot % 7), 1)
+                    .map_err(|e| format!("rebuild failed: {e}"))?;
+                self.enclaves[index] = rebuilt;
+            }
+        }
+        self.check()
+    }
+
+    /// The conservation + audit-equivalence kernel, run after every op.
+    fn check(&self) -> Result<(), String> {
+        let audit = self.system.monitor.audit();
+        let full = self.system.monitor.audit_full();
+        if audit != full {
+            return Err(format!(
+                "incremental audit diverged from full rebuild after a fabric op:\n\
+                 incremental: {audit:?}\nfull: {full:?}"
+            ));
+        }
+        conservation(&audit)
+    }
+}
+
+/// Ledger ≡ queued messages, and quota respected — literally the same
+/// definition the explorer's invariant kernel enforces mid-trace.
+fn conservation(audit: &AuditSnapshot) -> Result<(), String> {
+    sanctorum_explorer::invariants::mail_quota_conservation(audit)
+}
+
+#[test]
+fn arbitrary_fabric_interleavings_conserve_quota_and_audit() {
+    // Word-quadruple sequences, mapped to fabric ops; one booted system per
+    // case so failures shrink to short self-contained traces.
+    let strategy = proptest::collection::vec(0u64.., 4..120);
+    let result = Runner::new(0xfab1c).cases(24).run(&strategy, |words| {
+        let mut harness = Harness::boot();
+        for chunk in words.chunks_exact(4) {
+            let op = op_from_words(&[chunk[0], chunk[1], chunk[2], chunk[3]]);
+            harness.apply(op).map_err(|e| format!("{op:?}: {e}"))?;
+        }
+        Ok(())
+    });
+    if let Err(failure) = result {
+        panic!("fabric property violated:\n{failure}");
+    }
+}
+
+#[test]
+fn quota_exhaustion_and_refund_round_trip() {
+    // Directed version of the DoS scenario: the OS fills its fabric quota
+    // against one wildcard service enclave spread over several mailboxes,
+    // is cut off at exactly MAIL_SENDER_QUOTA, and is fully refunded once
+    // the service drains.
+    let harness = Harness::boot();
+    let sm = &harness.system.monitor;
+    let victim = harness.enclaves[0].eid;
+    let session = CallerSession::enclave(victim);
+    for mb in 0..sanctorum_core::enclave::MAILBOXES_PER_ENCLAVE {
+        sm.accept_mail(session, mb, ANY_SENDER).unwrap();
+    }
+    let mut sent = 0;
+    while sm.send_mail(CallerSession::os(), victim, b"fill").is_ok() {
+        sent += 1;
+        assert!(sent <= MAIL_SENDER_QUOTA, "quota never enforced");
+    }
+    assert_eq!(sent, MAIL_SENDER_QUOTA, "full quota must be reachable");
+    harness.check().unwrap();
+    let mut drained = 0;
+    for mb in 0..sanctorum_core::enclave::MAILBOXES_PER_ENCLAVE {
+        while sm.get_mail(session, mb).is_ok() {
+            drained += 1;
+        }
+    }
+    assert_eq!(drained, sent);
+    harness.check().unwrap();
+    sm.send_mail(CallerSession::os(), victim, b"refunded").unwrap();
+    let (message, identity) = sm.get_mail(session, 0).unwrap();
+    assert_eq!(message, b"refunded");
+    assert_eq!(identity.sender_id(), 0);
+    harness.check().unwrap();
+}
+
+#[test]
+fn teardown_purges_messages_sent_by_the_dead_enclave() {
+    // A dead sender's undelivered mail must not survive into the next life
+    // of its recycled enclave id.
+    let mut harness = Harness::boot();
+    let sender = harness.enclaves[1].clone();
+    let recipient = harness.enclaves[0].eid;
+    let recipient_session = CallerSession::enclave(recipient);
+    {
+        let sm = &harness.system.monitor;
+        sm.accept_mail(recipient_session, 0, sender.eid.as_u64()).unwrap();
+        sm.send_mail(CallerSession::enclave(sender.eid), recipient, b"ghost")
+            .unwrap();
+        assert!(sm.peek_mail(recipient_session, 0).is_ok());
+    }
+    harness.os.teardown_enclave(&sender).unwrap();
+    let sm = &harness.system.monitor;
+    // The queued message died with its sender; the queue is empty again and
+    // the ledger agrees.
+    assert!(sm.peek_mail(recipient_session, 0).is_err());
+    harness.check().unwrap();
+}

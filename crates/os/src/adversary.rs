@@ -196,9 +196,91 @@ pub fn mail_impersonation(os: &Os, victim: &BuiltEnclave) -> AttackOutcome {
     }
     match os.monitor().get_mail(victim_session, 0) {
         Ok((_, SenderIdentity::Untrusted)) => AttackOutcome::Blocked,
-        Ok((_, SenderIdentity::Enclave(_))) => AttackOutcome::Succeeded,
+        Ok((_, SenderIdentity::Enclave { .. })) => AttackOutcome::Succeeded,
         Err(_) => AttackOutcome::Blocked,
     }
+}
+
+/// Attack 11: mailbox squatting and quota exhaustion. The OS first tries to
+/// deposit into a mailbox armed for a *different* sender (squatting on a
+/// directed conversation), then floods a wildcard-armed mailbox to exhaust
+/// the fabric: the per-mailbox queue must backpressure, the fabric-wide
+/// sender quota must cap the OS's total in-flight mail, and — crucially —
+/// draining must fully refund both, or the flood has permanently wedged the
+/// victim's mail plane (a successful denial of service).
+pub fn mailbox_quota_exhaustion(os: &Os, victim: &BuiltEnclave) -> AttackOutcome {
+    use sanctorum_core::mailbox::{ANY_SENDER, MAILBOX_QUEUE_DEPTH, MAIL_SENDER_QUOTA};
+    let sm = os.monitor();
+    let victim_session = CallerSession::enclave(victim.eid);
+
+    // Phase 1 — squatting: the victim awaits a specific enclave peer on
+    // every mailbox (earlier trace ops may have left wildcard filters
+    // behind, so all of them are re-armed); the OS's deposit must be
+    // refused outright.
+    let mailboxes = sanctorum_core::enclave::MAILBOXES_PER_ENCLAVE;
+    for mb in 0..mailboxes {
+        if sm.accept_mail(victim_session, mb, victim.eid.as_u64()).is_err() {
+            return AttackOutcome::Blocked;
+        }
+    }
+    if sm.send_mail(CallerSession::os(), victim.eid, b"squat").is_ok() {
+        return AttackOutcome::Succeeded;
+    }
+
+    // Phase 2 — flooding: the victim opens every mailbox in service
+    // (wildcard) mode, so raw queue capacity exceeds the fabric quota
+    // (MAILBOXES_PER_ENCLAVE × MAILBOX_QUEUE_DEPTH > MAIL_SENDER_QUOTA).
+    // The OS sends until something says stop; the sender quota — not queue
+    // space — must be what cuts it off, and it must never be exceeded.
+    debug_assert!(mailboxes * MAILBOX_QUEUE_DEPTH > MAIL_SENDER_QUOTA);
+    for mb in 0..mailboxes {
+        if sm.accept_mail(victim_session, mb, ANY_SENDER).is_err() {
+            return AttackOutcome::Blocked;
+        }
+    }
+    let mut delivered = 0usize;
+    for _ in 0..(mailboxes * MAILBOX_QUEUE_DEPTH + 4) {
+        if sm.send_mail(CallerSession::os(), victim.eid, b"flood").is_err() {
+            break;
+        }
+        delivered += 1;
+    }
+    // The quota bounds what got through. (Mid-trace the OS may already have
+    // mail in flight elsewhere, so `delivered` can be smaller than the full
+    // quota — but never larger.)
+    if delivered > MAIL_SENDER_QUOTA {
+        return AttackOutcome::Succeeded;
+    }
+
+    // Phase 3 — recovery: draining the victim's queues (the flood plus any
+    // legitimate mail queued before it — the count is whatever it is
+    // mid-trace) must refund queue space and quota in full; a fabric the
+    // flood wedged permanently is a successful denial of service.
+    let mut drained = 0usize;
+    for mb in 0..mailboxes {
+        while sm.get_mail(victim_session, mb).is_ok() {
+            drained += 1;
+        }
+    }
+    if drained < delivered {
+        return AttackOutcome::Succeeded;
+    }
+    if delivered > 0 {
+        // Quota was refunded: one more send fits again, and is drained so
+        // the world is left as found.
+        if sm.send_mail(CallerSession::os(), victim.eid, b"post-drain").is_err() {
+            return AttackOutcome::Succeeded;
+        }
+        if sm.get_mail(victim_session, 0).is_err() {
+            return AttackOutcome::Succeeded;
+        }
+    }
+    // No wildcard service mailboxes left behind: re-arm each for the victim
+    // itself (a filter nobody else can match without its cooperation).
+    for mb in 0..mailboxes {
+        let _ = sm.accept_mail(victim_session, mb, victim.eid.as_u64());
+    }
+    AttackOutcome::Blocked
 }
 
 /// Attack 7: a non-signing enclave asks the SM for the attestation key.
@@ -360,11 +442,13 @@ pub enum AttackKind {
     ToctouPageMutation,
     /// [`interrupt_storm_on_entry`]
     InterruptStormOnEntry,
+    /// [`mailbox_quota_exhaustion`]
+    MailboxQuotaExhaustion,
 }
 
 impl AttackKind {
     /// Every attack in the battery, in battery order.
-    pub const ALL: [AttackKind; 9] = [
+    pub const ALL: [AttackKind; 10] = [
         AttackKind::DirectPhysicalRead,
         AttackKind::MaliciousMappingRead,
         AttackKind::DmaExfiltration,
@@ -374,6 +458,7 @@ impl AttackKind {
         AttackKind::StealEnclaveRegion,
         AttackKind::ToctouPageMutation,
         AttackKind::InterruptStormOnEntry,
+        AttackKind::MailboxQuotaExhaustion,
     ];
 
     /// Human-readable attack name.
@@ -388,6 +473,7 @@ impl AttackKind {
             AttackKind::StealEnclaveRegion => "steal enclave region",
             AttackKind::ToctouPageMutation => "toctou page mutation",
             AttackKind::InterruptStormOnEntry => "interrupt storm on entry",
+            AttackKind::MailboxQuotaExhaustion => "mailbox quota exhaustion",
         }
     }
 
@@ -426,6 +512,7 @@ impl AttackKind {
             AttackKind::StealEnclaveRegion => steal_enclave_region(os, victim),
             AttackKind::ToctouPageMutation => toctou_page_mutation(system, os)?,
             AttackKind::InterruptStormOnEntry => interrupt_storm_on_entry(system, os, core)?,
+            AttackKind::MailboxQuotaExhaustion => mailbox_quota_exhaustion(os, victim),
         })
     }
 }

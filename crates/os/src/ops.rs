@@ -22,16 +22,25 @@ use crate::adversary::AttackKind;
 use crate::os::{BuiltEnclave, Os, ThreadRunOutcome};
 use crate::system::{PlatformKind, System};
 use sanctorum_core::api::{status, status_of, SmApi, SmCall};
+use sanctorum_core::attestation::Certificate;
 use sanctorum_core::error::SmError;
+use sanctorum_core::mailbox::{SenderIdentity, ANY_SENDER, MAILBOX_QUEUE_DEPTH};
 use sanctorum_core::measurement::Measurement;
 use sanctorum_core::monitor::PublicField;
 use sanctorum_core::resource::ResourceId;
 use sanctorum_core::session::CallerSession;
+use sanctorum_enclave::client::AttestationClient;
 use sanctorum_enclave::image::EnclaveImage;
+use sanctorum_enclave::signing::SigningEnclave;
 use sanctorum_hal::addr::VirtAddr;
 use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
 use sanctorum_hal::isolation::RegionId;
 use sanctorum_machine::MachineConfig;
+use sanctorum_crypto::ed25519::Signature;
+use sanctorum_crypto::sha3::Sha3_256;
+use sanctorum_verifier::{ManufacturerCa, RemoteVerifier, SecureSession, SessionPool};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
 
 /// Which canned enclave image an [`Op::Build`] instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -152,6 +161,26 @@ pub enum Op {
         /// Payload word.
         payload: u64,
     },
+    /// Fabric burst: the recipient arms a wildcard mailbox, the OS queues a
+    /// burst of messages, and the recipient drains them FIFO with a
+    /// peek-length probe before every fetch — the multi-slot queue path the
+    /// single-message `MailRoundTrip` cannot reach.
+    MailQueue {
+        /// Recipient slot selector.
+        slot: u64,
+        /// Burst size selector (resolved modulo the queue depth).
+        burst: u64,
+        /// Payload word (successive messages carry `payload + i`).
+        payload: u64,
+    },
+    /// Pipelined attestation service: up to `clients` live enclaves submit
+    /// requests into the signing enclave's wildcard queue, the service
+    /// drains and signs them in waves, and a remote verifier batch-verifies
+    /// the evidence (the Fig. 7 protocol at fabric scale).
+    AttestService {
+        /// Client-count selector (resolved to `1..=8`).
+        clients: u64,
+    },
     /// Public-field probe; the outcome fingerprints the returned bytes.
     GetField {
         /// Field selector (resolved modulo the selector space + 1, so an
@@ -188,17 +217,19 @@ impl Op {
                 Op::Build { kind, param: next() }
             }
             17..=25 => Op::Teardown { slot: next() },
-            26..=45 => Op::Run { slot: next(), budget: 16 + next() % 512 },
-            46..=49 => Op::Tick,
-            50..=54 => Op::BlockRegion { region: next() },
-            55..=59 => Op::CleanRegion { region: next() },
-            60..=64 => Op::GrantRegion { region: next(), owner: next() },
-            65..=66 => Op::DeleteEnclave { slot: next() },
-            67..=69 => Op::LoadAfterInit { slot: next() },
-            70..=76 => Op::MailRoundTrip { slot: next(), payload: next() },
-            77..=81 => Op::EnclaveMail { from: next(), to: next(), payload: next() },
-            82..=85 => Op::GetField { field: next() },
-            86..=89 => Op::Batch { region: next() },
+            26..=43 => Op::Run { slot: next(), budget: 16 + next() % 512 },
+            44..=46 => Op::Tick,
+            47..=50 => Op::BlockRegion { region: next() },
+            51..=54 => Op::CleanRegion { region: next() },
+            55..=58 => Op::GrantRegion { region: next(), owner: next() },
+            59..=60 => Op::DeleteEnclave { slot: next() },
+            61..=63 => Op::LoadAfterInit { slot: next() },
+            64..=69 => Op::MailRoundTrip { slot: next(), payload: next() },
+            70..=73 => Op::EnclaveMail { from: next(), to: next(), payload: next() },
+            74..=77 => Op::MailQueue { slot: next(), burst: next(), payload: next() },
+            78..=80 => Op::AttestService { clients: next() },
+            81..=84 => Op::GetField { field: next() },
+            85..=88 => Op::Batch { region: next() },
             _ => Op::Attack { kind: next(), slot: next() },
         }
     }
@@ -217,6 +248,8 @@ impl Op {
             Op::LoadAfterInit { .. } => "load-after-init",
             Op::MailRoundTrip { .. } => "mail-roundtrip",
             Op::EnclaveMail { .. } => "enclave-mail",
+            Op::MailQueue { .. } => "mail-queue",
+            Op::AttestService { .. } => "attest-service",
             Op::GetField { .. } => "get-field",
             Op::Batch { .. } => "batch",
             Op::Attack { .. } => "attack",
@@ -244,6 +277,11 @@ pub struct OpOutcome {
     /// For mail ops: whether the SM-recorded sender identity matched the
     /// actual sending domain (`None` when no mail was retrieved).
     pub mail_identity_ok: Option<bool>,
+    /// For attestation-service ops: whether every selected client ended the
+    /// round with verified evidence (`None` for other ops). A shortfall is a
+    /// service-plane failure (dropped request, mis-routed or unverifiable
+    /// reply), deliberately distinct from the identity-leak flag above.
+    pub service_ok: Option<bool>,
     /// For attack ops: whether the attack was blocked.
     pub attack_blocked: Option<bool>,
 }
@@ -264,6 +302,7 @@ impl OpOutcome {
             detail,
             measurement: None,
             mail_identity_ok: None,
+            service_ok: None,
             attack_blocked: None,
         }
     }
@@ -294,6 +333,103 @@ pub struct LiveEnclave {
     pub evrange_base: VirtAddr,
 }
 
+/// Returns the measurement of the canonical signing-enclave image.
+///
+/// Measurements depend only on the image and its virtual range — not on the
+/// platform, the machine geometry or the placement — so one process-wide
+/// probe build serves every explorer world (the cross-platform equality is
+/// pinned by `identical_images_measure_identically_across_platforms…`).
+pub fn signing_enclave_measurement() -> Measurement {
+    static MEASUREMENT: OnceLock<Measurement> = OnceLock::new();
+    *MEASUREMENT.get_or_init(|| {
+        let scratch = System::boot_small(PlatformKind::Sanctum);
+        let mut os = Os::new(&scratch);
+        os.build_enclave(&EnclaveImage::signing_enclave(), 1)
+            .expect("probe build of the signing enclave succeeds on a fresh system")
+            .measurement
+    })
+}
+
+/// One fully verified attestation exchange, memoized process-wide.
+///
+/// The key is `(SM attestation public key, requester measurement, nonce,
+/// report data)` — everything the signed report depends on — and the value
+/// is the signature a full `RemoteVerifier::verify` pass accepted. Both the
+/// signature and its verification are *pure deterministic functions* of the
+/// key, so replaying the memo across explorer worlds (which share device
+/// identities by construction) is observationally identical to re-running
+/// the ~45 ms of Ed25519 arithmetic per class in all several hundred worlds
+/// of a sweep. Entries are only inserted after a complete verifier pass,
+/// and only preloaded into a world whose monitor holds the same attestation
+/// key.
+type SigClassKey = ([u8; 32], [u8; 32], [u8; 32], [u8; 32]);
+
+fn verified_signature_memo() -> &'static Mutex<BTreeMap<SigClassKey, [u8; 64]>> {
+    static MEMO: OnceLock<Mutex<BTreeMap<SigClassKey, [u8; 64]>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The fixed-seed manufacturer CA (pure function of its seed; ~15 ms of
+/// Ed25519 derivation, shared across every world of a sweep).
+fn manufacturer_ca() -> &'static ManufacturerCa {
+    static CA: OnceLock<ManufacturerCa> = OnceLock::new();
+    CA.get_or_init(|| ManufacturerCa::new([0x11; 32]))
+}
+
+/// Device certificates by device id — issuing one costs an Ed25519
+/// signature, and every world with the same device id gets the same bytes.
+fn device_certificate(world: &System) -> Certificate {
+    static CERTS: OnceLock<Mutex<BTreeMap<u64, Certificate>>> = OnceLock::new();
+    let certs = CERTS.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let device_id = world.machine.config().device_id;
+    certs
+        .lock()
+        .unwrap()
+        .entry(device_id)
+        .or_insert_with(|| manufacturer_ca().certify_device(world.machine.root_of_trust()))
+        .clone()
+}
+
+/// Attestation keypairs by released seed (pure derivation, see
+/// [`SigningEnclave::open_service_with`]).
+fn derived_keypair(seed: [u8; 32]) -> sanctorum_crypto::ed25519::Keypair {
+    static KEYS: OnceLock<Mutex<BTreeMap<[u8; 32], sanctorum_crypto::ed25519::Keypair>>> =
+        OnceLock::new();
+    let keys = KEYS.get_or_init(|| Mutex::new(BTreeMap::new()));
+    keys.lock()
+        .unwrap()
+        .entry(seed)
+        .or_insert_with(|| sanctorum_crypto::ed25519::Keypair::from_seed(seed))
+        .clone()
+}
+
+/// An X25519 `(secret, public)` pair.
+type DhKeypair = ([u8; 32], [u8; 32]);
+
+/// Client X25519 keypairs by wave position (eight seeds total; pure
+/// derivation shared across worlds and rounds).
+fn client_dh_keypair(position: u8) -> DhKeypair {
+    static DH: OnceLock<Mutex<BTreeMap<u8, DhKeypair>>> = OnceLock::new();
+    let dh = DH.get_or_init(|| Mutex::new(BTreeMap::new()));
+    *dh.lock().unwrap().entry(position).or_insert_with(|| {
+        let secret = sanctorum_crypto::x25519::clamp_scalar([0x33 ^ position; 32]);
+        let public = sanctorum_crypto::x25519::public_key(&secret);
+        (secret, public)
+    })
+}
+
+/// The signing-enclave half of the attestation-service workload, built
+/// lazily by the first [`Op::AttestService`] and kept for the rest of the
+/// world's life (a long-running service, not a per-request enclave).
+#[derive(Debug)]
+struct SigningService {
+    built: BuiltEnclave,
+    logic: SigningEnclave,
+    device_cert: Certificate,
+    /// This monitor's attestation public key (the memo namespace).
+    attestation_pubkey: [u8; 32],
+}
+
 /// A booted system + OS model that ops can be applied to.
 #[derive(Debug)]
 pub struct OpWorld {
@@ -303,22 +439,33 @@ pub struct OpWorld {
     pub os: Os,
     /// Live, fully built enclaves, in build order.
     pub live: Vec<LiveEnclave>,
+    /// The signing-enclave service, once an `AttestService` op started it.
+    signing: Option<SigningService>,
+    /// Total clients attested through the service (diagnostic).
+    pub attested_clients: u64,
 }
 
 impl OpWorld {
-    /// Boots a world on `platform` with the given machine configuration and
+    /// Boots a world on `platform` with the given machine configuration.
+    /// The monitor is configured to trust the canonical signing enclave, so
+    /// the attestation-service workload can run; everything else uses the
     /// default monitor configuration.
     pub fn boot(platform: PlatformKind, config: MachineConfig) -> Self {
         let system = System::boot(
             platform,
             config,
-            sanctorum_core::monitor::SmConfig::default(),
+            sanctorum_core::monitor::SmConfig {
+                signing_enclave_measurement: Some(signing_enclave_measurement()),
+                ..sanctorum_core::monitor::SmConfig::default()
+            },
         );
         let os = Os::new(&system);
         OpWorld {
             system,
             os,
             live: Vec::new(),
+            signing: None,
+            attested_clients: 0,
         }
     }
 
@@ -472,6 +619,18 @@ impl OpWorld {
                 let recipient = self.live[to_index].built.eid;
                 self.mail_exchange(label, Some(sender), recipient, *payload)
             }
+            Op::MailQueue { slot, burst, payload } => {
+                let Some(index) = self.slot(*slot) else {
+                    return OpOutcome::skipped(label);
+                };
+                let recipient = self.live[index].built.eid;
+                let burst = 1 + (*burst % MAILBOX_QUEUE_DEPTH as u64);
+                self.mail_queue_burst(label, recipient, burst, *payload)
+            }
+            Op::AttestService { clients } => {
+                let clients = 1 + (*clients % 8) as usize;
+                self.attest_service(label, clients)
+            }
             Op::GetField { field } => {
                 let selector = field % 5;
                 match PublicField::from_selector(selector) {
@@ -530,6 +689,23 @@ impl OpWorld {
         }
     }
 
+    /// Checks that the SM-recorded identity tag of a delivered message is
+    /// *truthful*: an enclave tag must name a live enclave and carry exactly
+    /// that enclave's measurement (dead senders cannot appear — the monitor
+    /// purges their undelivered mail at teardown, precisely so a recycled
+    /// enclave id can never impersonate its previous incarnation).
+    fn identity_is_truthful(&self, identity: &SenderIdentity) -> bool {
+        match identity {
+            SenderIdentity::Untrusted => true,
+            SenderIdentity::Enclave { id, measurement } => self
+                .live
+                .iter()
+                .find(|e| e.built.eid == *id)
+                .map(|e| e.built.measurement == *measurement)
+                .unwrap_or(false),
+        }
+    }
+
     /// Drives one accept → send → get mail exchange and records whether the
     /// SM-attributed sender identity matches the actual sender.
     fn mail_exchange(
@@ -539,7 +715,6 @@ impl OpWorld {
         recipient: EnclaveId,
         payload: u64,
     ) -> OpOutcome {
-        use sanctorum_core::mailbox::SenderIdentity;
         let recipient_session = CallerSession::enclave(recipient);
         let sender_session = match sender {
             Some(eid) => CallerSession::enclave(eid),
@@ -562,15 +737,22 @@ impl OpWorld {
         }
         match self.system.monitor.get_mail(recipient_session, 0) {
             Ok((bytes, identity)) => {
-                let identity_ok = match (&identity, sender) {
-                    (SenderIdentity::Untrusted, None) => true,
-                    (SenderIdentity::Enclave(m), Some(eid)) => self
-                        .live
-                        .iter()
-                        .find(|e| e.built.eid == eid)
-                        .map(|e| e.built.measurement == *m)
-                        .unwrap_or(false),
-                    _ => false,
+                // The fabric queues messages, so the fetch returns the
+                // *oldest* entry — usually the message just sent, but under
+                // queue pressure possibly an earlier one. When it is ours
+                // (payload match), the tag must name the actual sender
+                // exactly; an older message's tag must still be truthful.
+                let identity_ok = if bytes == payload.to_le_bytes() {
+                    match (&identity, sender) {
+                        (SenderIdentity::Untrusted, None) => true,
+                        (SenderIdentity::Enclave { id, .. }, Some(eid)) if *id != eid => false,
+                        (SenderIdentity::Enclave { .. }, Some(_)) => {
+                            self.identity_is_truthful(&identity)
+                        }
+                        _ => false,
+                    }
+                } else {
+                    self.identity_is_truthful(&identity)
                 };
                 let mut outcome = OpOutcome::done(
                     label,
@@ -582,6 +764,237 @@ impl OpWorld {
             }
             Err(err) => OpOutcome::done(label, status_of(&err), 3),
         }
+    }
+
+    /// Drives one fabric burst: wildcard-arm mailbox 0, queue `burst` OS
+    /// messages, then drain the whole mailbox FIFO — peeking the length
+    /// before every fetch and cross-checking it against what the fetch
+    /// returns. Identity truthfulness is checked on every drained message.
+    fn mail_queue_burst(
+        &mut self,
+        label: &'static str,
+        recipient: EnclaveId,
+        burst: u64,
+        payload: u64,
+    ) -> OpOutcome {
+        let recipient_session = CallerSession::enclave(recipient);
+        if let Err(err) = self
+            .system
+            .monitor
+            .accept_mail(recipient_session, 0, ANY_SENDER)
+        {
+            return OpOutcome::done(label, status_of(&err), 1);
+        }
+        let mut sent = 0u64;
+        let mut last_send_status = status::OK;
+        for i in 0..burst {
+            match self.system.monitor.send_mail(
+                CallerSession::os(),
+                recipient,
+                &(payload.wrapping_add(i)).to_le_bytes(),
+            ) {
+                Ok(()) => sent += 1,
+                // Quota or queue backpressure mid-burst is a legitimate,
+                // platform-invariant outcome; drain whatever got through.
+                Err(err) => {
+                    last_send_status = status_of(&err);
+                    break;
+                }
+            }
+        }
+        let mut drained_bytes = Vec::new();
+        let mut identity_ok = true;
+        while let Ok((peeked, _sender)) = self.system.monitor.peek_mail(recipient_session, 0) {
+            match self.system.monitor.get_mail(recipient_session, 0) {
+                Ok((bytes, identity)) => {
+                    // The non-destructive probe must describe exactly the
+                    // message the fetch then delivers.
+                    identity_ok &= peeked == bytes.len();
+                    identity_ok &= self.identity_is_truthful(&identity);
+                    drained_bytes.extend_from_slice(&bytes);
+                }
+                Err(_) => {
+                    // peek saw a message but get could not deliver it —
+                    // a fabric consistency failure.
+                    identity_ok = false;
+                    break;
+                }
+            }
+        }
+        // Leave no wildcard filter behind: re-arm for the OS, the sender
+        // `MailRoundTrip` exchanges expect.
+        let _ = self.system.monitor.accept_mail(recipient_session, 0, 0);
+        let mut detail = detail_fingerprint(&drained_bytes);
+        detail ^= sent.rotate_left(17) ^ last_send_status;
+        let mut outcome = OpOutcome::done(label, status::OK, detail);
+        outcome.mail_identity_ok = Some(identity_ok);
+        outcome
+    }
+
+    /// Runs the pipelined attestation service over up to `clients` live
+    /// enclaves: waves of requests into the signing enclave's wildcard
+    /// queue, a drain per wave, then batch verification of the collected
+    /// evidence. Returns how many clients ended with a verified secure
+    /// session in the outcome detail.
+    fn attest_service(&mut self, label: &'static str, clients: usize) -> OpOutcome {
+        // The service enclave is built lazily and lives for the rest of the
+        // world (its region is never returned to the pool).
+        if self.signing.is_none() {
+            if self.os.free_region_count() == 0 {
+                return OpOutcome::skipped(label);
+            }
+            let built = match self.os.build_enclave(&EnclaveImage::signing_enclave(), 1) {
+                Ok(built) => built,
+                Err(err) => return OpOutcome::done(label, status_of(&err), 0),
+            };
+            let mut logic = SigningEnclave::new(built.eid);
+            if let Err(err) = logic.open_service_with(&self.system.monitor, derived_keypair) {
+                return OpOutcome::done(label, status_of(&err), 0);
+            }
+            let attestation_pubkey = self
+                .system
+                .monitor
+                .identity()
+                .attestation_keypair
+                .public()
+                .to_bytes();
+            // Warm the service's signature cache with every class already
+            // verified under this attestation key (see the memo's docs).
+            for ((pubkey, measurement, nonce, report_data), sig) in
+                verified_signature_memo().lock().unwrap().iter()
+            {
+                if *pubkey == attestation_pubkey {
+                    logic.preload_signature(
+                        Measurement(*measurement),
+                        *nonce,
+                        *report_data,
+                        Signature::from_bytes(sig),
+                    );
+                }
+            }
+            let device_cert = device_certificate(&self.system);
+            self.signing = Some(SigningService {
+                built,
+                logic,
+                device_cert,
+                attestation_pubkey,
+            });
+        }
+        if self.live.is_empty() {
+            return OpOutcome::skipped(label);
+        }
+        let count = clients.min(self.live.len());
+        let client_enclaves: Vec<(EnclaveId, Measurement)> = self
+            .live
+            .iter()
+            .take(count)
+            .map(|e| (e.built.eid, e.built.measurement))
+            .collect();
+        let service = self.signing.as_mut().expect("service built above");
+        let sm = self.system.monitor.as_ref();
+
+        // The verifier's DRBG seed is fixed, so a fresh verifier issues the
+        // same nonce schedule in every op of every world — which is what
+        // lets the verified-signature memo and the signing enclave's own
+        // cache turn repeat rounds into pure fabric traffic.
+        let mut verifier = RemoteVerifier::new(
+            manufacturer_ca().root_public_key(),
+            client_enclaves.iter().map(|(_, m)| *m).collect(),
+            [0x42; 32],
+        );
+        let mut sessions = SessionPool::new();
+        let mut attested_echo = 0u64;
+
+        // Waves bounded by the request-queue depth: every submit in a wave
+        // must fit the signing enclave's wildcard mailbox.
+        for (wave_index, wave) in client_enclaves.chunks(MAILBOX_QUEUE_DEPTH).enumerate() {
+            let challenges = verifier.begin_many(wave.len());
+            let mut wave_clients = Vec::with_capacity(wave.len());
+            for (i, ((eid, measurement), challenge)) in
+                wave.iter().zip(&challenges).enumerate()
+            {
+                // The DH seed depends only on the wave position, so the
+                // challenge class (nonce, report data) is stable across
+                // worlds and ops — the memo's whole premise.
+                let position = (wave_index * MAILBOX_QUEUE_DEPTH + i) as u8;
+                let (dh_secret, dh_public) = client_dh_keypair(position);
+                let client = AttestationClient::from_dh_keypair(*eid, dh_secret, dh_public);
+                if client
+                    .submit_request(sm, service.built.eid, challenge.nonce)
+                    .is_ok()
+                {
+                    wave_clients.push((client, *measurement, *challenge));
+                }
+            }
+            if service.logic.drain(sm).is_err() {
+                break;
+            }
+            for (client, measurement, challenge) in wave_clients {
+                let Ok(response) = client.collect_response(sm, service.device_cert.clone())
+                else {
+                    continue;
+                };
+                // Structural checks first — these hold memo or no memo: the
+                // reply must echo *this* client's SM-recorded measurement,
+                // *this* challenge's nonce, and the binding of *this*
+                // client's DH key. A reply failing any of them was
+                // mis-routed, mis-attributed or forged.
+                let report = &response.evidence.report;
+                let binding = Sha3_256::digest(&client.dh_public());
+                if report.enclave_measurement != measurement
+                    || report.nonce != challenge.nonce
+                    || report.report_data != binding
+                {
+                    continue;
+                }
+                let class: SigClassKey = (
+                    service.attestation_pubkey,
+                    *measurement.as_bytes(),
+                    report.nonce,
+                    report.report_data,
+                );
+                let known = verified_signature_memo()
+                    .lock()
+                    .unwrap()
+                    .get(&class)
+                    .copied();
+                if let Some(verified_sig) = known {
+                    // This exact class has survived a full verifier pass in
+                    // some world of this process; the deterministic
+                    // signature must be bit-identical.
+                    if response.evidence.signature.to_bytes() == verified_sig {
+                        attested_echo += 1;
+                    }
+                    continue;
+                }
+                let Ok(mut session) =
+                    verifier.verify(&response.evidence, &response.enclave_dh_public)
+                else {
+                    continue;
+                };
+                // The attested channel must actually work end to end: the
+                // enclave side derives the same keys from its DH share.
+                let shared = client.shared_secret(&challenge.verifier_dh_public);
+                let mut enclave_session = SecureSession::new(&shared, &challenge.nonce);
+                let sealed = session.seal(b"service-hello");
+                if enclave_session.open(&sealed).is_ok() {
+                    verified_signature_memo()
+                        .lock()
+                        .unwrap()
+                        .insert(class, response.evidence.signature.to_bytes());
+                    sessions.insert(client.eid().as_u64(), session);
+                }
+            }
+        }
+        let attested = sessions.len() as u64 + attested_echo;
+        self.attested_clients += attested;
+        let mut outcome = OpOutcome::done(label, status::OK, attested);
+        // Every client the workload selected must end the round with
+        // verified evidence; fewer means the service plane dropped,
+        // mis-routed or mis-attributed a request somewhere between submit
+        // and verification.
+        outcome.service_ok = Some(attested as usize == count);
+        outcome
     }
 }
 

@@ -21,4 +21,4 @@ pub mod session;
 
 pub use pki::ManufacturerCa;
 pub use remote::{Challenge, RemoteVerifier, VerifyError};
-pub use session::SecureSession;
+pub use session::{SecureSession, SessionPool};

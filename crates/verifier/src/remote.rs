@@ -1,4 +1,11 @@
 //! The remote verifier: nonce issuance, key agreement and evidence checking.
+//!
+//! Built for service-scale attestation: any number of challenges may be
+//! outstanding at once (each nonce keys its own DH secret), evidence can be
+//! checked in batches, and a **certificate-chain cache** makes the steady
+//! state cheap — the (device certificate, SM certificate) pair is validated
+//! once per platform, after which each report costs a single Ed25519
+//! verification instead of three.
 
 use crate::session::SecureSession;
 use sanctorum_core::attestation::AttestationEvidence;
@@ -8,6 +15,7 @@ use sanctorum_crypto::drbg::ChaChaDrbg;
 use sanctorum_crypto::ed25519::PublicKey;
 use sanctorum_crypto::sha3::Sha3_256;
 use sanctorum_crypto::x25519;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// The challenge the verifier sends to the (untrusted) platform: a fresh
@@ -58,15 +66,24 @@ pub struct RemoteVerifier {
     manufacturer_root: PublicKey,
     trusted_measurements: Vec<Measurement>,
     drbg: ChaChaDrbg,
-    outstanding: Option<([u8; 32], [u8; 32])>, // (nonce, dh secret)
+    /// Outstanding challenges: nonce → the DH secret issued with it. Any
+    /// number may be in flight, which is what lets a fleet of clients attest
+    /// concurrently against one verifier.
+    outstanding: BTreeMap<[u8; 32], [u8; 32]>,
+    /// Validated certificate chains: digest of (device cert, SM cert) → the
+    /// SM attestation public key the chain vouches for. A hit skips both
+    /// certificate verifications.
+    chain_cache: BTreeMap<[u8; 32], PublicKey>,
+    chain_cache_hits: u64,
 }
 
 impl fmt::Debug for RemoteVerifier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "RemoteVerifier {{ trusted_measurements: {} }}",
-            self.trusted_measurements.len()
+            "RemoteVerifier {{ trusted_measurements: {}, outstanding: {} }}",
+            self.trusted_measurements.len(),
+            self.outstanding.len()
         )
     }
 }
@@ -83,7 +100,9 @@ impl RemoteVerifier {
             manufacturer_root,
             trusted_measurements,
             drbg: ChaChaDrbg::from_seed(rng_seed),
-            outstanding: None,
+            outstanding: BTreeMap::new(),
+            chain_cache: BTreeMap::new(),
+            chain_cache_hits: 0,
         }
     }
 
@@ -92,7 +111,20 @@ impl RemoteVerifier {
         self.trusted_measurements.push(measurement);
     }
 
+    /// Number of challenges currently outstanding.
+    pub fn outstanding_challenges(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// How many evidence checks skipped certificate validation via the
+    /// chain cache.
+    pub fn chain_cache_hits(&self) -> u64 {
+        self.chain_cache_hits
+    }
+
     /// Begins an attestation: generates a nonce and an ephemeral DH key.
+    /// Challenges accumulate — beginning a new one does not invalidate those
+    /// already outstanding.
     pub fn begin(&mut self) -> Challenge {
         let nonce: [u8; 32] = self.drbg.random_array();
         let dh_secret = x25519::clamp_scalar(self.drbg.random_array());
@@ -100,8 +132,52 @@ impl RemoteVerifier {
             nonce,
             verifier_dh_public: x25519::public_key(&dh_secret),
         };
-        self.outstanding = Some((nonce, dh_secret));
+        self.outstanding.insert(nonce, dh_secret);
         challenge
+    }
+
+    /// Issues `count` challenges at once (one per client of a batch).
+    pub fn begin_many(&mut self, count: usize) -> Vec<Challenge> {
+        (0..count).map(|_| self.begin()).collect()
+    }
+
+    fn chain_fingerprint(evidence: &AttestationEvidence) -> [u8; 32] {
+        let mut bytes = Vec::with_capacity(256);
+        for cert in [&evidence.device_certificate, &evidence.sm_certificate] {
+            bytes.extend_from_slice(&cert.subject_public_key.to_bytes());
+            bytes.extend_from_slice(&(cert.subject_info.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(&cert.subject_info);
+            bytes.extend_from_slice(&cert.issuer_public_key.to_bytes());
+            bytes.extend_from_slice(&cert.signature.to_bytes());
+        }
+        Sha3_256::digest(&bytes)
+    }
+
+    /// Validates the evidence's certificate chain, via the cache when the
+    /// exact (device certificate, SM certificate) pair has been seen before,
+    /// and returns the SM attestation key the chain vouches for.
+    fn validate_chain(
+        &mut self,
+        evidence: &AttestationEvidence,
+    ) -> Result<PublicKey, VerifyError> {
+        if evidence.device_certificate.issuer_public_key != self.manufacturer_root {
+            return Err(VerifyError::UntrustedRoot);
+        }
+        let fingerprint = Self::chain_fingerprint(evidence);
+        if let Some(key) = self.chain_cache.get(&fingerprint) {
+            self.chain_cache_hits += 1;
+            return Ok(*key);
+        }
+        let chain_ok = evidence.device_certificate.verify()
+            && evidence.sm_certificate.verify()
+            && evidence.sm_certificate.issuer_public_key
+                == evidence.device_certificate.subject_public_key;
+        if !chain_ok {
+            return Err(VerifyError::BadSignature);
+        }
+        let key = evidence.sm_certificate.subject_public_key;
+        self.chain_cache.insert(fingerprint, key);
+        Ok(key)
     }
 
     /// Verifies attestation evidence and, on success, derives the secure
@@ -110,22 +186,37 @@ impl RemoteVerifier {
     /// # Errors
     ///
     /// Returns a [`VerifyError`] describing the first check that failed; the
-    /// outstanding challenge is consumed either way (nonces are single-use).
+    /// matching outstanding challenge is consumed either way (nonces are
+    /// single-use).
     pub fn verify(
         &mut self,
         evidence: &AttestationEvidence,
         enclave_dh_public: &[u8; 32],
     ) -> Result<SecureSession, VerifyError> {
-        let (nonce, dh_secret) = self.outstanding.take().ok_or(VerifyError::NoChallenge)?;
+        if self.outstanding.is_empty() {
+            return Err(VerifyError::NoChallenge);
+        }
+        // The attacker-supplied nonce is matched against every outstanding
+        // challenge in constant time per comparison (no early-exit prefix
+        // matching), preserving the hardening the single-challenge verifier
+        // had.
+        let nonce = evidence.report.nonce;
+        let matched = self
+            .outstanding
+            .keys()
+            .fold(None, |found, candidate| {
+                if ct_eq(candidate, &nonce) {
+                    Some(*candidate)
+                } else {
+                    found
+                }
+            })
+            .ok_or(VerifyError::StaleNonce)?;
+        let dh_secret = self.outstanding.remove(&matched).expect("matched key exists");
 
-        if evidence.device_certificate.issuer_public_key != self.manufacturer_root {
-            return Err(VerifyError::UntrustedRoot);
-        }
-        if !evidence.verify_signatures() {
+        let sm_key = self.validate_chain(evidence)?;
+        if !sm_key.verify(&evidence.report.to_signed_bytes(), &evidence.signature) {
             return Err(VerifyError::BadSignature);
-        }
-        if !ct_eq(&evidence.report.nonce, &nonce) {
-            return Err(VerifyError::StaleNonce);
         }
         let expected_binding = Sha3_256::digest(enclave_dh_public);
         if !ct_eq(&evidence.report.report_data, &expected_binding) {
@@ -141,6 +232,19 @@ impl RemoteVerifier {
 
         let shared = x25519::shared_secret(&dh_secret, enclave_dh_public);
         Ok(SecureSession::new(&shared, &nonce))
+    }
+
+    /// Verifies a batch of evidence, one result per item, sharing the chain
+    /// cache across the whole batch — on one platform only the first item
+    /// pays the certificate verifications.
+    pub fn verify_batch(
+        &mut self,
+        items: &[(AttestationEvidence, [u8; 32])],
+    ) -> Vec<Result<SecureSession, VerifyError>> {
+        items
+            .iter()
+            .map(|(evidence, dh_public)| self.verify(evidence, dh_public))
+            .collect()
     }
 }
 

@@ -1,7 +1,8 @@
 //! The secure session established after successful attestation
-//! (Fig. 7 step ⑩).
+//! (Fig. 7 step ⑩), and the pool a verifier-side service keeps them in.
 
 use sanctorum_crypto::secretbox::{OpenError, SecretBox, NONCE_LEN};
+use std::collections::BTreeMap;
 
 /// An authenticated-encryption session keyed by the attested key agreement.
 ///
@@ -48,6 +49,48 @@ impl SecureSession {
     /// Number of messages sealed so far.
     pub fn messages_sent(&self) -> u64 {
         self.send_counter
+    }
+}
+
+/// A pool of established sessions keyed by a caller-chosen client tag (the
+/// attestation-service workload uses the client's enclave id). One verifier
+/// serving many attested clients holds one of these instead of a session
+/// variable per client.
+#[derive(Debug, Default)]
+pub struct SessionPool {
+    sessions: BTreeMap<u64, SecureSession>,
+}
+
+impl SessionPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores the session established for `client`, returning the previous
+    /// one if the client re-attested.
+    pub fn insert(&mut self, client: u64, session: SecureSession) -> Option<SecureSession> {
+        self.sessions.insert(client, session)
+    }
+
+    /// The live session for `client`, if any.
+    pub fn get_mut(&mut self, client: u64) -> Option<&mut SecureSession> {
+        self.sessions.get_mut(&client)
+    }
+
+    /// Drops `client`'s session (e.g. after its enclave is torn down).
+    pub fn remove(&mut self, client: u64) -> Option<SecureSession> {
+        self.sessions.remove(&client)
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Returns `true` if no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
     }
 }
 

@@ -24,7 +24,10 @@ fn local_attestation_via_mailboxes() {
     // ③ E2 fetches it; ④ the SM-recorded sender measurement matches E1's.
     let (message, sender) = sm.get_mail(e2_session, 0).unwrap();
     assert_eq!(message, b"hello from E1");
-    assert_eq!(sender, SenderIdentity::Enclave(e1.measurement));
+    assert_eq!(
+        sender,
+        SenderIdentity::Enclave { id: e1.eid, measurement: e1.measurement }
+    );
 
     // A message from the OS is clearly labelled untrusted.
     sm.accept_mail(e2_session, 0, 0).unwrap();

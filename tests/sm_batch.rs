@@ -399,3 +399,76 @@ fn mail_buffers_cannot_straddle_into_foreign_regions() {
         "GetMail window spanning into a foreign region must be rejected"
     );
 }
+
+#[test]
+fn get_mail_with_too_small_buffer_preserves_the_message() {
+    use sanctorum_enclave::image::EnclaveImage;
+
+    // Regression test: the register-ABI GetMail handler used to *consume*
+    // the message via get_mail before comparing its length against the
+    // caller's buffer capacity — so an enclave probing with a small buffer
+    // destroyed the mail irrecoverably. The handler must peek first.
+    let system = System::boot_small(PlatformKind::Sanctum);
+    let mut os = Os::new(&system);
+    let enclave = os.build_enclave(&EnclaveImage::hello(7), 1).unwrap();
+
+    // The OS mails a 64-byte message the enclave has agreed to receive.
+    let recipient = CallerSession::enclave(enclave.eid);
+    system.monitor.accept_mail(recipient, 0, 0).unwrap();
+    let message: Vec<u8> = (0u8..64).collect();
+    system
+        .monitor
+        .send_mail(CallerSession::os(), enclave.eid, &message)
+        .unwrap();
+
+    // Drive GetMail through the register ABI with the hart authenticated as
+    // the enclave, writing into the last page of the enclave's own region
+    // (well clear of its loaded image).
+    let config = system.machine.config();
+    let region_base = config
+        .memory_base
+        .offset((enclave.regions[0].index() * config.dram_region_size) as u64);
+    let out_addr = region_base.offset(config.dram_region_size as u64 - 4096);
+    let core = CoreId::new(0);
+    system.machine.install_context(
+        core,
+        DomainKind::Enclave(enclave.eid),
+        PrivilegeLevel::User,
+        None,
+        0,
+    );
+
+    // Attempt 1: a buffer too small for the waiting message. Must fail with
+    // INVALID_ARGUMENT — and must NOT destroy the message.
+    system.monitor.stage_call(
+        core,
+        &SmCall::GetMail { mailbox: 0, out_addr, out_len: 16 },
+    );
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(system.monitor.read_call_result(core).0, status::INVALID_ARGUMENT);
+
+    // The message is still there: the non-destructive probe reports it.
+    system.monitor.stage_call(core, &SmCall::PeekMail { mailbox: 0 });
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(
+        system.monitor.read_call_result(core),
+        (status::OK, 64),
+        "peek must still see the message a failed GetMail could not hold"
+    );
+
+    // Attempt 2: an adequate buffer retrieves the message intact.
+    system.monitor.stage_call(
+        core,
+        &SmCall::GetMail { mailbox: 0, out_addr, out_len: 4096 },
+    );
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(system.monitor.read_call_result(core), (status::OK, 64));
+    let mut delivered = vec![0u8; 64];
+    system.machine.phys_read(out_addr, &mut delivered).unwrap();
+    assert_eq!(delivered, message, "the full message must arrive unharmed");
+
+    // And the queue is now empty.
+    system.monitor.stage_call(core, &SmCall::PeekMail { mailbox: 0 });
+    system.monitor.handle_event(core, TrapCause::EnvironmentCall);
+    assert_eq!(system.monitor.read_call_result(core).0, status::MAILBOX_UNAVAILABLE);
+}
