@@ -5,6 +5,14 @@
 //! Ablation A2 — incremental (generation-cached) audit snapshots versus a
 //! from-scratch rebuild per snapshot, over a populated monitor: the speedup
 //! that lets the explorer's invariant kernel run after every step.
+//!
+//! Ablation A3 — the giant-lock cost made visible in-repo: eight OS threads
+//! hammer *disjoint* enclaves (each worker owns its own region, mapping to
+//! its own resource shard), the workload the paper's per-object locking is
+//! designed for. Under FineGrained the workers touch disjoint locks and the
+//! ticket lock is never taken; under Global every lifecycle call joins one
+//! FIFO queue. See also `scaling_stats` / BENCH_scaling.json for the
+//! 1/2/4/8-thread sweep with CI gates.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sanctorum_core::api::SmApi;
@@ -115,6 +123,110 @@ fn bench_locking(c: &mut Criterion) {
     group.finish();
 }
 
+/// A3: eight threads, each running the full metadata lifecycle (create →
+/// page tables → thread → init → delete → clean) on its *own* region —
+/// disjoint objects, so FineGrained takes disjoint shard/meta locks while
+/// Global serializes everything behind the ticket lock.
+fn bench_contended_disjoint(c: &mut Criterion) {
+    use sanctorum_core::api::SmApi;
+    use sanctorum_core::monitor::SmConfig;
+    use sanctorum_explorer::concurrent::concurrent_machine_config;
+    use sanctorum_os::system::System;
+
+    const THREADS: u32 = 8;
+    let mut group = c.benchmark_group("ablation_locking");
+    for mode in [LockingMode::FineGrained, LockingMode::Global] {
+        group.bench_with_input(
+            BenchmarkId::new("disjoint_enclaves_8_threads", mode_name(mode)),
+            &mode,
+            |b, &mode| {
+                b.iter_custom(|iters| {
+                    let system = System::boot(
+                        PlatformKind::Sanctum,
+                        concurrent_machine_config(),
+                        SmConfig {
+                            locking: mode,
+                            ..SmConfig::default()
+                        },
+                    );
+                    let monitor = Arc::clone(&system.monitor);
+                    // One untrusted region per worker (the backend reserves
+                    // some regions for the SM itself), made Available
+                    // upfront; consecutive indices land on distinct shards.
+                    let regions: Vec<RegionId> = (0..system.machine.config().num_regions() as u32)
+                        .map(RegionId::new)
+                        .filter(|r| {
+                            matches!(
+                                monitor.resource_state(ResourceId::Region(*r)),
+                                Ok(sanctorum_core::resource::ResourceState::Owned(
+                                    sanctorum_hal::domain::DomainKind::Untrusted
+                                ))
+                            )
+                        })
+                        .take(THREADS as usize)
+                        .collect();
+                    assert_eq!(regions.len(), THREADS as usize);
+                    for region in &regions {
+                        monitor
+                            .block_resource(CallerSession::os(), ResourceId::Region(*region))
+                            .unwrap();
+                        monitor
+                            .clean_resource(CallerSession::os(), ResourceId::Region(*region))
+                            .unwrap();
+                    }
+                    let start = std::time::Instant::now();
+                    let handles: Vec<_> = regions
+                        .into_iter()
+                        .map(|region| {
+                            let monitor = Arc::clone(&monitor);
+                            std::thread::spawn(move || {
+                                fn retry<T>(mut f: impl FnMut() -> Result<T, SmError>) -> T {
+                                    loop {
+                                        match f() {
+                                            Ok(v) => return v,
+                                            // Yield on conflict: an
+                                            // oversubscribed host must let
+                                            // the conflicting caller finish
+                                            // instead of burning the slice.
+                                            Err(SmError::ConcurrentCall) => {
+                                                std::thread::yield_now()
+                                            }
+                                            Err(other) => panic!("unexpected error: {other:?}"),
+                                        }
+                                    }
+                                }
+                                let os = CallerSession::os;
+                                for _ in 0..iters {
+                                    let eid = retry(|| {
+                                        monitor.create_enclave(
+                                            os(),
+                                            VirtAddr::new(0x10_0000),
+                                            0x4000,
+                                            &[region],
+                                        )
+                                    });
+                                    retry(|| monitor.allocate_page_table(os(), eid));
+                                    retry(|| monitor.load_thread(os(), eid, 0x10_0000, None));
+                                    retry(|| monitor.init_enclave(os(), eid));
+                                    retry(|| monitor.delete_enclave(os(), eid));
+                                    retry(|| {
+                                        monitor.clean_resource(os(), ResourceId::Region(region))
+                                    });
+                                }
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        handle.join().unwrap();
+                    }
+                    start.elapsed()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_audit(c: &mut Criterion) {
     use sanctorum_bench::boot;
     use sanctorum_enclave::image::EnclaveImage;
@@ -159,6 +271,6 @@ fn bench_audit(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_locking, bench_audit
+    targets = bench_locking, bench_contended_disjoint, bench_audit
 }
 criterion_main!(benches);

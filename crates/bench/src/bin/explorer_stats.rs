@@ -23,6 +23,7 @@
 //!
 //! Run with: `cargo run --release -p sanctorum-bench --bin explorer_stats`
 
+use sanctorum_bench::{calibrate, extract_number};
 use sanctorum_explorer::{Explorer, ExplorerConfig};
 use std::time::Instant;
 
@@ -123,21 +124,6 @@ fn main() {
     }
 }
 
-/// Fixed pure-CPU workload (FNV-1a over a 4 KiB buffer) measuring this
-/// machine's single-thread throughput in hashes/sec, so recorded steps/sec
-/// numbers can be compared across machines.
-fn calibrate() -> f64 {
-    let buffer = [0xa5u8; 4096];
-    let rounds = 20_000u64;
-    let start = Instant::now();
-    let mut acc = 0u64;
-    for round in 0..rounds {
-        acc ^= sanctorum_hal::fnv::fnv1a(round ^ acc, &buffer);
-    }
-    std::hint::black_box(acc);
-    rounds as f64 / start.elapsed().as_secs_f64()
-}
-
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     seeds: u64,
@@ -179,16 +165,3 @@ fn render_json(
     )
 }
 
-/// Minimal `"key": number` extractor (the workspace's serde is a no-op shim,
-/// so the gate parses its own output format by hand).
-fn extract_number(json: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\"");
-    let at = json.find(&needle)?;
-    let rest = &json[at + needle.len()..];
-    let colon = rest.find(':')?;
-    let tail = rest[colon + 1..].trim_start();
-    let end = tail
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(tail.len());
-    tail[..end].parse().ok()
-}

@@ -1,0 +1,245 @@
+//! Multi-hart scalability benchmark — `steps/sec` and `SM-calls/sec` at
+//! 1/2/4/8 OS threads, Global vs FineGrained locking, on a read-mostly
+//! (public-field reads + mailbox probes) and a mixed-mutation (full
+//! lifecycle churn) workload, emitted as `BENCH_scaling.json` and gated in
+//! CI (see EXPERIMENTS.md, "Scaling").
+//!
+//! Usage:
+//!
+//! ```text
+//! scaling_stats [--rounds N] [--read-ops N] [--mixed-ops N] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! Gates (exit non-zero on failure):
+//!
+//! * **fine ≥ 2× global at 4 threads, read-mostly** — the tentpole claim:
+//!   with the hot path algorithmically cheap, the giant lock is the
+//!   dominant cost under concurrency. Always enforced: on a multi-core
+//!   host the fine-grained mode scales while the global mode serializes;
+//!   on a single-core host the global mode still collapses, because the
+//!   giant lock is a *spinlock* (the M-mode monitor it models has no
+//!   scheduler to sleep on) and a preempted holder leaves every other
+//!   worker burning its timeslice — exactly the spin cost concurrent harts
+//!   pay on real hardware.
+//! * **fine at 4 threads ≥ 2× fine at 1 thread, read-mostly** — true
+//!   parallel scaling. Only enforced when the host actually has ≥ 4 CPUs
+//!   (`host_cpus` is recorded in the JSON either way).
+//! * **`--baseline PATH`** — single-thread FineGrained read-mostly
+//!   throughput must not regress more than 2× against the committed JSON,
+//!   normalized by each run's `calibration_hashes_per_second`.
+//!
+//! Run with: `cargo run --release -p sanctorum-bench --bin scaling_stats`
+
+use sanctorum_bench::{calibrate, extract_number};
+use sanctorum_core::monitor::{LockingMode, SmConfig};
+use sanctorum_explorer::concurrent::concurrent_machine_config;
+use sanctorum_os::concurrent::{run_concurrent, ConcurrentConfig, WorkloadProfile};
+use sanctorum_os::system::{PlatformKind, System};
+use std::time::Instant;
+
+const MAX_REGRESSION_FACTOR: f64 = 2.0;
+const CONTENTION_FLOOR: f64 = 2.0;
+const SCALING_FLOOR: f64 = 2.0;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    workload: WorkloadProfile,
+    locking: LockingMode,
+    threads: usize,
+    steps_per_second: f64,
+    sm_calls_per_second: f64,
+    retries: u64,
+}
+
+fn mode_name(mode: LockingMode) -> &'static str {
+    match mode {
+        LockingMode::FineGrained => "fine_grained",
+        LockingMode::Global => "global_lock",
+    }
+}
+
+fn run_cell(
+    workload: WorkloadProfile,
+    locking: LockingMode,
+    threads: usize,
+    rounds: usize,
+    ops_per_round: usize,
+) -> Cell {
+    // A fresh system per cell: no warm caches or leftover enclaves leak
+    // between configurations.
+    let system = System::boot(
+        PlatformKind::Sanctum,
+        concurrent_machine_config(),
+        SmConfig {
+            locking,
+            ..SmConfig::default()
+        },
+    );
+    let config = ConcurrentConfig {
+        threads,
+        rounds,
+        ops_per_round,
+        profile: workload,
+        seed: 0x5ca1e,
+    };
+    let start = Instant::now();
+    let stats = run_concurrent(&system, &config, |_| Ok(())).expect("bench workload stays clean");
+    let elapsed = start.elapsed().as_secs_f64();
+    Cell {
+        workload,
+        locking,
+        threads,
+        steps_per_second: stats.steps as f64 / elapsed,
+        sm_calls_per_second: stats.sm_calls as f64 / elapsed,
+        retries: stats.retries,
+    }
+}
+
+fn find(cells: &[Cell], workload: WorkloadProfile, locking: LockingMode, threads: usize) -> &Cell {
+    cells
+        .iter()
+        .find(|c| c.workload == workload && c.locking == locking && c.threads == threads)
+        .expect("cell measured")
+}
+
+fn main() {
+    // Budgets are sized so one round far exceeds a host scheduler
+    // timeslice: with short rounds the workers run back-to-back inside
+    // single timeslices and never actually overlap, which silently measures
+    // the *uncontended* lock.
+    let mut rounds = 2usize;
+    let mut read_ops = 2_000_000usize;
+    let mut mixed_ops = 8_000usize;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rounds" => rounds = args.next().and_then(|v| v.parse().ok()).expect("--rounds N"),
+            "--read-ops" => {
+                read_ops = args.next().and_then(|v| v.parse().ok()).expect("--read-ops N")
+            }
+            "--mixed-ops" => {
+                mixed_ops = args.next().and_then(|v| v.parse().ok()).expect("--mixed-ops N")
+            }
+            "--out" => out = Some(args.next().expect("--out PATH")),
+            "--baseline" => baseline = Some(args.next().expect("--baseline PATH")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let calibration = calibrate();
+
+    println!("# scaling sweep (host_cpus = {host_cpus})");
+    let mut cells: Vec<Cell> = Vec::new();
+    for workload in [WorkloadProfile::ReadMostly, WorkloadProfile::MixedMutation] {
+        let ops = match workload {
+            WorkloadProfile::ReadMostly => read_ops,
+            WorkloadProfile::MixedMutation => mixed_ops,
+        };
+        // The per-worker op budget shrinks as threads grow, so total work
+        // (and wall time per cell) stays roughly constant across the sweep.
+        for locking in [LockingMode::Global, LockingMode::FineGrained] {
+            for threads in THREAD_COUNTS {
+                let cell = run_cell(workload, locking, threads, rounds, ops / threads);
+                println!(
+                    "{:>14} {:>12} {} threads: {:>12.0} steps/s {:>12.0} calls/s ({} retries)",
+                    workload.name(),
+                    mode_name(locking),
+                    threads,
+                    cell.steps_per_second,
+                    cell.sm_calls_per_second,
+                    cell.retries
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    let fine_1t = find(&cells, WorkloadProfile::ReadMostly, LockingMode::FineGrained, 1);
+    let fine_4t = find(&cells, WorkloadProfile::ReadMostly, LockingMode::FineGrained, 4);
+    let global_4t = find(&cells, WorkloadProfile::ReadMostly, LockingMode::Global, 4);
+    let contention_ratio = fine_4t.steps_per_second / global_4t.steps_per_second;
+    let scaling_ratio = fine_4t.steps_per_second / fine_1t.steps_per_second;
+    println!("\nfine/global at 4 threads (read-mostly): {contention_ratio:.2}x (floor {CONTENTION_FLOOR}x)");
+    println!(
+        "fine 4t/1t (read-mostly):               {scaling_ratio:.2}x (floor {SCALING_FLOOR}x, enforced at host_cpus >= 4)"
+    );
+
+    if let Some(path) = &out {
+        let mut results = String::new();
+        for (index, cell) in cells.iter().enumerate() {
+            let comma = if index + 1 == cells.len() { "" } else { "," };
+            results.push_str(&format!(
+                "    {{ \"workload\": \"{}\", \"locking\": \"{}\", \"threads\": {}, \
+                 \"steps_per_second\": {:.1}, \"sm_calls_per_second\": {:.1}, \"retries\": {} }}{comma}\n",
+                cell.workload.name(),
+                mode_name(cell.locking),
+                cell.threads,
+                cell.steps_per_second,
+                cell.sm_calls_per_second,
+                cell.retries
+            ));
+        }
+        let json = format!(
+            r#"{{
+  "bench": "scaling",
+  "host_cpus": {host_cpus},
+  "calibration_hashes_per_second": {calibration:.1},
+  "config": {{ "rounds": {rounds}, "read_ops_total_per_worker_at_1t": {read_ops}, "mixed_ops_total_per_worker_at_1t": {mixed_ops} }},
+  "single_thread_fine_read_mostly_steps_per_second": {:.1},
+  "four_thread_fine_read_mostly_steps_per_second": {:.1},
+  "four_thread_global_read_mostly_steps_per_second": {:.1},
+  "fine_vs_global_4t_read_mostly_ratio": {contention_ratio:.2},
+  "fine_4t_vs_1t_read_mostly_ratio": {scaling_ratio:.2},
+  "results": [
+{results}  ]
+}}
+"#,
+            fine_1t.steps_per_second, fine_4t.steps_per_second, global_4t.steps_per_second,
+        );
+        std::fs::write(path, json).expect("write result JSON");
+        println!("wrote {path}");
+    }
+
+    if contention_ratio < CONTENTION_FLOOR {
+        eprintln!(
+            "FAIL: fine-grained is only {contention_ratio:.2}x the global lock at 4 threads \
+             (floor {CONTENTION_FLOOR}x) on the read-mostly workload"
+        );
+        std::process::exit(3);
+    }
+    if host_cpus >= 4 && scaling_ratio < SCALING_FLOOR {
+        eprintln!(
+            "FAIL: fine-grained at 4 threads is only {scaling_ratio:.2}x its single-thread \
+             throughput (floor {SCALING_FLOOR}x) despite {host_cpus} host CPUs"
+        );
+        std::process::exit(4);
+    }
+
+    if let Some(path) = &baseline {
+        let text = std::fs::read_to_string(path).expect("read baseline JSON");
+        let reference = extract_number(&text, "single_thread_fine_read_mostly_steps_per_second")
+            .expect("baseline JSON has the single-thread fine-grained field");
+        let reference_calibration =
+            extract_number(&text, "calibration_hashes_per_second").unwrap_or(calibration);
+        let normalized_current = fine_1t.steps_per_second / calibration;
+        let normalized_reference = reference / reference_calibration;
+        println!(
+            "baseline {path}: {reference:.0} steps/sec at {reference_calibration:.0} hashes/sec \
+             (normalized gate: {normalized_current:.2e} vs floor {:.2e})",
+            normalized_reference / MAX_REGRESSION_FACTOR
+        );
+        if normalized_current * MAX_REGRESSION_FACTOR < normalized_reference {
+            eprintln!(
+                "FAIL: single-thread throughput regressed more than {MAX_REGRESSION_FACTOR}x \
+                 (machine-normalized {normalized_current:.2e} vs baseline {normalized_reference:.2e})"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -125,9 +125,47 @@ pub fn boot_attestation_service(
     (system, os, fleet, signing)
 }
 
+/// Fixed pure-CPU workload (FNV-1a over a 4 KiB buffer) measuring this
+/// machine's single-thread throughput in hashes/sec, so recorded
+/// steps-per-second numbers can be compared across machines. Shared by the
+/// stats bins' `--baseline` gates.
+pub fn calibrate() -> f64 {
+    let buffer = [0xa5u8; 4096];
+    let rounds = 20_000u64;
+    let start = std::time::Instant::now();
+    let mut acc = 0u64;
+    for round in 0..rounds {
+        acc ^= sanctorum_hal::fnv::fnv1a(round ^ acc, &buffer);
+    }
+    std::hint::black_box(acc);
+    rounds as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Minimal `"key": number` extractor (the workspace's serde is a no-op
+/// shim, so the bench gates parse their own output format by hand).
+pub fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let rest = &json[at + needle.len()..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn extract_number_reads_nested_keys() {
+        let json = r#"{ "outer": { "steps_per_second": 123.5 }, "n": -2e3 }"#;
+        assert_eq!(extract_number(json, "steps_per_second"), Some(123.5));
+        assert_eq!(extract_number(json, "n"), Some(-2000.0));
+        assert_eq!(extract_number(json, "missing"), None);
+    }
 
     #[test]
     fn helpers_boot_all_configurations() {

@@ -21,7 +21,9 @@
 //!   sessions ([`session`]);
 //! * fine-grained locking with explicit concurrent-transaction failures
 //!   (Section V-A) plus a global-lock build for the ablation study
-//!   ([`monitor::LockingMode`]).
+//!   ([`monitor::LockingMode`]), backed by a documented lock hierarchy with
+//!   a debug-build order checker ([`lockorder`]) and a resource map sharded
+//!   for true multi-hart parallelism ([`resource::ShardedResourceMap`]).
 //!
 //! The monitor is written against the platform traits of `sanctorum-hal`;
 //! the `sanctorum-sanctum` and `sanctorum-keystone` crates bind it to the
@@ -60,6 +62,7 @@ pub mod boot;
 pub mod dispatch;
 pub mod enclave;
 pub mod error;
+pub mod lockorder;
 pub mod mailbox;
 pub mod measurement;
 pub mod monitor;

@@ -8,27 +8,44 @@
 //! [`SecurityMonitor::authenticate`] (or by the harness constructors on
 //! [`CallerSession`] for direct Rust callers) — and performs its own
 //! authorization against that session.
+//!
+//! # Locking
+//!
+//! Concurrent harts only serialize on the object they operate on (paper
+//! Sections IV–V): the resource map is sharded
+//! ([`crate::resource::ShardedResourceMap`]), enclave/thread metadata sits
+//! behind per-object locks resolved through read-mostly `RwLock` tables,
+//! counters and generation stamps are atomics, and the isolation backend is
+//! only locked for the narrow critical section that programs the primitive.
+//! Every acquisition follows the total order documented (and debug-enforced)
+//! in [`crate::lockorder`]; `LockingMode::Global` instead funnels every call
+//! through one FIFO ticket spinlock for the ablation study. See the
+//! "Locking discipline" section of ARCHITECTURE.md for the full argument.
 
 use crate::api::{CallOutcome, SmApi, SmCall};
 use crate::boot::SmIdentity;
 use crate::enclave::{EnclaveLifecycle, EnclaveMeta, PhysWindow};
 use crate::error::{SmError, SmResult};
+use crate::lockorder::{
+    rank, OrderedMutex, OrderedMutexGuard, OrderedRwLock, SpinLock,
+};
 use crate::mailbox::{AcceptMode, SenderIdentity, MAIL_SENDER_QUOTA, MAX_MAIL_LEN};
 use crate::measurement::{Measurement, MeasurementContext};
-use crate::resource::{ResourceId, ResourceMap, ResourceState};
+use crate::resource::{ResourceId, ResourceMap, ResourceState, ShardedResourceMap};
 use crate::session::CallerSession;
 use crate::thread::{ThreadId, ThreadMeta, ThreadState};
-use parking_lot::Mutex;
 use sanctorum_hal::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
 use sanctorum_hal::cycles::Cycles;
 use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
-use sanctorum_hal::isolation::{FlushKind, IsolationBackend, PlatformCapacity, RegionId};
+use sanctorum_hal::isolation::{
+    FlushKind, IsolationBackend, PlatformCapacity, RegionId, RegionInfo,
+};
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::hart::PrivilegeLevel;
 use sanctorum_machine::pagetable::PageTableBuilder;
 use sanctorum_machine::Machine;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// How the monitor serializes concurrent API transactions (paper Section V-A;
@@ -37,10 +54,17 @@ use std::sync::Arc;
 pub enum LockingMode {
     /// Per-object try-locks: concurrent transactions on the same object fail
     /// with [`SmError::ConcurrentCall`] and must be retried; transactions on
-    /// different objects proceed in parallel.
+    /// different objects take disjoint locks (sharded resource map,
+    /// per-enclave and per-thread records, read-locked lookup tables) and
+    /// genuinely proceed in parallel on concurrent harts. All acquisitions
+    /// follow the documented lock hierarchy ([`crate::lockorder`]), enforced
+    /// by a panicking order checker in debug builds.
     FineGrained,
-    /// A single monitor-wide lock serializes every API call (the baseline the
-    /// fine-grained design is compared against).
+    /// A single monitor-wide ticket spinlock serializes every API call (the
+    /// giant-lock baseline the fine-grained design is compared against —
+    /// see [`crate::lockorder::SpinLock`] for why it spins FIFO like real
+    /// M-mode firmware locks). The scaling bench and the locking ablation
+    /// measure exactly this serialization.
     Global,
 }
 
@@ -137,13 +161,47 @@ pub struct EnclaveEntry {
     pub cost: Cycles,
 }
 
+/// An admission-slot reservation against an atomic live-object counter:
+/// taken with a compare-and-swap *before* the (multi-step, fallible) build
+/// it admits, released on drop unless the build committed. This is what
+/// keeps `max_enclaves` a hard cap under concurrency — a load-then-check
+/// would let two harts both pass at `max - 1`.
+struct SlotReservation<'a> {
+    counter: &'a AtomicU64,
+    committed: bool,
+}
+
+impl Drop for SlotReservation<'_> {
+    fn drop(&mut self) {
+        if !self.committed {
+            self.counter.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Handle to one enclave's lock-protected metadata (rank `ENCLAVE_META`).
+type EnclaveHandle = Arc<OrderedMutex<EnclaveMeta>>;
+/// Handle to one thread's lock-protected metadata (rank `THREAD_META`).
+type ThreadHandle = Arc<OrderedMutex<ThreadMeta>>;
+
 struct SmState {
-    resources: Mutex<ResourceMap>,
-    enclaves: Mutex<BTreeMap<EnclaveId, Arc<Mutex<EnclaveMeta>>>>,
-    threads: Mutex<BTreeMap<ThreadId, Arc<Mutex<ThreadMeta>>>>,
-    /// Which enclave thread currently occupies each core.
-    core_occupancy: Mutex<BTreeMap<CoreId, ThreadId>>,
+    /// The Fig. 2 ownership map, sharded so transactions on different
+    /// resources take disjoint locks (see [`ShardedResourceMap`]).
+    resources: ShardedResourceMap,
+    /// Read-mostly: every call resolves ids through these tables but only
+    /// lifecycle calls mutate them, so lookups take shared read locks and
+    /// proceed in parallel across harts.
+    enclaves: OrderedRwLock<BTreeMap<EnclaveId, EnclaveHandle>>,
+    threads: OrderedRwLock<BTreeMap<ThreadId, ThreadHandle>>,
+    /// Which enclave thread currently occupies each core. Read-mostly
+    /// (dispatch probes it on every event; only enter/exit/AEX write).
+    core_occupancy: OrderedRwLock<BTreeMap<CoreId, ThreadId>>,
     next_tid: AtomicU64,
+    /// Relaxed count of live enclaves — the lock-free fast path for
+    /// diagnostics (`Debug` formatting must never take the table lock: it
+    /// deadlocked when a monitor was formatted while a call held enclave
+    /// state) and for the `max_enclaves` admission check.
+    live_enclaves: AtomicU64,
     /// Bumped after every enclave-table change and every audit-visible
     /// enclave-metadata change (the value is also recorded into the touched
     /// enclave's [`EnclaveMeta::audit_generation`]). Drives the incremental
@@ -156,7 +214,7 @@ struct SmState {
     /// The mail-fabric quota ledger: undelivered messages in flight per
     /// sender id, across every live recipient's queues. `send_mail` refuses a
     /// sender at [`MAIL_SENDER_QUOTA`]; delivery and teardown purges refund.
-    mail_ledger: Mutex<BTreeMap<u64, u64>>,
+    mail_ledger: OrderedMutex<BTreeMap<u64, u64>>,
     /// Bumped after every mail-fabric mutation (send, get, teardown purge).
     mail_generation: AtomicU64,
 }
@@ -315,27 +373,51 @@ impl Default for AuditCache {
 /// and the OS model mint sessions directly.
 pub struct SecurityMonitor {
     machine: Arc<Machine>,
-    backend: Mutex<Box<dyn IsolationBackend + Send>>,
-    /// Immutable backend facts cached at construction so diagnostics and the
-    /// differential explorer never take the backend lock for them.
+    /// The isolation backend, protected by the **highest-ranked** lock in
+    /// the hierarchy: it is only ever taken for the narrow critical section
+    /// that programs the isolation primitive (PMP entry / region-table
+    /// mutation plus the associated flushes), and nothing else is ever
+    /// acquired while it is held — so backend work on one hart never blocks
+    /// metadata work on another for longer than that mutation.
+    ///
+    /// PMP/page-table mutation protocol: validate against SM metadata first
+    /// (under the relevant shard/meta locks), then take the backend lock,
+    /// program the primitive, release, and only then publish the new
+    /// ownership in the metadata — with the single exception of
+    /// `create_enclave`, which programs the primitive *before* the ownership
+    /// transfer (and rolls itself back) because on capacity-limited
+    /// platforms programming is the step that can fail.
+    backend: OrderedMutex<Box<dyn IsolationBackend + Send>>,
+    /// Immutable backend facts cached at construction so diagnostics, the
+    /// differential explorer and the region-geometry lookups on the enclave
+    /// lifecycle paths never take the backend lock for them.
     platform: &'static str,
     capacity: PlatformCapacity,
+    region_infos: Vec<RegionInfo>,
     identity: SmIdentity,
     config: SmConfig,
     state: SmState,
-    global_lock: Mutex<()>,
+    /// The Global-mode giant lock (a spinlock — the M-mode monitor it
+    /// models has no scheduler to sleep on). FineGrained mode never touches
+    /// it.
+    global_lock: SpinLock,
     stats: SmStats,
-    weakening: Mutex<Option<TestWeakening>>,
-    audit_cache: Mutex<AuditCache>,
+    /// Encoded [`TestWeakening`] (0 = none): set once before exploration and
+    /// read on hot paths, so it is a relaxed atomic, not a lock.
+    weakening: AtomicU8,
+    audit_cache: OrderedMutex<AuditCache>,
 }
 
 impl std::fmt::Debug for SecurityMonitor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately lock-free: `Debug` output is often requested from
+        // panic/assert contexts that may already hold enclave state, so the
+        // count comes from the relaxed counter, never the table lock.
         write!(
             f,
             "SecurityMonitor {{ platform: {}, enclaves: {} }}",
             self.platform,
-            self.state.enclaves.lock().len()
+            self.state.live_enclaves.load(Ordering::Relaxed)
         )
     }
 }
@@ -352,14 +434,15 @@ impl SecurityMonitor {
         identity: SmIdentity,
         config: SmConfig,
     ) -> Self {
-        let mut resources = ResourceMap::new();
+        let resources = ShardedResourceMap::new();
         for i in 0..machine.num_harts() {
             resources.register(
                 ResourceId::Core(CoreId::new(i as u32)),
                 ResourceState::Owned(DomainKind::Untrusted),
             );
         }
-        for info in backend.regions() {
+        let region_infos = backend.regions();
+        for info in &region_infos {
             let owner = backend
                 .region_owner(info.id)
                 .unwrap_or(DomainKind::Untrusted);
@@ -369,27 +452,29 @@ impl SecurityMonitor {
         let capacity = backend.capacity();
         Self {
             machine,
-            backend: Mutex::new(backend),
+            backend: OrderedMutex::new(rank::BACKEND, backend),
             platform,
             capacity,
+            region_infos,
             identity,
             config,
             state: SmState {
-                resources: Mutex::new(resources),
-                enclaves: Mutex::new(BTreeMap::new()),
-                threads: Mutex::new(BTreeMap::new()),
-                core_occupancy: Mutex::new(BTreeMap::new()),
+                resources,
+                enclaves: OrderedRwLock::new(rank::ENCLAVE_TABLE, BTreeMap::new()),
+                threads: OrderedRwLock::new(rank::THREAD_TABLE, BTreeMap::new()),
+                core_occupancy: OrderedRwLock::new(rank::OCCUPANCY, BTreeMap::new()),
                 next_tid: AtomicU64::new(0x1000),
+                live_enclaves: AtomicU64::new(0),
                 enclaves_generation: AtomicU64::new(0),
                 threads_generation: AtomicU64::new(0),
                 occupancy_generation: AtomicU64::new(0),
-                mail_ledger: Mutex::new(BTreeMap::new()),
+                mail_ledger: OrderedMutex::new(rank::MAIL_LEDGER, BTreeMap::new()),
                 mail_generation: AtomicU64::new(0),
             },
-            global_lock: Mutex::new(()),
+            global_lock: SpinLock::new(),
             stats: SmStats::default(),
-            weakening: Mutex::new(None),
-            audit_cache: Mutex::new(AuditCache::default()),
+            weakening: AtomicU8::new(0),
+            audit_cache: OrderedMutex::new(rank::AUDIT_CACHE, AuditCache::default()),
         }
     }
 
@@ -435,15 +520,26 @@ impl SecurityMonitor {
     /// the OS model or the benches ever sets this.
     #[doc(hidden)]
     pub fn weaken_for_testing(&self, weakening: Option<TestWeakening>) {
-        *self.weakening.lock() = weakening;
+        let encoded = match weakening {
+            None => 0,
+            Some(TestWeakening::SkipRegionScrub) => 1,
+            Some(TestWeakening::SkipCoreClean) => 2,
+        };
+        self.weakening.store(encoded, Ordering::Relaxed);
     }
 
+    /// Hot-path weakening probe: a relaxed atomic load (the value is set
+    /// once, before exploration starts), never a lock.
     fn weakened_by(&self, weakening: TestWeakening) -> bool {
-        *self.weakening.lock() == Some(weakening)
+        let encoded = match weakening {
+            TestWeakening::SkipRegionScrub => 1,
+            TestWeakening::SkipCoreClean => 2,
+        };
+        self.weakening.load(Ordering::Relaxed) == encoded
     }
 
     // ------------------------------------------------------------------
-    // locking helpers
+    // locking helpers (see the hierarchy table in `crate::lockorder`)
     // ------------------------------------------------------------------
 
     fn with_global_lock<R>(&self, f: impl FnOnce() -> R) -> R {
@@ -456,26 +552,29 @@ impl SecurityMonitor {
         }
     }
 
-    fn lock_enclave(&self, eid: EnclaveId) -> SmResult<Arc<Mutex<EnclaveMeta>>> {
+    fn lock_enclave(&self, eid: EnclaveId) -> SmResult<EnclaveHandle> {
         self.state
             .enclaves
-            .lock()
+            .read()
             .get(&eid)
             .cloned()
             .ok_or(SmError::UnknownEnclave(eid))
     }
 
-    fn lock_thread(&self, tid: ThreadId) -> SmResult<Arc<Mutex<ThreadMeta>>> {
+    fn lock_thread(&self, tid: ThreadId) -> SmResult<ThreadHandle> {
         self.state
             .threads
-            .lock()
+            .read()
             .get(&tid)
             .cloned()
             .ok_or(SmError::UnknownThread(tid))
     }
 
-    /// Acquires an object lock following the configured locking discipline.
-    fn try_lock<'a, T>(&self, mutex: &'a Mutex<T>) -> SmResult<parking_lot::MutexGuard<'a, T>> {
+    /// Acquires an object lock following the configured locking discipline:
+    /// try-lock with [`SmError::ConcurrentCall`] on conflict in FineGrained
+    /// mode, a blocking acquire in Global mode (the giant lock has already
+    /// serialized the call, so the block can never be a wait).
+    fn try_lock<'a, T>(&self, mutex: &'a OrderedMutex<T>) -> SmResult<OrderedMutexGuard<'a, T>> {
         match self.config.locking {
             LockingMode::FineGrained => mutex.try_lock().ok_or_else(|| {
                 self.stats.concurrency_failures.fetch_add(1, Ordering::Relaxed);
@@ -483,6 +582,35 @@ impl SecurityMonitor {
             }),
             LockingMode::Global => Ok(mutex.lock()),
         }
+    }
+
+    /// Acquires the shard holding `id` under the locking discipline.
+    fn try_lock_shard(&self, id: ResourceId) -> SmResult<OrderedMutexGuard<'_, ResourceMap>> {
+        self.try_lock(self.state.resources.shard(id))
+    }
+
+    /// Acquires every resource shard, in ascending shard (= lock-rank)
+    /// order, under the locking discipline — the whole-map view the
+    /// delete-enclave ownership sweep needs. In FineGrained mode any
+    /// conflict releases everything acquired so far and reports
+    /// [`SmError::ConcurrentCall`]; because every multi-shard transaction
+    /// acquires in the same ascending order, the holder of the lowest
+    /// contended shard always makes progress (no livelock).
+    fn try_lock_all_shards(&self) -> SmResult<Vec<OrderedMutexGuard<'_, ResourceMap>>> {
+        let mut guards = Vec::with_capacity(self.state.resources.shards().len());
+        for shard in self.state.resources.shards() {
+            guards.push(self.try_lock(shard)?);
+        }
+        Ok(guards)
+    }
+
+    /// The cached geometry record for `region`.
+    fn region_info(&self, region: RegionId) -> SmResult<RegionInfo> {
+        self.region_infos
+            .iter()
+            .find(|r| r.id == region)
+            .copied()
+            .ok_or(SmError::UnknownResource)
     }
 
     // ------------------------------------------------------------------
@@ -519,6 +647,11 @@ impl SecurityMonitor {
     /// Marks the mail fabric (queues or quota ledger) as changed.
     fn touch_mail(&self) {
         self.state.mail_generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks the resource map as changed (any committed Fig. 2 transition).
+    fn touch_resources(&self) {
+        self.state.resources.touch();
     }
 
     /// Refunds one undelivered-message unit to `sender_id` in the quota
@@ -563,9 +696,15 @@ impl SecurityMonitor {
         meta.measurement()
     }
 
-    /// Returns the ids of all live enclaves (diagnostic).
+    /// Returns the ids of all live enclaves (diagnostic; shared read lock).
     pub fn enclaves(&self) -> Vec<EnclaveId> {
-        self.state.enclaves.lock().keys().copied().collect()
+        self.state.enclaves.read().keys().copied().collect()
+    }
+
+    /// Returns the number of live enclaves from the relaxed counter — the
+    /// lock-free fast path `Debug` and load-shedding diagnostics use.
+    pub fn live_enclave_count(&self) -> usize {
+        self.state.live_enclaves.load(Ordering::Relaxed) as usize
     }
 
     /// Takes a consistent [`AuditSnapshot`] of the monitor's
@@ -584,21 +723,19 @@ impl SecurityMonitor {
         let mut cache = self.audit_cache.lock();
         let mut generations = AuditGenerations::default();
 
-        {
-            let resources = self.state.resources.lock();
-            if cache.resources_gen != resources.generation() {
-                cache.resources = Arc::new(resources.snapshot());
-                cache.resources_gen = resources.generation();
-            }
-            generations.resources = cache.resources_gen;
+        // Every generation is read *before* the state it covers, so a
+        // concurrent mutation can only make the cached data newer than the
+        // recorded generation — the next audit then conservatively rebuilds.
+        let resources_gen = self.state.resources.generation();
+        if cache.resources_gen != resources_gen {
+            cache.resources = Arc::new(self.state.resources.snapshot());
+            cache.resources_gen = resources_gen;
         }
+        generations.resources = cache.resources_gen;
 
-        // The generation is read *before* the table, so a concurrent
-        // mutation can only make the cached data newer than the recorded
-        // generation — the next audit then conservatively rebuilds.
         let enclaves_gen = self.state.enclaves_generation.load(Ordering::Relaxed);
         if cache.enclaves_gen != enclaves_gen {
-            let table = self.state.enclaves.lock();
+            let table = self.state.enclaves.read();
             cache.enclaves.retain(|eid, _| table.contains_key(eid));
             for (eid, enclave) in table.iter() {
                 let meta = enclave.lock();
@@ -620,7 +757,7 @@ impl SecurityMonitor {
             cache.core_occupancy = Arc::new(
                 self.state
                     .core_occupancy
-                    .lock()
+                    .read()
                     .iter()
                     .map(|(core, tid)| (*core, *tid))
                     .collect(),
@@ -658,15 +795,13 @@ impl SecurityMonitor {
     /// is property-tested against (and the baseline of the audit ablation
     /// bench).
     pub fn audit_full(&self) -> AuditSnapshot {
-        let (resources, resources_gen) = {
-            let resources = self.state.resources.lock();
-            (Arc::new(resources.snapshot()), resources.generation())
-        };
+        let resources_gen = self.state.resources.generation();
+        let resources = Arc::new(self.state.resources.snapshot());
         let enclaves_gen = self.state.enclaves_generation.load(Ordering::Relaxed);
         let enclaves = self
             .state
             .enclaves
-            .lock()
+            .read()
             .values()
             .map(|enclave| Arc::new(Self::enclave_audit(&enclave.lock())))
             .collect();
@@ -674,7 +809,7 @@ impl SecurityMonitor {
         let core_occupancy = Arc::new(
             self.state
                 .core_occupancy
-                .lock()
+                .read()
                 .iter()
                 .map(|(core, tid)| (*core, *tid))
                 .collect::<Vec<_>>(),
@@ -720,18 +855,19 @@ impl SecurityMonitor {
         }
     }
 
-    /// Returns the current state of a resource (diagnostic / test helper).
+    /// Returns the current state of a resource (diagnostic / test helper;
+    /// locks only the resource's shard).
     ///
     /// # Errors
     ///
     /// Fails if the resource is unknown.
     pub fn resource_state(&self, id: ResourceId) -> SmResult<ResourceState> {
-        self.state.resources.lock().state(id)
+        self.state.resources.state(id)
     }
 
-    /// Returns the thread currently occupying `core`, if any.
+    /// Returns the thread currently occupying `core`, if any (shared read).
     pub fn thread_on_core(&self, core: CoreId) -> Option<ThreadId> {
-        self.state.core_occupancy.lock().get(&core).copied()
+        self.state.core_occupancy.read().get(&core).copied()
     }
 
     /// Returns a thread's metadata snapshot (test/diagnostic helper).
@@ -751,7 +887,7 @@ impl SecurityMonitor {
 
     /// Returns the ids of all live threads (diagnostic; no metadata cloned).
     pub fn thread_ids(&self) -> Vec<ThreadId> {
-        self.state.threads.lock().keys().copied().collect()
+        self.state.threads.read().keys().copied().collect()
     }
 
     /// Returns a thread's current state machine position without cloning the
@@ -790,21 +926,28 @@ impl SecurityMonitor {
             let tid = *self
                 .state
                 .core_occupancy
-                .lock()
+                .read()
                 .get(&core)
                 .ok_or(SmError::InvalidState {
                     reason: "no enclave thread runs on this core",
                 })?;
             let thread = self.lock_thread(tid)?;
-            let mut t = self.try_lock(&thread)?;
-            // Save the enclave's architected state before anything is wiped.
-            let snapshot = self.machine.hart(core).snapshot();
-            t.aex_state = Some(snapshot);
-            t.aex_pending = true;
-            let (eid, _) = t.stop_running()?;
-            self.touch_threads();
-            self.state.core_occupancy.lock().remove(&core);
-            self.touch_occupancy();
+            let eid = {
+                let mut t = self.try_lock(&thread)?;
+                // Save the enclave's architected state before anything is
+                // wiped.
+                let snapshot = self.machine.hart(core).snapshot();
+                t.aex_state = Some(snapshot);
+                t.aex_pending = true;
+                let (eid, _) = t.stop_running()?;
+                self.touch_threads();
+                self.state.core_occupancy.write().remove(&core);
+                self.touch_occupancy();
+                eid
+                // The thread guard drops here: enclave metadata sits below
+                // thread metadata in the lock hierarchy, so the owner's
+                // running count is settled after the hand-off is published.
+            };
             if let Ok(enclave) = self.lock_enclave(eid) {
                 let mut meta = enclave.lock();
                 meta.running_threads = meta.running_threads.saturating_sub(1);
@@ -870,16 +1013,49 @@ impl SmApi for SecurityMonitor {
                     reason: "at least one memory region is required",
                 });
             }
-            if self.state.enclaves.lock().len() >= self.config.max_enclaves {
+            // Reserve a metadata slot atomically: a plain load-then-check
+            // would let two concurrent creations both pass at
+            // `max_enclaves - 1` and overshoot the cap. The reservation is
+            // released by the guard on every failure path below and
+            // consumed (defused) by the table insert.
+            if self
+                .state
+                .live_enclaves
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    (n < self.config.max_enclaves as u64).then_some(n + 1)
+                })
+                .is_err()
+            {
                 return Err(SmError::OutOfResources {
                     resource: "enclave metadata slots",
                 });
             }
+            let mut slot = SlotReservation {
+                counter: &self.state.live_enclaves,
+                committed: false,
+            };
 
-            let mut resources = self.try_lock(&self.state.resources)?;
+            // Lock the shards holding the requested regions, in ascending
+            // shard order (the lock hierarchy); disjoint creations take
+            // disjoint locks and proceed in parallel.
+            let mut shard_indices: Vec<usize> = regions
+                .iter()
+                .map(|r| crate::resource::shard_of(ResourceId::Region(*r)))
+                .collect();
+            shard_indices.sort_unstable();
+            shard_indices.dedup();
+            let shards = self.state.resources.shards();
+            let mut guards: BTreeMap<usize, OrderedMutexGuard<'_, ResourceMap>> = BTreeMap::new();
+            for index in shard_indices {
+                guards.insert(index, self.try_lock(&shards[index])?);
+            }
             // All regions must be available before anything is mutated.
             for region in regions {
-                match resources.state(ResourceId::Region(*region))? {
+                let id = ResourceId::Region(*region);
+                let guard = guards
+                    .get_mut(&crate::resource::shard_of(id))
+                    .expect("shard locked above");
+                match guard.state(id)? {
                     ResourceState::Available => {}
                     _ => {
                         return Err(SmError::ResourceStateViolation {
@@ -889,14 +1065,11 @@ impl SmApi for SecurityMonitor {
                 }
             }
 
-            let mut backend = self.backend.lock();
+            // Geometry comes from the construction-time cache, not the
+            // backend lock: region layout is immutable platform fact.
             let mut windows: Vec<PhysWindow> = Vec::with_capacity(regions.len());
             for region in regions {
-                let info = backend
-                    .regions()
-                    .into_iter()
-                    .find(|r| r.id == *region)
-                    .ok_or(SmError::UnknownResource)?;
+                let info = self.region_info(*region)?;
                 windows.push(PhysWindow {
                     region: *region,
                     base: info.base,
@@ -905,66 +1078,80 @@ impl SmApi for SecurityMonitor {
             }
             windows.sort_by_key(|w| w.base);
             let eid = EnclaveId::new(windows[0].base.as_u64());
-            if self.state.enclaves.lock().contains_key(&eid) {
+            if self.state.enclaves.read().contains_key(&eid) {
                 return Err(SmError::InvalidState {
                     reason: "an enclave already uses this memory",
                 });
             }
 
-            // Commit phase 1: program the isolation primitive. On a
-            // capacity-limited platform (Keystone PMP) this is the step that
-            // can fail, so it runs before any ownership transfer and rolls
-            // itself back — granting first would strand regions owned by an
-            // enclave that never came to exist (found by the adversarial
-            // explorer under PMP exhaustion).
-            let mut assigned = 0usize;
-            let mut commit_error = None;
-            for window in &windows {
-                match backend.assign_region(window.region, DomainKind::Enclave(eid), MemPerms::RWX)
-                {
-                    Ok(cost) => {
-                        self.machine.charge(cost);
-                        // The window counts as assigned from here on, so a
-                        // DMA-blocking failure below still rolls it back.
-                        assigned += 1;
+            // Commit phase 1: program the isolation primitive, inside the
+            // narrow backend critical section. On a capacity-limited
+            // platform (Keystone PMP) this is the step that can fail, so it
+            // runs before any ownership transfer and rolls itself back —
+            // granting first would strand regions owned by an enclave that
+            // never came to exist (found by the adversarial explorer under
+            // PMP exhaustion). The shard guards stay held across it, so a
+            // concurrent transaction cannot re-grant a region the rollback
+            // is about to return.
+            {
+                let mut backend = self.backend.lock();
+                let mut assigned = 0usize;
+                let mut commit_error = None;
+                for window in &windows {
+                    match backend.assign_region(
+                        window.region,
+                        DomainKind::Enclave(eid),
+                        MemPerms::RWX,
+                    ) {
+                        Ok(cost) => {
+                            self.machine.charge(cost);
+                            // The window counts as assigned from here on, so
+                            // a DMA-blocking failure below still rolls it
+                            // back.
+                            assigned += 1;
+                        }
+                        Err(err) => {
+                            commit_error = Some(SmError::Platform(err));
+                            break;
+                        }
                     }
-                    Err(err) => {
+                    if let Err(err) = backend.set_dma_blocked(window.region, true) {
                         commit_error = Some(SmError::Platform(err));
                         break;
                     }
                 }
-                if let Err(err) = backend.set_dma_blocked(window.region, true) {
-                    commit_error = Some(SmError::Platform(err));
-                    break;
-                }
-            }
-            if let Some(err) = commit_error {
-                for window in windows.iter().take(assigned) {
-                    // Handing a unit back to the untrusted owner frees the
-                    // isolation resource; it cannot itself exhaust anything.
-                    if let Ok(cost) = backend.assign_region(
-                        window.region,
-                        DomainKind::Untrusted,
-                        MemPerms::RWX,
-                    ) {
-                        self.machine.charge(cost);
+                if let Some(err) = commit_error {
+                    for window in windows.iter().take(assigned) {
+                        // Handing a unit back to the untrusted owner frees
+                        // the isolation resource; it cannot itself exhaust
+                        // anything.
+                        if let Ok(cost) = backend.assign_region(
+                            window.region,
+                            DomainKind::Untrusted,
+                            MemPerms::RWX,
+                        ) {
+                            self.machine.charge(cost);
+                        }
+                        // The trait does not promise assign_region resets
+                        // DMA filtering, so restore it explicitly:
+                        // untrusted-owned memory accepts DMA again.
+                        let _ = backend.set_dma_blocked(window.region, false);
                     }
-                    // The trait does not promise assign_region resets DMA
-                    // filtering, so restore it explicitly: untrusted-owned
-                    // memory accepts DMA again.
-                    let _ = backend.set_dma_blocked(window.region, false);
+                    return Err(err);
                 }
-                return Err(err);
+                // The backend lock drops here — phase 2 is pure metadata.
             }
             // Commit phase 2: ownership transfer — every region was
-            // validated *Available* above, so the transitions cannot fail.
+            // validated *Available* above (and its shard is still locked),
+            // so the transitions cannot fail.
             for region in regions {
-                resources.grant(
-                    DomainKind::SecurityMonitor,
-                    ResourceId::Region(*region),
-                    DomainKind::Enclave(eid),
-                )?;
+                let id = ResourceId::Region(*region);
+                guards
+                    .get_mut(&crate::resource::shard_of(id))
+                    .expect("shard locked above")
+                    .grant(DomainKind::SecurityMonitor, id, DomainKind::Enclave(eid))?;
             }
+            self.touch_resources();
 
             let ctx = MeasurementContext::start(
                 &self.identity.sm_measurement,
@@ -978,8 +1165,10 @@ impl SmApi for SecurityMonitor {
             self.touch_enclave(&mut meta);
             self.state
                 .enclaves
-                .lock()
-                .insert(eid, Arc::new(Mutex::new(meta)));
+                .write()
+                .insert(eid, Arc::new(OrderedMutex::new(rank::ENCLAVE_META, meta)));
+            // The insert consumes the slot reserved at admission.
+            slot.committed = true;
             self.touch_enclave_table();
             Ok(eid)
         }))
@@ -1101,17 +1290,21 @@ impl SmApi for SecurityMonitor {
             let enclave = self.lock_enclave(eid)?;
             let mut meta = self.try_lock(&enclave)?;
             meta.require_loading()?;
-            if self.state.threads.lock().len() >= self.config.max_threads {
-                return Err(SmError::OutOfResources {
-                    resource: "thread metadata slots",
-                });
-            }
-            let tid = self.state.next_tid.fetch_add(1, Ordering::Relaxed);
-            let thread = ThreadMeta::loaded(tid, eid, entry_pc, fault_handler_pc);
-            self.state
-                .threads
-                .lock()
-                .insert(tid, Arc::new(Mutex::new(thread)));
+            // Admission check and insert under one write lock: a dropped
+            // read guard between them would let two concurrent loads both
+            // pass at `max_threads - 1`.
+            let tid = {
+                let mut threads = self.state.threads.write();
+                if threads.len() >= self.config.max_threads {
+                    return Err(SmError::OutOfResources {
+                        resource: "thread metadata slots",
+                    });
+                }
+                let tid = self.state.next_tid.fetch_add(1, Ordering::Relaxed);
+                let thread = ThreadMeta::loaded(tid, eid, entry_pc, fault_handler_pc);
+                threads.insert(tid, Arc::new(OrderedMutex::new(rank::THREAD_META, thread)));
+                tid
+            };
             self.touch_threads();
             meta.threads.push(tid);
             self.touch_enclave(&mut meta);
@@ -1152,53 +1345,75 @@ impl SmApi for SecurityMonitor {
     fn delete_enclave(&self, session: CallerSession, eid: EnclaveId) -> SmResult<()> {
         self.record_call(self.with_global_lock(|| {
             session.require_os()?;
+            // The ownership sweep needs the whole-map view (the OS may have
+            // granted the enclave regions beyond its windows), so every
+            // shard is acquired up front, in ascending rank order — shard
+            // ranks sit below the metadata ranks, so taking them *first*
+            // lets the enclave's own metadata guard stay held from the
+            // running-threads validation all the way through thread removal
+            // and region blocking. Without that span a concurrent
+            // `enter_enclave` could start a thread between the check and
+            // the commit and end up executing inside an enclave whose
+            // regions were just blocked out from under it.
+            let mut shards = self.try_lock_all_shards()?;
             let enclave = self.lock_enclave(eid)?;
-            let owned_tids: Vec<ThreadId> = {
+            {
                 let meta = self.try_lock(&enclave)?;
                 if meta.running_threads > 0 {
                     return Err(SmError::InvalidState {
                         reason: "enclave has running threads",
                     });
                 }
-                let threads = self.state.threads.lock();
-                for tid in &meta.threads {
-                    if let Some(thread) = threads.get(tid) {
-                        if matches!(thread.lock().state, ThreadState::Running { .. }) {
-                            return Err(SmError::InvalidState {
-                                reason: "enclave has running threads",
-                            });
+                let owned_tids: Vec<ThreadId> = {
+                    let threads = self.state.threads.read();
+                    for tid in &meta.threads {
+                        if let Some(thread) = threads.get(tid) {
+                            if matches!(thread.lock().state, ThreadState::Running { .. }) {
+                                return Err(SmError::InvalidState {
+                                    reason: "enclave has running threads",
+                                });
+                            }
                         }
                     }
+                    meta.threads.clone()
+                };
+                // The enclave's thread metadata lives in SM memory on its
+                // behalf; destroying the enclave reclaims those slots.
+                // Removing it while the enclave guard is held means any
+                // later `enter_enclave` that squeezes in before the table
+                // removal fails on the thread lookup.
+                {
+                    let mut threads = self.state.threads.write();
+                    for tid in owned_tids {
+                        threads.remove(&tid);
+                    }
                 }
-                meta.threads.clone()
-            };
-            // The enclave's thread metadata lives in SM memory on its behalf;
-            // destroying the enclave reclaims those slots.
-            {
-                let mut threads = self.state.threads.lock();
-                for tid in owned_tids {
-                    threads.remove(&tid);
+                self.touch_threads();
+                // Block all of the enclave's regions (they stay
+                // inaccessible to everyone until cleaned). A resource may
+                // already be blocked under this id: enclave ids are
+                // physical addresses, so after a delete whose blocked
+                // regions the OS never cleaned, a new enclave over the same
+                // base region reuses the id and inherits the stale flags.
+                // The goal state (flagged for release) is already reached
+                // there, and skipping keeps the commit loop total — failing
+                // halfway would strand a live enclave with blocked windows
+                // (found by the adversarial explorer).
+                for shard in shards.iter_mut() {
+                    let owned = shard.owned_by(DomainKind::Enclave(eid));
+                    for rid in owned {
+                        if let Ok(ResourceState::Blocked(_)) = shard.state(rid) {
+                            continue;
+                        }
+                        shard.block(DomainKind::SecurityMonitor, rid)?;
+                    }
                 }
+                // The meta guard drops here; the mail purge below locks
+                // *other* enclaves' records at the same rank, so it must
+                // run without ours held.
             }
-            self.touch_threads();
-            // Block all of the enclave's regions (they stay inaccessible to
-            // everyone until cleaned). A resource may already be blocked
-            // under this id: enclave ids are physical addresses, so after a
-            // delete whose blocked regions the OS never cleaned, a new
-            // enclave over the same base region reuses the id and inherits
-            // the stale flags. The goal state (flagged for release) is
-            // already reached there, and skipping keeps the commit loop
-            // total — failing halfway would strand a live enclave with
-            // blocked windows (found by the adversarial explorer).
-            let mut resources = self.try_lock(&self.state.resources)?;
-            let owned = resources.owned_by(DomainKind::Enclave(eid));
-            for rid in owned {
-                if let Ok(ResourceState::Blocked(_)) = resources.state(rid) {
-                    continue;
-                }
-                resources.block(DomainKind::SecurityMonitor, rid)?;
-            }
-            drop(resources);
+            drop(shards);
+            self.touch_resources();
             // Mail-fabric teardown — placed after the last fallible step so
             // a delete refused by a lock conflict can never have already
             // destroyed a still-live enclave's in-flight mail. Scrub every
@@ -1217,7 +1432,7 @@ impl SmApi for SecurityMonitor {
             // the ledger is settled afterwards on its own.
             let mut purged_any = false;
             {
-                let table = self.state.enclaves.lock();
+                let table = self.state.enclaves.read();
                 for (other_id, other) in table.iter() {
                     if *other_id == eid {
                         continue;
@@ -1260,8 +1475,32 @@ impl SmApi for SecurityMonitor {
                     self.touch_mail();
                 }
             }
-            self.state.enclaves.lock().remove(&eid);
+            self.state.enclaves.write().remove(&eid);
+            self.state.live_enclaves.fetch_sub(1, Ordering::Relaxed);
             self.touch_enclave_table();
+            // Post-removal sweep: a concurrent `grant_resource` may have
+            // granted this enclave a region between the ownership sweep
+            // above and the table removal (its liveness re-check passed
+            // while the enclave was still listed). The enclave is gone from
+            // the table now, so no further grant can name it — blocking
+            // whatever such a straggler left behind makes "no resource owned
+            // by a dead enclave" hold at every quiescent point. Blocking
+            // acquires are safe here: nothing else is held, and the sweep is
+            // a no-op in the common case.
+            let mut swept_any = false;
+            for shard in self.state.resources.shards() {
+                let mut shard = shard.lock();
+                for rid in shard.owned_by(DomainKind::Enclave(eid)) {
+                    if let Ok(ResourceState::Blocked(_)) = shard.state(rid) {
+                        continue;
+                    }
+                    shard.block(DomainKind::SecurityMonitor, rid)?;
+                    swept_any = true;
+                }
+            }
+            if swept_any {
+                self.touch_resources();
+            }
             Ok(())
         }))
     }
@@ -1272,16 +1511,19 @@ impl SmApi for SecurityMonitor {
 
     fn block_resource(&self, session: CallerSession, id: ResourceId) -> SmResult<()> {
         self.record_call(self.with_global_lock(|| {
-            let mut resources = self.try_lock(&self.state.resources)?;
-            resources.block(session.domain(), id)
+            let mut shard = self.try_lock_shard(id)?;
+            shard.block(session.domain(), id)?;
+            drop(shard);
+            self.touch_resources();
+            Ok(())
         }))
     }
 
     fn clean_resource(&self, session: CallerSession, id: ResourceId) -> SmResult<Cycles> {
         self.record_call(self.with_global_lock(|| {
-            let mut resources = self.try_lock(&self.state.resources)?;
+            let mut shard = self.try_lock_shard(id)?;
             // Validate the transition first (without committing).
-            match resources.state(id)? {
+            match shard.state(id)? {
                 ResourceState::Blocked(_) => {}
                 _ => {
                     return Err(SmError::ResourceStateViolation {
@@ -1294,6 +1536,10 @@ impl SmApi for SecurityMonitor {
                 return Err(SmError::Unauthorized);
             }
 
+            // The shard guard is held across the hardware cleaning, so a
+            // concurrent transaction on the same resource keeps failing
+            // with `ConcurrentCall` until the scrub has committed — the
+            // clean-before-reuse window stays closed on every hart.
             let mut cost = Cycles::ZERO;
             match id {
                 ResourceId::Core(core) => {
@@ -1303,13 +1549,10 @@ impl SmApi for SecurityMonitor {
                     cost += backend.flush(core, FlushKind::PrivateCaches)?;
                 }
                 ResourceId::Region(region) => {
-                    let mut backend = self.backend.lock();
-                    let info = backend
-                        .regions()
-                        .into_iter()
-                        .find(|r| r.id == region)
-                        .ok_or(SmError::UnknownResource)?;
-                    // Zero every page of the region.
+                    let info = self.region_info(region)?;
+                    // Zero every page of the region — outside the backend
+                    // lock; the memory writes go through the machine's own
+                    // DRAM lock and need no isolation-primitive access.
                     if !self.weakened_by(TestWeakening::SkipRegionScrub) {
                         for page in 0..info.page_count() {
                             self.machine
@@ -1317,15 +1560,20 @@ impl SmApi for SecurityMonitor {
                             cost += self.machine.cost_model().zero_page;
                         }
                     }
-                    cost += backend.flush_region_cache(region)?;
-                    cost += backend.tlb_shootdown(region)?;
+                    {
+                        let mut backend = self.backend.lock();
+                        cost += backend.flush_region_cache(region)?;
+                        cost += backend.tlb_shootdown(region)?;
+                    }
                     self.machine.tlb_shootdown(info.base, info.len);
                 }
             }
             self.stats
                 .cleaning_cycles
                 .fetch_add(cost.count(), Ordering::Relaxed);
-            resources.clean(caller, id)?;
+            shard.clean(caller, id)?;
+            drop(shard);
+            self.touch_resources();
             Ok(cost)
         }))
     }
@@ -1342,23 +1590,56 @@ impl SmApi for SecurityMonitor {
                     reason: "resources cannot be granted to the SM through this call",
                 });
             }
+            let mut shard = self.try_lock_shard(id)?;
             // Granting to an enclave that does not exist would strand the
             // resource in a state nobody can use or reclaim through the
             // normal transitions — the owner can never block it. (Found by
-            // the adversarial explorer's exclusivity invariant.)
+            // the adversarial explorer's exclusivity invariant.) The
+            // liveness check runs *while the shard is held* (shard ranks sit
+            // below the enclave table, so the order is legal): a racing
+            // `delete_enclave` either already removed the enclave — the
+            // check fails here — or removes it afterwards and catches this
+            // grant in its post-removal sweep.
             if let DomainKind::Enclave(eid) = new_owner {
-                if !self.state.enclaves.lock().contains_key(&eid) {
+                if !self.state.enclaves.read().contains_key(&eid) {
                     return Err(SmError::UnknownEnclave(eid));
                 }
             }
-            let mut resources = self.try_lock(&self.state.resources)?;
-            resources.grant(session.domain(), id, new_owner)?;
+            // Validate without committing (authorization first, mirroring
+            // `ResourceMap::grant`), then program the isolation primitive,
+            // and only then publish the ownership transfer — the
+            // validate → program → publish protocol. Committing first would
+            // leave the map claiming an owner the hardware never isolates
+            // when the backend fails (PMP exhaustion), and nobody could
+            // reclaim the region through the normal transitions.
+            let caller = session.domain();
+            if caller != DomainKind::Untrusted && caller != DomainKind::SecurityMonitor {
+                return Err(SmError::Unauthorized);
+            }
+            match shard.state(id)? {
+                ResourceState::Available => {}
+                _ => {
+                    return Err(SmError::ResourceStateViolation {
+                        reason: "resource must be available to be granted",
+                    })
+                }
+            }
             if let ResourceId::Region(region) = id {
                 let mut backend = self.backend.lock();
                 let cost = backend.assign_region(region, new_owner, MemPerms::RWX)?;
-                backend.set_dma_blocked(region, new_owner != DomainKind::Untrusted)?;
+                if let Err(err) = backend.set_dma_blocked(region, new_owner != DomainKind::Untrusted)
+                {
+                    // Roll the assignment back to the untrusted default so
+                    // hardware and (still-unmutated) metadata agree.
+                    let _ = backend.assign_region(region, DomainKind::Untrusted, MemPerms::RWX);
+                    let _ = backend.set_dma_blocked(region, false);
+                    return Err(SmError::Platform(err));
+                }
                 self.machine.charge(cost);
             }
+            shard.grant(caller, id, new_owner)?;
+            drop(shard);
+            self.touch_resources();
             Ok(())
         }))
     }
@@ -1387,7 +1668,7 @@ impl SmApi for SecurityMonitor {
             meta.require_initialized()?;
             let mut t = self.try_lock(&thread)?;
             {
-                let mut occupancy = self.state.core_occupancy.lock();
+                let mut occupancy = self.state.core_occupancy.write();
                 if occupancy.contains_key(&core) {
                     return Err(SmError::InvalidState {
                         reason: "core already runs an enclave thread",
@@ -1448,22 +1729,26 @@ impl SmApi for SecurityMonitor {
             let tid = *self
                 .state
                 .core_occupancy
-                .lock()
+                .read()
                 .get(&core)
                 .ok_or(SmError::InvalidState {
                     reason: "no enclave thread runs on this core",
                 })?;
             let thread = self.lock_thread(tid)?;
-            let mut t = self.try_lock(&thread)?;
-            let (owner, _) = t.stop_running()?;
-            self.touch_threads();
-            if owner != eid {
-                // Should be unreachable: the caller identity comes from the
-                // hart, which the SM itself configured.
-                return Err(SmError::Unauthorized);
+            {
+                let mut t = self.try_lock(&thread)?;
+                let (owner, _) = t.stop_running()?;
+                self.touch_threads();
+                if owner != eid {
+                    // Should be unreachable: the caller identity comes from
+                    // the hart, which the SM itself configured.
+                    return Err(SmError::Unauthorized);
+                }
+                self.state.core_occupancy.write().remove(&core);
+                self.touch_occupancy();
+                // The thread guard drops before the enclave metadata lock
+                // (enclave metadata ranks below thread metadata).
             }
-            self.state.core_occupancy.lock().remove(&core);
-            self.touch_occupancy();
             if let Ok(enclave) = self.lock_enclave(eid) {
                 let mut meta = enclave.lock();
                 meta.running_threads = meta.running_threads.saturating_sub(1);
@@ -1477,16 +1762,23 @@ impl SmApi for SecurityMonitor {
     fn create_thread(&self, session: CallerSession, entry_pc: u64) -> SmResult<ThreadId> {
         self.record_call(self.with_global_lock(|| {
             session.require_os()?;
-            if self.state.threads.lock().len() >= self.config.max_threads {
+            // Admission check and insert under one write lock (see
+            // `load_thread`): the cap must hold against concurrent creates.
+            let mut threads = self.state.threads.write();
+            if threads.len() >= self.config.max_threads {
                 return Err(SmError::OutOfResources {
                     resource: "thread metadata slots",
                 });
             }
             let tid = self.state.next_tid.fetch_add(1, Ordering::Relaxed);
-            self.state
-                .threads
-                .lock()
-                .insert(tid, Arc::new(Mutex::new(ThreadMeta::available(tid, entry_pc))));
+            threads.insert(
+                tid,
+                Arc::new(OrderedMutex::new(
+                    rank::THREAD_META,
+                    ThreadMeta::available(tid, entry_pc),
+                )),
+            );
+            drop(threads);
             self.touch_threads();
             Ok(tid)
         }))
@@ -1504,7 +1796,7 @@ impl SmApi for SecurityMonitor {
                     });
                 }
             }
-            self.state.threads.lock().remove(&tid);
+            self.state.threads.write().remove(&tid);
             self.touch_threads();
             Ok(())
         }))
@@ -1531,9 +1823,12 @@ impl SmApi for SecurityMonitor {
         self.record_call(self.with_global_lock(|| {
             let eid = session.require_enclave()?;
             let thread = self.lock_thread(tid)?;
-            let mut t = self.try_lock(&thread)?;
-            t.accept(eid)?;
-            self.touch_threads();
+            {
+                let mut t = self.try_lock(&thread)?;
+                t.accept(eid)?;
+                self.touch_threads();
+                // Drop before the enclave metadata lock (hierarchy).
+            }
             if let Ok(enclave) = self.lock_enclave(eid) {
                 let mut meta = enclave.lock();
                 meta.threads.push(tid);
@@ -1547,9 +1842,12 @@ impl SmApi for SecurityMonitor {
         self.record_call(self.with_global_lock(|| {
             let eid = session.require_enclave()?;
             let thread = self.lock_thread(tid)?;
-            let mut t = self.try_lock(&thread)?;
-            t.release(eid)?;
-            self.touch_threads();
+            {
+                let mut t = self.try_lock(&thread)?;
+                t.release(eid)?;
+                self.touch_threads();
+                // Drop before the enclave metadata lock (hierarchy).
+            }
             if let Ok(enclave) = self.lock_enclave(eid) {
                 let mut meta = enclave.lock();
                 meta.threads.retain(|&x| x != tid);
@@ -1729,8 +2027,11 @@ impl SmApi for SecurityMonitor {
     fn get_field(&self, _session: CallerSession, field: PublicField) -> Vec<u8> {
         // Public identity material is available to every caller; the session
         // is accepted (not authorized) so the call shape matches the rest of
-        // the surface.
-        match field {
+        // the surface. The read itself touches only immutable identity
+        // state, so the fine-grained mode takes **no lock at all** — this is
+        // the read-mostly fast path the scaling bench measures — while the
+        // global mode honestly pays the giant lock like every other call.
+        self.with_global_lock(|| match field {
             PublicField::AttestationPublicKey => {
                 self.identity.attestation_keypair.public().to_bytes().to_vec()
             }
@@ -1748,7 +2049,7 @@ impl SmApi for SecurityMonitor {
                 out.extend_from_slice(&cert.signature.to_bytes());
                 out
             }
-        }
+        })
     }
 
     fn batch(&self, session: CallerSession, calls: &[SmCall]) -> SmResult<Vec<CallOutcome>> {

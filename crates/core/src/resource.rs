@@ -22,12 +22,21 @@
 //! increments on every mutation so snapshot consumers (the incremental
 //! [`crate::monitor::SecurityMonitor::audit`]) can skip work when nothing
 //! changed.
+//!
+//! For true multi-hart parallelism the monitor holds the map as a
+//! [`ShardedResourceMap`]: [`RESOURCE_SHARDS`] independently locked
+//! [`ResourceMap`] shards (ids interleaved by index modulo the shard
+//! count), so transactions on different resources take disjoint locks and
+//! only transactions on the *same* shard ever contend. See the "Locking
+//! discipline" section of ARCHITECTURE.md.
 
 use crate::error::{SmError, SmResult};
+use crate::lockorder::{rank, LockRank, OrderedMutex};
 use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
 use sanctorum_hal::isolation::RegionId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifies one isolable machine resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -311,6 +320,140 @@ impl ResourceMap {
     }
 }
 
+/// Number of lock shards [`ShardedResourceMap`] splits the resource space
+/// across. Resource ids map onto shards by index modulo this count
+/// (interleaved ranges), so a run of consecutive region ids — the typical
+/// working sets of *different* enclaves — lands on *different* shards and
+/// concurrent transactions on them take disjoint locks.
+pub const RESOURCE_SHARDS: usize = 8;
+
+/// Returns the shard index resource `id` lives on.
+pub const fn shard_of(id: ResourceId) -> usize {
+    match id {
+        ResourceId::Core(core) => core.index() % RESOURCE_SHARDS,
+        ResourceId::Region(region) => region.index() % RESOURCE_SHARDS,
+    }
+}
+
+/// The resource map split across [`RESOURCE_SHARDS`] independently locked
+/// shards, so API transactions touching different resources do not contend
+/// (paper Sections IV–V: harts only serialize on the object they operate
+/// on). Each shard is a complete [`ResourceMap`] holding only its own ids;
+/// shard `k` carries lock rank `RESOURCE_SHARD_BASE + k`, and multi-shard
+/// transactions (enclave creation over several regions, the delete sweep)
+/// acquire shards in ascending index order — enforced by the debug
+/// lock-order checker.
+///
+/// A map-wide [`ShardedResourceMap::generation`] counter (atomic, bumped by
+/// the monitor after every committed transition via
+/// [`ShardedResourceMap::touch`]) lets the incremental audit skip all shard
+/// locks when nothing changed. The convention matches the monitor's other
+/// generation counters: readers load the generation *before* collecting
+/// state, so a racing mutation can only make collected state newer than the
+/// recorded generation and the next audit conservatively rebuilds.
+#[derive(Debug)]
+pub struct ShardedResourceMap {
+    shards: Vec<OrderedMutex<ResourceMap>>,
+    generation: AtomicU64,
+}
+
+impl Default for ShardedResourceMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedResourceMap {
+    /// Creates an empty sharded map.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..RESOURCE_SHARDS)
+                .map(|k| {
+                    OrderedMutex::new(
+                        LockRank(rank::RESOURCE_SHARD_BASE + k as u16),
+                        ResourceMap::new(),
+                    )
+                })
+                .collect(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard holding resource `id`.
+    pub fn shard(&self, id: ResourceId) -> &OrderedMutex<ResourceMap> {
+        &self.shards[shard_of(id)]
+    }
+
+    /// All shards, in ascending shard (and therefore lock-rank) order.
+    pub fn shards(&self) -> &[OrderedMutex<ResourceMap>] {
+        &self.shards
+    }
+
+    /// The map-wide mutation counter. Monotone; bumped by [`Self::touch`].
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Records one committed mutation. The monitor calls this after every
+    /// successful transition (block / clean / grant / registration); missing
+    /// a call would let the incremental audit serve stale resource state,
+    /// which the audit-equivalence property test catches.
+    pub fn touch(&self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers a resource with an initial owner (boot-time).
+    pub fn register(&self, id: ResourceId, initial: ResourceState) {
+        self.shard(id).lock().register(id, initial);
+        self.touch();
+    }
+
+    /// Returns the state of one resource, locking only its shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmError::UnknownResource`] if the resource was never
+    /// registered.
+    pub fn state(&self, id: ResourceId) -> SmResult<ResourceState> {
+        self.shard(id).lock().state(id)
+    }
+
+    /// Collects the full state table in [`ResourceId`] order, locking shards
+    /// in ascending order (one at a time — callers needing a transactionally
+    /// consistent view must be at a quiescent point, which is where the
+    /// explorer's audits run).
+    pub fn snapshot(&self) -> Vec<(ResourceId, ResourceState)> {
+        let mut all: Vec<(ResourceId, ResourceState)> = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().iter());
+        }
+        all.sort_unstable_by_key(|(id, _)| *id);
+        all
+    }
+
+    /// Returns every resource owned (or blocked) by `domain` across all
+    /// shards, in [`ResourceId`] order. Same consistency caveat as
+    /// [`Self::snapshot`].
+    pub fn owned_by(&self, domain: DomainKind) -> Vec<ResourceId> {
+        let mut all: Vec<ResourceId> = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().owned_by(domain));
+        }
+        all.sort_unstable();
+        all
+    }
+
+    /// Verifies every shard's exclusivity invariant; returns the total
+    /// registered-resource count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard's reverse index disagrees with its state table.
+    pub fn check_exclusivity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().check_exclusivity()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,6 +616,56 @@ mod tests {
         // A rejected transition leaves the generation unchanged.
         assert!(map.block(DomainKind::Untrusted, id).is_err());
         assert_eq!(map.generation(), g1);
+    }
+
+    #[test]
+    fn sharded_map_routes_and_merges_across_shards() {
+        let map = ShardedResourceMap::new();
+        // Region indices 0..20 spread across all shards; a consecutive run
+        // of ids therefore lands on distinct shards (the interleaved map).
+        for i in 0..20u32 {
+            map.register(
+                ResourceId::Region(RegionId::new(i)),
+                ResourceState::Owned(DomainKind::Untrusted),
+            );
+        }
+        assert_eq!(
+            shard_of(ResourceId::Region(RegionId::new(3))),
+            shard_of(ResourceId::Region(RegionId::new(3 + RESOURCE_SHARDS as u32)))
+        );
+        assert_ne!(
+            shard_of(ResourceId::Region(RegionId::new(3))),
+            shard_of(ResourceId::Region(RegionId::new(4)))
+        );
+        // The merged snapshot is in ResourceId order despite sharding.
+        let snapshot = map.snapshot();
+        assert_eq!(snapshot.len(), 20);
+        assert!(snapshot.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(map.owned_by(DomainKind::Untrusted).len(), 20);
+        assert_eq!(map.check_exclusivity(), 20);
+        // Per-shard transitions keep working through the shard lock.
+        let id = ResourceId::Region(RegionId::new(9));
+        map.shard(id).lock().block(DomainKind::Untrusted, id).unwrap();
+        map.touch();
+        assert_eq!(map.state(id).unwrap(), ResourceState::Blocked(DomainKind::Untrusted));
+        assert_eq!(map.owned_by(DomainKind::Untrusted).len(), 20, "blocked still owned");
+    }
+
+    #[test]
+    fn sharded_generation_is_explicitly_touched() {
+        let map = ShardedResourceMap::new();
+        let g0 = map.generation();
+        map.register(
+            ResourceId::Core(CoreId::new(0)),
+            ResourceState::Owned(DomainKind::Untrusted),
+        );
+        assert!(map.generation() > g0, "register touches the generation");
+        let g1 = map.generation();
+        let _ = map.state(ResourceId::Core(CoreId::new(0)));
+        let _ = map.snapshot();
+        assert_eq!(map.generation(), g1, "reads must not bump the generation");
+        map.touch();
+        assert_eq!(map.generation(), g1 + 1);
     }
 
     #[test]

@@ -27,6 +27,12 @@ use crate::error::{SmError, SmResult};
 /// Sessions are cheap (`Copy`) and short-lived: the dispatcher mints a fresh
 /// one for every trap, so a session never outlives the hart configuration it
 /// was authenticated from.
+///
+/// Sessions are also deliberately **lock-free and immutable**: under
+/// fine-grained locking every hart authenticates and authorizes its calls
+/// concurrently, so the capability is a pair of plain words copied into the
+/// call — it sits entirely outside the monitor's lock hierarchy (see
+/// `crate::lockorder`) and can never contribute to contention or deadlock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CallerSession {
     domain: DomainKind,

@@ -1,0 +1,142 @@
+//! The concurrent soak: real OS threads hammer one shared monitor, with
+//! the invariant kernel's checks run at quiescent barriers.
+//!
+//! The deterministic explorer ([`crate::Explorer`]) interleaves logical
+//! hart streams from one host thread — it can replay and shrink, but it can
+//! never catch a data race, a lock-order mistake or a lost update, because
+//! the monitor only ever sees one thread. The soak closes that gap using
+//! the concurrent execution mode of `sanctorum_os::concurrent`: `N` workers
+//! on real threads drive disjoint region slices of one monitor, and after
+//! every round — with all workers parked at the barrier — the monitor is
+//! audited:
+//!
+//! * **audit ≡ audit_full** — the incremental snapshot must equal a
+//!   from-scratch rebuild (a cache desynchronized by a race shows up here);
+//! * **resource exclusivity** — no region owned by a dead enclave, every
+//!   live enclave owns its windows, occupancy agrees with thread state;
+//! * **mail-quota conservation** — the fabric ledger equals the queued
+//!   messages, sender by sender.
+//!
+//! Determinism is *not* asserted across soak runs — thread interleaving is
+//! the host scheduler's business. The deterministic single-threaded mode
+//! (pinned by `tests/determinism.rs`) stays the replay/differential tool;
+//! the soak is the razor for concurrency bugs.
+
+use crate::invariants::mail_quota_conservation;
+use sanctorum_core::monitor::AuditSnapshot;
+use sanctorum_core::resource::{ResourceId, ResourceState};
+use sanctorum_hal::domain::DomainKind;
+use sanctorum_machine::MachineConfig;
+use sanctorum_os::concurrent::{run_concurrent, ConcurrentConfig, ConcurrentStats};
+use sanctorum_os::system::{PlatformKind, System};
+
+pub use sanctorum_os::concurrent::WorkloadProfile;
+
+/// Machine geometry for concurrent runs: many small regions (so every
+/// worker gets a disjoint slice spanning all resource shards) and a PMP
+/// budget covering all of them (so both backends behave identically).
+pub fn concurrent_machine_config() -> MachineConfig {
+    MachineConfig {
+        memory_size: 8 * 1024 * 1024,
+        dram_region_size: 256 * 1024,
+        pmp_entries: 40,
+        ..MachineConfig::small()
+    }
+}
+
+/// Result of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// The platform soaked.
+    pub platform: PlatformKind,
+    /// Workload counters.
+    pub stats: ConcurrentStats,
+    /// Quiescent audits performed.
+    pub audits: usize,
+}
+
+/// Checks the invariants the soak asserts at every quiescent point.
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+pub fn quiescent_invariants(system: &System) -> Result<(), String> {
+    let audit = system.monitor.audit();
+    let full = system.monitor.audit_full();
+    if audit != full {
+        return Err(format!(
+            "incremental audit diverged from full rebuild:\n  incremental: {audit:?}\n  full: {full:?}"
+        ));
+    }
+    exclusivity(&audit)?;
+    mail_quota_conservation(&audit)?;
+    Ok(())
+}
+
+/// The soak's subset of the exclusivity invariant (the full kernel also
+/// scans memory and registers, which needs the deterministic world's secret
+/// bookkeeping; ownership consistency is the part a locking race can break).
+fn exclusivity(audit: &AuditSnapshot) -> Result<(), String> {
+    for (id, state) in audit.resources.iter() {
+        if let (ResourceId::Region(region), ResourceState::Owned(DomainKind::Enclave(eid))) =
+            (id, state)
+        {
+            if audit.enclave(*eid).is_none() {
+                return Err(format!("{region} owned by dead enclave {eid}"));
+            }
+        }
+    }
+    for enclave in &audit.enclaves {
+        for region in &enclave.regions {
+            match audit.resource(ResourceId::Region(*region)) {
+                Some(ResourceState::Owned(DomainKind::Enclave(owner))) if owner == enclave.id => {}
+                other => {
+                    return Err(format!(
+                        "window {region} of {} is in state {other:?}",
+                        enclave.id
+                    ))
+                }
+            }
+        }
+        if enclave.initialized != enclave.measurement.is_some() {
+            return Err(format!(
+                "{} initialized={} but measurement present={}",
+                enclave.id,
+                enclave.initialized,
+                enclave.measurement.is_some()
+            ));
+        }
+        let occupied = audit
+            .core_occupancy
+            .iter()
+            .filter(|(_, tid)| enclave.threads.contains(tid))
+            .count();
+        if occupied != enclave.running_threads {
+            return Err(format!(
+                "{} claims {} running threads but {} of its threads occupy cores",
+                enclave.id, enclave.running_threads, occupied
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs one soak: boots `platform` with the given locking mode baked into
+/// `system`'s config by the caller, drives the concurrent workload, audits
+/// at every quiescent barrier, and returns the counters.
+///
+/// # Errors
+///
+/// Returns the first invariant violation or worker failure.
+pub fn soak(system: &System, config: &ConcurrentConfig) -> Result<SoakReport, String> {
+    let mut audits = 0usize;
+    let stats = run_concurrent(system, config, |_round| {
+        audits += 1;
+        quiescent_invariants(system)
+    })?;
+    Ok(SoakReport {
+        platform: system.platform,
+        stats,
+        audits,
+    })
+}

@@ -19,14 +19,23 @@
 //! The machine itself guarantees deterministic stepping (see
 //! `Machine::state_digest`), which the explorer asserts by digest comparison
 //! in its own test-suite.
+//!
+//! Deterministic interleaving can never catch a data race, so the crate
+//! also ships a *concurrent* mode ([`concurrent`]): real OS threads drive
+//! one shared monitor with invariant audits at quiescent barriers — the
+//! soak that validates the monitor's fine-grained locking, while this
+//! deterministic mode stays bit-for-bit stable for replay/differential
+//! work (pinned by `tests/determinism.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod diff;
 pub mod invariants;
 pub mod trace;
 
+pub use concurrent::{soak, SoakReport};
 pub use diff::DiffPair;
 pub use invariants::{CheckedWorld, Violation};
 pub use trace::TracedOp;

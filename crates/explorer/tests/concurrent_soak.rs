@@ -1,0 +1,93 @@
+//! The concurrent soak (ISSUE 5): four real OS threads hammer one shared
+//! monitor on **both** backends, with the invariant kernel's quiescent
+//! checks (audit ≡ audit_full, resource exclusivity, mail-quota
+//! conservation) asserted at every round barrier — zero violations
+//! expected. A smaller Global-mode soak pins the giant-lock build to the
+//! same properties (it serializes, so it had better also be correct).
+//!
+//! `SOAK_THREADS` / `SOAK_ROUNDS` / `SOAK_OPS` raise the budget in CI.
+
+use sanctorum_core::monitor::{LockingMode, SmConfig};
+use sanctorum_explorer::concurrent::{concurrent_machine_config, soak, WorkloadProfile};
+use sanctorum_os::concurrent::ConcurrentConfig;
+use sanctorum_os::system::{PlatformKind, System};
+
+fn env_budget(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn soak_system(platform: PlatformKind, locking: LockingMode) -> System {
+    System::boot(
+        platform,
+        concurrent_machine_config(),
+        SmConfig {
+            locking,
+            ..SmConfig::default()
+        },
+    )
+}
+
+fn budgeted_config(profile: WorkloadProfile, seed: u64) -> ConcurrentConfig {
+    ConcurrentConfig {
+        threads: env_budget("SOAK_THREADS", 4) as usize,
+        rounds: env_budget("SOAK_ROUNDS", 3) as usize,
+        ops_per_round: env_budget("SOAK_OPS", 150) as usize,
+        profile,
+        seed,
+    }
+}
+
+#[test]
+fn four_thread_soak_on_both_backends_finds_no_violations() {
+    for platform in PlatformKind::ALL {
+        for (profile, seed) in [
+            (WorkloadProfile::MixedMutation, 0x50a1),
+            (WorkloadProfile::ReadMostly, 0x50a2),
+        ] {
+            let system = soak_system(platform, LockingMode::FineGrained);
+            let config = budgeted_config(profile, seed);
+            let report = soak(&system, &config)
+                .unwrap_or_else(|err| panic!("{platform:?}/{}: {err}", profile.name()));
+            assert_eq!(
+                report.stats.steps,
+                (config.threads * config.rounds * config.ops_per_round) as u64,
+                "{platform:?}/{}: all scheduled steps must complete",
+                profile.name()
+            );
+            assert_eq!(report.audits, config.rounds);
+            eprintln!(
+                "soak {platform:?}/{}: {} steps, {} SM calls, {} retries",
+                profile.name(),
+                report.stats.steps,
+                report.stats.sm_calls,
+                report.stats.retries
+            );
+        }
+    }
+}
+
+#[test]
+fn global_lock_soak_holds_the_same_invariants() {
+    let system = soak_system(PlatformKind::Sanctum, LockingMode::Global);
+    let config = ConcurrentConfig {
+        threads: 4,
+        rounds: 2,
+        ops_per_round: 60,
+        profile: WorkloadProfile::MixedMutation,
+        seed: 0x6a0b,
+    };
+    let report = soak(&system, &config).expect("global-mode soak stays clean");
+    assert_eq!(
+        report.stats.retries, 0,
+        "the giant lock serializes every call; ConcurrentCall must never surface"
+    );
+}
+
+#[test]
+fn quiescent_check_passes_on_a_fresh_monitor() {
+    let system = soak_system(PlatformKind::Keystone, LockingMode::FineGrained);
+    sanctorum_explorer::concurrent::quiescent_invariants(&system).expect("fresh monitor is clean");
+}

@@ -1,0 +1,53 @@
+//! Determinism regression: the single-threaded explorer's machine digests
+//! are pinned to the values the pre-refactor (giant-lock) monitor produced.
+//!
+//! The sharded-locking refactor (ISSUE 5) must be *observationally
+//! invisible* to deterministic single-threaded execution: every status code,
+//! every measurement and every machine-state transition stays bit-identical,
+//! so `(seed, step)` replay coordinates recorded before the refactor keep
+//! reproducing. The constants below were captured by running this harness on
+//! the last pre-refactor commit (`1d09ee8`, mailbox fabric + pipelined
+//! attestation); if they move, a change altered *behaviour*, not just
+//! locking, and must be treated as a regression.
+
+use sanctorum_explorer::{Explorer, ExplorerConfig};
+
+/// `(seed, steps, machine digest)` captured on the pre-refactor monitor.
+/// Sanctum and Keystone digests were identical on these seeds (no declared
+/// capacity divergence under the default explorer geometry), so one value
+/// pins both worlds.
+const GOLDEN: &[(u64, usize, u64)] = &[
+    (0x5eed, 120, 0x83eacd5cf2f32a9a),
+    (0x0, 200, 0x8f8fb3ca8a44b0d3),
+    (0x2a, 200, 0xbf57c29c52a55f66),
+];
+
+#[test]
+fn single_threaded_digests_match_pre_refactor_replay() {
+    for (seed, steps, digest) in GOLDEN {
+        let explorer = Explorer::new(ExplorerConfig {
+            steps: *steps,
+            ..ExplorerConfig::default()
+        });
+        let report = explorer.run_seed(*seed);
+        assert!(report.failure.is_none(), "seed {seed:#x} failed: {:?}", report.failure);
+        assert_eq!(
+            report.final_digests,
+            (*digest, *digest),
+            "seed {seed:#x} diverged from the pre-refactor machine digest — \
+             the locking refactor changed observable behaviour",
+        );
+    }
+}
+
+#[test]
+fn repeat_runs_stay_bit_identical() {
+    let explorer = Explorer::new(ExplorerConfig {
+        steps: 150,
+        ..ExplorerConfig::default()
+    });
+    let a = explorer.run_seed(7);
+    let b = explorer.run_seed(7);
+    assert_eq!(a.final_digests, b.final_digests);
+    assert_eq!(a.op_counts, b.op_counts);
+}

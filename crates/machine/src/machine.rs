@@ -125,6 +125,30 @@ impl From<MemError> for MachineError {
 /// All components use interior mutability so the machine can be shared (via
 /// `Arc`) between the security monitor, the untrusted OS model and several
 /// host threads driving different harts concurrently.
+///
+/// # Cross-hart concurrency protocol
+///
+/// The machine's locks are **leaves** of the system's lock hierarchy: no
+/// machine method ever calls back into the monitor, so holding monitor
+/// locks while taking machine locks is safe and the reverse never happens
+/// (the monitor's debug lock-order checker therefore does not track them).
+/// Internally:
+///
+/// * `memory` and `access` are reader-writer locks — two harts can fault,
+///   translate and load pages concurrently (page-table walks and access
+///   checks take shared read locks); only stores, DMA, zeroing and the
+///   digest cache take the write lock. Both dirty-page bitmaps live inside
+///   `PhysMemory`, so every mutator marks them under the same write lock
+///   that changes the bytes — a drain can never race a write into
+///   under-reporting.
+/// * `harts`, `tlbs` and `pending_interrupts` are per-hart locks: harts
+///   never take each other's state lock except in `tlb_shootdown`
+///   (which takes the TLB locks one at a time, never nested).
+/// * `partition_map` is a reader-writer lock: it is read on every guest
+///   memory access by every hart and written only when the monitor
+///   assigns a cache partition.
+/// * `cache` (the LLC model) and `trng` are plain mutexes: both model
+///   genuinely serialized hardware resources.
 pub struct Machine {
     config: MachineConfig,
     memory: RwLock<PhysMemory>,
@@ -132,7 +156,7 @@ pub struct Machine {
     cache: Mutex<CacheModel>,
     harts: Vec<Mutex<HartState>>,
     tlbs: Vec<Mutex<Tlb>>,
-    partition_map: Mutex<HashMap<DomainKind, PartitionId>>,
+    partition_map: RwLock<HashMap<DomainKind, PartitionId>>,
     walker: PageTableWalker,
     total_cycles: AtomicU64,
     pending_interrupts: Vec<Mutex<Vec<Interrupt>>>,
@@ -180,7 +204,7 @@ impl Machine {
             cache: Mutex::new(CacheModel::new(config.cache, config.cost)),
             harts,
             tlbs,
-            partition_map: Mutex::new(HashMap::new()),
+            partition_map: RwLock::new(HashMap::new()),
             walker: PageTableWalker::new(config.cost),
             total_cycles: AtomicU64::new(0),
             pending_interrupts,
@@ -371,14 +395,14 @@ impl Machine {
     /// Assigns `domain` to cache `partition` (Sanctum page colouring). The
     /// default for unknown domains is partition 0.
     pub fn set_partition(&self, domain: DomainKind, partition: PartitionId) {
-        self.partition_map.lock().insert(domain, partition);
+        self.partition_map.write().insert(domain, partition);
     }
 
     /// Returns the cache partition used by `domain`.
     pub fn partition_of(&self, domain: DomainKind) -> PartitionId {
         *self
             .partition_map
-            .lock()
+            .read()
             .get(&domain)
             .unwrap_or(&PartitionId(0))
     }

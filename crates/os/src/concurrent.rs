@@ -1,0 +1,524 @@
+//! Concurrent execution mode: per-hart op streams on real OS threads
+//! against one shared monitor.
+//!
+//! The deterministic explorer interleaves *logical* hart streams from a
+//! single host thread — perfect for replay and shrinking, but it can never
+//! catch a data race or a lock-ordering mistake, because only one thread
+//! ever touches the monitor. This module adds the missing axis: `N` host
+//! threads, each owning a disjoint slice of machine regions, hammer the
+//! same [`SecurityMonitor`] simultaneously with seeded (per-worker
+//! deterministic) streams of SM calls, retrying on
+//! [`SmError::ConcurrentCall`] exactly as a real OS would. Between rounds
+//! every worker parks on a barrier and a caller-supplied check runs at the
+//! quiescent point — the explorer uses that hook for invariant audits
+//! (audit ≡ audit_full, exclusivity, mail-quota conservation).
+//!
+//! The single-threaded deterministic mode is untouched: this driver is a
+//! separate front door over the same monitor, so differential/replay work
+//! keeps its bit-for-bit guarantees while the soak and the scaling bench
+//! get true multi-hart parallelism.
+//!
+//! Workers deliberately avoid guest execution (no `run_thread`): the
+//! workload targets the monitor's metadata surface — the paths the giant
+//! lock used to serialize — and the full enclave lifecycle is reachable
+//! without loading data pages (create → allocate page tables → load thread
+//! → init → mail → delete → clean).
+
+use crate::system::System;
+use sanctorum_core::api::SmApi;
+use sanctorum_core::error::SmError;
+use sanctorum_core::monitor::{PublicField, SecurityMonitor};
+use sanctorum_core::resource::{ResourceId, ResourceState};
+use sanctorum_core::session::CallerSession;
+use sanctorum_hal::addr::VirtAddr;
+use sanctorum_hal::domain::{DomainKind, EnclaveId};
+use sanctorum_hal::isolation::RegionId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Which op mix the workers drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadProfile {
+    /// Read-dominated traffic: public-field reads and mailbox probes
+    /// against a pre-built enclave per worker (the paper's GetState/attest
+    /// shape). Under the giant lock every one of these serializes; under
+    /// fine-grained locking the field reads take no lock at all and the
+    /// probes touch only the worker's own enclave.
+    ReadMostly,
+    /// Mutation-heavy traffic: full enclave lifecycle churn (create →
+    /// page tables → thread → init → mail round-trip → delete → clean)
+    /// plus raw region block/clean cycles, all on the worker's own regions.
+    MixedMutation,
+}
+
+impl WorkloadProfile {
+    /// Short name for reports and JSON.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WorkloadProfile::ReadMostly => "read_mostly",
+            WorkloadProfile::MixedMutation => "mixed_mutation",
+        }
+    }
+}
+
+/// Configuration of one concurrent run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Number of OS threads (workers).
+    pub threads: usize,
+    /// Quiescent rounds; the `at_quiescence` hook runs after each.
+    pub rounds: usize,
+    /// Workload steps per worker per round.
+    pub ops_per_round: usize,
+    /// The op mix.
+    pub profile: WorkloadProfile,
+    /// Seed; worker `w` derives its own independent stream from it.
+    pub seed: u64,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            rounds: 4,
+            ops_per_round: 200,
+            profile: WorkloadProfile::MixedMutation,
+            seed: 0xc0c0,
+        }
+    }
+}
+
+/// Aggregate counters of one concurrent run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConcurrentStats {
+    /// Workload steps completed across all workers (one step may issue
+    /// several SM calls).
+    pub steps: u64,
+    /// SM API calls issued, including retried attempts.
+    pub sm_calls: u64,
+    /// [`SmError::ConcurrentCall`] rejections that were retried.
+    pub retries: u64,
+}
+
+/// SplitMix64 — the same generator family the explorer's trace streams use,
+/// so worker streams are deterministic functions of `(seed, worker)`.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One worker's context: its identity, region slice and counters.
+struct Worker<'m> {
+    monitor: &'m SecurityMonitor,
+    /// Regions this worker owns exclusively (disjoint across workers).
+    regions: Vec<RegionId>,
+    /// PRNG state.
+    rng: u64,
+    /// The worker's live enclave, if any (Mixed keeps at most one in
+    /// flight; ReadMostly keeps one for the whole run).
+    enclave: Option<EnclaveId>,
+    calls: u64,
+    retries: u64,
+}
+
+impl Worker<'_> {
+    /// Issues one SM call through `f`, retrying on `ConcurrentCall` (the
+    /// contract fine-grained locking imposes on every caller). Spins at
+    /// most a bounded number of times before yielding the host thread, so
+    /// an oversubscribed host (more workers than cores) keeps making
+    /// progress.
+    fn call<T>(&mut self, mut f: impl FnMut(&SecurityMonitor) -> Result<T, SmError>) -> Result<T, SmError> {
+        let mut spins = 0u32;
+        loop {
+            self.calls += 1;
+            match f(self.monitor) {
+                Err(SmError::ConcurrentCall) => {
+                    self.retries += 1;
+                    spins += 1;
+                    if spins.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Builds a full enclave (no data pages) on `region` and returns its id.
+    fn build_enclave(&mut self, region: RegionId) -> Result<EnclaveId, SmError> {
+        let os = CallerSession::os();
+        let eid = self.call(|m| {
+            m.create_enclave(os, VirtAddr::new(0x10_0000), 0x4000, &[region])
+        })?;
+        self.call(|m| m.allocate_page_table(os, eid))?;
+        self.call(|m| m.load_thread(os, eid, 0x10_0000, None))?;
+        self.call(|m| m.init_enclave(os, eid))?;
+        Ok(eid)
+    }
+
+    /// Tears the worker's enclave down and recycles its region to
+    /// *Available* (ready for the next build).
+    fn teardown_enclave(&mut self, eid: EnclaveId, region: RegionId) -> Result<(), SmError> {
+        let os = CallerSession::os();
+        self.call(|m| m.delete_enclave(os, eid))?;
+        self.call(|m| m.clean_resource(os, ResourceId::Region(region)))?;
+        Ok(())
+    }
+
+    /// One read-mostly step.
+    fn step_read_mostly(&mut self) -> Result<(), SmError> {
+        let os = CallerSession::os();
+        let draw = splitmix(&mut self.rng);
+        match draw % 4 {
+            // Public-field reads: the lock-free fast path.
+            0..=2 => {
+                let field = PublicField::from_selector(draw >> 2 & 0x3).expect("selector in range");
+                let _ = self.call(|m| {
+                    Ok::<_, SmError>(m.get_field(os, field))
+                })?;
+            }
+            // Mailbox probe on the worker's own enclave.
+            _ => {
+                let eid = self.enclave.expect("read-mostly workers keep one enclave");
+                let session = CallerSession::enclave(eid);
+                let _ = self.call(|m| m.peek_mail(session, 0))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One mixed-mutation step: a slice of the lifecycle state machine.
+    fn step_mixed(&mut self) -> Result<(), SmError> {
+        let os = CallerSession::os();
+        let draw = splitmix(&mut self.rng);
+        let region = self.regions[(draw % self.regions.len() as u64) as usize];
+        match self.enclave {
+            None => {
+                // Make the region Available if it is still OS-owned, then
+                // build. Out-of-protocol states (already blocked, already
+                // available) are tolerated exactly as a raw caller must.
+                match self.call(|m| m.resource_state(ResourceId::Region(region)))? {
+                    ResourceState::Owned(DomainKind::Untrusted) => {
+                        self.call(|m| m.block_resource(os, ResourceId::Region(region)))?;
+                        self.call(|m| m.clean_resource(os, ResourceId::Region(region)))?;
+                    }
+                    ResourceState::Blocked(_) => {
+                        self.call(|m| m.clean_resource(os, ResourceId::Region(region)))?;
+                    }
+                    ResourceState::Available => {}
+                    ResourceState::Owned(_) => return Ok(()),
+                }
+                self.enclave = Some(self.build_enclave(region)?);
+            }
+            Some(eid) => {
+                if draw & 0x4 != 0 {
+                    // Mail round-trip against the worker's own enclave.
+                    let session = CallerSession::enclave(eid);
+                    self.call(|m| m.accept_mail(session, 0, 0))?;
+                    let payload = draw.to_le_bytes();
+                    self.call(|m| m.send_mail(os, eid, &payload))?;
+                    let (bytes, _) = self.call(|m| m.get_mail(session, 0))?;
+                    assert_eq!(bytes, payload, "mail round-trip corrupted");
+                } else {
+                    // The enclave id doubles as its first region's base, so
+                    // recover the backing region from the worker's slice.
+                    let region = self
+                        .regions
+                        .iter()
+                        .copied()
+                        .find(|r| self.enclave_region_matches(*r, eid))
+                        .expect("worker enclaves live on worker regions");
+                    self.teardown_enclave(eid, region)?;
+                    self.enclave = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `region` is the one backing enclave `eid` (enclave ids are
+    /// the physical base address of their first window).
+    fn enclave_region_matches(&self, region: RegionId, eid: EnclaveId) -> bool {
+        let config = self.monitor.machine().config();
+        let base = config.memory_base.as_u64()
+            + (region.index() * config.dram_region_size) as u64;
+        base == eid.as_u64()
+    }
+}
+
+/// Partitions the untrusted regions round-robin across `threads` workers.
+/// With the shard count and a power-of-two worker count, consecutive
+/// workers land on disjoint resource shards, so the fine-grained mode's
+/// shard locks genuinely never contend between well-behaved workers.
+fn partition_regions(system: &System, threads: usize) -> Vec<Vec<RegionId>> {
+    let monitor = &system.monitor;
+    let config = system.machine.config();
+    let untrusted: Vec<RegionId> = (0..config.num_regions() as u32)
+        .map(RegionId::new)
+        .filter(|r| {
+            matches!(
+                monitor.resource_state(ResourceId::Region(*r)),
+                Ok(ResourceState::Owned(DomainKind::Untrusted))
+            )
+        })
+        .collect();
+    let mut slices: Vec<Vec<RegionId>> = vec![Vec::new(); threads];
+    for (index, region) in untrusted.into_iter().enumerate() {
+        slices[index % threads].push(region);
+    }
+    slices
+}
+
+/// Runs the concurrent workload: spawns `config.threads` workers over
+/// `system.monitor`, runs `config.rounds` rounds of `config.ops_per_round`
+/// steps each, and calls `at_quiescence(round)` while every worker is
+/// parked at the round barrier. Returns the aggregate counters.
+///
+/// # Errors
+///
+/// Returns the first error an `at_quiescence` check reports (workers are
+/// released and joined before returning), or a worker's description of an
+/// SM call that failed with anything other than the retriable
+/// `ConcurrentCall`.
+///
+/// # Panics
+///
+/// Panics if `config.threads` is zero or exceeds the number of untrusted
+/// regions (each worker needs at least one region of its own).
+pub fn run_concurrent(
+    system: &System,
+    config: &ConcurrentConfig,
+    mut at_quiescence: impl FnMut(usize) -> Result<(), String>,
+) -> Result<ConcurrentStats, String> {
+    assert!(config.threads > 0, "at least one worker is required");
+    let slices = partition_regions(system, config.threads);
+    assert!(
+        slices.iter().all(|s| !s.is_empty()),
+        "every worker needs at least one region ({} workers over {} untrusted regions)",
+        config.threads,
+        slices.iter().map(Vec::len).sum::<usize>(),
+    );
+
+    let monitor = system.monitor.as_ref();
+    let start = Barrier::new(config.threads + 1);
+    let done = Barrier::new(config.threads + 1);
+    let stop = AtomicBool::new(false);
+    let total_steps = AtomicU64::new(0);
+    let total_calls = AtomicU64::new(0);
+    let total_retries = AtomicU64::new(0);
+    let worker_error = std::sync::Mutex::new(None::<String>);
+
+    let mut check_error = None;
+    std::thread::scope(|scope| {
+        for (index, regions) in slices.into_iter().enumerate() {
+            let start = &start;
+            let done = &done;
+            let stop = &stop;
+            let total_steps = &total_steps;
+            let total_calls = &total_calls;
+            let total_retries = &total_retries;
+            let worker_error = &worker_error;
+            let config = &config;
+            scope.spawn(move || {
+                let mut worker = Worker {
+                    monitor,
+                    regions,
+                    rng: config.seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1),
+                    enclave: None,
+                    calls: 0,
+                    retries: 0,
+                };
+                // Read-mostly workers pre-build their enclave and queue one
+                // probe-able message before the first round.
+                if config.profile == WorkloadProfile::ReadMostly {
+                    let setup = (|| -> Result<(), SmError> {
+                        let os = CallerSession::os();
+                        let region = worker.regions[0];
+                        worker.call(|m| m.block_resource(os, ResourceId::Region(region)))?;
+                        worker.call(|m| m.clean_resource(os, ResourceId::Region(region)))?;
+                        let eid = worker.build_enclave(region)?;
+                        let session = CallerSession::enclave(eid);
+                        worker.call(|m| m.accept_mail(session, 0, 0))?;
+                        worker.call(|m| m.send_mail(os, eid, b"probe me"))?;
+                        worker.enclave = Some(eid);
+                        Ok(())
+                    })();
+                    if let Err(err) = setup {
+                        *worker_error.lock().unwrap() =
+                            Some(format!("worker {index} setup failed: {err:?}"));
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                // Barrier protocol: `stop` is only ever consulted in the
+                // instant after a barrier crossing, and every participant
+                // (workers and the coordinator below) checks at the same
+                // crossing — the barrier's happens-before edge makes the
+                // flag consistent across all of them, so either everyone
+                // runs a round or no one does, and nobody is left waiting
+                // on a barrier a peer will never reach.
+                let mut steps = 0u64;
+                loop {
+                    start.wait();
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    for _ in 0..config.ops_per_round {
+                        let result = match config.profile {
+                            WorkloadProfile::ReadMostly => worker.step_read_mostly(),
+                            WorkloadProfile::MixedMutation => worker.step_mixed(),
+                        };
+                        match result {
+                            Ok(()) => steps += 1,
+                            Err(err) => {
+                                *worker_error.lock().unwrap() =
+                                    Some(format!("worker {index} step failed: {err:?}"));
+                                stop.store(true, Ordering::Relaxed);
+                                // Fall through to `done.wait()`: the round
+                                // must complete at the barrier even when the
+                                // work is abandoned.
+                                break;
+                            }
+                        }
+                    }
+                    done.wait();
+                }
+                total_steps.fetch_add(steps, Ordering::Relaxed);
+                total_calls.fetch_add(worker.calls, Ordering::Relaxed);
+                total_retries.fetch_add(worker.retries, Ordering::Relaxed);
+            });
+        }
+
+        // Coordinator: mirrors the workers' barrier/stop protocol exactly.
+        let mut round = 0usize;
+        loop {
+            start.wait();
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            done.wait();
+            // Every worker is parked between `done` and the next `start`:
+            // the monitor is quiescent.
+            if !stop.load(Ordering::Relaxed) {
+                if let Err(err) = at_quiescence(round) {
+                    check_error = Some(format!("quiescent check after round {round}: {err}"));
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+            round += 1;
+            if round >= config.rounds {
+                stop.store(true, Ordering::Relaxed);
+            }
+            // The next `start.wait()` releases the workers; they observe
+            // `stop` at the same crossing the coordinator does.
+        }
+    });
+
+    if let Some(err) = check_error {
+        return Err(err);
+    }
+    if let Some(err) = worker_error.into_inner().unwrap() {
+        return Err(err);
+    }
+    Ok(ConcurrentStats {
+        steps: total_steps.load(Ordering::Relaxed),
+        sm_calls: total_calls.load(Ordering::Relaxed),
+        retries: total_retries.load(Ordering::Relaxed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::PlatformKind;
+    use sanctorum_core::monitor::{LockingMode, SmConfig};
+    use sanctorum_machine::MachineConfig;
+
+    fn concurrent_system(locking: LockingMode) -> System {
+        System::boot(
+            PlatformKind::Sanctum,
+            MachineConfig {
+                memory_size: 8 * 1024 * 1024,
+                dram_region_size: 256 * 1024,
+                pmp_entries: 40,
+                ..MachineConfig::small()
+            },
+            SmConfig {
+                locking,
+                ..SmConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn mixed_workload_runs_two_threads_and_counts_progress() {
+        let system = concurrent_system(LockingMode::FineGrained);
+        let mut quiescent_calls = 0;
+        let stats = run_concurrent(
+            &system,
+            &ConcurrentConfig {
+                threads: 2,
+                rounds: 2,
+                ops_per_round: 40,
+                profile: WorkloadProfile::MixedMutation,
+                seed: 1,
+            },
+            |_| {
+                quiescent_calls += 1;
+                Ok(())
+            },
+        )
+        .expect("concurrent run succeeds");
+        assert_eq!(stats.steps, 2 * 2 * 40);
+        assert!(stats.sm_calls >= stats.steps);
+        assert_eq!(quiescent_calls, 2);
+    }
+
+    #[test]
+    fn read_mostly_workload_runs_under_the_global_lock_too() {
+        let system = concurrent_system(LockingMode::Global);
+        let stats = run_concurrent(
+            &system,
+            &ConcurrentConfig {
+                threads: 2,
+                rounds: 1,
+                ops_per_round: 50,
+                profile: WorkloadProfile::ReadMostly,
+                seed: 2,
+            },
+            |_| Ok(()),
+        )
+        .expect("concurrent run succeeds");
+        assert_eq!(stats.steps, 2 * 50);
+        assert_eq!(stats.retries, 0, "the giant lock never reports ConcurrentCall");
+    }
+
+    #[test]
+    fn failing_quiescent_check_stops_the_run_cleanly() {
+        let system = concurrent_system(LockingMode::FineGrained);
+        let err = run_concurrent(
+            &system,
+            &ConcurrentConfig {
+                threads: 2,
+                rounds: 3,
+                ops_per_round: 10,
+                profile: WorkloadProfile::MixedMutation,
+                seed: 3,
+            },
+            |round| {
+                if round == 1 {
+                    Err("synthetic violation".into())
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("synthetic violation"), "{err}");
+        assert!(err.contains("round 1"), "{err}");
+    }
+}

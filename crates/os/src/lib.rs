@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod concurrent;
 pub mod ops;
 pub mod os;
 pub mod system;
