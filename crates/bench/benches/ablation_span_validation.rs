@@ -1,0 +1,127 @@
+//! Ablation A4 — single-pass span proofs versus per-page lock
+//! re-acquisition on the OS-boundary hot path.
+//!
+//! Before the trust-boundary refactor, every span-shaped argument (batch
+//! tables, mail buffers) was validated by a loop that called the machine's
+//! `check_access` once per page — and each call acquired the shared
+//! access-control `RwLock` afresh. The sanitizer's `check_span` mints one
+//! `Checked` proof by walking the same pages under a *single* read
+//! acquisition, and the proof then rides through the call so no sink has to
+//! re-validate. This bench keeps the old shape alive (as a plain loop over
+//! `check_access`) and races it against proof minting at several span sizes,
+//! plus the batch-table case the win was built for: one 64-entry table proof
+//! versus 64 per-entry window proofs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sanctorum_bench::boot;
+use sanctorum_hal::addr::PAGE_SIZE;
+use sanctorum_hal::domain::DomainKind;
+use sanctorum_hal::perm::MemPerms;
+use sanctorum_os::system::PlatformKind;
+use sanctorum_trust::{RwAccess, SpanPolicy, Tainted};
+use std::time::Duration;
+
+/// Batch geometry mirrored from the dispatcher: 8 argument words plus a
+/// status word, 64 bytes per entry, 64 entries max.
+const ENTRY_BYTES: u64 = 64;
+const MAX_ENTRIES: u64 = 64;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_span_validation(c: &mut Criterion) {
+    let (system, os) = boot(PlatformKind::Sanctum);
+    let machine = &system.machine;
+    let base = os.staging_base();
+
+    let mut group = c.benchmark_group("ablation_span_validation");
+    for pages in [1u64, 4, 16] {
+        let len = pages * PAGE_SIZE as u64;
+
+        // The retired shape: one lock acquisition per page.
+        group.bench_with_input(
+            BenchmarkId::new("per_page_lock", pages),
+            &pages,
+            |b, _| {
+                b.iter(|| {
+                    let mut ok = true;
+                    let mut probe = base;
+                    let last = base.offset(len - 1);
+                    while probe <= last {
+                        ok &= machine.check_access(
+                            DomainKind::Untrusted,
+                            probe,
+                            MemPerms::RW,
+                        );
+                        probe = probe.offset(PAGE_SIZE as u64);
+                    }
+                    assert!(ok);
+                })
+            },
+        );
+
+        // The shipped shape: one proof, one lock acquisition, walked once.
+        group.bench_with_input(
+            BenchmarkId::new("single_pass_proof", pages),
+            &pages,
+            |b, _| {
+                b.iter(|| {
+                    machine
+                        .sanitizer()
+                        .check_span::<RwAccess>(
+                            DomainKind::Untrusted,
+                            Tainted::new(base).spanning(len),
+                            SpanPolicy::PLAIN,
+                        )
+                        .unwrap()
+                })
+            },
+        );
+    }
+
+    // The batch-table case: a full 64-entry table proved once, versus the
+    // fallback the dispatcher drops to only after an isolation-mutating
+    // entry invalidates the whole-table token (one 64-byte window per
+    // entry). The gap is what hoisting validation out of the entry loop
+    // buys on the common, non-mutating path.
+    group.bench_function("table_64_entries/whole_table_proof", |b| {
+        b.iter(|| {
+            machine
+                .sanitizer()
+                .check_span::<RwAccess>(
+                    DomainKind::Untrusted,
+                    Tainted::new(base).spanning(MAX_ENTRIES * ENTRY_BYTES),
+                    SpanPolicy::table(8),
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function("table_64_entries/per_entry_windows", |b| {
+        b.iter(|| {
+            for idx in 0..MAX_ENTRIES {
+                machine
+                    .sanitizer()
+                    .check_span::<RwAccess>(
+                        DomainKind::Untrusted,
+                        Tainted::new(base)
+                            .offset(idx * ENTRY_BYTES)
+                            .spanning(ENTRY_BYTES),
+                        SpanPolicy::PLAIN,
+                    )
+                    .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_span_validation
+}
+criterion_main!(benches);

@@ -6,6 +6,7 @@ use sanctorum_core::api::SmApi;
 use sanctorum_core::session::CallerSession;
 use sanctorum_bench::boot_attestation_setup;
 use sanctorum_os::system::PlatformKind;
+use sanctorum_trust::Tainted;
 use std::time::Duration;
 
 fn config() -> Criterion {
@@ -31,7 +32,7 @@ fn bench_mailbox(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     sm.accept_mail(recipient, 0, e1.eid.as_u64()).unwrap();
-                    sm.send_mail(sender, e2.eid, &message).unwrap();
+                    sm.send_mail(sender, e2.eid, Tainted::new(&message)).unwrap();
                     sm.get_mail(recipient, 0).unwrap()
                 })
             },
@@ -48,7 +49,7 @@ fn bench_mailbox(c: &mut Criterion) {
         // so the burst routes into the wildcard mailbox being measured.
         b.iter(|| {
             for _ in 0..MAILBOX_QUEUE_DEPTH {
-                sm.send_mail(CallerSession::os(), e2.eid, &message).unwrap();
+                sm.send_mail(CallerSession::os(), e2.eid, Tainted::new(&message)).unwrap();
             }
             for _ in 0..MAILBOX_QUEUE_DEPTH {
                 let (len, _) = sm.peek_mail(recipient, 2).unwrap();
@@ -64,7 +65,7 @@ fn bench_mailbox(c: &mut Criterion) {
     // Denial-of-service attempt: sends without an accepting mailbox are cheap
     // rejections.
     group.bench_function("unsolicited_send_rejected", |b| {
-        b.iter(|| sm.send_mail(CallerSession::os(), e2.eid, b"spam").unwrap_err())
+        b.iter(|| sm.send_mail(CallerSession::os(), e2.eid, b"spam".into()).unwrap_err())
     });
     group.finish();
 }

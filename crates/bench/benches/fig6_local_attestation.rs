@@ -27,7 +27,7 @@ fn bench_local_attestation(c: &mut Criterion) {
         b.iter(|| {
             // ① intent, ② message, ③ fetch, ④ compare against expectation.
             sm.accept_mail(e2_session, 0, e1.eid.as_u64()).unwrap();
-            sm.send_mail(e1_session, e2.eid, b"prove yourself").unwrap();
+            sm.send_mail(e1_session, e2.eid, b"prove yourself".into()).unwrap();
             let (_, sender) = sm.get_mail(e2_session, 0).unwrap();
             assert_eq!(
                 sender,

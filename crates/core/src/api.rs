@@ -41,7 +41,10 @@ use sanctorum_hal::cycles::Cycles;
 use sanctorum_hal::domain::{DomainKind, EnclaveId};
 use sanctorum_hal::isolation::{IsolationError, RegionId};
 use sanctorum_hal::perm::MemPerms;
+use sanctorum_trust::{ReadAccess, SpanPolicy, Tainted, WriteAccess};
 use serde::{Deserialize, Serialize};
+
+pub use sanctorum_trust::RegScalar;
 
 // ---------------------------------------------------------------------------
 // the typed call surface
@@ -91,7 +94,7 @@ pub trait SmApi {
         session: CallerSession,
         eid: EnclaveId,
         vaddr: VirtAddr,
-        src: PhysAddr,
+        src: Tainted<PhysAddr>,
         perms: MemPerms,
     ) -> SmResult<PhysAddr>;
 
@@ -240,7 +243,7 @@ pub trait SmApi {
         &self,
         session: CallerSession,
         recipient: EnclaveId,
-        message: &[u8],
+        message: Tainted<&[u8]>,
     ) -> SmResult<()>;
 
     /// `get_mail`: fetches the oldest message queued in `mailbox` together
@@ -326,75 +329,11 @@ impl CallOutcome {
 /// Maximum number of calls one batch may carry.
 pub const MAX_BATCH_CALLS: u64 = 64;
 
-// ---------------------------------------------------------------------------
-// register scalar codec
-// ---------------------------------------------------------------------------
-
-/// Types that travel in a single argument register.
-///
-/// The call registry derives `SmCall::encode` / `SmCall::decode` from the
-/// field types of each call; every field type implements this codec once, so
-/// no per-call marshalling code exists anywhere.
-pub trait RegScalar: Sized {
-    /// Encodes the value into a register word.
-    fn to_reg(&self) -> u64;
-    /// Decodes the value from a register word.
-    fn from_reg(raw: u64) -> Self;
-}
-
-impl RegScalar for u64 {
-    fn to_reg(&self) -> u64 {
-        *self
-    }
-    fn from_reg(raw: u64) -> Self {
-        raw
-    }
-}
-
-impl RegScalar for VirtAddr {
-    fn to_reg(&self) -> u64 {
-        self.as_u64()
-    }
-    fn from_reg(raw: u64) -> Self {
-        VirtAddr::new(raw)
-    }
-}
-
-impl RegScalar for PhysAddr {
-    fn to_reg(&self) -> u64 {
-        self.as_u64()
-    }
-    fn from_reg(raw: u64) -> Self {
-        PhysAddr::new(raw)
-    }
-}
-
-impl RegScalar for EnclaveId {
-    fn to_reg(&self) -> u64 {
-        self.as_u64()
-    }
-    fn from_reg(raw: u64) -> Self {
-        EnclaveId::new(raw)
-    }
-}
-
-impl RegScalar for RegionId {
-    fn to_reg(&self) -> u64 {
-        self.0 as u64
-    }
-    fn from_reg(raw: u64) -> Self {
-        RegionId::new(raw as u32)
-    }
-}
-
-impl RegScalar for MemPerms {
-    fn to_reg(&self) -> u64 {
-        self.bits() as u64
-    }
-    fn from_reg(raw: u64) -> Self {
-        MemPerms::from_bits(raw as u8)
-    }
-}
+// The register scalar codec ([`RegScalar`]) lives in `sanctorum-trust`
+// (re-exported at the top of this module): tainted register values must be
+// encodable without ever exposing an accessor, so the `Tainted<T>` blanket
+// impl needs the trust crate's private view. All scalar impls (`u64`,
+// addresses, ids, perms) live there with it.
 
 // ---------------------------------------------------------------------------
 // the call registry
@@ -590,8 +529,8 @@ sm_call_registry! {
         eid: EnclaveId,
         /// Destination virtual address inside `evrange`.
         vaddr: VirtAddr,
-        /// Source physical address in OS memory.
-        src: PhysAddr,
+        /// Source physical address in OS memory (untrusted until sanitized).
+        src: Tainted<PhysAddr>,
         /// Permission bits (R=1, W=2, X=4).
         perms: MemPerms,
     }
@@ -715,8 +654,8 @@ sm_call_registry! {
     13 => SendMail {
         /// Recipient enclave.
         recipient: EnclaveId,
-        /// Physical address of the message.
-        msg_addr: PhysAddr,
+        /// Physical address of the message (untrusted until sanitized).
+        msg_addr: Tainted<PhysAddr>,
         /// Message length in bytes.
         msg_len: u64,
     }
@@ -726,24 +665,36 @@ sm_call_registry! {
         if msg_len as usize > crate::mailbox::MAX_MAIL_LEN {
             return Err(SmError::InvalidArgument { reason: "mail message too large" });
         }
-        // The caller must itself be able to read the whole message buffer —
-        // checking only its first byte would let a buffer placed at the end
-        // of the caller's region leak the neighbouring region's contents
-        // into the mail.
-        if !sm.caller_can_access_span(session.domain(), msg_addr, msg_len, MemPerms::READ) {
-            return Err(SmError::Unauthorized);
-        }
         let mut buf = vec![0u8; msg_len as usize];
-        sm.machine().phys_read(msg_addr, &mut buf)?;
-        sm.send_mail(session, recipient, &buf).map(|_| 0)
+        if msg_len == 0 {
+            // An empty message still names a buffer address; the (vacuous)
+            // read it implies only requires the address to sit within DRAM
+            // bounds, like the zero-length copy it replaces.
+            sm.sanitizer().check_empty::<ReadAccess>(msg_addr).map_err(|_| SmError::Memory)?;
+        } else {
+            // The caller must itself be able to read the whole message
+            // buffer — proving only its first byte would let a buffer placed
+            // at the end of the caller's region leak the neighbouring
+            // region's contents into the mail.
+            let span = sm
+                .sanitizer()
+                .check_span::<ReadAccess>(
+                    session.domain(),
+                    msg_addr.spanning(msg_len),
+                    SpanPolicy::PLAIN,
+                )
+                .map_err(|_| SmError::Unauthorized)?;
+            sm.machine().read_span(&span, 0, &mut buf)?;
+        }
+        sm.send_mail(session, recipient, Tainted::new(&buf)).map(|_| 0)
     }
 
     /// Fetch waiting mail into a caller-supplied buffer.
     14 => GetMail {
         /// Mailbox index.
         mailbox: u64,
-        /// Physical address of the output buffer.
-        out_addr: PhysAddr,
+        /// Physical address of the output buffer (untrusted until sanitized).
+        out_addr: Tainted<PhysAddr>,
         /// Capacity of the output buffer.
         out_len: u64,
     }
@@ -755,9 +706,19 @@ sm_call_registry! {
         // exceed MAX_MAIL_LEN, so capping the probe there bounds the check
         // without narrowing what can actually be written.
         let probe_len = out_len.min(crate::mailbox::MAX_MAIL_LEN as u64);
-        if !sm.caller_can_access_span(session.domain(), out_addr, probe_len, MemPerms::WRITE) {
-            return Err(SmError::Unauthorized);
-        }
+        let out_span = if probe_len == 0 {
+            None
+        } else {
+            Some(
+                sm.sanitizer()
+                    .check_span::<WriteAccess>(
+                        session.domain(),
+                        out_addr.spanning(probe_len),
+                        SpanPolicy::PLAIN,
+                    )
+                    .map_err(|_| SmError::Unauthorized)?,
+            )
+        };
         // The length check and the consumption are one atomic operation: a
         // message too large for the caller's buffer is rejected while it is
         // still queued (the seed consumed it first, destroying mail a
@@ -765,7 +726,14 @@ sm_call_registry! {
         // can swap the queue head between a separate probe and the fetch.
         let (message, _sender) =
             sm.get_mail_bounded(session, mailbox as usize, out_len as usize)?;
-        sm.machine().phys_write(out_addr, &message)?;
+        match &out_span {
+            Some(span) => sm.machine().write_span(span, 0, &message)?,
+            None => {
+                // A zero-capacity buffer admits only an empty message; its
+                // (vacuous) write still requires an address within DRAM.
+                sm.sanitizer().check_empty::<WriteAccess>(out_addr).map_err(|_| SmError::Memory)?;
+            }
+        }
         Ok(message.len() as u64)
     }
 
@@ -786,8 +754,8 @@ sm_call_registry! {
     /// for the 64-byte-per-entry wire layout); returns the number of entries
     /// executed.
     16 => Batch {
-        /// Physical address of the call table in caller-accessible memory.
-        table: PhysAddr,
+        /// Physical address of the call table (untrusted until sanitized).
+        table: Tainted<PhysAddr>,
         /// Number of packed calls in the table.
         count: u64,
     }
@@ -969,7 +937,7 @@ mod tests {
             SmCall::LoadPage {
                 eid: EnclaveId::new(0x8010_0000),
                 vaddr: VirtAddr::new(0x11000),
-                src: PhysAddr::new(0x8200_0000),
+                src: PhysAddr::new(0x8200_0000).into(),
                 perms: MemPerms::RX,
             },
             SmCall::LoadThread { eid: EnclaveId::new(1), entry_pc: 0x40 },
@@ -983,16 +951,16 @@ mod tests {
             SmCall::AcceptMail { mailbox: 1, sender_id: 0x8020_0000 },
             SmCall::SendMail {
                 recipient: EnclaveId::new(0x8020_0000),
-                msg_addr: PhysAddr::new(0x8300_0000),
+                msg_addr: PhysAddr::new(0x8300_0000).into(),
                 msg_len: 64,
             },
             SmCall::GetMail {
                 mailbox: 0,
-                out_addr: PhysAddr::new(0x8300_1000),
+                out_addr: PhysAddr::new(0x8300_1000).into(),
                 out_len: 1024,
             },
             SmCall::GetField { field: 2 },
-            SmCall::Batch { table: PhysAddr::new(0x8300_2000), count: 4 },
+            SmCall::Batch { table: PhysAddr::new(0x8300_2000).into(), count: 4 },
             SmCall::PeekMail { mailbox: 2 },
         ]
     }

@@ -33,11 +33,11 @@ use crate::api::{perform, status, status_of, CallOutcome, SmCall, MAX_BATCH_CALL
 use crate::error::{SmError, SmResult};
 use crate::monitor::SecurityMonitor;
 use crate::session::CallerSession;
-use sanctorum_hal::addr::{PhysAddr, PAGE_SIZE};
+use sanctorum_hal::addr::{PhysAddr, Span};
 use sanctorum_hal::domain::{CoreId, DomainKind};
-use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::guest::{REG_A0, REG_A1};
 use sanctorum_machine::trap::TrapCause;
+use sanctorum_trust::{Checked, RwAccess, SpanPolicy, Tainted, TrustError};
 
 /// Size of one packed batch entry in bytes (6 argument words plus the
 /// written-back status and value words).
@@ -209,67 +209,32 @@ impl SecurityMonitor {
         }
     }
 
-    /// Checks that `domain` may access every byte of `[addr, addr + len)`
-    /// with `perms`. Access control is region-granular and regions are
-    /// page-multiples, so probing each touched page (and the final byte)
-    /// covers the span.
-    pub(crate) fn caller_can_access_span(
-        &self,
-        domain: DomainKind,
-        addr: PhysAddr,
-        len: u64,
-        perms: MemPerms,
-    ) -> bool {
-        if len == 0 {
-            return true;
-        }
-        let last = addr.offset(len - 1);
-        let mut probe = addr;
-        while probe.as_u64() <= last.as_u64() {
-            if !self.machine().check_access(domain, probe, perms) {
-                return false;
-            }
-            probe = probe.align_down().offset(PAGE_SIZE as u64);
-        }
-        self.machine().check_access(domain, last, perms)
-    }
-
-    /// Validates the shape of a batch (length bounds, and for packed batches
-    /// the caller's access to the table).
-    fn check_batch_shape(&self, session: CallerSession, table: Option<PhysAddr>, count: u64) -> SmResult<()> {
+    /// Validates a batch's length bounds (shared by packed and typed
+    /// batches; a packed batch additionally proves its table through the
+    /// sanitizer in [`run_packed_batch`](Self::run_packed_batch)).
+    fn check_batch_count(count: u64) -> SmResult<()> {
         if count == 0 {
             return Err(SmError::InvalidArgument { reason: "empty batch" });
         }
         if count > MAX_BATCH_CALLS {
             return Err(SmError::InvalidArgument { reason: "batch exceeds MAX_BATCH_CALLS" });
         }
-        if let Some(table) = table {
-            if table.as_u64() % 8 != 0 {
-                return Err(SmError::InvalidArgument { reason: "batch table must be 8-byte aligned" });
-            }
-            // The whole table must be populated DRAM. The access table is
-            // default-allow outside the protected ranges, so without this
-            // check a table straddling the end of memory would pass the
-            // access probe and abort mid-batch with entries already executed
-            // — the shape contract promises rejection before any entry runs.
-            if !self
-                .machine()
-                .with_memory(|m| m.contains(table, (count * BATCH_ENTRY_BYTES) as usize))
-            {
-                return Err(SmError::Memory);
-            }
-            // The caller must be able to read every argument word and take
-            // the status write-backs.
-            if !self.caller_can_access_span(
-                session.domain(),
-                table,
-                count * BATCH_ENTRY_BYTES,
-                MemPerms::RW,
-            ) {
-                return Err(SmError::Unauthorized);
-            }
-        }
         Ok(())
+    }
+
+    /// Maps a refused batch-table proof onto the ABI's historical errors:
+    /// alignment → `InvalidArgument`, DRAM containment → `Memory` (the
+    /// straddling-table shape contract: rejection before any entry runs),
+    /// access → `Unauthorized`.
+    fn batch_table_error(err: TrustError) -> SmError {
+        match err {
+            TrustError::Unaligned { .. } => {
+                SmError::InvalidArgument { reason: "batch table must be 8-byte aligned" }
+            }
+            TrustError::OutOfDram => SmError::Memory,
+            TrustError::Empty => SmError::InvalidArgument { reason: "empty batch" },
+            TrustError::Denied | TrustError::TooLong { .. } => SmError::Unauthorized,
+        }
     }
 
     /// Executes a packed call table (the register-level `SmCall::Batch`
@@ -291,29 +256,64 @@ impl SecurityMonitor {
     pub(crate) fn run_packed_batch(
         &self,
         session: CallerSession,
-        table: PhysAddr,
+        table: Tainted<PhysAddr>,
         count: u64,
     ) -> SmResult<u64> {
-        self.check_batch_shape(session, Some(table), count)?;
-        let entry_accessible = |entry: PhysAddr| {
-            self.caller_can_access_span(session.domain(), entry, BATCH_ENTRY_BYTES, MemPerms::RW)
+        Self::check_batch_count(count)?;
+        // The whole-table proof: 8-byte alignment, full containment in
+        // populated DRAM (the access table is default-allow outside the
+        // protected ranges, so without the containment leg a table
+        // straddling the end of memory would pass the access walk and abort
+        // mid-batch with entries already executed — the shape contract
+        // promises rejection before any entry runs), and caller read/write
+        // access to every argument word and status write-back.
+        let mut token: Option<Checked<Span, RwAccess>> = Some(
+            self.sanitizer()
+                .check_span::<RwAccess>(
+                    session.domain(),
+                    table.spanning(count * BATCH_ENTRY_BYTES),
+                    SpanPolicy::table(8),
+                )
+                .map_err(Self::batch_table_error)?,
+        );
+        // The proof above covers the whole table, so entries only need
+        // re-proving once some executed call could have changed the
+        // isolation configuration (the registry flags those calls). The
+        // revalidation protocol is encoded in the token: it is *moved away*
+        // (Checked is not Clone) at the first isolation-mutating entry, and
+        // from then on every entry must mint a fresh proof for its own
+        // 64-byte window — or the batch stops touching the table.
+        let entry_window = |idx: u64| {
+            self.sanitizer()
+                .check_span::<RwAccess>(
+                    session.domain(),
+                    table.offset(idx * BATCH_ENTRY_BYTES).spanning(BATCH_ENTRY_BYTES),
+                    SpanPolicy::PLAIN,
+                )
+                .ok()
         };
-        // The shape check above validated the whole table, so entries only
-        // need re-validation once some executed call could have changed the
-        // isolation configuration (the registry flags those calls).
-        let mut revalidate = false;
         let mut executed = 0u64;
         for idx in 0..count {
-            let entry = table.offset(idx * BATCH_ENTRY_BYTES);
-            if revalidate && !entry_accessible(entry) {
-                break;
-            }
+            let offset = idx * BATCH_ENTRY_BYTES;
             // One bulk read for the six argument words and one bulk write for
             // the (status, value) pair keep the per-entry memory-system cost
             // at two accesses — this is where batching wins over per-call
             // traps.
             let mut arg_bytes = [0u8; 48];
-            self.machine().phys_read(entry, &mut arg_bytes)?;
+            {
+                let fresh;
+                let (window, window_offset) = match token.as_ref() {
+                    Some(whole_table) => (whole_table, offset),
+                    None => match entry_window(idx) {
+                        Some(proof) => {
+                            fresh = proof;
+                            (&fresh, 0)
+                        }
+                        None => break,
+                    },
+                };
+                self.machine().read_span(window, window_offset, &mut arg_bytes)?;
+            }
             let mut regs = [0u64; 6];
             for (word, reg) in regs.iter_mut().enumerate() {
                 let mut le = [0u8; 8];
@@ -329,16 +329,32 @@ impl SecurityMonitor {
                 BatchStep::Abort(o) => (o, true),
             };
             executed += 1;
-            revalidate = revalidate || mutates_isolation;
-            if revalidate && !entry_accessible(entry) {
-                // The entry's own call revoked the caller's table access; do
-                // not write into what is now foreign (or scrubbed) memory.
-                break;
+            if mutates_isolation {
+                // The entry may have revoked the caller's access to the
+                // table itself (blocking or granting away the region that
+                // holds it); the whole-table proof is dead from here on.
+                token = None;
             }
             let mut result_bytes = [0u8; 16];
             result_bytes[..8].copy_from_slice(&outcome.status.to_le_bytes());
             result_bytes[8..].copy_from_slice(&outcome.value.to_le_bytes());
-            self.machine().phys_write(entry.offset(48), &result_bytes)?;
+            {
+                let fresh;
+                let (window, window_offset) = match token.as_ref() {
+                    Some(whole_table) => (whole_table, offset + 48),
+                    None => match entry_window(idx) {
+                        Some(proof) => {
+                            fresh = proof;
+                            (&fresh, 48)
+                        }
+                        // The entry's own call revoked the caller's table
+                        // access; do not write into what is now foreign (or
+                        // scrubbed) memory.
+                        None => break,
+                    },
+                };
+                self.machine().write_span(window, window_offset, &result_bytes)?;
+            }
             if abort {
                 break;
             }
@@ -357,7 +373,7 @@ impl SecurityMonitor {
         session: CallerSession,
         calls: &[SmCall],
     ) -> SmResult<Vec<CallOutcome>> {
-        self.check_batch_shape(session, None, calls.len() as u64)?;
+        Self::check_batch_count(calls.len() as u64)?;
         let mut outcomes = Vec::with_capacity(calls.len());
         for call in calls {
             match self.batch_step(session, Ok(call.clone())) {
@@ -407,7 +423,10 @@ impl SecurityMonitor {
             entry[48..56].copy_from_slice(&status::NOT_RUN.to_le_bytes());
         }
         self.machine().phys_write(table, &packed)?;
-        self.stage_call(core, &SmCall::Batch { table, count: calls.len() as u64 });
+        self.stage_call(
+            core,
+            &SmCall::Batch { table: Tainted::new(table), count: calls.len() as u64 },
+        );
         Ok(())
     }
 

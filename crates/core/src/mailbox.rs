@@ -32,6 +32,7 @@ use crate::error::{SmError, SmResult};
 use crate::measurement::Measurement;
 use sanctorum_hal::addr::PAGE_SIZE;
 use sanctorum_hal::domain::EnclaveId;
+use sanctorum_trust::{CanRead, Checked, Sanitizer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -189,17 +190,26 @@ impl Mailbox {
 
     /// `send_mail`: enqueues a message from `sender`.
     ///
+    /// This is a trust-boundary *sink*: the payload must arrive as a
+    /// [`Checked`] proof minted by [`Sanitizer::check_message`], which is the
+    /// only place the [`MAX_MAIL_LEN`] bound is decided. A raw `&[u8]` (or a
+    /// `Tainted` one) does not compile here, and the custom lint pass keeps
+    /// this signature honest (`cargo xtask lint`, rule `sink_signature`).
+    ///
     /// # Errors
     ///
     /// [`SmError::MailNotAccepted`] if the mailbox is not armed for this
-    /// sender, [`SmError::MailboxUnavailable`] if the queue is full, and
-    /// [`SmError::InvalidArgument`] for oversized messages.
-    pub fn send(&mut self, sender: SenderIdentity, message: &[u8]) -> SmResult<()> {
-        if message.len() > MAX_MAIL_LEN {
-            return Err(SmError::InvalidArgument {
-                reason: "mail message too large",
-            });
-        }
+    /// sender, [`SmError::MailboxUnavailable`] if the queue is full.
+    pub fn send<P: CanRead>(
+        &mut self,
+        sender: SenderIdentity,
+        message: &Checked<&[u8], P>,
+    ) -> SmResult<()> {
+        let message = Sanitizer::reveal(message);
+        debug_assert!(
+            message.len() <= MAX_MAIL_LEN,
+            "check_message minted an oversized proof"
+        );
         let sender_id = sender.sender_id();
         if !self.admits(sender_id) {
             return Err(SmError::MailNotAccepted);
@@ -256,12 +266,20 @@ impl Mailbox {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sanctorum_trust::{ReadAccess, Tainted, TrustError};
 
     fn enclave_sender(id: u64, byte: u8) -> SenderIdentity {
         SenderIdentity::Enclave {
             id: EnclaveId::new(id),
             measurement: Measurement([byte; 32]),
         }
+    }
+
+    /// Mints the length-checked payload proof `send` demands — the same
+    /// path the register ABI and the monitor use.
+    fn mail(bytes: &[u8]) -> Checked<&[u8], ReadAccess> {
+        Sanitizer::check_message(Tainted::new(bytes), MAX_MAIL_LEN)
+            .expect("test payload within MAX_MAIL_LEN")
     }
 
     #[test]
@@ -277,14 +295,14 @@ mod tests {
     fn accept_send_get_round_trip() {
         let mut mb = Mailbox::new();
         mb.accept(AcceptMode::Sender(42));
-        mb.send(enclave_sender(42, 1), b"hello").unwrap();
-        let mail = mb.get().unwrap();
-        assert_eq!(mail.message, b"hello");
-        assert_eq!(mail.sender, enclave_sender(42, 1));
+        mb.send(enclave_sender(42, 1), &mail(b"hello")).unwrap();
+        let delivered = mb.get().unwrap();
+        assert_eq!(delivered.message, b"hello");
+        assert_eq!(delivered.sender, enclave_sender(42, 1));
         assert!(mb.is_empty());
         // The filter survives delivery: the same sender can mail again
         // without a re-arm.
-        mb.send(enclave_sender(42, 1), b"again").unwrap();
+        mb.send(enclave_sender(42, 1), &mail(b"again")).unwrap();
         assert_eq!(mb.get().unwrap().message, b"again");
     }
 
@@ -292,13 +310,13 @@ mod tests {
     fn unsolicited_send_rejected() {
         let mut mb = Mailbox::new();
         assert_eq!(
-            mb.send(SenderIdentity::Untrusted, b"spam"),
+            mb.send(SenderIdentity::Untrusted, &mail(b"spam")),
             Err(SmError::MailNotAccepted)
         );
         mb.accept(AcceptMode::Sender(42));
         // Wrong sender id also rejected (denial-of-service protection).
         assert_eq!(
-            mb.send(SenderIdentity::Untrusted, b"spam"),
+            mb.send(SenderIdentity::Untrusted, &mail(b"spam")),
             Err(SmError::MailNotAccepted)
         );
     }
@@ -307,8 +325,8 @@ mod tests {
     fn wildcard_accepts_everyone() {
         let mut mb = Mailbox::new();
         mb.accept(AcceptMode::Any);
-        mb.send(SenderIdentity::Untrusted, b"os").unwrap();
-        mb.send(enclave_sender(7, 3), b"e7").unwrap();
+        mb.send(SenderIdentity::Untrusted, &mail(b"os")).unwrap();
+        mb.send(enclave_sender(7, 3), &mail(b"e7")).unwrap();
         assert_eq!(mb.get().unwrap().sender, SenderIdentity::Untrusted);
         assert_eq!(mb.get().unwrap().sender, enclave_sender(7, 3));
     }
@@ -318,11 +336,11 @@ mod tests {
         let mut mb = Mailbox::new();
         mb.accept(AcceptMode::Sender(1));
         for i in 0..MAILBOX_QUEUE_DEPTH as u8 {
-            mb.send(enclave_sender(1, 9), &[i]).unwrap();
+            mb.send(enclave_sender(1, 9), &mail(&[i])).unwrap();
         }
         assert!(mb.is_full());
         assert_eq!(
-            mb.send(enclave_sender(1, 9), b"overflow"),
+            mb.send(enclave_sender(1, 9), &mail(b"overflow")),
             Err(SmError::MailboxUnavailable)
         );
         for i in 0..MAILBOX_QUEUE_DEPTH as u8 {
@@ -336,8 +354,8 @@ mod tests {
         let mut mb = Mailbox::new();
         assert!(mb.peek().is_none());
         mb.accept(AcceptMode::Sender(7));
-        mb.send(enclave_sender(7, 2), b"first").unwrap();
-        mb.send(enclave_sender(7, 2), b"second!").unwrap();
+        mb.send(enclave_sender(7, 2), &mail(b"first")).unwrap();
+        mb.send(enclave_sender(7, 2), &mail(b"second!")).unwrap();
         assert_eq!(mb.peek().unwrap().message.len(), 5);
         assert_eq!(mb.peek().unwrap().message.len(), 5, "peek must not consume");
         assert_eq!(mb.get().unwrap().message, b"first");
@@ -346,28 +364,30 @@ mod tests {
 
     #[test]
     fn oversized_message_rejected() {
+        // The length bound now lives in the sanitizer: an oversized payload
+        // never even becomes a proof `send` could be offered.
+        let big = vec![0u8; MAX_MAIL_LEN + 1];
+        assert_eq!(
+            Sanitizer::check_message(Tainted::new(big.as_slice()), MAX_MAIL_LEN).unwrap_err(),
+            TrustError::TooLong { max: MAX_MAIL_LEN }
+        );
         let mut mb = Mailbox::new();
         mb.accept(AcceptMode::Sender(1));
-        let big = vec![0u8; MAX_MAIL_LEN + 1];
-        assert!(matches!(
-            mb.send(enclave_sender(1, 0), &big),
-            Err(SmError::InvalidArgument { .. })
-        ));
         let exact = vec![0u8; MAX_MAIL_LEN];
-        mb.send(enclave_sender(1, 0), &exact).unwrap();
+        mb.send(enclave_sender(1, 0), &mail(&exact)).unwrap();
     }
 
     #[test]
     fn re_accept_changes_filter_but_keeps_queue() {
         let mut mb = Mailbox::new();
         mb.accept(AcceptMode::Sender(1));
-        mb.send(enclave_sender(1, 4), b"old sender").unwrap();
+        mb.send(enclave_sender(1, 4), &mail(b"old sender")).unwrap();
         mb.accept(AcceptMode::Sender(2));
         assert_eq!(
-            mb.send(enclave_sender(1, 4), b"stale"),
+            mb.send(enclave_sender(1, 4), &mail(b"stale")),
             Err(SmError::MailNotAccepted)
         );
-        mb.send(enclave_sender(2, 5), b"new sender").unwrap();
+        mb.send(enclave_sender(2, 5), &mail(b"new sender")).unwrap();
         // The message admitted under the old filter is still delivered.
         assert_eq!(mb.get().unwrap().message, b"old sender");
         assert_eq!(mb.get().unwrap().message, b"new sender");
@@ -377,9 +397,9 @@ mod tests {
     fn purge_drops_only_the_named_sender() {
         let mut mb = Mailbox::new();
         mb.accept(AcceptMode::Any);
-        mb.send(enclave_sender(1, 1), b"a").unwrap();
-        mb.send(enclave_sender(2, 2), b"b").unwrap();
-        mb.send(enclave_sender(1, 1), b"c").unwrap();
+        mb.send(enclave_sender(1, 1), &mail(b"a")).unwrap();
+        mb.send(enclave_sender(2, 2), &mail(b"b")).unwrap();
+        mb.send(enclave_sender(1, 1), &mail(b"c")).unwrap();
         assert_eq!(mb.purge_sender(1), 2);
         assert_eq!(mb.len(), 1);
         assert_eq!(mb.get().unwrap().message, b"b");

@@ -44,6 +44,7 @@ use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::hart::PrivilegeLevel;
 use sanctorum_machine::pagetable::PageTableBuilder;
 use sanctorum_machine::Machine;
+use sanctorum_trust::{ReadAccess, Sanitizer, Tainted};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -188,13 +189,15 @@ struct SmState {
     /// The Fig. 2 ownership map, sharded so transactions on different
     /// resources take disjoint locks (see [`ShardedResourceMap`]).
     resources: ShardedResourceMap,
-    /// Read-mostly: every call resolves ids through these tables but only
-    /// lifecycle calls mutate them, so lookups take shared read locks and
-    /// proceed in parallel across harts.
+    /// Read-mostly (rank `ENCLAVE_TABLE`): every call resolves enclave ids
+    /// through this table but only lifecycle calls mutate it, so lookups
+    /// take shared read locks and proceed in parallel across harts.
     enclaves: OrderedRwLock<BTreeMap<EnclaveId, EnclaveHandle>>,
+    /// Read-mostly (rank `THREAD_TABLE`), same pattern as the enclave table.
     threads: OrderedRwLock<BTreeMap<ThreadId, ThreadHandle>>,
-    /// Which enclave thread currently occupies each core. Read-mostly
-    /// (dispatch probes it on every event; only enter/exit/AEX write).
+    /// Which enclave thread currently occupies each core (rank `OCCUPANCY`).
+    /// Read-mostly (dispatch probes it on every event; only enter/exit/AEX
+    /// write).
     core_occupancy: OrderedRwLock<BTreeMap<CoreId, ThreadId>>,
     next_tid: AtomicU64,
     /// Relaxed count of live enclaves — the lock-free fast path for
@@ -211,9 +214,10 @@ struct SmState {
     threads_generation: AtomicU64,
     /// Bumped after every core-occupancy change.
     occupancy_generation: AtomicU64,
-    /// The mail-fabric quota ledger: undelivered messages in flight per
-    /// sender id, across every live recipient's queues. `send_mail` refuses a
-    /// sender at [`MAIL_SENDER_QUOTA`]; delivery and teardown purges refund.
+    /// The mail-fabric quota ledger (rank `MAIL_LEDGER`): undelivered
+    /// messages in flight per sender id, across every live recipient's
+    /// queues. `send_mail` refuses a sender at [`MAIL_SENDER_QUOTA`];
+    /// delivery and teardown purges refund.
     mail_ledger: OrderedMutex<BTreeMap<u64, u64>>,
     /// Bumped after every mail-fabric mutation (send, get, teardown purge).
     mail_generation: AtomicU64,
@@ -386,7 +390,8 @@ pub struct SecurityMonitor {
     /// ownership in the metadata — with the single exception of
     /// `create_enclave`, which programs the primitive *before* the ownership
     /// transfer (and rolls itself back) because on capacity-limited
-    /// platforms programming is the step that can fail.
+    /// platforms programming is the step that can fail. Rank `BACKEND` —
+    /// the last lock any call path acquires.
     backend: OrderedMutex<Box<dyn IsolationBackend + Send>>,
     /// Immutable backend facts cached at construction so diagnostics, the
     /// differential explorer and the region-geometry lookups on the enclave
@@ -405,6 +410,7 @@ pub struct SecurityMonitor {
     /// Encoded [`TestWeakening`] (0 = none): set once before exploration and
     /// read on hot paths, so it is a relaxed atomic, not a lock.
     weakening: AtomicU8,
+    /// Memoized audit snapshot (rank `AUDIT_CACHE`), see [`AuditCache`].
     audit_cache: OrderedMutex<AuditCache>,
 }
 
@@ -487,6 +493,12 @@ impl SecurityMonitor {
     /// Returns the shared machine handle.
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
+    }
+
+    /// The trust-boundary [`Sanitizer`] backed by this monitor's machine:
+    /// the only way OS-supplied addresses and buffers become usable.
+    pub fn sanitizer(&self) -> Sanitizer<'_> {
+        self.machine.sanitizer()
     }
 
     /// Returns monitor statistics.
@@ -1217,7 +1229,7 @@ impl SmApi for SecurityMonitor {
         session: CallerSession,
         eid: EnclaveId,
         vaddr: VirtAddr,
-        src: PhysAddr,
+        src: Tainted<PhysAddr>,
         perms: MemPerms,
     ) -> SmResult<PhysAddr> {
         self.record_call(self.with_global_lock(|| {
@@ -1225,11 +1237,17 @@ impl SmApi for SecurityMonitor {
             let enclave = self.lock_enclave(eid)?;
             let mut meta = self.try_lock(&enclave)?;
             meta.require_loading()?;
-            if !vaddr.is_page_aligned() || !src.is_page_aligned() {
-                return Err(SmError::InvalidArgument {
-                    reason: "addresses must be page aligned",
-                });
-            }
+            // Alignment is proved first (jointly with the virtual address —
+            // one shared diagnostic), yielding the intermediate `PageAligned`
+            // typestate; the access proof comes later in its historical slot.
+            let src = match self.sanitizer().check_page_aligned(src) {
+                Ok(aligned) if vaddr.is_page_aligned() => aligned,
+                _ => {
+                    return Err(SmError::InvalidArgument {
+                        reason: "addresses must be page aligned",
+                    });
+                }
+            };
             if !meta.in_evrange(vaddr) {
                 return Err(SmError::InvalidArgument {
                     reason: "virtual address outside evrange",
@@ -1244,16 +1262,17 @@ impl SmApi for SecurityMonitor {
                 reason: "page tables must be allocated before loading pages",
             })?;
             // The source must be memory the OS could legitimately read.
-            if !self.machine.check_access(DomainKind::Untrusted, src, MemPerms::READ) {
-                return Err(SmError::Unauthorized);
-            }
+            let src = self
+                .sanitizer()
+                .check_page::<ReadAccess>(DomainKind::Untrusted, src)
+                .map_err(|_| SmError::Unauthorized)?;
             meta.record_mapping(vaddr)?;
             let dst = meta.alloc_next_page()?;
             meta.data_loading_started = true;
 
             // Copy contents and build the mapping inside enclave memory.
             let mut contents = vec![0u8; PAGE_SIZE];
-            self.machine.phys_read(src, &mut contents)?;
+            self.machine.read_page(&src, &mut contents)?;
             self.machine.phys_write(dst, &contents)?;
             self.machine.charge(self.machine.cost_model().zero_page);
 
@@ -1887,7 +1906,7 @@ impl SmApi for SecurityMonitor {
         &self,
         session: CallerSession,
         recipient: EnclaveId,
-        message: &[u8],
+        message: Tainted<&[u8]>,
     ) -> SmResult<()> {
         self.record_call(self.with_global_lock(|| {
             let sender_identity = match session.domain() {
@@ -1899,11 +1918,14 @@ impl SmApi for SecurityMonitor {
                 DomainKind::SecurityMonitor => return Err(SmError::Unauthorized),
             };
             let sender_id = sender_identity.sender_id();
-            if message.len() > MAX_MAIL_LEN {
-                return Err(SmError::InvalidArgument {
+            // The message bytes were already copied into monitor memory;
+            // all that is left to prove is the length bound the mailbox
+            // sink's signature demands.
+            let message = Sanitizer::check_message(message, MAX_MAIL_LEN).map_err(|_| {
+                SmError::InvalidArgument {
                     reason: "mail message too large",
-                });
-            }
+                }
+            })?;
             let enclave = self.lock_enclave(recipient)?;
             let mut meta = self.try_lock(&enclave)?;
             // Routing: a sender named by any specific filter is *only*
@@ -1940,7 +1962,7 @@ impl SmApi for SecurityMonitor {
                     resource: "mail sender quota",
                 });
             }
-            meta.mailboxes[index].send(sender_identity, message)?;
+            meta.mailboxes[index].send(sender_identity, &message)?;
             *count += 1;
             drop(ledger);
             self.touch_enclave(&mut meta);

@@ -353,6 +353,8 @@ pub const fn shard_of(id: ResourceId) -> usize {
 /// recorded generation and the next audit conservatively rebuilds.
 #[derive(Debug)]
 pub struct ShardedResourceMap {
+    /// Shard `k` holds rank `RESOURCE_SHARD_BASE + k`, so the (rare)
+    /// multi-shard transactions acquire shards in ascending index order.
     shards: Vec<OrderedMutex<ResourceMap>>,
     generation: AtomicU64,
 }

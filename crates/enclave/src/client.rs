@@ -10,6 +10,7 @@ use sanctorum_core::session::CallerSession;
 use sanctorum_crypto::sha3::Sha3_256;
 use sanctorum_crypto::x25519;
 use sanctorum_hal::domain::EnclaveId;
+use sanctorum_trust::Tainted;
 
 /// The request an enclave mails to the signing enclave: the verifier's nonce
 /// plus report data binding the attestation to the enclave's ephemeral DH
@@ -126,7 +127,8 @@ impl AttestationClient {
         let report_data = Sha3_256::digest(&self.dh_public);
         let request = AttestationRequest { nonce, report_data };
         sm.accept_mail(self.session(), REPLY_MAILBOX, signing_eid.as_u64())?;
-        sm.send_mail(self.session(), signing_eid, &request.encode())
+        let message = request.encode();
+        sm.send_mail(self.session(), signing_eid, Tainted::new(&message))
     }
 
     /// Collects one signed reply from the reply mailbox (Fig. 7 step ⑥) and

@@ -33,6 +33,7 @@ use sanctorum_core::monitor::SecurityMonitor;
 use sanctorum_core::session::CallerSession;
 use sanctorum_crypto::ed25519::{Keypair, Signature};
 use sanctorum_hal::domain::EnclaveId;
+use sanctorum_trust::Tainted;
 use std::collections::BTreeMap;
 
 /// Mailbox index the signing enclave uses to receive requests.
@@ -213,7 +214,8 @@ impl SigningEnclave {
             // A requester that never armed its reply mailbox (or exhausted
             // its queue) forfeits this reply; the service moves on, and the
             // requester does not count as served.
-            if sm.send_mail(self.session(), id, &reply.encode()).is_ok() {
+            let encoded = reply.encode();
+            if sm.send_mail(self.session(), id, Tainted::new(&encoded)).is_ok() {
                 served.push(id);
             }
         }
@@ -308,7 +310,8 @@ impl SigningEnclave {
         let signature = keypair.sign(&report.to_signed_bytes());
 
         let reply = AttestationReply { report: report.clone(), signature };
-        sm.send_mail(self.session(), requester, &reply.encode())?;
+        let encoded = reply.encode();
+        sm.send_mail(self.session(), requester, Tainted::new(&encoded))?;
         Ok((report, signature))
     }
 }

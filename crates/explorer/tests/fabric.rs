@@ -19,6 +19,7 @@ use proptest::prelude::*;
 use sanctorum_core::api::SmApi;
 use sanctorum_core::mailbox::{ANY_SENDER, MAIL_SENDER_QUOTA};
 use sanctorum_core::monitor::AuditSnapshot;
+use sanctorum_trust::Tainted;
 use sanctorum_core::session::CallerSession;
 use sanctorum_enclave::image::EnclaveImage;
 use sanctorum_hal::domain::EnclaveId;
@@ -97,7 +98,7 @@ impl Harness {
                 let message = vec![0x5au8; 1 + (len % 96) as usize];
                 // Refusals (not accepted, full queue, quota) are legitimate;
                 // conservation must hold either way.
-                let _ = sm.send_mail(session, self.eid(to), &message);
+                let _ = sm.send_mail(session, self.eid(to), Tainted::new(&message));
             }
             FabricOp::Get { slot, mb } => {
                 let session = CallerSession::enclave(self.eid(slot));
@@ -196,7 +197,7 @@ fn quota_exhaustion_and_refund_round_trip() {
         sm.accept_mail(session, mb, ANY_SENDER).unwrap();
     }
     let mut sent = 0;
-    while sm.send_mail(CallerSession::os(), victim, b"fill").is_ok() {
+    while sm.send_mail(CallerSession::os(), victim, b"fill".into()).is_ok() {
         sent += 1;
         assert!(sent <= MAIL_SENDER_QUOTA, "quota never enforced");
     }
@@ -210,7 +211,7 @@ fn quota_exhaustion_and_refund_round_trip() {
     }
     assert_eq!(drained, sent);
     harness.check().unwrap();
-    sm.send_mail(CallerSession::os(), victim, b"refunded").unwrap();
+    sm.send_mail(CallerSession::os(), victim, b"refunded".into()).unwrap();
     let (message, identity) = sm.get_mail(session, 0).unwrap();
     assert_eq!(message, b"refunded");
     assert_eq!(identity.sender_id(), 0);
@@ -228,7 +229,7 @@ fn teardown_purges_messages_sent_by_the_dead_enclave() {
     {
         let sm = &harness.system.monitor;
         sm.accept_mail(recipient_session, 0, sender.eid.as_u64()).unwrap();
-        sm.send_mail(CallerSession::enclave(sender.eid), recipient, b"ghost")
+        sm.send_mail(CallerSession::enclave(sender.eid), recipient, b"ghost".into())
             .unwrap();
         assert!(sm.peek_mail(recipient_session, 0).is_ok());
     }

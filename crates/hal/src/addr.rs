@@ -101,6 +101,68 @@ impl From<u64> for PhysAddr {
     }
 }
 
+/// A contiguous range of physical bytes `[base, base + len)`.
+///
+/// A `Span` is pure geometry: it carries no claim about who may access the
+/// bytes or whether they are populated DRAM. Untrusted callers hand spans to
+/// the monitor wrapped in `sanctorum_trust::Tainted<Span>`; the trust
+/// boundary turns them into `Checked<Span, _>` proofs.
+///
+/// # Examples
+///
+/// ```
+/// use sanctorum_hal::addr::{PhysAddr, Span};
+/// let s = Span::new(PhysAddr::new(0x8000_1000), 64);
+/// assert_eq!(s.base().as_u64(), 0x8000_1000);
+/// assert_eq!(s.len(), 64);
+/// assert_eq!(s.last().unwrap().as_u64(), 0x8000_103f);
+/// assert!(Span::new(PhysAddr::new(0x8000_1000), 0).is_empty());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Span {
+    base: PhysAddr,
+    len: u64,
+}
+
+impl Span {
+    /// Creates a span covering `[base, base + len)`.
+    pub const fn new(base: PhysAddr, len: u64) -> Self {
+        Self { base, len }
+    }
+
+    /// The first address of the span.
+    pub const fn base(self) -> PhysAddr {
+        self.base
+    }
+
+    /// Length of the span in bytes.
+    pub const fn len(self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the span covers no bytes.
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// The last address covered by the span, or `None` if it is empty.
+    pub const fn last(self) -> Option<PhysAddr> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(PhysAddr(self.base.0 + self.len - 1))
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}; {} bytes)", self.base.0, self.len)
+    }
+}
+
 /// A physical page number (address divided by [`PAGE_SIZE`]).
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,

@@ -215,6 +215,37 @@ impl AccessControl {
         }
     }
 
+    /// Checks that `domain` may access every byte of `[base, base + len)`
+    /// with `needed`. Ranges are page-multiples, so probing each touched
+    /// page start (and the final byte) covers the span. Zero-length spans
+    /// are trivially allowed.
+    ///
+    /// This is the single-lock span walk behind the trust-boundary
+    /// sanitizer: callers hold the access table's read lock once for the
+    /// whole walk instead of re-acquiring it per page.
+    pub fn check_span(
+        &self,
+        domain: DomainKind,
+        base: PhysAddr,
+        len: u64,
+        needed: MemPerms,
+    ) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let last = base.offset(len - 1);
+        let mut probe = base;
+        while probe.as_u64() <= last.as_u64() {
+            if !self.check(domain, probe, needed).is_allowed() {
+                return false;
+            }
+            probe = probe
+                .align_down()
+                .offset(sanctorum_hal::addr::PAGE_SIZE as u64);
+        }
+        self.check(domain, last, needed).is_allowed()
+    }
+
     /// Checks whether a DMA access to `addr` by an untrusted device is
     /// permitted.
     pub fn check_dma(&self, addr: PhysAddr) -> AccessDecision {

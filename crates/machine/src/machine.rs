@@ -11,11 +11,12 @@ use crate::pagetable::{PageTableWalker, WalkOutcome};
 use crate::tlb::{Tlb, TlbEntry};
 use crate::trap::{AccessKind, Interrupt, TrapCause};
 use parking_lot::{Mutex, MutexGuard, RwLock};
-use sanctorum_hal::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
+use sanctorum_hal::addr::{PhysAddr, Span, VirtAddr, PAGE_SIZE};
 use sanctorum_hal::cycles::{CostModel, Cycles};
 use sanctorum_hal::domain::{CoreId, DomainKind};
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_hal::root::SimulatedRootOfTrust;
+use sanctorum_trust::{AccessOracle, CanRead, CanWrite, Checked, Sanitizer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -370,6 +371,84 @@ impl Machine {
     /// Convenience wrapper checking whether `domain` may access `addr`.
     pub fn check_access(&self, domain: DomainKind, addr: PhysAddr, perms: MemPerms) -> bool {
         self.access.read().check(domain, addr, perms).is_allowed()
+    }
+
+    // ----- trust boundary (checked sinks) -----------------------------------
+
+    /// A [`Sanitizer`] backed by this machine's access table and DRAM
+    /// geometry — the only way untrusted addresses become usable.
+    pub fn sanitizer(&self) -> Sanitizer<'_> {
+        Sanitizer::new(self)
+    }
+
+    /// Reads `buf.len()` bytes at `offset` within a span the caller proved
+    /// readable. Access was discharged when the proof was minted; DRAM
+    /// containment is (deliberately) still checked here, so requests naming
+    /// unpopulated addresses keep failing at the copy, exactly where the
+    /// unchecked `phys_read` used to fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the window exceeds the proved span or the range
+    /// is not populated DRAM.
+    pub fn read_span<P: CanRead>(
+        &self,
+        span: &Checked<Span, P>,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), MachineError> {
+        let span = span.get();
+        let addr = Self::span_window(span, offset, buf.len())?;
+        Ok(self.memory.read().read_bytes(addr, buf)?)
+    }
+
+    /// Writes `data` at `offset` within a span the caller proved writable.
+    /// Same containment behavior as [`Machine::read_span`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the window exceeds the proved span or the range
+    /// is not populated DRAM.
+    pub fn write_span<P: CanWrite>(
+        &self,
+        span: &Checked<Span, P>,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), MachineError> {
+        let span = span.get();
+        let addr = Self::span_window(span, offset, data.len())?;
+        Ok(self.memory.write().write_bytes(addr, data)?)
+    }
+
+    /// Reads one proved-readable page into `buf` (at most [`PAGE_SIZE`]
+    /// bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the page is not populated DRAM.
+    pub fn read_page<P: CanRead>(
+        &self,
+        page: &Checked<PhysAddr, P>,
+        buf: &mut [u8],
+    ) -> Result<(), MachineError> {
+        debug_assert!(buf.len() <= PAGE_SIZE);
+        Ok(self.memory.read().read_bytes(page.get(), buf)?)
+    }
+
+    /// Bounds-checks a `(offset, len)` window against a proved span and
+    /// returns its base address. Exceeding the proof is an SM-internal bug,
+    /// never reachable from untrusted arguments; it is reported as the same
+    /// out-of-range error a raw access would produce.
+    fn span_window(span: Span, offset: u64, len: usize) -> Result<PhysAddr, MachineError> {
+        let fits = offset
+            .checked_add(len as u64)
+            .is_some_and(|end| end <= span.len());
+        let addr = span.base().offset(offset);
+        if !fits {
+            debug_assert!(fits, "sink window exceeds the proved span");
+            return Err(MachineError::Memory(MemError::OutOfRange { addr, len }));
+        }
+        Ok(addr)
     }
 
     /// Lists the currently programmed protected ranges.
@@ -790,6 +869,21 @@ impl Machine {
         hart.page_table_root = page_table_root;
         hart.pc = pc;
         hart.pending_trap = None;
+    }
+}
+
+/// The machine *is* the sanitizer's oracle: span access resolves against the
+/// access-control table under a single read-lock acquisition, and geometry
+/// against the populated DRAM range.
+impl AccessOracle for Machine {
+    fn allows_span(&self, domain: DomainKind, span: Span, perms: MemPerms) -> bool {
+        self.access
+            .read()
+            .check_span(domain, span.base(), span.len(), perms)
+    }
+
+    fn dram_contains(&self, span: Span) -> bool {
+        self.memory.read().contains(span.base(), span.len() as usize)
     }
 }
 

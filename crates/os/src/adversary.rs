@@ -20,6 +20,7 @@ use sanctorum_machine::guest::{ExitReason, GuestProgram};
 use sanctorum_machine::hart::PrivilegeLevel;
 use sanctorum_machine::pagetable::PageTableBuilder;
 use sanctorum_machine::trap::TrapCause;
+use sanctorum_trust::Tainted;
 
 /// The outcome of one attack attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,7 +165,7 @@ pub fn modify_after_init(os: &Os, enclave: &BuiltEnclave) -> AttackOutcome {
         CallerSession::os(),
         enclave.eid,
         sanctorum_hal::addr::VirtAddr::new(0x10_5000),
-        os.staging_base(),
+        Tainted::new(os.staging_base()),
         MemPerms::RW,
     );
     match result {
@@ -189,7 +190,11 @@ pub fn mail_impersonation(os: &Os, victim: &BuiltEnclave) -> AttackOutcome {
     }
     if os
         .monitor()
-        .send_mail(CallerSession::os(), victim.eid, b"i am the signing enclave, honest")
+        .send_mail(
+            CallerSession::os(),
+            victim.eid,
+            Tainted::new(b"i am the signing enclave, honest"),
+        )
         .is_err()
     {
         return AttackOutcome::Blocked;
@@ -223,7 +228,7 @@ pub fn mailbox_quota_exhaustion(os: &Os, victim: &BuiltEnclave) -> AttackOutcome
             return AttackOutcome::Blocked;
         }
     }
-    if sm.send_mail(CallerSession::os(), victim.eid, b"squat").is_ok() {
+    if sm.send_mail(CallerSession::os(), victim.eid, Tainted::new(b"squat")).is_ok() {
         return AttackOutcome::Succeeded;
     }
 
@@ -240,7 +245,7 @@ pub fn mailbox_quota_exhaustion(os: &Os, victim: &BuiltEnclave) -> AttackOutcome
     }
     let mut delivered = 0usize;
     for _ in 0..(mailboxes * MAILBOX_QUEUE_DEPTH + 4) {
-        if sm.send_mail(CallerSession::os(), victim.eid, b"flood").is_err() {
+        if sm.send_mail(CallerSession::os(), victim.eid, Tainted::new(b"flood")).is_err() {
             break;
         }
         delivered += 1;
@@ -268,7 +273,7 @@ pub fn mailbox_quota_exhaustion(os: &Os, victim: &BuiltEnclave) -> AttackOutcome
     if delivered > 0 {
         // Quota was refunded: one more send fits again, and is drained so
         // the world is left as found.
-        if sm.send_mail(CallerSession::os(), victim.eid, b"post-drain").is_err() {
+        if sm.send_mail(CallerSession::os(), victim.eid, Tainted::new(b"post-drain")).is_err() {
             return AttackOutcome::Succeeded;
         }
         if sm.get_mail(victim_session, 0).is_err() {

@@ -33,6 +33,7 @@ use sanctorum_core::session::CallerSession;
 use sanctorum_hal::addr::VirtAddr;
 use sanctorum_hal::domain::{DomainKind, EnclaveId};
 use sanctorum_hal::isolation::RegionId;
+use sanctorum_trust::Tainted;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -221,7 +222,7 @@ impl Worker<'_> {
                     let session = CallerSession::enclave(eid);
                     self.call(|m| m.accept_mail(session, 0, 0))?;
                     let payload = draw.to_le_bytes();
-                    self.call(|m| m.send_mail(os, eid, &payload))?;
+                    self.call(|m| m.send_mail(os, eid, Tainted::new(&payload)))?;
                     let (bytes, _) = self.call(|m| m.get_mail(session, 0))?;
                     assert_eq!(bytes, payload, "mail round-trip corrupted");
                 } else {
@@ -344,7 +345,7 @@ pub fn run_concurrent(
                         let eid = worker.build_enclave(region)?;
                         let session = CallerSession::enclave(eid);
                         worker.call(|m| m.accept_mail(session, 0, 0))?;
-                        worker.call(|m| m.send_mail(os, eid, b"probe me"))?;
+                        worker.call(|m| m.send_mail(os, eid, Tainted::new(b"probe me")))?;
                         worker.enclave = Some(eid);
                         Ok(())
                     })();

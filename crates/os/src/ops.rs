@@ -36,6 +36,7 @@ use sanctorum_hal::addr::VirtAddr;
 use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
 use sanctorum_hal::isolation::RegionId;
 use sanctorum_machine::MachineConfig;
+use sanctorum_trust::Tainted;
 use sanctorum_crypto::ed25519::Signature;
 use sanctorum_crypto::sha3::Sha3_256;
 use sanctorum_verifier::{ManufacturerCa, RemoteVerifier, SecureSession, SessionPool};
@@ -598,7 +599,7 @@ impl OpWorld {
                     os_session,
                     entry.built.eid,
                     entry.evrange_base,
-                    self.os.staging_base(),
+                    Tainted::new(self.os.staging_base()),
                     sanctorum_hal::perm::MemPerms::RW,
                 );
                 OpOutcome::of_result(label, result, |p| p.as_u64())
@@ -731,7 +732,7 @@ impl OpWorld {
         if let Err(err) =
             self.system
                 .monitor
-                .send_mail(sender_session, recipient, &payload.to_le_bytes())
+                .send_mail(sender_session, recipient, Tainted::new(&payload.to_le_bytes()))
         {
             return OpOutcome::done(label, status_of(&err), 2);
         }
@@ -791,7 +792,7 @@ impl OpWorld {
             match self.system.monitor.send_mail(
                 CallerSession::os(),
                 recipient,
-                &(payload.wrapping_add(i)).to_le_bytes(),
+                Tainted::new(&(payload.wrapping_add(i)).to_le_bytes()),
             ) {
                 Ok(()) => sent += 1,
                 // Quota or queue backpressure mid-burst is a legitimate,

@@ -18,6 +18,7 @@ use sanctorum_hal::isolation::RegionId;
 use sanctorum_machine::guest::{ExitReason, GuestProgram};
 use sanctorum_machine::trap::TrapCause;
 use sanctorum_machine::Machine;
+use sanctorum_trust::Tainted;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -204,7 +205,7 @@ impl Os {
                 .phys_write(self.staging_base, &page)
                 .map_err(|_| SmError::Memory)?;
             self.monitor
-                .load_page(os, eid, *vaddr, self.staging_base, *perms)?;
+                .load_page(os, eid, *vaddr, Tainted::new(self.staging_base), *perms)?;
             after_load(&self.machine, self.staging_base, index);
         }
 

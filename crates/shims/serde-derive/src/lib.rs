@@ -7,6 +7,8 @@
 //! exist only so `#[derive(Serialize, Deserialize)]` keeps compiling against
 //! the same source as the real crates would.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op `#[derive(Serialize)]`.

@@ -1,0 +1,413 @@
+//! Typestate taint/capability discipline for untrusted inputs.
+//!
+//! Every physical address, span, or byte buffer that the OS (or any other
+//! untrusted caller) hands to the security monitor is **tainted**: nothing
+//! about it can be believed until the monitor has proved it. This crate turns
+//! that rule into types:
+//!
+//! * [`Tainted<T>`] wraps an untrusted value. It has **no accessor** — there
+//!   is deliberately no way to read the inner value back out, so a tainted
+//!   address cannot reach a memory sink by accident.
+//! * [`Sanitizer`] (see [`sanitizer`]) is the *only* door out. Backed by an
+//!   [`AccessOracle`] (the machine's access-control matrix and DRAM
+//!   geometry), it validates a tainted value and mints a [`Checked<T, P>`]
+//!   carrying a proof marker `P` ([`ReadAccess`], [`WriteAccess`],
+//!   [`RwAccess`]) naming the permission that was actually verified.
+//! * Memory sinks ([`read`/`write` span copies, page loads, mail buffer
+//!   pushes) accept only `Checked<_>` — bypassing validation no longer
+//!   typechecks.
+//!
+//! `Checked` is not `Clone`: revoking a proof is a move. The batch dispatcher
+//! exploits this to encode its revalidation protocol in types — the
+//! whole-table proof is dropped the moment an isolation-mutating call
+//! executes, and later entries must re-prove their own windows.
+//!
+//! A proof means exactly what the sanitizer checked — no more. In
+//! particular, [`Checked<Span, P>`](Checked) minted by
+//! [`Sanitizer::check_span`] with [`SpanPolicy::PLAIN`] proves *caller
+//! access and geometry only*, not DRAM containment; containment failures
+//! still surface at the sink as memory errors, preserving the monitor's
+//! historical error sequencing.
+//!
+//! # Forgery is a compile error
+//!
+//! `Tainted` has no accessor method or public field:
+//!
+//! ```compile_fail
+//! use sanctorum_hal::addr::PhysAddr;
+//! use sanctorum_trust::Tainted;
+//! let t = Tainted::new(PhysAddr::new(0x8000_0000));
+//! let _ = t.0; // ERROR: field is private — no way to peel taint off
+//! ```
+//!
+//! ```compile_fail
+//! use sanctorum_hal::addr::PhysAddr;
+//! use sanctorum_trust::Tainted;
+//! let t = Tainted::new(PhysAddr::new(0x8000_0000));
+//! let _ = t.get(); // ERROR: no accessor method exists
+//! ```
+//!
+//! And `Checked` cannot be constructed outside the sanitizer module:
+//!
+//! ```compile_fail
+//! use sanctorum_hal::addr::{PhysAddr, Span};
+//! use sanctorum_trust::{Checked, RwAccess};
+//! let forged: Checked<Span, RwAccess> = Checked {
+//!     value: Span::new(PhysAddr::new(0), 64), // ERROR: private fields
+//!     proof: RwAccess,
+//! };
+//! ```
+//!
+//! ```compile_fail
+//! use sanctorum_trust::RwAccess;
+//! let _proof = RwAccess(()); // ERROR: proof witnesses are unconstructible
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sanitizer;
+
+pub use sanitizer::{Sanitizer, SpanPolicy};
+
+use core::fmt;
+use sanctorum_hal::addr::{PhysAddr, Span, VirtAddr};
+use sanctorum_hal::domain::{DomainKind, EnclaveId};
+use sanctorum_hal::isolation::RegionId;
+use sanctorum_hal::perm::MemPerms;
+
+// ---------------------------------------------------------------------------
+// tainted values
+// ---------------------------------------------------------------------------
+
+/// An untrusted value as received at the monitor boundary.
+///
+/// Tainting is always allowed ([`Tainted::new`] is public — wrapping a value
+/// only *weakens* what can be done with it); the inner value can never be
+/// read back. The only consumers are the [`Sanitizer`] and the register
+/// codec ([`RegScalar`]), both inside this crate.
+///
+/// Taint-preserving transforms ([`Tainted::<PhysAddr>::spanning`],
+/// [`Tainted::<PhysAddr>::offset`]) are provided where the boundary needs to
+/// combine an untrusted address with an untrusted length — the result is
+/// just as tainted as the inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tainted<T>(pub(crate) T);
+
+impl<T> Tainted<T> {
+    /// Wraps an untrusted value. Always safe: taint only restricts use.
+    pub const fn new(value: T) -> Self {
+        Tainted(value)
+    }
+}
+
+impl<T> From<T> for Tainted<T> {
+    fn from(value: T) -> Self {
+        Tainted(value)
+    }
+}
+
+/// Byte-string literals (`b"..."`) arrive as fixed-size array references;
+/// admit them directly as tainted byte slices.
+impl<'a, const N: usize> From<&'a [u8; N]> for Tainted<&'a [u8]> {
+    fn from(value: &'a [u8; N]) -> Self {
+        Tainted(value.as_slice())
+    }
+}
+
+impl Tainted<PhysAddr> {
+    /// Combines this tainted base address with an untrusted length into a
+    /// tainted span. Pure taint-to-taint geometry — no validation happens.
+    #[must_use]
+    pub const fn spanning(self, len: u64) -> Tainted<Span> {
+        Tainted(Span::new(self.0, len))
+    }
+
+    /// Advances the tainted address by `bytes`, staying tainted.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Tainted(self.0.offset(bytes))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// proof markers
+// ---------------------------------------------------------------------------
+
+mod sealed {
+    /// Prevents foreign crates from inventing new proof markers.
+    pub trait Sealed {}
+}
+
+/// A permission proof marker minted together with a [`Checked`] value.
+///
+/// Sealed: only the three markers defined here exist, and their witnesses
+/// can only be produced inside this crate (by the sanitizer).
+pub trait Proof: sealed::Sealed {
+    /// The permission this marker certifies was verified.
+    fn perms() -> MemPerms;
+    #[doc(hidden)]
+    fn witness() -> Self;
+}
+
+/// Proof that read access was verified.
+#[derive(Debug)]
+pub struct ReadAccess(());
+
+/// Proof that write access was verified.
+#[derive(Debug)]
+pub struct WriteAccess(());
+
+/// Proof that both read and write access were verified.
+#[derive(Debug)]
+pub struct RwAccess(());
+
+impl sealed::Sealed for ReadAccess {}
+impl sealed::Sealed for WriteAccess {}
+impl sealed::Sealed for RwAccess {}
+
+impl Proof for ReadAccess {
+    fn perms() -> MemPerms {
+        MemPerms::READ
+    }
+    fn witness() -> Self {
+        ReadAccess(())
+    }
+}
+
+impl Proof for WriteAccess {
+    fn perms() -> MemPerms {
+        MemPerms::WRITE
+    }
+    fn witness() -> Self {
+        WriteAccess(())
+    }
+}
+
+impl Proof for RwAccess {
+    fn perms() -> MemPerms {
+        MemPerms::RW
+    }
+    fn witness() -> Self {
+        RwAccess(())
+    }
+}
+
+/// Proofs that permit reading through the checked value.
+pub trait CanRead: Proof {}
+/// Proofs that permit writing through the checked value.
+pub trait CanWrite: Proof {}
+
+impl CanRead for ReadAccess {}
+impl CanRead for RwAccess {}
+impl CanWrite for WriteAccess {}
+impl CanWrite for RwAccess {}
+
+// ---------------------------------------------------------------------------
+// checked values
+// ---------------------------------------------------------------------------
+
+/// A value the [`Sanitizer`] has validated, carrying proof marker `P`.
+///
+/// Construction is confined to the sanitizer module (private fields,
+/// enforced a second time by `cargo xtask lint`). Deliberately **not
+/// `Clone`**: a proof is revoked by moving it away, which is how the batch
+/// dispatcher expresses "this table proof died when an isolation-mutating
+/// call executed".
+#[derive(Debug)]
+pub struct Checked<T, P: Proof> {
+    pub(crate) value: T,
+    #[allow(dead_code)] // the proof *is* the payload; it is never read
+    pub(crate) proof: P,
+}
+
+impl<T: Copy, P: Proof> Checked<T, P> {
+    /// Reads the validated value. Available only once a proof exists.
+    pub fn get(&self) -> T {
+        self.value
+    }
+}
+
+impl<'a, P: Proof> Checked<&'a [u8], P> {
+    /// The validated byte slice.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.value
+    }
+}
+
+/// A physical address proved page-aligned, but nothing else yet.
+///
+/// Intermediate typestate for `load_page`, whose historical error ordering
+/// checks alignment several steps before access: alignment is proved early
+/// (jointly with the virtual address), access is proved late, and only
+/// [`Sanitizer::check_page`] can upgrade this into a full [`Checked`] page.
+#[derive(Debug, Clone, Copy)]
+pub struct PageAligned(pub(crate) PhysAddr);
+
+// ---------------------------------------------------------------------------
+// errors and the oracle
+// ---------------------------------------------------------------------------
+
+/// Why the sanitizer refused to mint a proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrustError {
+    /// The span covers zero bytes (use [`Sanitizer::check_empty`] when a
+    /// vacuous operation is genuinely intended).
+    Empty,
+    /// The base address violates the required alignment.
+    Unaligned {
+        /// The alignment that was required, in bytes.
+        required: u64,
+    },
+    /// The span is not fully contained in populated DRAM.
+    OutOfDram,
+    /// The caller's domain is not allowed the requested access.
+    Denied,
+    /// The byte buffer exceeds the stated maximum length.
+    TooLong {
+        /// The maximum length that was allowed, in bytes.
+        max: usize,
+    },
+}
+
+impl fmt::Display for TrustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrustError::Empty => write!(f, "zero-length span"),
+            TrustError::Unaligned { required } => {
+                write!(f, "base address not {required}-byte aligned")
+            }
+            TrustError::OutOfDram => write!(f, "span not contained in populated DRAM"),
+            TrustError::Denied => write!(f, "caller lacks the required access"),
+            TrustError::TooLong { max } => write!(f, "buffer exceeds {max} bytes"),
+        }
+    }
+}
+
+/// What the sanitizer consults to prove things: the machine's access-control
+/// matrix and DRAM geometry.
+///
+/// Implemented by `Machine`; test code supplies mock oracles.
+pub trait AccessOracle {
+    /// Returns `true` if `domain` may access every byte of `span` with
+    /// `perms`. Must treat an empty span as trivially allowed.
+    fn allows_span(&self, domain: DomainKind, span: Span, perms: MemPerms) -> bool;
+
+    /// Returns `true` if `span` lies entirely within populated DRAM.
+    /// An empty span is contained iff its base address is within or exactly
+    /// at the end of DRAM (matching `PhysMemory::contains`).
+    fn dram_contains(&self, span: Span) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// register scalar codec
+// ---------------------------------------------------------------------------
+
+/// Types that travel in a single argument register.
+///
+/// The call registry derives `SmCall::encode` / `SmCall::decode` from the
+/// field types of each call; every field type implements this codec once, so
+/// no per-call marshalling code exists anywhere. The codec lives in this
+/// crate (rather than `core::api`) because `Tainted` register values must be
+/// encodable without exposing an accessor: the blanket impl below is the
+/// only code outside the sanitizer that touches a tainted payload, and all
+/// it may do is move it between registers — taint in, taint out.
+pub trait RegScalar: Sized {
+    /// Encodes the value into a register word.
+    fn to_reg(&self) -> u64;
+    /// Decodes the value from a register word.
+    fn from_reg(raw: u64) -> Self;
+}
+
+impl RegScalar for u64 {
+    fn to_reg(&self) -> u64 {
+        *self
+    }
+    fn from_reg(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl RegScalar for VirtAddr {
+    fn to_reg(&self) -> u64 {
+        self.as_u64()
+    }
+    fn from_reg(raw: u64) -> Self {
+        VirtAddr::new(raw)
+    }
+}
+
+impl RegScalar for PhysAddr {
+    fn to_reg(&self) -> u64 {
+        self.as_u64()
+    }
+    fn from_reg(raw: u64) -> Self {
+        PhysAddr::new(raw)
+    }
+}
+
+impl RegScalar for EnclaveId {
+    fn to_reg(&self) -> u64 {
+        self.as_u64()
+    }
+    fn from_reg(raw: u64) -> Self {
+        EnclaveId::new(raw)
+    }
+}
+
+impl RegScalar for RegionId {
+    fn to_reg(&self) -> u64 {
+        self.0 as u64
+    }
+    fn from_reg(raw: u64) -> Self {
+        RegionId::new(raw as u32)
+    }
+}
+
+impl RegScalar for MemPerms {
+    fn to_reg(&self) -> u64 {
+        self.bits() as u64
+    }
+    fn from_reg(raw: u64) -> Self {
+        MemPerms::from_bits(raw as u8)
+    }
+}
+
+/// Register values that were tainted stay tainted across a register
+/// round-trip; decoding a register word always (re-)taints it.
+impl<T: RegScalar> RegScalar for Tainted<T> {
+    fn to_reg(&self) -> u64 {
+        self.0.to_reg()
+    }
+    fn from_reg(raw: u64) -> Self {
+        Tainted(T::from_reg(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tainted_round_trips_through_registers() {
+        let t: Tainted<PhysAddr> = Tainted::new(PhysAddr::new(0x8000_1000));
+        let raw = t.to_reg();
+        assert_eq!(raw, 0x8000_1000);
+        let back = <Tainted<PhysAddr>>::from_reg(raw);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn byte_literals_taint_as_slices() {
+        let t: Tainted<&[u8]> = b"hello".into();
+        let u: Tainted<&[u8]> = Tainted::new(b"hello".as_slice());
+        assert_eq!(t, u);
+    }
+
+    #[test]
+    fn proof_markers_name_their_permission() {
+        assert_eq!(ReadAccess::perms(), MemPerms::READ);
+        assert_eq!(WriteAccess::perms(), MemPerms::WRITE);
+        assert_eq!(RwAccess::perms(), MemPerms::RW);
+    }
+}

@@ -1,0 +1,443 @@
+//! The only door from [`Tainted`] to [`Checked`].
+//!
+//! Every constructor of `Checked` in the workspace lives in this module —
+//! the struct's fields are private to the crate, and `cargo xtask lint`
+//! additionally rejects any `Checked {` struct expression outside this file.
+//!
+//! The sanitizer mirrors the monitor's historical validation order exactly,
+//! because several pinned test suites (and the explorer's state digests)
+//! depend on which error a malformed request produces *first*:
+//!
+//! * [`Sanitizer::check_span`] with [`SpanPolicy::PLAIN`] proves caller
+//!   access only (probing one address per touched page, under a single
+//!   access-matrix lock). DRAM containment is *not* part of the proof;
+//!   sinks still report containment failures as memory errors afterwards.
+//! * [`Sanitizer::check_span`] with [`SpanPolicy::table`] additionally
+//!   requires alignment and full DRAM containment *before* the access walk —
+//!   the batch-table shape contract introduced when the straddling bug was
+//!   fixed (containment failures there precede access failures).
+//! * [`Sanitizer::check_empty`] handles the vacuous operations the ABI
+//!   permits (empty mail, zero-length output buffers): a zero-length span
+//!   carries no access requirement, but its base address must still sit
+//!   within DRAM bounds, exactly like the zero-length `phys_read` /
+//!   `phys_write` it replaces.
+
+use crate::{
+    AccessOracle, CanRead, Checked, PageAligned, Proof, ReadAccess, Tainted, TrustError,
+};
+use sanctorum_hal::addr::{PhysAddr, Span};
+use sanctorum_hal::domain::DomainKind;
+
+/// Validation policy for [`Sanitizer::check_span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanPolicy {
+    /// Required alignment of the span base, in bytes (1 = none).
+    pub align: u64,
+    /// Whether the whole span must sit in populated DRAM *before* the
+    /// access walk (the batch-table shape contract).
+    pub require_dram: bool,
+}
+
+impl SpanPolicy {
+    /// Access proof only: no alignment, no up-front containment.
+    pub const PLAIN: SpanPolicy = SpanPolicy {
+        align: 1,
+        require_dram: false,
+    };
+
+    /// Table policy: `align`-byte base alignment, then DRAM containment,
+    /// then the access walk — in that order.
+    pub const fn table(align: u64) -> SpanPolicy {
+        SpanPolicy {
+            align,
+            require_dram: true,
+        }
+    }
+}
+
+/// Validates tainted values against an [`AccessOracle`] and mints proofs.
+#[derive(Clone, Copy)]
+pub struct Sanitizer<'o> {
+    oracle: &'o dyn AccessOracle,
+}
+
+impl<'o> Sanitizer<'o> {
+    /// Creates a sanitizer backed by `oracle`.
+    pub fn new(oracle: &'o dyn AccessOracle) -> Self {
+        Sanitizer { oracle }
+    }
+
+    /// Proves that `domain` may access the non-empty tainted span with the
+    /// permission named by `P`, applying `policy` first.
+    ///
+    /// Check order: empty → alignment → DRAM containment (if required by
+    /// the policy) → access walk. Zero-length spans are always refused here;
+    /// route deliberate vacuous operations through [`Self::check_empty`].
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::Empty`], [`TrustError::Unaligned`],
+    /// [`TrustError::OutOfDram`], or [`TrustError::Denied`], per the order
+    /// above.
+    pub fn check_span<P: Proof>(
+        &self,
+        domain: DomainKind,
+        span: Tainted<Span>,
+        policy: SpanPolicy,
+    ) -> Result<Checked<Span, P>, TrustError> {
+        let span = span.0;
+        if span.is_empty() {
+            return Err(TrustError::Empty);
+        }
+        if policy.align > 1 && !span.base().as_u64().is_multiple_of(policy.align) {
+            return Err(TrustError::Unaligned {
+                required: policy.align,
+            });
+        }
+        if policy.require_dram && !self.oracle.dram_contains(span) {
+            return Err(TrustError::OutOfDram);
+        }
+        if !self.oracle.allows_span(domain, span, P::perms()) {
+            return Err(TrustError::Denied);
+        }
+        Ok(Checked {
+            value: span,
+            proof: P::witness(),
+        })
+    }
+
+    /// Proves a deliberate zero-length span: no access is required, but the
+    /// base address must still sit within DRAM bounds (the containment check
+    /// a zero-length `phys_read`/`phys_write` historically performed).
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::OutOfDram`] if the base address lies outside DRAM.
+    pub fn check_empty<P: Proof>(
+        &self,
+        base: Tainted<PhysAddr>,
+    ) -> Result<Checked<Span, P>, TrustError> {
+        let span = Span::new(base.0, 0);
+        if !self.oracle.dram_contains(span) {
+            return Err(TrustError::OutOfDram);
+        }
+        Ok(Checked {
+            value: span,
+            proof: P::witness(),
+        })
+    }
+
+    /// Proves page alignment of a tainted address — nothing more. The
+    /// result still cannot reach a sink; `load_page` upgrades it later via
+    /// [`Self::check_page`], preserving the historical alignment-first
+    /// error order.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::Unaligned`] if the address is not page aligned.
+    pub fn check_page_aligned(&self, addr: Tainted<PhysAddr>) -> Result<PageAligned, TrustError> {
+        if !addr.0.is_page_aligned() {
+            return Err(TrustError::Unaligned {
+                required: sanctorum_hal::addr::PAGE_SIZE as u64,
+            });
+        }
+        Ok(PageAligned(addr.0))
+    }
+
+    /// Upgrades a page-aligned address into a full page proof: `domain`
+    /// may access the page with the permission named by `P`.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::Denied`] if the domain lacks access to the page.
+    pub fn check_page<P: Proof>(
+        &self,
+        domain: DomainKind,
+        page: PageAligned,
+    ) -> Result<Checked<PhysAddr, P>, TrustError> {
+        let span = Span::new(page.0, sanctorum_hal::addr::PAGE_SIZE as u64);
+        if !self.oracle.allows_span(domain, span, P::perms()) {
+            return Err(TrustError::Denied);
+        }
+        Ok(Checked {
+            value: page.0,
+            proof: P::witness(),
+        })
+    }
+
+    /// Proves a byte buffer already resident in monitor memory: only its
+    /// length needs checking. Needs no oracle, so sinks' unit tests can mint
+    /// messages directly; readability of the *source* buffer is the
+    /// caller-boundary sanitizer's job, discharged before the copy-in.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::TooLong`] if the buffer exceeds `max` bytes.
+    pub fn check_message(
+        message: Tainted<&[u8]>,
+        max: usize,
+    ) -> Result<Checked<&[u8], ReadAccess>, TrustError> {
+        if message.0.len() > max {
+            return Err(TrustError::TooLong { max });
+        }
+        Ok(Checked {
+            value: message.0,
+            proof: ReadAccess(()),
+        })
+    }
+
+    /// Reads validated bytes out of a checked readable slice — trivial, but
+    /// kept here so every taint-to-value transition lives in one module.
+    pub fn reveal<'a, P: CanRead>(checked: &Checked<&'a [u8], P>) -> &'a [u8] {
+        checked.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RwAccess, WriteAccess};
+    use proptest::prelude::*;
+    use sanctorum_hal::perm::MemPerms;
+
+    /// A mock DRAM window `[base, base+size)` where `Untrusted` may access
+    /// everything inside an `allowed` sub-window and enclaves may access
+    /// nothing.
+    struct MockOracle {
+        dram_base: u64,
+        dram_size: u64,
+        allowed_base: u64,
+        allowed_size: u64,
+    }
+
+    impl AccessOracle for MockOracle {
+        fn allows_span(&self, domain: DomainKind, span: Span, _perms: MemPerms) -> bool {
+            if span.is_empty() {
+                return true;
+            }
+            if !matches!(domain, DomainKind::Untrusted | DomainKind::SecurityMonitor) {
+                return false;
+            }
+            let start = span.base().as_u64();
+            let end = start + span.len();
+            start >= self.allowed_base && end <= self.allowed_base + self.allowed_size
+        }
+
+        fn dram_contains(&self, span: Span) -> bool {
+            let start = span.base().as_u64();
+            start
+                .checked_sub(self.dram_base)
+                .map(|off| off + span.len() <= self.dram_size)
+                .unwrap_or(false)
+        }
+    }
+
+    fn oracle() -> MockOracle {
+        MockOracle {
+            dram_base: 0x8000_0000,
+            dram_size: 0x10_0000,
+            allowed_base: 0x8000_0000,
+            allowed_size: 0x8_0000,
+        }
+    }
+
+    fn span(base: u64, len: u64) -> Tainted<Span> {
+        Tainted::new(PhysAddr::new(base)).spanning(len)
+    }
+
+    #[test]
+    fn empty_spans_are_refused_by_check_span() {
+        let o = oracle();
+        let s = Sanitizer::new(&o);
+        let err = s
+            .check_span::<RwAccess>(DomainKind::Untrusted, span(0x8000_0000, 0), SpanPolicy::PLAIN)
+            .unwrap_err();
+        assert_eq!(err, TrustError::Empty);
+    }
+
+    #[test]
+    fn table_policy_checks_align_then_containment_then_access() {
+        let o = oracle();
+        let s = Sanitizer::new(&o);
+        // Unaligned base: alignment error even though it is also out of the
+        // allowed window.
+        assert_eq!(
+            s.check_span::<RwAccess>(
+                DomainKind::Untrusted,
+                span(0x8009_0004, 64),
+                SpanPolicy::table(8)
+            )
+            .unwrap_err(),
+            TrustError::Unaligned { required: 8 }
+        );
+        // Aligned but straddling the end of DRAM: containment beats access.
+        assert_eq!(
+            s.check_span::<RwAccess>(
+                DomainKind::Untrusted,
+                span(0x800f_fff8, 64),
+                SpanPolicy::table(8)
+            )
+            .unwrap_err(),
+            TrustError::OutOfDram
+        );
+        // Aligned, contained, but outside the allowed window.
+        assert_eq!(
+            s.check_span::<RwAccess>(
+                DomainKind::Untrusted,
+                span(0x8009_0000, 64),
+                SpanPolicy::table(8)
+            )
+            .unwrap_err(),
+            TrustError::Denied
+        );
+        // All good.
+        assert!(s
+            .check_span::<RwAccess>(
+                DomainKind::Untrusted,
+                span(0x8000_1000, 64),
+                SpanPolicy::table(8)
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn plain_policy_skips_containment() {
+        let o = MockOracle {
+            allowed_size: 0x20_0000, // allowed window larger than DRAM
+            ..oracle()
+        };
+        let s = Sanitizer::new(&o);
+        // Straddles DRAM but the access matrix allows it: PLAIN mints the
+        // proof; containment is the sink's problem (historical ordering).
+        assert!(s
+            .check_span::<WriteAccess>(
+                DomainKind::Untrusted,
+                span(0x800f_fff8, 64),
+                SpanPolicy::PLAIN
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn check_empty_requires_only_containment() {
+        let o = oracle();
+        let s = Sanitizer::new(&o);
+        // End-of-DRAM base is contained for a zero-length span.
+        assert!(s
+            .check_empty::<WriteAccess>(Tainted::new(PhysAddr::new(0x8010_0000)))
+            .is_ok());
+        assert_eq!(
+            s.check_empty::<WriteAccess>(Tainted::new(PhysAddr::new(0x8010_0001)))
+                .unwrap_err(),
+            TrustError::OutOfDram
+        );
+    }
+
+    #[test]
+    fn page_proof_is_staged() {
+        let o = oracle();
+        let s = Sanitizer::new(&o);
+        assert_eq!(
+            s.check_page_aligned(Tainted::new(PhysAddr::new(0x8000_1010)))
+                .unwrap_err(),
+            TrustError::Unaligned { required: 4096 }
+        );
+        let aligned = s
+            .check_page_aligned(Tainted::new(PhysAddr::new(0x8000_1000)))
+            .unwrap();
+        assert!(s
+            .check_page::<ReadAccess>(DomainKind::Untrusted, aligned)
+            .is_ok());
+        let denied = s
+            .check_page_aligned(Tainted::new(PhysAddr::new(0x8009_0000)))
+            .unwrap();
+        assert_eq!(
+            s.check_page::<ReadAccess>(DomainKind::Untrusted, denied)
+                .unwrap_err(),
+            TrustError::Denied
+        );
+    }
+
+    #[test]
+    fn messages_check_length_only() {
+        let ok = Sanitizer::check_message(b"hello".into(), 8).unwrap();
+        assert_eq!(Sanitizer::reveal(&ok), b"hello");
+        assert_eq!(
+            Sanitizer::check_message(b"hello".into(), 4).unwrap_err(),
+            TrustError::TooLong { max: 4 }
+        );
+    }
+
+    proptest! {
+        /// Zero-length spans never mint a proof through check_span,
+        /// whatever the policy.
+        #[test]
+        fn prop_rejects_zero_length(base in 0u64..0x2_0000_0000, table in 0u64..2) {
+            let o = oracle();
+            let s = Sanitizer::new(&o);
+            let policy = if table == 1 { SpanPolicy::table(8) } else { SpanPolicy::PLAIN };
+            let got = s.check_span::<RwAccess>(DomainKind::Untrusted, span(base, 0), policy);
+            prop_assert_eq!(got.unwrap_err(), TrustError::Empty);
+        }
+
+        /// Unaligned table bases never mint a proof.
+        #[test]
+        fn prop_rejects_unaligned_tables(base in 0x8000_0000u64..0x8008_0000, misalign in 1u64..8, len in 1u64..4096) {
+            let o = oracle();
+            let s = Sanitizer::new(&o);
+            let got = s.check_span::<RwAccess>(
+                DomainKind::Untrusted,
+                span(base / 8 * 8 + misalign, len),
+                SpanPolicy::table(8),
+            );
+            prop_assert_eq!(got.unwrap_err(), TrustError::Unaligned { required: 8 });
+        }
+
+        /// Spans straddling the end of DRAM never mint a table proof — the
+        /// regression lock for the batch-table straddling bug. Containment
+        /// is checked before access, so the error is always `OutOfDram`.
+        #[test]
+        fn prop_rejects_dram_straddle(back in 0u64..4096, overhang in 1u64..4096) {
+            let o = oracle();
+            let s = Sanitizer::new(&o);
+            let end = o.dram_base + o.dram_size;
+            let base = (end - back) / 8 * 8; // aligned, at or before the DRAM end
+            let len = (end - base) + overhang; // always extends past the end
+            let got = s.check_span::<RwAccess>(
+                DomainKind::Untrusted,
+                span(base, len),
+                SpanPolicy::table(8),
+            );
+            prop_assert_eq!(got.unwrap_err(), TrustError::OutOfDram);
+        }
+
+        /// Enclave domains never mint proofs from this oracle (foreign
+        /// domain ≠ allowed), regardless of geometry.
+        #[test]
+        fn prop_rejects_foreign_domains(base in 0x8000_0000u64..0x8007_0000, len in 1u64..4096, eid in 0u64..64) {
+            let o = oracle();
+            let s = Sanitizer::new(&o);
+            let domain = DomainKind::Enclave(sanctorum_hal::domain::EnclaveId::new(eid));
+            let got = s.check_span::<ReadAccess>(domain, span(base / 8 * 8, len), SpanPolicy::PLAIN);
+            prop_assert_eq!(got.unwrap_err(), TrustError::Denied);
+        }
+
+        /// Whenever a proof IS minted under the table policy, the span was
+        /// aligned, fully inside DRAM, and inside the allowed window.
+        #[test]
+        fn prop_minted_proofs_are_sound(base in 0x8000_0000u64..0x8010_1000, len in 1u64..0x2_0000) {
+            let o = oracle();
+            let s = Sanitizer::new(&o);
+            if let Ok(ok) = s.check_span::<RwAccess>(
+                DomainKind::Untrusted,
+                span(base, len),
+                SpanPolicy::table(8),
+            ) {
+                let got = ok.get();
+                prop_assert_eq!(got.base().as_u64() % 8, 0);
+                prop_assert!(o.dram_contains(got));
+                prop_assert!(o.allows_span(DomainKind::Untrusted, got, MemPerms::RW));
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! `cargo xtask` — workspace development tasks.
+//!
+//! The only task so far is `lint`, the custom static-analysis pass that
+//! enforces source-level invariants the Rust compiler cannot express (see
+//! [`lint`]). Run as `cargo xtask lint`; CI runs it next to build/test.
+
+#![forbid(unsafe_code)]
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = workspace_root();
+            let violations = lint::run(&root);
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            if violations.is_empty() {
+                eprintln!("xtask lint: ok");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo xtask lint\n  (got: {:?})",
+                other.unwrap_or("<missing>")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask lives at <root>/crates/xtask")
+        .to_path_buf()
+}

@@ -20,7 +20,7 @@ fn local_attestation_via_mailboxes() {
 
     // ① E2 signals intent to receive from E1; ② E1 sends a message.
     sm.accept_mail(e2_session, 0, e1.eid.as_u64()).unwrap();
-    sm.send_mail(e1_session, e2.eid, b"hello from E1").unwrap();
+    sm.send_mail(e1_session, e2.eid, b"hello from E1".into()).unwrap();
     // ③ E2 fetches it; ④ the SM-recorded sender measurement matches E1's.
     let (message, sender) = sm.get_mail(e2_session, 0).unwrap();
     assert_eq!(message, b"hello from E1");
@@ -31,7 +31,7 @@ fn local_attestation_via_mailboxes() {
 
     // A message from the OS is clearly labelled untrusted.
     sm.accept_mail(e2_session, 0, 0).unwrap();
-    sm.send_mail(CallerSession::os(), e2.eid, b"os input").unwrap();
+    sm.send_mail(CallerSession::os(), e2.eid, b"os input".into()).unwrap();
     let (_, sender) = sm.get_mail(e2_session, 0).unwrap();
     assert_eq!(sender, SenderIdentity::Untrusted);
 }

@@ -9,6 +9,7 @@ use sanctorum_core::dispatch::EventOutcome;
 use sanctorum_core::resource::{ResourceId, ResourceState};
 use sanctorum_core::session::CallerSession;
 use sanctorum_hal::addr::PhysAddr;
+use sanctorum_trust::Tainted;
 use sanctorum_hal::domain::{CoreId, DomainKind};
 use sanctorum_hal::isolation::RegionId;
 use sanctorum_machine::trap::TrapCause;
@@ -139,7 +140,7 @@ fn batch_aborts_cleanly_on_context_switching_calls() {
     // Nested batches are refused the same way.
     let calls = vec![
         SmCall::GetField { field: 3 },
-        SmCall::Batch { table, count: 1 },
+        SmCall::Batch { table: table.into(), count: 1 },
         SmCall::GetField { field: 3 },
     ];
     system.monitor.stage_batch(core, table, &calls).unwrap();
@@ -171,7 +172,7 @@ fn batch_matches_serial_call_semantics() {
         SmCall::CleanRegion { region },
         SmCall::GrantRegion { region, owner_eid: 0 },
         SmCall::GetField { field: 1 },
-        SmCall::GetMail { mailbox: 0, out_addr: table_addr(&serial_os), out_len: 64 },
+        SmCall::GetMail { mailbox: 0, out_addr: table_addr(&serial_os).into(), out_len: 64 },
     ];
 
     let mut serial_results = Vec::new();
@@ -241,7 +242,7 @@ fn batch_shape_is_validated_before_any_entry_runs() {
     // A misaligned table is rejected through the register path.
     system
         .monitor
-        .stage_call(core, &SmCall::Batch { table: table.offset(4), count: 1 });
+        .stage_call(core, &SmCall::Batch { table: table.offset(4).into(), count: 1 });
     system.monitor.handle_event(core, TrapCause::EnvironmentCall);
     assert_eq!(system.monitor.read_call_result(core).0, status::INVALID_ARGUMENT);
 
@@ -250,7 +251,7 @@ fn batch_shape_is_validated_before_any_entry_runs() {
     let sm_base = system.machine.config().memory_base;
     system
         .monitor
-        .stage_call(core, &SmCall::Batch { table: sm_base, count: 1 });
+        .stage_call(core, &SmCall::Batch { table: sm_base.into(), count: 1 });
     system.monitor.handle_event(core, TrapCause::EnvironmentCall);
     assert_eq!(system.monitor.read_call_result(core).0, status::UNAUTHORIZED);
 }
@@ -380,7 +381,7 @@ fn mail_buffers_cannot_straddle_into_foreign_regions() {
     );
     system.monitor.stage_call(
         core,
-        &SmCall::SendMail { recipient: a.eid, msg_addr: edge, msg_len: 64 },
+        &SmCall::SendMail { recipient: a.eid, msg_addr: edge.into(), msg_len: 64 },
     );
     system.monitor.handle_event(core, TrapCause::EnvironmentCall);
     assert_eq!(
@@ -390,7 +391,7 @@ fn mail_buffers_cannot_straddle_into_foreign_regions() {
     );
     system.monitor.stage_call(
         core,
-        &SmCall::GetMail { mailbox: 0, out_addr: edge, out_len: 64 },
+        &SmCall::GetMail { mailbox: 0, out_addr: edge.into(), out_len: 64 },
     );
     system.monitor.handle_event(core, TrapCause::EnvironmentCall);
     assert_eq!(
@@ -418,7 +419,7 @@ fn get_mail_with_too_small_buffer_preserves_the_message() {
     let message: Vec<u8> = (0u8..64).collect();
     system
         .monitor
-        .send_mail(CallerSession::os(), enclave.eid, &message)
+        .send_mail(CallerSession::os(), enclave.eid, Tainted::new(&message))
         .unwrap();
 
     // Drive GetMail through the register ABI with the hart authenticated as
@@ -442,7 +443,7 @@ fn get_mail_with_too_small_buffer_preserves_the_message() {
     // INVALID_ARGUMENT — and must NOT destroy the message.
     system.monitor.stage_call(
         core,
-        &SmCall::GetMail { mailbox: 0, out_addr, out_len: 16 },
+        &SmCall::GetMail { mailbox: 0, out_addr: out_addr.into(), out_len: 16 },
     );
     system.monitor.handle_event(core, TrapCause::EnvironmentCall);
     assert_eq!(system.monitor.read_call_result(core).0, status::INVALID_ARGUMENT);
@@ -459,7 +460,7 @@ fn get_mail_with_too_small_buffer_preserves_the_message() {
     // Attempt 2: an adequate buffer retrieves the message intact.
     system.monitor.stage_call(
         core,
-        &SmCall::GetMail { mailbox: 0, out_addr, out_len: 4096 },
+        &SmCall::GetMail { mailbox: 0, out_addr: out_addr.into(), out_len: 4096 },
     );
     system.monitor.handle_event(core, TrapCause::EnvironmentCall);
     assert_eq!(system.monitor.read_call_result(core), (status::OK, 64));

@@ -97,7 +97,7 @@ fn batch_of_zero_entries_is_rejected_on_both_paths() {
     // Register path: a staged Batch call with count 0.
     system
         .monitor
-        .stage_call(core, &SmCall::Batch { table, count: 0 });
+        .stage_call(core, &SmCall::Batch { table: table.into(), count: 0 });
     system.monitor.handle_event(core, TrapCause::EnvironmentCall);
     assert_eq!(system.monitor.read_call_result(core).0, status::INVALID_ARGUMENT);
     // Typed path.
@@ -139,7 +139,7 @@ fn misaligned_and_unmapped_batch_tables_are_rejected() {
     for offset in [1u64, 2, 4, 7] {
         system.monitor.stage_call(
             core,
-            &SmCall::Batch { table: table.offset(offset), count: 1 },
+            &SmCall::Batch { table: table.offset(offset).into(), count: 1 },
         );
         system.monitor.handle_event(core, TrapCause::EnvironmentCall);
         assert_eq!(
@@ -163,7 +163,7 @@ fn misaligned_and_unmapped_batch_tables_are_rejected() {
     let sm_base = system.machine.config().memory_base;
     system
         .monitor
-        .stage_call(core, &SmCall::Batch { table: sm_base, count: 1 });
+        .stage_call(core, &SmCall::Batch { table: sm_base.into(), count: 1 });
     system.monitor.handle_event(core, TrapCause::EnvironmentCall);
     assert_eq!(system.monitor.read_call_result(core).0, status::UNAUTHORIZED);
 
@@ -171,7 +171,7 @@ fn misaligned_and_unmapped_batch_tables_are_rejected() {
     let beyond = sm_base.offset(system.machine.config().memory_size as u64);
     system
         .monitor
-        .stage_call(core, &SmCall::Batch { table: beyond, count: 2 });
+        .stage_call(core, &SmCall::Batch { table: beyond.into(), count: 2 });
     system.monitor.handle_event(core, TrapCause::EnvironmentCall);
     assert_eq!(system.monitor.read_call_result(core).0, status::MEMORY);
 
@@ -188,7 +188,7 @@ fn misaligned_and_unmapped_batch_tables_are_rejected() {
     system.monitor.stage_untrusted_buffer(tail_out, &entry0).unwrap();
     system
         .monitor
-        .stage_call(core, &SmCall::Batch { table: tail_out, count: 2 });
+        .stage_call(core, &SmCall::Batch { table: tail_out.into(), count: 2 });
     system.monitor.handle_event(core, TrapCause::EnvironmentCall);
     assert_eq!(system.monitor.read_call_result(core).0, status::MEMORY);
     assert_eq!(
