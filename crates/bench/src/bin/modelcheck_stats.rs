@@ -1,0 +1,167 @@
+//! Model-checker statistics — the states/edges/depth/wall numbers
+//! EXPERIMENTS.md records for the exhaustive bounded sweep, optionally
+//! emitted as `BENCH_modelcheck.json` and gated against a committed
+//! baseline.
+//!
+//! The run is the acceptance configuration (`ModelConfig::ci()`): the
+//! lifecycle alphabet over the 2-enclave/2-hart/4-region small world to
+//! depth 6, digest-pruned, full invariant kernel on every edge — plus the
+//! grant-vs-delete TOCTOU window under every interleaving. A violation in
+//! either exits 1 (with the replayable counterexample on stdout); a
+//! machine-normalized states/sec regression beyond 2× against the baseline
+//! exits 2.
+//!
+//! Usage:
+//!
+//! ```text
+//! modelcheck_stats [--depth N] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! Run with: `cargo run --release -p sanctorum-bench --bin modelcheck_stats`
+
+use sanctorum_bench::{calibrate, extract_number};
+use sanctorum_modelcheck::toctou::{check_window, grant_delete_window};
+use sanctorum_modelcheck::{search, ModelConfig};
+
+/// Throughput regression tolerance for the `--baseline` gate (matches the
+/// other bench gates: CI machines are noisy, a 2× cliff is a regression).
+const MAX_REGRESSION_FACTOR: f64 = 2.0;
+
+fn main() {
+    let mut config = ModelConfig::ci();
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--depth" => {
+                config.max_depth =
+                    args.next().and_then(|v| v.parse().ok()).expect("--depth N");
+            }
+            "--out" => out = Some(args.next().expect("--out PATH")),
+            "--baseline" => baseline = Some(args.next().expect("--baseline PATH")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let calibration = calibrate();
+    let outcome = search(&config);
+    let states_per_second = outcome.states_per_second();
+
+    println!("# exhaustive bounded sweep (lifecycle alphabet, small world)");
+    println!("depth bound:      {}", config.max_depth);
+    println!("states visited:   {}", outcome.states);
+    println!("edges applied:    {}", outcome.edges);
+    println!("depth reached:    {}", outcome.depth_reached);
+    println!("complete:         {}", outcome.complete);
+    println!("wall clock:       {:.2?}", outcome.wall);
+    println!("states/sec:       {states_per_second:.1}");
+    println!("calibration:      {calibration:.0} hashes/sec");
+
+    let window = grant_delete_window();
+    let window_outcomes = check_window(&ModelConfig::default(), &window);
+    let window_violations: Vec<_> =
+        window_outcomes.iter().filter_map(|o| o.violation.as_ref()).collect();
+    println!("\n# grant-vs-delete TOCTOU window");
+    println!("interleavings:    {}", window_outcomes.len());
+    println!("violations:       {}", window_violations.len());
+
+    let mut violations = window_violations.len();
+    if let Some(counterexample) = &outcome.violation {
+        violations += 1;
+        println!(
+            "\nVIOLATION ({}): {}\n{}",
+            counterexample.kind, counterexample.violation, counterexample.to_text()
+        );
+    }
+    for counterexample in &window_violations {
+        println!(
+            "\nWINDOW VIOLATION ({}): {}\n{}",
+            counterexample.kind, counterexample.violation, counterexample.to_text()
+        );
+    }
+
+    if let Some(path) = &out {
+        let json = render_json(
+            &config,
+            outcome.states,
+            outcome.edges,
+            outcome.depth_reached,
+            outcome.complete,
+            outcome.wall.as_secs_f64(),
+            states_per_second,
+            calibration,
+            window_outcomes.len(),
+            violations,
+        );
+        std::fs::write(path, json).expect("write result JSON");
+        println!("\nwrote {path}");
+    }
+
+    if violations > 0 || !outcome.complete {
+        eprintln!("FAIL: the sweep must be complete and violation-free");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = &baseline {
+        let text = std::fs::read_to_string(path).expect("read baseline JSON");
+        let reference = extract_number(&text, "states_per_second")
+            .expect("baseline JSON has a states_per_second field");
+        let reference_calibration =
+            extract_number(&text, "calibration_hashes_per_second").unwrap_or(calibration);
+        let normalized_current = states_per_second / calibration;
+        let normalized_reference = reference / reference_calibration;
+        println!(
+            "baseline {path}: {reference:.0} states/sec at {reference_calibration:.0} hashes/sec \
+             (normalized gate: {normalized_current:.2e} vs floor {:.2e})",
+            normalized_reference / MAX_REGRESSION_FACTOR
+        );
+        if normalized_current * MAX_REGRESSION_FACTOR < normalized_reference {
+            eprintln!(
+                "FAIL: throughput regressed more than {MAX_REGRESSION_FACTOR}x \
+                 (machine-normalized {normalized_current:.2e} vs baseline {normalized_reference:.2e})"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    config: &ModelConfig,
+    states: usize,
+    edges: u64,
+    depth_reached: usize,
+    complete: bool,
+    wall_clock_seconds: f64,
+    states_per_second: f64,
+    calibration: f64,
+    window_interleavings: usize,
+    violations: usize,
+) -> String {
+    format!(
+        r#"{{
+  "bench": "modelcheck_sweep",
+  "config": {{
+    "alphabet": "lifecycle",
+    "depth": {depth},
+    "max_live": {max_live},
+    "harts": {harts},
+    "regions": 4
+  }},
+  "states": {states},
+  "edges": {edges},
+  "depth_reached": {depth_reached},
+  "complete": {complete},
+  "wall_clock_seconds": {wall_clock_seconds:.3},
+  "states_per_second": {states_per_second:.1},
+  "calibration_hashes_per_second": {calibration:.1},
+  "toctou_window_interleavings": {window_interleavings},
+  "violations": {violations}
+}}
+"#,
+        depth = config.max_depth,
+        max_live = config.max_live,
+        harts = config.harts,
+    )
+}

@@ -66,6 +66,10 @@ pub mod rank {
     pub const MAIL_LEDGER: LockRank = LockRank(80);
     /// The isolation backend (PMP / region-table mutation).
     pub const BACKEND: LockRank = LockRank(90);
+    /// The model checker's shared visited-state set. Above every monitor
+    /// rank: worker threads consult it strictly after all monitor locks for
+    /// the expanded state have been released.
+    pub const MODEL_VISITED: LockRank = LockRank(100);
 }
 
 #[cfg(debug_assertions)]

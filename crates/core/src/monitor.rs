@@ -240,6 +240,23 @@ pub enum TestWeakening {
     SkipCoreClean,
 }
 
+impl TestWeakening {
+    /// Every weakening, for harnesses that must prove each one is caught
+    /// (the explorer's weakened-monitor self-checks and the model checker's
+    /// completeness tests iterate this list so a new weakening cannot be
+    /// added without a detector for it).
+    pub const ALL: [TestWeakening; 2] =
+        [TestWeakening::SkipRegionScrub, TestWeakening::SkipCoreClean];
+
+    /// Short name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TestWeakening::SkipRegionScrub => "skip-region-scrub",
+            TestWeakening::SkipCoreClean => "skip-core-clean",
+        }
+    }
+}
+
 /// One enclave's OS-visible metadata inside an [`AuditSnapshot`].
 ///
 /// The fields mirror exactly the audit-visible subset of
@@ -331,6 +348,67 @@ impl AuditSnapshot {
             .binary_search_by_key(&id, |(r, _)| *r)
             .ok()
             .map(|i| self.resources[i].1)
+    }
+
+    /// A 64-bit fingerprint of the monitor-visible state this snapshot
+    /// describes: resource ownership, enclave metadata (lifecycle,
+    /// regions, measurement, threads, queued mail), core occupancy and the
+    /// mail-quota ledger.
+    ///
+    /// The [`AuditGenerations`] counters are deliberately *excluded*: they
+    /// count mutations, not state, so two different op paths reaching the
+    /// same logical monitor state carry different generation values. The
+    /// model checker keys its visited set on this digest — folding the
+    /// generations in would make every path look novel and defeat pruning.
+    pub fn digest(&self) -> u64 {
+        fn fold_u64(h: u64, v: u64) -> u64 {
+            sanctorum_hal::fnv::fnv1a(h, &v.to_le_bytes())
+        }
+        fn domain_word(d: DomainKind) -> u64 {
+            match d {
+                DomainKind::Untrusted => 1,
+                DomainKind::SecurityMonitor => 2,
+                DomainKind::Enclave(eid) => 0x8000_0000_0000_0000 | eid.as_u64(),
+            }
+        }
+        let mut h = 0xa_0d1u64;
+        for (rid, state) in self.resources.iter() {
+            let rid_word = match rid {
+                ResourceId::Core(c) => 0x1_0000_0000 | c.index() as u64,
+                ResourceId::Region(r) => 0x2_0000_0000 | r.index() as u64,
+            };
+            let state_word = match state {
+                ResourceState::Owned(d) => 0x10 ^ domain_word(*d),
+                ResourceState::Blocked(d) => 0x20 ^ domain_word(*d),
+                ResourceState::Available => 0x30,
+            };
+            h = fold_u64(fold_u64(h, rid_word), state_word);
+        }
+        for enc in &self.enclaves {
+            h = fold_u64(h, enc.id.as_u64());
+            h = fold_u64(h, enc.initialized as u64);
+            for r in &enc.regions {
+                h = fold_u64(h, r.index() as u64);
+            }
+            h = match &enc.measurement {
+                Some(m) => sanctorum_hal::fnv::fnv1a(h, m.as_bytes()),
+                None => fold_u64(h, u64::MAX),
+            };
+            h = fold_u64(h, enc.running_threads as u64);
+            for t in &enc.threads {
+                h = fold_u64(h, *t);
+            }
+            for (sender, len) in &enc.mail_queued {
+                h = fold_u64(fold_u64(h, *sender), *len as u64);
+            }
+        }
+        for (core, tid) in self.core_occupancy.iter() {
+            h = fold_u64(fold_u64(h, core.index() as u64), *tid);
+        }
+        for (sender, outstanding) in self.mail_outstanding.iter() {
+            h = fold_u64(fold_u64(h, *sender), *outstanding);
+        }
+        h
     }
 }
 

@@ -9,7 +9,7 @@
 //! see `sanctorum_os::ops`), which is what makes shrinking sound.
 
 use proptest::TestRng;
-use sanctorum_os::ops::Op;
+use sanctorum_os::ops::{ImageKind, Op};
 
 /// One scheduled step: the hart that issues the op, and the op itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,9 +43,197 @@ pub fn generate(seed: u64, harts: u32, len: usize) -> Vec<TracedOp> {
         .collect()
 }
 
+/// Renders a trace in the line-based text format: one `hart op args…` line
+/// per step, `#` comments allowed. The format is the regression corpus's
+/// storage form (`tests/regressions/*.trace`) and the model checker's
+/// counterexample form — [`parse_trace`] round-trips it exactly.
+pub fn format_trace(trace: &[TracedOp]) -> String {
+    fn kind_name(kind: ImageKind) -> &'static str {
+        match kind {
+            ImageKind::Hello => "hello",
+            ImageKind::Compute => "compute",
+            ImageKind::Faulting => "faulting",
+            ImageKind::FaultHandling => "fault-handling",
+        }
+    }
+    let mut out = String::new();
+    for step in trace {
+        let hart = step.hart;
+        let line = match &step.op {
+            Op::Build { kind, param } => format!("{hart} build {} {param}", kind_name(*kind)),
+            Op::Teardown { slot } => format!("{hart} teardown {slot}"),
+            Op::Run { slot, budget } => format!("{hart} run {slot} {budget}"),
+            Op::Tick => format!("{hart} tick"),
+            Op::BlockRegion { region } => format!("{hart} block-region {region}"),
+            Op::CleanRegion { region } => format!("{hart} clean-region {region}"),
+            Op::GrantRegion { region, owner } => {
+                format!("{hart} grant-region {region} {owner}")
+            }
+            Op::DeleteEnclave { slot } => format!("{hart} delete-enclave {slot}"),
+            Op::LoadAfterInit { slot } => format!("{hart} load-after-init {slot}"),
+            Op::MailRoundTrip { slot, payload } => {
+                format!("{hart} mail-roundtrip {slot} {payload}")
+            }
+            Op::EnclaveMail { from, to, payload } => {
+                format!("{hart} enclave-mail {from} {to} {payload}")
+            }
+            Op::MailQueue { slot, burst, payload } => {
+                format!("{hart} mail-queue {slot} {burst} {payload}")
+            }
+            Op::AttestService { clients } => format!("{hart} attest-service {clients}"),
+            Op::GetField { field } => format!("{hart} get-field {field}"),
+            Op::Batch { region } => format!("{hart} batch {region}"),
+            Op::Attack { kind, slot } => format!("{hart} attack {kind} {slot}"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text form produced by [`format_trace`]. Blank lines and lines
+/// starting with `#` are ignored, so committed corpus files can carry
+/// provenance comments.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on unknown op names, wrong
+/// arity or non-numeric arguments.
+pub fn parse_trace(text: &str) -> Result<Vec<TracedOp>, String> {
+    let mut trace = Vec::new();
+    for (number, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let context = |what: &str| format!("line {}: {what}: {raw:?}", number + 1);
+        let hart: u32 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| context("expected a hart index"))?;
+        let name = fields.next().ok_or_else(|| context("expected an op name"))?;
+        let rest: Vec<&str> = fields.collect();
+        let arg = |index: usize| -> Result<u64, String> {
+            rest.get(index)
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| context("expected a numeric argument"))
+        };
+        let arity = |expected: usize| -> Result<(), String> {
+            if rest.len() == expected {
+                Ok(())
+            } else {
+                Err(context("wrong argument count"))
+            }
+        };
+        let op = match name {
+            "build" => {
+                arity(2)?;
+                let kind = match rest[0] {
+                    "hello" => ImageKind::Hello,
+                    "compute" => ImageKind::Compute,
+                    "faulting" => ImageKind::Faulting,
+                    "fault-handling" => ImageKind::FaultHandling,
+                    _ => return Err(context("unknown image kind")),
+                };
+                Op::Build { kind, param: arg(1)? }
+            }
+            "teardown" => {
+                arity(1)?;
+                Op::Teardown { slot: arg(0)? }
+            }
+            "run" => {
+                arity(2)?;
+                Op::Run { slot: arg(0)?, budget: arg(1)? }
+            }
+            "tick" => {
+                arity(0)?;
+                Op::Tick
+            }
+            "block-region" => {
+                arity(1)?;
+                Op::BlockRegion { region: arg(0)? }
+            }
+            "clean-region" => {
+                arity(1)?;
+                Op::CleanRegion { region: arg(0)? }
+            }
+            "grant-region" => {
+                arity(2)?;
+                Op::GrantRegion { region: arg(0)?, owner: arg(1)? }
+            }
+            "delete-enclave" => {
+                arity(1)?;
+                Op::DeleteEnclave { slot: arg(0)? }
+            }
+            "load-after-init" => {
+                arity(1)?;
+                Op::LoadAfterInit { slot: arg(0)? }
+            }
+            "mail-roundtrip" => {
+                arity(2)?;
+                Op::MailRoundTrip { slot: arg(0)?, payload: arg(1)? }
+            }
+            "enclave-mail" => {
+                arity(3)?;
+                Op::EnclaveMail { from: arg(0)?, to: arg(1)?, payload: arg(2)? }
+            }
+            "mail-queue" => {
+                arity(3)?;
+                Op::MailQueue { slot: arg(0)?, burst: arg(1)?, payload: arg(2)? }
+            }
+            "attest-service" => {
+                arity(1)?;
+                Op::AttestService { clients: arg(0)? }
+            }
+            "get-field" => {
+                arity(1)?;
+                Op::GetField { field: arg(0)? }
+            }
+            "batch" => {
+                arity(1)?;
+                Op::Batch { region: arg(0)? }
+            }
+            "attack" => {
+                arity(2)?;
+                Op::Attack { kind: arg(0)?, slot: arg(1)? }
+            }
+            _ => return Err(context("unknown op name")),
+        };
+        trace.push(TracedOp { hart, op });
+    }
+    Ok(trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn text_format_round_trips_every_variant() {
+        // A generated trace covers the whole variant space with high
+        // probability; pin a few hand-written exotics on top.
+        let mut trace = generate(0xf0f0, 2, 400);
+        trace.push(TracedOp { hart: 1, op: Op::Tick });
+        trace.push(TracedOp {
+            hart: 0,
+            op: Op::Build { kind: ImageKind::FaultHandling, param: u64::MAX },
+        });
+        let text = format_trace(&trace);
+        let parsed = parse_trace(&text).expect("formatted traces parse");
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn parser_ignores_comments_and_reports_bad_lines() {
+        let parsed = parse_trace("# header\n\n 0 tick \n1 run 0 24\n").expect("valid");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1], TracedOp { hart: 1, op: Op::Run { slot: 0, budget: 24 } });
+        for bad in ["0 warp 1", "x tick", "0 run 1", "0 build mystery 0"] {
+            let err = parse_trace(bad).unwrap_err();
+            assert!(err.contains("line 1"), "{err}");
+        }
+    }
 
     #[test]
     fn traces_are_deterministic_in_the_seed() {

@@ -284,6 +284,32 @@ impl Machine {
         self.memory.write().digest(h)
     }
 
+    /// Fingerprints the per-hart queues of raised-but-undelivered
+    /// interrupts.
+    ///
+    /// [`state_digest`](Self::state_digest) intentionally covers only
+    /// architectural hart and memory state (its value is pinned by replay
+    /// tests), but a queued interrupt changes future behavior — a world
+    /// that has ticked differs from one that hasn't even before the
+    /// interrupt is taken. State-space searches must fold this digest into
+    /// their visited-set key alongside `state_digest` or they will prune
+    /// unsoundly.
+    pub fn pending_interrupt_digest(&self) -> u64 {
+        let mut h = 0x1474u64;
+        for pending in &self.pending_interrupts {
+            let pending = pending.lock();
+            let mut bytes: Vec<u8> = Vec::with_capacity(pending.len() + 1);
+            bytes.push(0xfe);
+            bytes.extend(pending.iter().map(|i| match i {
+                Interrupt::Timer => 1u8,
+                Interrupt::Software => 2,
+                Interrupt::External => 3,
+            }));
+            h = crate::mem::fnv1a(h, &bytes);
+        }
+        h
+    }
+
     /// Returns the indices (relative to `memory_base`, ascending) of every
     /// DRAM page written — by stores, DMA or zeroing — since the previous
     /// drain, and clears the tracking bitmap. The result is a superset of

@@ -1,0 +1,287 @@
+//! Bounded model checking for the security monitor's state machine.
+//!
+//! The explorer (`sanctorum-explorer`) samples the op space with seeded
+//! PRNG streams — good at finding bugs, silent about their absence. This
+//! crate closes the loop for *small worlds*: it enumerates the feasible op
+//! alphabet of a tiny configuration (2 enclaves, 2 harts, 4 regions) via
+//! [`OpWorld::enabled_ops`] and walks **every** reachable state up to a
+//! depth bound with breadth-first search, pruning revisits through a
+//! digest-keyed visited set and running the explorer's full invariant
+//! kernel ([`CheckedWorld`]) on every edge. A violation surfaces as a
+//! [`Counterexample`]: a minimal (BFS-shortest, then deletion-shrunk) op
+//! trace in the explorer's own [`TracedOp`] form, replayable byte for byte
+//! through `Explorer::probe` or the text corpus format.
+//!
+//! Worlds are deliberately *not* cloned: `OpWorld` owns a whole machine,
+//! and snapshotting it per node would dwarf the op costs. Instead the
+//! search is **stateless** — a node is its op path, and expansion
+//! re-materializes the state by booting a fresh world and replaying the
+//! path (boot ≈ 300 µs, ops are micro- to milliseconds; see
+//! `BENCH_modelcheck.json` for the resulting states/s). Sibling edges that
+//! reject (no state change) reuse the already-materialized world, so only
+//! state-*changing* edges pay for a replay.
+//!
+//! The visited-set key must cover every bit of behavior-relevant state or
+//! pruning is unsound (two "equal" states with different futures). The key
+//! is the concatenation of four digests, each covering a layer the others
+//! cannot see: `Machine::state_digest` (harts + DRAM),
+//! `Machine::pending_interrupt_digest` (queued, undelivered interrupts),
+//! `AuditSnapshot::digest` (monitor metadata, generations excluded), and
+//! `OpWorld::model_fingerprint` (free-pool order, live roster, signing
+//! service).
+//!
+//! The companion [`toctou`] module attacks the concurrency axis the
+//! single-world search cannot: it drives real SM calls from real threads
+//! under every [`Schedule`](sanctorum_os::concurrent::Schedule)
+//! interleaving of a short grant-vs-delete window, deterministically.
+
+pub mod search;
+pub mod toctou;
+
+pub use search::{search, Counterexample, SearchOutcome};
+
+use sanctorum_core::monitor::TestWeakening;
+use sanctorum_machine::MachineConfig;
+use sanctorum_os::ops::{ImageKind, Op, OpWorld};
+use sanctorum_os::system::PlatformKind;
+
+/// The op labels of the resource-lifecycle core: the transitions the
+/// paper's Fig. 2 ownership argument is actually about. The depth-6
+/// exhaustive CI run restricts the alphabet to this set — mail, probe and
+/// attack ops multiply the branching factor without adding resource-state
+/// transitions, and they keep their own (shallower, full-alphabet)
+/// self-check configurations.
+pub const LIFECYCLE_LABELS: &[&str] = &[
+    "build",
+    "teardown",
+    "run",
+    "tick",
+    "block-region",
+    "clean-region",
+    "grant-region",
+    "delete-enclave",
+];
+
+/// Configuration of one bounded search.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Platform the world boots on.
+    pub platform: PlatformKind,
+    /// Machine geometry (see [`ModelConfig::small_world`]).
+    pub machine: MachineConfig,
+    /// Deliberate monitor weakening (the checker's self-check path).
+    pub weaken: Option<TestWeakening>,
+    /// Depth bound: maximum op-path length explored.
+    pub max_depth: usize,
+    /// State cap: the search stops (and reports itself incomplete) if the
+    /// visited set would grow beyond this.
+    pub max_states: usize,
+    /// Live-enclave cap: `Build` ops are not offered once this many
+    /// enclaves are live (the "2 enclaves" of the small world).
+    pub max_live: usize,
+    /// Harts that hart-sensitive ops are enumerated over.
+    pub harts: u32,
+    /// Host threads expanding a BFS layer in parallel. The result —
+    /// states, edges, and the counterexample, if any — is deterministic
+    /// regardless of this value; only wall time changes.
+    pub threads: usize,
+    /// Op-alphabet restriction by label (`None` = the full canonical
+    /// alphabet from [`OpWorld::enabled_ops`]).
+    pub labels: Option<&'static [&'static str]>,
+    /// Image kinds `Build` ops are enumerated over.
+    pub build_kinds: &'static [ImageKind],
+    /// Whether a found counterexample is deletion-shrunk before reporting
+    /// (BFS already guarantees minimal length over the searched alphabet).
+    pub shrink: bool,
+}
+
+impl ModelConfig {
+    /// The canonical small world: 2 MiB of DRAM in 512 KiB regions — four
+    /// regions, of which the OS keeps one as staging, leaving a three-deep
+    /// free pool — on the default two harts.
+    pub fn small_world() -> MachineConfig {
+        MachineConfig {
+            memory_size: 2 * 1024 * 1024,
+            dram_region_size: 512 * 1024,
+            ..MachineConfig::small()
+        }
+    }
+
+    /// The CI configuration: lifecycle alphabet, Hello builds only, depth
+    /// 6 — the configuration `BENCH_modelcheck.json` and the exhaustive
+    /// acceptance test run.
+    pub fn ci() -> Self {
+        Self {
+            labels: Some(LIFECYCLE_LABELS),
+            build_kinds: &[ImageKind::Hello],
+            ..Self::default()
+        }
+    }
+
+    /// Whether this configuration offers `op` in a world with `live` live
+    /// enclaves (the restriction layer over [`OpWorld::enabled_ops`]).
+    fn admits(&self, live: usize, op: &Op) -> bool {
+        if let Some(labels) = self.labels {
+            if !labels.contains(&op.label()) {
+                return false;
+            }
+        }
+        match op {
+            Op::Build { kind, .. } => live < self.max_live && self.build_kinds.contains(kind),
+            _ => true,
+        }
+    }
+
+    /// The branching alphabet of one state: every admitted enabled op,
+    /// hart-sensitive ops once per hart, everything else on hart 0.
+    pub fn alphabet(&self, world: &OpWorld) -> Vec<(u32, Op)> {
+        let mut out = Vec::new();
+        for op in world.enabled_ops() {
+            if !self.admits(world.live.len(), &op) {
+                continue;
+            }
+            if op.hart_sensitive() {
+                for hart in 0..self.harts {
+                    out.push((hart, op.clone()));
+                }
+            } else {
+                out.push((0, op));
+            }
+        }
+        out
+    }
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            platform: PlatformKind::Sanctum,
+            machine: Self::small_world(),
+            weaken: None,
+            max_depth: 6,
+            max_states: 60_000,
+            max_live: 2,
+            harts: 2,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            labels: None,
+            build_kinds: &[
+                ImageKind::Hello,
+                ImageKind::Compute,
+                ImageKind::Faulting,
+                ImageKind::FaultHandling,
+            ],
+            shrink: true,
+        }
+    }
+}
+
+/// The visited-set key of one world state: four digests, each covering
+/// state the others cannot see (see the crate docs for why all four are
+/// required for sound pruning).
+pub fn state_key(world: &OpWorld) -> u128 {
+    fn fold(h: u64, v: u64) -> u64 {
+        sanctorum_hal::fnv::fnv1a(h, &v.to_le_bytes())
+    }
+    let machine_digest = world.system.machine.state_digest();
+    let interrupts = world.system.machine.pending_interrupt_digest();
+    let audit = world.system.monitor.audit().digest();
+    let model = world.model_fingerprint();
+    let hi = fold(fold(0x6d63_6869, machine_digest), audit);
+    let lo = fold(fold(0x6d63_6c6f, interrupts), model);
+    (hi as u128) << 64 | lo as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_hal::domain::CoreId;
+
+    #[test]
+    fn state_key_separates_states_the_machine_digest_cannot() {
+        let mut a = OpWorld::boot(PlatformKind::Sanctum, ModelConfig::small_world());
+        let b = OpWorld::boot(PlatformKind::Sanctum, ModelConfig::small_world());
+        assert_eq!(state_key(&a), state_key(&b), "identical boots key equally");
+
+        // A queued-but-undelivered interrupt lives outside `state_digest`;
+        // the key must still separate the worlds.
+        a.apply(CoreId::new(0), &Op::Tick);
+        assert_eq!(
+            a.system.machine.state_digest(),
+            b.system.machine.state_digest(),
+            "the machine digest alone cannot see the queued interrupt \
+             (if this fails the digest grew coverage and the key can shed \
+             pending_interrupt_digest)"
+        );
+        assert_ne!(state_key(&a), state_key(&b));
+
+        // Free-pool order: the pool is a stack, so building two enclaves
+        // and tearing them down in build order returns the regions
+        // reversed, while build-teardown pairs keep the boot order. Same
+        // free *set*, different next-build choice.
+        let build = Op::Build { kind: ImageKind::Hello, param: 0 };
+        let teardown = Op::Teardown { slot: 0 };
+        let mut c = OpWorld::boot(PlatformKind::Sanctum, ModelConfig::small_world());
+        c.apply(CoreId::new(0), &build);
+        c.apply(CoreId::new(0), &build);
+        c.apply(CoreId::new(0), &teardown);
+        c.apply(CoreId::new(0), &teardown);
+        let mut d = OpWorld::boot(PlatformKind::Sanctum, ModelConfig::small_world());
+        d.apply(CoreId::new(0), &build);
+        d.apply(CoreId::new(0), &teardown);
+        d.apply(CoreId::new(0), &build);
+        d.apply(CoreId::new(0), &teardown);
+        assert_eq!(
+            c.os.free_regions().iter().collect::<std::collections::BTreeSet<_>>(),
+            d.os.free_regions().iter().collect::<std::collections::BTreeSet<_>>(),
+            "same free set"
+        );
+        assert_ne!(
+            c.os.free_regions(),
+            d.os.free_regions(),
+            "different free order"
+        );
+        assert_ne!(state_key(&c), state_key(&d));
+    }
+
+    #[test]
+    fn alphabet_respects_restrictions_and_hart_sensitivity() {
+        let mut world = OpWorld::boot(PlatformKind::Sanctum, ModelConfig::small_world());
+        let config = ModelConfig::ci();
+        let boot_alphabet = config.alphabet(&world);
+        assert!(boot_alphabet
+            .iter()
+            .all(|(_, op)| LIFECYCLE_LABELS.contains(&op.label())));
+        assert!(
+            boot_alphabet.iter().all(|(hart, op)| *hart == 0 || op.hart_sensitive()),
+            "hart-agnostic ops are enumerated once"
+        );
+        assert_eq!(
+            boot_alphabet
+                .iter()
+                .filter(|(_, op)| op.label() == "build")
+                .count(),
+            1,
+            "CI config builds Hello only"
+        );
+
+        // Fill to the live cap: Build must leave the alphabet.
+        world.apply(CoreId::new(0), &Op::Build { kind: ImageKind::Hello, param: 0 });
+        world.apply(CoreId::new(0), &Op::Build { kind: ImageKind::Hello, param: 0 });
+        assert_eq!(world.live.len(), 2);
+        assert!(config
+            .alphabet(&world)
+            .iter()
+            .all(|(_, op)| op.label() != "build"));
+        // Tick appears once per hart.
+        assert_eq!(
+            config
+                .alphabet(&world)
+                .iter()
+                .filter(|(_, op)| matches!(op, Op::Tick))
+                .count(),
+            2
+        );
+    }
+}

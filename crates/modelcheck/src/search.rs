@@ -1,0 +1,363 @@
+//! The digest-pruned bounded BFS driver.
+//!
+//! Breadth-first order is a correctness feature, not a traversal detail:
+//! the first violating edge found lies in the shallowest violating layer,
+//! so the reported counterexample is minimal-length over the searched
+//! alphabet *by construction* (an optional deletion pass then shrinks it
+//! further). Layers are expanded in parallel, but the search result is a
+//! pure function of the configuration: expansion reads a visited set
+//! frozen at the previous layer, new states are committed sequentially in
+//! canonical (parent, child) order between layers, and the winning
+//! violation is the canonically first one of its layer.
+
+use crate::{state_key, ModelConfig};
+use sanctorum_core::lockorder::{rank, OrderedMutex};
+use sanctorum_explorer::trace::{format_trace, TracedOp};
+use sanctorum_explorer::{CheckedWorld, Violation};
+use sanctorum_hal::domain::CoreId;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A violating op trace, in the explorer's replayable form.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The ops up to and including the violating one.
+    pub trace: Vec<TracedOp>,
+    /// The violation's [`Violation::kind`] tag.
+    pub kind: &'static str,
+    /// Human-readable violation description.
+    pub violation: String,
+}
+
+impl Counterexample {
+    /// The trace in the committed-corpus text format.
+    pub fn to_text(&self) -> String {
+        format_trace(&self.trace)
+    }
+}
+
+/// What one bounded search covered and found.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Distinct states visited (the root included).
+    pub states: usize,
+    /// Op applications performed (edges, including rejected ones).
+    pub edges: u64,
+    /// Deepest layer that contained a state.
+    pub depth_reached: usize,
+    /// Whether every reachable state within the depth bound was visited.
+    /// `false` means the state cap cut the search short and absence of a
+    /// violation is *not* a verification result.
+    pub complete: bool,
+    /// Wall time of the whole search.
+    pub wall: Duration,
+    /// The canonically first minimal violation, if any was reachable.
+    pub violation: Option<Counterexample>,
+}
+
+impl SearchOutcome {
+    /// States per second — the bench gate's throughput metric.
+    pub fn states_per_second(&self) -> f64 {
+        self.states as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// One node of the search: its op path and the state key it reaches.
+/// Worlds are not stored — expansion re-materializes them by replay (see
+/// the crate docs for the cost model).
+struct Node {
+    trace: Vec<TracedOp>,
+    key: u128,
+}
+
+/// What expanding one node produced.
+struct Expansion {
+    /// Novel child states in canonical child order (already filtered
+    /// against the frozen visited set and the node's own siblings).
+    children: Vec<Node>,
+    /// The node's first violating edge, if any.
+    violation: Option<Counterexample>,
+    /// Edges applied.
+    edges: u64,
+}
+
+/// Boots a fresh world and replays `trace` onto it. Prefixes come from
+/// non-violating edges of earlier layers, and the whole stack is
+/// deterministic, so a violation during replay is a broken-determinism bug
+/// worth crashing on.
+fn materialize(config: &ModelConfig, trace: &[TracedOp]) -> CheckedWorld {
+    let mut world = CheckedWorld::boot(config.platform, config.machine.clone(), config.weaken);
+    for step in trace {
+        world
+            .step(CoreId::new(step.hart), &step.op)
+            .unwrap_or_else(|violation| {
+                panic!("non-violating prefix replayed to a violation: {violation}")
+            });
+    }
+    world
+}
+
+/// Replays `trace` on a fresh world, returning the first violation and its
+/// step index. This is the checker-side replay used by shrinking and by
+/// tests pinning counterexamples; `Explorer::probe` offers the same
+/// semantics through the explorer's differential pair.
+pub fn reproduce(config: &ModelConfig, trace: &[TracedOp]) -> Option<(usize, Violation)> {
+    let mut world = CheckedWorld::boot(config.platform, config.machine.clone(), config.weaken);
+    for (index, step) in trace.iter().enumerate() {
+        if let Err(violation) = world.step(CoreId::new(step.hart), &step.op) {
+            return Some((index, violation));
+        }
+    }
+    None
+}
+
+/// Greedy deletion shrink: drop any op whose removal still reproduces the
+/// same violation kind, truncating at the (possibly earlier) violating
+/// step. Abstract selectors make every subsequence executable, so deletion
+/// is always sound.
+fn shrink(config: &ModelConfig, counterexample: Counterexample) -> Counterexample {
+    let mut best = counterexample;
+    loop {
+        let mut reduced = false;
+        let mut index = 0;
+        while index < best.trace.len() && best.trace.len() > 1 {
+            let mut candidate = best.trace.clone();
+            candidate.remove(index);
+            match reproduce(config, &candidate) {
+                Some((step, violation)) if violation.kind() == best.kind => {
+                    candidate.truncate(step + 1);
+                    best = Counterexample {
+                        trace: candidate,
+                        kind: best.kind,
+                        violation: violation.to_string(),
+                    };
+                    reduced = true;
+                }
+                _ => index += 1,
+            }
+        }
+        if !reduced {
+            return best;
+        }
+    }
+}
+
+/// Expands one node: materializes its state, applies every op of its
+/// alphabet, and collects novel children and the first violation.
+///
+/// The key throughput trick lives here: an edge that leaves the state key
+/// unchanged (a rejected or no-op call) leaves the world reusable for the
+/// next sibling, so only state-*changing* edges force a fresh
+/// boot-and-replay.
+fn expand(
+    config: &ModelConfig,
+    visited: &OrderedMutex<HashSet<u128>>,
+    node: &Node,
+) -> Expansion {
+    let mut world = materialize(config, &node.trace);
+    let candidates = config.alphabet(&world.world);
+    let mut children = Vec::new();
+    let mut violation = None;
+    let mut edges = 0u64;
+    let mut clean = true;
+    let mut local_seen: HashSet<u128> = HashSet::new();
+    local_seen.insert(node.key);
+    for (hart, op) in candidates {
+        if !clean {
+            world = materialize(config, &node.trace);
+            clean = true;
+        }
+        edges += 1;
+        match world.step(CoreId::new(hart), &op) {
+            Err(found) => {
+                let mut trace = node.trace.clone();
+                trace.push(TracedOp { hart, op });
+                violation = Some(Counterexample {
+                    trace,
+                    kind: found.kind(),
+                    violation: found.to_string(),
+                });
+                // Deeper edges of this node cannot beat a violation in this
+                // very layer; stop expanding it.
+                break;
+            }
+            Ok(_) => {
+                let key = state_key(&world.world);
+                if key == node.key {
+                    // The op was rejected or observationally idle: the
+                    // world still *is* the node's state, reuse it.
+                    continue;
+                }
+                clean = false;
+                if local_seen.insert(key) && !visited.lock().contains(&key) {
+                    let mut trace = node.trace.clone();
+                    trace.push(TracedOp { hart, op });
+                    children.push(Node { trace, key });
+                }
+            }
+        }
+    }
+    Expansion { children, violation, edges }
+}
+
+/// Runs the bounded search described by `config`. See the module docs for
+/// the determinism argument; the short version is that `threads` affects
+/// wall time only.
+pub fn search(config: &ModelConfig) -> SearchOutcome {
+    let start = Instant::now();
+    // Shared across the layer-expansion workers at rank `MODEL_VISITED`
+    // (above every monitor rank — workers consult it only after the
+    // expanded state's monitor locks are released): reads during expansion
+    // see the set frozen at the previous layer, inserts happen only in the
+    // sequential merge between layers.
+    let visited: OrderedMutex<HashSet<u128>> =
+        OrderedMutex::new(rank::MODEL_VISITED, HashSet::new());
+
+    let root_key = state_key(&materialize(config, &[]).world);
+    visited.lock().insert(root_key);
+    let mut frontier = vec![Node { trace: Vec::new(), key: root_key }];
+    let mut states = 1usize;
+    let mut edges = 0u64;
+    let mut depth_reached = 0usize;
+    let mut complete = true;
+    let mut violation: Option<Counterexample> = None;
+
+    'layers: for depth in 1..=config.max_depth {
+        if frontier.is_empty() {
+            break;
+        }
+        // Parallel expansion: workers claim frontier indices; results land
+        // in per-node slots so the merge below runs in canonical order.
+        let results: Vec<Mutex<Option<Expansion>>> =
+            (0..frontier.len()).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = config.threads.clamp(1, frontier.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(node) = frontier.get(index) else { break };
+                    let expansion = expand(config, &visited, node);
+                    *results[index].lock().unwrap() = Some(expansion);
+                });
+            }
+        });
+
+        let mut next = Vec::new();
+        for slot in results {
+            let expansion = slot.into_inner().unwrap().expect("every slot was expanded");
+            edges += expansion.edges;
+            // The canonically first violation of the shallowest violating
+            // layer wins — parents are merged in frontier order and each
+            // parent reports only its first violating edge.
+            if violation.is_none() {
+                violation = expansion.violation;
+            }
+            if violation.is_some() {
+                continue;
+            }
+            for child in expansion.children {
+                if states >= config.max_states {
+                    complete = false;
+                    break;
+                }
+                // Cross-parent duplicates within this layer collide here.
+                if visited.lock().insert(child.key) {
+                    states += 1;
+                    next.push(child);
+                }
+            }
+        }
+        if !next.is_empty() || violation.is_some() {
+            depth_reached = depth;
+        }
+        if violation.is_some() {
+            break 'layers;
+        }
+        frontier = next;
+    }
+
+    let violation = violation.map(|counterexample| {
+        if config.shrink {
+            shrink(config, counterexample)
+        } else {
+            counterexample
+        }
+    });
+    SearchOutcome {
+        states,
+        edges,
+        depth_reached,
+        complete,
+        wall: start.elapsed(),
+        violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sanctorum_os::ops::{ImageKind, Op};
+
+    /// A tiny configuration every unit test can afford.
+    fn tiny(depth: usize) -> ModelConfig {
+        ModelConfig {
+            max_depth: depth,
+            labels: Some(&["build", "teardown", "tick"]),
+            build_kinds: &[ImageKind::Hello],
+            ..ModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn tiny_alphabet_search_is_exhaustive_and_clean() {
+        let outcome = search(&tiny(3));
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+        assert!(outcome.complete);
+        assert_eq!(outcome.depth_reached, 3);
+        // build/teardown/tick over ≤2 enclaves and 2 harts: a handful of
+        // states per layer, but strictly more than a single chain.
+        assert!(outcome.states > 6, "only {} states", outcome.states);
+        assert!(outcome.edges > outcome.states as u64);
+    }
+
+    #[test]
+    fn search_is_deterministic_across_thread_counts() {
+        let single = search(&ModelConfig { threads: 1, ..tiny(3) });
+        let parallel = search(&ModelConfig { threads: 4, ..tiny(3) });
+        assert_eq!(single.states, parallel.states);
+        assert_eq!(single.edges, parallel.edges);
+        assert_eq!(single.depth_reached, parallel.depth_reached);
+    }
+
+    #[test]
+    fn no_op_edges_do_not_create_states() {
+        // Teardown/tick-only alphabet on an empty world: teardown is never
+        // enabled, tick toggles the pending-interrupt bit per hart. The
+        // reachable space is exactly the interrupt-queue contents.
+        let outcome = search(&ModelConfig {
+            labels: Some(&["tick"]),
+            max_depth: 4,
+            ..ModelConfig::default()
+        });
+        assert!(outcome.violation.is_none());
+        assert!(outcome.complete);
+        // Tick accumulates queued interrupts, so states grow linearly with
+        // depth (per hart combination), not exponentially.
+        assert!(
+            outcome.states <= 1 + 2 * 4 + 4 * 4,
+            "tick-only space exploded: {} states",
+            outcome.states
+        );
+    }
+
+    #[test]
+    fn reproduce_reports_the_violating_step() {
+        let config = ModelConfig::default();
+        // A clean trace reproduces to None.
+        let trace = vec![TracedOp { hart: 0, op: Op::Build { kind: ImageKind::Hello, param: 0 } }];
+        assert!(reproduce(&config, &trace).is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! Controlled-schedule exploration of grant-vs-delete-class TOCTOU
+//! windows.
+//!
+//! The bounded search in [`crate::search`] walks one serialized op stream —
+//! it can reach every *state*, but it executes every transition from a
+//! single host thread. Real TOCTOU bugs live in the other dimension: two
+//! harts inside a short critical window, where the interesting question is
+//! not "which states exist" but "does every *ordering* of these few calls
+//! preserve the invariants". This module drives that window with the
+//! loom-style [`Schedule`]/[`run_scheduled`] machinery from
+//! `sanctorum_os::concurrent`: per-hart op scripts execute on real host
+//! threads, one op at a time, under an explicit interleaving — and
+//! [`check_window`] enumerates **all** interleavings of the window, so the
+//! historical grant-while-delete race class is covered deterministically
+//! instead of by soak luck.
+//!
+//! Because each op runs alone (the turn token serializes at op
+//! granularity), every schedule is also a serialized [`TracedOp`] trace:
+//! a violation under some interleaving is reported as an ordinary
+//! replayable [`Counterexample`].
+
+use crate::search::Counterexample;
+use crate::ModelConfig;
+use sanctorum_explorer::trace::TracedOp;
+use sanctorum_explorer::CheckedWorld;
+use sanctorum_hal::domain::CoreId;
+use sanctorum_os::concurrent::{run_scheduled, Schedule};
+use sanctorum_os::ops::{ImageKind, Op};
+use std::sync::Mutex;
+
+/// A two-hart critical window: shared setup ops, then one short op script
+/// per hart whose interleavings are the space under test.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Ops establishing the pre-state, applied serially on hart 0.
+    pub setup: Vec<Op>,
+    /// Per-hart scripts; worker `w` issues `scripts[w]` from hart `w`.
+    pub scripts: Vec<Vec<Op>>,
+}
+
+impl Window {
+    /// Every interleaving of the window's scripts.
+    pub fn schedules(&self) -> Vec<Schedule> {
+        let counts: Vec<usize> = self.scripts.iter().map(Vec::len).collect();
+        Schedule::interleavings(&counts)
+    }
+}
+
+/// The canonical grant-vs-delete window, the race class PR 5's sharded
+/// locking had to defend: hart 0 grants an *available* region to a live
+/// enclave while hart 1 deletes that same enclave, recycles its backing
+/// region and re-grants the contested region to the OS. Depending on the
+/// interleaving the grant lands on a live enclave (and the delete must
+/// then reclaim the region) or on a dying/dead one (and must be refused) —
+/// either way no region may end up owned by a deleted enclave and no dirty
+/// region may reach a new owner unscrubbed.
+pub fn grant_delete_window() -> Window {
+    Window {
+        setup: vec![
+            // One live enclave (slot 0) and one region made Available for
+            // the contested grant. Selector note: after the build the free
+            // pool is shorter by one; region index 1 is still OS-owned in
+            // the canonical small world (the pool is [1, 2] after staging
+            // and the build takes from the back).
+            Op::Build { kind: ImageKind::Hello, param: 0 },
+            Op::BlockRegion { region: 1 },
+            Op::CleanRegion { region: 1 },
+        ],
+        scripts: vec![
+            // Hart 0: the grant side. Owner selector 1 resolves to live
+            // slot 0 as an *enclave* grant (1 % live == 0, 1 % (live+1) != 0).
+            vec![Op::GrantRegion { region: 1, owner: 1 }],
+            // Hart 1: the delete side — delete the enclave, clean its
+            // (now blocked) backing region, re-grant the contested region
+            // to the OS.
+            vec![
+                Op::DeleteEnclave { slot: 0 },
+                Op::CleanRegion { region: 2 },
+                Op::GrantRegion { region: 1, owner: 0 },
+            ],
+        ],
+    }
+}
+
+/// What one schedule of a window produced.
+#[derive(Debug, Clone)]
+pub struct WindowOutcome {
+    /// The interleaving that ran.
+    pub schedule: Schedule,
+    /// Per-global-step `(worker, OpOutcome::status)` stream, in schedule
+    /// order — the deterministic observable of the interleaving. The worker
+    /// tag matters: two interleavings can produce the same bare status
+    /// sequence while attributing the failures to different harts.
+    pub statuses: Vec<(usize, u64)>,
+    /// The violation this interleaving reached, if any, as a serialized
+    /// replayable trace (setup + the interleaved prefix).
+    pub violation: Option<Counterexample>,
+}
+
+/// Runs `window` under **every** interleaving of its scripts, each on real
+/// host threads serialized by the schedule, with the full invariant kernel
+/// checking every step. Outcomes are returned in schedule order
+/// (lexicographic), and the whole function is a deterministic function of
+/// `(config, window)`.
+///
+/// # Panics
+///
+/// Panics if a setup op is skipped or violates — the window's pre-state
+/// must be unambiguous.
+pub fn check_window(config: &ModelConfig, window: &Window) -> Vec<WindowOutcome> {
+    window
+        .schedules()
+        .into_iter()
+        .map(|schedule| run_window_schedule(config, window, schedule))
+        .collect()
+}
+
+/// Runs one schedule of the window.
+fn run_window_schedule(
+    config: &ModelConfig,
+    window: &Window,
+    schedule: Schedule,
+) -> WindowOutcome {
+    let mut world = CheckedWorld::boot(config.platform, config.machine.clone(), config.weaken);
+    let mut trace: Vec<TracedOp> = Vec::new();
+    for op in &window.setup {
+        let outcome = world
+            .step(CoreId::new(0), op)
+            .unwrap_or_else(|violation| panic!("window setup violated: {violation}"));
+        assert_ne!(
+            outcome.status,
+            sanctorum_os::ops::OpOutcome::SKIPPED,
+            "window setup op was skipped: {op:?}"
+        );
+        trace.push(TracedOp { hart: 0, op: op.clone() });
+    }
+
+    // Shared channel between the scheduled workers: the world under test,
+    // the serialized trace so far, the status stream, and the first
+    // violation. The turn token already serializes the workers; the mutex
+    // only carries the shared references across threads.
+    struct Shared {
+        world: CheckedWorld,
+        trace: Vec<TracedOp>,
+        statuses: Vec<(usize, u64)>,
+        violation: Option<Counterexample>,
+    }
+    let shared = Mutex::new(Shared {
+        world,
+        trace,
+        statuses: Vec::new(),
+        violation: None,
+    });
+
+    let result = run_scheduled(
+        window.scripts.clone(),
+        &schedule,
+        |worker, script, local_step| {
+            let op = script[local_step].clone();
+            let hart = worker as u32;
+            let mut shared = shared.lock().unwrap();
+            let shared = &mut *shared;
+            shared.trace.push(TracedOp { hart, op: op.clone() });
+            match shared.world.step(CoreId::new(hart), &op) {
+                Ok(outcome) => {
+                    shared.statuses.push((worker, outcome.status));
+                    Ok(())
+                }
+                Err(violation) => {
+                    shared.violation = Some(Counterexample {
+                        trace: shared.trace.clone(),
+                        kind: violation.kind(),
+                        violation: violation.to_string(),
+                    });
+                    Err(violation.to_string())
+                }
+            }
+        },
+    );
+    let shared = shared.into_inner().unwrap();
+    if result.is_err() {
+        assert!(shared.violation.is_some(), "scheduled run failed without a violation");
+    }
+    WindowOutcome {
+        schedule,
+        statuses: shared.statuses,
+        violation: shared.violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_delete_window_enumerates_all_interleavings_clean() {
+        let config = ModelConfig::default();
+        let window = grant_delete_window();
+        let outcomes = check_window(&config, &window);
+        assert_eq!(outcomes.len(), 4, "C(4,1) interleavings of a 1-vs-3 window");
+        for outcome in &outcomes {
+            assert!(
+                outcome.violation.is_none(),
+                "schedule {} violated: {:?}",
+                outcome.schedule.label(),
+                outcome.violation
+            );
+            assert_eq!(outcome.statuses.len(), 4, "every step ran");
+        }
+        // The interleaving must be observable: grant-before-delete and
+        // grant-after-delete produce different status streams.
+        let distinct: std::collections::BTreeSet<&[(usize, u64)]> =
+            outcomes.iter().map(|o| o.statuses.as_slice()).collect();
+        assert!(
+            distinct.len() >= 2,
+            "all interleavings produced identical outcomes: {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn window_checks_are_deterministic() {
+        let config = ModelConfig::default();
+        let window = grant_delete_window();
+        let first: Vec<Vec<(usize, u64)>> =
+            check_window(&config, &window).into_iter().map(|o| o.statuses).collect();
+        let second: Vec<Vec<(usize, u64)>> =
+            check_window(&config, &window).into_iter().map(|o| o.statuses).collect();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,44 @@
+//! The acceptance sweep: exhaustive bounded search of the small world.
+//!
+//! This is the run `BENCH_modelcheck.json` benchmarks and CI gates: every
+//! state of the 2-enclave/2-hart/4-region world reachable through the
+//! lifecycle alphabet within depth 6, visited once (digest-pruned), with
+//! the full invariant kernel green on every edge. `complete == true` is
+//! the claim that distinguishes this from the explorer's sampling: within
+//! this alphabet and depth there is **no** reachable violating state, full
+//! stop.
+
+use sanctorum_modelcheck::{search, ModelConfig};
+
+#[test]
+fn lifecycle_alphabet_is_exhaustively_clean_to_depth_6() {
+    let config = ModelConfig::ci();
+    assert!(config.max_depth >= 6, "the acceptance bar is depth 6");
+    let outcome = search(&config);
+    if let Some(counterexample) = &outcome.violation {
+        panic!(
+            "violation ({}) after {} states: {}\n{}",
+            counterexample.kind,
+            outcome.states,
+            counterexample.violation,
+            counterexample.to_text()
+        );
+    }
+    assert!(
+        outcome.complete,
+        "state cap hit at {} states — raise max_states, the sweep must be exhaustive",
+        outcome.states
+    );
+    assert_eq!(outcome.depth_reached, config.max_depth, "frontier died early");
+    // The space must be genuinely explored, not collapsed by an over-eager
+    // digest: the lifecycle alphabet reaches hundreds of distinct states.
+    assert!(outcome.states > 200, "only {} states — digest collapse?", outcome.states);
+    assert!(outcome.edges > outcome.states as u64 * 4, "branching factor collapsed");
+    eprintln!(
+        "exhaustive sweep: {} states, {} edges, depth {}, {:.0} states/s",
+        outcome.states,
+        outcome.edges,
+        outcome.depth_reached,
+        outcome.states_per_second()
+    );
+}

@@ -1,0 +1,127 @@
+//! The checker's self-check: every deliberate monitor weakening must be
+//! *found* by the bounded search, within a CI-affordable depth budget, as
+//! a minimal counterexample that replays both through the checker's own
+//! `reproduce` and through the explorer's text trace machinery.
+//!
+//! This is what makes "the depth-6 sweep found nothing" evidence rather
+//! than absence of evidence: the same search, pointed at a monitor with a
+//! known hole, demonstrably walks into it. Iterating
+//! [`TestWeakening::ALL`] means a future weakening cannot be added without
+//! this harness learning to catch it — the `match` below stops compiling.
+
+use sanctorum_core::monitor::TestWeakening;
+use sanctorum_explorer::trace::parse_trace;
+use sanctorum_modelcheck::search::reproduce;
+use sanctorum_modelcheck::{search, ModelConfig};
+use sanctorum_os::ops::ImageKind;
+
+/// The search configuration that must expose `weaken`, the violation kinds
+/// that count as catching it, and the known minimal witness length. The
+/// alphabets are deliberately small — each weakening has a two- or
+/// three-op witness, and the self-check should prove the checker finds it
+/// *fast*, not re-run the full sweep per weakening.
+fn detector(weaken: TestWeakening) -> (ModelConfig, &'static [&'static str], usize) {
+    let base = ModelConfig {
+        weaken: Some(weaken),
+        max_depth: 4,
+        build_kinds: &[ImageKind::Hello],
+        ..ModelConfig::default()
+    };
+    match weaken {
+        // An unscrubbed teardown leaves secrets in a region the OS gets
+        // back: caught as dirty reuse (or by the dirtied-page secret scan,
+        // whichever invariant fires first on the shortest path). Three ops
+        // minimum — the residue is only recognizable as a secret while an
+        // enclave carrying it is live, so a second build must precede the
+        // unscrubbed teardown.
+        TestWeakening::SkipRegionScrub => (
+            ModelConfig { labels: Some(&["build", "teardown"]), ..base },
+            &["dirty-reuse", "secret-in-memory"][..],
+            3,
+        ),
+        // Skipping the core clean on enclave exit leaks the enclave's
+        // architected state to the next domain on that hart: build + one
+        // run to completion.
+        TestWeakening::SkipCoreClean => (
+            ModelConfig { labels: Some(&["build", "run"]), ..base },
+            &["secret-leak", "secret-in-memory"][..],
+            2,
+        ),
+    }
+}
+
+#[test]
+fn every_weakening_is_caught_with_a_minimal_replayable_counterexample() {
+    for weaken in TestWeakening::ALL {
+        let (config, expected_kinds, witness_len) = detector(weaken);
+        let outcome = search(&config);
+        let counterexample = outcome.violation.unwrap_or_else(|| {
+            panic!(
+                "{}: search found nothing in {} states to depth {}",
+                weaken.name(),
+                outcome.states,
+                config.max_depth
+            )
+        });
+        assert!(
+            expected_kinds.contains(&counterexample.kind),
+            "{}: caught as {:?}, expected one of {:?}: {}",
+            weaken.name(),
+            counterexample.kind,
+            expected_kinds,
+            counterexample.violation
+        );
+
+        // Minimality: BFS plus the deletion shrink must not report
+        // anything longer than the known minimal witness.
+        assert!(
+            counterexample.trace.len() <= witness_len,
+            "{}: counterexample not minimal ({} ops): {}",
+            weaken.name(),
+            counterexample.trace.len(),
+            counterexample.to_text()
+        );
+
+        // Replayable through the checker: the same config reproduces the
+        // same violation kind at the trace's last step.
+        let (step, violation) = reproduce(&config, &counterexample.trace)
+            .unwrap_or_else(|| {
+                panic!("{}: counterexample does not reproduce", weaken.name())
+            });
+        assert_eq!(step, counterexample.trace.len() - 1);
+        assert_eq!(violation.kind(), counterexample.kind);
+
+        // Replayable through the trace machinery: the text form is the
+        // corpus format and round-trips to the same ops.
+        let reparsed = parse_trace(&counterexample.to_text())
+            .unwrap_or_else(|err| panic!("{}: {err}", weaken.name()));
+        assert_eq!(reparsed, counterexample.trace);
+
+        eprintln!(
+            "{}: caught as {} in {} states ({} ops): {}",
+            weaken.name(),
+            counterexample.kind,
+            outcome.states,
+            counterexample.trace.len(),
+            counterexample.to_text().replace('\n', " / ")
+        );
+    }
+}
+
+#[test]
+fn unweakened_counterpart_searches_stay_clean() {
+    // The detectors must owe their findings to the weakening, not to the
+    // restricted alphabet: the same configurations with the weakening
+    // removed explore clean.
+    for weaken in TestWeakening::ALL {
+        let (config, _, _) = detector(weaken);
+        let outcome = search(&ModelConfig { weaken: None, ..config });
+        assert!(
+            outcome.violation.is_none(),
+            "{}: unweakened control found {:?}",
+            weaken.name(),
+            outcome.violation
+        );
+        assert!(outcome.complete, "{}: control search hit the cap", weaken.name());
+    }
+}

@@ -432,6 +432,180 @@ pub fn run_concurrent(
     })
 }
 
+/// An explicit interleaving of per-worker steps: entry `k` names the worker
+/// that takes global step `k`.
+///
+/// This is the controlled-scheduler half of the concurrency story. The
+/// barrier-driven soak above finds races *probabilistically* — whatever
+/// interleaving the host scheduler happens to produce. A `Schedule` pins the
+/// interleaving: [`run_scheduled`] hands a turn token from worker to worker
+/// in exactly this order, so a short critical window (a grant racing a
+/// delete, a clean racing a re-grant) can be explored across **all** of its
+/// interleavings deterministically, loom-style, instead of by soak luck.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Schedule {
+    order: Vec<usize>,
+}
+
+impl Schedule {
+    /// Wraps an explicit step order.
+    pub fn new(order: Vec<usize>) -> Self {
+        Self { order }
+    }
+
+    /// The worker index taking each global step.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// How many steps `worker` takes under this schedule.
+    pub fn steps_for(&self, worker: usize) -> usize {
+        self.order.iter().filter(|&&w| w == worker).count()
+    }
+
+    /// Compact label for reports: the worker index of each step, e.g.
+    /// `"0101"` for strict alternation of two workers.
+    pub fn label(&self) -> String {
+        self.order.iter().map(|w| char::from(b'0' + (*w % 10) as u8)).collect()
+    }
+
+    /// Every interleaving of `counts[w]` steps per worker, in lexicographic
+    /// order (worker 0 preferred early). The count is the multinomial
+    /// coefficient — `interleavings(&[3, 3])` yields all 20 orders of a
+    /// 3-step window against a 3-step window — so callers keep windows
+    /// short.
+    pub fn interleavings(counts: &[usize]) -> Vec<Schedule> {
+        fn extend(
+            remaining: &mut Vec<usize>,
+            prefix: &mut Vec<usize>,
+            out: &mut Vec<Schedule>,
+        ) {
+            if remaining.iter().all(|&r| r == 0) {
+                out.push(Schedule::new(prefix.clone()));
+                return;
+            }
+            for worker in 0..remaining.len() {
+                if remaining[worker] > 0 {
+                    remaining[worker] -= 1;
+                    prefix.push(worker);
+                    extend(remaining, prefix, out);
+                    prefix.pop();
+                    remaining[worker] += 1;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        extend(&mut counts.to_vec(), &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+/// Runs one step function per worker on real OS threads, serialized under
+/// `schedule`: worker `schedule.order()[k]` executes its next step as global
+/// step `k`, alone — a turn token moves through the schedule and only its
+/// holder runs. Each worker observes the shared state exactly as the
+/// schedule dictates, every thread is a distinct host thread (so the
+/// debug-build lock-order checker sees real cross-thread acquisition
+/// histories), and the whole run is a deterministic function of
+/// `(states, schedule, step)`.
+///
+/// `step(worker, state, local_step)` is called with the worker's own state
+/// and its 0-based step counter. Returns the final worker states in index
+/// order.
+///
+/// # Errors
+///
+/// Returns the first step error, tagged with its worker and global step;
+/// remaining turns are abandoned (every thread is released and joined).
+///
+/// # Panics
+///
+/// Panics if the schedule names a worker outside `states`.
+pub fn run_scheduled<S: Send>(
+    states: Vec<S>,
+    schedule: &Schedule,
+    step: impl Fn(usize, &mut S, usize) -> Result<(), String> + Sync,
+) -> Result<Vec<S>, String> {
+    use std::sync::{Condvar, Mutex};
+    let workers = states.len();
+    assert!(
+        schedule.order().iter().all(|&w| w < workers),
+        "schedule names worker outside 0..{workers}"
+    );
+    // The turn token: position in the schedule, plus a poison flag raised on
+    // the first error so threads whose turns will never come still exit.
+    struct Turn {
+        position: usize,
+        poisoned: bool,
+    }
+    let turn = Mutex::new(Turn { position: 0, poisoned: false });
+    let turn_moved = Condvar::new();
+    let failure = Mutex::new(None::<String>);
+
+    let mut finished: Vec<Option<S>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (worker, mut state) in states.into_iter().enumerate() {
+            let order = schedule.order();
+            let turn = &turn;
+            let turn_moved = &turn_moved;
+            let failure = &failure;
+            let step = &step;
+            handles.push(scope.spawn(move || {
+                let mut local_step = 0usize;
+                loop {
+                    let mut guard = turn.lock().unwrap();
+                    while !guard.poisoned
+                        && guard.position < order.len()
+                        && order[guard.position] != worker
+                    {
+                        guard = turn_moved.wait(guard).unwrap();
+                    }
+                    if guard.poisoned || guard.position >= order.len() {
+                        return state;
+                    }
+                    let position = guard.position;
+                    drop(guard);
+                    // The token sits at this worker's turn: it runs alone
+                    // until it advances the position below. A panic is
+                    // converted to an error so the token still advances —
+                    // otherwise every other thread would wait on it forever.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || step(worker, &mut state, local_step),
+                    ))
+                    .unwrap_or_else(|payload| {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic".into());
+                        Err(format!("step panicked: {message}"))
+                    });
+                    local_step += 1;
+                    let mut guard = turn.lock().unwrap();
+                    if let Err(err) = result {
+                        *failure.lock().unwrap() = Some(format!(
+                            "worker {worker} failed at global step {position}: {err}"
+                        ));
+                        guard.poisoned = true;
+                    }
+                    guard.position = position + 1;
+                    drop(guard);
+                    turn_moved.notify_all();
+                }
+            }));
+        }
+        for handle in handles {
+            finished.push(Some(handle.join().expect("scheduled worker panicked")));
+        }
+    });
+
+    if let Some(err) = failure.into_inner().unwrap() {
+        return Err(err);
+    }
+    Ok(finished.into_iter().map(|s| s.expect("joined above")).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +670,52 @@ mod tests {
         .expect("concurrent run succeeds");
         assert_eq!(stats.steps, 2 * 50);
         assert_eq!(stats.retries, 0, "the giant lock never reports ConcurrentCall");
+    }
+
+    #[test]
+    fn interleavings_enumerate_the_multinomial_space() {
+        let all = Schedule::interleavings(&[2, 2]);
+        assert_eq!(all.len(), 6, "C(4,2) orders of two 2-step windows");
+        let mut unique = all.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), all.len(), "no duplicate schedules");
+        assert!(all.iter().all(|s| s.steps_for(0) == 2 && s.steps_for(1) == 2));
+        assert_eq!(all[0].label(), "0011", "lexicographic order, worker 0 first");
+        assert_eq!(Schedule::interleavings(&[3, 3]).len(), 20);
+    }
+
+    #[test]
+    fn run_scheduled_serializes_steps_in_schedule_order() {
+        use std::sync::Mutex;
+        for schedule in Schedule::interleavings(&[3, 2]) {
+            let log = Mutex::new(Vec::new());
+            let states = run_scheduled(vec![0usize, 0usize], &schedule, |worker, count, local| {
+                assert_eq!(*count, local, "per-worker step counter is sequential");
+                *count += 1;
+                log.lock().unwrap().push(worker);
+                Ok(())
+            })
+            .expect("scheduled run succeeds");
+            assert_eq!(log.into_inner().unwrap(), schedule.order());
+            assert_eq!(states, vec![3, 2]);
+        }
+    }
+
+    #[test]
+    fn run_scheduled_reports_step_failures_with_their_position() {
+        let schedule = Schedule::new(vec![0, 1, 0, 1]);
+        let err = run_scheduled(vec![(), ()], &schedule, |worker, _, local| {
+            if worker == 1 && local == 1 {
+                Err("synthetic failure".into())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(err.contains("worker 1"), "{err}");
+        assert!(err.contains("global step 3"), "{err}");
+        assert!(err.contains("synthetic failure"), "{err}");
     }
 
     #[test]

@@ -256,6 +256,37 @@ impl Op {
             Op::Attack { .. } => "attack",
         }
     }
+
+    /// Every op label, one per variant, in declaration order. Coverage tests
+    /// assert the sampler can reach all of them, so a new variant cannot be
+    /// added with a dead sampling arm.
+    pub const ALL_LABELS: [&'static str; 16] = [
+        "build",
+        "teardown",
+        "run",
+        "tick",
+        "block-region",
+        "clean-region",
+        "grant-region",
+        "delete-enclave",
+        "load-after-init",
+        "mail-roundtrip",
+        "enclave-mail",
+        "mail-queue",
+        "attest-service",
+        "get-field",
+        "batch",
+        "attack",
+    ];
+
+    /// Whether the issuing hart is part of this op's semantics. `Run`,
+    /// `Tick` and `Attack` install contexts / raise interrupts *on the
+    /// issuing hart*; every other op is a hart-agnostic monitor call. The
+    /// model checker uses this to avoid enumerating the same hart-agnostic
+    /// op once per hart.
+    pub const fn hart_sensitive(&self) -> bool {
+        matches!(self, Op::Run { .. } | Op::Tick | Op::Attack { .. })
+    }
 }
 
 /// The OS-visible, platform-invariant summary of one applied op.
@@ -320,6 +351,14 @@ impl OpOutcome {
 pub fn detail_fingerprint(bytes: &[u8]) -> u64 {
     sanctorum_hal::fnv::fnv1a(0, bytes)
 }
+
+/// Canonical [`Op::Run`] budget small enough that every canned image is
+/// preempted or interrupted mid-run (the re-entry / descheduling arc).
+pub const RUN_BUDGET_PREEMPT: u64 = 24;
+
+/// Canonical [`Op::Run`] budget large enough for every canned image to run
+/// to completion (exit or fault).
+pub const RUN_BUDGET_FULL: u64 = 10_000;
 
 /// One live enclave tracked by an [`OpWorld`].
 #[derive(Debug, Clone)]
@@ -493,17 +532,180 @@ impl OpWorld {
         }
     }
 
+    /// Whether `op` would actually reach the monitor if applied now, or be
+    /// skipped because its selectors resolve to nothing (no live enclave,
+    /// no free region).
+    ///
+    /// This is exactly the skip predicate [`apply`](Self::apply) uses, split
+    /// out so search drivers can enumerate the feasible op space instead of
+    /// rejection-sampling it. One deliberate asymmetry: `AttestService` is
+    /// *enabled* whenever the signing service exists or can be built, even
+    /// with no live clients — applying it then still builds the service
+    /// (a state change) before reporting the round skipped, and the
+    /// predicate must match that behavior, not second-guess it.
+    pub fn is_enabled(&self, op: &Op) -> bool {
+        match op {
+            Op::Build { .. } => self.os.free_region_count() > 0,
+            Op::Teardown { .. }
+            | Op::Run { .. }
+            | Op::DeleteEnclave { .. }
+            | Op::LoadAfterInit { .. }
+            | Op::MailRoundTrip { .. }
+            | Op::EnclaveMail { .. }
+            | Op::MailQueue { .. } => !self.live.is_empty(),
+            Op::Tick
+            | Op::BlockRegion { .. }
+            | Op::CleanRegion { .. }
+            | Op::GrantRegion { .. }
+            | Op::GetField { .. }
+            | Op::Batch { .. } => true,
+            Op::AttestService { .. } => {
+                self.signing.is_some() || self.os.free_region_count() > 0
+            }
+            Op::Attack { kind, .. } => {
+                let kind = AttackKind::ALL[(*kind % AttackKind::ALL.len() as u64) as usize];
+                let feasible =
+                    !kind.builds_own_enclave() || self.os.free_region_count() > 0;
+                !self.live.is_empty() && feasible
+            }
+        }
+    }
+
+    /// The canonical owner selector resolving to live slot `slot` under the
+    /// [`Op::GrantRegion`] convention (`slot = owner % live`, enclave iff
+    /// `owner % (live + 1) != 0`): the smallest selector naming that slot.
+    fn canonical_owner(live: u64, slot: u64) -> u64 {
+        (0..)
+            .map(|k| slot + k * live)
+            .find(|o| *o >= 1 && o % (live + 1) != 0)
+            .expect("every residue class contains a non-OS selector")
+    }
+
+    /// Enumerates the feasible op space of this world under *canonical*
+    /// selectors — one op per distinct behavior class rather than one per
+    /// raw selector value (slot selectors range over the live population,
+    /// region selectors over the physical regions, parameters are pinned to
+    /// representatives). Every returned op satisfies
+    /// [`is_enabled`](Self::is_enabled); applying any of them reaches the
+    /// monitor rather than skipping.
+    ///
+    /// This is the branching alphabet of the bounded model checker: in a
+    /// small world it stays small (tens of ops), and its exhaustive closure
+    /// covers everything `Op::sample` can reach modulo selector aliasing.
+    pub fn enabled_ops(&self) -> Vec<Op> {
+        const CANONICAL_PAYLOAD: u64 = 9;
+        let mut ops = Vec::new();
+        let live = self.live.len() as u64;
+        let regions = self.system.machine.config().num_regions() as u64;
+        let free = self.os.free_region_count();
+        if free > 0 {
+            for kind in [
+                ImageKind::Hello,
+                ImageKind::Compute,
+                ImageKind::Faulting,
+                ImageKind::FaultHandling,
+            ] {
+                ops.push(Op::Build { kind, param: 0 });
+            }
+        }
+        for slot in 0..live {
+            ops.push(Op::Teardown { slot });
+            for budget in [RUN_BUDGET_PREEMPT, RUN_BUDGET_FULL] {
+                ops.push(Op::Run { slot, budget });
+            }
+        }
+        ops.push(Op::Tick);
+        for region in 0..regions {
+            ops.push(Op::BlockRegion { region });
+            ops.push(Op::CleanRegion { region });
+            ops.push(Op::GrantRegion { region, owner: 0 });
+            for slot in 0..live {
+                ops.push(Op::GrantRegion {
+                    region,
+                    owner: Self::canonical_owner(live, slot),
+                });
+            }
+            ops.push(Op::Batch { region });
+        }
+        for slot in 0..live {
+            ops.push(Op::DeleteEnclave { slot });
+            ops.push(Op::LoadAfterInit { slot });
+            ops.push(Op::MailRoundTrip { slot, payload: CANONICAL_PAYLOAD });
+            ops.push(Op::MailQueue { slot, burst: 0, payload: CANONICAL_PAYLOAD });
+        }
+        for from in 0..live {
+            for to in 0..live {
+                ops.push(Op::EnclaveMail { from, to, payload: CANONICAL_PAYLOAD });
+            }
+        }
+        // Only offered with clients present: a clientless round would still
+        // permanently consume a region for the service enclave, which in a
+        // tiny world prunes the rest of the space for no coverage gain.
+        if live > 0 && (self.signing.is_some() || free > 0) {
+            ops.push(Op::AttestService { clients: 0 });
+        }
+        // 0..=3 name the public fields; 4 is the canonical invalid selector.
+        for field in 0..5 {
+            ops.push(Op::GetField { field });
+        }
+        for kind in 0..AttackKind::ALL.len() as u64 {
+            if AttackKind::ALL[kind as usize].builds_own_enclave() && free == 0 {
+                continue;
+            }
+            for slot in 0..live {
+                ops.push(Op::Attack { kind, slot });
+            }
+        }
+        debug_assert!(ops.iter().all(|op| self.is_enabled(op)));
+        ops
+    }
+
+    /// Fingerprints the *model-layer* state that `Machine::state_digest` and
+    /// the monitor's audit digest cannot see: the free pool's order (a
+    /// stack — order decides which region the next build takes), the live
+    /// roster with secrets and build recipes, and whether the signing
+    /// service exists. A visited-set key missing any of these would merge
+    /// states with different futures and prune unsoundly.
+    pub fn model_fingerprint(&self) -> u64 {
+        fn fold(h: u64, v: u64) -> u64 {
+            sanctorum_hal::fnv::fnv1a(h, &v.to_le_bytes())
+        }
+        let mut h = 0x0f1u64;
+        for region in self.os.free_regions() {
+            h = fold(h, region.index() as u64);
+        }
+        h = fold(h, u64::MAX);
+        for entry in &self.live {
+            h = fold(h, entry.built.eid.as_u64());
+            h = fold(h, entry.secret.unwrap_or(u64::MAX));
+            let (kind, param) = entry.recipe;
+            h = fold(h, kind as u64);
+            h = fold(h, param);
+            h = fold(h, entry.evrange_base.as_u64());
+        }
+        fold(h, self.signing.is_some() as u64)
+    }
+
     /// Applies one op issued from `hart`, returning its outcome summary.
     /// Ops whose selectors resolve to nothing (no live enclave, no free
-    /// region) are skipped; everything else maps onto SM API calls.
+    /// region — see [`is_enabled`](Self::is_enabled)) are skipped;
+    /// everything else maps onto SM API calls via
+    /// [`execute`](Self::execute).
     pub fn apply(&mut self, hart: CoreId, op: &Op) -> OpOutcome {
+        if !self.is_enabled(op) {
+            return OpOutcome::skipped(op.label());
+        }
+        self.execute(hart, op)
+    }
+
+    /// Executes an op [`is_enabled`](Self::is_enabled) has vouched for.
+    /// Selector resolution cannot fail here — the enabled predicate is
+    /// exactly the conjunction of the old inline skip checks.
+    fn execute(&mut self, hart: CoreId, op: &Op) -> OpOutcome {
         let label = op.label();
         let os_session = CallerSession::os();
         match op {
             Op::Build { kind, param } => {
-                if self.os.free_region_count() == 0 {
-                    return OpOutcome::skipped(label);
-                }
                 let (image, secret) = kind.instantiate(*param);
                 let evrange_base = image.evrange_base;
                 match self.os.build_enclave(&image, 1) {
@@ -523,18 +725,14 @@ impl OpWorld {
                 }
             }
             Op::Teardown { slot } => {
-                let Some(index) = self.slot(*slot) else {
-                    return OpOutcome::skipped(label);
-                };
+                let index = self.slot(*slot).expect("gated by is_enabled");
                 let built = self.live[index].built.clone();
                 let result = self.os.teardown_enclave(&built);
                 self.forget_if_dead(built.eid);
                 OpOutcome::of_result(label, result, |_| 0)
             }
             Op::Run { slot, budget } => {
-                let Some(index) = self.slot(*slot) else {
-                    return OpOutcome::skipped(label);
-                };
+                let index = self.slot(*slot).expect("gated by is_enabled");
                 let built = self.live[index].built.clone();
                 let tid = built.main_thread();
                 let result = self.os.run_thread(&built, tid, hart, *budget);
@@ -582,18 +780,14 @@ impl OpWorld {
                 )
             }
             Op::DeleteEnclave { slot } => {
-                let Some(index) = self.slot(*slot) else {
-                    return OpOutcome::skipped(label);
-                };
+                let index = self.slot(*slot).expect("gated by is_enabled");
                 let eid = self.live[index].built.eid;
                 let result = self.system.monitor.delete_enclave(os_session, eid);
                 self.forget_if_dead(eid);
                 OpOutcome::of_result(label, result, |_| 0)
             }
             Op::LoadAfterInit { slot } => {
-                let Some(index) = self.slot(*slot) else {
-                    return OpOutcome::skipped(label);
-                };
+                let index = self.slot(*slot).expect("gated by is_enabled");
                 let entry = &self.live[index];
                 let result = self.system.monitor.load_page(
                     os_session,
@@ -605,25 +799,19 @@ impl OpWorld {
                 OpOutcome::of_result(label, result, |p| p.as_u64())
             }
             Op::MailRoundTrip { slot, payload } => {
-                let Some(index) = self.slot(*slot) else {
-                    return OpOutcome::skipped(label);
-                };
+                let index = self.slot(*slot).expect("gated by is_enabled");
                 let eid = self.live[index].built.eid;
                 self.mail_exchange(label, None, eid, *payload)
             }
             Op::EnclaveMail { from, to, payload } => {
-                let (Some(from_index), Some(to_index)) = (self.slot(*from), self.slot(*to))
-                else {
-                    return OpOutcome::skipped(label);
-                };
+                let from_index = self.slot(*from).expect("gated by is_enabled");
+                let to_index = self.slot(*to).expect("gated by is_enabled");
                 let sender = self.live[from_index].built.eid;
                 let recipient = self.live[to_index].built.eid;
                 self.mail_exchange(label, Some(sender), recipient, *payload)
             }
             Op::MailQueue { slot, burst, payload } => {
-                let Some(index) = self.slot(*slot) else {
-                    return OpOutcome::skipped(label);
-                };
+                let index = self.slot(*slot).expect("gated by is_enabled");
                 let recipient = self.live[index].built.eid;
                 let burst = 1 + (*burst % MAILBOX_QUEUE_DEPTH as u64);
                 self.mail_queue_burst(label, recipient, burst, *payload)
@@ -671,12 +859,7 @@ impl OpWorld {
             }
             Op::Attack { kind, slot } => {
                 let kind = AttackKind::ALL[(*kind % AttackKind::ALL.len() as u64) as usize];
-                if kind.builds_own_enclave() && self.os.free_region_count() == 0 {
-                    return OpOutcome::skipped(label);
-                }
-                let Some(index) = self.slot(*slot) else {
-                    return OpOutcome::skipped(label);
-                };
+                let index = self.slot(*slot).expect("gated by is_enabled");
                 let victim = self.live[index].built.clone();
                 match kind.run(&self.system, &mut self.os, &victim, &victim, hart) {
                     Ok(outcome) => {
@@ -839,11 +1022,10 @@ impl OpWorld {
     /// session in the outcome detail.
     fn attest_service(&mut self, label: &'static str, clients: usize) -> OpOutcome {
         // The service enclave is built lazily and lives for the rest of the
-        // world (its region is never returned to the pool).
+        // world (its region is never returned to the pool). A free region is
+        // guaranteed here: `is_enabled` requires one whenever the service
+        // does not exist yet.
         if self.signing.is_none() {
-            if self.os.free_region_count() == 0 {
-                return OpOutcome::skipped(label);
-            }
             let built = match self.os.build_enclave(&EnclaveImage::signing_enclave(), 1) {
                 Ok(built) => built,
                 Err(err) => return OpOutcome::done(label, status_of(&err), 0),
@@ -1024,6 +1206,55 @@ mod tests {
         let labels: std::collections::BTreeSet<&str> =
             ops_a.iter().map(|o| o.label()).collect();
         assert!(labels.len() >= 12, "got only {labels:?}");
+    }
+
+    #[test]
+    fn sample_reaches_every_variant_every_attack_and_every_image() {
+        // Exhaustive coverage of the sampler's range: every op label, every
+        // attack kind and every image kind must be reachable, or the
+        // explorer silently stops exercising part of the surface (and the
+        // model checker's alphabet diverges from the sampled one). 4000
+        // deterministic draws make the rarest class (~1% per draw)
+        // overwhelmingly certain while staying instant.
+        let mut stream = words(0xc0_7e1a);
+        let ops: Vec<Op> = (0..4000).map(|_| Op::sample(&mut stream)).collect();
+
+        let labels: std::collections::BTreeSet<&str> =
+            ops.iter().map(|o| o.label()).collect();
+        for label in Op::ALL_LABELS {
+            assert!(labels.contains(label), "sampler never drew {label:?}");
+        }
+        assert_eq!(labels.len(), Op::ALL_LABELS.len(), "unknown label drawn");
+
+        let kinds: std::collections::BTreeSet<usize> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Attack { kind, .. } => {
+                    Some((*kind % AttackKind::ALL.len() as u64) as usize)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kinds.len(),
+            AttackKind::ALL.len(),
+            "attack kinds never drawn: {:?}",
+            AttackKind::ALL
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !kinds.contains(i))
+                .map(|(_, k)| k)
+                .collect::<Vec<_>>()
+        );
+
+        let images: std::collections::BTreeSet<ImageKind> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Build { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(images.len(), 4, "image kinds missing: got {images:?}");
     }
 
     #[test]

@@ -127,6 +127,14 @@ impl Os {
         self.free_regions.len()
     }
 
+    /// The free pool itself, in allocation order. The pool is a stack —
+    /// `build_enclave` takes from the back — so the *order* of entries, not
+    /// just their set, determines which region the next build receives.
+    /// Model-state fingerprints must therefore fold the sequence as-is.
+    pub fn free_regions(&self) -> &[RegionId] {
+        &self.free_regions
+    }
+
     /// Returns the base address of the OS staging area.
     pub fn staging_base(&self) -> PhysAddr {
         self.staging_base

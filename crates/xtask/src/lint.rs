@@ -500,7 +500,7 @@ fn collect_rust_files(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
 mod tests {
     use super::*;
 
-    const RANKS: &[&str] = &["ENCLAVE_TABLE", "MAIL_LEDGER", "BACKEND"];
+    const RANKS: &[&str] = &["ENCLAVE_TABLE", "MAIL_LEDGER", "BACKEND", "MODEL_VISITED"];
 
     fn ranks() -> Vec<String> {
         RANKS.iter().map(|s| s.to_string()).collect()
@@ -600,6 +600,29 @@ mod tests {
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert_eq!(violations[0].rule, "lock-rank");
         assert_eq!(violations[0].line, 5);
+    }
+
+    #[test]
+    fn modelcheck_crate_is_inside_rule_c_jurisdiction() {
+        // The model checker is first-party code, not a shim: an ordered
+        // lock declared there without its lockorder.rs rank comment must be
+        // flagged like anywhere else in the workspace.
+        let bare = r#"
+            struct SharedSearch {
+                visited: OrderedMutex<HashSet<u128>>,
+            }
+        "#;
+        let violations = lint_fixture("crates/modelcheck/src/search.rs", bare);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "lock-rank");
+        let documented = r#"
+            struct SharedSearch {
+                /// Visited-state set, shared across expansion workers
+                /// (rank `MODEL_VISITED`, above every monitor rank).
+                visited: OrderedMutex<HashSet<u128>>,
+            }
+        "#;
+        assert!(lint_fixture("crates/modelcheck/src/search.rs", documented).is_empty());
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Replays the committed regression corpus (`tests/regressions/*.trace`).
+//!
+//! Each trace pins one historical monitor bug in the explorer's text trace
+//! format (see `sanctorum_explorer::trace::parse_trace`) with a provenance
+//! comment in the file itself. Replay runs the differential world pair —
+//! Sanctum and Keystone in lockstep — with the full invariant kernel on
+//! every step, so a regression of any pinned bug fails here with the exact
+//! violating step. The corpus is also the storage format the model
+//! checker's counterexamples are reported in: a future violation found by
+//! `sanctorum-modelcheck` lands here as one more file.
+
+use sanctorum_explorer::trace::parse_trace;
+use sanctorum_explorer::{explorer_machine_config, Explorer, ExplorerConfig};
+use sanctorum_machine::MachineConfig;
+
+/// Parses `tests/regressions/<name>` and replays it under `machine`,
+/// asserting the trace is non-trivial and violation-free.
+fn replay_clean(name: &str, machine: MachineConfig) {
+    let path = format!(
+        "{}/tests/regressions/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("reading {path}: {err}"));
+    let trace = parse_trace(&text).unwrap_or_else(|err| panic!("{name}: {err}"));
+    assert!(trace.len() >= 5, "{name}: corpus trace is implausibly short");
+    let explorer = Explorer::new(ExplorerConfig { machine, ..ExplorerConfig::default() });
+    if let Some((step, violation)) = explorer.probe(&trace) {
+        panic!("{name}: regressed at step {step}: {violation}");
+    }
+}
+
+#[test]
+fn nonatomic_delete_under_eid_reuse_stays_fixed() {
+    replay_clean("nonatomic_delete.trace", explorer_machine_config());
+}
+
+#[test]
+fn pmp_exhaustion_strands_no_regions() {
+    // Clamp the PMP budget so the trace's build burst actually exhausts it
+    // on the Keystone-style backend (the default budget covers every
+    // region and the bug path would never execute).
+    let machine = MachineConfig { pmp_entries: 4, ..explorer_machine_config() };
+    replay_clean("pmp_exhaustion.trace", machine);
+}
+
+#[test]
+fn recycled_id_mail_routing_stays_fixed() {
+    replay_clean("recycled_id_mail.trace", explorer_machine_config());
+}
+
+#[test]
+fn grant_delete_toctou_witness_stays_fixed() {
+    // The model checker's small world: 2 MiB in 512 KiB regions, so the
+    // region indices named in the trace's comments are literal.
+    let machine = MachineConfig {
+        memory_size: 2 * 1024 * 1024,
+        dram_region_size: 512 * 1024,
+        ..MachineConfig::small()
+    };
+    replay_clean("grant_delete_toctou.trace", machine);
+}
