@@ -802,10 +802,11 @@ impl std::error::Error for DecodeError {}
 
 /// Status codes returned in `a0` after an SM call.
 ///
-/// Codes `1..=14` are in bijection with the [`SmError`] variant classes (see
-/// [`status_of`] and [`SmError::from_status`]); [`status::ILLEGAL_CALL`] is
-/// reserved for environment calls that do not decode to a registered call at
-/// all and therefore has no `SmError` counterpart.
+/// Codes `1..=14` and [`status::AGAIN`] are in bijection with the [`SmError`]
+/// variant classes (see [`status_of`] and [`SmError::from_status`]);
+/// [`status::ILLEGAL_CALL`] is reserved for environment calls that do not
+/// decode to a registered call at all and therefore has no `SmError`
+/// counterpart.
 pub mod status {
     /// Call succeeded.
     pub const OK: u64 = 0;
@@ -846,6 +847,9 @@ pub mod status {
     /// The environment call did not decode to a registered SM call (no
     /// `SmError` counterpart; see [`crate::api::SmCall::decode`]).
     pub const ILLEGAL_CALL: u64 = 15;
+    /// Transient fault; the call was rolled back or the target region is
+    /// quarantined — back off and retry ([`crate::error::SmError::Again`]).
+    pub const AGAIN: u64 = 16;
     /// Sentinel pre-filled into a batch entry's status word by
     /// [`crate::monitor::SecurityMonitor::stage_batch`]; any entry still
     /// carrying it after the batch returns was never examined (the batch
@@ -874,6 +878,7 @@ pub fn status_of(err: &SmError) -> u64 {
         SmError::MailboxUnavailable => status::MAILBOX_UNAVAILABLE,
         SmError::Platform(_) => status::PLATFORM,
         SmError::Memory => status::MEMORY,
+        SmError::Again => status::AGAIN,
     }
 }
 
@@ -910,6 +915,7 @@ impl SmError {
                 resource: "reported via status code",
             }),
             status::MEMORY => SmError::Memory,
+            status::AGAIN => SmError::Again,
             _ => return None,
         })
     }
@@ -1038,7 +1044,32 @@ mod tests {
             SmError::MailboxUnavailable,
             SmError::Platform(IsolationError::UnknownRegion(RegionId::new(1))),
             SmError::Memory,
+            SmError::Again,
         ];
+
+        // Compile-time exhaustiveness: every SmError variant class must be
+        // named here with no wildcard arm, so adding a variant breaks this
+        // test at compile time until a representative (and status code) is
+        // added above.
+        for err in &representatives {
+            match err {
+                SmError::Unauthorized
+                | SmError::UnknownEnclave(_)
+                | SmError::UnknownThread(_)
+                | SmError::InvalidState { .. }
+                | SmError::InvalidArgument { .. }
+                | SmError::MeasurementOrderViolation
+                | SmError::UnknownResource
+                | SmError::ResourceStateViolation { .. }
+                | SmError::OutOfResources { .. }
+                | SmError::ConcurrentCall
+                | SmError::MailNotAccepted
+                | SmError::MailboxUnavailable
+                | SmError::Platform(_)
+                | SmError::Memory
+                | SmError::Again => {}
+            }
+        }
 
         // Injective: each class maps to a distinct, non-OK code...
         let mut codes: Vec<u64> = representatives.iter().map(status_of).collect();
@@ -1046,9 +1077,13 @@ mod tests {
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), representatives.len(), "status codes must be distinct");
+        // ...exactly the assigned range: 1..=14 plus AGAIN (15 is reserved
+        // for ILLEGAL_CALL, which has no SmError counterpart).
+        let expected: Vec<u64> = (1..=14).chain([status::AGAIN]).collect();
+        assert_eq!(codes, expected, "codes must cover the assigned range exactly");
 
-        // ...and surjective onto 1..=14, with from_status a two-sided
-        // inverse on variant classes.
+        // ...and surjective onto the assigned codes, with from_status a
+        // two-sided inverse on variant classes.
         for err in &representatives {
             let code = status_of(err);
             let back = SmError::from_status(code).expect("assigned code");

@@ -60,6 +60,13 @@ pub enum SmError {
     Platform(IsolationError),
     /// A physical memory access failed (address outside populated DRAM).
     Memory,
+    /// The call could not complete because of a transient condition — an
+    /// injected or real backend fault, or a region quarantined while the
+    /// backend misbehaves. Shared state was rolled back (or parked in a
+    /// recoverable quarantine), so the caller may retry after backing off;
+    /// `SecurityMonitor::recover` clears the quarantine once the backend
+    /// heals.
+    Again,
 }
 
 impl fmt::Display for SmError {
@@ -83,6 +90,7 @@ impl fmt::Display for SmError {
             SmError::MailboxUnavailable => write!(f, "mailbox empty or full"),
             SmError::Platform(e) => write!(f, "platform error: {e}"),
             SmError::Memory => write!(f, "physical memory access failed"),
+            SmError::Again => write!(f, "transient fault; retry after recovery"),
         }
     }
 }
@@ -91,7 +99,13 @@ impl std::error::Error for SmError {}
 
 impl From<IsolationError> for SmError {
     fn from(e: IsolationError) -> Self {
-        SmError::Platform(e)
+        match e {
+            // A transient backend fault is retriable, not a hard platform
+            // error: surface it as Again so workers back off instead of
+            // treating the call as permanently failed.
+            IsolationError::TransientFault => SmError::Again,
+            other => SmError::Platform(other),
+        }
     }
 }
 
@@ -129,5 +143,12 @@ mod tests {
     fn isolation_error_converts() {
         let e: SmError = IsolationError::ResourceExhausted { resource: "pmp entries" }.into();
         assert!(matches!(e, SmError::Platform(_)));
+    }
+
+    #[test]
+    fn transient_backend_fault_becomes_again() {
+        let e: SmError = IsolationError::TransientFault.into();
+        assert_eq!(e, SmError::Again);
+        assert!(format!("{e}").contains("retry"));
     }
 }

@@ -19,6 +19,8 @@
 //! | 70   | core-occupancy table |
 //! | 80   | mail quota ledger |
 //! | 90   | isolation backend |
+//! | 93   | region quarantine set |
+//! | 96   | mutation journal |
 //!
 //! **Rule: a lock may only be acquired while every currently held lock has a
 //! strictly lower rank.** (Machine-internal locks — DRAM, harts, TLBs — sit
@@ -66,6 +68,14 @@ pub mod rank {
     pub const MAIL_LEDGER: LockRank = LockRank(80);
     /// The isolation backend (PMP / region-table mutation).
     pub const BACKEND: LockRank = LockRank(90);
+    /// The region quarantine set (persistently faulted regions). Above the
+    /// backend: a failed backend operation quarantines its region while the
+    /// backend guard is still held.
+    pub const QUARANTINE: LockRank = LockRank(93);
+    /// The mutation journal. Above every state lock: intent entries are
+    /// recorded before any state lock is taken, and completed while shard,
+    /// backend or quarantine guards may still be held.
+    pub const JOURNAL: LockRank = LockRank(96);
     /// The model checker's shared visited-state set. Above every monitor
     /// rank: worker threads consult it strictly after all monitor locks for
     /// the expanded state have been released.
@@ -88,29 +98,48 @@ mod checker {
     }
 
     pub fn acquire(rank: LockRank) -> RankToken {
-        HELD.with(|held| {
-            let mut held = held.borrow_mut();
-            if let Some(top) = held.iter().max() {
-                assert!(
-                    rank > *top,
-                    "lock-order violation: acquiring rank {rank:?} while holding {held:?} \
-                     (locks must be acquired in strictly ascending rank)",
-                );
+        // A violation must be reported *outside* the thread-local borrow:
+        // the panic unwinds through `RankToken` drops that need the cell
+        // again, and panicking with the borrow (or a poisoned cell) live
+        // would turn one bug report into a double panic and abort the
+        // process. `try_with`/`try_borrow_mut` degrade to an unchecked
+        // acquisition during thread teardown instead of panicking there.
+        let conflict = HELD.try_with(|held| {
+            let Ok(mut held) = held.try_borrow_mut() else {
+                return None;
+            };
+            if let Some(top) = held.iter().max().copied() {
+                if rank <= top {
+                    return Some(held.clone());
+                }
             }
             held.push(rank);
+            None
         });
+        if let Ok(Some(held)) = conflict {
+            panic!(
+                "lock-order violation: acquiring rank {rank:?} while holding {held:?} \
+                 (locks must be acquired in strictly ascending rank)",
+            );
+        }
         RankToken { rank }
     }
 
     impl Drop for RankToken {
         fn drop(&mut self) {
-            HELD.with(|held| {
-                let mut held = held.borrow_mut();
-                // Guards may be dropped out of acquisition order (a narrow
-                // backend critical section released while a shard guard
-                // lives on), so remove the matching rank, not the top.
-                if let Some(position) = held.iter().rposition(|r| *r == self.rank) {
-                    held.remove(position);
+            // Runs while a panicking holder unwinds (injected crashes drop
+            // their guards mid-call) and during thread teardown; neither
+            // may panic again, so cell failures degrade to leaving the
+            // entry behind rather than aborting the process.
+            let _ = HELD.try_with(|held| {
+                if let Ok(mut held) = held.try_borrow_mut() {
+                    // Guards may be dropped out of acquisition order (a
+                    // narrow backend critical section released while a
+                    // shard guard lives on), so remove the matching rank,
+                    // not the top.
+                    if let Some(position) = held.iter().rposition(|r| *r == self.rank) {
+                        held.remove(position);
+                    }
                 }
             });
         }
@@ -442,6 +471,53 @@ mod tests {
         let high = OrderedMutex::new(LockRank(9), ());
         let _gh = high.lock();
         let _gl = low.read();
+    }
+
+    #[test]
+    fn panicking_holder_unwinds_the_shadow_stack_cleanly() {
+        // An injected crash panics *while ranked locks are held*; the
+        // guards drop during unwind and must leave the thread-local rank
+        // stack exactly as it was, so post-crash recovery code on the same
+        // thread can take the hierarchy from the top again.
+        let low = OrderedMutex::new(LockRank(2), ());
+        let high = OrderedMutex::new(LockRank(8), ());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gl = low.lock();
+            let _gh = high.lock();
+            panic!("injected crash while holding ranks 2 and 8");
+        }));
+        assert!(result.is_err());
+        // Both ranks were popped during the unwind: rank 2 is acquirable
+        // again (it would violate the order if 2 or 8 were still recorded),
+        // and the locks themselves are free (parking-lot shim recovers
+        // poisoning).
+        let _gl = low.lock();
+        let _gh = high.lock();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn caught_violation_leaves_held_ranks_intact() {
+        // A lock-order violation reports without corrupting the shadow
+        // stack: after catching it, the originally held lock is still
+        // recorded (further violations are still detected) and releasing
+        // it restores a clean slate.
+        let low = OrderedMutex::new(LockRank(3), ());
+        let high = OrderedMutex::new(LockRank(7), ());
+        let gh = high.lock();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gl = low.lock();
+        }));
+        assert!(result.is_err(), "descending acquisition still reported");
+        // Rank 7 must still be on the stack: the same violation reports
+        // again rather than being silently allowed.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gl = low.lock();
+        }));
+        assert!(result.is_err(), "shadow stack lost the held rank");
+        drop(gh);
+        // Clean slate: low is acquirable once the high guard is gone.
+        let _gl = low.lock();
     }
 
     #[test]

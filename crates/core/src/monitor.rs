@@ -43,9 +43,9 @@ use sanctorum_hal::isolation::{
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::hart::PrivilegeLevel;
 use sanctorum_machine::pagetable::PageTableBuilder;
-use sanctorum_machine::Machine;
+use sanctorum_machine::{fault_point, Crossing, Machine};
 use sanctorum_trust::{ReadAccess, Sanitizer, Tainted};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
@@ -221,6 +221,77 @@ struct SmState {
     mail_ledger: OrderedMutex<BTreeMap<u64, u64>>,
     /// Bumped after every mail-fabric mutation (send, get, teardown purge).
     mail_generation: AtomicU64,
+    /// The mutation journal (rank `JOURNAL` — above every state lock, so an
+    /// intent can be recorded or retired from inside any transaction):
+    /// `(sequence, intent)` pairs for every multi-step mutation currently in
+    /// flight. Entries are recorded *before* shared state is touched and
+    /// retired on every exit path except a crash; whatever is still pending
+    /// when [`SecurityMonitor::recover`] runs is redone (or undone)
+    /// idempotently.
+    journal: OrderedMutex<Vec<(u64, JournalEntry)>>,
+    /// Sequence source for journal entries.
+    journal_seq: AtomicU64,
+    /// Regions parked because the isolation backend persistently failed
+    /// while cleaning them (rank `QUARANTINE` — above `BACKEND`, so the
+    /// failure path can quarantine while still holding the backend guard).
+    /// Quarantined regions stay `Blocked`, refuse `clean`/`grant` with
+    /// [`SmError::Again`], and are retried by
+    /// [`SecurityMonitor::recover`].
+    quarantine: OrderedMutex<BTreeSet<RegionId>>,
+    /// Bumped after every quarantine-set mutation (audit-visible).
+    quarantine_generation: AtomicU64,
+}
+
+/// One logged intent of a multi-step monitor mutation.
+///
+/// The journal discipline: the entry is recorded after validation but before
+/// the first mutation of shared state, and retired on every return path —
+/// only a crash (modelled as a panic at a [`fault_point!`] crossing) leaves
+/// it pending. [`SecurityMonitor::recover`] replays pending entries with
+/// idempotent redo (delete) or undo (create, grant); `Clean` and `Batch`
+/// need neither, because every crash window they span leaves state a retried
+/// call repairs on its own (a partially scrubbed region is still `Blocked`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEntry {
+    /// `create_enclave` for `eid` over `regions` is in flight.
+    CreateEnclave {
+        /// The enclave id being created.
+        eid: EnclaveId,
+        /// The regions being dedicated to it.
+        regions: Vec<RegionId>,
+    },
+    /// `delete_enclave` for `eid` is in flight.
+    DeleteEnclave {
+        /// The enclave id being deleted.
+        eid: EnclaveId,
+    },
+    /// `grant_resource` of `id` to `new_owner` is in flight.
+    Grant {
+        /// The resource being granted.
+        id: ResourceId,
+        /// The owner it is being granted to.
+        new_owner: DomainKind,
+    },
+    /// `clean_resource` of `id` is in flight.
+    Clean {
+        /// The resource being cleaned.
+        id: ResourceId,
+    },
+    /// A batch is in flight (vacuous marker: the inner calls journal their
+    /// own intents; the marker only brackets the crossing window).
+    Batch,
+}
+
+/// What [`SecurityMonitor::recover`] did: counts for harness assertions and
+/// audit logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Journal entries replayed (redone or undone).
+    pub replayed: usize,
+    /// Quarantined regions successfully scrubbed and released.
+    pub quarantine_cleared: usize,
+    /// Regions still quarantined after recovery (backend still failing).
+    pub quarantine_remaining: usize,
 }
 
 /// Deliberate, named weakenings of the monitor's enforcement, used by the
@@ -238,6 +309,14 @@ pub enum TestWeakening {
     /// Enclave entry/exit skips cleaning the core's architected state, so
     /// registers the previous domain left behind survive the hand-off.
     SkipCoreClean,
+    /// [`SecurityMonitor::recover`] skips replaying the mutation journal, so
+    /// a crash mid-mutation leaves its intent entry pending (and the
+    /// half-applied state unrepaired) forever.
+    SkipJournalReplay,
+    /// `clean_resource` ignores a failed scrub and completes the Fig. 2
+    /// transition anyway instead of quarantining the region — secrets ride a
+    /// backend fault straight into an `Available` region.
+    SkipQuarantine,
 }
 
 impl TestWeakening {
@@ -245,14 +324,20 @@ impl TestWeakening {
     /// (the explorer's weakened-monitor self-checks and the model checker's
     /// completeness tests iterate this list so a new weakening cannot be
     /// added without a detector for it).
-    pub const ALL: [TestWeakening; 2] =
-        [TestWeakening::SkipRegionScrub, TestWeakening::SkipCoreClean];
+    pub const ALL: [TestWeakening; 4] = [
+        TestWeakening::SkipRegionScrub,
+        TestWeakening::SkipCoreClean,
+        TestWeakening::SkipJournalReplay,
+        TestWeakening::SkipQuarantine,
+    ];
 
     /// Short name for reports.
     pub const fn name(self) -> &'static str {
         match self {
             TestWeakening::SkipRegionScrub => "skip-region-scrub",
             TestWeakening::SkipCoreClean => "skip-core-clean",
+            TestWeakening::SkipJournalReplay => "skip-journal-replay",
+            TestWeakening::SkipQuarantine => "skip-quarantine",
         }
     }
 }
@@ -305,6 +390,8 @@ pub struct AuditGenerations {
     pub occupancy: u64,
     /// Mutation counter of the mail fabric (queues + quota ledger).
     pub mail: u64,
+    /// Mutation counter of the quarantine set (fault containment).
+    pub quarantine: u64,
 }
 
 /// A consistent snapshot of the monitor's security-relevant state, taken for
@@ -329,6 +416,9 @@ pub struct AuditSnapshot {
     /// sender order. Conservation against the per-enclave
     /// [`EnclaveAudit::mail_queued`] views is an explorer invariant.
     pub mail_outstanding: Arc<Vec<(u64, u64)>>,
+    /// Regions parked in the fault quarantine (Blocked, refusing clean and
+    /// grant with `Again` until `recover()` re-scrubs them), in id order.
+    pub quarantine: Arc<Vec<RegionId>>,
     /// The change counters this snapshot was taken at.
     pub generations: AuditGenerations,
 }
@@ -408,6 +498,12 @@ impl AuditSnapshot {
         for (sender, outstanding) in self.mail_outstanding.iter() {
             h = fold_u64(fold_u64(h, *sender), *outstanding);
         }
+        // Entries-only fold: an empty quarantine leaves the digest exactly
+        // as it was before the set existed, so pre-fault golden digests
+        // (and the pinned determinism traces) are unchanged.
+        for region in self.quarantine.iter() {
+            h = fold_u64(h, 0x4_0000_0000 | region.index() as u64);
+        }
         h
     }
 }
@@ -429,6 +525,8 @@ struct AuditCache {
     core_occupancy: Arc<Vec<(CoreId, ThreadId)>>,
     mail_gen: u64,
     mail_outstanding: Arc<Vec<(u64, u64)>>,
+    quarantine_gen: u64,
+    quarantine: Arc<Vec<RegionId>>,
 }
 
 impl Default for AuditCache {
@@ -443,6 +541,8 @@ impl Default for AuditCache {
             core_occupancy: Arc::new(Vec::new()),
             mail_gen: u64::MAX,
             mail_outstanding: Arc::new(Vec::new()),
+            quarantine_gen: u64::MAX,
+            quarantine: Arc::new(Vec::new()),
         }
     }
 }
@@ -554,6 +654,10 @@ impl SecurityMonitor {
                 occupancy_generation: AtomicU64::new(0),
                 mail_ledger: OrderedMutex::new(rank::MAIL_LEDGER, BTreeMap::new()),
                 mail_generation: AtomicU64::new(0),
+                journal: OrderedMutex::new(rank::JOURNAL, Vec::new()),
+                journal_seq: AtomicU64::new(0),
+                quarantine: OrderedMutex::new(rank::QUARANTINE, BTreeSet::new()),
+                quarantine_generation: AtomicU64::new(0),
             },
             global_lock: SpinLock::new(),
             stats: SmStats::default(),
@@ -614,6 +718,8 @@ impl SecurityMonitor {
             None => 0,
             Some(TestWeakening::SkipRegionScrub) => 1,
             Some(TestWeakening::SkipCoreClean) => 2,
+            Some(TestWeakening::SkipJournalReplay) => 3,
+            Some(TestWeakening::SkipQuarantine) => 4,
         };
         self.weakening.store(encoded, Ordering::Relaxed);
     }
@@ -624,6 +730,8 @@ impl SecurityMonitor {
         let encoded = match weakening {
             TestWeakening::SkipRegionScrub => 1,
             TestWeakening::SkipCoreClean => 2,
+            TestWeakening::SkipJournalReplay => 3,
+            TestWeakening::SkipQuarantine => 4,
         };
         self.weakening.load(Ordering::Relaxed) == encoded
     }
@@ -742,6 +850,324 @@ impl SecurityMonitor {
     /// Marks the resource map as changed (any committed Fig. 2 transition).
     fn touch_resources(&self) {
         self.state.resources.touch();
+    }
+
+    /// Marks the quarantine set as changed.
+    fn touch_quarantine(&self) {
+        self.state.quarantine_generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // mutation journal + quarantine (crash consistency)
+    // ------------------------------------------------------------------
+
+    /// Records an intent entry for a multi-step mutation. Call after
+    /// validation, before the first mutation of shared state; pair with
+    /// [`Self::journal_complete`] on *every* return path — only a crash may
+    /// leave the entry pending.
+    fn journal_record(&self, entry: JournalEntry) -> u64 {
+        // atomic: crossed before the intent is appended — a crash here means
+        // the operation never started and there is nothing to recover.
+        let _ = fault_point!(self.machine.fault_injector(), "journal.record");
+        let seq = self.state.journal_seq.fetch_add(1, Ordering::Relaxed);
+        self.state.journal.lock().push((seq, entry));
+        seq
+    }
+
+    /// A named crash window between two phases of a journaled mutation;
+    /// recovery redoes the remainder from the pending entry.
+    fn journal_step(&self) {
+        // journal: pure crossing — a crash here is repaired by replaying the
+        // pending intent entry.
+        let _ = fault_point!(self.machine.fault_injector(), "journal.step");
+    }
+
+    /// Retires a journal entry after the mutation committed (or was cleanly
+    /// rolled back by an error path).
+    fn journal_complete(&self, seq: u64) {
+        // journal: crossed before the entry is retired — a crash here leaves
+        // the entry pending and recovery redoes the idempotent completion.
+        let _ = fault_point!(self.machine.fault_injector(), "journal.complete");
+        self.state.journal.lock().retain(|(s, _)| *s != seq);
+    }
+
+    /// Number of journal entries still pending. Zero at every quiescent
+    /// point on an honest monitor: a non-zero count after
+    /// [`SecurityMonitor::recover`] means crash residue survived (the
+    /// explorer's `crash-residue` invariant).
+    pub fn journal_pending(&self) -> usize {
+        self.state.journal.lock().len()
+    }
+
+    /// The regions currently quarantined (audit-visible; sorted).
+    pub fn quarantined_regions(&self) -> Vec<RegionId> {
+        self.state.quarantine.lock().iter().copied().collect()
+    }
+
+    /// Parks `region` in the quarantine set (stays `Blocked`; `clean` and
+    /// `grant` refuse it with [`SmError::Again`] until
+    /// [`SecurityMonitor::recover`] scrubs it successfully). Legal with the
+    /// backend guard held (`QUARANTINE` ranks above `BACKEND`).
+    fn quarantine_region(&self, region: RegionId) {
+        if self.state.quarantine.lock().insert(region) {
+            self.touch_quarantine();
+        }
+    }
+
+    fn is_quarantined(&self, region: RegionId) -> bool {
+        self.state.quarantine.lock().contains(&region)
+    }
+
+    /// Crash/fault recovery: replays every pending journal entry (idempotent
+    /// redo or undo), then retries the scrub of every quarantined region.
+    ///
+    /// Safe to call on a clean monitor (a no-op leaving state bit-identical)
+    /// and safe to call repeatedly. Intended to run at a quiescent point —
+    /// after a simulated crash unwound the faulting call — so it uses plain
+    /// blocking locks, not the API try-lock discipline.
+    pub fn recover(&self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        if !self.weakened_by(TestWeakening::SkipJournalReplay) {
+            // Entries replay oldest-first: a later intent may depend on an
+            // earlier one's repair (e.g. a grant after a crashed delete).
+            let pending: Vec<(u64, JournalEntry)> =
+                std::mem::take(&mut *self.state.journal.lock());
+            for (_, entry) in pending {
+                self.replay_entry(entry);
+                report.replayed += 1;
+            }
+        }
+        let quarantined: Vec<RegionId> =
+            self.state.quarantine.lock().iter().copied().collect();
+        for region in quarantined {
+            if self.retry_quarantined_scrub(region) {
+                report.quarantine_cleared += 1;
+            }
+        }
+        report.quarantine_remaining = self.state.quarantine.lock().len();
+        report
+    }
+
+    /// Replays one pending intent. Every arm is idempotent: it inspects how
+    /// far the crashed mutation got and completes (or reverts) only the
+    /// missing part.
+    fn replay_entry(&self, entry: JournalEntry) {
+        match entry {
+            JournalEntry::CreateEnclave { eid, regions } => {
+                if self.state.enclaves.read().contains_key(&eid) {
+                    // The table insert is the commit point; past it the
+                    // create fully happened and there is nothing to undo.
+                    return;
+                }
+                // Undo: revoke whatever backend assignments landed. The
+                // regions go to the *SM*, not the OS — the never-published
+                // owner's memory must stay unwritable until legitimately
+                // re-granted, or a later grant would hand a new enclave a
+                // region the OS could have dirtied meanwhile.
+                {
+                    let mut backend = self.backend.lock();
+                    for region in &regions {
+                        if backend
+                            .assign_region(*region, DomainKind::SecurityMonitor, MemPerms::RWX)
+                            .is_err()
+                        {
+                            self.quarantine_region(*region);
+                        }
+                    }
+                }
+                let mut repaired = false;
+                for region in regions {
+                    let id = ResourceId::Region(region);
+                    let mut shard = self.state.resources.shard(id).lock();
+                    // The regions were validated Available before the crash
+                    // window opened, and the map transition (phase 2) is
+                    // fault-point-atomic with the table insert — so this is
+                    // a defensive restore, not a state change, unless a
+                    // straggler mutated the shard during unwind.
+                    if shard.state(id).ok() != Some(ResourceState::Available)
+                        && shard.recover_force(id, ResourceState::Available).is_ok()
+                    {
+                        repaired = true;
+                    }
+                }
+                if repaired {
+                    self.touch_resources();
+                }
+            }
+            JournalEntry::DeleteEnclave { eid } => self.redo_delete(eid),
+            JournalEntry::Grant { id, new_owner } => {
+                let Ok(state) = self.state.resources.state(id) else {
+                    return;
+                };
+                if state == ResourceState::Owned(new_owner) {
+                    // Backend programming and the map transition are
+                    // fault-point-atomic, so an owned map entry means the
+                    // grant fully committed.
+                    return;
+                }
+                if state == ResourceState::Available {
+                    if let ResourceId::Region(region) = id {
+                        // Undo: the backend may hold a half-applied
+                        // assignment; park the region with the SM so nobody
+                        // can touch it until the grant is retried.
+                        let mut backend = self.backend.lock();
+                        if backend
+                            .assign_region(region, DomainKind::SecurityMonitor, MemPerms::RWX)
+                            .is_err()
+                        {
+                            self.quarantine_region(region);
+                        }
+                    }
+                }
+            }
+            // A crashed clean leaves the region Blocked with (at worst) a
+            // partial scrub — exactly what a retried clean_resource repairs
+            // from scratch. A batch marker carries no state of its own.
+            JournalEntry::Clean { .. } | JournalEntry::Batch => {}
+        }
+    }
+
+    /// Idempotent redo of a crashed `delete_enclave`, replayed from the
+    /// journal. Unlike the API path this runs at a quiescent point, uses
+    /// blocking locks and skips validation — the crashed call already passed
+    /// it.
+    fn redo_delete(&self, eid: EnclaveId) {
+        let handle = self.state.enclaves.read().get(&eid).cloned();
+        let Some(enclave) = handle else {
+            // The table removal already happened; the post-removal sweep may
+            // not have. Anything still owned by the dead id gets re-parked.
+            let mut swept = false;
+            for shard in self.state.resources.shards() {
+                let mut shard = shard.lock();
+                for rid in shard.owned_by(DomainKind::Enclave(eid)) {
+                    if matches!(shard.state(rid), Ok(ResourceState::Blocked(_))) {
+                        continue;
+                    }
+                    if shard
+                        .recover_force(rid, ResourceState::Blocked(DomainKind::Enclave(eid)))
+                        .is_ok()
+                    {
+                        swept = true;
+                    }
+                }
+            }
+            if swept {
+                self.touch_resources();
+            }
+            return;
+        };
+        // Thread slots: remove whatever the crashed call had not yet.
+        let owned_tids: Vec<ThreadId> = enclave.lock().threads.clone();
+        {
+            let mut threads = self.state.threads.write();
+            for tid in owned_tids {
+                threads.remove(&tid);
+            }
+        }
+        self.touch_threads();
+        // Region sweep, same skip-already-blocked discipline as the API path.
+        let mut blocked = false;
+        for shard in self.state.resources.shards() {
+            let mut shard = shard.lock();
+            for rid in shard.owned_by(DomainKind::Enclave(eid)) {
+                if matches!(shard.state(rid), Ok(ResourceState::Blocked(_))) {
+                    continue;
+                }
+                if shard.block(DomainKind::SecurityMonitor, rid).is_ok() {
+                    blocked = true;
+                }
+            }
+        }
+        if blocked {
+            self.touch_resources();
+        }
+        // Mail-fabric scrub: purge the dying identity from every other
+        // enclave's boxes and disarm filters naming it (same reasoning as
+        // the API path: ids are recycled physical addresses).
+        let mut purged_any = false;
+        {
+            let table = self.state.enclaves.read();
+            for (other_id, other) in table.iter() {
+                if *other_id == eid {
+                    continue;
+                }
+                let mut other_meta = other.lock();
+                let purged: usize = other_meta
+                    .mailboxes
+                    .iter_mut()
+                    .map(|mb| mb.purge_sender(eid.as_u64()))
+                    .sum();
+                for mb in other_meta.mailboxes.iter_mut() {
+                    mb.disarm_if_expecting(eid.as_u64());
+                }
+                if purged > 0 {
+                    purged_any = true;
+                    self.touch_enclave(&mut other_meta);
+                }
+            }
+        }
+        let inbound_refunds: Vec<u64> = enclave
+            .lock()
+            .mailboxes
+            .iter()
+            .flat_map(|mb| mb.queued())
+            .map(|m| m.sender_id)
+            .collect();
+        {
+            let mut ledger = self.state.mail_ledger.lock();
+            let mail_changed =
+                !inbound_refunds.is_empty() || purged_any || ledger.contains_key(&eid.as_u64());
+            for sender in inbound_refunds {
+                Self::refund_mail_sender(&mut ledger, sender);
+            }
+            ledger.remove(&eid.as_u64());
+            if mail_changed {
+                self.touch_mail();
+            }
+        }
+        self.state.enclaves.write().remove(&eid);
+        self.state.live_enclaves.fetch_sub(1, Ordering::Relaxed);
+        self.touch_enclave_table();
+    }
+
+    /// Retries the full scrub of a quarantined region; on success the region
+    /// leaves quarantine but *stays Blocked* — recovery repairs, it does not
+    /// perform Fig. 2 transitions the OS never asked for. Returns whether
+    /// the region was released.
+    fn retry_quarantined_scrub(&self, region: RegionId) -> bool {
+        let Ok(info) = self.region_info(region) else {
+            return false;
+        };
+        for page in 0..info.page_count() {
+            // journal: retried under recovery; a failure keeps the
+            // quarantine in place for the next recover() pass.
+            if fault_point!(self.machine.fault_injector(), "monitor.scrub-page")
+                == Crossing::FailOp
+            {
+                return false;
+            }
+            if self
+                .machine
+                .zero_page(info.base.offset(page * PAGE_SIZE as u64))
+                .is_err()
+            {
+                return false;
+            }
+        }
+        {
+            let mut backend = self.backend.lock();
+            if backend.flush_region_cache(region).is_err() {
+                return false;
+            }
+            if backend.tlb_shootdown(region).is_err() {
+                return false;
+            }
+        }
+        self.machine.tlb_shootdown(info.base, info.len);
+        if self.state.quarantine.lock().remove(&region) {
+            self.touch_quarantine();
+        }
+        true
     }
 
     /// Refunds one undelivered-message unit to `sender_id` in the quota
@@ -871,11 +1297,19 @@ impl SecurityMonitor {
         }
         generations.mail = cache.mail_gen;
 
+        let quarantine_gen = self.state.quarantine_generation.load(Ordering::Relaxed);
+        if cache.quarantine_gen != quarantine_gen {
+            cache.quarantine = Arc::new(self.quarantined_regions());
+            cache.quarantine_gen = quarantine_gen;
+        }
+        generations.quarantine = cache.quarantine_gen;
+
         AuditSnapshot {
             resources: Arc::clone(&cache.resources),
             enclaves: cache.enclaves_vec.clone(),
             core_occupancy: Arc::clone(&cache.core_occupancy),
             mail_outstanding: Arc::clone(&cache.mail_outstanding),
+            quarantine: Arc::clone(&cache.quarantine),
             generations,
         }
     }
@@ -913,17 +1347,21 @@ impl SecurityMonitor {
                 .map(|(sender, count)| (*sender, *count))
                 .collect::<Vec<_>>(),
         );
+        let quarantine_gen = self.state.quarantine_generation.load(Ordering::Relaxed);
+        let quarantine = Arc::new(self.quarantined_regions());
         AuditSnapshot {
             resources,
             enclaves,
             core_occupancy,
             mail_outstanding,
+            quarantine,
             generations: AuditGenerations {
                 resources: resources_gen,
                 enclaves: enclaves_gen,
                 threads: self.state.threads_generation.load(Ordering::Relaxed),
                 occupancy: occupancy_gen,
                 mail: mail_gen,
+                quarantine: quarantine_gen,
             },
         }
     }
@@ -1174,92 +1612,106 @@ impl SmApi for SecurityMonitor {
                 });
             }
 
-            // Commit phase 1: program the isolation primitive, inside the
-            // narrow backend critical section. On a capacity-limited
-            // platform (Keystone PMP) this is the step that can fail, so it
-            // runs before any ownership transfer and rolls itself back —
-            // granting first would strand regions owned by an enclave that
-            // never came to exist (found by the adversarial explorer under
-            // PMP exhaustion). The shard guards stay held across it, so a
-            // concurrent transaction cannot re-grant a region the rollback
-            // is about to return.
-            {
-                let mut backend = self.backend.lock();
-                let mut assigned = 0usize;
-                let mut commit_error = None;
-                for window in &windows {
-                    match backend.assign_region(
-                        window.region,
-                        DomainKind::Enclave(eid),
-                        MemPerms::RWX,
-                    ) {
-                        Ok(cost) => {
-                            self.machine.charge(cost);
-                            // The window counts as assigned from here on, so
-                            // a DMA-blocking failure below still rolls it
-                            // back.
-                            assigned += 1;
+            // Intent entry: recorded after validation, before the first
+            // mutation. Every crash window below (the backend fault points)
+            // is covered — recovery undoes a create whose table insert never
+            // happened. Retired on both the commit and the rollback path;
+            // only a crash leaves it pending.
+            let seq = self.journal_record(JournalEntry::CreateEnclave {
+                eid,
+                regions: regions.to_vec(),
+            });
+            let committed = (|| -> SmResult<()> {
+                // Commit phase 1: program the isolation primitive, inside the
+                // narrow backend critical section. On a capacity-limited
+                // platform (Keystone PMP) this is the step that can fail, so it
+                // runs before any ownership transfer and rolls itself back —
+                // granting first would strand regions owned by an enclave that
+                // never came to exist (found by the adversarial explorer under
+                // PMP exhaustion). The shard guards stay held across it, so a
+                // concurrent transaction cannot re-grant a region the rollback
+                // is about to return.
+                {
+                    let mut backend = self.backend.lock();
+                    let mut assigned = 0usize;
+                    let mut commit_error = None;
+                    for window in &windows {
+                        match backend.assign_region(
+                            window.region,
+                            DomainKind::Enclave(eid),
+                            MemPerms::RWX,
+                        ) {
+                            Ok(cost) => {
+                                self.machine.charge(cost);
+                                // The window counts as assigned from here on, so
+                                // a DMA-blocking failure below still rolls it
+                                // back.
+                                assigned += 1;
+                            }
+                            Err(err) => {
+                                commit_error = Some(err.into());
+                                break;
+                            }
                         }
-                        Err(err) => {
-                            commit_error = Some(SmError::Platform(err));
+                        if let Err(err) = backend.set_dma_blocked(window.region, true) {
+                            commit_error = Some(err.into());
                             break;
                         }
                     }
-                    if let Err(err) = backend.set_dma_blocked(window.region, true) {
-                        commit_error = Some(SmError::Platform(err));
-                        break;
-                    }
-                }
-                if let Some(err) = commit_error {
-                    for window in windows.iter().take(assigned) {
-                        // Handing a unit back to the untrusted owner frees
-                        // the isolation resource; it cannot itself exhaust
-                        // anything.
-                        if let Ok(cost) = backend.assign_region(
-                            window.region,
-                            DomainKind::Untrusted,
-                            MemPerms::RWX,
-                        ) {
-                            self.machine.charge(cost);
+                    if let Some(err) = commit_error {
+                        for window in windows.iter().take(assigned) {
+                            // Handing a unit back to the untrusted owner frees
+                            // the isolation resource; it cannot itself exhaust
+                            // anything.
+                            if let Ok(cost) = backend.assign_region(
+                                window.region,
+                                DomainKind::Untrusted,
+                                MemPerms::RWX,
+                            ) {
+                                self.machine.charge(cost);
+                            }
+                            // The trait does not promise assign_region resets
+                            // DMA filtering, so restore it explicitly:
+                            // untrusted-owned memory accepts DMA again.
+                            let _ = backend.set_dma_blocked(window.region, false);
                         }
-                        // The trait does not promise assign_region resets
-                        // DMA filtering, so restore it explicitly:
-                        // untrusted-owned memory accepts DMA again.
-                        let _ = backend.set_dma_blocked(window.region, false);
+                        return Err(err);
                     }
-                    return Err(err);
+                    // The backend lock drops here — phase 2 is pure metadata.
                 }
-                // The backend lock drops here — phase 2 is pure metadata.
-            }
-            // Commit phase 2: ownership transfer — every region was
-            // validated *Available* above (and its shard is still locked),
-            // so the transitions cannot fail.
-            for region in regions {
-                let id = ResourceId::Region(*region);
-                guards
-                    .get_mut(&crate::resource::shard_of(id))
-                    .expect("shard locked above")
-                    .grant(DomainKind::SecurityMonitor, id, DomainKind::Enclave(eid))?;
-            }
-            self.touch_resources();
+                // Commit phase 2: ownership transfer — every region was
+                // validated *Available* above (and its shard is still locked),
+                // so the transitions cannot fail.
+                for region in regions {
+                    let id = ResourceId::Region(*region);
+                    guards
+                        .get_mut(&crate::resource::shard_of(id))
+                        .expect("shard locked above")
+                        .grant(DomainKind::SecurityMonitor, id, DomainKind::Enclave(eid))?;
+                }
+                self.touch_resources();
 
-            let ctx = MeasurementContext::start(
-                &self.identity.sm_measurement,
-                evrange_base,
-                evrange_len,
-            );
-            let mut meta = EnclaveMeta::new(eid, evrange_base, evrange_len, windows, ctx);
-            // A fresh generation from the global counter: enclave ids are
-            // physical addresses and get reused after delete, so a recreated
-            // enclave must never alias a stale cached audit record.
-            self.touch_enclave(&mut meta);
-            self.state
-                .enclaves
-                .write()
-                .insert(eid, Arc::new(OrderedMutex::new(rank::ENCLAVE_META, meta)));
-            // The insert consumes the slot reserved at admission.
-            slot.committed = true;
-            self.touch_enclave_table();
+                let ctx = MeasurementContext::start(
+                    &self.identity.sm_measurement,
+                    evrange_base,
+                    evrange_len,
+                );
+                let mut meta = EnclaveMeta::new(eid, evrange_base, evrange_len, windows, ctx);
+                // A fresh generation from the global counter: enclave ids are
+                // physical addresses and get reused after delete, so a recreated
+                // enclave must never alias a stale cached audit record.
+                self.touch_enclave(&mut meta);
+                self.state
+                    .enclaves
+                    .write()
+                    .insert(eid, Arc::new(OrderedMutex::new(rank::ENCLAVE_META, meta)));
+                // The insert consumes the slot reserved at admission.
+                slot.committed = true;
+                self.touch_enclave_table();
+                Ok(())
+            })();
+            self.journal_complete(seq);
+            committed?;
             Ok(eid)
         }))
     }
@@ -1454,26 +1906,31 @@ impl SmApi for SecurityMonitor {
             // regions were just blocked out from under it.
             let mut shards = self.try_lock_all_shards()?;
             let enclave = self.lock_enclave(eid)?;
-            {
-                let meta = self.try_lock(&enclave)?;
-                if meta.running_threads > 0 {
-                    return Err(SmError::InvalidState {
-                        reason: "enclave has running threads",
-                    });
-                }
-                let owned_tids: Vec<ThreadId> = {
-                    let threads = self.state.threads.read();
-                    for tid in &meta.threads {
-                        if let Some(thread) = threads.get(tid) {
-                            if matches!(thread.lock().state, ThreadState::Running { .. }) {
-                                return Err(SmError::InvalidState {
-                                    reason: "enclave has running threads",
-                                });
-                            }
+            let meta = self.try_lock(&enclave)?;
+            if meta.running_threads > 0 {
+                return Err(SmError::InvalidState {
+                    reason: "enclave has running threads",
+                });
+            }
+            let owned_tids: Vec<ThreadId> = {
+                let threads = self.state.threads.read();
+                for tid in &meta.threads {
+                    if let Some(thread) = threads.get(tid) {
+                        if matches!(thread.lock().state, ThreadState::Running { .. }) {
+                            return Err(SmError::InvalidState {
+                                reason: "enclave has running threads",
+                            });
                         }
                     }
-                    meta.threads.clone()
-                };
+                }
+                meta.threads.clone()
+            };
+            // Intent entry: validation passed, mutation begins. The delete's
+            // crash windows are the journal crossings themselves (it touches
+            // no backend fault points); a pending entry replays through the
+            // idempotent redo path.
+            let seq = self.journal_record(JournalEntry::DeleteEnclave { eid });
+            let committed = (|| -> SmResult<()> {
                 // The enclave's thread metadata lives in SM memory on its
                 // behalf; destroying the enclave reclaims those slots.
                 // Removing it while the enclave guard is held means any
@@ -1508,97 +1965,104 @@ impl SmApi for SecurityMonitor {
                 // The meta guard drops here; the mail purge below locks
                 // *other* enclaves' records at the same rank, so it must
                 // run without ours held.
-            }
-            drop(shards);
-            self.touch_resources();
-            // Mail-fabric teardown — placed after the last fallible step so
-            // a delete refused by a lock conflict can never have already
-            // destroyed a still-live enclave's in-flight mail. Scrub every
-            // trace of the dying enclave's identity from the fabric: enclave
-            // ids are recycled physical addresses, so (a) a queued message
-            // still carrying this id must not survive into the next
-            // incarnation's identity (purging also resets the dead sender's
-            // quota), and (b) an accept filter naming this id must be
-            // disarmed — otherwise the next enclave recycled onto the id
-            // would inherit a delivery capability extended to its previous
-            // life (found by the adversarial explorer: a rebuilt signing
-            // enclave matched a victim's stale filter and its attestation
-            // reply was mis-routed). Lock order matches the send/get paths
-            // (enclave meta before ledger, never both ways): the purge walk
-            // holds the table + one meta at a time with no ledger held, and
-            // the ledger is settled afterwards on its own.
-            let mut purged_any = false;
-            {
-                let table = self.state.enclaves.read();
-                for (other_id, other) in table.iter() {
-                    if *other_id == eid {
-                        continue;
-                    }
-                    let mut other_meta = other.lock();
-                    let purged: usize = other_meta
-                        .mailboxes
-                        .iter_mut()
-                        .map(|mb| mb.purge_sender(eid.as_u64()))
-                        .sum();
-                    for mb in other_meta.mailboxes.iter_mut() {
-                        mb.disarm_if_expecting(eid.as_u64());
-                    }
-                    if purged > 0 {
-                        purged_any = true;
-                        self.touch_enclave(&mut other_meta);
-                    }
-                }
-            }
-            // Undelivered mail in the dying enclave's own queues is
-            // destroyed with it; the senders' quotas are refunded. Read at
-            // scrub time (not validation time), so a send racing the delete
-            // cannot leave an unrefunded ledger entry behind.
-            let inbound_refunds: Vec<u64> = enclave
-                .lock()
-                .mailboxes
-                .iter()
-                .flat_map(|mb| mb.queued())
-                .map(|m| m.sender_id)
-                .collect();
-            {
-                let mut ledger = self.state.mail_ledger.lock();
-                let mail_changed =
-                    !inbound_refunds.is_empty() || purged_any || ledger.contains_key(&eid.as_u64());
-                for sender in inbound_refunds {
-                    Self::refund_mail_sender(&mut ledger, sender);
-                }
-                ledger.remove(&eid.as_u64());
-                if mail_changed {
-                    self.touch_mail();
-                }
-            }
-            self.state.enclaves.write().remove(&eid);
-            self.state.live_enclaves.fetch_sub(1, Ordering::Relaxed);
-            self.touch_enclave_table();
-            // Post-removal sweep: a concurrent `grant_resource` may have
-            // granted this enclave a region between the ownership sweep
-            // above and the table removal (its liveness re-check passed
-            // while the enclave was still listed). The enclave is gone from
-            // the table now, so no further grant can name it — blocking
-            // whatever such a straggler left behind makes "no resource owned
-            // by a dead enclave" hold at every quiescent point. Blocking
-            // acquires are safe here: nothing else is held, and the sweep is
-            // a no-op in the common case.
-            let mut swept_any = false;
-            for shard in self.state.resources.shards() {
-                let mut shard = shard.lock();
-                for rid in shard.owned_by(DomainKind::Enclave(eid)) {
-                    if let Ok(ResourceState::Blocked(_)) = shard.state(rid) {
-                        continue;
-                    }
-                    shard.block(DomainKind::SecurityMonitor, rid)?;
-                    swept_any = true;
-                }
-            }
-            if swept_any {
+                drop(meta);
+                drop(shards);
                 self.touch_resources();
-            }
-            Ok(())
+                // journal: a crash between the ownership sweep and the
+                // mail-fabric teardown is the interesting mid-delete state —
+                // redo_delete finishes the purge from the pending entry.
+                self.journal_step();
+                // Mail-fabric teardown — placed after the last fallible step so
+                // a delete refused by a lock conflict can never have already
+                // destroyed a still-live enclave's in-flight mail. Scrub every
+                // trace of the dying enclave's identity from the fabric: enclave
+                // ids are recycled physical addresses, so (a) a queued message
+                // still carrying this id must not survive into the next
+                // incarnation's identity (purging also resets the dead sender's
+                // quota), and (b) an accept filter naming this id must be
+                // disarmed — otherwise the next enclave recycled onto the id
+                // would inherit a delivery capability extended to its previous
+                // life (found by the adversarial explorer: a rebuilt signing
+                // enclave matched a victim's stale filter and its attestation
+                // reply was mis-routed). Lock order matches the send/get paths
+                // (enclave meta before ledger, never both ways): the purge walk
+                // holds the table + one meta at a time with no ledger held, and
+                // the ledger is settled afterwards on its own.
+                let mut purged_any = false;
+                {
+                    let table = self.state.enclaves.read();
+                    for (other_id, other) in table.iter() {
+                        if *other_id == eid {
+                            continue;
+                        }
+                        let mut other_meta = other.lock();
+                        let purged: usize = other_meta
+                            .mailboxes
+                            .iter_mut()
+                            .map(|mb| mb.purge_sender(eid.as_u64()))
+                            .sum();
+                        for mb in other_meta.mailboxes.iter_mut() {
+                            mb.disarm_if_expecting(eid.as_u64());
+                        }
+                        if purged > 0 {
+                            purged_any = true;
+                            self.touch_enclave(&mut other_meta);
+                        }
+                    }
+                }
+                // Undelivered mail in the dying enclave's own queues is
+                // destroyed with it; the senders' quotas are refunded. Read at
+                // scrub time (not validation time), so a send racing the delete
+                // cannot leave an unrefunded ledger entry behind.
+                let inbound_refunds: Vec<u64> = enclave
+                    .lock()
+                    .mailboxes
+                    .iter()
+                    .flat_map(|mb| mb.queued())
+                    .map(|m| m.sender_id)
+                    .collect();
+                {
+                    let mut ledger = self.state.mail_ledger.lock();
+                    let mail_changed =
+                        !inbound_refunds.is_empty() || purged_any || ledger.contains_key(&eid.as_u64());
+                    for sender in inbound_refunds {
+                        Self::refund_mail_sender(&mut ledger, sender);
+                    }
+                    ledger.remove(&eid.as_u64());
+                    if mail_changed {
+                        self.touch_mail();
+                    }
+                }
+                self.state.enclaves.write().remove(&eid);
+                self.state.live_enclaves.fetch_sub(1, Ordering::Relaxed);
+                self.touch_enclave_table();
+                // Post-removal sweep: a concurrent `grant_resource` may have
+                // granted this enclave a region between the ownership sweep
+                // above and the table removal (its liveness re-check passed
+                // while the enclave was still listed). The enclave is gone from
+                // the table now, so no further grant can name it — blocking
+                // whatever such a straggler left behind makes "no resource owned
+                // by a dead enclave" hold at every quiescent point. Blocking
+                // acquires are safe here: nothing else is held, and the sweep is
+                // a no-op in the common case.
+                let mut swept_any = false;
+                for shard in self.state.resources.shards() {
+                    let mut shard = shard.lock();
+                    for rid in shard.owned_by(DomainKind::Enclave(eid)) {
+                        if let Ok(ResourceState::Blocked(_)) = shard.state(rid) {
+                            continue;
+                        }
+                        shard.block(DomainKind::SecurityMonitor, rid)?;
+                        swept_any = true;
+                    }
+                }
+                if swept_any {
+                    self.touch_resources();
+                }
+                Ok(())
+            })();
+            self.journal_complete(seq);
+            committed
         }))
     }
 
@@ -1632,6 +2096,13 @@ impl SmApi for SecurityMonitor {
             if caller != DomainKind::Untrusted && caller != DomainKind::SecurityMonitor {
                 return Err(SmError::Unauthorized);
             }
+            // A quarantined region refuses cleaning with Again until
+            // recover() verifies the backend can scrub it again.
+            if let ResourceId::Region(region) = id {
+                if self.is_quarantined(region) {
+                    return Err(SmError::Again);
+                }
+            }
 
             // The shard guard is held across the hardware cleaning, so a
             // concurrent transaction on the same resource keeps failing
@@ -1640,6 +2111,9 @@ impl SmApi for SecurityMonitor {
             let mut cost = Cycles::ZERO;
             match id {
                 ResourceId::Core(core) => {
+                    // Core cleans cross no fault points (the flush calls are
+                    // core-local, not region ops), so they stay unjournaled:
+                    // no crash window can open inside them.
                     cost += self.machine.clean_core(core)?;
                     let mut backend = self.backend.lock();
                     cost += backend.flush(core, FlushKind::CoreState)?;
@@ -1647,22 +2121,66 @@ impl SmApi for SecurityMonitor {
                 }
                 ResourceId::Region(region) => {
                     let info = self.region_info(region)?;
-                    // Zero every page of the region — outside the backend
-                    // lock; the memory writes go through the machine's own
-                    // DRAM lock and need no isolation-primitive access.
-                    if !self.weakened_by(TestWeakening::SkipRegionScrub) {
-                        for page in 0..info.page_count() {
-                            self.machine
-                                .zero_page(info.base.offset(page * PAGE_SIZE as u64))?;
-                            cost += self.machine.cost_model().zero_page;
+                    // Intent entry: the scrub below crosses per-page and
+                    // backend fault points. A crashed clean leaves the
+                    // region Blocked with a partial scrub, which a retried
+                    // clean repairs from scratch — so replay is a no-op, but
+                    // the pending entry still marks the crash for audit.
+                    let seq = self.journal_record(JournalEntry::Clean { id });
+                    let scrub = (|| -> SmResult<()> {
+                        // Zero every page of the region — outside the backend
+                        // lock; the memory writes go through the machine's own
+                        // DRAM lock and need no isolation-primitive access.
+                        if !self.weakened_by(TestWeakening::SkipRegionScrub) {
+                            for page in 0..info.page_count() {
+                                // journal: one crossing per scrubbed page; a
+                                // failure quarantines the region below.
+                                if fault_point!(
+                                    self.machine.fault_injector(),
+                                    "monitor.scrub-page"
+                                ) == Crossing::FailOp
+                                {
+                                    return Err(SmError::Again);
+                                }
+                                self.machine
+                                    .zero_page(info.base.offset(page * PAGE_SIZE as u64))?;
+                                cost += self.machine.cost_model().zero_page;
+                            }
+                        }
+                        {
+                            let mut backend = self.backend.lock();
+                            cost += backend.flush_region_cache(region)?;
+                            cost += backend.tlb_shootdown(region)?;
+                        }
+                        self.machine.tlb_shootdown(info.base, info.len);
+                        Ok(())
+                    })();
+                    if let Err(err) = scrub {
+                        if self.weakened_by(TestWeakening::SkipQuarantine) {
+                            // Weakened: swallow the fault and complete the
+                            // transition over possibly-dirty memory — the
+                            // explorer's FaultStorm attack must catch this.
+                        } else {
+                            // Degrade gracefully instead of wedging: the
+                            // region stays Blocked, parked in quarantine;
+                            // the caller backs off with Again and recover()
+                            // retries the scrub once the backend heals.
+                            self.quarantine_region(region);
+                            self.journal_complete(seq);
+                            return Err(err);
                         }
                     }
-                    {
-                        let mut backend = self.backend.lock();
-                        cost += backend.flush_region_cache(region)?;
-                        cost += backend.tlb_shootdown(region)?;
+                    self.stats
+                        .cleaning_cycles
+                        .fetch_add(cost.count(), Ordering::Relaxed);
+                    let cleaned = shard.clean(caller, id);
+                    drop(shard);
+                    if cleaned.is_ok() {
+                        self.touch_resources();
                     }
-                    self.machine.tlb_shootdown(info.base, info.len);
+                    self.journal_complete(seq);
+                    cleaned?;
+                    return Ok(cost);
                 }
             }
             self.stats
@@ -1688,6 +2206,13 @@ impl SmApi for SecurityMonitor {
                 });
             }
             let mut shard = self.try_lock_shard(id)?;
+            // A quarantined region must not re-enter circulation until
+            // recover() has verified the backend can scrub it.
+            if let ResourceId::Region(region) = id {
+                if self.is_quarantined(region) {
+                    return Err(SmError::Again);
+                }
+            }
             // Granting to an enclave that does not exist would strand the
             // resource in a state nobody can use or reclaim through the
             // normal transitions — the owner can never block it. (Found by
@@ -1721,22 +2246,35 @@ impl SmApi for SecurityMonitor {
                     })
                 }
             }
-            if let ResourceId::Region(region) = id {
-                let mut backend = self.backend.lock();
-                let cost = backend.assign_region(region, new_owner, MemPerms::RWX)?;
-                if let Err(err) = backend.set_dma_blocked(region, new_owner != DomainKind::Untrusted)
-                {
-                    // Roll the assignment back to the untrusted default so
-                    // hardware and (still-unmutated) metadata agree.
-                    let _ = backend.assign_region(region, DomainKind::Untrusted, MemPerms::RWX);
-                    let _ = backend.set_dma_blocked(region, false);
-                    return Err(SmError::Platform(err));
+            // Intent entry: the backend programming below crosses fault
+            // points. A crash between the PMP write and the map commit is
+            // undone during replay by parking the backend on the SM, so the
+            // still-Available region never leaks to `new_owner`.
+            let seq = self.journal_record(JournalEntry::Grant { id, new_owner });
+            let committed = (|| -> SmResult<()> {
+                if let ResourceId::Region(region) = id {
+                    let mut backend = self.backend.lock();
+                    let cost = backend.assign_region(region, new_owner, MemPerms::RWX)?;
+                    if let Err(err) =
+                        backend.set_dma_blocked(region, new_owner != DomainKind::Untrusted)
+                    {
+                        // Roll the assignment back to the untrusted default so
+                        // hardware and (still-unmutated) metadata agree.
+                        let _ = backend.assign_region(region, DomainKind::Untrusted, MemPerms::RWX);
+                        let _ = backend.set_dma_blocked(region, false);
+                        return Err(err.into());
+                    }
+                    self.machine.charge(cost);
                 }
-                self.machine.charge(cost);
-            }
-            shard.grant(caller, id, new_owner)?;
+                shard.grant(caller, id, new_owner)?;
+                Ok(())
+            })();
             drop(shard);
-            self.touch_resources();
+            if committed.is_ok() {
+                self.touch_resources();
+            }
+            self.journal_complete(seq);
+            committed?;
             Ok(())
         }))
     }
@@ -2031,6 +2569,13 @@ impl SmApi for SecurityMonitor {
                     Err(SmError::MailNotAccepted)
                 };
             };
+            // atomic: the copy either happens entirely under the meta lock
+            // or not at all — a failed crossing aborts before the ledger is
+            // charged, so no state needs journaled undo.
+            if fault_point!(self.machine.fault_injector(), "monitor.mail-copy") == Crossing::FailOp
+            {
+                return Err(SmError::Again);
+            }
             // Fabric-wide anti-DoS quota: the ledger lock is held across the
             // enqueue so the count can never drift from the queues.
             let mut ledger = self.state.mail_ledger.lock();
@@ -2084,6 +2629,13 @@ impl SmApi for SecurityMonitor {
                     })
                 }
                 Some(_) => {}
+            }
+            // atomic: dequeue + quota refund run under the meta and ledger
+            // locks with no intervening fault points; a failed crossing
+            // aborts before the queue head moves.
+            if fault_point!(self.machine.fault_injector(), "monitor.mail-fetch") == Crossing::FailOp
+            {
+                return Err(SmError::Again);
             }
             let mail = mb.get().expect("peeked above");
             Self::refund_mail_sender(&mut self.state.mail_ledger.lock(), mail.sender_id);
@@ -2153,7 +2705,13 @@ impl SmApi for SecurityMonitor {
     }
 
     fn batch(&self, session: CallerSession, calls: &[SmCall]) -> SmResult<Vec<CallOutcome>> {
-        let outcomes = self.run_typed_batch(session, calls)?;
+        // Vacuous intent marker bracketing the batch: the inner calls
+        // journal their own mutations, so replay of `Batch` is a no-op, but
+        // the pending entry attributes a mid-batch crash during recovery.
+        let seq = self.journal_record(JournalEntry::Batch);
+        let outcomes = self.run_typed_batch(session, calls);
+        self.journal_complete(seq);
+        let outcomes = outcomes?;
         self.stats
             .batched_calls
             .fetch_add(outcomes.len() as u64, Ordering::Relaxed);

@@ -260,6 +260,24 @@ impl ResourceMap {
         }
     }
 
+    /// Crash-recovery escape hatch: forces a registered resource into
+    /// `state` regardless of the Fig. 2 transition rules. Only
+    /// `SecurityMonitor::recover` uses this, to repair a journaled mutation
+    /// that crashed between its intent record and its commit (e.g. a grant
+    /// whose backend write landed but whose map transition did not) — every
+    /// normal API path goes through [`Self::block`] / [`Self::clean`] /
+    /// [`Self::grant`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmError::UnknownResource`] if the resource was never
+    /// registered; recovery repairs state, it does not invent resources.
+    pub fn recover_force(&mut self, id: ResourceId, state: ResourceState) -> SmResult<()> {
+        let _ = self.state(id)?;
+        self.set_state(id, state);
+        Ok(())
+    }
+
     /// Verifies the global exclusivity invariant: every resource has exactly
     /// one state entry (structural), owned resources have exactly one owner,
     /// and the reverse indexes agree with the dense state tables. Returns the
@@ -668,6 +686,25 @@ mod tests {
         assert_eq!(map.generation(), g1, "reads must not bump the generation");
         map.touch();
         assert_eq!(map.generation(), g1 + 1);
+    }
+
+    #[test]
+    fn recover_force_repairs_state_and_indexes() {
+        let (mut map, id) = map_with_region();
+        // Force Owned(OS) -> Blocked(enclave) directly, as recovery does when
+        // it finds a half-deleted enclave's region.
+        map.recover_force(id, ResourceState::Blocked(enclave(3))).unwrap();
+        assert_eq!(map.state(id).unwrap(), ResourceState::Blocked(enclave(3)));
+        assert_eq!(map.owned_by(enclave(3)), vec![id]);
+        assert!(map.owned_by(DomainKind::Untrusted).is_empty());
+        map.recover_force(id, ResourceState::Available).unwrap();
+        assert!(map.owned_by(enclave(3)).is_empty());
+        map.check_exclusivity();
+        // Unregistered resources cannot be invented by recovery.
+        assert_eq!(
+            map.recover_force(ResourceId::Region(RegionId::new(9)), ResourceState::Available),
+            Err(SmError::UnknownResource)
+        );
     }
 
     #[test]

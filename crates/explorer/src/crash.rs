@@ -1,0 +1,358 @@
+//! The crash-point sweep: exhaustive crash-consistency checking over
+//! lifecycle traces.
+//!
+//! The monitor's crash story (`sanctorum_core::monitor`'s mutation journal
+//! and `SecurityMonitor::recover`) claims that a hart lost at *any* fault
+//! point leaves the monitor recoverable. This module turns that claim into
+//! a sweep, following the filesystem crash-consistency methodology:
+//!
+//! 1. **Record** — replay a trace once with the machine's
+//!    [`FaultInjector`](sanctorum_machine::FaultInjector) in recording mode,
+//!    logging every fault-point crossing of every step (the trace's *crash
+//!    surface*).
+//! 2. **Sweep** — for each step and each crossing `k` the step performed,
+//!    re-run the trace from boot with that step wrapped in
+//!    [`Op::Crashed`]`{ point: k, .. }`: the injector panics at the k-th
+//!    crossing, the op harness catches the unwind, calls
+//!    `SecurityMonitor::recover()`, resynchronizes the OS mirror — and the
+//!    explorer's full invariant kernel ([`CheckedWorld`]) then audits the
+//!    recovered world, including the crash-residue check (no pending journal
+//!    entries, quarantined regions pinned *Blocked*) and an
+//!    `audit()`-vs-`audit_full()` cache-coherence comparison.
+//! 3. **Fault** — for each fault *site* the trace crossed, re-run it once
+//!    more with a persistent [`FaultPlan::FailOp`] armed on that site: every
+//!    guarded backend op reports a transient fault for the whole run, which
+//!    must degrade gracefully (`SmError::Again`, quarantine) rather than
+//!    corrupt state; after disarming, one `recover()` must drain the
+//!    quarantine and restore a fully clean audit.
+//!
+//! The remaining ops of the trace are executed after the crash too — the
+//! recovered monitor must not merely pass an audit, it must keep serving.
+//!
+//! A violation is reported as a [`CrashCounterexample`]: the trace with the
+//! crash embedded as a `crashed <k> <op…>` line, replayable byte for byte
+//! through the text corpus format (`tests/regressions/*.trace`).
+
+use crate::invariants::{CheckedWorld, Violation};
+use crate::trace::{format_trace, TracedOp};
+use sanctorum_core::monitor::TestWeakening;
+use sanctorum_hal::domain::CoreId;
+use sanctorum_machine::{FaultPlan, MachineConfig};
+use sanctorum_os::ops::{ImageKind, Op};
+use sanctorum_os::system::PlatformKind;
+use std::collections::BTreeMap;
+
+/// Machine geometry for crash sweeps: 1 MiB of DRAM in 128 KiB regions
+/// (eight regions, 32 pages each). Small regions keep the per-`clean` scrub
+/// surface — one fault-point crossing per page — affordable, since the
+/// sweep re-runs the whole trace once per crossing.
+pub fn crash_machine_config() -> MachineConfig {
+    MachineConfig {
+        memory_size: 1024 * 1024,
+        dram_region_size: 128 * 1024,
+        pmp_entries: 16,
+        device_id: 0xc4a5_4e55,
+        ..MachineConfig::small()
+    }
+}
+
+/// One surviving violation: where the sweep crashed (or which site it
+/// faulted), and what broke.
+#[derive(Debug, Clone)]
+pub struct CrashCounterexample {
+    /// Platform the violation was observed on.
+    pub platform: &'static str,
+    /// The replayable trace, with the crash embedded as an [`Op::Crashed`]
+    /// step and truncated at the violating step (the minimal prefix).
+    pub trace: Vec<TracedOp>,
+    /// The fault site a persistent-fault run had armed, if this
+    /// counterexample came from the fault pass rather than the crash pass.
+    pub fault_site: Option<&'static str>,
+    /// Zero-based step at which the violation fired.
+    pub step: usize,
+    /// The violation.
+    pub violation: Violation,
+}
+
+impl std::fmt::Display for CrashCounterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "[{}] step {}: {}",
+            self.platform, self.step, self.violation
+        )?;
+        if let Some(site) = self.fault_site {
+            writeln!(f, "# persistent FailOp armed on {site}")?;
+        }
+        write!(f, "{}", format_trace(&self.trace))
+    }
+}
+
+/// Aggregate result of sweeping one or more traces.
+#[derive(Debug, Clone, Default)]
+pub struct CrashSweepReport {
+    /// Traces swept (per platform).
+    pub traces: usize,
+    /// Total fault-point crossings enumerated across all recording passes.
+    pub crossings: usize,
+    /// Crossings per fault site — the sweep's fault-point inventory.
+    pub site_inventory: BTreeMap<&'static str, u64>,
+    /// Full re-runs executed with an injected crash (one per crossing).
+    pub crash_sweeps: usize,
+    /// Full re-runs executed with a persistent per-site fault.
+    pub fault_runs: usize,
+    /// Every violation that survived recovery.
+    pub violations: Vec<CrashCounterexample>,
+}
+
+impl CrashSweepReport {
+    /// Whether every re-run recovered to a clean audit.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Sweeps one trace on one platform, accumulating into `report`. Set
+/// `stop_on_first` to abort the sweep at the first violation (the
+/// weakening-catch tests want the witness, not the census).
+pub fn sweep_trace(
+    platform: PlatformKind,
+    config: &MachineConfig,
+    weaken: Option<TestWeakening>,
+    trace: &[TracedOp],
+    stop_on_first: bool,
+    report: &mut CrashSweepReport,
+) {
+    report.traces += 1;
+
+    // Recording pass: enumerate the crash surface, step by step.
+    let mut per_step: Vec<Vec<(&'static str, u64)>> = Vec::new();
+    {
+        let mut world = CheckedWorld::boot(platform, config.clone(), weaken);
+        world.world.system.machine.fault_injector().record();
+        for traced in trace {
+            let _ = world.world.apply(CoreId::new(traced.hart), &traced.op);
+            per_step.push(world.world.system.machine.fault_injector().take_log());
+        }
+        world.world.system.machine.fault_injector().disarm();
+    }
+    let mut sites: Vec<&'static str> = Vec::new();
+    for log in &per_step {
+        report.crossings += log.len();
+        for (site, _) in log {
+            *report.site_inventory.entry(site).or_default() += 1;
+            if !sites.contains(site) {
+                sites.push(site);
+            }
+        }
+    }
+
+    // Crash pass: one full re-run per crossing, crash embedded at it.
+    for (step_index, log) in per_step.iter().enumerate() {
+        for point in 1..=log.len() as u64 {
+            report.crash_sweeps += 1;
+            let mut crashed: Vec<TracedOp> = trace.to_vec();
+            crashed[step_index] = TracedOp {
+                hart: trace[step_index].hart,
+                op: Op::Crashed {
+                    point,
+                    op: Box::new(trace[step_index].op.clone()),
+                },
+            };
+            run_checked(platform, config, weaken, &crashed, None, report);
+            if stop_on_first && !report.clean() {
+                return;
+            }
+        }
+    }
+
+    // Fault pass: one full re-run per crossed site, with a persistent
+    // transient fault armed on it for the whole trace.
+    for site in sites {
+        report.fault_runs += 1;
+        run_faulted(platform, config, weaken, trace, site, report);
+        if stop_on_first && !report.clean() {
+            return;
+        }
+    }
+}
+
+/// Sweeps every trace on both platforms.
+pub fn sweep_all(
+    config: &MachineConfig,
+    weaken: Option<TestWeakening>,
+    traces: &[Vec<TracedOp>],
+) -> CrashSweepReport {
+    let mut report = CrashSweepReport::default();
+    for platform in PlatformKind::ALL {
+        for trace in traces {
+            sweep_trace(platform, config, weaken, trace, false, &mut report);
+        }
+    }
+    report
+}
+
+/// Runs one trace through the invariant kernel, recording the first
+/// violation (with its minimal prefix) into `report`.
+fn run_checked(
+    platform: PlatformKind,
+    config: &MachineConfig,
+    weaken: Option<TestWeakening>,
+    trace: &[TracedOp],
+    fault_site: Option<&'static str>,
+    report: &mut CrashSweepReport,
+) {
+    let mut world = CheckedWorld::boot(platform, config.clone(), weaken);
+    for (step, traced) in trace.iter().enumerate() {
+        if let Err(violation) = world.step(CoreId::new(traced.hart), &traced.op) {
+            report.violations.push(CrashCounterexample {
+                platform: platform.name(),
+                trace: trace[..=step].to_vec(),
+                fault_site,
+                step,
+                violation,
+            });
+            return;
+        }
+        // A crash+recover must leave the incremental audit cache coherent:
+        // the unwind tore through the monitor mid-mutation, and recovery
+        // bumped generations for everything it touched.
+        if matches!(traced.op, Op::Crashed { .. }) {
+            let incremental = world.world.system.monitor.audit();
+            let full = world.world.system.monitor.audit_full();
+            if incremental != full {
+                report.violations.push(CrashCounterexample {
+                    platform: platform.name(),
+                    trace: trace[..=step].to_vec(),
+                    fault_site,
+                    step,
+                    violation: Violation::CrashResidue {
+                        platform: platform.name(),
+                        detail: "incremental audit diverged from full rebuild after recovery"
+                            .to_string(),
+                    },
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Runs one trace with a persistent `FailOp` armed on `site`, then disarms,
+/// recovers, and audits the drained world.
+fn run_faulted(
+    platform: PlatformKind,
+    config: &MachineConfig,
+    weaken: Option<TestWeakening>,
+    trace: &[TracedOp],
+    site: &'static str,
+    report: &mut CrashSweepReport,
+) {
+    let mut world = CheckedWorld::boot(platform, config.clone(), weaken);
+    world
+        .world
+        .system
+        .machine
+        .fault_injector()
+        .arm(FaultPlan::FailOp { site: Some(site), times: u64::MAX });
+    for (step, traced) in trace.iter().enumerate() {
+        if let Err(violation) = world.step(CoreId::new(traced.hart), &traced.op) {
+            world.world.system.machine.fault_injector().disarm();
+            report.violations.push(CrashCounterexample {
+                platform: platform.name(),
+                trace: trace[..=step].to_vec(),
+                fault_site: Some(site),
+                step,
+                violation,
+            });
+            return;
+        }
+    }
+    // The fault clears: recovery must drain the quarantine (retried scrubs
+    // now succeed) and the world must audit clean.
+    world.world.system.machine.fault_injector().disarm();
+    world.world.system.monitor.recover();
+    world.world.reconcile_after_recovery();
+    if let Err(violation) = world.step(CoreId::new(0), &Op::Tick) {
+        report.violations.push(CrashCounterexample {
+            platform: platform.name(),
+            trace: trace.to_vec(),
+            fault_site: Some(site),
+            step: trace.len(),
+            violation,
+        });
+        return;
+    }
+    let remaining = world.world.system.monitor.quarantined_regions();
+    if !remaining.is_empty() {
+        report.violations.push(CrashCounterexample {
+            platform: platform.name(),
+            trace: trace.to_vec(),
+            fault_site: Some(site),
+            step: trace.len(),
+            violation: Violation::CrashResidue {
+                platform: platform.name(),
+                detail: format!(
+                    "{} regions still quarantined after fault cleared and recover()",
+                    remaining.len()
+                ),
+            },
+        });
+    }
+}
+
+/// The depth-6 lifecycle trace set the acceptance sweep runs: short,
+/// hand-written traces that together cross every fault point in the stack —
+/// journaled create/delete/grant/clean paths, the batch entry, page scrubs,
+/// backend PMP writes, and both mail copies. Ops use the abstract-selector
+/// convention of [`sanctorum_os::ops`], so every line is executable
+/// regardless of how earlier lines resolved.
+pub fn lifecycle_traces() -> Vec<Vec<TracedOp>> {
+    fn t(hart: u32, op: Op) -> TracedOp {
+        TracedOp { hart, op }
+    }
+    vec![
+        // Enclave lifecycle: create, run, delete, reclaim the pieces. The
+        // first build takes region 6 in [`crash_machine_config`] geometry
+        // (7 is the OS staging region, 0 the monitor's own), so the clean
+        // and grant that follow reclaim exactly the dead enclave's — dirty —
+        // region, which is what arms the dirty-reuse tripwire under the
+        // `skip-quarantine` weakening.
+        vec![
+            t(0, Op::Build { kind: ImageKind::Hello, param: 0 }),
+            t(0, Op::Run { slot: 0, budget: 600 }),
+            t(1, Op::DeleteEnclave { slot: 0 }),
+            t(0, Op::CleanRegion { region: 6 }),
+            t(0, Op::GrantRegion { region: 6, owner: 0 }),
+            t(1, Op::Tick),
+        ],
+        // Full teardown composite (delete + clean + grant inside one op),
+        // with a second enclave live so residue is recognizable.
+        vec![
+            t(0, Op::Build { kind: ImageKind::Hello, param: 1 }),
+            t(1, Op::Build { kind: ImageKind::Compute, param: 2 }),
+            t(0, Op::Run { slot: 1, budget: 600 }),
+            t(0, Op::Teardown { slot: 1 }),
+            t(1, Op::Teardown { slot: 0 }),
+            t(0, Op::Tick),
+        ],
+        // Region pipeline and the batched form of the same transitions.
+        vec![
+            t(0, Op::BlockRegion { region: 2 }),
+            t(0, Op::CleanRegion { region: 2 }),
+            t(0, Op::GrantRegion { region: 2, owner: 0 }),
+            t(1, Op::Batch { region: 3 }),
+            t(0, Op::Batch { region: 2 }),
+            t(1, Op::Tick),
+        ],
+        // Mail paths: both copy directions, plus a queued burst.
+        vec![
+            t(0, Op::Build { kind: ImageKind::Hello, param: 3 }),
+            t(0, Op::MailRoundTrip { slot: 0, payload: 0x5ca1e }),
+            t(1, Op::MailQueue { slot: 0, burst: 2, payload: 0xbeef }),
+            t(1, Op::MailRoundTrip { slot: 0, payload: 0xfeed }),
+            t(0, Op::DeleteEnclave { slot: 0 }),
+            t(0, Op::Tick),
+        ],
+    ]
+}

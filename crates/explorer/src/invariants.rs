@@ -120,6 +120,17 @@ pub enum Violation {
         /// Physical address of the leaked word.
         addr: u64,
     },
+    /// Crash residue survived recovery: the mutation journal still holds
+    /// pending intent entries after the monitor returned to the OS (every
+    /// completed call completes its entry; only `recover()` may clear a
+    /// crash's leftovers), or a quarantined region drifted out of the
+    /// *Blocked* state it must hold until its scrub is retried.
+    CrashResidue {
+        /// Platform the violation was observed on.
+        platform: &'static str,
+        /// What exactly was left behind.
+        detail: String,
+    },
     /// A scripted attack succeeded.
     AttackSucceeded {
         /// Platform the violation was observed on.
@@ -150,6 +161,7 @@ impl Violation {
             Violation::ServiceDegraded { .. } => "service-plane",
             Violation::SecretLeak { .. } => "secret-leak",
             Violation::SecretInMemory { .. } => "secret-in-memory",
+            Violation::CrashResidue { .. } => "crash-residue",
             Violation::AttackSucceeded { .. } => "attack",
             Violation::Divergence { .. } => "divergence",
         }
@@ -186,6 +198,9 @@ impl std::fmt::Display for Violation {
                 f,
                 "[{platform}] secret {secret:#x} resident in OS-readable memory at {addr:#x}"
             ),
+            Violation::CrashResidue { platform, detail } => {
+                write!(f, "[{platform}] crash residue survived recovery: {detail}")
+            }
             Violation::AttackSucceeded { platform, detail } => {
                 write!(f, "[{platform}] attack succeeded: {detail}")
             }
@@ -414,6 +429,34 @@ impl CheckedWorld {
                             "occupancy names unknown thread {tid} on {core}"
                         )))
                     }
+                }
+            }
+        }
+
+        // --- crash residue --------------------------------------------
+        // Between SM calls the mutation journal must be empty: every call
+        // completes its intent entry on every return path, and `recover()`
+        // replays a crash's leftovers. Pending entries here mean a crash's
+        // residue survived recovery (the `skip-journal-replay` weakening's
+        // signature). A quarantined region must also still be *Blocked* —
+        // quarantine exists precisely to pin un-scrubbed regions there.
+        let pending = self.world.system.monitor.journal_pending();
+        if pending != 0 {
+            return Err(Violation::CrashResidue {
+                platform: self.platform,
+                detail: format!("{pending} journal entries still pending after recovery"),
+            });
+        }
+        if sm_changed {
+            for region in audit.quarantine.iter() {
+                let state = audit.resource(ResourceId::Region(*region));
+                if !matches!(state, Some(ResourceState::Blocked(_))) {
+                    return Err(Violation::CrashResidue {
+                        platform: self.platform,
+                        detail: format!(
+                            "quarantined {region} is in state {state:?}, not Blocked"
+                        ),
+                    });
                 }
             }
         }

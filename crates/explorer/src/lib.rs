@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod crash;
 pub mod diff;
 pub mod invariants;
 pub mod trace;
 
 pub use concurrent::{soak, SoakReport};
+pub use crash::{lifecycle_traces, sweep_all, CrashCounterexample, CrashSweepReport};
 pub use diff::DiffPair;
 pub use invariants::{CheckedWorld, Violation};
 pub use trace::TracedOp;

@@ -48,6 +48,16 @@ pub fn generate(seed: u64, harts: u32, len: usize) -> Vec<TracedOp> {
 /// storage form (`tests/regressions/*.trace`) and the model checker's
 /// counterexample form — [`parse_trace`] round-trips it exactly.
 pub fn format_trace(trace: &[TracedOp]) -> String {
+    let mut out = String::new();
+    for step in trace {
+        out.push_str(&format!("{} {}\n", step.hart, format_op(&step.op)));
+    }
+    out
+}
+
+/// Renders one op in the text format (without the hart prefix). Recursive,
+/// because [`Op::Crashed`] wraps an inner op: `crashed <point> <inner…>`.
+fn format_op(op: &Op) -> String {
     fn kind_name(kind: ImageKind) -> &'static str {
         match kind {
             ImageKind::Hello => "hello",
@@ -56,39 +66,29 @@ pub fn format_trace(trace: &[TracedOp]) -> String {
             ImageKind::FaultHandling => "fault-handling",
         }
     }
-    let mut out = String::new();
-    for step in trace {
-        let hart = step.hart;
-        let line = match &step.op {
-            Op::Build { kind, param } => format!("{hart} build {} {param}", kind_name(*kind)),
-            Op::Teardown { slot } => format!("{hart} teardown {slot}"),
-            Op::Run { slot, budget } => format!("{hart} run {slot} {budget}"),
-            Op::Tick => format!("{hart} tick"),
-            Op::BlockRegion { region } => format!("{hart} block-region {region}"),
-            Op::CleanRegion { region } => format!("{hart} clean-region {region}"),
-            Op::GrantRegion { region, owner } => {
-                format!("{hart} grant-region {region} {owner}")
-            }
-            Op::DeleteEnclave { slot } => format!("{hart} delete-enclave {slot}"),
-            Op::LoadAfterInit { slot } => format!("{hart} load-after-init {slot}"),
-            Op::MailRoundTrip { slot, payload } => {
-                format!("{hart} mail-roundtrip {slot} {payload}")
-            }
-            Op::EnclaveMail { from, to, payload } => {
-                format!("{hart} enclave-mail {from} {to} {payload}")
-            }
-            Op::MailQueue { slot, burst, payload } => {
-                format!("{hart} mail-queue {slot} {burst} {payload}")
-            }
-            Op::AttestService { clients } => format!("{hart} attest-service {clients}"),
-            Op::GetField { field } => format!("{hart} get-field {field}"),
-            Op::Batch { region } => format!("{hart} batch {region}"),
-            Op::Attack { kind, slot } => format!("{hart} attack {kind} {slot}"),
-        };
-        out.push_str(&line);
-        out.push('\n');
+    match op {
+        Op::Build { kind, param } => format!("build {} {param}", kind_name(*kind)),
+        Op::Teardown { slot } => format!("teardown {slot}"),
+        Op::Run { slot, budget } => format!("run {slot} {budget}"),
+        Op::Tick => "tick".to_string(),
+        Op::BlockRegion { region } => format!("block-region {region}"),
+        Op::CleanRegion { region } => format!("clean-region {region}"),
+        Op::GrantRegion { region, owner } => format!("grant-region {region} {owner}"),
+        Op::DeleteEnclave { slot } => format!("delete-enclave {slot}"),
+        Op::LoadAfterInit { slot } => format!("load-after-init {slot}"),
+        Op::MailRoundTrip { slot, payload } => format!("mail-roundtrip {slot} {payload}"),
+        Op::EnclaveMail { from, to, payload } => {
+            format!("enclave-mail {from} {to} {payload}")
+        }
+        Op::MailQueue { slot, burst, payload } => {
+            format!("mail-queue {slot} {burst} {payload}")
+        }
+        Op::AttestService { clients } => format!("attest-service {clients}"),
+        Op::GetField { field } => format!("get-field {field}"),
+        Op::Batch { region } => format!("batch {region}"),
+        Op::Attack { kind, slot } => format!("attack {kind} {slot}"),
+        Op::Crashed { point, op } => format!("crashed {point} {}", format_op(op)),
     }
-    out
 }
 
 /// Parses the text form produced by [`format_trace`]. Blank lines and lines
@@ -114,95 +114,114 @@ pub fn parse_trace(text: &str) -> Result<Vec<TracedOp>, String> {
             .ok_or_else(|| context("expected a hart index"))?;
         let name = fields.next().ok_or_else(|| context("expected an op name"))?;
         let rest: Vec<&str> = fields.collect();
-        let arg = |index: usize| -> Result<u64, String> {
-            rest.get(index)
-                .and_then(|f| f.parse().ok())
-                .ok_or_else(|| context("expected a numeric argument"))
-        };
-        let arity = |expected: usize| -> Result<(), String> {
-            if rest.len() == expected {
-                Ok(())
-            } else {
-                Err(context("wrong argument count"))
-            }
-        };
-        let op = match name {
-            "build" => {
-                arity(2)?;
-                let kind = match rest[0] {
-                    "hello" => ImageKind::Hello,
-                    "compute" => ImageKind::Compute,
-                    "faulting" => ImageKind::Faulting,
-                    "fault-handling" => ImageKind::FaultHandling,
-                    _ => return Err(context("unknown image kind")),
-                };
-                Op::Build { kind, param: arg(1)? }
-            }
-            "teardown" => {
-                arity(1)?;
-                Op::Teardown { slot: arg(0)? }
-            }
-            "run" => {
-                arity(2)?;
-                Op::Run { slot: arg(0)?, budget: arg(1)? }
-            }
-            "tick" => {
-                arity(0)?;
-                Op::Tick
-            }
-            "block-region" => {
-                arity(1)?;
-                Op::BlockRegion { region: arg(0)? }
-            }
-            "clean-region" => {
-                arity(1)?;
-                Op::CleanRegion { region: arg(0)? }
-            }
-            "grant-region" => {
-                arity(2)?;
-                Op::GrantRegion { region: arg(0)?, owner: arg(1)? }
-            }
-            "delete-enclave" => {
-                arity(1)?;
-                Op::DeleteEnclave { slot: arg(0)? }
-            }
-            "load-after-init" => {
-                arity(1)?;
-                Op::LoadAfterInit { slot: arg(0)? }
-            }
-            "mail-roundtrip" => {
-                arity(2)?;
-                Op::MailRoundTrip { slot: arg(0)?, payload: arg(1)? }
-            }
-            "enclave-mail" => {
-                arity(3)?;
-                Op::EnclaveMail { from: arg(0)?, to: arg(1)?, payload: arg(2)? }
-            }
-            "mail-queue" => {
-                arity(3)?;
-                Op::MailQueue { slot: arg(0)?, burst: arg(1)?, payload: arg(2)? }
-            }
-            "attest-service" => {
-                arity(1)?;
-                Op::AttestService { clients: arg(0)? }
-            }
-            "get-field" => {
-                arity(1)?;
-                Op::GetField { field: arg(0)? }
-            }
-            "batch" => {
-                arity(1)?;
-                Op::Batch { region: arg(0)? }
-            }
-            "attack" => {
-                arity(2)?;
-                Op::Attack { kind: arg(0)?, slot: arg(1)? }
-            }
-            _ => return Err(context("unknown op name")),
-        };
+        let op = parse_op(name, &rest, &context)?;
         trace.push(TracedOp { hart, op });
     }
     Ok(trace)
+}
+
+/// Parses one op name plus its argument fields. Recursive, because
+/// `crashed <point> <inner…>` wraps a complete inner op in its tail.
+fn parse_op(
+    name: &str,
+    rest: &[&str],
+    context: &dyn Fn(&str) -> String,
+) -> Result<Op, String> {
+    let arg = |index: usize| -> Result<u64, String> {
+        rest.get(index)
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| context("expected a numeric argument"))
+    };
+    let arity = |expected: usize| -> Result<(), String> {
+        if rest.len() == expected {
+            Ok(())
+        } else {
+            Err(context("wrong argument count"))
+        }
+    };
+    let op = match name {
+        "build" => {
+            arity(2)?;
+            let kind = match rest[0] {
+                "hello" => ImageKind::Hello,
+                "compute" => ImageKind::Compute,
+                "faulting" => ImageKind::Faulting,
+                "fault-handling" => ImageKind::FaultHandling,
+                _ => return Err(context("unknown image kind")),
+            };
+            Op::Build { kind, param: arg(1)? }
+        }
+        "teardown" => {
+            arity(1)?;
+            Op::Teardown { slot: arg(0)? }
+        }
+        "run" => {
+            arity(2)?;
+            Op::Run { slot: arg(0)?, budget: arg(1)? }
+        }
+        "tick" => {
+            arity(0)?;
+            Op::Tick
+        }
+        "block-region" => {
+            arity(1)?;
+            Op::BlockRegion { region: arg(0)? }
+        }
+        "clean-region" => {
+            arity(1)?;
+            Op::CleanRegion { region: arg(0)? }
+        }
+        "grant-region" => {
+            arity(2)?;
+            Op::GrantRegion { region: arg(0)?, owner: arg(1)? }
+        }
+        "delete-enclave" => {
+            arity(1)?;
+            Op::DeleteEnclave { slot: arg(0)? }
+        }
+        "load-after-init" => {
+            arity(1)?;
+            Op::LoadAfterInit { slot: arg(0)? }
+        }
+        "mail-roundtrip" => {
+            arity(2)?;
+            Op::MailRoundTrip { slot: arg(0)?, payload: arg(1)? }
+        }
+        "enclave-mail" => {
+            arity(3)?;
+            Op::EnclaveMail { from: arg(0)?, to: arg(1)?, payload: arg(2)? }
+        }
+        "mail-queue" => {
+            arity(3)?;
+            Op::MailQueue { slot: arg(0)?, burst: arg(1)?, payload: arg(2)? }
+        }
+        "attest-service" => {
+            arity(1)?;
+            Op::AttestService { clients: arg(0)? }
+        }
+        "get-field" => {
+            arity(1)?;
+            Op::GetField { field: arg(0)? }
+        }
+        "batch" => {
+            arity(1)?;
+            Op::Batch { region: arg(0)? }
+        }
+        "attack" => {
+            arity(2)?;
+            Op::Attack { kind: arg(0)?, slot: arg(1)? }
+        }
+        "crashed" => {
+            let point = arg(0)?;
+            let inner_name = rest
+                .get(1)
+                .ok_or_else(|| context("expected a crashed inner op"))?;
+            let inner = parse_op(inner_name, &rest[2..], context)?;
+            Op::Crashed { point, op: Box::new(inner) }
+        }
+        _ => return Err(context("unknown op name")),
+    };
+    Ok(op)
 }
 
 #[cfg(test)]
@@ -219,9 +238,35 @@ mod tests {
             hart: 0,
             op: Op::Build { kind: ImageKind::FaultHandling, param: u64::MAX },
         });
+        // The sampler never draws crash ops (the sweep places them
+        // exhaustively instead), so pin the wrapped form by hand.
+        trace.push(TracedOp {
+            hart: 0,
+            op: Op::Crashed { point: 3, op: Box::new(Op::DeleteEnclave { slot: 0 }) },
+        });
+        trace.push(TracedOp {
+            hart: 1,
+            op: Op::Crashed { point: 17, op: Box::new(Op::Tick) },
+        });
         let text = format_trace(&trace);
         let parsed = parse_trace(&text).expect("formatted traces parse");
         assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn crashed_lines_round_trip_and_reject_bad_tails() {
+        let parsed = parse_trace("0 crashed 2 clean-region 5\n").expect("valid");
+        assert_eq!(
+            parsed,
+            vec![TracedOp {
+                hart: 0,
+                op: Op::Crashed { point: 2, op: Box::new(Op::CleanRegion { region: 5 }) },
+            }]
+        );
+        for bad in ["0 crashed", "0 crashed 2", "0 crashed 2 warp 1", "0 crashed 2 run 1"] {
+            let err = parse_trace(bad).unwrap_err();
+            assert!(err.contains("line 1"), "{err}");
+        }
     }
 
     #[test]

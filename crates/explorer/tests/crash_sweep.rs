@@ -1,0 +1,142 @@
+//! The crash-point sweep acceptance suite.
+//!
+//! * **Exhaustive sweep** — over the depth-6 lifecycle trace set, every
+//!   fault point crossed is crashed at least once (plus one persistent-
+//!   fault run per site), and recovery restores every invariant: zero
+//!   violations across both platforms.
+//! * **Weakening catch** — the same sweep, pointed at a monitor with
+//!   `skip-journal-replay` or `skip-quarantine` compiled in, must walk into
+//!   a violation with a minimal, replayable counterexample. This is what
+//!   makes the zero above evidence rather than absence of evidence.
+//! * **Recovery idempotence** — `recover()` on a clean world is a no-op,
+//!   and a second `recover()` after a crash is a no-op, both certified by
+//!   bit-identical machine state digests and audit digests.
+
+use sanctorum_explorer::crash::{
+    crash_machine_config, lifecycle_traces, sweep_all, sweep_trace, CrashSweepReport,
+};
+use sanctorum_explorer::trace::{format_trace, parse_trace};
+use sanctorum_core::monitor::TestWeakening;
+use sanctorum_hal::domain::CoreId;
+use sanctorum_machine::fault::ALL_SITES;
+use sanctorum_os::ops::{ImageKind, Op, OpWorld};
+use sanctorum_os::system::PlatformKind;
+
+#[test]
+fn lifecycle_sweep_crashes_every_fault_point_and_recovers_clean() {
+    let report = sweep_all(&crash_machine_config(), None, &lifecycle_traces());
+    for site in ALL_SITES {
+        assert!(
+            report.site_inventory.contains_key(site),
+            "lifecycle traces never cross {site}; inventory: {:?}",
+            report.site_inventory
+        );
+    }
+    assert!(
+        !report.site_inventory.keys().any(|s| !ALL_SITES.contains(s)),
+        "undeclared fault site crossed: {:?}",
+        report.site_inventory
+    );
+    assert_eq!(
+        report.crash_sweeps, report.crossings,
+        "every crossing gets exactly one crash re-run"
+    );
+    assert!(report.fault_runs > 0);
+    assert!(
+        report.clean(),
+        "{} violations survived recovery; first: {}",
+        report.violations.len(),
+        report.violations[0]
+    );
+}
+
+#[test]
+fn skip_journal_replay_is_caught_with_a_minimal_replayable_counterexample() {
+    let mut report = CrashSweepReport::default();
+    for trace in lifecycle_traces() {
+        sweep_trace(
+            PlatformKind::Sanctum,
+            &crash_machine_config(),
+            Some(TestWeakening::SkipJournalReplay),
+            &trace,
+            true,
+            &mut report,
+        );
+        if !report.clean() {
+            break;
+        }
+    }
+    let witness = report
+        .violations
+        .first()
+        .expect("a journal-replay hole must not survive the crash sweep");
+    assert_eq!(witness.violation.kind(), "crash-residue", "{witness}");
+    assert!(
+        witness.trace.iter().any(|t| matches!(t.op, Op::Crashed { .. })),
+        "the witness embeds the crash: {witness}"
+    );
+    // Replayable: the counterexample round-trips through the corpus format.
+    let text = format_trace(&witness.trace);
+    assert_eq!(parse_trace(&text).expect("witness parses"), witness.trace);
+}
+
+#[test]
+fn skip_quarantine_is_caught_by_the_persistent_fault_pass() {
+    let mut report = CrashSweepReport::default();
+    for trace in lifecycle_traces() {
+        sweep_trace(
+            PlatformKind::Sanctum,
+            &crash_machine_config(),
+            Some(TestWeakening::SkipQuarantine),
+            &trace,
+            true,
+            &mut report,
+        );
+        if !report.clean() {
+            break;
+        }
+    }
+    let witness = report
+        .violations
+        .first()
+        .expect("a quarantine hole must not survive the fault pass");
+    // Swallowing a failed scrub hands a dirty region to the next owner:
+    // caught as dirty reuse (or the secret scan, whichever fires first).
+    assert!(
+        ["dirty-reuse", "secret-in-memory"].contains(&witness.violation.kind()),
+        "caught as {}: {witness}",
+        witness.violation.kind()
+    );
+    assert_eq!(witness.fault_site, Some("monitor.scrub-page"), "{witness}");
+}
+
+#[test]
+fn recovery_is_idempotent_and_a_noop_on_clean_worlds() {
+    for platform in PlatformKind::ALL {
+        // On a freshly booted (clean) world, recover() replays nothing and
+        // perturbs nothing.
+        let world = OpWorld::boot(platform, crash_machine_config());
+        let digest = world.system.machine.state_digest();
+        let audit = world.system.monitor.audit_full().digest();
+        let report = world.system.monitor.recover();
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.quarantine_cleared, 0);
+        assert_eq!(world.system.machine.state_digest(), digest);
+        assert_eq!(world.system.monitor.audit_full().digest(), audit);
+
+        // After a real crash+recover (the Crashed op recovers internally),
+        // a second recover() is a no-op with bit-identical state.
+        let mut world = OpWorld::boot(platform, crash_machine_config());
+        world.apply(CoreId::new(0), &Op::Build { kind: ImageKind::Hello, param: 0 });
+        world.apply(
+            CoreId::new(0),
+            &Op::Crashed { point: 2, op: Box::new(Op::DeleteEnclave { slot: 0 }) },
+        );
+        let digest = world.system.machine.state_digest();
+        let audit = world.system.monitor.audit_full().digest();
+        let second = world.system.monitor.recover();
+        assert_eq!(second.replayed, 0, "first recovery completed the journal");
+        assert_eq!(world.system.machine.state_digest(), digest);
+        assert_eq!(world.system.monitor.audit_full().digest(), audit);
+    }
+}

@@ -75,6 +75,11 @@ pub enum IsolationError {
     },
     /// The core id is out of range for this machine.
     UnknownCore(CoreId),
+    /// The backend operation failed transiently (a flaky device, an injected
+    /// fault): the request was *not* applied and may be retried. The monitor
+    /// surfaces this as `SmError::Again` so callers back off and retry
+    /// instead of wedging.
+    TransientFault,
 }
 
 impl fmt::Display for IsolationError {
@@ -88,6 +93,9 @@ impl fmt::Display for IsolationError {
                 write!(f, "unsupported isolation range at {base} (+{len:#x} bytes)")
             }
             IsolationError::UnknownCore(c) => write!(f, "unknown {c}"),
+            IsolationError::TransientFault => {
+                write!(f, "transient isolation-backend fault (retry)")
+            }
         }
     }
 }

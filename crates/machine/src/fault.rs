@@ -1,0 +1,331 @@
+//! Deterministic fault injection for crash-consistency testing.
+//!
+//! M-mode firmware can lose a hart mid-mutation: a machine check in the
+//! middle of `create_enclave`'s PMP-grant sequence, a power cut between two
+//! pages of a region scrub. The monitor's crash-consistency story (the
+//! mutation journal and `SecurityMonitor::recover`) is only testable if
+//! those interruptions can be *produced on demand, deterministically* —
+//! which is what this module does, following the filesystem
+//! crash-consistency methodology: every interruptible step in the stack is
+//! marked with a named, compiled-in fault point, and a seedable plan decides
+//! which crossing of which point crashes or fails.
+//!
+//! Three modes:
+//!
+//! * **off** (the default): every crossing is a single relaxed atomic load —
+//!   pinned replay digests are unaffected by the instrumentation;
+//! * **recording**: crossings are logged (site name + per-site index) so a
+//!   sweep harness can enumerate the exact crash surface of a trace;
+//! * **armed**: a [`FaultPlan`] either panics with an [`InjectedCrash`]
+//!   payload at a chosen crossing (the "power cut" — callers catch it with
+//!   `catch_unwind` and then exercise recovery) or makes a fallible
+//!   operation report a transient backend error for its first *n* matching
+//!   crossings (the "flaky device").
+//!
+//! Fault points are crossed via the [`fault_point!`](crate::fault_point)
+//! macro; `cargo xtask lint` (rule D) requires every call site to carry a
+//! `// journal:` or `// atomic:` classification comment explaining why a
+//! crash at that point is recoverable.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Crosses a named fault point on an injector, evaluating to the
+/// [`Crossing`] verdict. The macro form exists so `cargo xtask lint` can
+/// enumerate every fault site textually (rule D: each call site must carry
+/// a `// journal:` or `// atomic:` classification comment).
+#[macro_export]
+macro_rules! fault_point {
+    ($injector:expr, $site:expr $(,)?) => {
+        $injector.cross($site)
+    };
+}
+
+/// The compiled-in fault-site inventory: every name a [`fault_point!`]
+/// call site in the stack declares. Crash harnesses use it as the coverage
+/// bar — a site listed here that a sweep never crosses is untested crash
+/// surface, and a crossed site missing from this list is an undeclared
+/// fault point (both are failures in `explorer/tests/crash_sweep.rs`).
+pub const ALL_SITES: &[&str] = &[
+    "backend.assign-region",
+    "backend.set-dma-blocked",
+    "backend.flush-region-cache",
+    "backend.tlb-shootdown",
+    "monitor.scrub-page",
+    "monitor.mail-copy",
+    "monitor.mail-fetch",
+    "journal.record",
+    "journal.step",
+    "journal.complete",
+];
+
+/// Panic payload of an injected crash. Crash harnesses `catch_unwind` and
+/// downcast to this type; any other payload is a real bug and must be
+/// propagated with `resume_unwind`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedCrash {
+    /// The fault point that crashed.
+    pub site: &'static str,
+    /// The 1-based global crossing index (since arming) at which it fired.
+    pub crossing: u64,
+}
+
+impl std::fmt::Display for InjectedCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected crash at {} (crossing {})", self.site, self.crossing)
+    }
+}
+
+/// What an armed injector does to fault-point crossings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Panic with [`InjectedCrash`] at a chosen crossing: the k-th crossing
+    /// of `site`, or — with `site: None` — the k-th crossing of *any*
+    /// point (the form crash sweeps use, with k counted from arming).
+    CrashAt {
+        /// Restrict to one named fault point, or `None` for any.
+        site: Option<&'static str>,
+        /// 1-based crossing index at which to crash.
+        crossing: u64,
+    },
+    /// Report [`Crossing::FailOp`] for the first `times` matching crossings,
+    /// then proceed normally — a transient backend fault that goes away
+    /// under retry (or, with a large `times`, a persistent one that
+    /// exercises quarantine).
+    FailOp {
+        /// Restrict to one named fault point, or `None` for any.
+        site: Option<&'static str>,
+        /// Number of crossings to fail before recovering.
+        times: u64,
+    },
+}
+
+/// The verdict of one fault-point crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Crossing {
+    /// Continue normally.
+    Proceed,
+    /// The operation guarded by this point must report a transient backend
+    /// error. Crash-only sites (journal steps) may ignore this verdict.
+    FailOp,
+}
+
+/// Installs (once per process) a panic-hook filter that suppresses the
+/// default "thread panicked" report for [`InjectedCrash`] payloads — a
+/// crash sweep fires thousands of them on purpose, each one caught — while
+/// chaining every other panic to the previously installed hook.
+pub fn silence_injected_crash_reports() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedCrash>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[derive(Debug, Default)]
+struct InjectorState {
+    plan: Option<FaultPlan>,
+    recording: bool,
+    /// Global crossings since arming/recording started.
+    total: u64,
+    /// Per-site crossing counts since arming/recording started.
+    per_site: BTreeMap<&'static str, u64>,
+    /// FailOp verdicts already issued.
+    failed: u64,
+    /// Recorded crossings: `(site, per-site 1-based index)`, in order.
+    log: Vec<(&'static str, u64)>,
+}
+
+/// The machine's fault-injection switchboard (one per [`Machine`]).
+///
+/// Excluded from [`Machine::state_digest`] by construction — the digest
+/// covers harts and DRAM only — so arming, recording and disarming never
+/// perturb replay digests.
+///
+/// [`Machine`]: crate::Machine
+/// [`Machine::state_digest`]: crate::Machine::state_digest
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    /// Fast-path gate: `false` means off, and crossings cost one load.
+    active: AtomicBool,
+    state: Mutex<InjectorState>,
+}
+
+enum Verdict {
+    Proceed,
+    Fail,
+    Crash(u64),
+}
+
+impl FaultInjector {
+    /// Creates a disarmed injector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `plan`, resetting all crossing counters.
+    pub fn arm(&self, plan: FaultPlan) {
+        let mut state = self.state.lock();
+        *state = InjectorState { plan: Some(plan), ..InjectorState::default() };
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Starts recording crossings (no faults fire), resetting all counters.
+    pub fn record(&self) {
+        let mut state = self.state.lock();
+        *state = InjectorState { recording: true, ..InjectorState::default() };
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Disarms the injector and clears all recorded state.
+    pub fn disarm(&self) {
+        // Order matters for the fast path: close the gate first, then wipe.
+        self.active.store(false, Ordering::Release);
+        *self.state.lock() = InjectorState::default();
+    }
+
+    /// Whether the injector is armed or recording.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Takes the recorded crossing log: `(site, per-site 1-based index)` in
+    /// crossing order. Counters keep running; only the log is drained.
+    pub fn take_log(&self) -> Vec<(&'static str, u64)> {
+        std::mem::take(&mut self.state.lock().log)
+    }
+
+    /// Total fault-point crossings since the injector was last armed or put
+    /// into recording mode.
+    pub fn crossings(&self) -> u64 {
+        self.state.lock().total
+    }
+
+    /// One fault-point crossing. Off: a single atomic load. Recording: the
+    /// crossing is logged and proceeds. Armed: the plan decides — a
+    /// [`FaultPlan::CrashAt`] match panics with [`InjectedCrash`] (the lock
+    /// is released first, so the panic unwinds through *caller* state only),
+    /// a [`FaultPlan::FailOp`] match returns [`Crossing::FailOp`].
+    pub fn cross(&self, site: &'static str) -> Crossing {
+        if !self.active.load(Ordering::Acquire) {
+            return Crossing::Proceed;
+        }
+        let verdict = {
+            let mut state = self.state.lock();
+            state.total = state.total.saturating_add(1);
+            let site_k = state.per_site.entry(site).or_insert(0);
+            *site_k += 1;
+            let site_k = *site_k;
+            if state.recording {
+                state.log.push((site, site_k));
+            }
+            let total = state.total;
+            match state.plan {
+                Some(FaultPlan::CrashAt { site: None, crossing }) if total == crossing => {
+                    Verdict::Crash(total)
+                }
+                Some(FaultPlan::CrashAt { site: Some(s), crossing })
+                    if s == site && site_k == crossing =>
+                {
+                    Verdict::Crash(total)
+                }
+                Some(FaultPlan::FailOp { site: sel, times })
+                    if (sel.is_none() || sel == Some(site)) && state.failed < times =>
+                {
+                    state.failed += 1;
+                    Verdict::Fail
+                }
+                _ => Verdict::Proceed,
+            }
+        };
+        match verdict {
+            Verdict::Proceed => Crossing::Proceed,
+            Verdict::Fail => Crossing::FailOp,
+            Verdict::Crash(crossing) => {
+                std::panic::panic_any(InjectedCrash { site, crossing })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_crossings_proceed_and_count_nothing() {
+        let inj = FaultInjector::new();
+        assert_eq!(inj.cross("a"), Crossing::Proceed);
+        assert_eq!(inj.crossings(), 0);
+        assert!(!inj.is_active());
+    }
+
+    #[test]
+    fn recording_logs_per_site_indices_in_order() {
+        let inj = FaultInjector::new();
+        inj.record();
+        inj.cross("a");
+        inj.cross("b");
+        inj.cross("a");
+        assert_eq!(inj.take_log(), vec![("a", 1), ("b", 1), ("a", 2)]);
+        assert_eq!(inj.take_log(), vec![], "log drains");
+        inj.cross("a");
+        assert_eq!(inj.take_log(), vec![("a", 3)], "counters keep running");
+        inj.disarm();
+        inj.cross("a");
+        assert_eq!(inj.crossings(), 0);
+    }
+
+    #[test]
+    fn crash_at_global_crossing_panics_with_typed_payload() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan::CrashAt { site: None, crossing: 3 });
+        inj.cross("a");
+        inj.cross("b");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inj.cross("c");
+        }))
+        .expect_err("third crossing crashes");
+        let crash = caught.downcast_ref::<InjectedCrash>().expect("typed payload");
+        assert_eq!((crash.site, crash.crossing), ("c", 3));
+    }
+
+    #[test]
+    fn crash_at_named_site_counts_per_site() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan::CrashAt { site: Some("b"), crossing: 2 });
+        inj.cross("b");
+        inj.cross("a");
+        inj.cross("a");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inj.cross("b");
+        }))
+        .expect_err("second crossing of b crashes");
+        assert!(caught.downcast_ref::<InjectedCrash>().is_some());
+    }
+
+    #[test]
+    fn fail_op_fails_n_times_then_recovers() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan::FailOp { site: Some("a"), times: 2 });
+        assert_eq!(inj.cross("b"), Crossing::Proceed, "other sites unaffected");
+        assert_eq!(inj.cross("a"), Crossing::FailOp);
+        assert_eq!(inj.cross("a"), Crossing::FailOp);
+        assert_eq!(inj.cross("a"), Crossing::Proceed, "budget exhausted");
+    }
+
+    #[test]
+    fn macro_form_crosses() {
+        let inj = FaultInjector::new();
+        inj.record();
+        // atomic: test-only site; nothing is mutated around it.
+        let verdict = crate::fault_point!(inj, "macro.site");
+        assert_eq!(verdict, Crossing::Proceed);
+        assert_eq!(inj.take_log(), vec![("macro.site", 1)]);
+    }
+}

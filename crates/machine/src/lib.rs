@@ -42,6 +42,7 @@
 pub mod access;
 pub mod cache;
 pub mod dma;
+pub mod fault;
 pub mod guest;
 pub mod hart;
 pub mod machine;
@@ -51,6 +52,7 @@ pub mod tlb;
 pub mod trap;
 
 pub use access::{AccessControl, AccessDecision};
+pub use fault::{Crossing, FaultInjector, FaultPlan, InjectedCrash};
 pub use guest::{ExitReason, GuestOp, GuestProgram, Reg};
 pub use hart::{HartState, PrivilegeLevel};
 pub use machine::{Machine, MachineConfig};

@@ -163,6 +163,7 @@ pub struct Machine {
     pending_interrupts: Vec<Mutex<Vec<Interrupt>>>,
     trng: Mutex<u64>,
     root_of_trust: SimulatedRootOfTrust,
+    fault: crate::fault::FaultInjector,
 }
 
 impl std::fmt::Debug for Machine {
@@ -211,8 +212,19 @@ impl Machine {
             pending_interrupts,
             trng: Mutex::new(config.device_id ^ 0x9e3779b97f4a7c15),
             root_of_trust: SimulatedRootOfTrust::new(config.device_id),
+            fault: crate::fault::FaultInjector::new(),
             config,
         }
+    }
+
+    /// Returns the machine's fault-injection switchboard. Disarmed by
+    /// default; crash harnesses arm it around the operation under test.
+    /// Injector state is deliberately outside [`state_digest`]
+    /// (harts + DRAM only), so arming never perturbs replay digests.
+    ///
+    /// [`state_digest`]: Self::state_digest
+    pub fn fault_injector(&self) -> &crate::fault::FaultInjector {
+        &self.fault
     }
 
     /// Returns the machine configuration.

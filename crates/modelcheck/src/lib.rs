@@ -51,6 +51,20 @@ use sanctorum_os::system::PlatformKind;
 /// attack ops multiply the branching factor without adding resource-state
 /// transitions, and they keep their own (shallower, full-alphabet)
 /// self-check configurations.
+/// The op labels whose execution records a mutation-journal intent entry —
+/// the boundaries where a crash leaves monitor state mid-transition and
+/// recovery has real work to do. Crash pseudo-ops are enumerated only at
+/// these boundaries: crashing an unjournaled (atomic) op cannot produce a
+/// state a plain rejection does not already reach.
+pub const CRASH_BOUNDARY_LABELS: &[&str] = &[
+    "build",
+    "teardown",
+    "clean-region",
+    "grant-region",
+    "delete-enclave",
+    "batch",
+];
+
 pub const LIFECYCLE_LABELS: &[&str] = &[
     "build",
     "teardown",
@@ -93,6 +107,16 @@ pub struct ModelConfig {
     /// Whether a found counterexample is deletion-shrunk before reporting
     /// (BFS already guarantees minimal length over the searched alphabet).
     pub shrink: bool,
+    /// Crash enumeration: for every admitted op whose label is in
+    /// [`CRASH_BOUNDARY_LABELS`] (the journaled mutation paths), the
+    /// alphabet additionally offers [`Op::Crashed`] pseudo-ops for points
+    /// `1..=crash_points` — the op crashes at its k-th fault-point crossing,
+    /// `SecurityMonitor::recover()` runs, and the search continues in the
+    /// recovered state, so BFS explores crash+recover *interleavings*, not
+    /// just terminal crashes. A point beyond the op's actual crossing count
+    /// degenerates to the plain op and is pruned by the visited set. `0`
+    /// (the default) disables crash enumeration.
+    pub crash_points: u64,
 }
 
 impl ModelConfig {
@@ -121,6 +145,12 @@ impl ModelConfig {
     /// Whether this configuration offers `op` in a world with `live` live
     /// enclaves (the restriction layer over [`OpWorld::enabled_ops`]).
     fn admits(&self, live: usize, op: &Op) -> bool {
+        // A crash pseudo-op is admitted exactly when its inner op is — the
+        // label restriction applies to what the op *does*, not to the
+        // crash wrapper.
+        if let Op::Crashed { op: inner, .. } = op {
+            return self.admits(live, inner);
+        }
         if let Some(labels) = self.labels {
             if !labels.contains(&op.label()) {
                 return false;
@@ -135,11 +165,20 @@ impl ModelConfig {
     /// The branching alphabet of one state: every admitted enabled op,
     /// hart-sensitive ops once per hart, everything else on hart 0.
     pub fn alphabet(&self, world: &OpWorld) -> Vec<(u32, Op)> {
-        let mut out = Vec::new();
+        let mut candidates = Vec::new();
         for op in world.enabled_ops() {
             if !self.admits(world.live.len(), &op) {
                 continue;
             }
+            if self.crash_points > 0 && CRASH_BOUNDARY_LABELS.contains(&op.label()) {
+                for point in 1..=self.crash_points {
+                    candidates.push(Op::Crashed { point, op: Box::new(op.clone()) });
+                }
+            }
+            candidates.push(op);
+        }
+        let mut out = Vec::new();
+        for op in candidates {
             if op.hart_sensitive() {
                 for hart in 0..self.harts {
                     out.push((hart, op.clone()));
@@ -173,6 +212,7 @@ impl Default for ModelConfig {
                 ImageKind::FaultHandling,
             ],
             shrink: true,
+            crash_points: 0,
         }
     }
 }
@@ -283,5 +323,48 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn crash_points_enumerate_crashes_at_journaled_boundaries_only() {
+        let mut world = OpWorld::boot(PlatformKind::Sanctum, ModelConfig::small_world());
+        world.apply(CoreId::new(0), &Op::Build { kind: ImageKind::Hello, param: 0 });
+        let config = ModelConfig { crash_points: 2, ..ModelConfig::ci() };
+        let alphabet = config.alphabet(&world);
+        let crashed: Vec<&Op> = alphabet
+            .iter()
+            .filter(|(_, op)| matches!(op, Op::Crashed { .. }))
+            .map(|(_, op)| op)
+            .collect();
+        assert!(!crashed.is_empty(), "crash pseudo-ops are offered");
+        for op in &crashed {
+            let Op::Crashed { point, op: inner } = op else { unreachable!() };
+            assert!((1..=2).contains(point));
+            assert!(
+                CRASH_BOUNDARY_LABELS.contains(&inner.label()),
+                "crash wrapped an unjournaled op: {inner:?}"
+            );
+        }
+        // Every journaled label the plain alphabet offers is also offered
+        // crashed, at every point.
+        for (_, op) in &alphabet {
+            if matches!(op, Op::Crashed { .. })
+                || !CRASH_BOUNDARY_LABELS.contains(&op.label())
+            {
+                continue;
+            }
+            for point in 1..=2u64 {
+                assert!(
+                    crashed.iter().any(|c| matches!(
+                        c,
+                        Op::Crashed { point: p, op: inner } if *p == point && **inner == *op
+                    )),
+                    "missing crash wrap for {op:?} at point {point}"
+                );
+            }
+        }
+        // crash_points: 0 (the default) offers none.
+        let plain = ModelConfig::ci().alphabet(&world);
+        assert!(plain.iter().all(|(_, op)| !matches!(op, Op::Crashed { .. })));
     }
 }

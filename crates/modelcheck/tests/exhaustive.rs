@@ -8,6 +8,7 @@
 //! this alphabet and depth there is **no** reachable violating state, full
 //! stop.
 
+use sanctorum_os::ops::ImageKind;
 use sanctorum_modelcheck::{search, ModelConfig};
 
 #[test]
@@ -36,6 +37,43 @@ fn lifecycle_alphabet_is_exhaustively_clean_to_depth_6() {
     assert!(outcome.edges > outcome.states as u64 * 4, "branching factor collapsed");
     eprintln!(
         "exhaustive sweep: {} states, {} edges, depth {}, {:.0} states/s",
+        outcome.states,
+        outcome.edges,
+        outcome.depth_reached,
+        outcome.states_per_second()
+    );
+}
+
+#[test]
+fn crash_recover_interleavings_are_exhaustively_clean_to_depth_4() {
+    // Every journaled boundary in the restricted alphabet is additionally
+    // offered crashed at its first two fault-point crossings, so the BFS
+    // walks sequences like build → crashed-teardown → recover → build —
+    // crash+recover *interleavings*, not just terminal crashes. Within
+    // depth 4 there must be no reachable state, crashed into or recovered
+    // from, that violates an invariant.
+    let config = ModelConfig {
+        labels: Some(&["build", "teardown", "block-region", "clean-region"]),
+        build_kinds: &[ImageKind::Hello],
+        crash_points: 2,
+        max_depth: 4,
+        max_live: 1,
+        ..ModelConfig::default()
+    };
+    let outcome = search(&config);
+    if let Some(counterexample) = &outcome.violation {
+        panic!(
+            "crash+recover violation ({}) after {} states: {}\n{}",
+            counterexample.kind,
+            outcome.states,
+            counterexample.violation,
+            counterexample.to_text()
+        );
+    }
+    assert!(outcome.complete, "state cap hit at {} states", outcome.states);
+    assert_eq!(outcome.depth_reached, config.max_depth, "frontier died early");
+    eprintln!(
+        "crash sweep: {} states, {} edges, depth {}, {:.0} states/s",
         outcome.states,
         outcome.edges,
         outcome.depth_reached,

@@ -47,6 +47,34 @@ fn detector(weaken: TestWeakening) -> (ModelConfig, &'static [&'static str], usi
             &["secret-leak", "secret-in-memory"][..],
             2,
         ),
+        // A recovery that skips journal replay leaves a crashed call's
+        // intent entries pending forever: build, then a delete-enclave
+        // crashed past its journal.record crossing — the crash-residue
+        // check fires on the very step that recovers.
+        TestWeakening::SkipJournalReplay => (
+            ModelConfig {
+                labels: Some(&["build", "delete-enclave"]),
+                crash_points: 3,
+                max_live: 1,
+                ..base
+            },
+            &["crash-residue", "exclusivity"][..],
+            2,
+        ),
+        // Swallowing a failed scrub hands dirty memory to the next owner.
+        // The FaultStorm attack self-injects the persistent backend fault
+        // and checks the degrade path end to end, so a two-op build+attack
+        // witness suffices — caught as a successful attack (or as dirty
+        // reuse, whichever invariant fires first).
+        TestWeakening::SkipQuarantine => (
+            ModelConfig {
+                labels: Some(&["build", "attack"]),
+                max_live: 1,
+                ..base
+            },
+            &["attack", "dirty-reuse", "secret-in-memory"][..],
+            2,
+        ),
     }
 }
 

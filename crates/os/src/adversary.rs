@@ -423,11 +423,97 @@ pub fn interrupt_storm_on_entry(
     Ok(if blocked { AttackOutcome::Blocked } else { AttackOutcome::Succeeded })
 }
 
+/// Attack 12: fault storm around region reclamation. The OS tears an enclave
+/// down and then hammers the reclamation path while every page scrub suffers
+/// an injected backend fault. The monitor must degrade gracefully — refuse
+/// the clean with [`SmError::Again`] and park the region in quarantine
+/// (still `Blocked`, still isolated) — rather than either wedging or, worse,
+/// completing the transition over unscrubbed memory. Once the storm stops,
+/// `recover()` must release the quarantine and the normal lifecycle must
+/// resume with the region fully zeroed: any secret byte surviving into the
+/// reusable region is an isolation failure the next owner could read.
+///
+/// This is the attack that catches the `skip-quarantine` weakening: a
+/// monitor that shrugs off scrub faults hands the storm a dirty region.
+///
+/// # Errors
+///
+/// Fails only on harness preconditions (no free region to build the
+/// sacrificial enclave in).
+pub fn fault_storm_reclaim(system: &System, os: &mut Os) -> SmResult<AttackOutcome> {
+    use sanctorum_core::resource::ResourceId;
+    use sanctorum_machine::FaultPlan;
+    let secret = 0xfa57_5ec2_e700_5107u64;
+    let victim = os.build_enclave(&EnclaveImage::hello(secret), 1)?;
+    let region = victim.regions[0];
+    let sm = std::sync::Arc::clone(os.monitor());
+    let session = CallerSession::os();
+    sm.delete_enclave(session, victim.eid)?;
+
+    // The storm: every scrub-page crossing fails until disarmed.
+    system.machine.fault_injector().arm(FaultPlan::FailOp {
+        site: Some("monitor.scrub-page"),
+        times: u64::MAX,
+    });
+    let stormy = sm.clean_resource(session, ResourceId::Region(region));
+    system.machine.fault_injector().disarm();
+
+    let mut blocked = match stormy {
+        // Honest degradation: Again + quarantined (and therefore still
+        // refusing grants while the backend misbehaves).
+        Err(SmError::Again) => {
+            sm.quarantined_regions().contains(&region)
+                && matches!(
+                    sm.grant_resource(session, ResourceId::Region(region), DomainKind::Untrusted),
+                    Err(SmError::Again)
+                )
+        }
+        Err(_) => false,
+        // A clean that "succeeded" under the storm skipped the scrub.
+        Ok(_) => false,
+    };
+
+    // Storm over: recovery re-scrubs and releases the quarantine, and the
+    // normal reclamation path resumes.
+    let _ = sm.recover();
+    blocked &= !sm.quarantined_regions().contains(&region);
+    if stormy.is_err() {
+        blocked &= sm.clean_resource(session, ResourceId::Region(region)).is_ok();
+    }
+
+    // Residue scan over the whole (now reusable) region.
+    let config = system.machine.config();
+    let base = config
+        .memory_base
+        .offset((region.index() * config.dram_region_size) as u64);
+    let mut page = vec![0u8; PAGE_SIZE];
+    for offset in (0..config.dram_region_size as u64).step_by(PAGE_SIZE) {
+        system
+            .machine
+            .phys_read(base.offset(offset), &mut page)
+            .map_err(|_| SmError::Memory)?;
+        if page.iter().any(|&b| b != 0) {
+            blocked = false;
+            break;
+        }
+    }
+
+    // Leave the world as found: the region goes back to the OS free pool.
+    let restored = sm
+        .grant_resource(session, ResourceId::Region(region), DomainKind::Untrusted)
+        .is_ok();
+    blocked &= restored;
+    if restored {
+        os.return_region(region);
+    }
+    Ok(if blocked { AttackOutcome::Blocked } else { AttackOutcome::Succeeded })
+}
+
 /// The adversary battery, reified: every scripted attack as an enumerable
 /// value, so harnesses (the attack-battery tests, the adversarial explorer's
 /// `Op::Attack`) can pick attacks programmatically instead of calling the
 /// functions one by one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AttackKind {
     /// [`direct_physical_read`]
     DirectPhysicalRead,
@@ -449,11 +535,33 @@ pub enum AttackKind {
     InterruptStormOnEntry,
     /// [`mailbox_quota_exhaustion`]
     MailboxQuotaExhaustion,
+    /// [`fault_storm_reclaim`]
+    FaultStorm,
 }
 
 impl AttackKind {
     /// Every attack in the battery, in battery order.
-    pub const ALL: [AttackKind; 10] = [
+    pub const ALL: [AttackKind; 11] = [
+        AttackKind::DirectPhysicalRead,
+        AttackKind::MaliciousMappingRead,
+        AttackKind::DmaExfiltration,
+        AttackKind::ModifyAfterInit,
+        AttackKind::MailImpersonation,
+        AttackKind::StealAttestationKey,
+        AttackKind::StealEnclaveRegion,
+        AttackKind::ToctouPageMutation,
+        AttackKind::InterruptStormOnEntry,
+        AttackKind::MailboxQuotaExhaustion,
+        AttackKind::FaultStorm,
+    ];
+
+    /// The original ten attacks — the *sampled* battery. Random op
+    /// selectors (huge PRNG words) resolve into this set, so appending new
+    /// attacks to [`Self::ALL`] never re-maps a pinned `selector → attack`
+    /// assignment in replayed traces or golden digests. Newer attacks are
+    /// reached through small direct selectors (`selector < ALL.len()`),
+    /// which the canonical-alphabet enumeration and targeted traces use.
+    pub const SAMPLED: [AttackKind; 10] = [
         AttackKind::DirectPhysicalRead,
         AttackKind::MaliciousMappingRead,
         AttackKind::DmaExfiltration,
@@ -465,6 +573,17 @@ impl AttackKind {
         AttackKind::InterruptStormOnEntry,
         AttackKind::MailboxQuotaExhaustion,
     ];
+
+    /// Resolves a raw [`crate::ops::Op::Attack`] selector to an attack kind:
+    /// direct battery index when the selector is small, otherwise a draw
+    /// from [`Self::SAMPLED`] (see its docs for why the two tiers exist).
+    pub fn resolve(selector: u64) -> AttackKind {
+        if (selector as usize) < Self::ALL.len() {
+            Self::ALL[selector as usize]
+        } else {
+            Self::SAMPLED[(selector % Self::SAMPLED.len() as u64) as usize]
+        }
+    }
 
     /// Human-readable attack name.
     pub const fn name(self) -> &'static str {
@@ -479,6 +598,7 @@ impl AttackKind {
             AttackKind::ToctouPageMutation => "toctou page mutation",
             AttackKind::InterruptStormOnEntry => "interrupt storm on entry",
             AttackKind::MailboxQuotaExhaustion => "mailbox quota exhaustion",
+            AttackKind::FaultStorm => "fault storm on reclaim",
         }
     }
 
@@ -488,7 +608,9 @@ impl AttackKind {
     pub const fn builds_own_enclave(self) -> bool {
         matches!(
             self,
-            AttackKind::ToctouPageMutation | AttackKind::InterruptStormOnEntry
+            AttackKind::ToctouPageMutation
+                | AttackKind::InterruptStormOnEntry
+                | AttackKind::FaultStorm
         )
     }
 
@@ -518,6 +640,7 @@ impl AttackKind {
             AttackKind::ToctouPageMutation => toctou_page_mutation(system, os)?,
             AttackKind::InterruptStormOnEntry => interrupt_storm_on_entry(system, os, core)?,
             AttackKind::MailboxQuotaExhaustion => mailbox_quota_exhaustion(os, victim),
+            AttackKind::FaultStorm => fault_storm_reclaim(system, os)?,
         })
     }
 }

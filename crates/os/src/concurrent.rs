@@ -99,6 +99,9 @@ pub struct ConcurrentStats {
     pub sm_calls: u64,
     /// [`SmError::ConcurrentCall`] rejections that were retried.
     pub retries: u64,
+    /// [`SmError::Again`] transient faults that were retried (bounded by
+    /// [`Worker::AGAIN_RETRY_BUDGET`] per call).
+    pub transient_retries: u64,
 }
 
 /// SplitMix64 — the same generator family the explorer's trace streams use,
@@ -123,16 +126,27 @@ struct Worker<'m> {
     enclave: Option<EnclaveId>,
     calls: u64,
     retries: u64,
+    transient_retries: u64,
 }
 
 impl Worker<'_> {
+    /// How many [`SmError::Again`] rejections one call absorbs before the
+    /// error is surfaced to the caller. `ConcurrentCall` is retried
+    /// unboundedly (the other party's transaction *will* finish); a
+    /// transient fault carries no such guarantee — a persistently failing
+    /// backend quarantines the region, and only `recover()` can clear it —
+    /// so the retry discipline must be bounded or a worker livelocks.
+    const AGAIN_RETRY_BUDGET: u32 = 8;
+
     /// Issues one SM call through `f`, retrying on `ConcurrentCall` (the
-    /// contract fine-grained locking imposes on every caller). Spins at
+    /// contract fine-grained locking imposes on every caller) and, a
+    /// bounded number of times, on the transient-fault `Again`. Spins at
     /// most a bounded number of times before yielding the host thread, so
     /// an oversubscribed host (more workers than cores) keeps making
     /// progress.
     fn call<T>(&mut self, mut f: impl FnMut(&SecurityMonitor) -> Result<T, SmError>) -> Result<T, SmError> {
         let mut spins = 0u32;
+        let mut transient = 0u32;
         loop {
             self.calls += 1;
             match f(self.monitor) {
@@ -142,6 +156,16 @@ impl Worker<'_> {
                     if spins.is_multiple_of(64) {
                         std::thread::yield_now();
                     } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                Err(SmError::Again) if transient < Self::AGAIN_RETRY_BUDGET => {
+                    transient += 1;
+                    self.transient_retries += 1;
+                    // Deterministic exponential backoff: `2^k` spin hints,
+                    // no clocks and no host-scheduler dependence, so a
+                    // replayed run issues exactly the same call sequence.
+                    for _ in 0..(1u32 << transient.min(10)) {
                         std::hint::spin_loop();
                     }
                 }
@@ -312,6 +336,7 @@ pub fn run_concurrent(
     let total_steps = AtomicU64::new(0);
     let total_calls = AtomicU64::new(0);
     let total_retries = AtomicU64::new(0);
+    let total_transient = AtomicU64::new(0);
     let worker_error = std::sync::Mutex::new(None::<String>);
 
     let mut check_error = None;
@@ -323,6 +348,7 @@ pub fn run_concurrent(
             let total_steps = &total_steps;
             let total_calls = &total_calls;
             let total_retries = &total_retries;
+            let total_transient = &total_transient;
             let worker_error = &worker_error;
             let config = &config;
             scope.spawn(move || {
@@ -333,6 +359,7 @@ pub fn run_concurrent(
                     enclave: None,
                     calls: 0,
                     retries: 0,
+                    transient_retries: 0,
                 };
                 // Read-mostly workers pre-build their enclave and queue one
                 // probe-able message before the first round.
@@ -391,6 +418,7 @@ pub fn run_concurrent(
                 total_steps.fetch_add(steps, Ordering::Relaxed);
                 total_calls.fetch_add(worker.calls, Ordering::Relaxed);
                 total_retries.fetch_add(worker.retries, Ordering::Relaxed);
+                total_transient.fetch_add(worker.transient_retries, Ordering::Relaxed);
             });
         }
 
@@ -429,6 +457,7 @@ pub fn run_concurrent(
         steps: total_steps.load(Ordering::Relaxed),
         sm_calls: total_calls.load(Ordering::Relaxed),
         retries: total_retries.load(Ordering::Relaxed),
+        transient_retries: total_transient.load(Ordering::Relaxed),
     })
 }
 
@@ -716,6 +745,89 @@ mod tests {
         assert!(err.contains("worker 1"), "{err}");
         assert!(err.contains("global step 3"), "{err}");
         assert!(err.contains("synthetic failure"), "{err}");
+    }
+
+    #[test]
+    fn transient_mail_fault_is_retried_within_budget() {
+        use sanctorum_machine::FaultPlan;
+        let system = concurrent_system(LockingMode::FineGrained);
+        let regions = partition_regions(&system, 1).remove(0);
+        let mut worker = Worker {
+            monitor: system.monitor.as_ref(),
+            regions,
+            rng: 7,
+            enclave: None,
+            calls: 0,
+            retries: 0,
+            transient_retries: 0,
+        };
+        let os = CallerSession::os();
+        let region = worker.regions[0];
+        worker
+            .call(|m| m.block_resource(os, ResourceId::Region(region)))
+            .expect("block");
+        worker
+            .call(|m| m.clean_resource(os, ResourceId::Region(region)))
+            .expect("clean");
+        let eid = worker.build_enclave(region).expect("build enclave");
+        let session = CallerSession::enclave(eid);
+        worker.call(|m| m.accept_mail(session, 0, 0)).expect("accept");
+        // Two injected transient faults on the mail copy: the bounded retry
+        // discipline absorbs both and the third attempt delivers.
+        system.machine.fault_injector().arm(FaultPlan::FailOp {
+            site: Some("monitor.mail-copy"),
+            times: 2,
+        });
+        worker
+            .call(|m| m.send_mail(os, eid, Tainted::new(b"retried")))
+            .expect("retry absorbs the transient faults");
+        system.machine.fault_injector().disarm();
+        assert_eq!(worker.transient_retries, 2);
+        let (bytes, _) = worker.call(|m| m.get_mail(session, 0)).expect("get mail");
+        assert_eq!(bytes, b"retried");
+    }
+
+    #[test]
+    fn persistent_fault_exhausts_the_budget_and_recovery_unwedges() {
+        use sanctorum_machine::FaultPlan;
+        let system = concurrent_system(LockingMode::FineGrained);
+        let regions = partition_regions(&system, 1).remove(0);
+        let mut worker = Worker {
+            monitor: system.monitor.as_ref(),
+            regions,
+            rng: 8,
+            enclave: None,
+            calls: 0,
+            retries: 0,
+            transient_retries: 0,
+        };
+        let os = CallerSession::os();
+        let region = worker.regions[0];
+        worker
+            .call(|m| m.block_resource(os, ResourceId::Region(region)))
+            .expect("block");
+        // A persistently failing scrub quarantines the region; every retry
+        // sees Again from the quarantine gate, so the budget runs dry and
+        // the error surfaces instead of livelocking the worker.
+        system.machine.fault_injector().arm(FaultPlan::FailOp {
+            site: Some("monitor.scrub-page"),
+            times: u64::MAX,
+        });
+        let err = worker
+            .call(|m| m.clean_resource(os, ResourceId::Region(region)))
+            .unwrap_err();
+        assert_eq!(err, SmError::Again);
+        assert_eq!(worker.transient_retries, u64::from(Worker::AGAIN_RETRY_BUDGET));
+        assert!(system.monitor.quarantined_regions().contains(&region));
+        // Once the backend heals, recover() re-scrubs and releases the
+        // quarantine; the normal lifecycle resumes.
+        system.machine.fault_injector().disarm();
+        let report = system.monitor.recover();
+        assert_eq!(report.quarantine_cleared, 1);
+        assert!(system.monitor.quarantined_regions().is_empty());
+        worker
+            .call(|m| m.clean_resource(os, ResourceId::Region(region)))
+            .expect("clean succeeds after recovery");
     }
 
     #[test]

@@ -195,10 +195,25 @@ pub enum Op {
     },
     /// One attack from the scripted battery.
     Attack {
-        /// Battery index (resolved modulo [`AttackKind::ALL`]).
+        /// Battery index (resolved through [`AttackKind::resolve`]).
         kind: u64,
         /// Victim slot selector.
         slot: u64,
+    },
+    /// Crash injection: run the inner op with a crash armed at its
+    /// `point`-th fault-point crossing, then run
+    /// [`sanctorum_core::monitor::SecurityMonitor::recover`] and reconcile
+    /// the OS model against the repaired monitor. The crash-point sweep
+    /// harness wraps every op of a trace in one of these per crossed fault
+    /// point; the random sampler never draws it (crash placement is the
+    /// sweep's job, not the PRNG's).
+    Crashed {
+        /// Crash at the `point`-th fault-point crossing (0-based) of the
+        /// inner op. Points past the op's last crossing mean no crash fires
+        /// — the op completes and recovery is a no-op.
+        point: u64,
+        /// The interrupted op.
+        op: Box<Op>,
     },
 }
 
@@ -254,13 +269,16 @@ impl Op {
             Op::GetField { .. } => "get-field",
             Op::Batch { .. } => "batch",
             Op::Attack { .. } => "attack",
+            Op::Crashed { .. } => "crashed",
         }
     }
 
     /// Every op label, one per variant, in declaration order. Coverage tests
-    /// assert the sampler can reach all of them, so a new variant cannot be
-    /// added with a dead sampling arm.
-    pub const ALL_LABELS: [&'static str; 16] = [
+    /// assert the sampler can reach all of them — except `crashed`, which is
+    /// deliberately outside the sampled distribution (the crash-point sweep
+    /// places crashes exhaustively; random placement would just duplicate a
+    /// sliver of that coverage while perturbing every pinned trace digest).
+    pub const ALL_LABELS: [&'static str; 17] = [
         "build",
         "teardown",
         "run",
@@ -277,15 +295,21 @@ impl Op {
         "get-field",
         "batch",
         "attack",
+        "crashed",
     ];
 
     /// Whether the issuing hart is part of this op's semantics. `Run`,
     /// `Tick` and `Attack` install contexts / raise interrupts *on the
-    /// issuing hart*; every other op is a hart-agnostic monitor call. The
+    /// issuing hart* (and a `Crashed` wrapper inherits its inner op's
+    /// sensitivity); every other op is a hart-agnostic monitor call. The
     /// model checker uses this to avoid enumerating the same hart-agnostic
     /// op once per hart.
-    pub const fn hart_sensitive(&self) -> bool {
-        matches!(self, Op::Run { .. } | Op::Tick | Op::Attack { .. })
+    pub fn hart_sensitive(&self) -> bool {
+        match self {
+            Op::Run { .. } | Op::Tick | Op::Attack { .. } => true,
+            Op::Crashed { op, .. } => op.hart_sensitive(),
+            _ => false,
+        }
     }
 }
 
@@ -563,11 +587,12 @@ impl OpWorld {
                 self.signing.is_some() || self.os.free_region_count() > 0
             }
             Op::Attack { kind, .. } => {
-                let kind = AttackKind::ALL[(*kind % AttackKind::ALL.len() as u64) as usize];
+                let kind = AttackKind::resolve(*kind);
                 let feasible =
                     !kind.builds_own_enclave() || self.os.free_region_count() > 0;
                 !self.live.is_empty() && feasible
             }
+            Op::Crashed { op, .. } => self.is_enabled(op),
         }
     }
 
@@ -858,7 +883,7 @@ impl OpWorld {
                 }
             }
             Op::Attack { kind, slot } => {
-                let kind = AttackKind::ALL[(*kind % AttackKind::ALL.len() as u64) as usize];
+                let kind = AttackKind::resolve(*kind);
                 let index = self.slot(*slot).expect("gated by is_enabled");
                 let victim = self.live[index].built.clone();
                 match kind.run(&self.system, &mut self.os, &victim, &victim, hart) {
@@ -870,7 +895,61 @@ impl OpWorld {
                     Err(err) => OpOutcome::done(label, status_of(&err), 0),
                 }
             }
+            Op::Crashed { point, op } => {
+                use sanctorum_machine::{FaultPlan, InjectedCrash};
+                sanctorum_machine::fault::silence_injected_crash_reports();
+                self.system.machine.fault_injector().arm(FaultPlan::CrashAt {
+                    site: None,
+                    crossing: *point,
+                });
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.execute(hart, op)
+                }));
+                self.system.machine.fault_injector().disarm();
+                let fired = match result {
+                    // The inner op completed: it crossed fewer than `point`
+                    // fault points, so no crash fired.
+                    Ok(_) => false,
+                    Err(payload) => {
+                        // Only the injected crash is survivable; any other
+                        // panic is a real bug and keeps unwinding.
+                        if payload.downcast_ref::<InjectedCrash>().is_none() {
+                            std::panic::resume_unwind(payload);
+                        }
+                        true
+                    }
+                };
+                // Reboot-and-recover: the journal replays pending intents,
+                // the quarantine is retried, and the OS model re-derives its
+                // bookkeeping from the repaired monitor. All of it is
+                // idempotent, so the uncrashed path runs it too — the op's
+                // observable protocol is the same either way.
+                let report = self.system.monitor.recover();
+                self.reconcile_after_recovery();
+                OpOutcome::done(
+                    label,
+                    status::OK,
+                    (report.replayed as u64) << 1 | u64::from(fired),
+                )
+            }
         }
+    }
+
+    /// The model-layer half of crash recovery: after
+    /// [`sanctorum_core::monitor::SecurityMonitor::recover`] repaired the
+    /// monitor's shared state, drop roster entries for enclaves the crash
+    /// destroyed mid-create and re-derive the OS free pool from the
+    /// monitor's resource map (a crash between the SM calls of a multi-call
+    /// sequence leaves the OS's private bookkeeping stale).
+    pub fn reconcile_after_recovery(&mut self) {
+        let live_ids = self.system.monitor.enclaves();
+        self.live.retain(|e| live_ids.contains(&e.built.eid));
+        if let Some(service) = &self.signing {
+            if !live_ids.contains(&service.built.eid) {
+                self.signing = None;
+            }
+        }
+        self.os.reconcile_free_pool();
     }
 
     /// Checks that the SM-recorded identity tag of a delivered message is
@@ -997,6 +1076,9 @@ impl OpWorld {
                     identity_ok &= self.identity_is_truthful(&identity);
                     drained_bytes.extend_from_slice(&bytes);
                 }
+                // A transient backend fault defers delivery; the message
+                // stays queued, which is degradation, not inconsistency.
+                Err(SmError::Again) => break,
                 Err(_) => {
                     // peek saw a message but get could not deliver it —
                     // a fabric consistency failure.
@@ -1222,29 +1304,30 @@ mod tests {
         let labels: std::collections::BTreeSet<&str> =
             ops.iter().map(|o| o.label()).collect();
         for label in Op::ALL_LABELS {
+            // `crashed` is deliberately outside the sampled distribution —
+            // the crash-point sweep places crashes exhaustively instead.
+            if label == "crashed" {
+                continue;
+            }
             assert!(labels.contains(label), "sampler never drew {label:?}");
         }
-        assert_eq!(labels.len(), Op::ALL_LABELS.len(), "unknown label drawn");
+        assert!(!labels.contains("crashed"), "the sampler must not draw crash ops");
+        assert_eq!(labels.len(), Op::ALL_LABELS.len() - 1, "unknown label drawn");
 
-        let kinds: std::collections::BTreeSet<usize> = ops
+        // Sampled attack selectors are huge PRNG words, which resolve into
+        // the pinned SAMPLED battery — all of it, and nothing else (newer
+        // attacks are reached only through small direct selectors).
+        let kinds: std::collections::BTreeSet<AttackKind> = ops
             .iter()
             .filter_map(|o| match o {
-                Op::Attack { kind, .. } => {
-                    Some((*kind % AttackKind::ALL.len() as u64) as usize)
-                }
+                Op::Attack { kind, .. } => Some(AttackKind::resolve(*kind)),
                 _ => None,
             })
             .collect();
         assert_eq!(
-            kinds.len(),
-            AttackKind::ALL.len(),
-            "attack kinds never drawn: {:?}",
-            AttackKind::ALL
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| !kinds.contains(i))
-                .map(|(_, k)| k)
-                .collect::<Vec<_>>()
+            kinds,
+            AttackKind::SAMPLED.iter().copied().collect(),
+            "sampled selectors must cover exactly the SAMPLED battery"
         );
 
         let images: std::collections::BTreeSet<ImageKind> = ops

@@ -347,6 +347,45 @@ impl Os {
         Ok(())
     }
 
+    /// Pushes a region the OS has re-acquired through raw Fig. 2 calls
+    /// (clean + grant outside `teardown_enclave`) back onto the free pool.
+    pub fn return_region(&mut self, region: RegionId) {
+        if !self.free_regions.contains(&region) {
+            self.free_regions.push(region);
+        }
+    }
+
+    /// Re-derives the free pool from the monitor's resource map — the OS's
+    /// half of crash recovery. A crash can interrupt a multi-call sequence
+    /// (teardown, reserve) between the SM calls, leaving the OS's
+    /// bookkeeping out of sync with the monitor's: a popped region that was
+    /// never blocked, or a cleaned region never pushed back. Entries the
+    /// monitor no longer shows as OS-owned are dropped; OS-owned regions
+    /// missing from the pool are re-appended in ascending id order (the
+    /// surviving prefix keeps its order, so replay determinism holds for
+    /// unaffected regions). The staging region never enters the pool.
+    pub fn reconcile_free_pool(&mut self) {
+        let config = self.machine.config();
+        let staging = RegionId::new(
+            ((self.staging_base.as_u64() - config.memory_base.as_u64())
+                / config.dram_region_size as u64) as u32,
+        );
+        let monitor = &self.monitor;
+        let os_owned = |r: RegionId| {
+            matches!(
+                monitor.resource_state(ResourceId::Region(r)),
+                Ok(ResourceState::Owned(DomainKind::Untrusted))
+            )
+        };
+        self.free_regions.retain(|r| os_owned(*r));
+        for index in 0..config.num_regions() as u32 {
+            let region = RegionId::new(index);
+            if region != staging && os_owned(region) && !self.free_regions.contains(&region) {
+                self.free_regions.push(region);
+            }
+        }
+    }
+
     /// Runs an untrusted (non-enclave) workload on `core` with physical
     /// addressing — used by benchmarks needing an OS-side baseline.
     pub fn run_untrusted(&mut self, core: CoreId, program: &GuestProgram, steps: u64) -> ExitReason {

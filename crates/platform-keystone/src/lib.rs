@@ -25,7 +25,7 @@ use sanctorum_hal::isolation::{
 };
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::access::AccessRange;
-use sanctorum_machine::Machine;
+use sanctorum_machine::{fault_point, Crossing, Machine};
 use std::sync::Arc;
 
 /// The Keystone isolation backend.
@@ -163,6 +163,13 @@ impl IsolationBackend for KeystoneBackend {
                 resource: "pmp entries",
             });
         }
+        // atomic: crossed before any PMP entry is written — a crash or
+        // injected failure here leaves the previous assignment fully intact.
+        if fault_point!(self.machine.fault_injector(), "backend.assign-region")
+            == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
         let range = AccessRange {
             base: info.base,
             len: info.len,
@@ -222,11 +229,25 @@ impl IsolationBackend for KeystoneBackend {
 
     fn tlb_shootdown(&mut self, region: RegionId) -> Result<Cycles, IsolationError> {
         let info = self.region_geometry(region)?;
+        // atomic: crossed before the shootdown is issued; the caller retries
+        // the whole shootdown on failure.
+        if fault_point!(self.machine.fault_injector(), "backend.tlb-shootdown")
+            == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
         Ok(self.machine.tlb_shootdown(info.base, info.len))
     }
 
     fn flush_region_cache(&mut self, region: RegionId) -> Result<Cycles, IsolationError> {
         let _ = self.region_geometry(region)?;
+        // atomic: crossed before any cache line is evicted; a failed flush is
+        // retried from scratch.
+        if fault_point!(self.machine.fault_injector(), "backend.flush-region-cache")
+            == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
         // No partitioning: the whole shared cache is flushed.
         let cost = self.machine.with_cache_mut(|c| c.flush_all());
         self.machine.charge(cost);
@@ -243,6 +264,13 @@ impl IsolationBackend for KeystoneBackend {
 
     fn set_dma_blocked(&mut self, region: RegionId, blocked: bool) -> Result<Cycles, IsolationError> {
         let info = self.region_geometry(region)?;
+        // atomic: crossed before the DMA filter bit flips — the single-word
+        // update below cannot be observed half-done.
+        if fault_point!(self.machine.fault_injector(), "backend.set-dma-blocked")
+            == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
         self.machine.with_access_mut(|a| {
             if let Some(range) = a.range_of_mut(info.base) {
                 range.dma_blocked = blocked;
@@ -344,5 +372,40 @@ mod tests {
         assert!(backend.region_owner(bogus).is_err());
         assert!(backend.flush_region_cache(bogus).is_err());
         assert!(backend.set_dma_blocked(bogus, true).is_err());
+    }
+
+    #[test]
+    fn injected_transient_fault_fails_cleanly_then_recovers() {
+        use sanctorum_machine::FaultPlan;
+        let (machine, mut backend) = setup();
+        machine.fault_injector().arm(FaultPlan::FailOp {
+            site: Some("backend.assign-region"),
+            times: 2,
+        });
+        for _ in 0..2 {
+            assert_eq!(
+                backend.assign_region(RegionId::new(1), enclave(7), MemPerms::RWX),
+                Err(IsolationError::TransientFault)
+            );
+            assert_eq!(
+                backend.region_owner(RegionId::new(1)).unwrap(),
+                DomainKind::Untrusted,
+                "a failed PMP write must leave the previous assignment intact"
+            );
+        }
+        backend
+            .assign_region(RegionId::new(1), enclave(7), MemPerms::RWX)
+            .unwrap();
+        assert_eq!(backend.region_owner(RegionId::new(1)).unwrap(), enclave(7));
+        machine.fault_injector().disarm();
+    }
+
+    #[test]
+    fn disarmed_injector_does_not_perturb_the_backend() {
+        let (machine, mut backend) = setup();
+        backend
+            .assign_region(RegionId::new(2), enclave(3), MemPerms::RWX)
+            .unwrap();
+        assert_eq!(machine.fault_injector().crossings(), 0);
     }
 }

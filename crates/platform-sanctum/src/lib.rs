@@ -22,7 +22,7 @@ use sanctorum_hal::isolation::{
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::access::AccessRange;
 use sanctorum_machine::cache::PartitionId;
-use sanctorum_machine::Machine;
+use sanctorum_machine::{fault_point, Crossing, Machine};
 use std::sync::Arc;
 
 /// Number of LLC partitions (page colours) the backend divides the cache
@@ -130,6 +130,13 @@ impl IsolationBackend for SanctumBackend {
         perms: MemPerms,
     ) -> Result<Cycles, IsolationError> {
         let info = self.region_geometry(region)?;
+        // atomic: crossed before the region map is touched — a crash or
+        // injected failure here leaves the previous assignment fully intact.
+        if fault_point!(self.machine.fault_injector(), "backend.assign-region")
+            == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
         let range = AccessRange {
             base: info.base,
             len: info.len,
@@ -187,11 +194,25 @@ impl IsolationBackend for SanctumBackend {
 
     fn tlb_shootdown(&mut self, region: RegionId) -> Result<Cycles, IsolationError> {
         let info = self.region_geometry(region)?;
+        // atomic: crossed before any TLB is invalidated — a failed shootdown
+        // invalidates nothing, and the caller retries or quarantines.
+        if fault_point!(self.machine.fault_injector(), "backend.tlb-shootdown")
+            == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
         Ok(self.machine.tlb_shootdown(info.base, info.len))
     }
 
     fn flush_region_cache(&mut self, region: RegionId) -> Result<Cycles, IsolationError> {
         let _ = self.region_geometry(region)?;
+        // atomic: crossed before the partition flush — a failure evicts
+        // nothing, so the region's lines are either all flushed or all kept.
+        if fault_point!(self.machine.fault_injector(), "backend.flush-region-cache")
+            == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
         let cost = self
             .machine
             .with_cache_mut(|c| c.flush_partition(Self::partition_for(region)));
@@ -209,6 +230,13 @@ impl IsolationBackend for SanctumBackend {
 
     fn set_dma_blocked(&mut self, region: RegionId, blocked: bool) -> Result<Cycles, IsolationError> {
         let info = self.region_geometry(region)?;
+        // atomic: crossed before the DMA bit flips — the toggle is a single
+        // register write that either happened or did not.
+        if fault_point!(self.machine.fault_injector(), "backend.set-dma-blocked")
+            == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
         self.machine.with_access_mut(|a| {
             if let Some(range) = a.range_of_mut(info.base) {
                 range.dma_blocked = blocked;
@@ -222,7 +250,7 @@ impl IsolationBackend for SanctumBackend {
 mod tests {
     use super::*;
     use sanctorum_hal::domain::EnclaveId;
-    use sanctorum_machine::MachineConfig;
+    use sanctorum_machine::{FaultInjector, FaultPlan, MachineConfig};
 
     fn setup() -> (Arc<Machine>, SanctumBackend) {
         let machine = Arc::new(Machine::new(MachineConfig::small()));
@@ -327,6 +355,34 @@ mod tests {
     fn declares_no_capacity_limit() {
         let (_, backend) = setup();
         assert_eq!(backend.capacity(), PlatformCapacity::UNLIMITED);
+    }
+
+    #[test]
+    fn injected_transient_fault_fails_cleanly_then_recovers() {
+        let (machine, mut backend) = setup();
+        let region = RegionId::new(2);
+        machine.fault_injector().arm(FaultPlan::FailOp {
+            site: Some("backend.assign-region"),
+            times: 2,
+        });
+        for _ in 0..2 {
+            let err = backend.assign_region(region, enclave(9), MemPerms::RWX).unwrap_err();
+            assert_eq!(err, IsolationError::TransientFault);
+            // The failed assignment mutated nothing: still OS-owned.
+            assert_eq!(backend.region_owner(region).unwrap(), DomainKind::Untrusted);
+        }
+        // Third attempt: the fault budget is exhausted.
+        backend.assign_region(region, enclave(9), MemPerms::RWX).unwrap();
+        assert_eq!(backend.region_owner(region).unwrap(), enclave(9));
+        machine.fault_injector().disarm();
+    }
+
+    #[test]
+    fn disarmed_injector_does_not_perturb_the_backend() {
+        let (machine, mut backend) = setup();
+        let _: &FaultInjector = machine.fault_injector();
+        backend.assign_region(RegionId::new(1), enclave(3), MemPerms::RW).unwrap();
+        assert_eq!(machine.fault_injector().crossings(), 0);
     }
 
     #[test]

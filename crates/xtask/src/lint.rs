@@ -1,6 +1,6 @@
 //! The custom static-analysis pass behind `cargo xtask lint`.
 //!
-//! Three source-level rules the Rust compiler cannot enforce by itself:
+//! Four source-level rules the Rust compiler cannot enforce by itself:
 //!
 //! * **Rule A — proof confinement.** `Checked { .. }` struct expressions may
 //!   appear only in `crates/trust/src/sanitizer.rs`. The struct's private
@@ -15,6 +15,15 @@
 //!   `OrderedRwLock` declaration (struct field, type alias, or static) must
 //!   carry a comment naming its rank from `lockorder.rs`'s documented
 //!   hierarchy, so the declared hierarchy and the code never drift apart.
+//! * **Rule D — fault-point classification.** Every `fault_point!(` call
+//!   site must carry a `// journal:` or `// atomic:` comment (same line or
+//!   the contiguous comment block above) stating its crash-consistency
+//!   story: `journal:` — the crossing sits inside a journaled window and a
+//!   crash there is repaired by replaying the pending intent entry;
+//!   `atomic:` — the crossing precedes an all-or-nothing step, so a crash
+//!   or injected failure leaves the previous state intact. An unclassified
+//!   crossing is untested crash surface by construction (see
+//!   ARCHITECTURE.md, "Fault model & recovery").
 //!
 //! The pass is a deliberately simple hand-rolled scanner (the container has
 //! no `syn`): comments and string literals are blanked before rules A and B
@@ -137,6 +146,7 @@ fn check_file(
     if rel != LOCKORDER_FILE {
         violations.extend(undocumented_lock_ranks(rel, src, &code, ranks));
     }
+    violations.extend(unclassified_fault_points(rel, src, &code));
     violations
 }
 
@@ -339,6 +349,53 @@ fn undocumented_lock_ranks(
                         "OrderedMutex"
                     }
                 ),
+            });
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------------
+// rule D: fault-point classification
+// ---------------------------------------------------------------------------
+
+/// Flags `fault_point!(` call sites whose surrounding comment does not
+/// state a `journal:` or `atomic:` crash-consistency classification.
+///
+/// Scanning the stripped `code` skips prose mentions in comments and
+/// strings, and the `(` requirement skips the `macro_rules! fault_point`
+/// definition itself; the classification comment is then searched in the
+/// raw source, on the call line or the contiguous comment block above it
+/// (the same discipline rule C uses for lock ranks).
+fn unclassified_fault_points(rel: &str, raw: &str, code: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    for (idx, line) in code.lines().enumerate() {
+        if !line.contains("fault_point!(") {
+            continue;
+        }
+        let classified = |candidate: &str| {
+            candidate.contains("journal:") || candidate.contains("atomic:")
+        };
+        let mut documented = classified(raw_lines.get(idx).copied().unwrap_or(""));
+        let mut above = idx;
+        while !documented && above > 0 {
+            above -= 1;
+            let candidate = raw_lines[above].trim_start();
+            if candidate.starts_with("///") || candidate.starts_with("//") {
+                documented = classified(candidate);
+            } else {
+                break;
+            }
+        }
+        if !documented {
+            violations.push(Violation {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "fault-classification",
+                message: "`fault_point!` call site lacks a `// journal:` or `// atomic:` \
+                          crash-consistency classification comment"
+                    .to_string(),
             });
         }
     }
@@ -623,6 +680,54 @@ mod tests {
             }
         "#;
         assert!(lint_fixture("crates/modelcheck/src/search.rs", documented).is_empty());
+    }
+
+    #[test]
+    fn seeded_unclassified_fault_point_fails() {
+        let fixture = r#"
+            fn scrub(&self) {
+                if fault_point!(self.machine.fault_injector(), "monitor.scrub-page")
+                    == Crossing::FailOp
+                {
+                    return Err(SmError::Again);
+                }
+            }
+        "#;
+        let violations = lint_fixture("crates/core/src/evil.rs", fixture);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "fault-classification");
+        assert_eq!(violations[0].line, 3);
+    }
+
+    #[test]
+    fn classified_fault_points_and_prose_mentions_are_clean() {
+        // Same-line and comment-block-above classifications both count.
+        let classified = r#"
+            fn scrub(&self) {
+                // journal: retried under recovery; a failure keeps the
+                // quarantine in place for the next recover() pass.
+                if fault_point!(inj, "monitor.scrub-page") == Crossing::FailOp {}
+                let _ = fault_point!(inj, "journal.record"); // atomic: append only
+            }
+        "#;
+        assert!(lint_fixture("crates/core/src/fine.rs", classified).is_empty());
+        // A stale comment block (interrupted by code) does not classify.
+        let interrupted = r#"
+            // atomic: this comment documents the *other* crossing.
+            let geometry = self.region_geometry(region)?;
+            let _ = fault_point!(inj, "backend.assign-region");
+        "#;
+        assert_eq!(lint_fixture("crates/core/src/evil.rs", interrupted).len(), 1);
+        // Prose mentions in comments/strings and the macro definition
+        // (no `(` after the name) never fire the rule.
+        let prose = r#"
+            // The fault_point!(site) macro is documented in fault.rs.
+            macro_rules! fault_point {
+                ($injector:expr, $site:expr $(,)?) => { $injector.cross($site) };
+            }
+            let s = "fault_point!(inj, \"backend.assign-region\")";
+        "#;
+        assert!(lint_fixture("crates/core/src/docs.rs", prose).is_empty());
     }
 
     #[test]

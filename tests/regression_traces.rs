@@ -9,6 +9,7 @@
 //! checker's counterexamples are reported in: a future violation found by
 //! `sanctorum-modelcheck` lands here as one more file.
 
+use sanctorum_explorer::crash::crash_machine_config;
 use sanctorum_explorer::trace::parse_trace;
 use sanctorum_explorer::{explorer_machine_config, Explorer, ExplorerConfig};
 use sanctorum_machine::MachineConfig;
@@ -47,6 +48,20 @@ fn pmp_exhaustion_strands_no_regions() {
 #[test]
 fn recycled_id_mail_routing_stays_fixed() {
     replay_clean("recycled_id_mail.trace", explorer_machine_config());
+}
+
+#[test]
+fn crash_midway_through_delete_recovers_and_stays_fixed() {
+    // Fault-point crossings are platform-invariant, so the `crashed` op's
+    // differential detail words (replayed count, crash fired) agree across
+    // the pair and the trace replays through the same differential harness
+    // as the rest of the corpus.
+    replay_clean("crash_midway_delete.trace", crash_machine_config());
+}
+
+#[test]
+fn crash_mid_scrub_leaves_region_blocked_and_stays_fixed() {
+    replay_clean("crash_mid_scrub_clean.trace", crash_machine_config());
 }
 
 #[test]
