@@ -24,9 +24,18 @@
 //! * **fine at 4 threads ≥ 2× fine at 1 thread, read-mostly** — true
 //!   parallel scaling. Only enforced when the host actually has ≥ 4 CPUs
 //!   (`host_cpus` is recorded in the JSON either way).
+//! * **fine at 8 threads ≥ 3× fine at 1 thread, mixed-mutation** — the
+//!   *write path* scales too: with the epoch read-side, per-hart id
+//!   allocation and batched backend flushes, lifecycle churn must not
+//!   serialize on the metadata locks. Only enforced at `host_cpus >= 8`;
+//!   the ratio is recorded in the JSON either way.
 //! * **`--baseline PATH`** — single-thread FineGrained read-mostly
 //!   throughput must not regress more than 2× against the committed JSON,
 //!   normalized by each run's `calibration_hashes_per_second`.
+//!
+//! Each cell additionally records its **retry rate** (`ConcurrentCall`
+//! retries per committed step) — the direct measure of write-path
+//! contention the mutation-scaling work drives down.
 //!
 //! Run with: `cargo run --release -p sanctorum-bench --bin scaling_stats`
 
@@ -40,6 +49,11 @@ use std::time::Instant;
 const MAX_REGRESSION_FACTOR: f64 = 2.0;
 const CONTENTION_FLOOR: f64 = 2.0;
 const SCALING_FLOOR: f64 = 2.0;
+const MIXED_SCALING_FLOOR: f64 = 3.0;
+/// Per-hart id-allocation batch for the fine-grained cells (the global-lock
+/// cells keep the legacy batch of 1: the giant lock serializes allocation
+/// anyway, and batch 1 is the configuration the determinism suite pins).
+const FINE_ID_BATCH: usize = 16;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +64,8 @@ struct Cell {
     steps_per_second: f64,
     sm_calls_per_second: f64,
     retries: u64,
+    /// `ConcurrentCall` retries per committed step (write-path contention).
+    retry_rate: f64,
 }
 
 fn mode_name(mode: LockingMode) -> &'static str {
@@ -73,6 +89,10 @@ fn run_cell(
         concurrent_machine_config(),
         SmConfig {
             locking,
+            id_batch: match locking {
+                LockingMode::FineGrained => FINE_ID_BATCH,
+                LockingMode::Global => 1,
+            },
             ..SmConfig::default()
         },
     );
@@ -93,6 +113,7 @@ fn run_cell(
         steps_per_second: stats.steps as f64 / elapsed,
         sm_calls_per_second: stats.sm_calls as f64 / elapsed,
         retries: stats.retries,
+        retry_rate: stats.retry_rate(),
     }
 }
 
@@ -147,13 +168,15 @@ fn main() {
             for threads in THREAD_COUNTS {
                 let cell = run_cell(workload, locking, threads, rounds, ops / threads);
                 println!(
-                    "{:>14} {:>12} {} threads: {:>12.0} steps/s {:>12.0} calls/s ({} retries)",
+                    "{:>14} {:>12} {} threads: {:>12.0} steps/s {:>12.0} calls/s \
+                     ({} retries, {:.3} retries/step)",
                     workload.name(),
                     mode_name(locking),
                     threads,
                     cell.steps_per_second,
                     cell.sm_calls_per_second,
-                    cell.retries
+                    cell.retries,
+                    cell.retry_rate
                 );
                 cells.push(cell);
             }
@@ -163,11 +186,21 @@ fn main() {
     let fine_1t = find(&cells, WorkloadProfile::ReadMostly, LockingMode::FineGrained, 1);
     let fine_4t = find(&cells, WorkloadProfile::ReadMostly, LockingMode::FineGrained, 4);
     let global_4t = find(&cells, WorkloadProfile::ReadMostly, LockingMode::Global, 4);
+    let mixed_fine_1t = find(&cells, WorkloadProfile::MixedMutation, LockingMode::FineGrained, 1);
+    let mixed_fine_8t = find(&cells, WorkloadProfile::MixedMutation, LockingMode::FineGrained, 8);
     let contention_ratio = fine_4t.steps_per_second / global_4t.steps_per_second;
     let scaling_ratio = fine_4t.steps_per_second / fine_1t.steps_per_second;
+    let mixed_scaling_ratio = mixed_fine_8t.steps_per_second / mixed_fine_1t.steps_per_second;
     println!("\nfine/global at 4 threads (read-mostly): {contention_ratio:.2}x (floor {CONTENTION_FLOOR}x)");
     println!(
         "fine 4t/1t (read-mostly):               {scaling_ratio:.2}x (floor {SCALING_FLOOR}x, enforced at host_cpus >= 4)"
+    );
+    println!(
+        "fine 8t/1t (mixed-mutation):            {mixed_scaling_ratio:.2}x (floor {MIXED_SCALING_FLOOR}x, enforced at host_cpus >= 8)"
+    );
+    println!(
+        "fine 8t retry rate (mixed-mutation):    {:.3} retries/step",
+        mixed_fine_8t.retry_rate
     );
 
     if let Some(path) = &out {
@@ -176,13 +209,15 @@ fn main() {
             let comma = if index + 1 == cells.len() { "" } else { "," };
             results.push_str(&format!(
                 "    {{ \"workload\": \"{}\", \"locking\": \"{}\", \"threads\": {}, \
-                 \"steps_per_second\": {:.1}, \"sm_calls_per_second\": {:.1}, \"retries\": {} }}{comma}\n",
+                 \"steps_per_second\": {:.1}, \"sm_calls_per_second\": {:.1}, \"retries\": {}, \
+                 \"retry_rate\": {:.4} }}{comma}\n",
                 cell.workload.name(),
                 mode_name(cell.locking),
                 cell.threads,
                 cell.steps_per_second,
                 cell.sm_calls_per_second,
-                cell.retries
+                cell.retries,
+                cell.retry_rate
             ));
         }
         let json = format!(
@@ -196,11 +231,16 @@ fn main() {
   "four_thread_global_read_mostly_steps_per_second": {:.1},
   "fine_vs_global_4t_read_mostly_ratio": {contention_ratio:.2},
   "fine_4t_vs_1t_read_mostly_ratio": {scaling_ratio:.2},
+  "fine_8t_vs_1t_mixed_mutation_ratio": {mixed_scaling_ratio:.2},
+  "fine_8t_mixed_mutation_retry_rate": {:.4},
   "results": [
 {results}  ]
 }}
 "#,
-            fine_1t.steps_per_second, fine_4t.steps_per_second, global_4t.steps_per_second,
+            fine_1t.steps_per_second,
+            fine_4t.steps_per_second,
+            global_4t.steps_per_second,
+            mixed_fine_8t.retry_rate,
         );
         std::fs::write(path, json).expect("write result JSON");
         println!("wrote {path}");
@@ -219,6 +259,14 @@ fn main() {
              throughput (floor {SCALING_FLOOR}x) despite {host_cpus} host CPUs"
         );
         std::process::exit(4);
+    }
+    if host_cpus >= 8 && mixed_scaling_ratio < MIXED_SCALING_FLOOR {
+        eprintln!(
+            "FAIL: mixed-mutation fine-grained at 8 threads is only {mixed_scaling_ratio:.2}x \
+             its single-thread throughput (floor {MIXED_SCALING_FLOOR}x) despite {host_cpus} \
+             host CPUs — the write path is serializing"
+        );
+        std::process::exit(5);
     }
 
     if let Some(path) = &baseline {

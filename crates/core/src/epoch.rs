@@ -1,0 +1,239 @@
+//! Epoch-based read-side for the monitor's read-mostly lookup tables.
+//!
+//! The enclave and thread tables are read on every call (id → handle
+//! resolution, audit walks, the delete-path mail purge) but mutated only by
+//! lifecycle calls. A plain `RwLock` makes those readers *block* whenever a
+//! writer holds the table — on the mutation-heavy scaling workload the
+//! lifecycle churn turns every lookup into a potential stall. An
+//! [`EpochCell`] removes the read-side blocking entirely, RCU-style:
+//!
+//! * **Readers** ([`EpochCell::load`]) grab the current snapshot `Arc` and
+//!   never wait on a writer. The loop below is wait-free in practice: a
+//!   reader only retries when a publish moved the current-slot pointer
+//!   between its version load and its slot acquisition, and publishes are
+//!   rare lifecycle events.
+//! * **Writers** ([`EpochCell::publish`]) build the next snapshot under the
+//!   existing ranked table lock (which already serializes writers), install
+//!   it, and push the previous snapshot onto a retire list.
+//! * **Retirement** ([`EpochCell::quiesce`]) drops retired snapshots whose
+//!   reference count shows no reader still holds them. The explorer's
+//!   quiescent barriers call this through [`crate::monitor::SecurityMonitor::audit`],
+//!   so retired epochs drain at exactly the points the invariant kernel
+//!   already treats as quiescent.
+//!
+//! The cell is plain safe Rust over two `parking_lot::RwLock` slots and an
+//! atomic version word — no hand-rolled pointer reclamation. The version's
+//! low bit selects the slot holding the *current* snapshot; a publish writes
+//! the other slot and flips the bit. A reader whose slot read is beaten by a
+//! publish fails the `try_read` (the writer is rewriting what the reader
+//! thought was current) and re-resolves; it never blocks.
+//!
+//! Each cell carries a [`LockRank`] so the whole epoch domain participates
+//! in the lock-order discipline of [`crate::lockorder`]: `load`, `publish`
+//! and `quiesce` all record the rank on the thread's shadow stack for their
+//! duration, so e.g. publishing a table snapshot while holding a lock above
+//! the cell's rank panics in debug builds exactly like a misordered mutex.
+
+use crate::lockorder::{hold, LockRank};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A double-buffered snapshot cell with non-blocking readers (see the
+/// module docs for the protocol).
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    /// This epoch domain's position in the monitor's lock order.
+    rank: LockRank,
+    /// Publish counter; bit 0 selects the slot holding the current snapshot.
+    version: AtomicU64,
+    /// The two snapshot slots. The slot named by `version & 1` is current;
+    /// a publish rewrites the *other* slot before flipping the version.
+    slots: [RwLock<Arc<T>>; 2],
+    /// Snapshots replaced by a publish but possibly still referenced by a
+    /// reader; drained at quiescence.
+    retired: Mutex<Vec<Arc<T>>>,
+}
+
+impl<T> EpochCell<T> {
+    /// Creates a cell at `rank` holding `initial` as the current snapshot.
+    pub fn new(rank: LockRank, initial: T) -> Self {
+        let initial = Arc::new(initial);
+        Self {
+            rank,
+            version: AtomicU64::new(0),
+            slots: [RwLock::new(Arc::clone(&initial)), RwLock::new(initial)],
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// This epoch domain's position in the lock hierarchy.
+    pub const fn rank(&self) -> LockRank {
+        self.rank
+    }
+
+    /// Returns the current snapshot without ever blocking on a writer.
+    ///
+    /// The `try_read` on the current slot can only fail while a publish is
+    /// flipping the version underneath us — the slot we resolved is being
+    /// rewritten as the *next* snapshot — in which case re-reading the
+    /// version names the freshly published slot and succeeds.
+    pub fn load(&self) -> Arc<T> {
+        let _rank = hold(self.rank);
+        loop {
+            let version = self.version.load(Ordering::Acquire);
+            let slot = (version & 1) as usize;
+            if let Some(guard) = self.slots[slot].try_read() {
+                return Arc::clone(&guard);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Installs `next` as the current snapshot and retires the previous one.
+    ///
+    /// Callers must already be serialized against each other — the monitor
+    /// publishes while still holding the write lock of the table the cell
+    /// mirrors, which is what makes the two-slot protocol sufficient. The
+    /// write below waits only for in-flight readers of the stale slot (each
+    /// holds it just long enough to clone an `Arc`), never for other
+    /// writers.
+    pub fn publish(&self, next: Arc<T>) {
+        let _rank = hold(self.rank);
+        let version = self.version.load(Ordering::Acquire);
+        let stale = ((version & 1) ^ 1) as usize;
+        let previous = {
+            let mut slot = self.slots[stale].write();
+            std::mem::replace(&mut *slot, next)
+        };
+        self.version.store(version.wrapping_add(1), Ordering::Release);
+        self.retired.lock().push(previous);
+    }
+
+    /// Drops every retired snapshot no reader still references. Called at
+    /// quiescent points; snapshots still held by a straggling reader simply
+    /// survive to the next quiescence. Returns how many were reclaimed.
+    ///
+    /// A snapshot is reader-held only when its `strong_count` exceeds the
+    /// references the cell itself owns: duplicate entries on the retire list
+    /// and any copy still sitting in a slot (the initial snapshot seeds both
+    /// slots, so its first retirement leaves a slot copy behind).
+    pub fn quiesce(&self) -> usize {
+        let _rank = hold(self.rank);
+        let mut retired = self.retired.lock();
+        let before = retired.len();
+        let slot_ptrs: Vec<*const T> = self
+            .slots
+            .iter()
+            .map(|slot| Arc::as_ptr(&slot.read()))
+            .collect();
+        let mut owned: BTreeMap<*const T, usize> = BTreeMap::new();
+        for snapshot in retired.iter() {
+            *owned.entry(Arc::as_ptr(snapshot)).or_default() += 1;
+        }
+        retired.retain(|snapshot| {
+            let ptr = Arc::as_ptr(snapshot);
+            let ours = owned[&ptr] + slot_ptrs.iter().filter(|p| **p == ptr).count();
+            Arc::strong_count(snapshot) > ours
+        });
+        before - retired.len()
+    }
+
+    /// Number of retired snapshots awaiting reclamation (diagnostic).
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(initial: u64) -> EpochCell<u64> {
+        EpochCell::new(LockRank(34), initial)
+    }
+
+    #[test]
+    fn load_returns_the_latest_published_snapshot() {
+        let cell = cell(1);
+        assert_eq!(*cell.load(), 1);
+        cell.publish(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        cell.publish(Arc::new(3));
+        cell.publish(Arc::new(4));
+        assert_eq!(*cell.load(), 4);
+    }
+
+    #[test]
+    fn retired_snapshots_drain_at_quiescence() {
+        let cell = cell(1);
+        cell.publish(Arc::new(2));
+        cell.publish(Arc::new(3));
+        assert_eq!(cell.retired_len(), 2);
+        // No reader holds the retired snapshots: both reclaim.
+        assert_eq!(cell.quiesce(), 2);
+        assert_eq!(cell.retired_len(), 0);
+    }
+
+    #[test]
+    fn a_held_snapshot_survives_quiescence_until_released() {
+        let cell = cell(1);
+        let held = cell.load();
+        cell.publish(Arc::new(2));
+        // The reader still references epoch 1: it must not be reclaimed.
+        assert_eq!(cell.quiesce(), 0);
+        assert_eq!(cell.retired_len(), 1);
+        assert_eq!(*held, 1, "reader's snapshot is immutable despite publish");
+        drop(held);
+        assert_eq!(cell.quiesce(), 1);
+    }
+
+    #[test]
+    fn readers_never_block_on_a_concurrent_publisher() {
+        use std::sync::atomic::AtomicBool;
+        let cell = Arc::new(cell(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let seen = *cell.load();
+                    assert!(seen >= last, "snapshots must be monotone");
+                    last = seen;
+                }
+                last
+            }));
+        }
+        for value in 1..=1000u64 {
+            cell.publish(Arc::new(value));
+            if value.is_multiple_of(64) {
+                cell.quiesce();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            assert!(reader.join().expect("reader thread") <= 1000);
+        }
+        // Everything retires once the readers are gone.
+        cell.quiesce();
+        assert_eq!(cell.retired_len(), 0);
+        assert_eq!(*cell.load(), 1000);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn epoch_operations_respect_the_lock_hierarchy() {
+        use crate::lockorder::OrderedMutex;
+        let high = OrderedMutex::new(LockRank(90), ());
+        let cell = cell(1);
+        let _guard = high.lock();
+        // Loading a rank-34 epoch while holding rank 90 is a violation,
+        // exactly as a misordered mutex acquisition would be.
+        let _ = cell.load();
+    }
+}

@@ -23,7 +23,9 @@
 //!   (Section V-A) plus a global-lock build for the ablation study
 //!   ([`monitor::LockingMode`]), backed by a documented lock hierarchy with
 //!   a debug-build order checker ([`lockorder`]) and a resource map sharded
-//!   for true multi-hart parallelism ([`resource::ShardedResourceMap`]).
+//!   for true multi-hart parallelism ([`resource::ShardedResourceMap`]), with
+//!   an epoch-based non-blocking read-side for the lookup tables ([`epoch`])
+//!   and per-hart batched id allocation ([`idalloc`]).
 //!
 //! The monitor is written against the platform traits of `sanctorum-hal`;
 //! the `sanctorum-sanctum` and `sanctorum-keystone` crates bind it to the
@@ -61,7 +63,9 @@ pub mod attestation;
 pub mod boot;
 pub mod dispatch;
 pub mod enclave;
+pub mod epoch;
 pub mod error;
+pub mod idalloc;
 pub mod lockorder;
 pub mod mailbox;
 pub mod measurement;

@@ -13,8 +13,12 @@
 //! | 5    | audit cache |
 //! | 10+k | resource shard *k* (shards acquired in ascending *k*) |
 //! | 30   | enclave table |
+//! | 34   | enclave-table epoch cell (snapshot publish / retire) |
 //! | 40   | one `EnclaveMeta` |
 //! | 50   | thread table |
+//! | 54   | thread-table epoch cell (snapshot publish / retire) |
+//! | 55   | one per-hart id-cache slot |
+//! | 56   | the shared id pool |
 //! | 60   | one `ThreadMeta` |
 //! | 70   | core-occupancy table |
 //! | 80   | mail quota ledger |
@@ -56,10 +60,23 @@ pub mod rank {
     pub const RESOURCE_SHARD_BASE: u16 = 10;
     /// The enclave table (id → metadata handle).
     pub const ENCLAVE_TABLE: LockRank = LockRank(30);
+    /// The enclave table's epoch cell: writers publish a fresh snapshot
+    /// while still holding the table write lock (rank 30), so the epoch
+    /// domain sits directly above the table it mirrors.
+    pub const ENCLAVE_EPOCH: LockRank = LockRank(34);
     /// One enclave's metadata record.
     pub const ENCLAVE_META: LockRank = LockRank(40);
     /// The thread table (id → metadata handle).
     pub const THREAD_TABLE: LockRank = LockRank(50);
+    /// The thread table's epoch cell; same publish-under-the-write-lock
+    /// protocol as `ENCLAVE_EPOCH`.
+    pub const THREAD_EPOCH: LockRank = LockRank(54);
+    /// One per-hart id-cache slot of the thread-id allocator. Only one slot
+    /// is ever held at a time, and a refill then takes the pool above it.
+    pub const ID_SLOT: LockRank = LockRank(55);
+    /// The shared id pool the per-hart caches refill from (acquired with a
+    /// slot lock held, hence strictly above `ID_SLOT`).
+    pub const ID_POOL: LockRank = LockRank(56);
     /// One thread's metadata record.
     pub const THREAD_META: LockRank = LockRank(60);
     /// The core-occupancy table.
@@ -161,6 +178,25 @@ mod checker {
 }
 
 use checker::RankToken;
+
+/// RAII witness that the current thread logically "holds" `rank` — the hook
+/// lock-free structures (the epoch cells, the id allocator's internals) use
+/// to participate in the same debug-build hierarchy checking as the ordered
+/// locks, even though their synchronization is atomics rather than a mutex.
+/// Dropping the guard pops the rank from the thread's shadow stack.
+#[derive(Debug)]
+pub(crate) struct RankGuard {
+    _token: RankToken,
+}
+
+/// Records `rank` as held on this thread until the returned guard drops,
+/// panicking (debug builds) if any currently held rank is ≥ `rank` — the
+/// same rule [`OrderedMutex::lock`] enforces.
+pub(crate) fn hold(rank: LockRank) -> RankGuard {
+    RankGuard {
+        _token: checker::acquire(rank),
+    }
+}
 
 /// A [`parking_lot::Mutex`] that participates in the monitor's lock order:
 /// every acquisition (blocking *and* try) is checked against the thread's

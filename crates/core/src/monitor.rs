@@ -25,7 +25,9 @@
 use crate::api::{CallOutcome, SmApi, SmCall};
 use crate::boot::SmIdentity;
 use crate::enclave::{EnclaveLifecycle, EnclaveMeta, PhysWindow};
+use crate::epoch::EpochCell;
 use crate::error::{SmError, SmResult};
+use crate::idalloc::IdAllocator;
 use crate::lockorder::{
     rank, OrderedMutex, OrderedMutexGuard, OrderedRwLock, SpinLock,
 };
@@ -38,7 +40,7 @@ use sanctorum_hal::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
 use sanctorum_hal::cycles::Cycles;
 use sanctorum_hal::domain::{CoreId, DomainKind, EnclaveId};
 use sanctorum_hal::isolation::{
-    FlushKind, IsolationBackend, PlatformCapacity, RegionId, RegionInfo,
+    FlushKind, IsolationBackend, PlatformCapacity, RegionId, RegionInfo, RegionOp,
 };
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::hart::PrivilegeLevel;
@@ -82,6 +84,12 @@ pub struct SmConfig {
     /// an enclave with exactly this measurement may retrieve the attestation
     /// key.
     pub signing_enclave_measurement: Option<Measurement>,
+    /// Thread-id allocation batch size (see [`crate::idalloc::IdAllocator`]).
+    /// The default of `1` reproduces the historical monotone, never-reused
+    /// id sequence bit-for-bit (the pinned determinism digests depend on
+    /// it); concurrent harnesses raise it so each hart draws ids from a
+    /// private batch instead of contending on the shared counter.
+    pub id_batch: usize,
 }
 
 impl Default for SmConfig {
@@ -91,6 +99,7 @@ impl Default for SmConfig {
             max_enclaves: 32,
             max_threads: 128,
             signing_enclave_measurement: None,
+            id_batch: 1,
         }
     }
 }
@@ -193,13 +202,26 @@ struct SmState {
     /// through this table but only lifecycle calls mutate it, so lookups
     /// take shared read locks and proceed in parallel across harts.
     enclaves: OrderedRwLock<BTreeMap<EnclaveId, EnclaveHandle>>,
+    /// Epoch-published snapshot of the enclave table (rank `ENCLAVE_EPOCH`):
+    /// readers resolve ids through [`EpochCell::load`] and never block on a
+    /// lifecycle call holding the table write lock. Writers publish a new
+    /// snapshot *while still holding* the `enclaves` write lock (which
+    /// serializes publishes) and *before* bumping `enclaves_generation`, so
+    /// the audit's read-generation-first convention stays conservative.
+    enclave_epoch: EpochCell<BTreeMap<EnclaveId, EnclaveHandle>>,
     /// Read-mostly (rank `THREAD_TABLE`), same pattern as the enclave table.
     threads: OrderedRwLock<BTreeMap<ThreadId, ThreadHandle>>,
+    /// Epoch-published snapshot of the thread table (rank `THREAD_EPOCH`),
+    /// same protocol as `enclave_epoch`.
+    thread_epoch: EpochCell<BTreeMap<ThreadId, ThreadHandle>>,
     /// Which enclave thread currently occupies each core (rank `OCCUPANCY`).
     /// Read-mostly (dispatch probes it on every event; only enter/exit/AEX
     /// write).
     core_occupancy: OrderedRwLock<BTreeMap<CoreId, ThreadId>>,
-    next_tid: AtomicU64,
+    /// Thread-id source: per-hart batched caches over a shared pool (ranks
+    /// `ID_SLOT` / `ID_POOL`). At the default batch size of 1 it degenerates
+    /// to the historical shared monotone counter with no id reuse.
+    tids: IdAllocator,
     /// Relaxed count of live enclaves — the lock-free fast path for
     /// diagnostics (`Debug` formatting must never take the table lock: it
     /// deadlocked when a monitor was formatted while a call held enclave
@@ -634,6 +656,7 @@ impl SecurityMonitor {
         }
         let platform = backend.platform_name();
         let capacity = backend.capacity();
+        let id_batch = config.id_batch;
         Self {
             machine,
             backend: OrderedMutex::new(rank::BACKEND, backend),
@@ -645,9 +668,11 @@ impl SecurityMonitor {
             state: SmState {
                 resources,
                 enclaves: OrderedRwLock::new(rank::ENCLAVE_TABLE, BTreeMap::new()),
+                enclave_epoch: EpochCell::new(rank::ENCLAVE_EPOCH, BTreeMap::new()),
                 threads: OrderedRwLock::new(rank::THREAD_TABLE, BTreeMap::new()),
+                thread_epoch: EpochCell::new(rank::THREAD_EPOCH, BTreeMap::new()),
                 core_occupancy: OrderedRwLock::new(rank::OCCUPANCY, BTreeMap::new()),
-                next_tid: AtomicU64::new(0x1000),
+                tids: IdAllocator::new(0x1000, id_batch),
                 live_enclaves: AtomicU64::new(0),
                 enclaves_generation: AtomicU64::new(0),
                 threads_generation: AtomicU64::new(0),
@@ -751,9 +776,11 @@ impl SecurityMonitor {
     }
 
     fn lock_enclave(&self, eid: EnclaveId) -> SmResult<EnclaveHandle> {
+        // Epoch read-side: resolve through the published snapshot, never
+        // blocking on a lifecycle call that holds the table write lock.
         self.state
-            .enclaves
-            .read()
+            .enclave_epoch
+            .load()
             .get(&eid)
             .cloned()
             .ok_or(SmError::UnknownEnclave(eid))
@@ -761,11 +788,26 @@ impl SecurityMonitor {
 
     fn lock_thread(&self, tid: ThreadId) -> SmResult<ThreadHandle> {
         self.state
-            .threads
-            .read()
+            .thread_epoch
+            .load()
             .get(&tid)
             .cloned()
             .ok_or(SmError::UnknownThread(tid))
+    }
+
+    /// Publishes the enclave table's current contents as a new epoch
+    /// snapshot. Must be called *while still holding* the `enclaves` write
+    /// lock (that lock serializes publishers) and *before* the matching
+    /// `touch_enclave_table`, so a reader of the bumped generation always
+    /// sees at least the published snapshot.
+    fn publish_enclaves(&self, table: &BTreeMap<EnclaveId, EnclaveHandle>) {
+        self.state.enclave_epoch.publish(Arc::new(table.clone()));
+    }
+
+    /// Thread-table counterpart of [`Self::publish_enclaves`]; same
+    /// holding-the-write-lock / publish-before-touch contract.
+    fn publish_threads(&self, table: &BTreeMap<ThreadId, ThreadHandle>) {
+        self.state.thread_epoch.publish(Arc::new(table.clone()));
     }
 
     /// Acquires an object lock following the configured locking discipline:
@@ -904,6 +946,15 @@ impl SecurityMonitor {
         self.state.quarantine.lock().iter().copied().collect()
     }
 
+    /// Retired epoch snapshots not yet reclaimed, summed across the enclave
+    /// and thread table epochs. [`SecurityMonitor::audit`] quiesces both
+    /// epochs, so at a quiescent barrier (no concurrent readers) an audit
+    /// leaves this at zero — the explorer checks exactly that, pinning the
+    /// epoch read-side against unbounded retire-list growth.
+    pub fn epoch_retired_len(&self) -> usize {
+        self.state.enclave_epoch.retired_len() + self.state.thread_epoch.retired_len()
+    }
+
     /// Parks `region` in the quarantine set (stays `Blocked`; `clean` and
     /// `grant` refuse it with [`SmError::Again`] until
     /// [`SecurityMonitor::recover`] scrubs it successfully). Legal with the
@@ -945,6 +996,10 @@ impl SecurityMonitor {
             }
         }
         report.quarantine_remaining = self.state.quarantine.lock().len();
+        // Recovery is a quiescent point by definition: drain the epochs the
+        // crashed call (and the replay above) retired.
+        self.state.enclave_epoch.quiesce();
+        self.state.thread_epoch.quiesce();
         report
     }
 
@@ -954,7 +1009,7 @@ impl SecurityMonitor {
     fn replay_entry(&self, entry: JournalEntry) {
         match entry {
             JournalEntry::CreateEnclave { eid, regions } => {
-                if self.state.enclaves.read().contains_key(&eid) {
+                if self.state.enclave_epoch.load().contains_key(&eid) {
                     // The table insert is the commit point; past it the
                     // create fully happened and there is nothing to undo.
                     return;
@@ -1032,7 +1087,7 @@ impl SecurityMonitor {
     /// blocking locks and skips validation — the crashed call already passed
     /// it.
     fn redo_delete(&self, eid: EnclaveId) {
-        let handle = self.state.enclaves.read().get(&eid).cloned();
+        let handle = self.state.enclave_epoch.load().get(&eid).cloned();
         let Some(enclave) = handle else {
             // The table removal already happened; the post-removal sweep may
             // not have. Anything still owned by the dead id gets re-parked.
@@ -1056,13 +1111,22 @@ impl SecurityMonitor {
             }
             return;
         };
-        // Thread slots: remove whatever the crashed call had not yet.
+        // Thread slots: remove whatever the crashed call had not yet. Only
+        // ids actually removed *here* are freed — anything already gone was
+        // freed by the crashed call before it died, and freeing it again
+        // would put one id in two harts' caches.
         let owned_tids: Vec<ThreadId> = enclave.lock().threads.clone();
-        {
+        let removed_tids: Vec<ThreadId> = {
             let mut threads = self.state.threads.write();
-            for tid in owned_tids {
-                threads.remove(&tid);
-            }
+            let removed = owned_tids
+                .into_iter()
+                .filter(|tid| threads.remove(tid).is_some())
+                .collect();
+            self.publish_threads(&threads);
+            removed
+        };
+        for tid in removed_tids {
+            self.state.tids.free(tid);
         }
         self.touch_threads();
         // Region sweep, same skip-already-blocked discipline as the API path.
@@ -1086,7 +1150,7 @@ impl SecurityMonitor {
         // the API path: ids are recycled physical addresses).
         let mut purged_any = false;
         {
-            let table = self.state.enclaves.read();
+            let table = self.state.enclave_epoch.load();
             for (other_id, other) in table.iter() {
                 if *other_id == eid {
                     continue;
@@ -1125,7 +1189,11 @@ impl SecurityMonitor {
                 self.touch_mail();
             }
         }
-        self.state.enclaves.write().remove(&eid);
+        {
+            let mut table = self.state.enclaves.write();
+            table.remove(&eid);
+            self.publish_enclaves(&table);
+        }
         self.state.live_enclaves.fetch_sub(1, Ordering::Relaxed);
         self.touch_enclave_table();
     }
@@ -1212,9 +1280,10 @@ impl SecurityMonitor {
         meta.measurement()
     }
 
-    /// Returns the ids of all live enclaves (diagnostic; shared read lock).
+    /// Returns the ids of all live enclaves (diagnostic; epoch snapshot,
+    /// never blocks on a lifecycle call).
     pub fn enclaves(&self) -> Vec<EnclaveId> {
-        self.state.enclaves.read().keys().copied().collect()
+        self.state.enclave_epoch.load().keys().copied().collect()
     }
 
     /// Returns the number of live enclaves from the relaxed counter — the
@@ -1251,7 +1320,11 @@ impl SecurityMonitor {
 
         let enclaves_gen = self.state.enclaves_generation.load(Ordering::Relaxed);
         if cache.enclaves_gen != enclaves_gen {
-            let table = self.state.enclaves.read();
+            // Epoch read-side: the audit walks the published snapshot and
+            // never blocks a lifecycle call. The generation was read before
+            // the load, so a publish racing this walk only makes the data
+            // newer than the recorded generation (conservative rebuild).
+            let table = self.state.enclave_epoch.load();
             cache.enclaves.retain(|eid, _| table.contains_key(eid));
             for (eid, enclave) in table.iter() {
                 let meta = enclave.lock();
@@ -1304,6 +1377,12 @@ impl SecurityMonitor {
         }
         generations.quarantine = cache.quarantine_gen;
 
+        // Audits run at the explorer's quiescent barriers, so this is where
+        // epochs retired by table publishes drain (snapshots still held by a
+        // straggling reader simply survive to the next audit).
+        self.state.enclave_epoch.quiesce();
+        self.state.thread_epoch.quiesce();
+
         AuditSnapshot {
             resources: Arc::clone(&cache.resources),
             enclaves: cache.enclaves_vec.clone(),
@@ -1324,8 +1403,8 @@ impl SecurityMonitor {
         let enclaves_gen = self.state.enclaves_generation.load(Ordering::Relaxed);
         let enclaves = self
             .state
-            .enclaves
-            .read()
+            .enclave_epoch
+            .load()
             .values()
             .map(|enclave| Arc::new(Self::enclave_audit(&enclave.lock())))
             .collect();
@@ -1413,9 +1492,10 @@ impl SecurityMonitor {
         Ok(self.lock_thread(tid)?.lock().clone())
     }
 
-    /// Returns the ids of all live threads (diagnostic; no metadata cloned).
+    /// Returns the ids of all live threads (diagnostic; no metadata cloned;
+    /// epoch snapshot, never blocks on a lifecycle call).
     pub fn thread_ids(&self) -> Vec<ThreadId> {
-        self.state.threads.read().keys().copied().collect()
+        self.state.thread_epoch.load().keys().copied().collect()
     }
 
     /// Returns a thread's current state machine position without cloning the
@@ -1606,7 +1686,7 @@ impl SmApi for SecurityMonitor {
             }
             windows.sort_by_key(|w| w.base);
             let eid = EnclaveId::new(windows[0].base.as_u64());
-            if self.state.enclaves.read().contains_key(&eid) {
+            if self.state.enclave_epoch.load().contains_key(&eid) {
                 return Err(SmError::InvalidState {
                     reason: "an enclave already uses this memory",
                 });
@@ -1622,61 +1702,33 @@ impl SmApi for SecurityMonitor {
                 regions: regions.to_vec(),
             });
             let committed = (|| -> SmResult<()> {
-                // Commit phase 1: program the isolation primitive, inside the
-                // narrow backend critical section. On a capacity-limited
-                // platform (Keystone PMP) this is the step that can fail, so it
-                // runs before any ownership transfer and rolls itself back —
-                // granting first would strand regions owned by an enclave that
-                // never came to exist (found by the adversarial explorer under
-                // PMP exhaustion). The shard guards stay held across it, so a
-                // concurrent transaction cannot re-grant a region the rollback
-                // is about to return.
+                // Commit phase 1: program the isolation primitive, inside one
+                // batched backend critical section — every window's assignment
+                // and DMA filter flushes in a single `apply_batch`, so one
+                // TLB-shootdown round amortizes the whole grant set. The batch
+                // is all-or-nothing: the platform validates capacity and
+                // geometry for the entire batch (Keystone PMP exhaustion
+                // included) *before* mutating anything, which is what retired
+                // the per-window rollback loop that used to live here. The
+                // shard guards stay held across it, so a concurrent
+                // transaction cannot re-grant a region out from under a
+                // rejected batch.
                 {
-                    let mut backend = self.backend.lock();
-                    let mut assigned = 0usize;
-                    let mut commit_error = None;
+                    let mut ops: Vec<RegionOp> = Vec::with_capacity(windows.len() * 2);
                     for window in &windows {
-                        match backend.assign_region(
-                            window.region,
-                            DomainKind::Enclave(eid),
-                            MemPerms::RWX,
-                        ) {
-                            Ok(cost) => {
-                                self.machine.charge(cost);
-                                // The window counts as assigned from here on, so
-                                // a DMA-blocking failure below still rolls it
-                                // back.
-                                assigned += 1;
-                            }
-                            Err(err) => {
-                                commit_error = Some(err.into());
-                                break;
-                            }
-                        }
-                        if let Err(err) = backend.set_dma_blocked(window.region, true) {
-                            commit_error = Some(err.into());
-                            break;
-                        }
+                        ops.push(RegionOp::Assign {
+                            region: window.region,
+                            domain: DomainKind::Enclave(eid),
+                            perms: MemPerms::RWX,
+                        });
+                        ops.push(RegionOp::SetDmaBlocked {
+                            region: window.region,
+                            blocked: true,
+                        });
                     }
-                    if let Some(err) = commit_error {
-                        for window in windows.iter().take(assigned) {
-                            // Handing a unit back to the untrusted owner frees
-                            // the isolation resource; it cannot itself exhaust
-                            // anything.
-                            if let Ok(cost) = backend.assign_region(
-                                window.region,
-                                DomainKind::Untrusted,
-                                MemPerms::RWX,
-                            ) {
-                                self.machine.charge(cost);
-                            }
-                            // The trait does not promise assign_region resets
-                            // DMA filtering, so restore it explicitly:
-                            // untrusted-owned memory accepts DMA again.
-                            let _ = backend.set_dma_blocked(window.region, false);
-                        }
-                        return Err(err);
-                    }
+                    let mut backend = self.backend.lock();
+                    let cost = backend.apply_batch(&ops)?;
+                    self.machine.charge(cost);
                     // The backend lock drops here — phase 2 is pure metadata.
                 }
                 // Commit phase 2: ownership transfer — every region was
@@ -1701,10 +1753,13 @@ impl SmApi for SecurityMonitor {
                 // physical addresses and get reused after delete, so a recreated
                 // enclave must never alias a stale cached audit record.
                 self.touch_enclave(&mut meta);
-                self.state
-                    .enclaves
-                    .write()
-                    .insert(eid, Arc::new(OrderedMutex::new(rank::ENCLAVE_META, meta)));
+                {
+                    let mut table = self.state.enclaves.write();
+                    table.insert(eid, Arc::new(OrderedMutex::new(rank::ENCLAVE_META, meta)));
+                    // Publish while still holding the write lock (it
+                    // serializes publishers) and before the generation bump.
+                    self.publish_enclaves(&table);
+                }
                 // The insert consumes the slot reserved at admission.
                 slot.committed = true;
                 self.touch_enclave_table();
@@ -1849,9 +1904,12 @@ impl SmApi for SecurityMonitor {
                         resource: "thread metadata slots",
                     });
                 }
-                let tid = self.state.next_tid.fetch_add(1, Ordering::Relaxed);
+                let tid = self.state.tids.alloc().ok_or(SmError::OutOfResources {
+                    resource: "thread ids",
+                })?;
                 let thread = ThreadMeta::loaded(tid, eid, entry_pc, fault_handler_pc);
                 threads.insert(tid, Arc::new(OrderedMutex::new(rank::THREAD_META, thread)));
+                self.publish_threads(&threads);
                 tid
             };
             self.touch_threads();
@@ -1913,7 +1971,7 @@ impl SmApi for SecurityMonitor {
                 });
             }
             let owned_tids: Vec<ThreadId> = {
-                let threads = self.state.threads.read();
+                let threads = self.state.thread_epoch.load();
                 for tid in &meta.threads {
                     if let Some(thread) = threads.get(tid) {
                         if matches!(thread.lock().state, ThreadState::Running { .. }) {
@@ -1936,11 +1994,19 @@ impl SmApi for SecurityMonitor {
                 // Removing it while the enclave guard is held means any
                 // later `enter_enclave` that squeezes in before the table
                 // removal fails on the thread lookup.
-                {
+                let removed_tids: Vec<ThreadId> = {
                     let mut threads = self.state.threads.write();
-                    for tid in owned_tids {
-                        threads.remove(&tid);
-                    }
+                    let removed: Vec<ThreadId> = owned_tids
+                        .into_iter()
+                        .filter(|tid| threads.remove(tid).is_some())
+                        .collect();
+                    self.publish_threads(&threads);
+                    removed
+                };
+                // The slots are gone from the table; their ids return to the
+                // allocator (per-hart cache first, spilling to the pool).
+                for tid in removed_tids {
+                    self.state.tids.free(tid);
                 }
                 self.touch_threads();
                 // Block all of the enclave's regions (they stay
@@ -1990,7 +2056,7 @@ impl SmApi for SecurityMonitor {
                 // the ledger is settled afterwards on its own.
                 let mut purged_any = false;
                 {
-                    let table = self.state.enclaves.read();
+                    let table = self.state.enclave_epoch.load();
                     for (other_id, other) in table.iter() {
                         if *other_id == eid {
                             continue;
@@ -2033,7 +2099,11 @@ impl SmApi for SecurityMonitor {
                         self.touch_mail();
                     }
                 }
-                self.state.enclaves.write().remove(&eid);
+                {
+                    let mut table = self.state.enclaves.write();
+                    table.remove(&eid);
+                    self.publish_enclaves(&table);
+                }
                 self.state.live_enclaves.fetch_sub(1, Ordering::Relaxed);
                 self.touch_enclave_table();
                 // Post-removal sweep: a concurrent `grant_resource` may have
@@ -2223,7 +2293,7 @@ impl SmApi for SecurityMonitor {
             // check fails here — or removes it afterwards and catches this
             // grant in its post-removal sweep.
             if let DomainKind::Enclave(eid) = new_owner {
-                if !self.state.enclaves.read().contains_key(&eid) {
+                if !self.state.enclave_epoch.load().contains_key(&eid) {
                     return Err(SmError::UnknownEnclave(eid));
                 }
             }
@@ -2253,17 +2323,24 @@ impl SmApi for SecurityMonitor {
             let seq = self.journal_record(JournalEntry::Grant { id, new_owner });
             let committed = (|| -> SmResult<()> {
                 if let ResourceId::Region(region) = id {
+                    // One all-or-nothing batch programs the assignment and
+                    // the DMA filter: the platform validates the whole batch
+                    // before mutating, so the set_dma_blocked rollback that
+                    // used to live here is gone — a rejected batch leaves
+                    // hardware and (still-unmutated) metadata agreeing.
+                    let ops = [
+                        RegionOp::Assign {
+                            region,
+                            domain: new_owner,
+                            perms: MemPerms::RWX,
+                        },
+                        RegionOp::SetDmaBlocked {
+                            region,
+                            blocked: new_owner != DomainKind::Untrusted,
+                        },
+                    ];
                     let mut backend = self.backend.lock();
-                    let cost = backend.assign_region(region, new_owner, MemPerms::RWX)?;
-                    if let Err(err) =
-                        backend.set_dma_blocked(region, new_owner != DomainKind::Untrusted)
-                    {
-                        // Roll the assignment back to the untrusted default so
-                        // hardware and (still-unmutated) metadata agree.
-                        let _ = backend.assign_region(region, DomainKind::Untrusted, MemPerms::RWX);
-                        let _ = backend.set_dma_blocked(region, false);
-                        return Err(err.into());
-                    }
+                    let cost = backend.apply_batch(&ops)?;
                     self.machine.charge(cost);
                 }
                 shard.grant(caller, id, new_owner)?;
@@ -2405,7 +2482,9 @@ impl SmApi for SecurityMonitor {
                     resource: "thread metadata slots",
                 });
             }
-            let tid = self.state.next_tid.fetch_add(1, Ordering::Relaxed);
+            let tid = self.state.tids.alloc().ok_or(SmError::OutOfResources {
+                resource: "thread ids",
+            })?;
             threads.insert(
                 tid,
                 Arc::new(OrderedMutex::new(
@@ -2413,6 +2492,7 @@ impl SmApi for SecurityMonitor {
                     ThreadMeta::available(tid, entry_pc),
                 )),
             );
+            self.publish_threads(&threads);
             drop(threads);
             self.touch_threads();
             Ok(tid)
@@ -2431,7 +2511,15 @@ impl SmApi for SecurityMonitor {
                     });
                 }
             }
-            self.state.threads.write().remove(&tid);
+            let removed = {
+                let mut threads = self.state.threads.write();
+                let removed = threads.remove(&tid).is_some();
+                self.publish_threads(&threads);
+                removed
+            };
+            if removed {
+                self.state.tids.free(tid);
+            }
             self.touch_threads();
             Ok(())
         }))

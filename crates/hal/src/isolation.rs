@@ -167,6 +167,30 @@ impl PlatformCapacity {
     }
 }
 
+/// One region mutation inside a batched backend flush
+/// ([`IsolationBackend::apply_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionOp {
+    /// Assign ownership of `region` to `domain` with `perms` (the batched
+    /// form of [`IsolationBackend::assign_region`]).
+    Assign {
+        /// The memory unit being reassigned.
+        region: RegionId,
+        /// The domain receiving ownership.
+        domain: DomainKind,
+        /// The owner's permissions.
+        perms: MemPerms,
+    },
+    /// Block or unblock untrusted DMA to `region` (the batched form of
+    /// [`IsolationBackend::set_dma_blocked`]).
+    SetDmaBlocked {
+        /// The memory unit whose DMA filter changes.
+        region: RegionId,
+        /// Whether untrusted DMA is blocked.
+        blocked: bool,
+    },
+}
+
 /// The isolation primitive contract required by the security monitor.
 ///
 /// All methods return the architectural [`Cycles`] cost of the operation so
@@ -252,6 +276,41 @@ pub trait IsolationBackend {
     /// Returns an error if the region is unknown.
     fn set_dma_blocked(&mut self, region: RegionId, blocked: bool)
         -> Result<Cycles, IsolationError>;
+
+    /// Applies a batch of region mutations in one backend critical section,
+    /// returning their combined cost.
+    ///
+    /// The batch is **all-or-nothing**: implementations must validate every
+    /// operation (geometry, capacity — e.g. net PMP-entry demand of the whole
+    /// batch) *before* mutating any state, so a rejected batch leaves the
+    /// hardware configuration untouched and callers need no rollback.
+    /// Platforms override this to amortize per-flush overhead (one
+    /// TLB-shootdown round for the batch instead of one per region); the
+    /// default implementation is only the semantic reference, applying the
+    /// operations sequentially, and is *not* all-or-nothing under every
+    /// failure (a mid-batch unknown-region error leaves earlier ops applied)
+    /// — real backends must do the upfront validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any operation in the batch is invalid or the
+    /// platform cannot express the combined result.
+    fn apply_batch(&mut self, ops: &[RegionOp]) -> Result<Cycles, IsolationError> {
+        let mut total = Cycles::ZERO;
+        for op in ops {
+            total += match *op {
+                RegionOp::Assign {
+                    region,
+                    domain,
+                    perms,
+                } => self.assign_region(region, domain, perms)?,
+                RegionOp::SetDmaBlocked { region, blocked } => {
+                    self.set_dma_blocked(region, blocked)?
+                }
+            };
+        }
+        Ok(total)
+    }
 }
 
 #[cfg(test)]

@@ -104,6 +104,22 @@ pub struct ConcurrentStats {
     pub transient_retries: u64,
 }
 
+impl ConcurrentStats {
+    /// Contention retries per committed workload step: how many times, on
+    /// average, a step's calls bounced off [`SmError::ConcurrentCall`] before
+    /// landing. This is the scaling bench's contention metric — fine-grained
+    /// locking should drive it toward zero as workers stop colliding on
+    /// shared locks, while the giant lock (which rejects nothing and blocks
+    /// instead) trivially reports zero. Zero when no step committed.
+    pub fn retry_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.retries as f64 / self.steps as f64
+        }
+    }
+}
+
 /// SplitMix64 — the same generator family the explorer's trace streams use,
 /// so worker streams are deterministic functions of `(seed, worker)`.
 fn splitmix(state: &mut u64) -> u64 {
@@ -828,6 +844,13 @@ mod tests {
         worker
             .call(|m| m.clean_resource(os, ResourceId::Region(region)))
             .expect("clean succeeds after recovery");
+    }
+
+    #[test]
+    fn retry_rate_is_retries_per_committed_step() {
+        let stats = ConcurrentStats { steps: 8, sm_calls: 40, retries: 4, transient_retries: 1 };
+        assert!((stats.retry_rate() - 0.5).abs() < f64::EPSILON);
+        assert_eq!(ConcurrentStats::default().retry_rate(), 0.0, "no steps, no rate");
     }
 
     #[test]

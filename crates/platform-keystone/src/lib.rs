@@ -21,7 +21,7 @@ use sanctorum_hal::addr::PhysAddr;
 use sanctorum_hal::cycles::Cycles;
 use sanctorum_hal::domain::{CoreId, DomainKind};
 use sanctorum_hal::isolation::{
-    FlushKind, IsolationBackend, IsolationError, PlatformCapacity, RegionId, RegionInfo,
+    FlushKind, IsolationBackend, IsolationError, PlatformCapacity, RegionId, RegionInfo, RegionOp,
 };
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::access::AccessRange;
@@ -113,6 +113,47 @@ impl KeystoneBackend {
             cache_isolated: false,
         })
     }
+
+    /// The PMP/access-range mutation shared by
+    /// [`IsolationBackend::assign_region`] and the batched path. Geometry and
+    /// PMP capacity must already be validated; the fault point is crossed by
+    /// the caller *before* any mutation.
+    fn apply_assign(
+        &mut self,
+        info: &RegionInfo,
+        domain: DomainKind,
+        perms: MemPerms,
+    ) -> Result<(), IsolationError> {
+        let range = AccessRange {
+            base: info.base,
+            len: info.len,
+            owner: domain,
+            owner_perms: perms,
+            untrusted_perms: if domain == DomainKind::Untrusted {
+                perms
+            } else {
+                MemPerms::NONE
+            },
+            dma_blocked: domain != DomainKind::Untrusted,
+        };
+        self.machine
+            .with_access_mut(|a| a.protect(range))
+            .map_err(|_| IsolationError::UnsupportedRange {
+                base: info.base,
+                len: info.len,
+            })?;
+        self.owners[info.id.index()] = domain;
+        Ok(())
+    }
+
+    /// The DMA-filter mutation shared by the single and batched paths.
+    fn apply_dma(&mut self, info: &RegionInfo, blocked: bool) {
+        self.machine.with_access_mut(|a| {
+            if let Some(range) = a.range_of_mut(info.base) {
+                range.dma_blocked = blocked;
+            }
+        });
+    }
 }
 
 impl IsolationBackend for KeystoneBackend {
@@ -170,25 +211,7 @@ impl IsolationBackend for KeystoneBackend {
         {
             return Err(IsolationError::TransientFault);
         }
-        let range = AccessRange {
-            base: info.base,
-            len: info.len,
-            owner: domain,
-            owner_perms: perms,
-            untrusted_perms: if domain == DomainKind::Untrusted {
-                perms
-            } else {
-                MemPerms::NONE
-            },
-            dma_blocked: domain != DomainKind::Untrusted,
-        };
-        self.machine
-            .with_access_mut(|a| a.protect(range))
-            .map_err(|_| IsolationError::UnsupportedRange {
-                base: info.base,
-                len: info.len,
-            })?;
-        self.owners[region.index()] = domain;
+        self.apply_assign(&info, domain, perms)?;
         // Writing a PMP entry on every hart: address + config CSR per hart.
         let cost = self
             .machine
@@ -271,12 +294,88 @@ impl IsolationBackend for KeystoneBackend {
         {
             return Err(IsolationError::TransientFault);
         }
-        self.machine.with_access_mut(|a| {
-            if let Some(range) = a.range_of_mut(info.base) {
-                range.dma_blocked = blocked;
-            }
-        });
+        self.apply_dma(&info, blocked);
         Ok(self.machine.cost_model().pmp_write)
+    }
+
+    fn apply_batch(&mut self, ops: &[RegionOp]) -> Result<Cycles, IsolationError> {
+        // Validate the whole batch before touching anything — geometry first,
+        // then PMP accounting replayed over a shadow of the owner table. The
+        // running count must stay within capacity at *every* prefix (the
+        // entries are consumed in order on real hardware), so a batch that
+        // would transiently exhaust the PMP is rejected with nothing applied.
+        let mut infos = Vec::with_capacity(ops.len());
+        let mut assigns = 0u64;
+        let mut dma_toggles = 0u64;
+        let mut shadow: std::collections::BTreeMap<usize, DomainKind> =
+            std::collections::BTreeMap::new();
+        let mut used = self.pmp_entries_used();
+        for op in ops {
+            match *op {
+                RegionOp::Assign { region, domain, .. } => {
+                    infos.push(self.region_geometry(region)?);
+                    let current = shadow
+                        .get(&region.index())
+                        .copied()
+                        .unwrap_or(self.owners[region.index()]);
+                    let was_protected = current != DomainKind::Untrusted;
+                    let will_be_protected = domain != DomainKind::Untrusted;
+                    if will_be_protected && !was_protected {
+                        if used >= self.pmp_capacity {
+                            return Err(IsolationError::ResourceExhausted {
+                                resource: "pmp entries",
+                            });
+                        }
+                        used += 1;
+                    } else if !will_be_protected && was_protected {
+                        used -= 1;
+                    }
+                    shadow.insert(region.index(), domain);
+                    assigns += 1;
+                }
+                RegionOp::SetDmaBlocked { region, .. } => {
+                    infos.push(self.region_geometry(region)?);
+                    dma_toggles += 1;
+                }
+            }
+        }
+        // Each site is crossed once for the whole batch, before any PMP
+        // entry or DMA filter is written — a crash or injected failure here
+        // leaves the previous configuration fully intact.
+        if assigns > 0
+            // atomic: one batch-wide crossing, before any mutation.
+            && fault_point!(self.machine.fault_injector(), "backend.assign-region")
+                == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
+        if dma_toggles > 0
+            // atomic: one batch-wide crossing, before any mutation.
+            && fault_point!(self.machine.fault_injector(), "backend.set-dma-blocked")
+                == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
+        for (op, info) in ops.iter().zip(&infos) {
+            match *op {
+                RegionOp::Assign { domain, perms, .. } => {
+                    self.apply_assign(info, domain, perms)
+                        .expect("geometry and capacity validated above");
+                }
+                RegionOp::SetDmaBlocked { blocked, .. } => self.apply_dma(info, blocked),
+            }
+        }
+        // Amortized cost: each assignment writes its address CSR on every
+        // hart, and the batch pays one shared config-CSR round (what a lone
+        // assignment pays on top — a single-op batch costs exactly what
+        // `assign_region` charges, scaled(2 × harts)).
+        let per_hart = self.machine.cost_model().pmp_write.scaled(self.machine.num_harts() as u64);
+        let mut total = per_hart.scaled(assigns)
+            + self.machine.cost_model().pmp_write.scaled(dma_toggles);
+        if assigns > 0 {
+            total += per_hart;
+        }
+        Ok(total)
     }
 }
 
@@ -407,5 +506,98 @@ mod tests {
             .assign_region(RegionId::new(2), enclave(3), MemPerms::RWX)
             .unwrap();
         assert_eq!(machine.fault_injector().crossings(), 0);
+    }
+
+    #[test]
+    fn batch_exceeding_pmp_capacity_is_rejected_with_nothing_applied() {
+        let machine = Arc::new(Machine::new(MachineConfig {
+            pmp_entries: 3,
+            ..MachineConfig::small()
+        }));
+        let mut backend = KeystoneBackend::new(Arc::clone(&machine));
+        // 1 entry used by the SM; a 3-assignment batch needs 3 more.
+        let ops: Vec<RegionOp> = (1..=3)
+            .map(|i| RegionOp::Assign {
+                region: RegionId::new(i),
+                domain: enclave(u64::from(i)),
+                perms: MemPerms::RWX,
+            })
+            .collect();
+        let err = backend.apply_batch(&ops).unwrap_err();
+        assert!(matches!(err, IsolationError::ResourceExhausted { .. }));
+        for i in 1..=3u32 {
+            assert_eq!(
+                backend.region_owner(RegionId::new(i)).unwrap(),
+                DomainKind::Untrusted,
+                "a rejected batch must leave every region untouched"
+            );
+        }
+        assert_eq!(backend.pmp_entries_used(), 1);
+        // A batch that releases before it takes fits in the freed entries.
+        backend.assign_region(RegionId::new(1), enclave(1), MemPerms::RWX).unwrap();
+        backend.assign_region(RegionId::new(2), enclave(2), MemPerms::RWX).unwrap();
+        backend
+            .apply_batch(&[
+                RegionOp::Assign {
+                    region: RegionId::new(1),
+                    domain: DomainKind::Untrusted,
+                    perms: MemPerms::RWX,
+                },
+                RegionOp::Assign {
+                    region: RegionId::new(3),
+                    domain: enclave(3),
+                    perms: MemPerms::RWX,
+                },
+            ])
+            .unwrap();
+        assert_eq!(backend.pmp_entries_used(), 3);
+    }
+
+    #[test]
+    fn batch_single_op_cost_matches_assign_region() {
+        let (machine, mut backend) = setup();
+        let batched = backend
+            .apply_batch(&[RegionOp::Assign {
+                region: RegionId::new(1),
+                domain: enclave(1),
+                perms: MemPerms::RWX,
+            }])
+            .unwrap();
+        let single = backend
+            .assign_region(RegionId::new(2), enclave(2), MemPerms::RWX)
+            .unwrap();
+        assert_eq!(batched, single);
+        let _ = machine;
+    }
+
+    #[test]
+    fn faulted_batch_mutates_nothing() {
+        use sanctorum_machine::FaultPlan;
+        let (machine, mut backend) = setup();
+        machine.fault_injector().arm(FaultPlan::FailOp {
+            site: Some("backend.set-dma-blocked"),
+            times: 1,
+        });
+        let err = backend
+            .apply_batch(&[
+                RegionOp::Assign {
+                    region: RegionId::new(1),
+                    domain: enclave(1),
+                    perms: MemPerms::RWX,
+                },
+                RegionOp::SetDmaBlocked {
+                    region: RegionId::new(1),
+                    blocked: true,
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(err, IsolationError::TransientFault);
+        assert_eq!(
+            backend.region_owner(RegionId::new(1)).unwrap(),
+            DomainKind::Untrusted,
+            "the assignment must not land when the batch's DMA flush faults"
+        );
+        assert_eq!(backend.pmp_entries_used(), 1);
+        machine.fault_injector().disarm();
     }
 }

@@ -17,7 +17,7 @@ use sanctorum_hal::addr::PhysAddr;
 use sanctorum_hal::cycles::Cycles;
 use sanctorum_hal::domain::{CoreId, DomainKind};
 use sanctorum_hal::isolation::{
-    FlushKind, IsolationBackend, IsolationError, PlatformCapacity, RegionId, RegionInfo,
+    FlushKind, IsolationBackend, IsolationError, PlatformCapacity, RegionId, RegionInfo, RegionOp,
 };
 use sanctorum_hal::perm::MemPerms;
 use sanctorum_machine::access::AccessRange;
@@ -90,6 +90,49 @@ impl SanctumBackend {
     fn partition_for(region: RegionId) -> PartitionId {
         PartitionId(region.0 % CACHE_PARTITIONS)
     }
+
+    /// The region-map mutation shared by [`IsolationBackend::assign_region`]
+    /// and the batched path: reprogram the access range, record the owner,
+    /// rebind the cache partition. Geometry must already be validated; the
+    /// fault point is crossed by the caller *before* any mutation.
+    fn apply_assign(
+        &mut self,
+        info: &RegionInfo,
+        domain: DomainKind,
+        perms: MemPerms,
+    ) -> Result<(), IsolationError> {
+        let range = AccessRange {
+            base: info.base,
+            len: info.len,
+            owner: domain,
+            owner_perms: perms,
+            untrusted_perms: if domain == DomainKind::Untrusted {
+                perms
+            } else {
+                MemPerms::NONE
+            },
+            dma_blocked: domain != DomainKind::Untrusted,
+        };
+        self.machine
+            .with_access_mut(|a| a.protect(range))
+            .map_err(|_| IsolationError::UnsupportedRange {
+                base: info.base,
+                len: info.len,
+            })?;
+        self.owners[info.id.index()] = domain;
+        // Bind the domain to the region's cache partition (page colouring).
+        self.machine.set_partition(domain, Self::partition_for(info.id));
+        Ok(())
+    }
+
+    /// The DMA-filter mutation shared by the single and batched paths.
+    fn apply_dma(&mut self, info: &RegionInfo, blocked: bool) {
+        self.machine.with_access_mut(|a| {
+            if let Some(range) = a.range_of_mut(info.base) {
+                range.dma_blocked = blocked;
+            }
+        });
+    }
 }
 
 impl IsolationBackend for SanctumBackend {
@@ -137,27 +180,7 @@ impl IsolationBackend for SanctumBackend {
         {
             return Err(IsolationError::TransientFault);
         }
-        let range = AccessRange {
-            base: info.base,
-            len: info.len,
-            owner: domain,
-            owner_perms: perms,
-            untrusted_perms: if domain == DomainKind::Untrusted {
-                perms
-            } else {
-                MemPerms::NONE
-            },
-            dma_blocked: domain != DomainKind::Untrusted,
-        };
-        self.machine
-            .with_access_mut(|a| a.protect(range))
-            .map_err(|_| IsolationError::UnsupportedRange {
-                base: info.base,
-                len: info.len,
-            })?;
-        self.owners[region.index()] = domain;
-        // Bind the domain to the region's cache partition (page colouring).
-        self.machine.set_partition(domain, Self::partition_for(region));
+        self.apply_assign(&info, domain, perms)?;
         // Reprogramming the region map costs a handful of CSR writes.
         Ok(self.machine.cost_model().pmp_write.scaled(4))
     }
@@ -237,12 +260,65 @@ impl IsolationBackend for SanctumBackend {
         {
             return Err(IsolationError::TransientFault);
         }
-        self.machine.with_access_mut(|a| {
-            if let Some(range) = a.range_of_mut(info.base) {
-                range.dma_blocked = blocked;
-            }
-        });
+        self.apply_dma(&info, blocked);
         Ok(self.machine.cost_model().pmp_write)
+    }
+
+    fn apply_batch(&mut self, ops: &[RegionOp]) -> Result<Cycles, IsolationError> {
+        // Validate every operation's geometry before touching anything: the
+        // batch is all-or-nothing, and on Sanctum geometry is the only way a
+        // region mutation can fail.
+        let mut infos = Vec::with_capacity(ops.len());
+        let mut assigns = 0u64;
+        let mut dma_toggles = 0u64;
+        for op in ops {
+            let (region, is_assign) = match *op {
+                RegionOp::Assign { region, .. } => (region, true),
+                RegionOp::SetDmaBlocked { region, .. } => (region, false),
+            };
+            infos.push(self.region_geometry(region)?);
+            if is_assign {
+                assigns += 1;
+            } else {
+                dma_toggles += 1;
+            }
+        }
+        // Each site is crossed once for the whole batch, before any
+        // mutation — a crash or injected failure here leaves every previous
+        // assignment and DMA filter fully intact.
+        if assigns > 0
+            // atomic: one batch-wide crossing, before any mutation.
+            && fault_point!(self.machine.fault_injector(), "backend.assign-region")
+                == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
+        if dma_toggles > 0
+            // atomic: one batch-wide crossing, before any mutation.
+            && fault_point!(self.machine.fault_injector(), "backend.set-dma-blocked")
+                == Crossing::FailOp
+        {
+            return Err(IsolationError::TransientFault);
+        }
+        for (op, info) in ops.iter().zip(&infos) {
+            match *op {
+                RegionOp::Assign { domain, perms, .. } => {
+                    self.apply_assign(info, domain, perms)
+                        .expect("geometry validated above; Sanctum assigns cannot fail");
+                }
+                RegionOp::SetDmaBlocked { blocked, .. } => self.apply_dma(info, blocked),
+            }
+        }
+        // Amortized cost: each assignment updates its region-map entry (two
+        // CSR writes), and the whole batch pays one shared commit round (the
+        // same two writes a lone assignment pays on top — so a single-op
+        // batch costs exactly what `assign_region` charges, scaled(4)).
+        let pmp_write = self.machine.cost_model().pmp_write;
+        let mut total = pmp_write.scaled(2 * assigns) + pmp_write.scaled(dma_toggles);
+        if assigns > 0 {
+            total += pmp_write.scaled(2);
+        }
+        Ok(total)
     }
 }
 
@@ -393,5 +469,110 @@ mod tests {
         assert!(backend.dma_blocked(region).unwrap());
         backend.set_dma_blocked(region, false).unwrap();
         assert!(!backend.dma_blocked(region).unwrap());
+    }
+
+    #[test]
+    fn batch_applies_like_singles_with_single_op_cost_parity() {
+        let (machine, mut backend) = setup();
+        let cost = backend
+            .apply_batch(&[
+                RegionOp::Assign {
+                    region: RegionId::new(2),
+                    domain: enclave(4),
+                    perms: MemPerms::RWX,
+                },
+                RegionOp::SetDmaBlocked {
+                    region: RegionId::new(2),
+                    blocked: true,
+                },
+            ])
+            .unwrap();
+        assert_eq!(backend.region_owner(RegionId::new(2)).unwrap(), enclave(4));
+        assert!(backend.dma_blocked(RegionId::new(2)).unwrap());
+        // One assignment in a batch costs exactly what assign_region charges
+        // (plus the DMA toggle's register write).
+        let pmp = machine.cost_model().pmp_write;
+        assert_eq!(cost, pmp.scaled(4) + pmp);
+    }
+
+    #[test]
+    fn batch_amortizes_the_commit_round_across_assignments() {
+        let (machine, mut backend) = setup();
+        let ops: Vec<RegionOp> = (1..=3)
+            .map(|i| RegionOp::Assign {
+                region: RegionId::new(i),
+                domain: enclave(u64::from(i)),
+                perms: MemPerms::RWX,
+            })
+            .collect();
+        let batched = backend.apply_batch(&ops).unwrap();
+        let single = machine.cost_model().pmp_write.scaled(4);
+        assert!(
+            batched < single.scaled(3),
+            "three batched assignments ({batched}) must undercut three singles"
+        );
+        for i in 1..=3u32 {
+            assert_eq!(
+                backend.region_owner(RegionId::new(i)).unwrap(),
+                enclave(u64::from(i))
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_batch_mutates_nothing() {
+        use sanctorum_machine::FaultPlan;
+        let (machine, mut backend) = setup();
+        machine.fault_injector().arm(FaultPlan::FailOp {
+            site: Some("backend.assign-region"),
+            times: 1,
+        });
+        let err = backend
+            .apply_batch(&[
+                RegionOp::Assign {
+                    region: RegionId::new(1),
+                    domain: enclave(1),
+                    perms: MemPerms::RWX,
+                },
+                RegionOp::Assign {
+                    region: RegionId::new(2),
+                    domain: enclave(1),
+                    perms: MemPerms::RWX,
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(err, IsolationError::TransientFault);
+        for i in 1..=2u32 {
+            assert_eq!(
+                backend.region_owner(RegionId::new(i)).unwrap(),
+                DomainKind::Untrusted,
+                "a faulted batch must leave every region untouched"
+            );
+        }
+        machine.fault_injector().disarm();
+    }
+
+    #[test]
+    fn batch_with_unknown_region_is_rejected_upfront() {
+        let (_, mut backend) = setup();
+        let err = backend
+            .apply_batch(&[
+                RegionOp::Assign {
+                    region: RegionId::new(1),
+                    domain: enclave(1),
+                    perms: MemPerms::RWX,
+                },
+                RegionOp::SetDmaBlocked {
+                    region: RegionId::new(1000),
+                    blocked: true,
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, IsolationError::UnknownRegion(_)));
+        assert_eq!(
+            backend.region_owner(RegionId::new(1)).unwrap(),
+            DomainKind::Untrusted,
+            "validation precedes every mutation"
+        );
     }
 }

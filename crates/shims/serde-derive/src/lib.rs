@@ -11,14 +11,18 @@
 
 use proc_macro::TokenStream;
 
-/// No-op `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
+/// No-op `#[derive(Serialize)]`. Declares the `#[serde(...)]` helper
+/// attribute so field annotations like `#[serde(skip)]` parse exactly as
+/// they would against the real crate.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// No-op `#[derive(Deserialize)]`.
-#[proc_macro_derive(Deserialize)]
+/// No-op `#[derive(Deserialize)]`. Declares the `#[serde(...)]` helper
+/// attribute so field annotations like `#[serde(skip)]` parse exactly as
+/// they would against the real crate.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }

@@ -12,9 +12,12 @@
 //!   are required to demand `Checked<_>` proofs. A sink disappearing from
 //!   its file is also an error, so the registry cannot silently go stale.
 //! * **Rule C — lock-rank documentation.** Every `OrderedMutex` /
-//!   `OrderedRwLock` declaration (struct field, type alias, or static) must
-//!   carry a comment naming its rank from `lockorder.rs`'s documented
-//!   hierarchy, so the declared hierarchy and the code never drift apart.
+//!   `OrderedRwLock` / `EpochCell` declaration (struct field, type alias,
+//!   or static) must carry a comment naming its rank from `lockorder.rs`'s
+//!   documented hierarchy, so the declared hierarchy and the code never
+//!   drift apart. `EpochCell` is in scope because its load/publish/quiesce
+//!   operations participate in the rank discipline exactly like a lock
+//!   acquisition (the retire list rides on the cell's rank).
 //! * **Rule D — fault-point classification.** Every `fault_point!(` call
 //!   site must carry a `// journal:` or `// atomic:` comment (same line or
 //!   the contiguous comment block above) stating its crash-consistency
@@ -291,8 +294,9 @@ fn rank_names(lockorder_src: &str) -> Vec<String> {
     names
 }
 
-/// Flags `OrderedMutex` / `OrderedRwLock` declarations (fields, type
-/// aliases, statics) whose surrounding comment does not name a known rank.
+/// Flags `OrderedMutex` / `OrderedRwLock` / `EpochCell` declarations
+/// (fields, type aliases, statics) whose surrounding comment does not name
+/// a known rank.
 ///
 /// `raw` is the original source (comments intact); `code` the stripped
 /// version used to decide what is a real declaration.
@@ -305,7 +309,10 @@ fn undocumented_lock_ranks(
     let mut violations = Vec::new();
     let raw_lines: Vec<&str> = raw.lines().collect();
     for (idx, line) in code.lines().enumerate() {
-        if !(line.contains("OrderedMutex<") || line.contains("OrderedRwLock<")) {
+        if !(line.contains("OrderedMutex<")
+            || line.contains("OrderedRwLock<")
+            || line.contains("EpochCell<"))
+        {
             continue;
         }
         let trimmed = line.trim_start();
@@ -345,6 +352,8 @@ fn undocumented_lock_ranks(
                      documented ranks",
                     if line.contains("OrderedRwLock<") {
                         "OrderedRwLock"
+                    } else if line.contains("EpochCell<") {
+                        "EpochCell"
                     } else {
                         "OrderedMutex"
                     }
@@ -557,7 +566,8 @@ fn collect_rust_files(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
 mod tests {
     use super::*;
 
-    const RANKS: &[&str] = &["ENCLAVE_TABLE", "MAIL_LEDGER", "BACKEND", "MODEL_VISITED"];
+    const RANKS: &[&str] =
+        &["ENCLAVE_TABLE", "ENCLAVE_EPOCH", "MAIL_LEDGER", "BACKEND", "MODEL_VISITED"];
 
     fn ranks() -> Vec<String> {
         RANKS.iter().map(|s| s.to_string()).collect()
@@ -657,6 +667,36 @@ mod tests {
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert_eq!(violations[0].rule, "lock-rank");
         assert_eq!(violations[0].line, 5);
+    }
+
+    #[test]
+    fn seeded_undocumented_epoch_cell_fails() {
+        // An epoch cell participates in the rank discipline like a lock:
+        // declaring one without naming its lockorder.rs rank is a violation.
+        let bare = r#"
+            struct State {
+                enclave_epoch: EpochCell<BTreeMap<EnclaveId, EnclaveHandle>>,
+            }
+        "#;
+        let violations = lint_fixture("crates/core/src/state.rs", bare);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "lock-rank");
+        assert!(violations[0].message.contains("EpochCell"), "{violations:?}");
+        // The same declaration with its rank documented is clean, and the
+        // `EpochCell` struct/impl definitions themselves are not
+        // declarations (no field colon), so epoch.rs stays in jurisdiction
+        // without false positives.
+        let documented = r#"
+            pub struct EpochCell<T> {
+                rank: LockRank,
+            }
+            struct State {
+                /// Read-side snapshots of the enclave table (rank
+                /// `ENCLAVE_EPOCH`, published under `ENCLAVE_TABLE`).
+                enclave_epoch: EpochCell<BTreeMap<EnclaveId, EnclaveHandle>>,
+            }
+        "#;
+        assert!(lint_fixture("crates/core/src/state.rs", documented).is_empty());
     }
 
     #[test]

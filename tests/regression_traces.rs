@@ -75,3 +75,18 @@ fn grant_delete_toctou_witness_stays_fixed() {
     };
     replay_clean("grant_delete_toctou.trace", machine);
 }
+
+#[test]
+fn grant_batch_flush_interleaved_with_delete_stays_fixed() {
+    // Same small world as the TOCTOU witness: the batched backend flush a
+    // grant now issues (one apply_batch critical section for Assign +
+    // SetDmaBlocked) must not reopen the grant-vs-delete window PR 5
+    // closed, and the call-level batch op's flush must see consistent
+    // ownership immediately after the racing delete's sweep.
+    let machine = MachineConfig {
+        memory_size: 2 * 1024 * 1024,
+        dram_region_size: 512 * 1024,
+        ..MachineConfig::small()
+    };
+    replay_clean("grant_batch_delete.trace", machine);
+}
