@@ -29,7 +29,7 @@ fn bench_remote_attestation(c: &mut Criterion) {
 
     group.bench_function("full_protocol", |b| {
         b.iter(|| {
-            let mut verifier = RemoteVerifier::new(
+            let verifier = RemoteVerifier::new(
                 ca.root_public_key(),
                 vec![client_enclave.measurement],
                 [0x42; 32],
@@ -45,7 +45,7 @@ fn bench_remote_attestation(c: &mut Criterion) {
     });
 
     group.bench_function("evidence_generation_only", |b| {
-        let mut verifier = RemoteVerifier::new(
+        let verifier = RemoteVerifier::new(
             ca.root_public_key(),
             vec![client_enclave.measurement],
             [0x42; 32],
@@ -59,7 +59,7 @@ fn bench_remote_attestation(c: &mut Criterion) {
     });
 
     group.bench_function("verifier_side_only", |b| {
-        let mut verifier = RemoteVerifier::new(
+        let verifier = RemoteVerifier::new(
             ca.root_public_key(),
             vec![client_enclave.measurement],
             [0x42; 32],
@@ -71,7 +71,7 @@ fn bench_remote_attestation(c: &mut Criterion) {
         b.iter(|| {
             // Re-arm the verifier with the same nonce so the evidence stays
             // valid for measurement purposes.
-            let mut v = RemoteVerifier::new(
+            let v = RemoteVerifier::new(
                 ca.root_public_key(),
                 vec![client_enclave.measurement],
                 [0x42; 32],

@@ -76,7 +76,7 @@ fn main() {
         for client in &attestation_clients {
             // A fresh verifier per attestation: no outstanding-challenge
             // reuse, no chain cache — the pre-fabric cost structure.
-            let mut verifier =
+            let verifier =
                 RemoteVerifier::new(ca.root_public_key(), trusted.clone(), [round as u8; 32]);
             let challenge = verifier.begin();
             let response = client
@@ -94,8 +94,8 @@ fn main() {
     // --- pipelined fabric service --------------------------------------
     let mut service = SigningEnclave::new(signing_enclave.eid);
     service.open_service(sm).expect("service opens");
-    let mut verifier = RemoteVerifier::new(ca.root_public_key(), trusted, [0x42; 32]);
-    let mut sessions = SessionPool::new();
+    let verifier = RemoteVerifier::new(ca.root_public_key(), trusted, [0x42; 32]);
+    let sessions = SessionPool::new();
     let start = Instant::now();
     let mut batched_done = 0usize;
     for _ in 0..rounds {

@@ -141,6 +141,16 @@ pub fn calibrate() -> f64 {
     rounds as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Boots a multi-machine attestation fleet on the Sanctum backend with the
+/// default fleet identity seeds — the shared entry point for the fleet
+/// benchmark and the workspace-level fleet tests.
+pub fn boot_fleet(machines: usize, clients_per_machine: usize) -> sanctorum_os::fleet::Fleet {
+    sanctorum_os::fleet::Fleet::boot(&sanctorum_os::fleet::FleetConfig::new(
+        machines,
+        clients_per_machine,
+    ))
+}
+
 /// Minimal `"key": number` extractor (the workspace's serde is a no-op
 /// shim, so the bench gates parse their own output format by hand).
 pub fn extract_number(json: &str, key: &str) -> Option<f64> {

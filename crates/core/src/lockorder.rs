@@ -25,6 +25,19 @@
 //! | 90   | isolation backend |
 //! | 93   | region quarantine set |
 //! | 96   | mutation journal |
+//! | 100  | model checker's visited-state set |
+//! | 110  | verifier challenge DRBG |
+//! | 112  | one verifier challenge shard |
+//! | 113  | verifier writer mutex (serializes trust / chain-cache publishes) |
+//! | 114  | verifier trust-state epoch cell (roots / revocation / measurements) |
+//! | 118  | verifier chain-cache epoch cell |
+//! | 120  | one verifier session-pool shard |
+//!
+//! The verifier tier (ranks 110+) sits entirely above the monitor: a
+//! verifier thread may call into a monitor-backed world while holding *no*
+//! verifier lock (challenges are drawn and shards unlocked before any
+//! fabric traffic), and the monitor never calls into the verifier, so the
+//! two domains only compose in one direction.
 //!
 //! **Rule: a lock may only be acquired while every currently held lock has a
 //! strictly lower rank.** (Machine-internal locks — DRAM, harts, TLBs — sit
@@ -97,6 +110,28 @@ pub mod rank {
     /// rank: worker threads consult it strictly after all monitor locks for
     /// the expanded state have been released.
     pub const MODEL_VISITED: LockRank = LockRank(100);
+    /// The remote verifier's challenge DRBG. Held only while drawing a
+    /// nonce + ephemeral DH secret, and released before the challenge is
+    /// filed in its shard — which is what keeps the nonce *sequence*
+    /// bit-identical to the single-threaded verifier under any seed.
+    pub const VERIFIER_DRBG: LockRank = LockRank(110);
+    /// One shard of the verifier's outstanding-challenge map. Only one
+    /// shard is ever held at a time (a nonce names exactly one shard).
+    pub const VERIFIER_CHALLENGE_SHARD: LockRank = LockRank(112);
+    /// The verifier's writer mutex: serializes every publish into the trust
+    /// and chain-cache epoch cells (both sit strictly above it, so a writer
+    /// rebuilds and publishes a snapshot while holding this mutex).
+    pub const VERIFIER_WRITER: LockRank = LockRank(113);
+    /// The verifier's trust-state epoch cell (manufacturer roots, trusted
+    /// measurements, revocation list). Read on every evidence check;
+    /// rotation / revocation publishes under `VERIFIER_WRITER`.
+    pub const VERIFIER_TRUST_EPOCH: LockRank = LockRank(114);
+    /// The verifier's chain-cache epoch cell (validated certificate chains).
+    pub const VERIFIER_CHAIN_EPOCH: LockRank = LockRank(118);
+    /// One shard of a verifier-side session pool. Above the whole verify
+    /// path: a session is filed strictly after every trust/chain structure
+    /// has been consulted and released.
+    pub const VERIFIER_SESSION_SHARD: LockRank = LockRank(120);
 }
 
 #[cfg(debug_assertions)]

@@ -126,9 +126,80 @@ impl FieldElement {
     }
 
     /// Squares the element.
+    ///
+    /// Dedicated squaring: the symmetric cross terms of the schoolbook
+    /// product collapse (`a_i·a_j + a_j·a_i = 2·a_i·a_j`), so 15 limb
+    /// multiplications replace the generic 25. Squarings dominate both the
+    /// Montgomery ladder and every exponentiation-based inversion, so this
+    /// is the single hottest primitive in the crate.
     #[must_use]
     pub fn square(&self) -> Self {
-        *self * *self
+        let a = &self.limbs;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+        let d0 = a[0] * 2;
+        let d1 = a[1] * 2;
+        let d3 = a[3] * 2;
+
+        let c0 = m(a[0], a[0]) + 38 * (m(a[1], a[4]) + m(a[2], a[3]));
+        let c1 = m(d0, a[1]) + 38 * m(a[2], a[4]) + 19 * m(a[3], a[3]);
+        let c2 = m(d0, a[2]) + m(a[1], a[1]) + 19 * m(d3, a[4]);
+        let c3 = m(d0, a[3]) + m(d1, a[2]) + 19 * m(a[4], a[4]);
+        let c4 = m(d0, a[4]) + m(d1, a[3]) + m(a[2], a[2]);
+
+        Self::carry_wide([c0, c1, c2, c3, c4])
+    }
+
+    /// Multiplies by a small constant (at most 17 bits, e.g. the ladder's
+    /// `a24 = 121665`) without paying a full 25-multiplication product.
+    #[must_use]
+    pub fn mul_small(&self, k: u32) -> Self {
+        let k = k as u128;
+        let c = self.limbs.map(|l| (l as u128) * k);
+        Self::carry_wide(c)
+    }
+
+    /// Reduces five wide column sums into a carried element (the shared tail
+    /// of multiplication, squaring and small-constant multiplication).
+    fn carry_wide(mut c: [u128; 5]) -> Self {
+        let mut limbs = [0u64; 5];
+        let mut carry: u128;
+        carry = c[0] >> 51;
+        limbs[0] = (c[0] as u64) & LOW_51;
+        for i in 1..5 {
+            c[i] += carry;
+            carry = c[i] >> 51;
+            limbs[i] = (c[i] as u64) & LOW_51;
+        }
+        limbs[0] += (carry as u64) * 19;
+        FieldElement { limbs }.carried()
+    }
+
+    /// Squares the element `n` times in sequence.
+    #[must_use]
+    fn square_n(&self, n: u32) -> Self {
+        let mut out = *self;
+        for _ in 0..n {
+            out = out.square();
+        }
+        out
+    }
+
+    /// The shared prefix of the inversion and square-root addition chains:
+    /// returns `(self^(2^250 - 1), self^11)`.
+    fn pow22501(&self) -> (Self, Self) {
+        let z2 = self.square();
+        let z8 = z2.square_n(2);
+        let z9 = z8 * *self;
+        let z11 = z9 * z2;
+        let z2_5_0 = z11.square() * z9; // 2^5 - 1
+        let z2_10_0 = z2_5_0.square_n(5) * z2_5_0;
+        let z2_20_0 = z2_10_0.square_n(10) * z2_10_0;
+        let z2_40_0 = z2_20_0.square_n(20) * z2_20_0;
+        let z2_50_0 = z2_40_0.square_n(10) * z2_10_0;
+        let z2_100_0 = z2_50_0.square_n(50) * z2_50_0;
+        let z2_200_0 = z2_100_0.square_n(100) * z2_100_0;
+        let z2_250_0 = z2_200_0.square_n(50) * z2_50_0;
+        (z2_250_0, z11)
     }
 
     /// Raises the element to the power encoded by `exponent` (little-endian
@@ -159,33 +230,39 @@ impl FieldElement {
     }
 
     /// Multiplicative inverse (returns zero for zero).
+    ///
+    /// Uses the standard Curve25519 addition chain for `self^(p-2)`:
+    /// 254 squarings and 11 multiplications, roughly half the cost of generic
+    /// square-and-multiply over the nearly-all-ones exponent.
     #[must_use]
     pub fn invert(&self) -> Self {
-        // p - 2 = 2^255 - 21, little-endian bytes: 0xeb, 30 × 0xff, 0x7f.
-        let mut exp = [0xffu8; 32];
-        exp[0] = 0xeb;
-        exp[31] = 0x7f;
-        self.pow_le(&exp)
+        let (z2_250_0, z11) = self.pow22501();
+        z2_250_0.square_n(5) * z11 // 2^255 - 21 = p - 2
     }
 
     /// Computes `self^((p-5)/8)`, the exponentiation used in square-root
-    /// extraction during point decompression.
+    /// extraction during point decompression (same addition chain as
+    /// [`Self::invert`], different tail).
     #[must_use]
     pub fn pow_p58(&self) -> Self {
-        // (p - 5) / 8 = 2^252 - 3, little-endian bytes: 0xfd, 30 × 0xff, 0x0f.
-        let mut exp = [0xffu8; 32];
-        exp[0] = 0xfd;
-        exp[31] = 0x0f;
-        self.pow_le(&exp)
+        let (z2_250_0, _) = self.pow22501();
+        z2_250_0.square_n(2) * *self // 2^252 - 3 = (p - 5) / 8
     }
 
     /// Returns sqrt(-1) mod p.
+    ///
+    /// The value is a fixed curve constant, so the exponentiation runs once
+    /// per process; point decompression sits on the attestation hot path and
+    /// must not pay a ~250-squaring `pow_le` per call.
     pub fn sqrt_m1() -> Self {
-        // 2^((p-1)/4); (p-1)/4 = 2^253 - 5, bytes: 0xfb, 30 × 0xff, 0x1f.
-        let mut exp = [0xffu8; 32];
-        exp[0] = 0xfb;
-        exp[31] = 0x1f;
-        FieldElement::from_u64(2).pow_le(&exp)
+        static CACHE: std::sync::OnceLock<FieldElement> = std::sync::OnceLock::new();
+        *CACHE.get_or_init(|| {
+            // 2^((p-1)/4); (p-1)/4 = 2^253 - 5, bytes: 0xfb, 30 × 0xff, 0x1f.
+            let mut exp = [0xffu8; 32];
+            exp[0] = 0xfb;
+            exp[31] = 0x1f;
+            FieldElement::from_u64(2).pow_le(&exp)
+        })
     }
 
     /// Constant-time-ish equality on canonical encodings.
@@ -255,33 +332,14 @@ impl Mul for FieldElement {
         let mut c1 = m(a[0], b[1]) + m(a[1], b[0]);
         let mut c2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]);
         let mut c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]);
-        let mut c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+        let c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
 
         c0 += 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
         c1 += 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
         c2 += 19 * (m(a[3], b[4]) + m(a[4], b[3]));
         c3 += 19 * m(a[4], b[4]);
 
-        // Carry chain.
-        let mut limbs = [0u64; 5];
-        let mut carry: u128;
-        carry = c0 >> 51;
-        limbs[0] = (c0 as u64) & LOW_51;
-        c1 += carry;
-        carry = c1 >> 51;
-        limbs[1] = (c1 as u64) & LOW_51;
-        c2 += carry;
-        carry = c2 >> 51;
-        limbs[2] = (c2 as u64) & LOW_51;
-        c3 += carry;
-        carry = c3 >> 51;
-        limbs[3] = (c3 as u64) & LOW_51;
-        c4 += carry;
-        carry = c4 >> 51;
-        limbs[4] = (c4 as u64) & LOW_51;
-        limbs[0] += (carry as u64) * 19;
-
-        FieldElement { limbs }.carried()
+        FieldElement::carry_wide([c0, c1, c2, c3, c4])
     }
 }
 
@@ -389,6 +447,40 @@ mod tests {
         #[test]
         fn square_matches_mul(a in any::<u64>()) {
             prop_assert_eq!(fe(a).square(), fe(a) * fe(a));
+        }
+
+        #[test]
+        fn square_matches_mul_on_wide_elements(bytes in any::<[u8; 32]>()) {
+            let mut b = bytes;
+            b[31] &= 0x7f;
+            let x = FieldElement::from_bytes(&b);
+            prop_assert_eq!(x.square(), x * x);
+        }
+
+        #[test]
+        fn mul_small_matches_full_mul(bytes in any::<[u8; 32]>(), k in any::<u32>()) {
+            let mut b = bytes;
+            b[31] &= 0x7f;
+            let k = k & 0x1ffff; // mul_small's 17-bit contract
+            let x = FieldElement::from_bytes(&b);
+            prop_assert_eq!(x.mul_small(k), x * FieldElement::from_u64(k as u64));
+        }
+
+        #[test]
+        fn addition_chain_invert_matches_pow_le(bytes in any::<[u8; 32]>()) {
+            let mut b = bytes;
+            b[31] &= 0x7f;
+            let x = FieldElement::from_bytes(&b);
+            // p - 2 = 2^255 - 21, little-endian bytes: 0xeb, 30 × 0xff, 0x7f.
+            let mut exp = [0xffu8; 32];
+            exp[0] = 0xeb;
+            exp[31] = 0x7f;
+            prop_assert_eq!(x.invert(), x.pow_le(&exp));
+            // (p - 5) / 8 = 2^252 - 3, bytes: 0xfd, 30 × 0xff, 0x0f.
+            let mut exp = [0xffu8; 32];
+            exp[0] = 0xfd;
+            exp[31] = 0x0f;
+            prop_assert_eq!(x.pow_p58(), x.pow_le(&exp));
         }
 
         #[test]

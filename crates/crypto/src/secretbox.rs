@@ -22,6 +22,11 @@ pub enum OpenError {
     Truncated,
     /// The authentication tag did not verify.
     BadTag,
+    /// The message authenticated but its counter is not the one the
+    /// receiving session expects next (a replayed or reordered message).
+    /// Never produced by [`SecretBox::open`] itself — the ordered session
+    /// layer in `sanctorum-verifier` raises it.
+    OutOfOrder,
 }
 
 impl core::fmt::Display for OpenError {
@@ -29,6 +34,7 @@ impl core::fmt::Display for OpenError {
         match self {
             OpenError::Truncated => write!(f, "sealed message is truncated"),
             OpenError::BadTag => write!(f, "authentication tag mismatch"),
+            OpenError::OutOfOrder => write!(f, "message counter out of order (replay or reorder)"),
         }
     }
 }

@@ -5,7 +5,9 @@
 //! network before attestation authenticates the enclave's half.
 
 use crate::ct::ct_swap_u64;
+use crate::ed25519::EdwardsPoint;
 use crate::field::FieldElement;
+use crate::scalar::Scalar;
 
 /// Length of X25519 public values and shared secrets in bytes.
 pub const X25519_LEN: usize = 32;
@@ -30,7 +32,7 @@ pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
     let mut z2 = FieldElement::ZERO;
     let mut x3 = x1;
     let mut z3 = FieldElement::ONE;
-    let a24 = FieldElement::from_u64(121665);
+    const A24: u32 = 121665;
 
     let mut swap = 0u8;
     for t in (0..255).rev() {
@@ -52,7 +54,7 @@ pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
         x3 = (da + cb).square();
         z3 = x1 * (da - cb).square();
         x2 = aa * bb;
-        z2 = e * (aa + a24 * e);
+        z2 = e * (aa + e.mul_small(A24));
     }
     conditional_swap(swap, &mut x2, &mut x3);
     conditional_swap(swap, &mut z2, &mut z3);
@@ -75,8 +77,17 @@ pub const BASEPOINT: [u8; 32] = {
 };
 
 /// Derives the public value for `secret` (i.e. `X25519(secret, 9)`).
+///
+/// Fixed-base multiplications skip the Montgomery ladder entirely: the
+/// Ed25519 base point `B` maps birationally to `u = 9`, so `[s]·9` is the
+/// Montgomery image of `[s]B` — computed with the precomputed Edwards comb
+/// (≤64 point additions, no doublings) instead of 255 ladder steps. The
+/// clamped scalar reduces mod `l` without changing the result because the
+/// base point has order `l`.
 pub fn public_key(secret: &[u8; 32]) -> [u8; 32] {
-    x25519(secret, &BASEPOINT)
+    let clamped = clamp_scalar(*secret);
+    let s = Scalar::from_bytes_mod_order(&clamped);
+    EdwardsPoint::basepoint_mul(&s).montgomery_u()
 }
 
 /// Computes the shared secret between `our_secret` and `their_public`.
@@ -166,6 +177,17 @@ mod tests {
         assert_eq!(c[0] & 7, 0);
         assert_eq!(c[31] & 0x80, 0);
         assert_eq!(c[31] & 0x40, 0x40);
+    }
+
+    #[test]
+    fn edwards_route_matches_the_montgomery_ladder() {
+        // `public_key` takes the comb + birational-map shortcut; it must
+        // agree bit-for-bit with the general ladder on the base point.
+        let mut drbg = crate::drbg::ChaChaDrbg::from_seed([0xB9u8; 32]);
+        for _ in 0..24 {
+            let secret: [u8; 32] = drbg.random_array();
+            assert_eq!(public_key(&secret), x25519(&secret, &BASEPOINT));
+        }
     }
 
     #[test]

@@ -18,18 +18,23 @@
 //!   adversarial explorer both drive;
 //! * [`ops`] — every OS/enclave/adversary interaction as one enumerable
 //!   [`ops::Op`] value plus the [`ops::OpWorld`] executor, the op model the
-//!   `sanctorum-explorer` crate schedules, replays and shrinks.
+//!   `sanctorum-explorer` crate schedules, replays and shrinks;
+//! * [`fleet`] — multi-machine attestation worlds: N independent systems
+//!   under one manufacturer CA, driven against a shared concurrent verifier
+//!   by the fleet benchmark.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
 pub mod concurrent;
+pub mod fleet;
 pub mod ops;
 pub mod os;
 pub mod system;
 
 pub use adversary::{AttackKind, AttackOutcome};
+pub use fleet::{Fleet, FleetConfig, FleetMachine, RoundOutcome};
 pub use ops::{ImageKind, Op, OpOutcome, OpWorld};
 pub use os::{BuiltEnclave, Os, ThreadRunOutcome};
 pub use system::{PlatformKind, System};

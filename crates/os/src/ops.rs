@@ -1162,13 +1162,14 @@ impl OpWorld {
         // same nonce schedule in every op of every world — which is what
         // lets the verified-signature memo and the signing enclave's own
         // cache turn repeat rounds into pure fabric traffic.
-        let mut verifier = RemoteVerifier::new(
+        let verifier = RemoteVerifier::new(
             manufacturer_ca().root_public_key(),
             client_enclaves.iter().map(|(_, m)| *m).collect(),
             [0x42; 32],
         );
-        let mut sessions = SessionPool::new();
+        let sessions = SessionPool::new();
         let mut attested_echo = 0u64;
+        let mut session_replaced = false;
 
         // Waves bounded by the request-queue depth: every submit in a wave
         // must fit the signing enclave's wildcard mailbox.
@@ -1247,7 +1248,14 @@ impl OpWorld {
                         .lock()
                         .unwrap()
                         .insert(class, response.evidence.signature.to_bytes());
-                    sessions.insert(client.eid().as_u64(), session);
+                    // Every client id this round selected is distinct and
+                    // the pool is per-op, so a `Replaced` outcome would mean
+                    // one client's verified session displaced another's — the
+                    // session-fixation shape. Surface it as a service-plane
+                    // violation, never silently.
+                    if !sessions.insert(client.eid().as_u64(), session).is_fresh() {
+                        session_replaced = true;
+                    }
                 }
             }
         }
@@ -1257,8 +1265,9 @@ impl OpWorld {
         // Every client the workload selected must end the round with
         // verified evidence; fewer means the service plane dropped,
         // mis-routed or mis-attributed a request somewhere between submit
-        // and verification.
-        outcome.service_ok = Some(attested as usize == count);
+        // and verification. A replaced session is the same class of
+        // violation: two requests resolved to one client id.
+        outcome.service_ok = Some(attested as usize == count && !session_replaced);
         outcome
     }
 }

@@ -10,7 +10,15 @@
 //!   chain, report signature, nonce freshness, channel binding, expected
 //!   measurement) and produces a [`session::SecureSession`].
 //! * [`session::SecureSession`] protects application traffic with the agreed
-//!   key (Fig. 7 step ⑩).
+//!   key (Fig. 7 step ⑩), enforcing strict message ordering.
+//!
+//! The whole tier is shared-state concurrent: `RemoteVerifier` and
+//! `SessionPool` take `&self` everywhere and are safe to drive from many
+//! threads at once — challenges and sessions live in index-interleaved
+//! shards under ranked locks, while the read-mostly trust state (manufacturer
+//! roots, revocation list, chain cache) flips atomically between epochs via
+//! `sanctorum_core::epoch::EpochCell`, so verification never blocks on a
+//! certificate rotation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,5 +28,5 @@ pub mod remote;
 pub mod session;
 
 pub use pki::ManufacturerCa;
-pub use remote::{Challenge, RemoteVerifier, VerifyError};
-pub use session::{SecureSession, SessionPool};
+pub use remote::{Challenge, RemoteVerifier, VerifierStats, VerifyError};
+pub use session::{InsertOutcome, SecureSession, SessionPool};

@@ -13,6 +13,7 @@ use sanctorum_hal::root::RootOfTrust;
 /// deterministic from that secret (same derivation the boot ROM uses).
 #[derive(Debug, Clone)]
 pub struct ManufacturerCa {
+    seed: [u8; 32],
     keypair: Keypair,
 }
 
@@ -20,6 +21,7 @@ impl ManufacturerCa {
     /// Creates a CA from a root seed.
     pub fn new(seed: [u8; 32]) -> Self {
         Self {
+            seed,
             keypair: Keypair::from_seed(seed),
         }
     }
@@ -27,6 +29,19 @@ impl ManufacturerCa {
     /// The manufacturer root public key that verifiers pin.
     pub fn root_public_key(&self) -> PublicKey {
         *self.keypair.public()
+    }
+
+    /// Derives the next CA generation for an epoch-based root rotation.
+    ///
+    /// The successor's seed is a one-way function of this CA's seed, so the
+    /// whole rotation schedule is deterministic from the first generation —
+    /// a verifier mid-rotation accepts both `root_public_key()`s until the
+    /// old one is retired.
+    pub fn successor(&self) -> ManufacturerCa {
+        let mut material = Vec::with_capacity(64);
+        material.extend_from_slice(b"sanctorum-ca-rotation-v1");
+        material.extend_from_slice(&self.seed);
+        ManufacturerCa::new(sanctorum_crypto::sha3::Sha3_256::digest(&material))
     }
 
     /// Issues the device certificate for a provisioned device.
@@ -62,6 +77,23 @@ mod tests {
         let cert = ca.certify_device(&root);
         let identity = sanctorum_core::boot::secure_boot(&root, b"sm");
         assert_eq!(cert.subject_public_key, identity.device_public_key);
+    }
+
+    #[test]
+    fn rotation_successors_are_deterministic_and_distinct() {
+        let gen0 = ManufacturerCa::new([5; 32]);
+        let gen1 = gen0.successor();
+        assert_eq!(
+            gen1.root_public_key(),
+            ManufacturerCa::new([5; 32]).successor().root_public_key()
+        );
+        assert_ne!(gen0.root_public_key(), gen1.root_public_key());
+        assert_ne!(gen1.root_public_key(), gen1.successor().root_public_key());
+        // A successor CA certifies devices like any other generation.
+        let root = SimulatedRootOfTrust::new(0xf1ee7_u64);
+        let cert = gen1.certify_device(&root);
+        assert!(cert.verify());
+        assert_eq!(cert.issuer_public_key, gen1.root_public_key());
     }
 
     #[test]

@@ -1,6 +1,19 @@
 //! The secure session established after successful attestation
-//! (Fig. 7 step ⑩), and the pool a verifier-side service keeps them in.
+//! (Fig. 7 step ⑩), and the sharded pool a verifier-side service keeps
+//! them in.
+//!
+//! A [`SecureSession`] enforces strict message ordering in both directions:
+//! `seal` derives each nonce from a send counter, and `open` rejects any
+//! authenticated message whose counter is not the next one expected
+//! ([`OpenError::OutOfOrder`]) — replayed and reordered traffic fails even
+//! though the underlying `SecretBox` would authenticate it.
+//!
+//! A [`SessionPool`] is shared-state concurrent: sessions are interleaved
+//! across index-selected shards, each under an [`OrderedMutex`] at
+//! [`rank::VERIFIER_SESSION_SHARD`], so many verifier threads can file and
+//! use sessions for different clients without contending on one map.
 
+use sanctorum_core::lockorder::{rank, OrderedMutex};
 use sanctorum_crypto::secretbox::{OpenError, SecretBox, NONCE_LEN};
 use std::collections::BTreeMap;
 
@@ -8,11 +21,12 @@ use std::collections::BTreeMap;
 ///
 /// Both sides derive the same two directional keys from the shared secret;
 /// message nonces are derived from a per-direction counter, so each side must
-/// use its own `seal` counter and accept the peer's.
+/// use its own `seal` counter and accept the peer's **in order**.
 #[derive(Debug)]
 pub struct SecureSession {
     sealer: SecretBox,
     send_counter: u64,
+    recv_counter: u64,
 }
 
 impl SecureSession {
@@ -26,10 +40,11 @@ impl SecureSession {
         Self {
             sealer: SecretBox::derive(shared_secret, &context),
             send_counter: 0,
+            recv_counter: 0,
         }
     }
 
-    /// Seals an application message.
+    /// Seals an application message under the next send-counter nonce.
     pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
         let mut nonce = [0u8; NONCE_LEN];
         nonce[..8].copy_from_slice(&self.send_counter.to_le_bytes());
@@ -37,60 +52,133 @@ impl SecureSession {
         self.sealer.seal(&nonce, plaintext)
     }
 
-    /// Opens a message sealed by the peer.
+    /// Opens a message sealed by the peer, enforcing strict ordering.
     ///
     /// # Errors
     ///
-    /// Returns the underlying [`OpenError`] if authentication fails.
+    /// Returns the underlying [`OpenError`] if authentication fails, and
+    /// [`OpenError::OutOfOrder`] if the message authenticates but its
+    /// counter is not the next one this session expects — a replayed or
+    /// reordered message never advances the session.
     pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, OpenError> {
-        self.sealer.open(sealed)
+        let plaintext = self.sealer.open(sealed)?;
+        // Authenticated, so the leading nonce bytes are the peer's counter
+        // as sealed (the tag covers them). Only the expected counter opens.
+        let mut counter_bytes = [0u8; 8];
+        counter_bytes.copy_from_slice(&sealed[..8]);
+        let counter = u64::from_le_bytes(counter_bytes);
+        let padding_clean = sealed[8..NONCE_LEN].iter().all(|&b| b == 0);
+        if counter != self.recv_counter || !padding_clean {
+            return Err(OpenError::OutOfOrder);
+        }
+        self.recv_counter += 1;
+        Ok(plaintext)
     }
 
     /// Number of messages sealed so far.
     pub fn messages_sent(&self) -> u64 {
         self.send_counter
     }
+
+    /// Number of messages opened (accepted in order) so far.
+    pub fn messages_received(&self) -> u64 {
+        self.recv_counter
+    }
 }
 
-/// A pool of established sessions keyed by a caller-chosen client tag (the
-/// attestation-service workload uses the client's enclave id). One verifier
-/// serving many attested clients holds one of these instead of a session
-/// variable per client.
-#[derive(Debug, Default)]
+/// What [`SessionPool::insert`] did with the previous state for the client.
+///
+/// A `Replaced` outcome means a *live* session was silently displaced — the
+/// session-fixation shape the attestation workloads assert never happens by
+/// accident (a client tag must be removed before it may be re-attested, or
+/// the caller explicitly expected the replacement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// No session existed for the client; the pool grew by one.
+    Fresh,
+    /// A live session for the same client was dropped and replaced.
+    Replaced,
+}
+
+impl InsertOutcome {
+    /// `true` for [`InsertOutcome::Fresh`].
+    pub fn is_fresh(self) -> bool {
+        matches!(self, InsertOutcome::Fresh)
+    }
+}
+
+/// How many shards a default-constructed pool interleaves sessions across.
+pub const SESSION_POOL_SHARDS: usize = 16;
+
+/// A concurrent pool of established sessions keyed by a caller-chosen client
+/// tag (the attestation-service workload uses the client's enclave id).
+///
+/// Sessions are interleaved across shards by client tag; every shard lock is
+/// an [`OrderedMutex`] at [`rank::VERIFIER_SESSION_SHARD`], and only one
+/// shard is ever held at a time, so pool operations from many verifier
+/// threads compose with the lock-order discipline.
+#[derive(Debug)]
 pub struct SessionPool {
-    sessions: BTreeMap<u64, SecureSession>,
+    // lock rank: rank::VERIFIER_SESSION_SHARD (one shard at a time)
+    shards: Vec<OrderedMutex<BTreeMap<u64, SecureSession>>>,
+}
+
+impl Default for SessionPool {
+    fn default() -> Self {
+        Self::with_shards(SESSION_POOL_SHARDS)
+    }
 }
 
 impl SessionPool {
-    /// Creates an empty pool.
+    /// Creates an empty pool with the default shard count.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Stores the session established for `client`, returning the previous
-    /// one if the client re-attested.
-    pub fn insert(&mut self, client: u64, session: SecureSession) -> Option<SecureSession> {
-        self.sessions.insert(client, session)
+    /// Creates an empty pool interleaved across `shards` shards (≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| OrderedMutex::new(rank::VERIFIER_SESSION_SHARD, BTreeMap::new()))
+                .collect(),
+        }
     }
 
-    /// The live session for `client`, if any.
-    pub fn get_mut(&mut self, client: u64) -> Option<&mut SecureSession> {
-        self.sessions.get_mut(&client)
+    fn shard(&self, client: u64) -> &OrderedMutex<BTreeMap<u64, SecureSession>> {
+        &self.shards[(client % self.shards.len() as u64) as usize]
+    }
+
+    /// Stores the session established for `client`, reporting whether a live
+    /// session was displaced.
+    pub fn insert(&self, client: u64, session: SecureSession) -> InsertOutcome {
+        match self.shard(client).lock().insert(client, session) {
+            None => InsertOutcome::Fresh,
+            Some(_) => InsertOutcome::Replaced,
+        }
+    }
+
+    /// Runs `f` over the live session for `client`, if any. The closure runs
+    /// under the client's shard lock, so traffic for one client is serialized
+    /// while traffic for other clients proceeds on other shards.
+    pub fn with_session<R>(&self, client: u64, f: impl FnOnce(&mut SecureSession) -> R) -> Option<R> {
+        self.shard(client).lock().get_mut(&client).map(f)
     }
 
     /// Drops `client`'s session (e.g. after its enclave is torn down).
-    pub fn remove(&mut self, client: u64) -> Option<SecureSession> {
-        self.sessions.remove(&client)
+    pub fn remove(&self, client: u64) -> Option<SecureSession> {
+        self.shard(client).lock().remove(&client)
     }
 
-    /// Number of live sessions.
+    /// Number of live sessions (sums the shards; a racing insert may or may
+    /// not be counted, as with any concurrent size probe).
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Returns `true` if no session is live.
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.len() == 0
     }
 }
 
@@ -105,6 +193,7 @@ mod tests {
         let sealed = a.seal(b"hello enclave");
         assert_eq!(b.open(&sealed).expect("opens"), b"hello enclave");
         assert_eq!(a.messages_sent(), 1);
+        assert_eq!(b.messages_received(), 1);
     }
 
     #[test]
@@ -131,5 +220,95 @@ mod tests {
         let s1 = a.seal(b"same");
         let s2 = a.seal(b"same");
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn replayed_message_rejected() {
+        let mut a = SecureSession::new(&[9; 32], &[1; 32]);
+        let mut b = SecureSession::new(&[9; 32], &[1; 32]);
+        let sealed = a.seal(b"once");
+        assert!(b.open(&sealed).is_ok());
+        assert_eq!(b.open(&sealed), Err(OpenError::OutOfOrder));
+        // The replay did not advance the session: the next message opens.
+        let next = a.seal(b"twice");
+        assert_eq!(b.open(&next).expect("opens"), b"twice");
+    }
+
+    #[test]
+    fn out_of_order_message_rejected() {
+        let mut a = SecureSession::new(&[9; 32], &[1; 32]);
+        let mut b = SecureSession::new(&[9; 32], &[1; 32]);
+        let first = a.seal(b"first");
+        let second = a.seal(b"second");
+        assert_eq!(b.open(&second), Err(OpenError::OutOfOrder));
+        // Delivery in order still works after the reorder was rejected.
+        assert_eq!(b.open(&first).expect("opens"), b"first");
+        assert_eq!(b.open(&second).expect("opens"), b"second");
+    }
+
+    #[test]
+    fn pool_insert_reports_fresh_and_replaced() {
+        let pool = SessionPool::new();
+        assert_eq!(
+            pool.insert(7, SecureSession::new(&[1; 32], &[1; 32])),
+            InsertOutcome::Fresh
+        );
+        assert_eq!(
+            pool.insert(7, SecureSession::new(&[2; 32], &[2; 32])),
+            InsertOutcome::Replaced
+        );
+        assert!(pool.remove(7).is_some());
+        assert_eq!(
+            pool.insert(7, SecureSession::new(&[3; 32], &[3; 32])),
+            InsertOutcome::Fresh
+        );
+    }
+
+    #[test]
+    fn pool_shards_interleave_and_count() {
+        let pool = SessionPool::with_shards(4);
+        for client in 0..64u64 {
+            assert!(pool
+                .insert(client, SecureSession::new(&[9; 32], &[client as u8; 32]))
+                .is_fresh());
+        }
+        assert_eq!(pool.len(), 64);
+        // Traffic through the pool accessor round-trips per client.
+        let mut peer = SecureSession::new(&[9; 32], &[5u8; 32]);
+        let sealed = peer.seal(b"to client 5");
+        let opened = pool
+            .with_session(5, |session| session.open(&sealed))
+            .expect("session exists")
+            .expect("opens");
+        assert_eq!(opened, b"to client 5");
+        assert_eq!(pool.remove(5).expect("removes").messages_received(), 1);
+        assert_eq!(pool.len(), 63);
+        assert!(pool.with_session(5, |_| ()).is_none());
+    }
+
+    #[test]
+    fn concurrent_inserts_land_once_each() {
+        use std::sync::Arc;
+        let pool = Arc::new(SessionPool::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let mut fresh = 0usize;
+                for i in 0..256u64 {
+                    let client = t * 256 + i;
+                    if pool
+                        .insert(client, SecureSession::new(&[9; 32], &[t as u8; 32]))
+                        .is_fresh()
+                    {
+                        fresh += 1;
+                    }
+                }
+                fresh
+            }));
+        }
+        let fresh: usize = handles.into_iter().map(|h| h.join().expect("joins")).sum();
+        assert_eq!(fresh, 4 * 256);
+        assert_eq!(pool.len(), 4 * 256);
     }
 }

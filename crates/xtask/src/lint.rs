@@ -566,8 +566,15 @@ fn collect_rust_files(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
 mod tests {
     use super::*;
 
-    const RANKS: &[&str] =
-        &["ENCLAVE_TABLE", "ENCLAVE_EPOCH", "MAIL_LEDGER", "BACKEND", "MODEL_VISITED"];
+    const RANKS: &[&str] = &[
+        "ENCLAVE_TABLE",
+        "ENCLAVE_EPOCH",
+        "MAIL_LEDGER",
+        "BACKEND",
+        "MODEL_VISITED",
+        "VERIFIER_DRBG",
+        "VERIFIER_TRUST_EPOCH",
+    ];
 
     fn ranks() -> Vec<String> {
         RANKS.iter().map(|s| s.to_string()).collect()
@@ -720,6 +727,34 @@ mod tests {
             }
         "#;
         assert!(lint_fixture("crates/modelcheck/src/search.rs", documented).is_empty());
+    }
+
+    #[test]
+    fn verifier_crate_epoch_cells_are_inside_rule_c_jurisdiction() {
+        // The concurrent verifier tier declares both ordered locks and
+        // epoch cells; every such declaration must name its
+        // lockorder.rs rank, exactly like monitor-side locks — the rank
+        // table is the one place the cross-tier acquisition order lives.
+        let bare = r#"
+            pub struct RemoteVerifier {
+                drbg: OrderedMutex<ChaChaDrbg>,
+                trust: EpochCell<TrustState>,
+            }
+        "#;
+        let violations = lint_fixture("crates/verifier/src/remote.rs", bare);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().all(|v| v.rule == "lock-rank"));
+        assert!(violations[1].message.contains("EpochCell"));
+        let documented = r#"
+            pub struct RemoteVerifier {
+                // lock rank: rank::VERIFIER_DRBG
+                drbg: OrderedMutex<ChaChaDrbg>,
+                // lock rank: rank::VERIFIER_TRUST_EPOCH (published under
+                // the writer lock, loaded lock-free)
+                trust: EpochCell<TrustState>,
+            }
+        "#;
+        assert!(lint_fixture("crates/verifier/src/remote.rs", documented).is_empty());
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The remote verifier pins the manufacturer root and the measurement it
     // expects for E1.
-    let mut verifier = RemoteVerifier::new(
+    let verifier = RemoteVerifier::new(
         ca.root_public_key(),
         vec![client_enclave.measurement],
         [0x42; 32],

@@ -43,7 +43,7 @@ fn remote_attestation_succeeds_on_both_platforms() {
         let (system, _os, client_enclave, signing_enclave) = boot_attestation_setup(platform);
         let device_cert = ca.certify_device(system.machine.root_of_trust());
 
-        let mut verifier = RemoteVerifier::new(
+        let verifier = RemoteVerifier::new(
             ca.root_public_key(),
             vec![client_enclave.measurement],
             [0x42; 32],
@@ -82,7 +82,7 @@ fn verifier_rejects_untrusted_enclaves_and_wrong_devices() {
     let client = AttestationClient::new(client_enclave.eid, [0x33; 32]);
 
     // Case 1: the verifier does not trust this enclave's measurement.
-    let mut verifier = RemoteVerifier::new(ca.root_public_key(), vec![], [0x42; 32]);
+    let verifier = RemoteVerifier::new(ca.root_public_key(), vec![], [0x42; 32]);
     let challenge = verifier.begin();
     let response = client
         .obtain_attestation(sm, &signing, challenge.nonce, device_cert.clone())
@@ -95,7 +95,7 @@ fn verifier_rejects_untrusted_enclaves_and_wrong_devices() {
     );
 
     // Case 2: the device certificate chains to a CA the verifier does not pin.
-    let mut verifier = RemoteVerifier::new(
+    let verifier = RemoteVerifier::new(
         ca.root_public_key(),
         vec![client_enclave.measurement],
         [0x42; 32],

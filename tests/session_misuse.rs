@@ -1,0 +1,239 @@
+//! Seeded property tests for [`SecureSession`] misuse — the session-layer
+//! companion to the mailbox-fabric proptests in
+//! `crates/explorer/tests/fabric.rs`.
+//!
+//! A [`Runner`]-driven harness replays an adversarial delivery schedule
+//! against a receiving session — honest in-order traffic interleaved with
+//! replays, future (reordered) messages, truncations, tampered tags and
+//! counter-reusing re-encryptions — and checks after every delivery that:
+//!
+//! * only the exact next expected counter ever opens; every misuse shape is
+//!   rejected with the right error class and **never advances** the
+//!   receiver (the honest remainder of the stream still opens afterwards);
+//! * a counter reused across `seal` (a second sender instance re-encrypting
+//!   under the same keys) is rejected exactly like a replay, even though
+//!   the ciphertext authenticates;
+//! * every strict prefix of a sealed message fails to open.
+
+use proptest::prelude::*;
+use sanctorum_crypto::secretbox::OpenError;
+use sanctorum_verifier::SecureSession;
+
+const SHARED_SECRET: [u8; 32] = [0x42; 32];
+const ATTESTATION_NONCE: [u8; 32] = [0x07; 32];
+
+fn paired_sessions() -> (SecureSession, SecureSession) {
+    (
+        SecureSession::new(&SHARED_SECRET, &ATTESTATION_NONCE),
+        SecureSession::new(&SHARED_SECRET, &ATTESTATION_NONCE),
+    )
+}
+
+/// One adversarial delivery decision, decoded from a generated word pair.
+#[derive(Debug, Clone, Copy)]
+enum Delivery {
+    /// Deliver the next in-order message (must open).
+    Honest,
+    /// Replay message `index % delivered` (must be rejected, no advance).
+    Replay { index: u64 },
+    /// Deliver a message sealed `skip + 1` counters ahead (reorder; must be
+    /// rejected, and the skipped messages must still open later).
+    Future { skip: u64 },
+    /// Deliver a strict prefix of the next message (must be rejected).
+    Truncate { keep: u64 },
+    /// Flip one bit of the next message (must be rejected, no advance).
+    Tamper { bit: u64 },
+    /// Re-seal the oldest delivered plaintext on a *fresh* sender with the
+    /// same keys — a counter reused across seal (must be rejected exactly
+    /// like a replay even though the tag authenticates).
+    ReuseCounter,
+}
+
+fn delivery_from_words(w: &[u64; 2]) -> Delivery {
+    match w[0] % 8 {
+        0..=2 => Delivery::Honest,
+        3 => Delivery::Replay { index: w[1] },
+        4 => Delivery::Future { skip: w[1] % 3 },
+        5 => Delivery::Truncate { keep: w[1] },
+        6 => Delivery::Tamper { bit: w[1] },
+        _ => Delivery::ReuseCounter,
+    }
+}
+
+struct Harness {
+    sender: SecureSession,
+    receiver: SecureSession,
+    /// Messages sealed so far, in counter order; `delivered` of them have
+    /// been accepted by the receiver.
+    sealed: Vec<Vec<u8>>,
+    delivered: usize,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let (sender, receiver) = paired_sessions();
+        Self {
+            sender,
+            receiver,
+            sealed: Vec::new(),
+            delivered: 0,
+        }
+    }
+
+    fn plaintext(counter: usize) -> Vec<u8> {
+        format!("fleet session message {counter}").into_bytes()
+    }
+
+    /// Seals up to and including counter `counter`, lazily.
+    fn sealed_through(&mut self, counter: usize) -> Vec<u8> {
+        while self.sealed.len() <= counter {
+            let plaintext = Self::plaintext(self.sealed.len());
+            self.sealed.push(self.sender.seal(&plaintext));
+        }
+        self.sealed[counter].clone()
+    }
+
+    fn apply(&mut self, delivery: Delivery) -> Result<(), String> {
+        let before = self.receiver.messages_received();
+        match delivery {
+            Delivery::Honest => {
+                let message = self.sealed_through(self.delivered);
+                let opened = self
+                    .receiver
+                    .open(&message)
+                    .map_err(|e| format!("honest in-order delivery rejected: {e}"))?;
+                if opened != Self::plaintext(self.delivered) {
+                    return Err("in-order delivery opened to the wrong plaintext".into());
+                }
+                self.delivered += 1;
+                if self.receiver.messages_received() != before + 1 {
+                    return Err("accepted message did not advance the receiver".into());
+                }
+                return Ok(());
+            }
+            Delivery::Replay { index } => {
+                if self.delivered == 0 {
+                    return Ok(());
+                }
+                let message = self.sealed[(index % self.delivered as u64) as usize].clone();
+                self.expect_rejected(&message, OpenError::OutOfOrder, "replay", before)?;
+            }
+            Delivery::Future { skip } => {
+                let ahead = self.delivered + 1 + skip as usize;
+                let message = self.sealed_through(ahead);
+                self.expect_rejected(&message, OpenError::OutOfOrder, "reorder", before)?;
+            }
+            Delivery::Truncate { keep } => {
+                let message = self.sealed_through(self.delivered);
+                let truncated = &message[..(keep % message.len() as u64) as usize];
+                if self.receiver.open(truncated).is_ok() {
+                    return Err(format!(
+                        "a {}-byte prefix of a {}-byte message opened",
+                        truncated.len(),
+                        message.len()
+                    ));
+                }
+            }
+            Delivery::Tamper { bit } => {
+                let mut message = self.sealed_through(self.delivered);
+                let bits = message.len() as u64 * 8;
+                let flip = (bit % bits) as usize;
+                message[flip / 8] ^= 1 << (flip % 8);
+                if self.receiver.open(&message).is_ok() {
+                    return Err("a bit-flipped message opened".into());
+                }
+            }
+            Delivery::ReuseCounter => {
+                if self.delivered == 0 {
+                    return Ok(());
+                }
+                // A fresh sender under the same keys starts at counter 0 —
+                // sealing here *reuses* the oldest consumed counter. The
+                // result authenticates, so only the ordering check stands
+                // between the receiver and accepting it twice.
+                let (mut reused, _) = paired_sessions();
+                let message = reused.seal(&Self::plaintext(0));
+                self.expect_rejected(&message, OpenError::OutOfOrder, "counter reuse", before)?;
+            }
+        }
+        if self.receiver.messages_received() != before {
+            return Err(format!("{delivery:?}: a rejected delivery advanced the receiver"));
+        }
+        Ok(())
+    }
+
+    fn expect_rejected(
+        &mut self,
+        message: &[u8],
+        expected: OpenError,
+        what: &str,
+        counter_before: u64,
+    ) -> Result<(), String> {
+        match self.receiver.open(message) {
+            Ok(_) => Err(format!("{what} was accepted")),
+            Err(err) if err == expected => Ok(()),
+            Err(err) => Err(format!("{what} rejected as {err:?}, expected {expected:?}")),
+        }?;
+        if self.receiver.messages_received() != counter_before {
+            return Err(format!("{what} advanced the receiver despite rejection"));
+        }
+        Ok(())
+    }
+
+    /// After any misuse schedule, the honest remainder must still flow.
+    fn drain_honest(&mut self) -> Result<(), String> {
+        for _ in 0..3 {
+            self.apply(Delivery::Honest)?;
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn misuse_schedules_never_desynchronize_the_session() {
+    let strategy = proptest::collection::vec(0u64.., 2..80);
+    let result = Runner::new(0x5e5510).cases(48).run(&strategy, |words| {
+        let mut harness = Harness::new();
+        for chunk in words.chunks_exact(2) {
+            let delivery = delivery_from_words(&[chunk[0], chunk[1]]);
+            harness.apply(delivery).map_err(|e| format!("{delivery:?}: {e}"))?;
+        }
+        harness.drain_honest()
+    });
+    if let Err(failure) = result {
+        panic!("session misuse property violated:\n{failure}");
+    }
+}
+
+#[test]
+fn every_truncation_of_every_message_is_rejected() {
+    // Directed exhaustive version: every strict prefix of each of the first
+    // few messages fails, and the intact message still opens afterwards.
+    let (mut sender, mut receiver) = paired_sessions();
+    for counter in 0..4usize {
+        let sealed = sender.seal(format!("message {counter}").as_bytes());
+        for keep in 0..sealed.len() {
+            assert!(
+                receiver.open(&sealed[..keep]).is_err(),
+                "prefix {keep}/{} of message {counter} opened",
+                sealed.len()
+            );
+            assert_eq!(receiver.messages_received(), counter as u64);
+        }
+        assert!(receiver.open(&sealed).is_ok());
+    }
+}
+
+#[test]
+fn sealing_twice_under_one_counter_is_detected_downstream() {
+    // Two sender instances under the same keys both seal counter 0: the
+    // receiver accepts exactly one of the two — whichever arrives first —
+    // and rejects the other without advancing.
+    let (mut first, mut receiver) = paired_sessions();
+    let (mut second, _) = paired_sessions();
+    let a = first.seal(b"payment: 10");
+    let b = second.seal(b"payment: 9999");
+    assert_eq!(receiver.open(&a).expect("first arrival opens"), b"payment: 10");
+    assert_eq!(receiver.open(&b), Err(OpenError::OutOfOrder));
+    assert_eq!(receiver.messages_received(), 1);
+}
